@@ -1,0 +1,21 @@
+//! E10 bench — two-trees property detection on sparse random graphs
+//! (the inner loop of the Lemma 24 probability sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftr_graph::{analysis, gen};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_two_trees_prob");
+    for &n in &[100usize, 200, 400] {
+        let p = (n as f64).powf(0.2) / n as f64; // eps = 0.2 < 1/4
+        let g = gen::gnp(n, p, 42).expect("valid");
+        group.bench_with_input(BenchmarkId::new("find_roots", n), &g, |b, g| {
+            b.iter(|| analysis::find_two_trees_roots(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

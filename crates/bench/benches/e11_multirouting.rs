@@ -1,0 +1,28 @@
+//! E11 bench — Section 6 multiroutings: full (t+1 routes everywhere),
+//! concentrator, and two-route single-tree constructions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_core::{concentrator_multirouting, full_multirouting, single_tree_multirouting};
+use ftr_graph::gen;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let petersen = gen::petersen();
+    let torus = gen::torus(3, 4).expect("valid");
+
+    let mut group = c.benchmark_group("e11_multirouting");
+    group.sample_size(10);
+    group.bench_function("full_petersen", |b| {
+        b.iter(|| full_multirouting(black_box(&petersen)).expect("connected"))
+    });
+    group.bench_function("concentrator_torus3x4", |b| {
+        b.iter(|| concentrator_multirouting(black_box(&torus)).expect("not complete"))
+    });
+    group.bench_function("single_tree_torus3x4", |b| {
+        b.iter(|| single_tree_multirouting(black_box(&torus)).expect("not complete"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E12 bench — the clique-augmented kernel (Section 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_core::{verify_tolerance, AugmentedKernelRouting, FaultStrategy};
+use ftr_graph::gen;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::harary(4, 14).expect("valid");
+    let aug = AugmentedKernelRouting::build(&g).expect("not complete");
+
+    let mut group = c.benchmark_group("e12_augment");
+    group.sample_size(10);
+    group.bench_function("build_h4_14", |b| {
+        b.iter(|| AugmentedKernelRouting::build(black_box(&g)).expect("not complete"))
+    });
+    group.bench_function("verify_exhaustive_t3", |b| {
+        b.iter(|| {
+            verify_tolerance(
+                black_box(aug.routing()),
+                3,
+                FaultStrategy::Exhaustive,
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E15 bench — the route-counter broadcast protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_core::KernelRouting;
+use ftr_graph::{gen, NodeSet};
+use ftr_sim::broadcast::simulate_broadcast;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::harary(4, 20).expect("valid");
+    let kernel = KernelRouting::build(&g).expect("connected");
+    let faults = NodeSet::from_nodes(20, [7]);
+
+    let mut group = c.benchmark_group("e15_broadcast");
+    group.bench_function("broadcast_h4_20_one_fault", |b| {
+        b.iter(|| {
+            simulate_broadcast(
+                black_box(kernel.routing()),
+                black_box(&faults),
+                0,
+                4,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E1 bench — the kernel routing (Theorem 3): construction cost, one
+//! surviving-graph evaluation, and an exhaustive single-fault
+//! verification pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_bench::{bench_graph, bench_kernel, surviving_diameter, three_faults};
+use ftr_core::{verify_tolerance, FaultStrategy, KernelRouting};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let (_, kernel) = bench_kernel();
+    let faults = three_faults();
+
+    let mut group = c.benchmark_group("e1_kernel");
+    group.sample_size(10);
+    group.bench_function("build_h4_40", |b| {
+        b.iter(|| KernelRouting::build(black_box(&g)).expect("connected"))
+    });
+    group.bench_function("surviving_diameter_3_faults", |b| {
+        b.iter(|| surviving_diameter(black_box(kernel.routing()), black_box(&faults)))
+    });
+    group.bench_function("verify_exhaustive_f1", |b| {
+        b.iter(|| {
+            verify_tolerance(
+                black_box(kernel.routing()),
+                1,
+                FaultStrategy::Exhaustive,
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E2 bench — Theorem 4's regime: exhaustive verification with the
+//! fault budget at half the connectivity margin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_bench::bench_kernel;
+use ftr_core::{verify_tolerance, FaultStrategy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (_, kernel) = bench_kernel();
+    let f = kernel.tolerated_faults() / 2;
+
+    let mut group = c.benchmark_group("e2_kernel_half");
+    group.sample_size(10);
+    group.bench_function("verify_exhaustive_half_t", |b| {
+        b.iter(|| {
+            verify_tolerance(
+                black_box(kernel.routing()),
+                f,
+                FaultStrategy::Exhaustive,
+                1,
+            )
+        })
+    });
+    group.bench_function("verify_adversarial", |b| {
+        b.iter(|| {
+            verify_tolerance(
+                black_box(kernel.routing()),
+                f,
+                FaultStrategy::Adversarial { restarts: 1, seed: 1 },
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

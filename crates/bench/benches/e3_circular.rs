@@ -1,0 +1,26 @@
+//! E3 bench — the circular routing (Theorem 10): construction and
+//! surviving-graph evaluation on the mid-size Harary network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_bench::{bench_circular, bench_graph, surviving_diameter, three_faults};
+use ftr_core::CircularRouting;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let (_, circ) = bench_circular();
+    let faults = three_faults();
+
+    let mut group = c.benchmark_group("e3_circular");
+    group.sample_size(10);
+    group.bench_function("build_h4_40", |b| {
+        b.iter(|| CircularRouting::build(black_box(&g)).expect("concentrator exists"))
+    });
+    group.bench_function("surviving_diameter_3_faults", |b| {
+        b.iter(|| surviving_diameter(black_box(circ.routing()), black_box(&faults)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

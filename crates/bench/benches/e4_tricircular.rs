@@ -1,0 +1,29 @@
+//! E4 bench — the tri-circular routing (Theorem 13) on C45
+//! (t = 1, three circles of five members).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_bench::{bench_tricircular, surviving_diameter};
+use ftr_core::{TriCircularRouting, TriCircularVariant};
+use ftr_graph::{gen, NodeSet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::cycle(45).expect("valid");
+    let (_, tri) = bench_tricircular();
+    let faults = NodeSet::from_nodes(45, [7]);
+
+    let mut group = c.benchmark_group("e4_tricircular");
+    group.sample_size(10);
+    group.bench_function("build_c45", |b| {
+        b.iter(|| {
+            TriCircularRouting::build(black_box(&g), TriCircularVariant::Standard).expect("fits")
+        })
+    });
+    group.bench_function("surviving_diameter_1_fault", |b| {
+        b.iter(|| surviving_diameter(black_box(tri.routing()), black_box(&faults)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5 bench — Remark 14's small tri-circular variant on C27.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_bench::{bench_tricircular_small, surviving_diameter};
+use ftr_core::{TriCircularRouting, TriCircularVariant};
+use ftr_graph::{gen, NodeSet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::cycle(27).expect("valid");
+    let (_, tri) = bench_tricircular_small();
+    let faults = NodeSet::from_nodes(27, [5]);
+
+    let mut group = c.benchmark_group("e5_tricircular_small");
+    group.sample_size(10);
+    group.bench_function("build_c27", |b| {
+        b.iter(|| {
+            TriCircularRouting::build(black_box(&g), TriCircularVariant::Small).expect("fits")
+        })
+    });
+    group.bench_function("surviving_diameter_1_fault", |b| {
+        b.iter(|| surviving_diameter(black_box(tri.routing()), black_box(&faults)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E6 bench — greedy neighborhood-set construction (Lemma 15) across
+//! topologies and candidate orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftr_graph::analysis::{neighborhood_set, SelectionOrder};
+use ftr_graph::gen;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let graphs = [
+        ("Q5", gen::hypercube(5).expect("valid")),
+        ("Torus10x10", gen::torus(10, 10).expect("valid")),
+        ("H3_120", gen::harary(3, 120).expect("valid")),
+    ];
+    let mut group = c.benchmark_group("e6_neighborhood");
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("ascending", name), g, |b, g| {
+            b.iter(|| neighborhood_set(black_box(g), SelectionOrder::Ascending))
+        });
+        group.bench_with_input(BenchmarkId::new("min_degree", name), g, |b, g| {
+            b.iter(|| neighborhood_set(black_box(g), SelectionOrder::MinDegreeFirst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E8 bench — the unidirectional bipolar routing (Theorem 20) on C24.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_bench::{bench_bipolar, surviving_diameter};
+use ftr_core::{BipolarRouting, RoutingKind};
+use ftr_graph::{gen, NodeSet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::cycle(24).expect("valid");
+    let (_, bip) = bench_bipolar(RoutingKind::Unidirectional);
+    let faults = NodeSet::from_nodes(24, [9]);
+
+    let mut group = c.benchmark_group("e8_bipolar_uni");
+    group.sample_size(10);
+    group.bench_function("build_c24", |b| {
+        b.iter(|| {
+            BipolarRouting::build(black_box(&g), RoutingKind::Unidirectional)
+                .expect("two-trees holds")
+        })
+    });
+    group.bench_function("surviving_diameter_1_fault", |b| {
+        b.iter(|| surviving_diameter(black_box(bip.routing()), black_box(&faults)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Substrate benches: the graph-layer primitives every construction
+//! rests on (flow, connectivity, tree routings, BFS diameter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftr_core::tree::tree_routing;
+use ftr_graph::{connectivity, flow, gen, traversal};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    for (name, g) in [
+        ("Q6", gen::hypercube(6).expect("valid")),
+        ("H4_100", gen::harary(4, 100).expect("valid")),
+        ("CCC5", gen::cube_connected_cycles(5).expect("valid")),
+    ] {
+        group.bench_with_input(BenchmarkId::new("vertex_connectivity", name), &g, |b, g| {
+            b.iter(|| connectivity::vertex_connectivity(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("diameter", name), &g, |b, g| {
+            b.iter(|| traversal::diameter(black_box(g), None))
+        });
+        let n = g.node_count() as u32;
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_st_paths", name),
+            &g,
+            |b, g| b.iter(|| flow::vertex_disjoint_st_paths(black_box(g), 0, n / 2, None)),
+        );
+        // Tree-route from node 3 into the neighborhood of the antipodal
+        // node (3 is never adjacent to n/2 in these families, so it is
+        // outside the target set).
+        let targets = g.neighbor_set(n / 2);
+        let k = targets.len().min(connectivity::vertex_connectivity(&g));
+        group.bench_with_input(BenchmarkId::new("tree_routing", name), &g, |b, g| {
+            b.iter(|| tree_routing(black_box(g), 3, black_box(&targets), k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

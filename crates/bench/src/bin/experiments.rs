@@ -1,0 +1,177 @@
+//! Regenerates every experiment table and figure of EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments [--exp e1,e4,a3 | --exp all] [--scale quick|full]
+//!             [--format text|markdown|csv] [--figures-dir DIR]
+//! ```
+//!
+//! With `--exp all --scale full --format markdown` the output is the
+//! body of EXPERIMENTS.md; E13 (the paper's Figures 1–3) additionally
+//! writes DOT files to `--figures-dir` (default `figures/`).
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use ftr_core::{BipolarRouting, CircularRouting, RoutingKind, TriCircularRouting, TriCircularVariant};
+use ftr_graph::gen;
+use ftr_sim::experiments::{registry, Scale};
+use ftr_sim::viz;
+
+#[derive(Clone)]
+struct Options {
+    experiments: Vec<String>,
+    scale: Scale,
+    format: Format,
+    figures_dir: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Markdown,
+    Csv,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        experiments: vec!["all".into()],
+        scale: Scale::Quick,
+        format: Format::Text,
+        figures_dir: "figures".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exp" => {
+                let v = args.next().ok_or("--exp needs a value")?;
+                opts.experiments = v.split(',').map(|s| s.trim().to_lowercase()).collect();
+            }
+            "--scale" => {
+                opts.scale = match args.next().as_deref() {
+                    Some("quick") => Scale::Quick,
+                    Some("full") => Scale::Full,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("markdown") => Format::Markdown,
+                    Some("csv") => Format::Csv,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            "--figures-dir" => {
+                opts.figures_dir = args.next().ok_or("--figures-dir needs a value")?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--exp LIST|all] [--scale quick|full] \
+                     [--format text|markdown|csv] [--figures-dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn wants(opts: &Options, id: &str) -> bool {
+    opts.experiments.iter().any(|e| e == "all" || e == id)
+}
+
+/// E13: regenerate the paper's three figures from built routings.
+fn run_figures(opts: &Options) -> std::io::Result<()> {
+    std::fs::create_dir_all(&opts.figures_dir)?;
+    let g = gen::harary(3, 20).expect("valid");
+    let circ = CircularRouting::build(&g).expect("concentrator exists");
+    let g45 = gen::cycle(45).expect("valid");
+    let tri = TriCircularRouting::build(&g45, TriCircularVariant::Standard).expect("fits");
+    let g12 = gen::cycle(12).expect("valid");
+    let bip = BipolarRouting::build(&g12, RoutingKind::Unidirectional).expect("two-trees");
+
+    for (name, dot, ascii) in [
+        (
+            "figure1_circular",
+            viz::circular_figure_dot(&circ),
+            viz::circular_figure_ascii(&circ),
+        ),
+        (
+            "figure2_tricircular",
+            viz::tricircular_figure_dot(&tri),
+            viz::tricircular_figure_ascii(&tri),
+        ),
+        (
+            "figure3_bipolar",
+            viz::bipolar_figure_dot(&bip),
+            viz::bipolar_figure_ascii(&bip),
+        ),
+    ] {
+        let path = format!("{}/{name}.dot", opts.figures_dir);
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(dot.as_bytes())?;
+        println!("{ascii}\n(wrote {path})\n");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Reject unknown experiment ids up front (e13 is handled separately).
+    let known: Vec<&str> = registry().iter().map(|s| s.id).collect();
+    for requested in &opts.experiments {
+        if requested != "all" && requested != "e13" && !known.contains(&requested.as_str()) {
+            eprintln!("error: unknown experiment id {requested}");
+            eprintln!("known: all, e13, {}", known.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failures = 0usize;
+    for spec in registry() {
+        if !wants(&opts, spec.id) {
+            continue;
+        }
+        eprintln!("running {} — {} ...", spec.id, spec.title);
+        let start = std::time::Instant::now();
+        let tables = (spec.run)(opts.scale);
+        let elapsed = start.elapsed();
+        for table in tables {
+            match opts.format {
+                Format::Text => println!("{table}"),
+                Format::Markdown => println!("{}", table.to_markdown()),
+                Format::Csv => println!("{}", table.to_csv()),
+            }
+            // Experiments that verify bounds carry an "ok" column;
+            // count any "no" as a reproduction failure.
+            if table.headers().iter().any(|h| h == "ok") && !table.all_yes("ok") {
+                // E14 measures a stand-in baseline: "no" is a finding,
+                // not a failure.
+                if table.id() != "E14" {
+                    failures += 1;
+                    eprintln!("BOUND VIOLATION in {}", table.id());
+                }
+            }
+        }
+        eprintln!("  {} done in {:.1?}", spec.id, elapsed);
+    }
+    if wants(&opts, "e13") {
+        eprintln!("running e13 — figures ...");
+        if let Err(e) = run_figures(&opts) {
+            eprintln!("error writing figures: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) violated their paper bound");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared fixtures for the Criterion benches: prebuilt graphs and
+//! routings so each bench file measures exactly one thing (construction
+//! time, surviving-graph evaluation, or verification throughput).
+
+use ftr_core::{
+    BipolarRouting, CircularRouting, KernelRouting, Routing, RoutingKind, TriCircularRouting,
+    TriCircularVariant,
+};
+use ftr_graph::{gen, Graph, NodeSet};
+
+/// The default mid-size benchmark network: H(4, 40), κ = 4.
+pub fn bench_graph() -> Graph {
+    gen::harary(4, 40).expect("valid parameters")
+}
+
+/// A kernel routing on [`bench_graph`].
+pub fn bench_kernel() -> (Graph, KernelRouting) {
+    let g = bench_graph();
+    let k = KernelRouting::build(&g).expect("connected");
+    (g, k)
+}
+
+/// A circular routing on [`bench_graph`].
+pub fn bench_circular() -> (Graph, CircularRouting) {
+    let g = bench_graph();
+    let c = CircularRouting::build(&g).expect("concentrator exists");
+    (g, c)
+}
+
+/// A standard tri-circular routing on C45 (t = 1, K = 15).
+pub fn bench_tricircular() -> (Graph, TriCircularRouting) {
+    let g = gen::cycle(45).expect("valid");
+    let t = TriCircularRouting::build(&g, TriCircularVariant::Standard).expect("fits");
+    (g, t)
+}
+
+/// A small tri-circular routing on C27 (t = 1, K = 9).
+pub fn bench_tricircular_small() -> (Graph, TriCircularRouting) {
+    let g = gen::cycle(27).expect("valid");
+    let t = TriCircularRouting::build(&g, TriCircularVariant::Small).expect("fits");
+    (g, t)
+}
+
+/// A bipolar routing on C24.
+pub fn bench_bipolar(kind: RoutingKind) -> (Graph, BipolarRouting) {
+    let g = gen::cycle(24).expect("valid");
+    let b = BipolarRouting::build(&g, kind).expect("two-trees holds");
+    (g, b)
+}
+
+/// A three-fault set on a 40-node graph (for surviving-graph benches).
+pub fn three_faults() -> NodeSet {
+    NodeSet::from_nodes(40, [3, 17, 31])
+}
+
+/// Evaluates one surviving-graph diameter (the verifier's inner loop).
+pub fn surviving_diameter(routing: &Routing, faults: &NodeSet) -> Option<u32> {
+    use ftr_core::RouteTable;
+    routing.surviving(faults).diameter()
+}

@@ -1,0 +1,198 @@
+//! Beyond the fault budget (open problem 3).
+//!
+//! The paper's guarantees assume `|F| <= t`; its third open problem
+//! asks about routings that remain "well behaved" when more faults
+//! occur and the network may disconnect: the surviving route graph
+//! should keep a small diameter *within each connected component*.
+//! This module measures exactly that, and experiment E16 profiles the
+//! constructions in the over-budget regime.
+
+use ftr_graph::{Node, INFINITY};
+
+use crate::SurvivingGraph;
+
+/// Per-component analysis of a surviving route graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentProfile {
+    /// One entry per weakly-connected component of surviving nodes:
+    /// `(component size, internal diameter)`. The diameter is `None`
+    /// when some *ordered* pair inside the weak component has no
+    /// directed path (possible for unidirectional routings).
+    pub components: Vec<(usize, Option<u32>)>,
+}
+
+impl ComponentProfile {
+    /// Number of components (0 if every node failed).
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if all surviving nodes fall in one component.
+    pub fn is_connected(&self) -> bool {
+        self.components.len() <= 1
+    }
+
+    /// The largest internal diameter over components, or `None` if some
+    /// component is internally (directionally) disconnected.
+    pub fn max_component_diameter(&self) -> Option<u32> {
+        let mut worst = 0;
+        for &(_, d) in &self.components {
+            worst = worst.max(d?);
+        }
+        Some(worst)
+    }
+
+    /// Size of the largest component (0 if none).
+    pub fn largest_component(&self) -> usize {
+        self.components.iter().map(|&(s, _)| s).max().unwrap_or(0)
+    }
+}
+
+/// Computes the per-component profile of a surviving route graph: the
+/// open-problem-3 notion of "well behaved under disconnection".
+///
+/// Components are taken in the *undirected* sense (an arc in either
+/// direction joins two nodes); each component's diameter is then the
+/// maximum *directed* distance between its ordered pairs.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{beyond, KernelRouting, RouteTable};
+/// use ftr_graph::{gen, NodeSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::cycle(8)?; // 2-connected: budget t = 1
+/// let kernel = KernelRouting::build(&g)?;
+/// // Two faults — one beyond budget — may split the ring.
+/// let s = kernel.routing().surviving(&NodeSet::from_nodes(8, [0, 4]));
+/// let profile = beyond::component_profile(&s);
+/// assert!(profile.component_count() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn component_profile(surviving: &SurvivingGraph) -> ComponentProfile {
+    let digraph = surviving.digraph();
+    let faults = surviving.faults();
+    let n = digraph.node_count();
+    // Build undirected adjacency over surviving nodes.
+    let mut undirected: Vec<Vec<Node>> = vec![Vec::new(); n];
+    for (u, v) in digraph.arcs() {
+        undirected[u as usize].push(v);
+        undirected[v as usize].push(u);
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<Node>> = Vec::new();
+    for start in 0..n as Node {
+        if faults.contains(start) || label[start as usize] != usize::MAX {
+            continue;
+        }
+        let id = comps.len();
+        let mut stack = vec![start];
+        let mut members = Vec::new();
+        label[start as usize] = id;
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for &v in &undirected[u as usize] {
+                if label[v as usize] == usize::MAX {
+                    label[v as usize] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        comps.push(members);
+    }
+    let components = comps
+        .into_iter()
+        .map(|members| {
+            let size = members.len();
+            let mut worst = 0;
+            let mut connected = true;
+            'outer: for &u in &members {
+                let dist = digraph.bfs_distances(u, Some(faults));
+                for &v in &members {
+                    if u == v {
+                        continue;
+                    }
+                    let d = dist[v as usize];
+                    if d == INFINITY {
+                        connected = false;
+                        break 'outer;
+                    }
+                    worst = worst.max(d);
+                }
+            }
+            (size, connected.then_some(worst))
+        })
+        .collect();
+    ComponentProfile { components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelRouting, RouteTable, Routing, RoutingKind};
+    use ftr_graph::{gen, NodeSet, Path};
+
+    #[test]
+    fn within_budget_single_component() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let s = kernel.routing().surviving(&NodeSet::from_nodes(10, [1, 6]));
+        let p = component_profile(&s);
+        assert!(p.is_connected());
+        assert_eq!(p.largest_component(), 8);
+        assert_eq!(p.max_component_diameter(), s.diameter());
+    }
+
+    #[test]
+    fn over_budget_ring_splits_into_bounded_pieces() {
+        // Edge-only routing on C8: faults {0, 4} split into two paths of
+        // 3 nodes each, each with internal diameter 2.
+        let mut r = Routing::new(8, RoutingKind::Bidirectional);
+        for u in 0..8u32 {
+            r.insert(Path::edge(u, (u + 1) % 8).unwrap()).unwrap();
+        }
+        let s = r.surviving(&NodeSet::from_nodes(8, [0, 4]));
+        let p = component_profile(&s);
+        assert_eq!(p.component_count(), 2);
+        assert_eq!(p.components, vec![(3, Some(2)), (3, Some(2))]);
+        assert_eq!(p.max_component_diameter(), Some(2));
+        assert!(!p.is_connected());
+    }
+
+    #[test]
+    fn all_faulty_gives_empty_profile() {
+        let mut r = Routing::new(3, RoutingKind::Bidirectional);
+        r.insert(Path::edge(0, 1).unwrap()).unwrap();
+        let s = r.surviving(&NodeSet::from_nodes(3, [0, 1, 2]));
+        let p = component_profile(&s);
+        assert_eq!(p.component_count(), 0);
+        assert_eq!(p.largest_component(), 0);
+        assert_eq!(p.max_component_diameter(), Some(0));
+    }
+
+    #[test]
+    fn isolated_survivor_is_its_own_component() {
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        r.insert(Path::edge(0, 1).unwrap()).unwrap();
+        // nodes 2 and 3 have no routes at all
+        let s = r.surviving(&NodeSet::new(4));
+        let p = component_profile(&s);
+        assert_eq!(p.component_count(), 3); // {0,1}, {2}, {3}
+        assert_eq!(p.largest_component(), 2);
+    }
+
+    #[test]
+    fn directional_dead_ends_detected() {
+        // Unidirectional arc 0 -> 1 only: weakly one component, but 1
+        // cannot reach 0, so the internal diameter is None.
+        let mut r = Routing::new(2, RoutingKind::Unidirectional);
+        r.insert(Path::edge(0, 1).unwrap()).unwrap();
+        let s = r.surviving(&NodeSet::new(2));
+        let p = component_profile(&s);
+        assert_eq!(p.component_count(), 1);
+        assert_eq!(p.components[0], (2, None));
+        assert_eq!(p.max_component_diameter(), None);
+    }
+}

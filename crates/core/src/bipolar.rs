@@ -1,0 +1,338 @@
+//! The bipolar constructions (Section 5): routings concentrated around
+//! two roots whose depth-2 neighborhoods form disjoint trees.
+//!
+//! For a graph with the *two-trees property* — roots `r1, r2` with
+//! `M1 = Γ(r1)`, `M2 = Γ(r2)` and all the sets `M1`, `M2`,
+//! `Γ(x) − {r1}` (x ∈ M1), `Γ(y) − {r2}` (y ∈ M2) disjoint — the paper
+//! builds:
+//!
+//! * a **unidirectional** bipolar routing (components B-POL 1–6) that is
+//!   `(4, t)`-tolerant (Theorem 20), and
+//! * a **bidirectional** bipolar routing (components 2B-POL 1–5) that is
+//!   `(5, t)`-tolerant (Theorem 23).
+//!
+//! The concentrator `M = M1 ∪ M2` is a union of two separating sets
+//! (each Γ(r) separates its root); tree routings give every node a
+//! 1-step surviving link into `M`, M1 and M2 are internally within 2
+//! steps (Lemma 5 via the Γ¹_j / Γ²_j sets), and the asymmetric
+//! M1-to-M2 links bound the diameter.
+
+use ftr_graph::{analysis, connectivity, Graph, Node, NodeSet};
+
+use crate::kernel::insert_edge_routes;
+use crate::tree::tree_routing;
+use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
+
+/// A bipolar routing with its roots and polar sets.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{BipolarRouting, RouteTable, RoutingKind};
+/// use ftr_graph::{gen, NodeSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::cycle(12)?; // 2-connected, two-trees property holds
+/// let uni = BipolarRouting::build(&g, RoutingKind::Unidirectional)?;
+/// let s = uni.routing().surviving(&NodeSet::from_nodes(12, [3]));
+/// assert!(s.diameter().expect("tolerates 1 fault") <= 4); // Theorem 20
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BipolarRouting {
+    routing: Routing,
+    r1: Node,
+    r2: Node,
+    m1: Vec<Node>,
+    m2: Vec<Node>,
+    t: usize,
+}
+
+impl BipolarRouting {
+    /// Builds a bipolar routing, searching the graph for two-trees
+    /// roots.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoutingError::InsufficientConnectivity`] if `g` is
+    ///   disconnected.
+    /// * [`RoutingError::PropertyNotSatisfied`] if no two-trees roots
+    ///   exist.
+    pub fn build(g: &Graph, kind: RoutingKind) -> Result<Self, RoutingError> {
+        let (r1, r2) = analysis::find_two_trees_roots(g).ok_or_else(|| {
+            RoutingError::property("the graph does not satisfy the two-trees property")
+        })?;
+        Self::build_with_roots(g, r1, r2, kind)
+    }
+
+    /// Builds a bipolar routing with caller-chosen roots.
+    ///
+    /// # Errors
+    ///
+    /// As [`BipolarRouting::build`], plus
+    /// [`RoutingError::PropertyNotSatisfied`] if `(r1, r2)` is not a
+    /// two-trees pair.
+    pub fn build_with_roots(
+        g: &Graph,
+        r1: Node,
+        r2: Node,
+        kind: RoutingKind,
+    ) -> Result<Self, RoutingError> {
+        let kappa = connectivity::vertex_connectivity(g);
+        if kappa == 0 {
+            return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+        }
+        if !analysis::is_two_trees_pair(g, r1, r2) {
+            return Err(RoutingError::property(format!(
+                "nodes {r1} and {r2} are not two-trees roots"
+            )));
+        }
+        let routing = match kind {
+            RoutingKind::Unidirectional => construct_unidirectional(g, r1, r2, kappa)?,
+            RoutingKind::Bidirectional => construct_bidirectional(g, r1, r2, kappa)?,
+        };
+        Ok(BipolarRouting {
+            routing,
+            r1,
+            r2,
+            m1: g.neighbors(r1).to_vec(),
+            m2: g.neighbors(r2).to_vec(),
+            t: kappa - 1,
+        })
+    }
+
+    /// The underlying route table.
+    pub fn routing(&self) -> &Routing {
+        &self.routing
+    }
+
+    /// The two roots `(r1, r2)`.
+    pub fn roots(&self) -> (Node, Node) {
+        (self.r1, self.r2)
+    }
+
+    /// The polar set `M1 = Γ(r1)`.
+    pub fn m1(&self) -> &[Node] {
+        &self.m1
+    }
+
+    /// The polar set `M2 = Γ(r2)`.
+    pub fn m2(&self) -> &[Node] {
+        &self.m2
+    }
+
+    /// The number of faults `t` the construction tolerates.
+    pub fn tolerated_faults(&self) -> usize {
+        self.t
+    }
+
+    /// Theorem 20's `(4, t)` claim for unidirectional routings,
+    /// Theorem 23's `(5, t)` for bidirectional ones.
+    pub fn claim(&self) -> ToleranceClaim {
+        ToleranceClaim {
+            diameter: match self.routing.kind() {
+                RoutingKind::Unidirectional => 4,
+                RoutingKind::Bidirectional => 5,
+            },
+            faults: self.t,
+        }
+    }
+}
+
+/// Components B-POL 1–6 (Theorem 20).
+fn construct_unidirectional(
+    g: &Graph,
+    r1: Node,
+    r2: Node,
+    kappa: usize,
+) -> Result<Routing, RoutingError> {
+    let n = g.node_count();
+    let m1 = g.neighbor_set(r1);
+    let m2 = g.neighbor_set(r2);
+    let mut routing = Routing::new(n, RoutingKind::Unidirectional);
+    // B-POL 6: direct edges, both directions.
+    for (u, v) in g.edges() {
+        routing.insert(ftr_graph::Path::edge(u, v).expect("valid edge"))?;
+        routing.insert(ftr_graph::Path::edge(v, u).expect("valid edge"))?;
+    }
+    // B-POL 1 and B-POL 2: tree routings toward the poles.
+    for x in g.nodes() {
+        if !m1.contains(x) {
+            for p in tree_routing(g, x, &m1, kappa)? {
+                routing.insert(p)?;
+            }
+        }
+        if !m2.contains(x) {
+            for p in tree_routing(g, x, &m2, kappa)? {
+                routing.insert(p)?;
+            }
+        }
+    }
+    // B-POL 3 and B-POL 4: pole members into every Γ-set of their tree.
+    for (members, root) in [(&m1, r1), (&m2, r2)] {
+        let list: Vec<Node> = members.iter().collect();
+        for &mi in &list {
+            for &mj in &list {
+                let targets = g.neighbor_set(mj);
+                debug_assert!(
+                    mi == mj || !targets.contains(mi),
+                    "pole sets are independent"
+                );
+                let _ = root;
+                for p in tree_routing(g, mi, &targets, kappa)? {
+                    routing.insert(p)?;
+                }
+            }
+        }
+    }
+    // B-POL 5: complete missing reverse directions along the same path.
+    let missing: Vec<ftr_graph::Path> = routing
+        .routes()
+        .filter(|&(s, d, _)| routing.route(d, s).is_none())
+        .map(|(_, _, view)| view.to_path().reversed())
+        .collect();
+    for p in missing {
+        routing.insert(p)?;
+    }
+    Ok(routing)
+}
+
+/// Components 2B-POL 1–5 (Theorem 23).
+fn construct_bidirectional(
+    g: &Graph,
+    r1: Node,
+    r2: Node,
+    kappa: usize,
+) -> Result<Routing, RoutingError> {
+    let n = g.node_count();
+    let m1 = g.neighbor_set(r1);
+    let m2 = g.neighbor_set(r2);
+    // Γ1 = union of Γ(m) over m ∈ M1 (contains r1); similarly Γ2.
+    let mut gamma1 = NodeSet::new(n);
+    for m in &m1 {
+        gamma1.union_with(&g.neighbor_set(m));
+    }
+    let mut gamma2 = NodeSet::new(n);
+    for m in &m2 {
+        gamma2.union_with(&g.neighbor_set(m));
+    }
+    let mut routing = Routing::new(n, RoutingKind::Bidirectional);
+    // 2B-POL 5: direct edges.
+    insert_edge_routes(&mut routing, g)?;
+    // 2B-POL 1: x ∉ M ∪ Γ1 routes to M1. Excluding Γ1 keeps these
+    // bidirectional routes off the pairs that 2B-POL 3 defines, and
+    // excluding all of M makes the construction asymmetric: M2 members
+    // reach M1 only through Property 2B-POL 3's M1-to-M2 links.
+    for x in g.nodes() {
+        if !m1.contains(x) && !m2.contains(x) && !gamma1.contains(x) {
+            for p in tree_routing(g, x, &m1, kappa)? {
+                routing.insert(p)?;
+            }
+        }
+    }
+    // 2B-POL 2: x ∉ M2 ∪ Γ2 routes to M2 (this includes every M1 member,
+    // which yields Property 2B-POL 3).
+    for x in g.nodes() {
+        if !m2.contains(x) && !gamma2.contains(x) {
+            for p in tree_routing(g, x, &m2, kappa)? {
+                routing.insert(p)?;
+            }
+        }
+    }
+    // 2B-POL 3 and 2B-POL 4: pole members into every Γ-set of their tree.
+    for members in [&m1, &m2] {
+        let list: Vec<Node> = members.iter().collect();
+        for &mi in &list {
+            for &mj in &list {
+                let targets = g.neighbor_set(mj);
+                for p in tree_routing(g, mi, &targets, kappa)? {
+                    routing.insert(p)?;
+                }
+            }
+        }
+    }
+    Ok(routing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_tolerance, FaultStrategy};
+    use ftr_graph::gen;
+
+    #[test]
+    fn unidirectional_builds_on_long_cycle() {
+        let g = gen::cycle(12).unwrap();
+        let b = BipolarRouting::build(&g, RoutingKind::Unidirectional).unwrap();
+        b.routing().validate(&g).unwrap();
+        assert_eq!(b.tolerated_faults(), 1);
+        assert_eq!(b.m1().len(), 2);
+        let (r1, r2) = b.roots();
+        assert!(analysis::is_two_trees_pair(&g, r1, r2));
+    }
+
+    #[test]
+    fn theorem_20_bound_exhaustive_on_cycle() {
+        let g = gen::cycle(12).unwrap(); // t = 1
+        let b = BipolarRouting::build(&g, RoutingKind::Unidirectional).unwrap();
+        let report = verify_tolerance(b.routing(), 1, FaultStrategy::Exhaustive, 4);
+        assert!(report.satisfies(&b.claim()), "{report}");
+    }
+
+    #[test]
+    fn theorem_23_bound_exhaustive_on_cycle() {
+        let g = gen::cycle(12).unwrap();
+        let b = BipolarRouting::build(&g, RoutingKind::Bidirectional).unwrap();
+        b.routing().validate(&g).unwrap();
+        let report = verify_tolerance(b.routing(), 1, FaultStrategy::Exhaustive, 4);
+        assert!(report.satisfies(&b.claim()), "{report}");
+    }
+
+    #[test]
+    fn bounds_on_ccc_with_explicit_roots() {
+        // CCC(5) has girth 5 and diameter >= 5: two-trees roots exist.
+        let g = gen::cube_connected_cycles(5).unwrap(); // 3-connected: t = 2
+        let b = BipolarRouting::build(&g, RoutingKind::Unidirectional).unwrap();
+        b.routing().validate(&g).unwrap();
+        // Sample fault pairs (exhaustive over 160 nodes is for benches).
+        let report = verify_tolerance(
+            b.routing(),
+            2,
+            FaultStrategy::RandomSample { trials: 40, seed: 9 },
+            4,
+        );
+        assert!(report.satisfies(&b.claim()), "{report}");
+    }
+
+    #[test]
+    fn rejects_graphs_without_property() {
+        let g = gen::hypercube(3).unwrap(); // 4-cycles everywhere
+        assert!(matches!(
+            BipolarRouting::build(&g, RoutingKind::Unidirectional),
+            Err(RoutingError::PropertyNotSatisfied { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_explicit_roots() {
+        let g = gen::cycle(12).unwrap();
+        assert!(matches!(
+            BipolarRouting::build_with_roots(&g, 0, 3, RoutingKind::Unidirectional),
+            Err(RoutingError::PropertyNotSatisfied { .. })
+        ));
+    }
+
+    #[test]
+    fn unidirectional_routing_has_all_reverse_directions() {
+        // B-POL 5 guarantees every pair routed forward is routed back.
+        let g = gen::cycle(12).unwrap();
+        let b = BipolarRouting::build(&g, RoutingKind::Unidirectional).unwrap();
+        for (s, d, _) in b.routing().routes() {
+            assert!(
+                b.routing().route(d, s).is_some(),
+                "missing reverse of ({s}, {d})"
+            );
+        }
+    }
+}

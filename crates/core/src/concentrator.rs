@@ -1,0 +1,187 @@
+//! Concentrator selection: neighborhood sets packaged for the circular
+//! constructions.
+//!
+//! A *neighborhood set* `M = {m_0, ..., m_{K-1}}` (independent nodes
+//! with pairwise disjoint neighbor sets) acts as a "non-separating"
+//! concentrator: the neighbor set Γ(m_i) of each member is itself a
+//! separating set for `m_i`, so tree routings into Γ(m_i) plus the
+//! direct edges around `m_i` give every node a 2-step route to `m_i`
+//! (Lemma 5).
+
+use ftr_graph::{analysis, Graph, Node, NodeSet};
+
+use crate::RoutingError;
+
+/// A neighborhood set together with the derived structures the circular
+/// routings need: the sets Γ_i and a reverse index from nodes to the
+/// circle member whose neighborhood contains them.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::concentrator::NeighborhoodConcentrator;
+/// use ftr_graph::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::cycle(9)?;
+/// let c = NeighborhoodConcentrator::from_members(&g, vec![0, 3, 6])?;
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.circle_of(1), Some(0)); // 1 ∈ Γ(m_0) = Γ(0)
+/// assert_eq!(c.circle_of(0), None);    // members are outside Γ
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborhoodConcentrator {
+    members: Vec<Node>,
+    gamma: Vec<NodeSet>,
+    circle_index: Vec<Option<u32>>,
+}
+
+impl NeighborhoodConcentrator {
+    /// Wraps an explicit member list, validating the neighborhood-set
+    /// property.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::PropertyNotSatisfied`] if the members are
+    /// not independent with pairwise disjoint neighborhoods.
+    pub fn from_members(g: &Graph, members: Vec<Node>) -> Result<Self, RoutingError> {
+        if !analysis::is_neighborhood_set(g, &members) {
+            return Err(RoutingError::property(
+                "members do not form a neighborhood set (independent with disjoint neighborhoods)",
+            ));
+        }
+        let n = g.node_count();
+        let mut circle_index = vec![None; n];
+        let mut gamma = Vec::with_capacity(members.len());
+        for (i, &m) in members.iter().enumerate() {
+            let set = g.neighbor_set(m);
+            for x in &set {
+                circle_index[x as usize] = Some(i as u32);
+            }
+            gamma.push(set);
+        }
+        Ok(NeighborhoodConcentrator {
+            members,
+            gamma,
+            circle_index,
+        })
+    }
+
+    /// Greedily selects a neighborhood set of at least `min_size`
+    /// members, trying several orders (ascending, min-degree-first, and
+    /// a few seeded shuffles) and keeping the first that is large
+    /// enough. The result is truncated to exactly `min_size` members —
+    /// the theorems need no more, and smaller concentrators mean fewer
+    /// tree routings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::ConcentratorTooSmall`] reporting the best
+    /// size found if no order reaches `min_size`.
+    pub fn select(g: &Graph, min_size: usize) -> Result<Self, RoutingError> {
+        use analysis::SelectionOrder::{Ascending, MinDegreeFirst, Random};
+        let mut best: Vec<Node> = Vec::new();
+        for order in [
+            MinDegreeFirst,
+            Ascending,
+            Random(0),
+            Random(1),
+            Random(2),
+            Random(3),
+        ] {
+            let mut m = analysis::neighborhood_set(g, order);
+            if m.len() >= min_size {
+                m.truncate(min_size);
+                return Self::from_members(g, m);
+            }
+            if m.len() > best.len() {
+                best = m;
+            }
+        }
+        Err(RoutingError::ConcentratorTooSmall {
+            needed: min_size,
+            found: best.len(),
+        })
+    }
+
+    /// Number of members `K`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the concentrator has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member list `m_0, ..., m_{K-1}`.
+    pub fn members(&self) -> &[Node] {
+        &self.members
+    }
+
+    /// The neighbor set Γ_i of member `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn gamma(&self, i: usize) -> &NodeSet {
+        &self.gamma[i]
+    }
+
+    /// The index `i` with `x ∈ Γ_i`, or `None` if `x` is outside every
+    /// member neighborhood (members themselves are always outside).
+    pub fn circle_of(&self, x: Node) -> Option<usize> {
+        self.circle_index
+            .get(x as usize)
+            .copied()
+            .flatten()
+            .map(|i| i as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_graph::gen;
+
+    #[test]
+    fn from_members_validates() {
+        let g = gen::cycle(9).unwrap();
+        assert!(NeighborhoodConcentrator::from_members(&g, vec![0, 2]).is_err());
+        assert!(NeighborhoodConcentrator::from_members(&g, vec![0, 1]).is_err());
+        let c = NeighborhoodConcentrator::from_members(&g, vec![0, 3, 6]).unwrap();
+        assert_eq!(c.members(), &[0, 3, 6]);
+        assert_eq!(c.gamma(0).iter().collect::<Vec<_>>(), vec![1, 8]);
+    }
+
+    #[test]
+    fn circle_index_round_trips() {
+        let g = gen::hypercube(4).unwrap();
+        let c = NeighborhoodConcentrator::select(&g, 2).unwrap();
+        for (i, &m) in c.members().iter().enumerate() {
+            assert_eq!(c.circle_of(m), None);
+            for &x in g.neighbors(m) {
+                assert_eq!(c.circle_of(x), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn select_truncates_to_requested_size() {
+        let g = gen::cycle(30).unwrap();
+        let c = NeighborhoodConcentrator::select(&g, 4).unwrap();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn select_reports_best_found_on_failure() {
+        let g = gen::complete(6).unwrap(); // any two nodes share neighbors
+        let err = NeighborhoodConcentrator::select(&g, 2).unwrap_err();
+        assert_eq!(
+            err,
+            RoutingError::ConcentratorTooSmall { needed: 2, found: 1 }
+        );
+    }
+}

@@ -1,0 +1,131 @@
+use std::error::Error;
+use std::fmt;
+
+use ftr_graph::{GraphError, Node};
+
+/// Errors produced while building or validating routings.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{Routing, RoutingError, RoutingKind};
+/// use ftr_graph::Path;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut r = Routing::new(4, RoutingKind::Unidirectional);
+/// r.insert(Path::new(vec![0, 1, 2])?)?;
+/// let err = r.insert(Path::new(vec![0, 3, 2])?).unwrap_err();
+/// assert!(matches!(err, RoutingError::RouteConflict { src: 0, dst: 2 }));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutingError {
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+    /// A second, different route was inserted for an ordered pair. The
+    /// paper's model is "miserly": at most one route per ordered pair.
+    RouteConflict {
+        /// Source of the conflicting pair.
+        src: Node,
+        /// Destination of the conflicting pair.
+        dst: Node,
+    },
+    /// A construction needed more node-disjoint paths than the graph
+    /// provides (its connectivity is below the required `t + 1`).
+    InsufficientConnectivity {
+        /// Disjoint paths required.
+        needed: usize,
+        /// Disjoint paths found.
+        found: usize,
+    },
+    /// The concentrator (neighborhood set, separator, ...) found in the
+    /// graph is smaller than the construction requires.
+    ConcentratorTooSmall {
+        /// Members required (e.g. `6t + 9` for the tri-circular routing).
+        needed: usize,
+        /// Members found.
+        found: usize,
+    },
+    /// The graph lacks a structural property the construction requires
+    /// (e.g. the two-trees property for the bipolar routings).
+    PropertyNotSatisfied {
+        /// The violated requirement, human-readable.
+        what: String,
+    },
+}
+
+impl RoutingError {
+    pub(crate) fn property(what: impl Into<String>) -> Self {
+        RoutingError::PropertyNotSatisfied { what: what.into() }
+    }
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Graph(e) => write!(f, "graph error: {e}"),
+            RoutingError::RouteConflict { src, dst } => {
+                write!(f, "conflicting route for pair ({src}, {dst})")
+            }
+            RoutingError::InsufficientConnectivity { needed, found } => write!(
+                f,
+                "needed {needed} node-disjoint paths but the graph provides {found}"
+            ),
+            RoutingError::ConcentratorTooSmall { needed, found } => write!(
+                f,
+                "concentrator needs {needed} members but only {found} were found"
+            ),
+            RoutingError::PropertyNotSatisfied { what } => {
+                write!(f, "required property not satisfied: {what}")
+            }
+        }
+    }
+}
+
+impl Error for RoutingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RoutingError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for RoutingError {
+    fn from(e: GraphError) -> Self {
+        RoutingError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RoutingError::RouteConflict { src: 1, dst: 2 };
+        assert_eq!(e.to_string(), "conflicting route for pair (1, 2)");
+        let e = RoutingError::InsufficientConnectivity { needed: 4, found: 2 };
+        assert!(e.to_string().contains("4") && e.to_string().contains("2"));
+        let e = RoutingError::ConcentratorTooSmall { needed: 9, found: 3 };
+        assert!(e.to_string().contains("9"));
+        let e = RoutingError::property("two-trees roots not found");
+        assert!(e.to_string().contains("two-trees"));
+    }
+
+    #[test]
+    fn graph_error_converts_and_chains() {
+        let ge = GraphError::EmptyPath;
+        let re: RoutingError = ge.clone().into();
+        assert_eq!(re, RoutingError::Graph(ge));
+        assert!(Error::source(&re).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RoutingError>();
+    }
+}

@@ -1,0 +1,248 @@
+//! The paper's intermediate *properties*, machine-checkable.
+//!
+//! Each main theorem factors through a named property of the surviving
+//! graph (Lemmas 6/8/11/18/21 prove property ⇒ bound; Lemmas 7/9/12/19/22
+//! prove construction ⇒ property). The end-to-end bounds are verified by
+//! [`crate::verify_tolerance`]; this module checks the *property* half,
+//! so a failure pinpoints which lemma an implementation change broke.
+//!
+//! All checkers quantify over non-faulty nodes of a given
+//! [`SurvivingGraph`], mirroring the paper's "for any fault distribution,
+//! as long as |F| ≤ t".
+
+use ftr_graph::{Node, NodeSet, INFINITY};
+
+use crate::SurvivingGraph;
+
+fn alive(s: &SurvivingGraph, v: Node) -> bool {
+    !s.faults().contains(v)
+}
+
+fn nodes(s: &SurvivingGraph) -> impl Iterator<Item = Node> + '_ {
+    (0..s.digraph().node_count() as Node).filter(move |&v| alive(s, v))
+}
+
+/// Property CIRC 1 (Section 4): every non-faulty node outside the
+/// concentrator `m` has some non-faulty member within distance 2 in the
+/// surviving graph.
+pub fn circ_1(s: &SurvivingGraph, m: &[Node]) -> bool {
+    let members = NodeSet::from_nodes(s.digraph().node_count(), m.iter().copied());
+    nodes(s)
+        .filter(|&x| !members.contains(x))
+        .all(|x| m.iter().any(|&y| alive(s, y) && s.distance(x, y) <= 2))
+}
+
+/// Property CIRC 2 (Section 4): every two non-faulty concentrator
+/// members are within distance 2 of each other.
+pub fn circ_2(s: &SurvivingGraph, m: &[Node]) -> bool {
+    m.iter().filter(|&&x| alive(s, x)).all(|&x| {
+        m.iter()
+            .filter(|&&y| alive(s, y) && y != x)
+            .all(|&y| s.distance(x, y) <= 2)
+    })
+}
+
+/// Property CIRC (Lemma 8): every two non-faulty nodes share a common
+/// non-faulty concentrator member within distance 3 of both.
+pub fn circ_common(s: &SurvivingGraph, m: &[Node]) -> bool {
+    common_relay_within(s, m, 3)
+}
+
+/// Property T-CIRC (Lemma 11): every two non-faulty nodes share a
+/// common non-faulty concentrator member within distance 2 of both.
+pub fn t_circ(s: &SurvivingGraph, m: &[Node]) -> bool {
+    common_relay_within(s, m, 2)
+}
+
+fn common_relay_within(s: &SurvivingGraph, m: &[Node], bound: u32) -> bool {
+    let live: Vec<Node> = m.iter().copied().filter(|&z| alive(s, z)).collect();
+    // distances from each live member (bidirectional routings make
+    // dist(x, z) = dist(z, x), which these properties assume)
+    let dists: Vec<Vec<u32>> = live
+        .iter()
+        .map(|&z| s.digraph().bfs_distances(z, Some(s.faults())))
+        .collect();
+    let all: Vec<Node> = nodes(s).collect();
+    for (i, &x) in all.iter().enumerate() {
+        for &y in &all[i + 1..] {
+            let ok = live.iter().enumerate().any(|(zi, _)| {
+                dists[zi][x as usize] <= bound && dists[zi][y as usize] <= bound
+            });
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Properties B-POL 1/2 (Section 5): every non-faulty node outside the
+/// pole set has a *direct surviving route to* some non-faulty pole
+/// member (distance exactly 1, in the x→pole direction).
+pub fn b_pol_to_pole(s: &SurvivingGraph, pole: &[Node]) -> bool {
+    let members = NodeSet::from_nodes(s.digraph().node_count(), pole.iter().copied());
+    nodes(s)
+        .filter(|&x| !members.contains(x))
+        .all(|x| pole.iter().any(|&y| alive(s, y) && s.has_edge(x, y)))
+}
+
+/// Property B-POL 3 (Section 5): every non-faulty node outside
+/// `M = M1 ∪ M2` is reachable *from* some non-faulty member by a direct
+/// surviving route (distance 1 in the pole→x direction).
+pub fn b_pol_from_pole(s: &SurvivingGraph, m1: &[Node], m2: &[Node]) -> bool {
+    let n = s.digraph().node_count();
+    let members = NodeSet::from_nodes(n, m1.iter().chain(m2).copied());
+    nodes(s).filter(|&x| !members.contains(x)).all(|x| {
+        m1.iter()
+            .chain(m2)
+            .any(|&y| alive(s, y) && s.has_edge(y, x))
+    })
+}
+
+/// Property B-POL 4 / 2B-POL 2 (Section 5): non-faulty nodes within the
+/// same pole set are within distance 2 of each other.
+pub fn b_pol_intra_pole(s: &SurvivingGraph, pole: &[Node]) -> bool {
+    circ_2(s, pole)
+}
+
+/// Property 2B-POL 3 (Section 5): every non-faulty `M1` member has a
+/// direct surviving route to some non-faulty `M2` member (the
+/// asymmetric cross-link of the bidirectional bipolar routing).
+pub fn b_pol_cross(s: &SurvivingGraph, m1: &[Node], m2: &[Node]) -> bool {
+    m1.iter().filter(|&&x| alive(s, x)).all(|&x| {
+        m2.iter()
+            .any(|&y| alive(s, y) && s.has_edge(x, y))
+    })
+}
+
+/// The diameter implication the lemmas conclude with: every ordered
+/// pair of non-faulty nodes is within `bound` (convenience used by the
+/// property tests; equivalent to `diameter() <= bound`).
+pub fn diameter_within(s: &SurvivingGraph, bound: u32) -> bool {
+    match s.diameter() {
+        Some(d) => d <= bound,
+        None => false,
+    }
+}
+
+/// Distance helper mirroring the paper's `dist(x, y, R(G,ρ)/F)`;
+/// re-exported for tests that spell out lemma statements literally.
+pub fn dist(s: &SurvivingGraph, x: Node, y: Node) -> u32 {
+    if !alive(s, x) || !alive(s, y) {
+        INFINITY
+    } else {
+        s.distance(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BipolarRouting, CircularRouting, RouteTable, RoutingKind, TriCircularRouting,
+        TriCircularVariant,
+    };
+    use ftr_graph::gen;
+
+    /// Enumerate all fault sets of size <= f over n nodes.
+    fn fault_sets(n: usize, f: usize) -> Vec<NodeSet> {
+        let mut out = vec![NodeSet::new(n)];
+        if f >= 1 {
+            for a in 0..n as Node {
+                out.push(NodeSet::from_nodes(n, [a]));
+            }
+        }
+        if f >= 2 {
+            for a in 0..n as Node {
+                for b in (a + 1)..n as Node {
+                    out.push(NodeSet::from_nodes(n, [a, b]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lemma_7_circular_satisfies_circ_1_and_2() {
+        // Lemma 7 is stated for K = 2t+1; build that variant.
+        let g = gen::cycle(15).unwrap(); // t = 1, K = 3 = 2t+1
+        let circ = CircularRouting::build_with_size(&g, 3).unwrap();
+        let m = circ.concentrator().members().to_vec();
+        for faults in fault_sets(15, 1) {
+            let s = circ.routing().surviving(&faults);
+            assert!(circ_1(&s, &m), "CIRC 1 fails under {faults:?}");
+            assert!(circ_2(&s, &m), "CIRC 2 fails under {faults:?}");
+        }
+    }
+
+    #[test]
+    fn lemma_9_minimal_circular_satisfies_property_circ() {
+        let g = gen::harary(3, 20).unwrap(); // t = 2 even, K = 3 = t+1
+        let circ = CircularRouting::build(&g).unwrap();
+        let m = circ.concentrator().members().to_vec();
+        for faults in fault_sets(20, 2) {
+            let s = circ.routing().surviving(&faults);
+            assert!(circ_common(&s, &m), "Property CIRC fails under {faults:?}");
+            // Lemma 8: Property CIRC ⇒ (6, t)
+            assert!(diameter_within(&s, 6));
+        }
+    }
+
+    #[test]
+    fn lemma_12_tricircular_satisfies_t_circ() {
+        let g = gen::cycle(45).unwrap(); // t = 1
+        let tri = TriCircularRouting::build(&g, TriCircularVariant::Standard).unwrap();
+        let m = tri.concentrator().members().to_vec();
+        for faults in fault_sets(45, 1) {
+            let s = tri.routing().surviving(&faults);
+            assert!(t_circ(&s, &m), "Property T-CIRC fails under {faults:?}");
+            // Lemma 11: Property T-CIRC ⇒ (4, t)
+            assert!(diameter_within(&s, 4));
+        }
+    }
+
+    #[test]
+    fn lemma_19_unidirectional_bipolar_satisfies_b_pol_1_to_4() {
+        let g = gen::cycle(14).unwrap(); // t = 1
+        let b = BipolarRouting::build(&g, RoutingKind::Unidirectional).unwrap();
+        let (m1, m2) = (b.m1().to_vec(), b.m2().to_vec());
+        for faults in fault_sets(14, 1) {
+            let s = b.routing().surviving(&faults);
+            assert!(b_pol_to_pole(&s, &m1), "B-POL 1 fails under {faults:?}");
+            assert!(b_pol_to_pole(&s, &m2), "B-POL 2 fails under {faults:?}");
+            assert!(b_pol_from_pole(&s, &m1, &m2), "B-POL 3 fails under {faults:?}");
+            assert!(b_pol_intra_pole(&s, &m1), "B-POL 4 (M1) fails under {faults:?}");
+            assert!(b_pol_intra_pole(&s, &m2), "B-POL 4 (M2) fails under {faults:?}");
+            // Lemma 18: B-POL 1..4 ⇒ (4, t)
+            assert!(diameter_within(&s, 4));
+        }
+    }
+
+    #[test]
+    fn lemma_22_bidirectional_bipolar_satisfies_2b_pol_1_to_3() {
+        let g = gen::cycle(14).unwrap();
+        let b = BipolarRouting::build(&g, RoutingKind::Bidirectional).unwrap();
+        let (m1, m2) = (b.m1().to_vec(), b.m2().to_vec());
+        let m: Vec<Node> = m1.iter().chain(&m2).copied().collect();
+        for faults in fault_sets(14, 1) {
+            let s = b.routing().surviving(&faults);
+            // 2B-POL 1: every x outside M has a direct link into M
+            assert!(b_pol_to_pole(&s, &m), "2B-POL 1 fails under {faults:?}");
+            assert!(b_pol_intra_pole(&s, &m1), "2B-POL 2 (M1) fails under {faults:?}");
+            assert!(b_pol_intra_pole(&s, &m2), "2B-POL 2 (M2) fails under {faults:?}");
+            assert!(b_pol_cross(&s, &m1, &m2), "2B-POL 3 fails under {faults:?}");
+            // Lemma 21: 2B-POL 1..3 ⇒ (5, t)
+            assert!(diameter_within(&s, 5));
+        }
+    }
+
+    #[test]
+    fn dist_mirrors_surviving_distance() {
+        let g = gen::cycle(14).unwrap();
+        let b = BipolarRouting::build(&g, RoutingKind::Bidirectional).unwrap();
+        let faults = NodeSet::from_nodes(14, [2]);
+        let s = b.routing().surviving(&faults);
+        assert_eq!(dist(&s, 0, 2), INFINITY, "faulty endpoint");
+        assert_eq!(dist(&s, 0, 1), s.distance(0, 1));
+    }
+}

@@ -1,0 +1,485 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use ftr_graph::{Graph, GraphError, Node, NodeSet, Path};
+
+use crate::RoutingError;
+
+/// Whether a routing fixes one path per ordered pair independently, or
+/// the same path for both directions of every pair.
+///
+/// The paper proves different bounds for the two kinds: e.g. the bipolar
+/// construction is (4, t)-tolerant unidirectionally but (5, t)-tolerant
+/// bidirectionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RoutingKind {
+    /// `ρ(x, y)` and `ρ(y, x)` are independent routes.
+    Unidirectional,
+    /// `ρ(x, y)` and `ρ(y, x)` always use the same path.
+    Bidirectional,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+struct RouteRef {
+    path: u32,
+    forward: bool,
+}
+
+/// A routing table: a partial function assigning at most one fixed simple
+/// path to each ordered pair of nodes (the paper's "miserly routing
+/// function").
+///
+/// Paths are stored once in an arena; a bidirectional pair shares one
+/// arena entry for both directions, which makes the "same path in both
+/// directions" invariant structural. Inserting a *different* path for an
+/// already-routed pair is an error; re-inserting the identical path is
+/// idempotent (the constructions re-derive direct-edge routes in several
+/// components).
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{Routing, RoutingKind};
+/// use ftr_graph::Path;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut r = Routing::new(5, RoutingKind::Bidirectional);
+/// r.insert(Path::new(vec![0, 2, 4])?)?;
+/// assert_eq!(r.route(0, 4).unwrap().nodes(), vec![0, 2, 4]);
+/// assert_eq!(r.route(4, 0).unwrap().nodes(), vec![4, 2, 0]);
+/// assert!(r.route(0, 3).is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Routing {
+    n: usize,
+    kind: RoutingKind,
+    paths: Vec<Path>,
+    table: HashMap<(Node, Node), RouteRef>,
+}
+
+impl Routing {
+    /// Creates an empty routing for graphs on `n` nodes.
+    pub fn new(n: usize, kind: RoutingKind) -> Self {
+        Routing {
+            n,
+            kind,
+            paths: Vec::new(),
+            table: HashMap::new(),
+        }
+    }
+
+    /// The node count this routing was built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this routing is uni- or bidirectional.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// Number of routed ordered pairs.
+    pub fn route_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of distinct stored paths (bidirectional pairs share one).
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Inserts `path` as the route from its source to its target; for a
+    /// [`RoutingKind::Bidirectional`] routing the reverse direction is
+    /// registered on the same path.
+    ///
+    /// Re-inserting an identical route is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoutingError::RouteConflict`] if a different route already
+    ///   exists for the pair (in either direction, when bidirectional).
+    /// * [`RoutingError::Graph`] for single-node paths (`src == dst`) or
+    ///   nodes outside `0..n`.
+    pub fn insert(&mut self, path: Path) -> Result<(), RoutingError> {
+        let (src, dst) = (path.source(), path.target());
+        if src == dst {
+            return Err(RoutingError::Graph(GraphError::NonSimplePath { node: src }));
+        }
+        for &v in path.nodes() {
+            if v as usize >= self.n {
+                return Err(RoutingError::Graph(GraphError::NodeOutOfRange {
+                    node: v,
+                    n: self.n,
+                }));
+            }
+        }
+        // Check both directions before mutating anything.
+        let directions: &[(Node, Node, bool)] = match self.kind {
+            RoutingKind::Unidirectional => &[(src, dst, true)],
+            RoutingKind::Bidirectional => &[(src, dst, true), (dst, src, false)],
+        };
+        let mut fresh = false;
+        for &(a, b, forward) in directions {
+            match self.table.get(&(a, b)) {
+                Some(&existing) => {
+                    if !self.matches(existing, &path, forward) {
+                        return Err(RoutingError::RouteConflict { src: a, dst: b });
+                    }
+                }
+                None => fresh = true,
+            }
+        }
+        if !fresh {
+            return Ok(()); // fully idempotent re-insert
+        }
+        let idx = self.paths.len() as u32;
+        self.paths.push(path);
+        for &(a, b, forward) in directions {
+            self.table
+                .entry((a, b))
+                .or_insert(RouteRef { path: idx, forward });
+        }
+        Ok(())
+    }
+
+    fn matches(&self, rref: RouteRef, path: &Path, forward: bool) -> bool {
+        let stored = &self.paths[rref.path as usize];
+        if stored.len() != path.len() {
+            return false;
+        }
+        if rref.forward == forward {
+            stored.nodes() == path.nodes()
+        } else {
+            stored.nodes().iter().rev().eq(path.nodes().iter())
+        }
+    }
+
+    /// The route from `src` to `dst`, if one is defined.
+    pub fn route(&self, src: Node, dst: Node) -> Option<RouteView<'_>> {
+        self.table.get(&(src, dst)).map(|&r| RouteView {
+            path: &self.paths[r.path as usize],
+            forward: r.forward,
+        })
+    }
+
+    /// Iterates over all routed pairs and their routes.
+    pub fn routes(&self) -> impl Iterator<Item = (Node, Node, RouteView<'_>)> + '_ {
+        self.table.iter().map(move |(&(s, d), &r)| {
+            (
+                s,
+                d,
+                RouteView {
+                    path: &self.paths[r.path as usize],
+                    forward: r.forward,
+                },
+            )
+        })
+    }
+
+    /// Checks the routing against `g`: every route must be a simple path
+    /// of `g`, endpoints must match the table keys, and a bidirectional
+    /// routing must pair every direction.
+    ///
+    /// The constructions call this after building; it mechanically
+    /// verifies the paper's "at most one route between each pair" and
+    /// bidirectionality claims on every graph tested.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found as a [`RoutingError`].
+    pub fn validate(&self, g: &Graph) -> Result<(), RoutingError> {
+        if g.node_count() != self.n {
+            return Err(RoutingError::property(format!(
+                "routing built for {} nodes, graph has {}",
+                self.n,
+                g.node_count()
+            )));
+        }
+        for p in &self.paths {
+            p.validate_in(g)?;
+        }
+        for (&(s, d), &r) in &self.table {
+            let view = RouteView {
+                path: &self.paths[r.path as usize],
+                forward: r.forward,
+            };
+            if view.source() != s || view.target() != d {
+                return Err(RoutingError::property(format!(
+                    "table entry ({s}, {d}) stores a route {} -> {}",
+                    view.source(),
+                    view.target()
+                )));
+            }
+            if self.kind == RoutingKind::Bidirectional && !self.table.contains_key(&(d, s)) {
+                return Err(RoutingError::property(format!(
+                    "bidirectional routing lacks the reverse of ({s}, {d})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics of the route table.
+    pub fn stats(&self) -> RoutingStats {
+        let mut max_len = 0;
+        let mut total_len = 0usize;
+        for p in &self.paths {
+            max_len = max_len.max(p.len());
+        }
+        for (_, _, view) in self.routes() {
+            total_len += view.len();
+        }
+        RoutingStats {
+            routes: self.table.len(),
+            stored_paths: self.paths.len(),
+            max_route_len: max_len,
+            mean_route_len: if self.table.is_empty() {
+                0.0
+            } else {
+                total_len as f64 / self.table.len() as f64
+            },
+        }
+    }
+}
+
+impl fmt::Debug for Routing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Routing")
+            .field("n", &self.n)
+            .field("kind", &self.kind)
+            .field("routes", &self.table.len())
+            .finish()
+    }
+}
+
+/// A borrowed view of one route, oriented from its source to its target.
+#[derive(Clone, Copy)]
+pub struct RouteView<'a> {
+    path: &'a Path,
+    forward: bool,
+}
+
+impl<'a> RouteView<'a> {
+    /// Crate-internal constructor used by [`crate::MultiRouting`].
+    pub(crate) fn from_parts(path: &'a Path, forward: bool) -> Self {
+        RouteView { path, forward }
+    }
+
+    /// First node of the route in travel order.
+    pub fn source(&self) -> Node {
+        if self.forward {
+            self.path.source()
+        } else {
+            self.path.target()
+        }
+    }
+
+    /// Last node of the route in travel order.
+    pub fn target(&self) -> Node {
+        if self.forward {
+            self.path.target()
+        } else {
+            self.path.source()
+        }
+    }
+
+    /// Number of edges.
+    #[allow(clippy::len_without_is_empty)] // routes are never empty
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The node sequence in travel order (allocates).
+    pub fn nodes(&self) -> Vec<Node> {
+        if self.forward {
+            self.path.nodes().to_vec()
+        } else {
+            self.path.nodes().iter().rev().copied().collect()
+        }
+    }
+
+    /// Returns `true` if any node of the route is in `faults` — the
+    /// route is *affected* and drops out of the surviving graph.
+    pub fn is_affected_by(&self, faults: &NodeSet) -> bool {
+        self.path.is_affected_by(faults)
+    }
+
+    /// Returns `true` if `v` lies on the route.
+    pub fn contains(&self, v: Node) -> bool {
+        self.path.contains(v)
+    }
+
+    /// The underlying stored path (in storage orientation, which may be
+    /// the reverse of travel order).
+    pub fn as_stored_path(&self) -> &'a Path {
+        self.path
+    }
+
+    /// An owned copy of the route in travel order.
+    pub fn to_path(&self) -> Path {
+        if self.forward {
+            self.path.clone()
+        } else {
+            self.path.reversed()
+        }
+    }
+}
+
+impl fmt::Debug for RouteView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RouteView({})", self.to_path())
+    }
+}
+
+/// Summary statistics returned by [`Routing::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingStats {
+    /// Routed ordered pairs.
+    pub routes: usize,
+    /// Distinct stored paths.
+    pub stored_paths: usize,
+    /// Longest route, in edges.
+    pub max_route_len: usize,
+    /// Mean route length over ordered pairs, in edges.
+    pub mean_route_len: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(nodes: &[Node]) -> Path {
+        Path::new(nodes.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn unidirectional_insert_and_lookup() {
+        let mut r = Routing::new(4, RoutingKind::Unidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        let v = r.route(0, 3).unwrap();
+        assert_eq!(v.nodes(), vec![0, 1, 3]);
+        assert_eq!(v.len(), 2);
+        assert!(r.route(3, 0).is_none(), "unidirectional: no reverse");
+        assert_eq!(r.route_count(), 1);
+    }
+
+    #[test]
+    fn bidirectional_insert_registers_both_directions() {
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        assert_eq!(r.route(0, 3).unwrap().nodes(), vec![0, 1, 3]);
+        assert_eq!(r.route(3, 0).unwrap().nodes(), vec![3, 1, 0]);
+        assert_eq!(r.route_count(), 2);
+        assert_eq!(r.path_count(), 1, "one arena entry for both directions");
+    }
+
+    #[test]
+    fn conflicting_route_rejected() {
+        let mut r = Routing::new(4, RoutingKind::Unidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        assert_eq!(
+            r.insert(path(&[0, 2, 3])),
+            Err(RoutingError::RouteConflict { src: 0, dst: 3 })
+        );
+    }
+
+    #[test]
+    fn identical_reinsert_is_idempotent() {
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        r.insert(path(&[0, 1, 3])).unwrap();
+        r.insert(path(&[3, 1, 0])).unwrap(); // same path, other direction
+        assert_eq!(r.route_count(), 2);
+        assert_eq!(r.path_count(), 1, "idempotent inserts do not grow the arena");
+    }
+
+    #[test]
+    fn bidirectional_reverse_conflict_detected() {
+        let mut r = Routing::new(5, RoutingKind::Bidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        // A different path for (3, 0) clashes with the registered reverse.
+        assert_eq!(
+            r.insert(path(&[3, 2, 0])),
+            Err(RoutingError::RouteConflict { src: 3, dst: 0 })
+        );
+    }
+
+    #[test]
+    fn unidirectional_directions_are_independent() {
+        let mut r = Routing::new(5, RoutingKind::Unidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        r.insert(path(&[3, 2, 0])).unwrap();
+        assert_eq!(r.route(0, 3).unwrap().nodes(), vec![0, 1, 3]);
+        assert_eq!(r.route(3, 0).unwrap().nodes(), vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_trivial_paths() {
+        let mut r = Routing::new(3, RoutingKind::Unidirectional);
+        assert!(matches!(
+            r.insert(path(&[0, 5])),
+            Err(RoutingError::Graph(GraphError::NodeOutOfRange { .. }))
+        ));
+        assert!(matches!(
+            r.insert(Path::new(vec![1]).unwrap()),
+            Err(RoutingError::Graph(GraphError::NonSimplePath { .. }))
+        ));
+    }
+
+    #[test]
+    fn route_view_fault_queries() {
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        let v = r.route(3, 0).unwrap();
+        assert!(v.is_affected_by(&NodeSet::from_nodes(4, [1])));
+        assert!(v.is_affected_by(&NodeSet::from_nodes(4, [3])));
+        assert!(!v.is_affected_by(&NodeSet::from_nodes(4, [2])));
+        assert!(v.contains(1));
+        assert_eq!(v.to_path().nodes(), &[3, 1, 0]);
+    }
+
+    #[test]
+    fn validate_against_graph() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 3)]).unwrap();
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        r.insert(path(&[0, 1, 3])).unwrap();
+        r.validate(&g).unwrap();
+
+        let mut bad = Routing::new(4, RoutingKind::Bidirectional);
+        bad.insert(path(&[0, 2, 3])).unwrap(); // 0-2 is not an edge
+        assert!(matches!(
+            bad.validate(&g),
+            Err(RoutingError::Graph(GraphError::MissingEdge { .. }))
+        ));
+
+        let wrong_n = Routing::new(7, RoutingKind::Bidirectional);
+        assert!(wrong_n.validate(&g).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_routes() {
+        let mut r = Routing::new(6, RoutingKind::Bidirectional);
+        r.insert(path(&[0, 1])).unwrap();
+        r.insert(path(&[0, 2, 3, 4])).unwrap();
+        let s = r.stats();
+        assert_eq!(s.routes, 4);
+        assert_eq!(s.stored_paths, 2);
+        assert_eq!(s.max_route_len, 3);
+        assert!((s.mean_route_len - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routes_iterator_covers_table() {
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        r.insert(path(&[0, 1])).unwrap();
+        r.insert(path(&[2, 3])).unwrap();
+        let mut pairs: Vec<(Node, Node)> = r.routes().map(|(s, d, _)| (s, d)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+    }
+}

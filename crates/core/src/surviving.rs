@@ -1,0 +1,219 @@
+use ftr_graph::{DiGraph, Node, NodeSet, INFINITY};
+
+use crate::{MultiRouting, Routing};
+
+/// Anything that can produce a surviving route graph under a fault set.
+///
+/// Implemented by [`Routing`] (one route per ordered pair) and
+/// [`MultiRouting`] (Section 6's parallel routes). The tolerance
+/// verifier is generic over this trait.
+pub trait RouteTable {
+    /// Node count of the underlying network.
+    fn node_count(&self) -> usize;
+
+    /// Builds the surviving route graph `R(G, ρ)/F`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `faults` was sized for a different node
+    /// count.
+    fn surviving(&self, faults: &NodeSet) -> SurvivingGraph;
+}
+
+/// The surviving route graph `R(G, ρ)/F`: all non-faulty nodes, with an
+/// arc `x → y` iff `ρ(x, y)` exists and no node of that route is faulty.
+///
+/// For a bidirectional routing the arc set is symmetric; it is kept as a
+/// directed graph uniformly.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{RouteTable, Routing, RoutingKind};
+/// use ftr_graph::{NodeSet, Path};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut r = Routing::new(4, RoutingKind::Bidirectional);
+/// r.insert(Path::new(vec![0, 1, 2])?)?; // route 0 <-> 2 through 1
+/// r.insert(Path::new(vec![1, 2])?)?;
+/// let survivors = r.surviving(&NodeSet::from_nodes(4, [1]));
+/// assert!(!survivors.has_edge(0, 2), "node 1 failed, route affected");
+/// assert!(!survivors.has_edge(1, 2), "faulty endpoints drop out");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurvivingGraph {
+    digraph: DiGraph,
+    faults: NodeSet,
+}
+
+impl SurvivingGraph {
+    fn from_routes(
+        n: usize,
+        faults: &NodeSet,
+        routes: impl Iterator<Item = (Node, Node, bool)>,
+    ) -> Self {
+        assert_eq!(
+            faults.capacity(),
+            n,
+            "fault set capacity must equal the routing's node count"
+        );
+        let mut digraph = DiGraph::new(n);
+        for (src, dst, survives) in routes {
+            if survives && !faults.contains(src) && !faults.contains(dst) {
+                digraph
+                    .add_arc(src, dst)
+                    .expect("route endpoints are valid distinct nodes");
+            }
+        }
+        SurvivingGraph {
+            digraph,
+            faults: faults.clone(),
+        }
+    }
+
+    /// The directed graph of surviving routes.
+    pub fn digraph(&self) -> &DiGraph {
+        &self.digraph
+    }
+
+    /// The fault set this surviving graph was built under.
+    pub fn faults(&self) -> &NodeSet {
+        &self.faults
+    }
+
+    /// Number of surviving (non-faulty) nodes.
+    pub fn surviving_count(&self) -> usize {
+        self.digraph.node_count() - self.faults.len()
+    }
+
+    /// Returns `true` if the route `x → y` survived.
+    pub fn has_edge(&self, x: Node, y: Node) -> bool {
+        self.digraph.has_arc(x, y)
+    }
+
+    /// Distance from `x` to `y` in the surviving graph, or [`INFINITY`].
+    ///
+    /// Faulty endpoints yield [`INFINITY`].
+    pub fn distance(&self, x: Node, y: Node) -> u32 {
+        if self.faults.contains(x) || self.faults.contains(y) {
+            return INFINITY;
+        }
+        self.digraph.bfs_distances(x, Some(&self.faults))[y as usize]
+    }
+
+    /// The diameter over all ordered pairs of surviving nodes, or `None`
+    /// if some surviving node cannot reach another — the paper's
+    /// figure of merit.
+    pub fn diameter(&self) -> Option<u32> {
+        self.digraph.diameter(Some(&self.faults))
+    }
+}
+
+impl RouteTable for Routing {
+    fn node_count(&self) -> usize {
+        Routing::node_count(self)
+    }
+
+    fn surviving(&self, faults: &NodeSet) -> SurvivingGraph {
+        SurvivingGraph::from_routes(
+            Routing::node_count(self),
+            faults,
+            self.routes()
+                .map(|(s, d, view)| (s, d, !view.is_affected_by(faults))),
+        )
+    }
+}
+
+impl RouteTable for MultiRouting {
+    fn node_count(&self) -> usize {
+        MultiRouting::node_count(self)
+    }
+
+    fn surviving(&self, faults: &NodeSet) -> SurvivingGraph {
+        SurvivingGraph::from_routes(
+            MultiRouting::node_count(self),
+            faults,
+            self.route_bundles().map(|(s, d, views)| {
+                (s, d, views.iter().any(|v| !v.is_affected_by(faults)))
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingKind;
+    use ftr_graph::Path;
+
+    fn demo_routing() -> Routing {
+        // Square 0-1-2-3 with routes along the square plus a two-hop
+        // route 0 -> 2 through 1.
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            r.insert(Path::new(vec![a, b]).unwrap()).unwrap();
+        }
+        r.insert(Path::new(vec![0, 1, 2]).unwrap()).unwrap();
+        r
+    }
+
+    #[test]
+    fn no_faults_keeps_every_route() {
+        let r = demo_routing();
+        let s = r.surviving(&NodeSet::new(4));
+        assert_eq!(s.surviving_count(), 4);
+        assert!(s.has_edge(0, 2));
+        assert!(s.has_edge(2, 0));
+        assert_eq!(s.diameter(), Some(2)); // e.g. 1 -> 3 takes two routes
+    }
+
+    #[test]
+    fn fault_on_interior_kills_route_but_not_detour() {
+        let r = demo_routing();
+        let faults = NodeSet::from_nodes(4, [1]);
+        let s = r.surviving(&faults);
+        assert!(!s.has_edge(0, 2), "route through faulty node 1 is affected");
+        assert!(s.has_edge(0, 3));
+        assert_eq!(s.distance(0, 2), 2); // 0 -> 3 -> 2
+        assert_eq!(s.diameter(), Some(2));
+    }
+
+    #[test]
+    fn fault_on_endpoint_removes_node() {
+        let r = demo_routing();
+        let faults = NodeSet::from_nodes(4, [0]);
+        let s = r.surviving(&faults);
+        assert_eq!(s.surviving_count(), 3);
+        assert_eq!(s.distance(0, 2), INFINITY);
+        assert_eq!(s.diameter(), Some(2)); // path 1 - 2 - 3
+    }
+
+    #[test]
+    fn disconnection_yields_none() {
+        // Only route is 0 -> 1 -> 2; killing 1 strands 0 from 2.
+        let mut r = Routing::new(3, RoutingKind::Bidirectional);
+        r.insert(Path::new(vec![0, 1, 2]).unwrap()).unwrap();
+        r.insert(Path::new(vec![0, 1]).unwrap()).unwrap();
+        r.insert(Path::new(vec![1, 2]).unwrap()).unwrap();
+        let s = r.surviving(&NodeSet::from_nodes(3, [1]));
+        assert_eq!(s.diameter(), None);
+    }
+
+    #[test]
+    fn unidirectional_surviving_graph_is_asymmetric() {
+        let mut r = Routing::new(3, RoutingKind::Unidirectional);
+        r.insert(Path::new(vec![0, 1]).unwrap()).unwrap();
+        let s = r.surviving(&NodeSet::new(3));
+        assert!(s.has_edge(0, 1));
+        assert!(!s.has_edge(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn mismatched_fault_capacity_panics() {
+        let r = demo_routing();
+        let _ = r.surviving(&NodeSet::new(9));
+    }
+}

@@ -1,0 +1,554 @@
+//! The (d, f)-tolerance verifier: worst-case surviving diameter over
+//! fault sets.
+//!
+//! A routing is *(d, f)-tolerant* when every fault set of size at most
+//! `f` leaves a surviving route graph of diameter at most `d`. This
+//! module measures the worst case by three strategies:
+//!
+//! * [`FaultStrategy::Exhaustive`] — every fault set of size `<= f`
+//!   (exact; the default in tests and small experiments),
+//! * [`FaultStrategy::RandomSample`] — seeded uniform samples of size
+//!   exactly `f`,
+//! * [`FaultStrategy::Adversarial`] — route-load-guided greedy placement
+//!   followed by hill-climbing swaps (finds bad fault sets orders of
+//!   magnitude faster than sampling on large graphs; ablation A3
+//!   quantifies the gap).
+//!
+//! Enumeration parallelizes across OS threads with crossbeam's scoped
+//! threads.
+
+use std::fmt;
+
+use ftr_graph::{Node, NodeSet};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{RouteTable, ToleranceClaim};
+
+/// How fault sets are enumerated by [`verify_tolerance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStrategy {
+    /// Every fault set of size `0..=f`. Exact but combinatorial; meant
+    /// for `C(n, f)` up to a few million.
+    Exhaustive,
+    /// `trials` uniform fault sets of size exactly `f` drawn with the
+    /// given seed.
+    RandomSample {
+        /// Number of fault sets to draw.
+        trials: usize,
+        /// RNG seed (experiments record it for reproducibility).
+        seed: u64,
+    },
+    /// Greedy placement on the most route-loaded nodes plus
+    /// hill-climbing refinement, restarted `restarts` times.
+    Adversarial {
+        /// Independent restarts (the first is pure greedy, the rest are
+        /// randomized).
+        restarts: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl fmt::Display for FaultStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultStrategy::Exhaustive => write!(f, "exhaustive"),
+            FaultStrategy::RandomSample { trials, seed } => {
+                write!(f, "random({trials} trials, seed {seed})")
+            }
+            FaultStrategy::Adversarial { restarts, seed } => {
+                write!(f, "adversarial({restarts} restarts, seed {seed})")
+            }
+        }
+    }
+}
+
+/// Result of a tolerance measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToleranceReport {
+    /// The fault budget `f` that was exercised.
+    pub max_faults: usize,
+    /// Worst surviving diameter observed; `None` means some fault set
+    /// disconnected the surviving graph (infinite diameter).
+    pub worst_diameter: Option<u32>,
+    /// A fault set realizing the worst diameter.
+    pub worst_faults: Vec<Node>,
+    /// Number of fault sets evaluated.
+    pub sets_checked: u64,
+}
+
+impl ToleranceReport {
+    /// Returns `true` if the observed worst case satisfies `claim`
+    /// (every checked fault set of size `<= claim.faults` left diameter
+    /// `<= claim.diameter`).
+    ///
+    /// Only meaningful when the report was produced with
+    /// `max_faults >= claim.faults`.
+    pub fn satisfies(&self, claim: &ToleranceClaim) -> bool {
+        match self.worst_diameter {
+            Some(d) => d <= claim.diameter,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for ToleranceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.worst_diameter {
+            Some(d) => write!(
+                f,
+                "worst diameter {d} over {} fault sets (|F| <= {})",
+                self.sets_checked, self.max_faults
+            ),
+            None => write!(
+                f,
+                "DISCONNECTED by faults {:?} ({} sets checked)",
+                self.worst_faults, self.sets_checked
+            ),
+        }
+    }
+}
+
+/// Measures the worst surviving diameter of `table` over fault sets of
+/// size at most `f`, per `strategy`, using up to `threads` OS threads.
+///
+/// An observed disconnection (`worst_diameter == None`) dominates any
+/// finite diameter.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{verify_tolerance, FaultStrategy, KernelRouting};
+/// use ftr_graph::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::petersen();
+/// let kernel = KernelRouting::build(&g)?;
+/// let report = verify_tolerance(kernel.routing(), 2, FaultStrategy::Exhaustive, 2);
+/// assert!(report.satisfies(&kernel.claim_theorem_3()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_tolerance<T: RouteTable + Sync>(
+    table: &T,
+    f: usize,
+    strategy: FaultStrategy,
+    threads: usize,
+) -> ToleranceReport {
+    assert!(threads > 0, "at least one worker thread is required");
+    match strategy {
+        FaultStrategy::Exhaustive => exhaustive(table, f, threads),
+        FaultStrategy::RandomSample { trials, seed } => random(table, f, trials, seed, threads),
+        FaultStrategy::Adversarial { restarts, seed } => adversarial(table, f, restarts, seed),
+    }
+}
+
+/// Convenience wrapper: verifies a claim exhaustively and returns
+/// whether it held, along with the report.
+pub fn check_claim<T: RouteTable + Sync>(
+    table: &T,
+    claim: &ToleranceClaim,
+    threads: usize,
+) -> (bool, ToleranceReport) {
+    let report = verify_tolerance(table, claim.faults, FaultStrategy::Exhaustive, threads);
+    let ok = report.satisfies(claim);
+    (ok, report)
+}
+
+/// Shared worst-case accumulator. Disconnection (None) beats any finite
+/// diameter; ties keep the first fault set found.
+struct Worst {
+    diameter: Option<u32>, // None = not yet measured... see `measured`
+    disconnected: bool,
+    faults: Vec<Node>,
+    sets: u64,
+    measured: bool,
+}
+
+impl Worst {
+    fn new() -> Self {
+        Worst {
+            diameter: Some(0),
+            disconnected: false,
+            faults: Vec::new(),
+            sets: 0,
+            measured: false,
+        }
+    }
+
+    fn update(&mut self, diameter: Option<u32>, faults: &NodeSet) {
+        self.sets += 1;
+        let better = match (self.disconnected, diameter) {
+            (true, _) => false,
+            (false, None) => true,
+            (false, Some(d)) => !self.measured || d > self.diameter.unwrap_or(0),
+        };
+        if better {
+            self.diameter = diameter;
+            self.disconnected = diameter.is_none();
+            self.faults = faults.iter().collect();
+        }
+        self.measured = true;
+    }
+
+    fn merge(&mut self, other: Worst) {
+        self.sets += other.sets;
+        if !other.measured {
+            return;
+        }
+        let better = match (self.disconnected, other.disconnected) {
+            (true, _) => false,
+            (false, true) => true,
+            (false, false) => {
+                !self.measured || other.diameter.unwrap_or(0) > self.diameter.unwrap_or(0)
+            }
+        };
+        if better {
+            self.diameter = other.diameter;
+            self.disconnected = other.disconnected;
+            self.faults = other.faults;
+        }
+        self.measured = true;
+    }
+
+    fn into_report(self, f: usize) -> ToleranceReport {
+        ToleranceReport {
+            max_faults: f,
+            worst_diameter: if self.disconnected { None } else { self.diameter },
+            worst_faults: self.faults,
+            sets_checked: self.sets,
+        }
+    }
+}
+
+fn evaluate<T: RouteTable>(table: &T, faults: &NodeSet) -> Option<u32> {
+    table.surviving(faults).diameter()
+}
+
+fn exhaustive<T: RouteTable + Sync>(table: &T, f: usize, threads: usize) -> ToleranceReport {
+    let n = table.node_count();
+    let f = f.min(n);
+    let global = Mutex::new(Worst::new());
+
+    // Evaluate the empty fault set once.
+    {
+        let empty = NodeSet::new(n);
+        let d = evaluate(table, &empty);
+        global.lock().update(d, &empty);
+    }
+    if f == 0 {
+        return global.into_inner().into_report(f);
+    }
+
+    // Partition work by the first (smallest) fault node; each worker
+    // enumerates all subsets of `first+1..n` of size `k-1` on top.
+    let first_nodes: Vec<Node> = (0..n as Node).collect();
+    let next = Mutex::new(0usize);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| {
+                let mut local = Worst::new();
+                loop {
+                    let idx = {
+                        let mut guard = next.lock();
+                        let i = *guard;
+                        *guard += 1;
+                        i
+                    };
+                    if idx >= first_nodes.len() {
+                        break;
+                    }
+                    let first = first_nodes[idx];
+                    let mut faults = NodeSet::new(n);
+                    faults.insert(first);
+                    let d = evaluate(table, &faults);
+                    local.update(d, &faults);
+                    if f >= 2 {
+                        let rest: Vec<Node> = (first + 1..n as Node).collect();
+                        enumerate_on_top(table, &mut faults, &rest, 0, f - 1, &mut local);
+                    }
+                }
+                global.lock().merge(local);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    global.into_inner().into_report(f)
+}
+
+/// Recursively extends `faults` with members of `pool[start..]`, up to
+/// `budget` more nodes, evaluating every intermediate set.
+fn enumerate_on_top<T: RouteTable>(
+    table: &T,
+    faults: &mut NodeSet,
+    pool: &[Node],
+    start: usize,
+    budget: usize,
+    worst: &mut Worst,
+) {
+    if budget == 0 {
+        return;
+    }
+    for i in start..pool.len() {
+        faults.insert(pool[i]);
+        let d = evaluate(table, faults);
+        worst.update(d, faults);
+        enumerate_on_top(table, faults, pool, i + 1, budget - 1, worst);
+        faults.remove(pool[i]);
+    }
+}
+
+fn random<T: RouteTable + Sync>(
+    table: &T,
+    f: usize,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> ToleranceReport {
+    let n = table.node_count();
+    let f = f.min(n);
+    let global = Mutex::new(Worst::new());
+    let threads = threads.min(trials.max(1));
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..threads {
+            let global = &global;
+            scope.spawn(move |_| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                let share = trials / threads + usize::from(worker < trials % threads);
+                let mut local = Worst::new();
+                for _ in 0..share {
+                    let faults = sample_fault_set(n, f, &mut rng);
+                    let d = evaluate(table, &faults);
+                    local.update(d, &faults);
+                }
+                global.lock().merge(local);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    global.into_inner().into_report(f)
+}
+
+fn sample_fault_set(n: usize, f: usize, rng: &mut SmallRng) -> NodeSet {
+    let mut faults = NodeSet::new(n);
+    while faults.len() < f {
+        faults.insert(rng.gen_range(0..n) as Node);
+    }
+    faults
+}
+
+fn adversarial<T: RouteTable + Sync>(
+    table: &T,
+    f: usize,
+    restarts: usize,
+    seed: u64,
+) -> ToleranceReport {
+    let n = table.node_count();
+    let f = f.min(n);
+    let mut worst = Worst::new();
+    // Route load: how many surviving-graph arcs each node's failure
+    // would erase (computed on the fault-free table).
+    let empty = NodeSet::new(n);
+    let mut load = vec![0u64; n];
+    {
+        let baseline = table.surviving(&empty);
+        for v in 0..n as Node {
+            let mut single = NodeSet::new(n);
+            single.insert(v);
+            let s = table.surviving(&single);
+            load[v as usize] =
+                (baseline.digraph().arc_count() - s.digraph().arc_count()) as u64;
+        }
+    }
+    let mut by_load: Vec<Node> = (0..n as Node).collect();
+    by_load.sort_by_key(|&v| std::cmp::Reverse(load[v as usize]));
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for restart in 0..restarts.max(1) {
+        let mut faults = if restart == 0 {
+            // Pure greedy: the f most loaded nodes.
+            NodeSet::from_nodes(n, by_load.iter().take(f).copied())
+        } else {
+            // Randomized greedy: sample biased toward loaded nodes.
+            let mut set = NodeSet::new(n);
+            while set.len() < f.min(n) {
+                let pick = by_load[rng.gen_range(0..n.min(2 * f + restart)).min(n - 1)];
+                set.insert(pick);
+            }
+            set
+        };
+        let mut current = evaluate(table, &faults);
+        worst.update(current, &faults);
+        // Hill climbing: try single-node swaps that worsen the diameter.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            let members: Vec<Node> = faults.iter().collect();
+            'swap: for &out in &members {
+                for inn in 0..n as Node {
+                    if faults.contains(inn) {
+                        continue;
+                    }
+                    faults.remove(out);
+                    faults.insert(inn);
+                    let cand = evaluate(table, &faults);
+                    worst.update(cand, &faults);
+                    if strictly_worse(current, cand) {
+                        current = cand;
+                        improved = true;
+                        break 'swap;
+                    }
+                    faults.remove(inn);
+                    faults.insert(out);
+                }
+            }
+            if current.is_none() {
+                break; // disconnection found: cannot get worse
+            }
+        }
+    }
+    worst.into_report(f)
+}
+
+/// Is `cand` a strictly worse (larger) surviving diameter than `cur`?
+fn strictly_worse(cur: Option<u32>, cand: Option<u32>) -> bool {
+    match (cur, cand) {
+        (Some(_), None) => true,
+        (Some(a), Some(b)) => b > a,
+        (None, _) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelRouting, Routing, RoutingKind};
+    use ftr_graph::{gen, Path};
+
+    fn ring_routing(n: usize) -> Routing {
+        let mut r = Routing::new(n, RoutingKind::Bidirectional);
+        for u in 0..n as Node {
+            r.insert(Path::edge(u, (u + 1) % n as Node).unwrap()).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn exhaustive_counts_all_subsets() {
+        let r = ring_routing(6);
+        let report = verify_tolerance(&r, 2, FaultStrategy::Exhaustive, 2);
+        // C(6,0) + C(6,1) + C(6,2) = 1 + 6 + 15
+        assert_eq!(report.sets_checked, 22);
+    }
+
+    #[test]
+    fn exhaustive_zero_budget_checks_only_the_empty_set() {
+        let r = ring_routing(6);
+        let report = verify_tolerance(&r, 0, FaultStrategy::Exhaustive, 2);
+        assert_eq!(report.sets_checked, 1);
+        assert_eq!(report.worst_diameter, Some(3), "fault-free C6 diameter");
+    }
+
+    #[test]
+    fn exhaustive_finds_the_disconnecting_pair() {
+        // Ring of 6 with only edge routes: any two non-adjacent faults
+        // disconnect it (two faults at ring-distance 2 isolate the node
+        // between them; opposite faults split the ring in half).
+        let r = ring_routing(6);
+        let report = verify_tolerance(&r, 2, FaultStrategy::Exhaustive, 4);
+        assert_eq!(report.worst_diameter, None);
+        assert_eq!(report.worst_faults.len(), 2);
+        let (a, b) = (report.worst_faults[0], report.worst_faults[1]);
+        let gap = (b + 6 - a) % 6;
+        assert!(gap != 1 && gap != 5, "adjacent faults keep C6 connected");
+    }
+
+    #[test]
+    fn exhaustive_single_fault_diameter_on_ring() {
+        let r = ring_routing(5);
+        let report = verify_tolerance(&r, 1, FaultStrategy::Exhaustive, 1);
+        // one fault turns C5 into P4: diameter 3
+        assert_eq!(report.worst_diameter, Some(3));
+        assert_eq!(report.sets_checked, 6);
+    }
+
+    #[test]
+    fn threads_agree_with_single_thread() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let a = verify_tolerance(kernel.routing(), 2, FaultStrategy::Exhaustive, 1);
+        let b = verify_tolerance(kernel.routing(), 2, FaultStrategy::Exhaustive, 4);
+        assert_eq!(a.worst_diameter, b.worst_diameter);
+        assert_eq!(a.sets_checked, b.sets_checked);
+    }
+
+    #[test]
+    fn random_sampling_is_reproducible() {
+        let r = ring_routing(8);
+        let s = FaultStrategy::RandomSample { trials: 50, seed: 7 };
+        let a = verify_tolerance(&r, 2, s, 2);
+        let b = verify_tolerance(&r, 2, s, 2);
+        assert_eq!(a.worst_diameter, b.worst_diameter);
+        assert_eq!(a.sets_checked, 50);
+    }
+
+    #[test]
+    fn random_never_exceeds_exhaustive() {
+        let r = ring_routing(7);
+        let ex = verify_tolerance(&r, 2, FaultStrategy::Exhaustive, 2);
+        let rs = verify_tolerance(
+            &r,
+            2,
+            FaultStrategy::RandomSample { trials: 30, seed: 3 },
+            2,
+        );
+        let worse = match (ex.worst_diameter, rs.worst_diameter) {
+            (None, _) => false,
+            (Some(a), Some(b)) => b > a,
+            (Some(_), None) => true,
+        };
+        assert!(!worse, "sampling cannot beat the exhaustive worst case");
+    }
+
+    #[test]
+    fn adversarial_finds_ring_disconnection() {
+        let r = ring_routing(10);
+        let report = verify_tolerance(
+            &r,
+            2,
+            FaultStrategy::Adversarial { restarts: 3, seed: 1 },
+            1,
+        );
+        assert_eq!(
+            report.worst_diameter, None,
+            "hill climbing should cut the bare ring"
+        );
+    }
+
+    #[test]
+    fn claim_checking() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let (ok, report) = check_claim(kernel.routing(), &kernel.claim_theorem_3(), 2);
+        assert!(ok, "{report}");
+        // An absurd claim fails.
+        let absurd = ToleranceClaim { diameter: 0, faults: 2 };
+        let (ok, _) = check_claim(kernel.routing(), &absurd, 2);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn report_display() {
+        let r = ring_routing(5);
+        let report = verify_tolerance(&r, 1, FaultStrategy::Exhaustive, 1);
+        let text = report.to_string();
+        assert!(text.contains("worst diameter 3"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests for the routing layer: route-table semantics
+//! against a model, surviving-graph definition checks, tree-routing
+//! audits and construction bounds on randomized networks.
+
+use std::collections::HashMap;
+
+use ftr_core::tree::{is_tree_routing, tree_routing};
+use ftr_core::{
+    verify_tolerance, FaultStrategy, KernelRouting, MultiRouting, RouteTable, Routing,
+    RoutingError, RoutingKind,
+};
+use ftr_graph::{connectivity, gen, Graph, Node, NodeSet, Path};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ Route table
+
+/// Random simple path over nodes `0..n`.
+fn simple_path(n: Node) -> impl Strategy<Value = Path> {
+    prop::collection::btree_set(0..n, 2..6).prop_flat_map(|set| {
+        let nodes: Vec<Node> = set.into_iter().collect();
+        Just(nodes).prop_shuffle().prop_map(|nodes| {
+            Path::new(nodes).expect("distinct nodes form a simple path")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn routing_matches_hashmap_model_unidirectional(
+        paths in prop::collection::vec(simple_path(16), 0..40)
+    ) {
+        let mut routing = Routing::new(16, RoutingKind::Unidirectional);
+        let mut model: HashMap<(Node, Node), Vec<Node>> = HashMap::new();
+        for p in paths {
+            let key = (p.source(), p.target());
+            match model.get(&key) {
+                Some(existing) if existing != p.nodes() => {
+                    prop_assert_eq!(
+                        routing.insert(p),
+                        Err(RoutingError::RouteConflict { src: key.0, dst: key.1 })
+                    );
+                }
+                _ => {
+                    routing.insert(p.clone()).expect("no conflict");
+                    model.insert(key, p.nodes().to_vec());
+                }
+            }
+        }
+        prop_assert_eq!(routing.route_count(), model.len());
+        for ((s, d), nodes) in &model {
+            let view = routing.route(*s, *d).expect("inserted");
+            prop_assert_eq!(&view.nodes(), nodes);
+        }
+    }
+
+    #[test]
+    fn bidirectional_reverse_is_always_the_same_path(
+        paths in prop::collection::vec(simple_path(16), 0..30)
+    ) {
+        let mut routing = Routing::new(16, RoutingKind::Bidirectional);
+        for p in paths {
+            let _ = routing.insert(p); // conflicts allowed; invariant must hold regardless
+        }
+        for (s, d, view) in routing.routes() {
+            let back = routing.route(d, s).expect("bidirectional closure");
+            let mut fwd = view.nodes();
+            fwd.reverse();
+            prop_assert_eq!(back.nodes(), fwd);
+        }
+    }
+
+    #[test]
+    fn surviving_graph_matches_definition(
+        paths in prop::collection::vec(simple_path(14), 1..25),
+        faults in prop::collection::btree_set(0u32..14, 0..5),
+    ) {
+        let mut routing = Routing::new(14, RoutingKind::Unidirectional);
+        for p in paths {
+            let _ = routing.insert(p);
+        }
+        let fs = NodeSet::from_nodes(14, faults.iter().copied());
+        let s = routing.surviving(&fs);
+        // definition: arc x -> y iff route exists, both endpoints alive,
+        // and no route node faulty
+        for x in 0..14u32 {
+            for y in 0..14u32 {
+                if x == y { continue; }
+                let expect = match routing.route(x, y) {
+                    Some(view) => {
+                        !fs.contains(x) && !fs.contains(y) && !view.is_affected_by(&fs)
+                    }
+                    None => false,
+                };
+                prop_assert_eq!(s.has_edge(x, y), expect, "pair ({}, {})", x, y);
+            }
+        }
+        prop_assert_eq!(s.surviving_count(), 14 - fs.len());
+    }
+
+    #[test]
+    fn multirouting_budget_is_enforced(
+        paths in prop::collection::vec(simple_path(12), 0..40),
+        budget in 1usize..4,
+    ) {
+        let mut m = MultiRouting::new(12, RoutingKind::Unidirectional, budget);
+        for p in paths {
+            let _ = m.insert(p);
+        }
+        for (_, _, views) in m.route_bundles() {
+            prop_assert!(views.len() <= budget);
+        }
+    }
+}
+
+// ------------------------------------------------------------ Tree routing
+
+fn connected_gnp() -> impl Strategy<Value = Graph> {
+    (6usize..20, 0u64..100_000, 3u32..8).prop_map(|(n, seed, dens)| {
+        gen::gnp(n, dens as f64 / 10.0, seed).expect("valid p")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_routing_output_always_audits_clean(
+        g in connected_gnp(),
+        picks in prop::collection::btree_set(1u32..20, 1..6),
+        k in 1usize..4,
+    ) {
+        let n = g.node_count();
+        let targets = NodeSet::from_nodes(
+            n,
+            picks.into_iter().filter(|&v| (v as usize) < n),
+        );
+        if targets.is_empty() {
+            return Ok(());
+        }
+        match tree_routing(&g, 0, &targets, k) {
+            Ok(paths) => {
+                prop_assert_eq!(paths.len(), k);
+                prop_assert!(is_tree_routing(&g, 0, &targets, &paths));
+            }
+            Err(RoutingError::InsufficientConnectivity { needed, found }) => {
+                prop_assert_eq!(needed, k);
+                prop_assert!(found < k);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+
+    #[test]
+    fn lemma_1_holds_for_built_tree_routings(
+        g in connected_gnp(),
+        faults in prop::collection::btree_set(1u32..20, 0..3),
+    ) {
+        // Build a tree routing with k = |faults| + 1 paths; if it exists,
+        // at least one path must dodge the faults (Lemma 1).
+        let n = g.node_count();
+        let kappa = connectivity::vertex_connectivity(&g);
+        prop_assume!(kappa >= 1);
+        let sep = match connectivity::min_separator(&g) {
+            Some(s) if !s.is_empty() => s,
+            _ => return Ok(()), // complete or disconnected
+        };
+        prop_assume!(!sep.contains(0));
+        let fs = NodeSet::from_nodes(n, faults.into_iter().filter(|&v| (v as usize) < n));
+        let k = fs.len() + 1;
+        if let Ok(paths) = tree_routing(&g, 0, &sep, k) {
+            prop_assert!(
+                paths.iter().any(|p| !p.is_affected_by(&fs)),
+                "Lemma 1 violated: {} faults killed {} disjoint paths",
+                fs.len(),
+                paths.len()
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------- Construction bounds
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernel_bound_on_random_harary_graphs(
+        k in 2usize..5,
+        extra in 2usize..10,
+        fault_seed in any::<u64>(),
+    ) {
+        let n = k + extra + (k * (k + extra)) % 2;
+        prop_assume!(n > k && !(k % 2 == 1 && n % 2 == 1));
+        let g = gen::harary(k, n).expect("valid");
+        let kernel = KernelRouting::build(&g).expect("connected");
+        let t = kernel.tolerated_faults();
+        prop_assert_eq!(t, k - 1);
+        // one random fault set of size t
+        let mut faults = NodeSet::new(n);
+        let mut x = fault_seed;
+        while faults.len() < t {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            faults.insert((x % n as u64) as Node);
+        }
+        let d = kernel.routing().surviving(&faults).diameter();
+        let claim = kernel.claim_theorem_3();
+        prop_assert!(
+            matches!(d, Some(d) if d <= claim.diameter),
+            "faults {:?} gave diameter {:?} > {}", faults, d, claim.diameter
+        );
+    }
+
+    #[test]
+    fn kernel_theorem_4_on_random_fault_halves(
+        k in 3usize..6,
+        extra in 2usize..8,
+        fault_seed in any::<u64>(),
+    ) {
+        let n = k + extra + (k * (k + extra)) % 2;
+        prop_assume!(n > k && !(k % 2 == 1 && n % 2 == 1));
+        let g = gen::harary(k, n).expect("valid");
+        let kernel = KernelRouting::build(&g).expect("connected");
+        let f = kernel.tolerated_faults() / 2;
+        let mut faults = NodeSet::new(n);
+        let mut x = fault_seed | 1;
+        while faults.len() < f {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            faults.insert((x % n as u64) as Node);
+        }
+        let d = kernel.routing().surviving(&faults).diameter();
+        prop_assert!(matches!(d, Some(d) if d <= 4), "Theorem 4 violated: {:?}", d);
+    }
+
+    #[test]
+    fn verifier_strategies_are_consistent(
+        k in 2usize..4,
+        extra in 2usize..8,
+    ) {
+        // Sampling and adversarial search can never exceed the
+        // exhaustive worst case.
+        let n = k + extra + (k * (k + extra)) % 2;
+        prop_assume!(n > k && !(k % 2 == 1 && n % 2 == 1));
+        let g = gen::harary(k, n).expect("valid");
+        let kernel = KernelRouting::build(&g).expect("connected");
+        let t = kernel.tolerated_faults();
+        let ex = verify_tolerance(kernel.routing(), t, FaultStrategy::Exhaustive, 2);
+        for strategy in [
+            FaultStrategy::RandomSample { trials: 30, seed: 5 },
+            FaultStrategy::Adversarial { restarts: 2, seed: 5 },
+        ] {
+            let other = verify_tolerance(kernel.routing(), t, strategy, 2);
+            let exceeds = match (ex.worst_diameter, other.worst_diameter) {
+                (None, _) => false,
+                (Some(a), Some(b)) => b > a,
+                (Some(_), None) => true,
+            };
+            prop_assert!(!exceeds, "{strategy:?} beat exhaustive");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Compile-time checks that the `serde` feature wires up `Serialize` /
+//! `Deserialize` on the routing types (C-SERDE). Run with
+//! `cargo test -p ftr-core --features serde`.
+#![cfg(feature = "serde")]
+
+use ftr_core::{Routing, RoutingKind};
+
+fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn routing_types_implement_serde() {
+    assert_serde::<Routing>();
+    assert_serde::<RoutingKind>();
+}

@@ -1,0 +1,444 @@
+//! Structural analysis: short cycles, independence, neighborhood sets
+//! (Lemma 15) and the two-trees property (Section 5).
+//!
+//! Two graph properties gate the paper's main constructions:
+//!
+//! * A **neighborhood set** — independent nodes with pairwise disjoint
+//!   neighbor sets — of size `K` enables the circular (`K ≥ t+1` or
+//!   `t+2`) and tri-circular (`K ≥ 6t+9`) routings. Lemma 15 shows the
+//!   greedy ball-removal algorithm finds one of size at least
+//!   `⌈n/(d²+1)⌉` when the maximum degree is `d`; [`neighborhood_set`]
+//!   implements exactly that algorithm.
+//! * The **two-trees property** — two roots whose depth-2 neighborhoods
+//!   form disjoint trees — enables the bipolar routings. A pair of roots
+//!   qualifies iff neither lies on a cycle of length 3 or 4 and their
+//!   distance is at least 5 ([`is_two_trees_pair`] checks the definition
+//!   directly; [`find_two_trees_roots`] searches using the cycle/distance
+//!   characterization).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{traversal, Graph, Node, NodeSet, INFINITY};
+
+/// Returns `true` if `nodes` are pairwise non-adjacent (and distinct).
+///
+/// # Panics
+///
+/// Panics if a node is out of range.
+pub fn is_independent_set(g: &Graph, nodes: &[Node]) -> bool {
+    let mut seen = NodeSet::new(g.node_count());
+    for &v in nodes {
+        assert!(
+            (v as usize) < g.node_count(),
+            "node {v} out of range for independence check"
+        );
+        if !seen.insert(v) {
+            return false;
+        }
+    }
+    for (i, &u) in nodes.iter().enumerate() {
+        for &v in &nodes[i + 1..] {
+            if g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if `nodes` form a *neighborhood set*: independent
+/// nodes whose neighbor sets Γ(m) are pairwise disjoint.
+///
+/// Equivalently, the nodes are pairwise at distance at least 3.
+///
+/// # Panics
+///
+/// Panics if a node is out of range.
+pub fn is_neighborhood_set(g: &Graph, nodes: &[Node]) -> bool {
+    if !is_independent_set(g, nodes) {
+        return false;
+    }
+    let mut claimed = NodeSet::new(g.node_count());
+    for &m in nodes {
+        for &x in g.neighbors(m) {
+            if !claimed.insert(x) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Node orderings for the greedy [`neighborhood_set`] algorithm.
+///
+/// Lemma 15's bound holds for *any* order; the choice only affects which
+/// maximal set is found (and, in practice, its size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionOrder {
+    /// Consider candidates in increasing node id (the paper's
+    /// "arbitrary" choice, made deterministic).
+    Ascending,
+    /// Consider low-degree candidates first; their balls are smaller, so
+    /// this usually yields larger sets.
+    MinDegreeFirst,
+    /// Uniformly random order under the given seed.
+    Random(u64),
+}
+
+/// Greedily builds a maximal neighborhood set (Lemma 15).
+///
+/// Starting from all nodes as candidates, repeatedly pick the next
+/// candidate `x` (per `order`), add it to the set, and discard every node
+/// within distance 2 of `x`. Each step discards at most `d² + 1` nodes,
+/// so the result has at least `⌈n/(d²+1)⌉` members — the bound verified
+/// by experiment E6.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::analysis::{self, SelectionOrder};
+/// use ftr_graph::gen;
+///
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = gen::hypercube(4)?;
+/// let m = analysis::neighborhood_set(&g, SelectionOrder::Ascending);
+/// assert!(analysis::is_neighborhood_set(&g, &m));
+/// let d = g.max_degree();
+/// assert!(m.len() >= g.node_count().div_ceil(d * d + 1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn neighborhood_set(g: &Graph, order: SelectionOrder) -> Vec<Node> {
+    let n = g.node_count();
+    let mut candidates: Vec<Node> = (0..n as Node).collect();
+    match order {
+        SelectionOrder::Ascending => {}
+        SelectionOrder::MinDegreeFirst => {
+            candidates.sort_by_key(|&v| g.degree(v));
+        }
+        SelectionOrder::Random(seed) => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for i in (1..candidates.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                candidates.swap(i, j);
+            }
+        }
+    }
+    let mut removed = NodeSet::new(n);
+    let mut set = Vec::new();
+    for x in candidates {
+        if removed.contains(x) {
+            continue;
+        }
+        set.push(x);
+        removed.insert(x);
+        for &y in g.neighbors(x) {
+            removed.insert(y);
+            for &z in g.neighbors(y) {
+                removed.insert(z);
+            }
+        }
+    }
+    set
+}
+
+/// The length of a shortest cycle through `v`, or `None` if `v` lies on
+/// no cycle.
+///
+/// Computed exactly: a cycle through `v` consists of two distinct edges
+/// at `v` plus a path between the corresponding neighbors avoiding `v`,
+/// so the answer is `2 + min over neighbor pairs of their distance in
+/// G − v`.
+///
+/// # Panics
+///
+/// Panics if `v` is not a node of `g`.
+pub fn shortest_cycle_through(g: &Graph, v: Node) -> Option<u32> {
+    assert!((v as usize) < g.node_count(), "node {v} out of range");
+    let nbrs = g.neighbors(v);
+    if nbrs.len() < 2 {
+        return None;
+    }
+    let avoid = NodeSet::from_nodes(g.node_count(), [v]);
+    let mut best = INFINITY;
+    for (i, &u) in nbrs.iter().enumerate() {
+        if best == 3 {
+            break; // a triangle is the minimum possible
+        }
+        let dist = traversal::bfs_distances(g, u, Some(&avoid));
+        for &w in &nbrs[i + 1..] {
+            let d = dist[w as usize];
+            if d != INFINITY {
+                best = best.min(d + 2);
+            }
+        }
+    }
+    (best != INFINITY).then_some(best)
+}
+
+/// Returns `true` if `v` lies on a cycle of length 3 or 4 — the
+/// disqualifying condition for two-trees roots (Lemma 24's Events 1–2).
+///
+/// # Panics
+///
+/// Panics if `v` is not a node of `g`.
+pub fn on_short_cycle(g: &Graph, v: Node) -> bool {
+    matches!(shortest_cycle_through(g, v), Some(c) if c <= 4)
+}
+
+/// The girth of `g` (length of its shortest cycle), or `None` for
+/// forests.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{analysis, gen};
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// assert_eq!(analysis::girth(&gen::petersen()), Some(5));
+/// assert_eq!(analysis::girth(&gen::hypercube(3)?), Some(4));
+/// assert_eq!(analysis::girth(&gen::path_graph(5)?), None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn girth(g: &Graph) -> Option<u32> {
+    let mut best = INFINITY;
+    for v in g.nodes() {
+        if best == 3 {
+            break;
+        }
+        if let Some(c) = shortest_cycle_through(g, v) {
+            best = best.min(c);
+        }
+    }
+    (best != INFINITY).then_some(best)
+}
+
+/// Checks the two-trees property for the specific roots `(r1, r2)` by
+/// the definition of Section 5: the sets Γ(r1), Γ(r2), Γ(x) − {r1} for
+/// every x ∈ Γ(r1), and Γ(y) − {r2} for every y ∈ Γ(r2) — together with
+/// the roots themselves — must all be disjoint, i.e. the depth-2
+/// neighborhoods of the roots form two disjoint trees.
+///
+/// # Panics
+///
+/// Panics if a root is out of range.
+pub fn is_two_trees_pair(g: &Graph, r1: Node, r2: Node) -> bool {
+    let n = g.node_count();
+    assert!((r1 as usize) < n && (r2 as usize) < n, "roots out of range");
+    if r1 == r2 {
+        return false;
+    }
+    let mut claimed = NodeSet::from_nodes(n, [r1, r2]);
+    if claimed.len() != 2 {
+        return false;
+    }
+    for (root, other) in [(r1, r2), (r2, r1)] {
+        // Γ(root) must be fresh...
+        for &x in g.neighbors(root) {
+            if x != other && !claimed.insert(x) {
+                return false;
+            }
+            if x == other {
+                return false; // adjacent roots share no disjoint trees
+            }
+        }
+        // ...and so must every Γ(x) − {root} for x ∈ Γ(root).
+        for &x in g.neighbors(root) {
+            for &y in g.neighbors(x) {
+                if y != root && !claimed.insert(y) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Searches for roots witnessing the two-trees property.
+///
+/// Candidates are nodes of degree ≥ 1 lying on no cycle of length ≤ 4;
+/// a pair of candidates at distance ≥ 5 is validated with
+/// [`is_two_trees_pair`] and returned. Returns `None` if no pair
+/// qualifies (in particular for dense graphs, matching the paper's
+/// density threshold discussion).
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{analysis, gen};
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = gen::cycle(12)?;
+/// let (r1, r2) = analysis::find_two_trees_roots(&g).expect("long cycles qualify");
+/// assert!(analysis::is_two_trees_pair(&g, r1, r2));
+/// assert!(analysis::find_two_trees_roots(&gen::complete(6)?).is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_two_trees_roots(g: &Graph) -> Option<(Node, Node)> {
+    let candidates: Vec<Node> = g
+        .nodes()
+        .filter(|&v| g.degree(v) >= 1 && !on_short_cycle(g, v))
+        .collect();
+    for (i, &r1) in candidates.iter().enumerate() {
+        let dist = traversal::bfs_distances(g, r1, None);
+        for &r2 in &candidates[i + 1..] {
+            let d = dist[r2 as usize];
+            if d >= 5 && is_two_trees_pair(g, r1, r2) {
+                return Some((r1, r2));
+            }
+        }
+    }
+    None
+}
+
+/// Histogram of node degrees: entry `d` counts nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn independence() {
+        let g = gen::cycle(6).unwrap();
+        assert!(is_independent_set(&g, &[0, 2, 4]));
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(!is_independent_set(&g, &[0, 0]));
+        assert!(is_independent_set(&g, &[]));
+    }
+
+    #[test]
+    fn neighborhood_set_definition() {
+        let g = gen::cycle(9).unwrap();
+        assert!(is_neighborhood_set(&g, &[0, 3, 6]));
+        // 0 and 2 share neighbor 1
+        assert!(!is_neighborhood_set(&g, &[0, 2]));
+        // adjacent nodes are not independent
+        assert!(!is_neighborhood_set(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn greedy_respects_lemma_15_bound() {
+        for g in [
+            gen::cycle(30).unwrap(),
+            gen::hypercube(5).unwrap(),
+            gen::torus(5, 6).unwrap(),
+            gen::petersen(),
+            gen::harary(4, 40).unwrap(),
+            gen::gnp(60, 0.05, 3).unwrap(),
+        ] {
+            let d = g.max_degree();
+            let n = g.node_count();
+            for order in [
+                SelectionOrder::Ascending,
+                SelectionOrder::MinDegreeFirst,
+                SelectionOrder::Random(11),
+            ] {
+                let m = neighborhood_set(&g, order);
+                assert!(is_neighborhood_set(&g, &m), "{g:?} {order:?}");
+                assert!(
+                    m.len() >= n.div_ceil(d * d + 1),
+                    "Lemma 15 bound violated on {g:?} with {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic_per_order() {
+        let g = gen::torus(6, 6).unwrap();
+        let a = neighborhood_set(&g, SelectionOrder::Random(5));
+        let b = neighborhood_set(&g, SelectionOrder::Random(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shortest_cycles() {
+        let g = gen::cycle(7).unwrap();
+        assert_eq!(shortest_cycle_through(&g, 0), Some(7));
+        let k4 = gen::complete(4).unwrap();
+        assert_eq!(shortest_cycle_through(&k4, 2), Some(3));
+        let p = gen::path_graph(5).unwrap();
+        assert_eq!(shortest_cycle_through(&p, 2), None);
+        let q3 = gen::hypercube(3).unwrap();
+        assert_eq!(shortest_cycle_through(&q3, 0), Some(4));
+    }
+
+    #[test]
+    fn short_cycle_detection() {
+        let k4 = gen::complete(4).unwrap();
+        assert!(on_short_cycle(&k4, 0));
+        let c5 = gen::cycle(5).unwrap();
+        assert!(!on_short_cycle(&c5, 0));
+        let q3 = gen::hypercube(3).unwrap();
+        assert!(on_short_cycle(&q3, 5));
+    }
+
+    #[test]
+    fn girth_known_values() {
+        assert_eq!(girth(&gen::petersen()), Some(5));
+        assert_eq!(girth(&gen::complete(5).unwrap()), Some(3));
+        assert_eq!(girth(&gen::cycle(11).unwrap()), Some(11));
+        assert_eq!(girth(&gen::hypercube(4).unwrap()), Some(4));
+        assert_eq!(girth(&gen::star(7).unwrap()), None);
+        assert_eq!(girth(&gen::cube_connected_cycles(3).unwrap()), Some(3));
+    }
+
+    #[test]
+    fn two_trees_on_long_cycle() {
+        let g = gen::cycle(10).unwrap();
+        assert!(is_two_trees_pair(&g, 0, 5));
+        assert!(!is_two_trees_pair(&g, 0, 4)); // distance 4: depth-2 balls meet
+        assert!(!is_two_trees_pair(&g, 0, 0));
+    }
+
+    #[test]
+    fn two_trees_rejects_short_cycles() {
+        // distance is fine but r1 sits on a triangle
+        let mut g = gen::cycle(12).unwrap();
+        g.add_edge(11, 1).unwrap(); // triangle 11-0-1
+        assert!(!is_two_trees_pair(&g, 0, 6));
+        assert!(is_two_trees_pair(&g, 3, 9));
+    }
+
+    #[test]
+    fn finder_agrees_with_checker() {
+        for g in [gen::cycle(14).unwrap(), gen::cube_connected_cycles(5).unwrap()] {
+            let (r1, r2) = find_two_trees_roots(&g).expect("girth >= 5 and diameter >= 5");
+            assert!(is_two_trees_pair(&g, r1, r2));
+        }
+    }
+
+    #[test]
+    fn finder_fails_on_dense_or_small_diameter_graphs() {
+        assert!(find_two_trees_roots(&gen::complete(8).unwrap()).is_none());
+        assert!(find_two_trees_roots(&gen::hypercube(4).unwrap()).is_none()); // 4-cycles everywhere
+        assert!(find_two_trees_roots(&gen::torus(5, 5).unwrap()).is_none()); // grid squares are 4-cycles
+        assert!(find_two_trees_roots(&gen::cycle(9).unwrap()).is_none()); // max distance 4
+    }
+
+    #[test]
+    fn finder_exhaustiveness_matches_brute_force_on_small_graphs() {
+        for seed in 0..10 {
+            let g = gen::gnp(18, 0.08, seed).unwrap();
+            let found = find_two_trees_roots(&g).is_some();
+            let brute = (0..18u32).any(|a| (0..18u32).any(|b| a != b && is_two_trees_pair(&g, a, b)));
+            assert_eq!(found, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = gen::star(5).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+}

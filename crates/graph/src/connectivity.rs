@@ -1,0 +1,282 @@
+//! Exact global vertex connectivity and minimum separating sets.
+//!
+//! Every theorem in the paper is parameterised by the node-connectivity
+//! `t + 1` of the network, and the kernel construction (Section 3) starts
+//! from a *minimal separating set* of exactly `t + 1` nodes. This module
+//! computes both.
+//!
+//! The algorithm is the classical one (Even): fix a minimum-degree node
+//! `v`; the connectivity is the minimum of the local connectivities from
+//! `v` to each of its non-neighbors and between each non-adjacent pair of
+//! `v`'s neighbors. Correctness: a minimum separator either avoids `v`
+//! (then it separates `v` from some non-neighbor) or contains `v` (then,
+//! being minimal, it has neighbors of `v` on both sides, which are
+//! non-adjacent and separated by it).
+
+use crate::{flow, traversal, Graph, Node, NodeSet};
+
+/// Enumerates the node pairs whose local connectivities witness the
+/// global connectivity (see module docs), fewest-first.
+fn witness_pairs(g: &Graph) -> Vec<(Node, Node)> {
+    let v = g
+        .nodes()
+        .min_by_key(|&u| g.degree(u))
+        .expect("caller ensures a non-empty graph");
+    let mut pairs = Vec::new();
+    let nbrs = g.neighbor_set(v);
+    for w in g.nodes() {
+        if w != v && !nbrs.contains(w) {
+            pairs.push((v, w));
+        }
+    }
+    let nb: Vec<Node> = g.neighbors(v).to_vec();
+    for (i, &x) in nb.iter().enumerate() {
+        for &y in &nb[i + 1..] {
+            if !g.has_edge(x, y) {
+                pairs.push((x, y));
+            }
+        }
+    }
+    pairs
+}
+
+/// The node connectivity κ(G): the minimum number of nodes whose removal
+/// disconnects the graph (or `n - 1` for complete graphs, by convention).
+///
+/// Returns 0 for disconnected graphs and graphs with fewer than two
+/// nodes.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{connectivity, gen};
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// assert_eq!(connectivity::vertex_connectivity(&gen::petersen()), 3);
+/// assert_eq!(connectivity::vertex_connectivity(&gen::cycle(9)?), 2);
+/// assert_eq!(connectivity::vertex_connectivity(&gen::complete(4)?), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn vertex_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    if g.is_complete() {
+        return n - 1;
+    }
+    if !traversal::is_connected(g, None) {
+        return 0;
+    }
+    let mut k = g.min_degree();
+    for (s, t) in witness_pairs(g) {
+        if k == 0 {
+            break;
+        }
+        let local = flow::local_vertex_connectivity(g, s, t, Some(k))
+            .expect("witness pairs are valid distinct nodes");
+        k = k.min(local);
+    }
+    k
+}
+
+/// Returns `true` if κ(G) is at least `k`, stopping flows early at `k`
+/// augmentations. Cheaper than [`vertex_connectivity`] when only a
+/// threshold is needed (construction preconditions check κ ≥ t + 1).
+///
+/// `k == 0` is vacuously true; complete graphs satisfy `k <= n - 1`.
+pub fn is_k_connected(g: &Graph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let n = g.node_count();
+    if n < 2 {
+        return false;
+    }
+    if g.is_complete() {
+        return k < n;
+    }
+    if g.min_degree() < k || !traversal::is_connected(g, None) {
+        return false;
+    }
+    witness_pairs(g).into_iter().all(|(s, t)| {
+        flow::local_vertex_connectivity(g, s, t, Some(k))
+            .expect("witness pairs are valid distinct nodes")
+            >= k
+    })
+}
+
+/// A minimum separating set: κ(G) nodes whose removal disconnects the
+/// graph. Returns `None` for complete graphs and graphs with fewer than
+/// two nodes (nothing separates them); a disconnected graph yields
+/// `Some(empty set)`.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{connectivity, gen, traversal};
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = gen::torus(4, 4)?;
+/// let sep = connectivity::min_separator(&g).expect("torus is not complete");
+/// assert_eq!(sep.len(), 4);
+/// assert!(!traversal::is_connected(&g, Some(&sep)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_separator(g: &Graph) -> Option<NodeSet> {
+    let n = g.node_count();
+    if n < 2 || g.is_complete() {
+        return None;
+    }
+    if !traversal::is_connected(g, None) {
+        return Some(NodeSet::new(n));
+    }
+    let mut k = usize::MAX;
+    let mut best_pair = None;
+    for (s, t) in witness_pairs(g) {
+        let local = flow::local_vertex_connectivity(g, s, t, Some(k))
+            .expect("witness pairs are valid distinct nodes");
+        if local < k {
+            k = local;
+            best_pair = Some((s, t));
+        }
+    }
+    let (s, t) = best_pair
+        .expect("a non-complete connected graph has a separating witness pair");
+    let cut = flow::min_st_vertex_cut(g, s, t).expect("witness pairs are non-adjacent");
+    debug_assert_eq!(cut.len(), k);
+    Some(cut)
+}
+
+/// Returns `true` if removing `set` disconnects the remaining nodes into
+/// two or more non-empty parts (the paper's definition of a *separating
+/// set*).
+///
+/// # Panics
+///
+/// Panics if `set` was built for a different node count.
+pub fn is_separator(g: &Graph, set: &NodeSet) -> bool {
+    assert_eq!(set.capacity(), g.node_count());
+    let survivors = g.node_count() - set.len();
+    survivors >= 2 && !traversal::is_connected(g, Some(set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn known_connectivities() {
+        assert_eq!(vertex_connectivity(&gen::cycle(8).unwrap()), 2);
+        assert_eq!(vertex_connectivity(&gen::hypercube(3).unwrap()), 3);
+        assert_eq!(vertex_connectivity(&gen::hypercube(4).unwrap()), 4);
+        assert_eq!(vertex_connectivity(&gen::torus(3, 4).unwrap()), 4);
+        assert_eq!(vertex_connectivity(&gen::petersen()), 3);
+        assert_eq!(vertex_connectivity(&gen::path_graph(5).unwrap()), 1);
+        assert_eq!(vertex_connectivity(&gen::star(6).unwrap()), 1);
+        assert_eq!(vertex_connectivity(&gen::wheel(7).unwrap()), 3);
+        assert_eq!(vertex_connectivity(&gen::complete_bipartite(3, 5).unwrap()), 3);
+        assert_eq!(vertex_connectivity(&gen::cube_connected_cycles(3).unwrap()), 3);
+    }
+
+    #[test]
+    fn harary_graphs_hit_their_design_connectivity() {
+        for (k, n) in [(2, 9), (3, 10), (4, 11), (5, 12), (6, 13)] {
+            let g = gen::harary(k, n).unwrap();
+            assert_eq!(vertex_connectivity(&g), k, "H({k},{n})");
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(vertex_connectivity(&Graph::new(0)), 0);
+        assert_eq!(vertex_connectivity(&Graph::new(1)), 0);
+        assert_eq!(vertex_connectivity(&Graph::new(5)), 0); // disconnected
+        assert_eq!(vertex_connectivity(&gen::complete(2).unwrap()), 1);
+    }
+
+    #[test]
+    fn threshold_checks() {
+        let g = gen::hypercube(4).unwrap();
+        assert!(is_k_connected(&g, 0));
+        assert!(is_k_connected(&g, 4));
+        assert!(!is_k_connected(&g, 5));
+        assert!(is_k_connected(&gen::complete(5).unwrap(), 4));
+        assert!(!is_k_connected(&gen::complete(5).unwrap(), 5));
+        assert!(!is_k_connected(&Graph::new(3), 1));
+    }
+
+    #[test]
+    fn min_separator_has_connectivity_size_and_separates() {
+        for g in [
+            gen::cycle(7).unwrap(),
+            gen::hypercube(3).unwrap(),
+            gen::torus(3, 3).unwrap(),
+            gen::petersen(),
+            gen::harary(4, 12).unwrap(),
+        ] {
+            let k = vertex_connectivity(&g);
+            let sep = min_separator(&g).unwrap();
+            assert_eq!(sep.len(), k);
+            assert!(is_separator(&g, &sep));
+        }
+    }
+
+    #[test]
+    fn min_separator_of_complete_graph_is_none() {
+        assert!(min_separator(&gen::complete(4).unwrap()).is_none());
+        assert!(min_separator(&Graph::new(1)).is_none());
+    }
+
+    #[test]
+    fn min_separator_of_disconnected_graph_is_empty() {
+        let sep = min_separator(&Graph::new(4)).unwrap();
+        assert!(sep.is_empty());
+    }
+
+    #[test]
+    fn is_separator_rejects_non_separating_sets() {
+        let g = gen::cycle(6).unwrap();
+        assert!(!is_separator(&g, &NodeSet::from_nodes(6, [0])));
+        assert!(is_separator(&g, &NodeSet::from_nodes(6, [0, 3])));
+        // removing all but one node leaves nothing to separate
+        assert!(!is_separator(&g, &NodeSet::from_nodes(6, [0, 1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn connectivity_matches_randomized_graphs_brute_force() {
+        // Cross-check the flow-based connectivity against brute force on
+        // small random graphs: try all subsets up to size 3.
+        for seed in 0..8 {
+            let g = gen::gnp(9, 0.45, seed).unwrap();
+            let fast = vertex_connectivity(&g);
+            let brute = brute_force_connectivity(&g);
+            assert_eq!(fast, brute, "seed {seed}");
+        }
+    }
+
+    fn brute_force_connectivity(g: &Graph) -> usize {
+        let n = g.node_count();
+        assert!(n <= 20, "brute force is exponential");
+        if g.is_complete() {
+            return n.saturating_sub(1);
+        }
+        if !traversal::is_connected(g, None) {
+            return 0;
+        }
+        let mut best = n - 1;
+        for mask in 0u32..(1 << n) {
+            let size = mask.count_ones() as usize;
+            if size >= best {
+                continue;
+            }
+            let set =
+                NodeSet::from_nodes(n, (0..n as Node).filter(|&v| mask & (1 << v) != 0));
+            if is_separator(g, &set) {
+                best = size;
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Node;
+
+/// Errors produced by graph construction, validation and analysis.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{Graph, GraphError};
+///
+/// let mut g = Graph::new(2);
+/// assert!(matches!(g.add_edge(0, 5), Err(GraphError::NodeOutOfRange { .. })));
+/// assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop { .. })));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node identifier was not smaller than the graph's node count.
+    NodeOutOfRange {
+        /// The offending node identifier.
+        node: Node,
+        /// The node count of the graph.
+        n: usize,
+    },
+    /// An edge from a node to itself was requested; the networks modelled
+    /// here are simple graphs.
+    SelfLoop {
+        /// The node for which a self loop was requested.
+        node: Node,
+    },
+    /// A path was constructed from an empty node sequence.
+    EmptyPath,
+    /// A path revisits a node; the paper's routes are simple paths.
+    NonSimplePath {
+        /// The first node that appears twice.
+        node: Node,
+    },
+    /// Two consecutive path nodes are not adjacent in the graph the path
+    /// was validated against.
+    MissingEdge {
+        /// Tail of the missing edge.
+        u: Node,
+        /// Head of the missing edge.
+        v: Node,
+    },
+    /// A generator or algorithm was called with parameters outside its
+    /// documented domain.
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        what: String,
+    },
+}
+
+impl GraphError {
+    /// Convenience constructor for [`GraphError::InvalidParameter`].
+    pub(crate) fn invalid(what: impl Into<String>) -> Self {
+        GraphError::InvalidParameter { what: what.into() }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::EmptyPath => write!(f, "path must contain at least one node"),
+            GraphError::NonSimplePath { node } => {
+                write!(f, "path visits node {node} more than once")
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "consecutive path nodes {u} and {v} are not adjacent")
+            }
+            GraphError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 3 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn invalid_parameter_keeps_message() {
+        let e = GraphError::invalid("k must be at least 1");
+        assert_eq!(e.to_string(), "invalid parameter: k must be at least 1");
+    }
+
+    #[test]
+    fn self_loop_display() {
+        assert_eq!(
+            GraphError::SelfLoop { node: 4 }.to_string(),
+            "self loop at node 4"
+        );
+    }
+
+    #[test]
+    fn missing_edge_display() {
+        assert_eq!(
+            GraphError::MissingEdge { u: 1, v: 2 }.to_string(),
+            "consecutive path nodes 1 and 2 are not adjacent"
+        );
+    }
+}

@@ -1,0 +1,538 @@
+//! Maximum flow with unit node capacities: vertex-disjoint paths and
+//! minimum vertex cuts.
+//!
+//! The paper's constructions rest on Menger-type arguments: a graph of
+//! connectivity `t + 1` has `t + 1` internally node-disjoint paths
+//! between any two nodes, and Lemma 2 truncates such paths to build *tree
+//! routings* into a separating set. This module implements the classical
+//! reduction: every node `v` is split into `v_in → v_out` with capacity
+//! one, edges become unit arcs between copies, and maximum flow is found
+//! by BFS augmentation (Edmonds–Karp), which is exact and fast for the
+//! small flow values (`t + 1`) the constructions need.
+//!
+//! # Example
+//!
+//! ```
+//! use ftr_graph::{flow, gen};
+//!
+//! # fn main() -> Result<(), ftr_graph::GraphError> {
+//! let g = gen::hypercube(3)?;
+//! // Opposite corners of Q_3 are joined by 3 internally disjoint paths.
+//! let paths = flow::vertex_disjoint_st_paths(&g, 0, 7, None)?;
+//! assert_eq!(paths.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::{Graph, GraphError, Node, NodeSet, Path};
+
+/// Adjacency-list flow network over split nodes with unit capacities.
+struct FlowNet {
+    head: Vec<i32>,
+    to: Vec<u32>,
+    next: Vec<i32>,
+    cap: Vec<u8>,
+}
+
+impl FlowNet {
+    fn new(nodes: usize, arc_hint: usize) -> Self {
+        FlowNet {
+            head: vec![-1; nodes],
+            to: Vec::with_capacity(arc_hint * 2),
+            next: Vec::with_capacity(arc_hint * 2),
+            cap: Vec::with_capacity(arc_hint * 2),
+        }
+    }
+
+    /// Adds a unit arc `u → v` (and its zero-capacity reverse). Forward
+    /// arcs get even indices; `i ^ 1` is the paired arc.
+    fn add_arc(&mut self, u: usize, v: usize) {
+        for (from, to, cap) in [(u, v, 1u8), (v, u, 0u8)] {
+            let idx = self.to.len() as i32;
+            self.to.push(to as u32);
+            self.cap.push(cap);
+            self.next.push(self.head[from]);
+            self.head[from] = idx;
+        }
+    }
+
+    /// Finds one augmenting path `s → t` by BFS and pushes a unit of flow
+    /// along it. Returns `false` if `t` is unreachable in the residual
+    /// network.
+    fn augment(&mut self, s: usize, t: usize, prev_arc: &mut [i32]) -> bool {
+        prev_arc.fill(-1);
+        prev_arc[s] = -2;
+        let mut queue = VecDeque::from([s]);
+        'search: while let Some(u) = queue.pop_front() {
+            let mut a = self.head[u];
+            while a >= 0 {
+                let arc = a as usize;
+                let v = self.to[arc] as usize;
+                if self.cap[arc] > 0 && prev_arc[v] == -1 {
+                    prev_arc[v] = a;
+                    if v == t {
+                        break 'search;
+                    }
+                    queue.push_back(v);
+                }
+                a = self.next[arc];
+            }
+        }
+        if prev_arc[t] == -1 {
+            return false;
+        }
+        let mut v = t;
+        while v != s {
+            let arc = prev_arc[v] as usize;
+            self.cap[arc] -= 1;
+            self.cap[arc ^ 1] += 1;
+            v = self.to[arc ^ 1] as usize;
+        }
+        true
+    }
+
+    /// Consumes the unique unit of saturated flow leaving `from`,
+    /// returning the next network node, or `None` if no flow leaves.
+    fn consume_flow_step(&mut self, from: usize) -> Option<usize> {
+        let mut a = self.head[from];
+        while a >= 0 {
+            let arc = a as usize;
+            // Forward arcs are even; saturated means capacity used up.
+            if arc.is_multiple_of(2) && self.cap[arc] == 0 {
+                self.cap[arc] = 1;
+                return Some(self.to[arc] as usize);
+            }
+            a = self.next[arc];
+        }
+        None
+    }
+
+    /// Nodes reachable from `s` in the residual network.
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.head.len()];
+        seen[s] = true;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            let mut a = self.head[u];
+            while a >= 0 {
+                let arc = a as usize;
+                let v = self.to[arc] as usize;
+                if self.cap[arc] > 0 && !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+                a = self.next[arc];
+            }
+        }
+        seen
+    }
+}
+
+const fn node_in(v: Node) -> usize {
+    2 * v as usize
+}
+
+const fn node_out(v: Node) -> usize {
+    2 * v as usize + 1
+}
+
+fn check_node(g: &Graph, v: Node) -> Result<(), GraphError> {
+    if (v as usize) < g.node_count() {
+        Ok(())
+    } else {
+        Err(GraphError::NodeOutOfRange {
+            node: v,
+            n: g.node_count(),
+        })
+    }
+}
+
+/// Builds the split network for `g`. Nodes listed in `no_internal` get no
+/// `v_in → v_out` arc (used for sources, sinks and truncation targets);
+/// `extra` additional network nodes are appended after the `2n` copies.
+fn build_split_network(g: &Graph, no_internal: &NodeSet, extra: usize) -> FlowNet {
+    let n = g.node_count();
+    let mut net = FlowNet::new(2 * n + extra, 2 * g.edge_count() + n + extra);
+    for v in g.nodes() {
+        if !no_internal.contains(v) {
+            net.add_arc(node_in(v), node_out(v));
+        }
+    }
+    for (u, v) in g.edges() {
+        net.add_arc(node_out(u), node_in(v));
+        net.add_arc(node_out(v), node_in(u));
+    }
+    net
+}
+
+/// The number of internally node-disjoint `s`–`t` paths (Menger's local
+/// vertex connectivity), computed by max flow. If `limit` is given, the
+/// computation stops early once that many paths are found — callers
+/// minimizing over pairs use this to avoid wasted augmentations.
+///
+/// For adjacent `s, t` the direct edge counts as one of the paths.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfRange`] for invalid nodes and
+/// [`GraphError::InvalidParameter`] if `s == t`.
+pub fn local_vertex_connectivity(
+    g: &Graph,
+    s: Node,
+    t: Node,
+    limit: Option<usize>,
+) -> Result<usize, GraphError> {
+    check_node(g, s)?;
+    check_node(g, t)?;
+    if s == t {
+        return Err(GraphError::invalid(
+            "local connectivity requires distinct endpoints",
+        ));
+    }
+    let mut net = build_split_network(g, &NodeSet::from_nodes(g.node_count(), [s, t]), 0);
+    let (src, dst) = (node_out(s), node_in(t));
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut prev = vec![-1i32; 2 * g.node_count()];
+    let mut value = 0;
+    while value < cap && net.augment(src, dst, &mut prev) {
+        value += 1;
+    }
+    Ok(value)
+}
+
+/// A maximum (or `limit`-capped) family of internally node-disjoint
+/// simple paths from `s` to `t`.
+///
+/// The returned paths share no node except `s` and `t`; their count is
+/// the local vertex connectivity (capped by `limit`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfRange`] for invalid nodes and
+/// [`GraphError::InvalidParameter`] if `s == t`.
+pub fn vertex_disjoint_st_paths(
+    g: &Graph,
+    s: Node,
+    t: Node,
+    limit: Option<usize>,
+) -> Result<Vec<Path>, GraphError> {
+    check_node(g, s)?;
+    check_node(g, t)?;
+    if s == t {
+        return Err(GraphError::invalid(
+            "disjoint paths require distinct endpoints",
+        ));
+    }
+    let mut net = build_split_network(g, &NodeSet::from_nodes(g.node_count(), [s, t]), 0);
+    let (src, dst) = (node_out(s), node_in(t));
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut prev = vec![-1i32; 2 * g.node_count()];
+    let mut value = 0;
+    while value < cap && net.augment(src, dst, &mut prev) {
+        value += 1;
+    }
+    let mut paths = Vec::with_capacity(value);
+    for _ in 0..value {
+        let mut nodes = vec![s];
+        let mut cur = net
+            .consume_flow_step(src)
+            .expect("flow value promises a unit leaving the source");
+        loop {
+            debug_assert_eq!(cur % 2, 0, "flow walks land on in-copies");
+            let v = (cur / 2) as Node;
+            nodes.push(v);
+            if cur == dst {
+                break;
+            }
+            cur = net
+                .consume_flow_step(cur + 1) // v_in -> v_out is implicit; leave from v_out
+                .expect("flow conservation");
+        }
+        paths.push(Path::new(nodes).expect("unit node capacities make flow paths simple"));
+    }
+    Ok(paths)
+}
+
+/// Node-disjoint paths from `s` to *distinct* members of `targets`,
+/// internally avoiding all of `targets` (every path stops at its first
+/// target — the truncation of the paper's Lemma 2).
+///
+/// The paths share no node except `s`; as many as possible are returned,
+/// capped by `limit`. If `s` has an edge to a returned endpoint, nothing
+/// forces that path to be the direct edge — apply the paper's shortcut
+/// rule on top (see `ftr-core`'s tree routing builder).
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfRange`] for invalid nodes and
+/// [`GraphError::InvalidParameter`] if `targets` is empty, contains `s`,
+/// or was sized for a different graph.
+pub fn vertex_disjoint_paths_to_set(
+    g: &Graph,
+    s: Node,
+    targets: &NodeSet,
+    limit: Option<usize>,
+) -> Result<Vec<Path>, GraphError> {
+    check_node(g, s)?;
+    if targets.capacity() != g.node_count() {
+        return Err(GraphError::invalid(
+            "target set capacity must equal the graph's node count",
+        ));
+    }
+    if targets.is_empty() {
+        return Err(GraphError::invalid("target set must be non-empty"));
+    }
+    if targets.contains(s) {
+        return Err(GraphError::invalid("target set must not contain the source"));
+    }
+    let n = g.node_count();
+    let mut no_internal = targets.clone();
+    no_internal.insert(s);
+    let mut net = build_split_network(g, &no_internal, 1);
+    let sink = 2 * n;
+    for m in targets {
+        net.add_arc(node_in(m), sink);
+    }
+    let src = node_out(s);
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut prev = vec![-1i32; 2 * n + 1];
+    let mut value = 0;
+    while value < cap && net.augment(src, sink, &mut prev) {
+        value += 1;
+    }
+    let mut paths = Vec::with_capacity(value);
+    for _ in 0..value {
+        let mut nodes = vec![s];
+        let mut cur = net
+            .consume_flow_step(src)
+            .expect("flow value promises a unit leaving the source");
+        loop {
+            debug_assert_eq!(cur % 2, 0, "flow walks land on in-copies");
+            let v = (cur / 2) as Node;
+            nodes.push(v);
+            if targets.contains(v) {
+                // Consume the m_in -> sink arc so later walks skip it.
+                let hop = net.consume_flow_step(cur).expect("target feeds the sink");
+                debug_assert_eq!(hop, sink);
+                break;
+            }
+            cur = net.consume_flow_step(cur + 1).expect("flow conservation");
+        }
+        paths.push(Path::new(nodes).expect("unit node capacities make flow paths simple"));
+    }
+    Ok(paths)
+}
+
+/// A minimum set of nodes (excluding `s` and `t`) whose removal
+/// disconnects `s` from `t`.
+///
+/// # Errors
+///
+/// * [`GraphError::NodeOutOfRange`] for invalid nodes.
+/// * [`GraphError::InvalidParameter`] if `s == t` or `s` and `t` are
+///   adjacent (no vertex cut separates adjacent nodes).
+pub fn min_st_vertex_cut(g: &Graph, s: Node, t: Node) -> Result<NodeSet, GraphError> {
+    check_node(g, s)?;
+    check_node(g, t)?;
+    if s == t {
+        return Err(GraphError::invalid("vertex cut requires distinct endpoints"));
+    }
+    if g.has_edge(s, t) {
+        return Err(GraphError::invalid(
+            "no vertex cut separates adjacent nodes",
+        ));
+    }
+    let mut net = build_split_network(g, &NodeSet::from_nodes(g.node_count(), [s, t]), 0);
+    let (src, dst) = (node_out(s), node_in(t));
+    let mut prev = vec![-1i32; 2 * g.node_count()];
+    while net.augment(src, dst, &mut prev) {}
+    let reach = net.residual_reachable(src);
+    // Every saturated arc crossing the residual-reachable boundary points
+    // at some node's copy; that node carries the crossing unit of flow and
+    // joins the vertex cut. (Crossing arcs never point at s or t: flow
+    // into s_in would violate conservation, and an unsaturated arc into
+    // t_in would contradict flow maximality.)
+    let mut cut = NodeSet::new(g.node_count());
+    for x in 0..net.head.len() {
+        if !reach[x] {
+            continue;
+        }
+        let mut a = net.head[x];
+        while a >= 0 {
+            let arc = a as usize;
+            let y = net.to[arc] as usize;
+            if arc.is_multiple_of(2) && net.cap[arc] == 0 && !reach[y] {
+                let v = (y / 2) as Node;
+                debug_assert!(v != s && v != t, "cut never contains the endpoints");
+                cut.insert(v);
+            }
+            a = net.next[arc];
+        }
+    }
+    Ok(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, traversal};
+
+    fn assert_internally_disjoint(paths: &[Path], s: Node, t: Option<Node>) {
+        let mut seen = std::collections::HashSet::new();
+        for p in paths {
+            for &v in p.nodes() {
+                if v == s || Some(v) == t {
+                    continue;
+                }
+                assert!(seen.insert(v), "node {v} reused across paths");
+            }
+        }
+    }
+
+    #[test]
+    fn st_paths_on_cycle() {
+        let g = gen::cycle(6).unwrap();
+        let paths = vertex_disjoint_st_paths(&g, 0, 3, None).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            p.validate_in(&g).unwrap();
+            assert_eq!(p.source(), 0);
+            assert_eq!(p.target(), 3);
+        }
+        assert_internally_disjoint(&paths, 0, Some(3));
+    }
+
+    #[test]
+    fn st_paths_on_complete_graph() {
+        let g = gen::complete(5).unwrap();
+        let paths = vertex_disjoint_st_paths(&g, 0, 4, None).unwrap();
+        // direct edge + 3 two-hop paths
+        assert_eq!(paths.len(), 4);
+        assert!(paths.iter().any(|p| p.len() == 1));
+        assert_internally_disjoint(&paths, 0, Some(4));
+    }
+
+    #[test]
+    fn st_paths_respect_limit() {
+        let g = gen::complete(6).unwrap();
+        let paths = vertex_disjoint_st_paths(&g, 0, 5, Some(2)).unwrap();
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn st_paths_count_matches_connectivity_on_hypercube() {
+        let g = gen::hypercube(4).unwrap();
+        for t in [1u32, 3, 7, 15] {
+            let paths = vertex_disjoint_st_paths(&g, 0, t, None).unwrap();
+            assert_eq!(paths.len(), 4, "Q4 is 4-connected");
+            assert_internally_disjoint(&paths, 0, Some(t));
+            for p in &paths {
+                p.validate_in(&g).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn local_connectivity_values() {
+        let g = gen::cycle(5).unwrap();
+        assert_eq!(local_vertex_connectivity(&g, 0, 2, None).unwrap(), 2);
+        assert_eq!(local_vertex_connectivity(&g, 0, 2, Some(1)).unwrap(), 1);
+        assert!(local_vertex_connectivity(&g, 0, 0, None).is_err());
+        assert!(local_vertex_connectivity(&g, 0, 99, None).is_err());
+    }
+
+    #[test]
+    fn local_connectivity_disconnected_is_zero() {
+        let g = Graph::new(4);
+        assert_eq!(local_vertex_connectivity(&g, 0, 3, None).unwrap(), 0);
+    }
+
+    #[test]
+    fn paths_to_set_truncate_at_first_target() {
+        // path graph 0-1-2-3-4 with targets {1, 3}: only one disjoint path
+        // from 0, and it must stop at 1 (never reaching 3 through 1).
+        let g = gen::path_graph(5).unwrap();
+        let targets = NodeSet::from_nodes(5, [1, 3]);
+        let paths = vertex_disjoint_paths_to_set(&g, 0, &targets, None).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes(), &[0, 1]);
+    }
+
+    #[test]
+    fn paths_to_set_reach_distinct_targets() {
+        let g = gen::hypercube(3).unwrap();
+        // neighbors of node 7 form a separating set for node 0
+        let targets = g.neighbor_set(7);
+        let paths = vertex_disjoint_paths_to_set(&g, 0, &targets, None).unwrap();
+        assert_eq!(paths.len(), 3);
+        let mut endpoints: Vec<Node> = paths.iter().map(Path::target).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        assert_eq!(endpoints.len(), 3, "endpoints must be distinct");
+        assert_internally_disjoint(&paths, 0, None);
+        for p in &paths {
+            p.validate_in(&g).unwrap();
+            assert!(targets.contains(p.target()));
+            assert!(p.interior().all(|v| !targets.contains(v)));
+        }
+    }
+
+    #[test]
+    fn paths_to_set_input_validation() {
+        let g = gen::cycle(4).unwrap();
+        let empty = NodeSet::new(4);
+        assert!(vertex_disjoint_paths_to_set(&g, 0, &empty, None).is_err());
+        let with_s = NodeSet::from_nodes(4, [0, 2]);
+        assert!(vertex_disjoint_paths_to_set(&g, 0, &with_s, None).is_err());
+        let wrong_cap = NodeSet::from_nodes(9, [2]);
+        assert!(vertex_disjoint_paths_to_set(&g, 0, &wrong_cap, None).is_err());
+    }
+
+    #[test]
+    fn min_cut_separates() {
+        let g = gen::cycle(6).unwrap();
+        let cut = min_st_vertex_cut(&g, 0, 3).unwrap();
+        assert_eq!(cut.len(), 2);
+        assert!(!traversal::is_connected(&g, Some(&cut)));
+        assert!(traversal::distance(&g, 0, 3, Some(&cut)) == crate::INFINITY);
+    }
+
+    #[test]
+    fn min_cut_on_hypercube_has_connectivity_size() {
+        let g = gen::hypercube(3).unwrap();
+        let cut = min_st_vertex_cut(&g, 0, 7).unwrap();
+        assert_eq!(cut.len(), 3);
+        assert_eq!(traversal::distance(&g, 0, 7, Some(&cut)), crate::INFINITY);
+    }
+
+    #[test]
+    fn min_cut_rejects_adjacent() {
+        let g = gen::cycle(4).unwrap();
+        assert!(min_st_vertex_cut(&g, 0, 1).is_err());
+        assert!(min_st_vertex_cut(&g, 0, 0).is_err());
+    }
+
+    #[test]
+    fn cut_size_equals_flow_value() {
+        for seed in 0..5 {
+            let g = gen::gnp(24, 0.25, seed).unwrap();
+            for (s, t) in [(0u32, 12u32), (3, 20), (5, 23)] {
+                if g.has_edge(s, t) {
+                    continue;
+                }
+                let flow = local_vertex_connectivity(&g, s, t, None).unwrap();
+                let cut = min_st_vertex_cut(&g, s, t).unwrap();
+                assert_eq!(cut.len(), flow, "Menger: cut = flow (seed {seed}, {s}-{t})");
+                if flow > 0 {
+                    assert_eq!(
+                        traversal::distance(&g, s, t, Some(&cut)),
+                        crate::INFINITY,
+                        "cut must separate"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! Generators for the network families used throughout the paper and its
+//! experiments.
+//!
+//! The paper motivates its constructions with "graphs used as underlying
+//! structures for communication networks and distributed systems, such as
+//! the hypercube, and some of its bounded degree realizations, like the
+//! d-way shuffle (or, extended butterfly), CCC etc." — all generated here,
+//! together with the parameterised-connectivity families (Harary graphs,
+//! circulants) used by the experiment sweeps and the random `G(n,p)` model
+//! of Section 5.
+//!
+//! All random generators take an explicit seed so experiments are
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphError, Node};
+
+/// The complete graph `K_n`.
+///
+/// Connectivity `n - 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::invalid("complete graph requires n >= 1"));
+    }
+    let mut g = Graph::new(n);
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            g.add_edge(u, v)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The cycle `C_n` (`n >= 3`). Connectivity 2.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::invalid("cycle requires n >= 3"));
+    }
+    let mut g = Graph::new(n);
+    for u in 0..n as Node {
+        g.add_edge(u, (u + 1) % n as Node)?;
+    }
+    Ok(g)
+}
+
+/// The path graph `P_n` on `n >= 1` nodes (named to avoid clashing with
+/// [`crate::Path`], the route type).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn path_graph(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::invalid("path graph requires n >= 1"));
+    }
+    let mut g = Graph::new(n);
+    for u in 1..n as Node {
+        g.add_edge(u - 1, u)?;
+    }
+    Ok(g)
+}
+
+/// The star `K_{1,n-1}`: node 0 joined to all others. Connectivity 1.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::invalid("star requires n >= 2"));
+    }
+    let mut g = Graph::new(n);
+    for v in 1..n as Node {
+        g.add_edge(0, v)?;
+    }
+    Ok(g)
+}
+
+/// The wheel `W_n`: a cycle on nodes `1..n` plus hub 0. Connectivity 3.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 4`.
+pub fn wheel(n: usize) -> Result<Graph, GraphError> {
+    if n < 4 {
+        return Err(GraphError::invalid("wheel requires n >= 4"));
+    }
+    let mut g = Graph::new(n);
+    let rim = (n - 1) as Node;
+    for i in 0..rim {
+        g.add_edge(1 + i, 1 + (i + 1) % rim)?;
+        g.add_edge(0, 1 + i)?;
+    }
+    Ok(g)
+}
+
+/// The complete bipartite graph `K_{a,b}` (sides `0..a` and `a..a+b`).
+/// Connectivity `min(a, b)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::invalid("complete bipartite requires a, b >= 1"));
+    }
+    let mut g = Graph::new(a + b);
+    for u in 0..a as Node {
+        for v in a as Node..(a + b) as Node {
+            g.add_edge(u, v)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The `rows x cols` grid (mesh). Node `(r, c)` is `r * cols + c`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::invalid("grid requires rows, cols >= 1"));
+    }
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as Node;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1)?;
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols as Node)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The `rows x cols` torus (grid with wraparound). Connectivity 4 when
+/// both dimensions are at least 3.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is < 3
+/// (smaller wraparounds create parallel edges).
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::invalid("torus requires rows, cols >= 3"));
+    }
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as Node;
+            let right = (r * cols + (c + 1) % cols) as Node;
+            let down = (((r + 1) % rows) * cols + c) as Node;
+            g.add_edge(v, right)?;
+            g.add_edge(v, down)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The `dim`-dimensional hypercube `Q_dim` on `2^dim` nodes.
+/// Connectivity `dim`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `dim == 0` or `dim > 20`
+/// (the latter only to bound memory).
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::gen;
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let q4 = gen::hypercube(4)?;
+/// assert_eq!(q4.node_count(), 16);
+/// assert_eq!(q4.max_degree(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hypercube(dim: usize) -> Result<Graph, GraphError> {
+    if dim == 0 || dim > 20 {
+        return Err(GraphError::invalid("hypercube requires 1 <= dim <= 20"));
+    }
+    let n = 1usize << dim;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if u > v {
+                g.add_edge(v as Node, u as Node)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The cube-connected cycles network `CCC_dim`: each hypercube node is
+/// replaced by a `dim`-cycle whose members handle one dimension each.
+/// 3-regular; connectivity 3 for `dim >= 3`.
+///
+/// Node `(i, w)` — cycle position `i` in `0..dim`, hypercube word `w` —
+/// is numbered `w * dim + i`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `dim < 3` or `dim > 16`.
+pub fn cube_connected_cycles(dim: usize) -> Result<Graph, GraphError> {
+    if !(3..=16).contains(&dim) {
+        return Err(GraphError::invalid(
+            "cube-connected cycles requires 3 <= dim <= 16",
+        ));
+    }
+    let words = 1usize << dim;
+    let mut g = Graph::new(words * dim);
+    let id = |i: usize, w: usize| (w * dim + i) as Node;
+    for w in 0..words {
+        for i in 0..dim {
+            g.add_edge(id(i, w), id((i + 1) % dim, w))?;
+            let flipped = w ^ (1 << i);
+            if flipped > w {
+                g.add_edge(id(i, w), id(i, flipped))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The wrapped butterfly `BF(dim)`: levels `0..dim`, words `{0,1}^dim`,
+/// with straight and cross edges to the next level (mod `dim`).
+/// 4-regular; the paper's "extended butterfly" bounded-degree hypercube
+/// realization.
+///
+/// Node `(level, w)` is numbered `w * dim + level`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `dim < 3` or `dim > 16`
+/// (`dim < 3` creates parallel edges).
+pub fn wrapped_butterfly(dim: usize) -> Result<Graph, GraphError> {
+    if !(3..=16).contains(&dim) {
+        return Err(GraphError::invalid(
+            "wrapped butterfly requires 3 <= dim <= 16",
+        ));
+    }
+    let words = 1usize << dim;
+    let mut g = Graph::new(words * dim);
+    let id = |l: usize, w: usize| (w * dim + l) as Node;
+    for w in 0..words {
+        for l in 0..dim {
+            let nl = (l + 1) % dim;
+            g.add_edge(id(l, w), id(nl, w))?;
+            g.add_edge(id(l, w), id(nl, w ^ (1 << nl)))?;
+        }
+    }
+    Ok(g)
+}
+
+/// The circulant graph `C_n(offsets)`: node `i` is adjacent to
+/// `i ± s (mod n)` for every offset `s`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`, an offset is 0,
+/// or an offset exceeds `n / 2` (which would duplicate or self-loop).
+pub fn circulant(n: usize, offsets: &[u32]) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::invalid("circulant requires n >= 1"));
+    }
+    let mut g = Graph::new(n);
+    for &s in offsets {
+        if s == 0 || s as usize > n / 2 {
+            return Err(GraphError::invalid(format!(
+                "circulant offset {s} must satisfy 1 <= s <= n/2 (n = {n})"
+            )));
+        }
+        for i in 0..n {
+            g.add_edge(i as Node, ((i + s as usize) % n) as Node)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The Harary graph `H_{k,n}`: the minimum-edge `k`-connected graph on
+/// `n` nodes. The experiment sweeps use it to dial in connectivity
+/// `t + 1` exactly.
+///
+/// For even `k` this is the circulant with offsets `1..=k/2`; for odd `k`
+/// and even `n` the diameters `i — i + n/2` are added.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k < 2`, `n <= k`, or both
+/// `k` and `n` are odd (no Harary graph exists in that case).
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{connectivity, gen};
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = gen::harary(5, 12)?;
+/// assert_eq!(connectivity::vertex_connectivity(&g), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn harary(k: usize, n: usize) -> Result<Graph, GraphError> {
+    if k < 2 {
+        return Err(GraphError::invalid("harary requires k >= 2"));
+    }
+    if n <= k {
+        return Err(GraphError::invalid("harary requires n > k"));
+    }
+    if k % 2 == 1 && n % 2 == 1 {
+        return Err(GraphError::invalid(
+            "harary with odd k requires even n",
+        ));
+    }
+    let half = (k / 2) as u32;
+    let offsets: Vec<u32> = (1..=half).collect();
+    let mut g = circulant(n, &offsets)?;
+    if k % 2 == 1 {
+        for i in 0..n / 2 {
+            g.add_edge(i as Node, (i + n / 2) as Node)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The undirected binary de Bruijn graph `UB(dim)` on `2^dim` nodes:
+/// node `w` is adjacent to `(2w) mod 2^dim`, `(2w + 1) mod 2^dim` and
+/// their shift-predecessors. A classic bounded-degree (≤ 4) network
+/// from the same design space as the paper's shuffle/butterfly
+/// examples; self-loops (at 0 and 2^dim − 1) are dropped.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `dim < 2` or `dim > 16`.
+pub fn de_bruijn(dim: usize) -> Result<Graph, GraphError> {
+    if !(2..=16).contains(&dim) {
+        return Err(GraphError::invalid("de Bruijn requires 2 <= dim <= 16"));
+    }
+    let n = 1usize << dim;
+    let mut g = Graph::new(n);
+    for w in 0..n {
+        for next in [(2 * w) % n, (2 * w + 1) % n] {
+            if w != next {
+                g.add_edge(w as Node, next as Node)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The Petersen graph: 10 nodes, 3-regular, girth 5, connectivity 3.
+///
+/// Outer cycle `0..5`, inner pentagram `5..10`.
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5u32 {
+        g.add_edge(i, (i + 1) % 5).expect("valid");
+        g.add_edge(i, i + 5).expect("valid");
+        g.add_edge(i + 5, (i + 2) % 5 + 5).expect("valid");
+    }
+    g
+}
+
+/// An Erdős–Rényi random graph `G(n, p)`: every pair is an edge
+/// independently with probability `p`.
+///
+/// Used for the Section 5 experiments on the two-trees property
+/// (`p = c * n^eps / n`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::invalid("gnp requires 0 <= p <= 1"));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A random `d`-regular graph via the configuration model (pairing with
+/// rejection and restart).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n * d` is odd, `d >= n`,
+/// or no simple pairing is found within an internal retry budget (which
+/// for the small `d` used in the experiments essentially never happens).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if d >= n {
+        return Err(GraphError::invalid("random regular requires d < n"));
+    }
+    if (n * d) % 2 == 1 {
+        return Err(GraphError::invalid("random regular requires n*d even"));
+    }
+    if d == 0 {
+        return Ok(Graph::new(n));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    'attempt: for _ in 0..200 {
+        let mut stubs: Vec<Node> = (0..n as Node)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
+        // Fisher-Yates shuffle, then pair consecutive stubs.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !g.add_edge(u, v)? {
+                continue 'attempt; // self loop or parallel edge: restart
+            }
+        }
+        return Ok(g);
+    }
+    Err(GraphError::invalid(
+        "random regular pairing failed; try a different seed or smaller d",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.min_degree(), 5);
+        assert!(complete(0).is_err());
+    }
+
+    #[test]
+    fn cycle_counts_and_bounds() {
+        let g = cycle(5).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(4).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert!(path_graph(0).is_err());
+    }
+
+    #[test]
+    fn star_and_wheel() {
+        let s = star(5).unwrap();
+        assert_eq!(s.degree(0), 4);
+        assert!(s.nodes().skip(1).all(|v| s.degree(v) == 1));
+        let w = wheel(6).unwrap();
+        assert_eq!(w.degree(0), 5);
+        assert!(w.nodes().skip(1).all(|v| w.degree(v) == 3));
+        assert!(wheel(3).is_err());
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(2, 3).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(complete_bipartite(0, 3).is_err());
+    }
+
+    #[test]
+    fn grid_and_torus_degrees() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.degree(0), 2); // corner
+        let t = torus(3, 4).unwrap();
+        assert!(t.nodes().all(|v| t.degree(v) == 4));
+        assert_eq!(t.edge_count(), 24);
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(3).unwrap();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 12);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert_eq!(traversal::diameter(&g, None), Some(3));
+        assert!(hypercube(0).is_err());
+    }
+
+    #[test]
+    fn ccc_structure() {
+        let g = cube_connected_cycles(3).unwrap();
+        assert_eq!(g.node_count(), 24);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert!(traversal::is_connected(&g, None));
+        assert!(cube_connected_cycles(2).is_err());
+    }
+
+    #[test]
+    fn butterfly_structure() {
+        let g = wrapped_butterfly(3).unwrap();
+        assert_eq!(g.node_count(), 24);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(traversal::is_connected(&g, None));
+        assert!(wrapped_butterfly(2).is_err());
+    }
+
+    #[test]
+    fn circulant_validation() {
+        let g = circulant(8, &[1, 2]).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(circulant(8, &[0]).is_err());
+        assert!(circulant(8, &[5]).is_err());
+        // offset exactly n/2 gives degree increment of 1 (an involution)
+        let h = circulant(8, &[4]).unwrap();
+        assert!(h.nodes().all(|v| h.degree(v) == 1));
+    }
+
+    #[test]
+    fn harary_even_k() {
+        let g = harary(4, 10).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    fn harary_odd_k_even_n() {
+        let g = harary(3, 8).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert!(harary(3, 9).is_err());
+        assert!(harary(1, 5).is_err());
+        assert!(harary(4, 4).is_err());
+    }
+
+    #[test]
+    fn de_bruijn_structure() {
+        let g = de_bruijn(4).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert!(g.max_degree() <= 4);
+        assert!(traversal::is_connected(&g, None));
+        // logarithmic diameter: a length-dim walk rewrites every bit
+        assert!(traversal::diameter(&g, None).unwrap() <= 4);
+        assert!(de_bruijn(1).is_err());
+        assert!(de_bruijn(17).is_err());
+    }
+
+    #[test]
+    fn petersen_structure() {
+        let g = petersen();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert_eq!(traversal::diameter(&g, None), Some(2));
+    }
+
+    #[test]
+    fn gnp_is_seeded_and_bounded() {
+        let a = gnp(30, 0.2, 42).unwrap();
+        let b = gnp(30, 0.2, 42).unwrap();
+        assert_eq!(a, b);
+        let c = gnp(30, 0.2, 43).unwrap();
+        assert_ne!(a, c); // overwhelmingly likely
+        assert_eq!(gnp(10, 0.0, 1).unwrap().edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).unwrap().edge_count(), 45);
+        assert!(gnp(10, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let g = random_regular(20, 4, 7).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        let h = random_regular(20, 4, 7).unwrap();
+        assert_eq!(g, h); // deterministic under the same seed
+        assert!(random_regular(5, 3, 1).is_err()); // odd n*d
+        assert!(random_regular(4, 4, 1).is_err()); // d >= n
+        assert_eq!(random_regular(6, 0, 1).unwrap().edge_count(), 0);
+    }
+}

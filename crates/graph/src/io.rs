@@ -1,0 +1,204 @@
+//! Graph interchange in the standard **graph6** format.
+//!
+//! graph6 (McKay) is the de-facto ASCII format for small simple
+//! undirected graphs, used by `nauty`, `geng`, NetworkX and friends.
+//! Supporting it lets the experiment harness exchange topologies with
+//! external tools (e.g. verifying a construction on graphs enumerated
+//! by `geng`).
+//!
+//! The format: the node count `n` is encoded in 1 or 4 bytes (this
+//! implementation covers `n <= 258047`, far beyond experiment sizes),
+//! followed by the upper triangle of the adjacency matrix in
+//! column-major order, packed 6 bits per byte with an offset of 63.
+
+use crate::{Graph, GraphError, Node};
+
+/// Serializes `g` to a graph6 string.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{gen, io};
+///
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// // K4 in graph6 is the well-known "C~".
+/// let g = gen::complete(4)?;
+/// assert_eq!(io::to_graph6(&g), "C~");
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_graph6(g: &Graph) -> String {
+    let n = g.node_count();
+    let mut out = String::new();
+    // node count
+    if n <= 62 {
+        out.push((n as u8 + 63) as char);
+    } else {
+        out.push(126 as char);
+        for shift in [12, 6, 0] {
+            out.push((((n >> shift) & 0x3f) as u8 + 63) as char);
+        }
+    }
+    // upper triangle, column-major: bit for (i, j) with i < j ordered by
+    // (j, i)
+    let mut bits: Vec<bool> = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for j in 1..n {
+        for i in 0..j {
+            bits.push(g.has_edge(i as Node, j as Node));
+        }
+    }
+    for chunk in bits.chunks(6) {
+        let mut value = 0u8;
+        for (k, &bit) in chunk.iter().enumerate() {
+            if bit {
+                value |= 1 << (5 - k);
+            }
+        }
+        out.push((value + 63) as char);
+    }
+    out
+}
+
+/// Parses a graph6 string.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for malformed input
+/// (bad characters, truncated triangle, out-of-range node counts).
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::io;
+///
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = io::from_graph6("C~")?; // K4
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_graph6(s: &str) -> Result<Graph, GraphError> {
+    let bytes: Vec<u8> = s.trim_end().bytes().collect();
+    if bytes.is_empty() {
+        return Err(GraphError::invalid("empty graph6 string"));
+    }
+    for &b in &bytes {
+        if !(63..=126).contains(&b) {
+            return Err(GraphError::invalid(format!(
+                "invalid graph6 byte {b} (printable range is 63..=126)"
+            )));
+        }
+    }
+    let (n, mut pos) = if bytes[0] == 126 {
+        if bytes.len() < 4 {
+            return Err(GraphError::invalid("truncated graph6 node count"));
+        }
+        if bytes[1] == 126 {
+            return Err(GraphError::invalid(
+                "graph6 graphs beyond 258047 nodes are not supported",
+            ));
+        }
+        let n = (((bytes[1] - 63) as usize) << 12)
+            | (((bytes[2] - 63) as usize) << 6)
+            | ((bytes[3] - 63) as usize);
+        (n, 4)
+    } else {
+        ((bytes[0] - 63) as usize, 1)
+    };
+    let mut g = Graph::new(n);
+    let needed_bits = n.saturating_sub(1) * n / 2;
+    let needed_bytes = needed_bits.div_ceil(6);
+    if bytes.len() - pos != needed_bytes {
+        return Err(GraphError::invalid(format!(
+            "graph6 triangle length mismatch: got {} bytes, need {needed_bytes}",
+            bytes.len() - pos
+        )));
+    }
+    let mut bit_idx = 0usize;
+    let mut current = 0u8;
+    let mut remaining = 0u8;
+    for j in 1..n {
+        for i in 0..j {
+            if remaining == 0 {
+                current = bytes[pos] - 63;
+                pos += 1;
+                remaining = 6;
+            }
+            if current & (1 << (remaining - 1)) != 0 {
+                g.add_edge(i as Node, j as Node)?;
+            }
+            remaining -= 1;
+            bit_idx += 1;
+        }
+    }
+    debug_assert_eq!(bit_idx, needed_bits);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn known_encodings() {
+        // Canonical examples from the nauty documentation.
+        assert_eq!(to_graph6(&gen::complete(4).unwrap()), "C~");
+        assert_eq!(to_graph6(&Graph::new(1)), "@");
+        assert_eq!(to_graph6(&Graph::new(5)), "D??");
+        // path 0-1-2-3-4 is "DQc" in graph6
+        let p4 = gen::path_graph(5).unwrap();
+        assert_eq!(from_graph6(&to_graph6(&p4)).unwrap(), p4);
+    }
+
+    #[test]
+    fn round_trip_on_families() {
+        for g in [
+            gen::petersen(),
+            gen::cycle(9).unwrap(),
+            gen::hypercube(4).unwrap(),
+            gen::torus(3, 4).unwrap(),
+            gen::complete_bipartite(3, 5).unwrap(),
+            Graph::new(0),
+            Graph::new(63), // forces nothing special (n <= 62 is 1 byte... 63 is 4)
+        ] {
+            let encoded = to_graph6(&g);
+            let decoded = from_graph6(&encoded).unwrap();
+            assert_eq!(decoded, g, "round trip failed for {g:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_large_n_header() {
+        let g = gen::cycle(100).unwrap();
+        let s = to_graph6(&g);
+        assert_eq!(s.as_bytes()[0], 126);
+        assert_eq!(from_graph6(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn round_trip_random_graphs() {
+        for seed in 0..25 {
+            let g = gen::gnp(17, 0.3, seed).unwrap();
+            assert_eq!(from_graph6(&to_graph6(&g)).unwrap(), g, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_graph6("").is_err());
+        assert!(from_graph6("C").is_err()); // missing triangle bytes
+        assert!(from_graph6("C~~").is_err()); // too many bytes
+        assert!(from_graph6("C\x1f").is_err()); // byte below 63
+        assert!(from_graph6("~").is_err()); // truncated long header
+        assert!(from_graph6("~~~~~").is_err()); // >258047 marker unsupported
+    }
+
+    #[test]
+    fn trailing_newline_tolerated() {
+        let g = gen::petersen();
+        let s = format!("{}\n", to_graph6(&g));
+        assert_eq!(from_graph6(&s).unwrap(), g);
+    }
+}

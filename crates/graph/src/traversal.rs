@@ -1,0 +1,359 @@
+//! Breadth-first traversals with fault overlays.
+//!
+//! Every function takes an optional `avoid: Option<&NodeSet>` — the set of
+//! faulty nodes. Avoided nodes are treated as absent: they are never
+//! visited and contribute no edges. This is how the crate models the
+//! paper's fault sets `F` without mutating graphs.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, Node, NodeSet, Path, INFINITY};
+
+/// BFS distances from `src`, skipping nodes in `avoid`.
+///
+/// Unreachable or avoided nodes get [`INFINITY`]; if `src` is avoided,
+/// every entry is [`INFINITY`].
+///
+/// # Panics
+///
+/// Panics if `src` is not a node of `g`.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{gen, traversal, NodeSet, INFINITY};
+///
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = gen::cycle(5)?; // 0-1-2-3-4-0
+/// let faults = NodeSet::from_nodes(5, [1]);
+/// let dist = traversal::bfs_distances(&g, 0, Some(&faults));
+/// assert_eq!(dist, vec![0, INFINITY, 3, 2, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bfs_distances(g: &Graph, src: Node, avoid: Option<&NodeSet>) -> Vec<u32> {
+    let n = g.node_count();
+    assert!((src as usize) < n, "source {src} out of range");
+    let mut dist = vec![INFINITY; n];
+    let blocked = |v: Node| avoid.is_some_and(|a| a.contains(v));
+    if blocked(src) {
+        return dist;
+    }
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INFINITY && !blocked(v) {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Distance between `u` and `v` avoiding `avoid`, or [`INFINITY`] if
+/// disconnected.
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is not a node of `g`.
+pub fn distance(g: &Graph, u: Node, v: Node, avoid: Option<&NodeSet>) -> u32 {
+    assert!((v as usize) < g.node_count(), "target {v} out of range");
+    bfs_distances(g, u, avoid)[v as usize]
+}
+
+/// A shortest path from `src` to `dst` avoiding `avoid`, or `None` if
+/// none exists.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is not a node of `g`.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{gen, traversal};
+///
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = gen::cycle(6)?;
+/// let p = traversal::shortest_path(&g, 0, 3, None).expect("connected");
+/// assert_eq!(p.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shortest_path(g: &Graph, src: Node, dst: Node, avoid: Option<&NodeSet>) -> Option<Path> {
+    let n = g.node_count();
+    assert!((src as usize) < n, "source {src} out of range");
+    assert!((dst as usize) < n, "target {dst} out of range");
+    let blocked = |v: Node| avoid.is_some_and(|a| a.contains(v));
+    if blocked(src) || blocked(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(Path::new(vec![src]).expect("singleton is simple"));
+    }
+    let mut parent = vec![Node::MAX; n];
+    let mut dist = vec![INFINITY; n];
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INFINITY && !blocked(v) {
+                dist[v as usize] = dist[u as usize] + 1;
+                parent[v as usize] = u;
+                if v == dst {
+                    let mut nodes = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = parent[cur as usize];
+                        nodes.push(cur);
+                    }
+                    nodes.reverse();
+                    return Some(Path::new(nodes).expect("BFS paths are simple"));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` if the subgraph induced by the non-avoided nodes is
+/// connected. Graphs with at most one surviving node count as connected.
+pub fn is_connected(g: &Graph, avoid: Option<&NodeSet>) -> bool {
+    let blocked = |v: Node| avoid.is_some_and(|a| a.contains(v));
+    let Some(start) = g.nodes().find(|&v| !blocked(v)) else {
+        return true;
+    };
+    let dist = bfs_distances(g, start, avoid);
+    g.nodes().all(|v| blocked(v) || dist[v as usize] != INFINITY)
+}
+
+/// Labels the connected components of the non-avoided subgraph.
+///
+/// Returns `(component_count, labels)`; avoided nodes get the label
+/// `u32::MAX`.
+pub fn connected_components(g: &Graph, avoid: Option<&NodeSet>) -> (usize, Vec<u32>) {
+    let n = g.node_count();
+    let blocked = |v: Node| avoid.is_some_and(|a| a.contains(v));
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    for start in g.nodes() {
+        if blocked(start) || labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX && !blocked(v) {
+                    labels[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, labels)
+}
+
+/// Eccentricity of each non-avoided node: its maximum distance to any
+/// other non-avoided node, or [`INFINITY`] if it cannot reach one.
+/// Avoided nodes get [`INFINITY`].
+pub fn eccentricities(g: &Graph, avoid: Option<&NodeSet>) -> Vec<u32> {
+    let n = g.node_count();
+    let blocked = |v: Node| avoid.is_some_and(|a| a.contains(v));
+    let mut ecc = vec![INFINITY; n];
+    for v in g.nodes() {
+        if blocked(v) {
+            continue;
+        }
+        let dist = bfs_distances(g, v, avoid);
+        let mut worst = 0;
+        let mut reach_all = true;
+        for u in g.nodes() {
+            if u != v && !blocked(u) {
+                let d = dist[u as usize];
+                if d == INFINITY {
+                    reach_all = false;
+                    break;
+                }
+                worst = worst.max(d);
+            }
+        }
+        ecc[v as usize] = if reach_all { worst } else { INFINITY };
+    }
+    ecc
+}
+
+/// Diameter of the non-avoided subgraph, or `None` if it is disconnected.
+/// At most one surviving node yields `Some(0)`.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::{gen, traversal};
+///
+/// # fn main() -> Result<(), ftr_graph::GraphError> {
+/// let g = gen::hypercube(3)?;
+/// assert_eq!(traversal::diameter(&g, None), Some(3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn diameter(g: &Graph, avoid: Option<&NodeSet>) -> Option<u32> {
+    let blocked = |v: Node| avoid.is_some_and(|a| a.contains(v));
+    let mut best = 0;
+    for v in g.nodes() {
+        if blocked(v) {
+            continue;
+        }
+        let dist = bfs_distances(g, v, avoid);
+        for u in g.nodes() {
+            if u != v && !blocked(u) {
+                let d = dist[u as usize];
+                if d == INFINITY {
+                    return None;
+                }
+                best = best.max(d);
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn bfs_on_path_graph() {
+        let g = gen::path_graph(4).unwrap();
+        assert_eq!(bfs_distances(&g, 0, None), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_avoiding_cut_node_disconnects() {
+        let g = gen::path_graph(5).unwrap();
+        let avoid = NodeSet::from_nodes(5, [2]);
+        let d = bfs_distances(&g, 0, Some(&avoid));
+        assert_eq!(d, vec![0, 1, INFINITY, INFINITY, INFINITY]);
+    }
+
+    #[test]
+    fn bfs_from_avoided_source_unreachable() {
+        let g = gen::cycle(4).unwrap();
+        let avoid = NodeSet::from_nodes(4, [0]);
+        assert!(bfs_distances(&g, 0, Some(&avoid)).iter().all(|&d| d == INFINITY));
+    }
+
+    #[test]
+    fn distance_symmetric_on_undirected() {
+        let g = gen::cycle(7).unwrap();
+        for u in 0..7 {
+            for v in 0..7 {
+                assert_eq!(distance(&g, u, v, None), distance(&g, v, u, None));
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_shortest_and_valid() {
+        let g = gen::torus(4, 4).unwrap();
+        for u in 0..16 {
+            let dist = bfs_distances(&g, u, None);
+            for v in 0..16 {
+                let p = shortest_path(&g, u, v, None).unwrap();
+                assert_eq!(p.len() as u32, dist[v as usize]);
+                p.validate_in(&g).unwrap();
+                assert_eq!(p.source(), u);
+                assert_eq!(p.target(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_none_when_separated() {
+        let g = gen::path_graph(3).unwrap();
+        let avoid = NodeSet::from_nodes(3, [1]);
+        assert!(shortest_path(&g, 0, 2, Some(&avoid)).is_none());
+    }
+
+    #[test]
+    fn shortest_path_to_self_is_singleton() {
+        let g = gen::cycle(4).unwrap();
+        let p = shortest_path(&g, 2, 2, None).unwrap();
+        assert_eq!(p.nodes(), &[2]);
+    }
+
+    #[test]
+    fn connectivity_with_and_without_faults() {
+        let g = gen::cycle(6).unwrap();
+        assert!(is_connected(&g, None));
+        // removing one node of a cycle keeps it connected
+        assert!(is_connected(&g, Some(&NodeSet::from_nodes(6, [0]))));
+        // removing two opposite nodes disconnects it
+        assert!(!is_connected(&g, Some(&NodeSet::from_nodes(6, [0, 3]))));
+    }
+
+    #[test]
+    fn all_nodes_avoided_counts_connected() {
+        let g = gen::path_graph(2).unwrap();
+        assert!(is_connected(&g, Some(&NodeSet::from_nodes(2, [0, 1]))));
+    }
+
+    #[test]
+    fn components_labelled() {
+        let g = gen::path_graph(5).unwrap();
+        let avoid = NodeSet::from_nodes(5, [2]);
+        let (count, labels) = connected_components(&g, Some(&avoid));
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(labels[2], u32::MAX);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::new(0);
+        let (count, labels) = connected_components(&g, None);
+        assert_eq!(count, 0);
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&gen::cycle(8).unwrap(), None), Some(4));
+        assert_eq!(diameter(&gen::complete(5).unwrap(), None), Some(1));
+        assert_eq!(diameter(&gen::path_graph(6).unwrap(), None), Some(5));
+        assert_eq!(diameter(&gen::hypercube(4).unwrap(), None), Some(4));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = Graph::new(3); // no edges
+        assert_eq!(diameter(&g, None), None);
+        let avoid = NodeSet::from_nodes(3, [0, 1]);
+        assert_eq!(diameter(&g, Some(&avoid)), Some(0));
+    }
+
+    #[test]
+    fn eccentricities_match_diameter() {
+        let g = gen::torus(3, 5).unwrap();
+        let ecc = eccentricities(&g, None);
+        let diam = diameter(&g, None).unwrap();
+        assert_eq!(*ecc.iter().max().unwrap(), diam);
+    }
+
+    #[test]
+    fn eccentricity_of_avoided_is_infinite() {
+        let g = gen::cycle(4).unwrap();
+        let avoid = NodeSet::from_nodes(4, [1]);
+        let ecc = eccentricities(&g, Some(&avoid));
+        assert_eq!(ecc[1], INFINITY);
+        assert_ne!(ecc[0], INFINITY);
+    }
+}

@@ -1,0 +1,16 @@
+//! Compile-time checks that the `serde` feature wires up `Serialize` /
+//! `Deserialize` on the data-structure types (C-SERDE). Run with
+//! `cargo test -p ftr-graph --features serde`.
+#![cfg(feature = "serde")]
+
+use ftr_graph::{DiGraph, Graph, NodeSet, Path};
+
+fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn graph_types_implement_serde() {
+    assert_serde::<Graph>();
+    assert_serde::<DiGraph>();
+    assert_serde::<NodeSet>();
+    assert_serde::<Path>();
+}

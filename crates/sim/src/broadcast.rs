@@ -1,0 +1,222 @@
+//! The route-counter broadcast protocol from the paper's introduction.
+//!
+//! After faults occur, a new route table can be computed by having a
+//! node broadcast to all others: the message carries a *route counter*,
+//! incremented each time it is forwarded along a new route, and is
+//! discarded once the counter exceeds a bound. The number of broadcast
+//! rounds needed is bounded by the diameter of the surviving route
+//! graph — which is exactly why the paper minimizes that diameter.
+//!
+//! [`simulate_broadcast`] executes the protocol round by round over a
+//! [`Routing`] and fault set, counting rounds and message transmissions,
+//! so experiment E15 can confirm `rounds == eccentricity <= diameter`.
+
+use ftr_core::Routing;
+use ftr_graph::{Node, NodeSet};
+
+/// Outcome of one broadcast simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// The last round in which a new node was informed (for a complete
+    /// broadcast this equals the origin's eccentricity in the surviving
+    /// graph). Note nodes keep forwarding for one further, unproductive
+    /// round — its messages are counted in [`messages`], not here.
+    ///
+    /// [`messages`]: BroadcastOutcome::messages
+    pub rounds: u32,
+    /// Non-faulty nodes that received the message (including the
+    /// origin).
+    pub informed: usize,
+    /// Non-faulty nodes in total.
+    pub survivors: usize,
+    /// Messages sent (one per outgoing route of each newly informed
+    /// node, whether or not the route survived — faulty routes still
+    /// consume a transmission up to the fault).
+    pub messages: u64,
+}
+
+impl BroadcastOutcome {
+    /// Did every surviving node learn the message?
+    pub fn complete(&self) -> bool {
+        self.informed == self.survivors
+    }
+}
+
+/// Simulates the broadcast from `origin` under `faults`.
+///
+/// Each round, every node informed in the previous round forwards the
+/// message along **all** of its outgoing routes; deliveries over
+/// affected routes are lost. Messages whose route counter would exceed
+/// `counter_bound` are discarded, so at most `counter_bound` rounds run
+/// (pass the surviving diameter — or an upper bound like the
+/// construction's claim — to match the paper's protocol).
+///
+/// # Panics
+///
+/// Panics if `origin` is out of range or `faults` has the wrong
+/// capacity.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::KernelRouting;
+/// use ftr_graph::{gen, NodeSet};
+/// use ftr_sim::broadcast::simulate_broadcast;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::petersen();
+/// let kernel = KernelRouting::build(&g)?;
+/// let faults = NodeSet::from_nodes(10, [3, 8]);
+/// let out = simulate_broadcast(kernel.routing(), &faults, 0, 4);
+/// assert!(out.complete(), "bound 4 suffices: kernel is (4, 1)-tolerant... and (2t,t)");
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_broadcast(
+    routing: &Routing,
+    faults: &NodeSet,
+    origin: Node,
+    counter_bound: u32,
+) -> BroadcastOutcome {
+    let n = routing.node_count();
+    assert!((origin as usize) < n, "origin {origin} out of range");
+    assert_eq!(faults.capacity(), n, "fault set capacity mismatch");
+    let survivors = n - faults.len();
+    if faults.contains(origin) {
+        return BroadcastOutcome {
+            rounds: 0,
+            informed: 0,
+            survivors,
+            messages: 0,
+        };
+    }
+
+    // Outgoing routes per node, with survival precomputed.
+    let mut out_routes: Vec<Vec<(Node, bool)>> = vec![Vec::new(); n];
+    for (s, d, view) in routing.routes() {
+        out_routes[s as usize].push((d, !view.is_affected_by(faults)));
+    }
+
+    let mut informed = NodeSet::new(n);
+    informed.insert(origin);
+    let mut frontier = vec![origin];
+    let mut round_idx = 0;
+    let mut last_productive = 0;
+    let mut messages = 0u64;
+    while !frontier.is_empty() && round_idx < counter_bound {
+        round_idx += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &(v, survives) in &out_routes[u as usize] {
+                messages += 1;
+                if survives && !faults.contains(v) && informed.insert(v) {
+                    next.push(v);
+                }
+            }
+        }
+        if !next.is_empty() {
+            last_productive = round_idx;
+        }
+        frontier = next;
+    }
+    BroadcastOutcome {
+        rounds: last_productive,
+        informed: informed.len(),
+        survivors,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_core::{KernelRouting, RouteTable, RoutingKind};
+    use ftr_graph::{gen, Path};
+
+    #[test]
+    fn broadcast_without_faults_reaches_everyone() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let out = simulate_broadcast(kernel.routing(), &NodeSet::new(10), 0, 10);
+        assert!(out.complete());
+        assert_eq!(out.survivors, 10);
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn rounds_match_surviving_eccentricity() {
+        let g = gen::torus(3, 4).unwrap();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let faults = NodeSet::from_nodes(12, [5]);
+        let s = kernel.routing().surviving(&faults);
+        for origin in 0..12u32 {
+            if faults.contains(origin) {
+                continue;
+            }
+            let out = simulate_broadcast(kernel.routing(), &faults, origin, 32);
+            assert!(out.complete(), "origin {origin}");
+            let dist = s.digraph().bfs_distances(origin, Some(&faults));
+            let ecc = (0..12u32)
+                .filter(|&v| v != origin && !faults.contains(v))
+                .map(|v| dist[v as usize])
+                .max()
+                .unwrap();
+            assert_eq!(out.rounds, ecc, "origin {origin}");
+        }
+    }
+
+    #[test]
+    fn rounds_bounded_by_claim_diameter() {
+        // Theorem 4: one fault on a 4-connected torus leaves diameter
+        // <= 4, so a route counter bound of 4 always completes.
+        let g = gen::torus(3, 4).unwrap();
+        let kernel = KernelRouting::build(&g).unwrap();
+        for f in 0..12u32 {
+            let faults = NodeSet::from_nodes(12, [f]);
+            for origin in 0..12u32 {
+                if origin == f {
+                    continue;
+                }
+                let out = simulate_broadcast(kernel.routing(), &faults, origin, 4);
+                assert!(out.complete(), "origin {origin}, fault {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn counter_bound_cuts_off_propagation() {
+        // A line routing needs n-1 rounds; bound 1 reaches neighbors only.
+        let mut r = Routing::new(5, RoutingKind::Bidirectional);
+        for u in 0..4u32 {
+            r.insert(Path::edge(u, u + 1).unwrap()).unwrap();
+        }
+        let out = simulate_broadcast(&r, &NodeSet::new(5), 0, 1);
+        assert_eq!(out.informed, 2);
+        assert!(!out.complete());
+        let out = simulate_broadcast(&r, &NodeSet::new(5), 0, 4);
+        assert!(out.complete());
+    }
+
+    #[test]
+    fn faulty_origin_informs_nobody() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let faults = NodeSet::from_nodes(10, [0]);
+        let out = simulate_broadcast(kernel.routing(), &faults, 0, 5);
+        assert_eq!(out.informed, 0);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn messages_are_counted_per_route() {
+        // Star routing from center 0: one round, 3 messages.
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        for v in 1..4u32 {
+            r.insert(Path::edge(0, v).unwrap()).unwrap();
+        }
+        let out = simulate_broadcast(&r, &NodeSet::new(4), 0, 3);
+        assert_eq!(out.rounds, 1, "everyone informed in the first round");
+        assert_eq!(out.messages, 3 + 3, "3 from center, 1 back from each leaf");
+        assert!(out.complete());
+    }
+}

@@ -1,0 +1,229 @@
+//! Long-run fault churn: nodes fail and repair over time while the
+//! route table stays fixed.
+//!
+//! The paper's whole point is that a *precomputed* routing keeps
+//! working through faults: as long as no more than `t` nodes are down
+//! simultaneously, any surviving pair communicates within the claimed
+//! number of route hops, with no route recomputation on the data path.
+//! [`simulate_churn`] runs a discrete-time failure/repair process and
+//! checks the claim at every step, giving a randomized long-run
+//! validation that complements the exhaustive verifier.
+
+use ftr_core::{RouteTable, Routing, ToleranceClaim};
+use ftr_graph::NodeSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the churn process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Per-step probability that each live node fails.
+    pub fail_rate: f64,
+    /// Steps a failed node stays down before repair.
+    pub repair_time: u32,
+    /// Total steps to simulate.
+    pub steps: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            fail_rate: 0.02,
+            repair_time: 5,
+            steps: 200,
+            seed: 0xC4,
+        }
+    }
+}
+
+/// Aggregate outcome of a churn run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// Steps simulated.
+    pub steps: u32,
+    /// Steps on which the live fault count was within the claim budget.
+    pub steps_within_budget: u32,
+    /// Steps within budget whose surviving diameter exceeded the
+    /// claimed bound — the theorems promise this is zero.
+    pub violations_within_budget: u32,
+    /// Worst surviving diameter observed on within-budget steps.
+    pub worst_diameter_within_budget: u32,
+    /// Steps beyond budget on which the surviving graph disconnected.
+    pub disconnections_beyond_budget: u32,
+    /// Maximum simultaneous faults observed.
+    pub peak_faults: usize,
+}
+
+impl ChurnReport {
+    /// Did the routing honor its claim on every within-budget step?
+    pub fn claim_held(&self) -> bool {
+        self.violations_within_budget == 0
+    }
+}
+
+/// Runs the churn process against `routing` and `claim`.
+///
+/// Each step: every live node fails independently with
+/// `config.fail_rate`; failed nodes come back after
+/// `config.repair_time` steps. On each step the surviving route graph
+/// is evaluated and compared against the claim when the fault count is
+/// within budget.
+///
+/// # Panics
+///
+/// Panics if `fail_rate` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::KernelRouting;
+/// use ftr_graph::gen;
+/// use ftr_sim::churn::{simulate_churn, ChurnConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::torus(3, 4)?;
+/// let kernel = KernelRouting::build(&g)?;
+/// let report = simulate_churn(kernel.routing(), &kernel.claim_theorem_3(), ChurnConfig::default());
+/// assert!(report.claim_held(), "{report:?}");
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_churn(routing: &Routing, claim: &ToleranceClaim, config: ChurnConfig) -> ChurnReport {
+    assert!(
+        (0.0..=1.0).contains(&config.fail_rate),
+        "fail rate must be a probability"
+    );
+    let n = routing.node_count();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    // remaining downtime per node; 0 = live
+    let mut downtime = vec![0u32; n];
+    let mut report = ChurnReport {
+        steps: config.steps,
+        steps_within_budget: 0,
+        violations_within_budget: 0,
+        worst_diameter_within_budget: 0,
+        disconnections_beyond_budget: 0,
+        peak_faults: 0,
+    };
+    for _ in 0..config.steps {
+        // repairs, then fresh failures
+        for d in downtime.iter_mut() {
+            *d = d.saturating_sub(1);
+        }
+        for d in downtime.iter_mut() {
+            if *d == 0 && rng.gen_bool(config.fail_rate) {
+                *d = config.repair_time.max(1);
+            }
+        }
+        let faults = NodeSet::from_nodes(
+            n,
+            downtime
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d > 0)
+                .map(|(v, _)| v as u32),
+        );
+        report.peak_faults = report.peak_faults.max(faults.len());
+        let diameter = routing.surviving(&faults).diameter();
+        if faults.len() <= claim.faults {
+            report.steps_within_budget += 1;
+            match diameter {
+                Some(d) => {
+                    report.worst_diameter_within_budget =
+                        report.worst_diameter_within_budget.max(d);
+                    if d > claim.diameter {
+                        report.violations_within_budget += 1;
+                    }
+                }
+                None => report.violations_within_budget += 1,
+            }
+        } else if diameter.is_none() {
+            report.disconnections_beyond_budget += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_core::{CircularRouting, KernelRouting};
+    use ftr_graph::gen;
+
+    #[test]
+    fn kernel_claim_holds_through_churn() {
+        let g = gen::torus(3, 4).unwrap();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let report = simulate_churn(
+            kernel.routing(),
+            &kernel.claim_theorem_3(),
+            ChurnConfig::default(),
+        );
+        assert!(report.claim_held(), "{report:?}");
+        assert_eq!(report.steps, 200);
+        assert!(report.steps_within_budget > 0);
+    }
+
+    #[test]
+    fn circular_claim_holds_through_heavy_churn() {
+        let g = gen::harary(3, 18).unwrap();
+        let circ = CircularRouting::build(&g).unwrap();
+        let config = ChurnConfig {
+            fail_rate: 0.05,
+            repair_time: 4,
+            steps: 300,
+            seed: 9,
+        };
+        let report = simulate_churn(circ.routing(), &circ.claim(), config);
+        assert!(report.claim_held(), "{report:?}");
+        assert!(report.peak_faults >= 2, "heavy churn should exceed the budget sometimes");
+    }
+
+    #[test]
+    fn zero_fail_rate_is_a_quiet_network() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let config = ChurnConfig {
+            fail_rate: 0.0,
+            ..ChurnConfig::default()
+        };
+        let report = simulate_churn(kernel.routing(), &kernel.claim_theorem_3(), config);
+        assert_eq!(report.peak_faults, 0);
+        assert_eq!(report.steps_within_budget, report.steps);
+        assert!(report.claim_held());
+    }
+
+    #[test]
+    fn churn_is_reproducible() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let a = simulate_churn(
+            kernel.routing(),
+            &kernel.claim_theorem_3(),
+            ChurnConfig::default(),
+        );
+        let b = simulate_churn(
+            kernel.routing(),
+            &kernel.claim_theorem_3(),
+            ChurnConfig::default(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_fail_rate_panics() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        simulate_churn(
+            kernel.routing(),
+            &kernel.claim_theorem_3(),
+            ChurnConfig {
+                fail_rate: 1.5,
+                ..ChurnConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! E8 and E9: the bipolar routings (Theorems 20 and 23).
+
+use ftr_core::{BipolarRouting, FaultStrategy, RoutingKind};
+use ftr_graph::gen;
+
+use super::circular_exp::binomial;
+use super::{push_verification_row, NamedGraph, Scale, VERIFICATION_HEADERS};
+use crate::report::Table;
+
+fn suite(scale: Scale) -> Vec<NamedGraph> {
+    let mut graphs = vec![
+        NamedGraph::new("C12", gen::cycle(12).expect("valid")),
+        NamedGraph::new("C24", gen::cycle(24).expect("valid")),
+    ];
+    if scale == Scale::Full {
+        graphs.extend([
+            NamedGraph::new("CCC(5)", gen::cube_connected_cycles(5).expect("valid")),
+            NamedGraph::new("CCC(6)", gen::cube_connected_cycles(6).expect("valid")),
+        ]);
+    }
+    graphs
+}
+
+fn run(id: &str, title: &str, kind: RoutingKind, scale: Scale) -> Table {
+    let mut table = Table::new(id, title, VERIFICATION_HEADERS);
+    for NamedGraph { name, graph } in suite(scale) {
+        let b = BipolarRouting::build(&graph, kind).expect("suite graphs have the two-trees property");
+        b.routing().validate(&graph).expect("valid routing");
+        let n = graph.node_count();
+        let t = b.tolerated_faults();
+        let strategy = if binomial(n, t) <= 15_000 {
+            FaultStrategy::Exhaustive
+        } else {
+            FaultStrategy::RandomSample {
+                trials: 1_500,
+                seed: 0xB1,
+            }
+        };
+        push_verification_row(&mut table, &name, n, t, b.routing(), b.claim(), strategy);
+    }
+    table.push_note(
+        "Suite graphs have girth >= 5 and diameter >= 5, so two-trees roots exist \
+         (cycles and cube-connected cycles; tori and hypercubes fail the property).",
+    );
+    table
+}
+
+/// E8 — Theorem 20: the unidirectional bipolar routing is
+/// `(4, t)`-tolerant on two-trees graphs.
+pub fn e8_bipolar_unidirectional(scale: Scale) -> Table {
+    run(
+        "E8",
+        "Theorem 20: unidirectional bipolar routing is (4, t)-tolerant",
+        RoutingKind::Unidirectional,
+        scale,
+    )
+}
+
+/// E9 — Theorem 23: the bidirectional bipolar routing is
+/// `(5, t)`-tolerant on two-trees graphs.
+pub fn e9_bipolar_bidirectional(scale: Scale) -> Table {
+    run(
+        "E9",
+        "Theorem 23: bidirectional bipolar routing is (5, t)-tolerant",
+        RoutingKind::Bidirectional,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_quick_satisfies_theorem_20() {
+        let t = e8_bipolar_unidirectional(Scale::Quick);
+        assert!(t.all_yes("ok"), "{t}");
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn e9_quick_satisfies_theorem_23() {
+        let t = e9_bipolar_bidirectional(Scale::Quick);
+        assert!(t.all_yes("ok"), "{t}");
+    }
+}

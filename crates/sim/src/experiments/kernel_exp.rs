@@ -1,0 +1,146 @@
+//! E1, E2 and A4: the kernel routing bounds (Theorems 3 and 4).
+
+use ftr_core::{verify_tolerance, FaultStrategy, KernelRouting};
+use ftr_graph::gen;
+
+use super::{push_verification_row, threads, NamedGraph, Scale, VERIFICATION_HEADERS};
+use crate::report::{fmt_diameter, Table};
+
+fn suite(scale: Scale) -> Vec<NamedGraph> {
+    let mut graphs = vec![
+        NamedGraph::new("C8", gen::cycle(8).expect("valid")),
+        NamedGraph::new("Petersen", gen::petersen()),
+        NamedGraph::new("Torus3x4", gen::torus(3, 4).expect("valid")),
+        NamedGraph::new("H(4,12)", gen::harary(4, 12).expect("valid")),
+    ];
+    if scale == Scale::Full {
+        graphs.extend([
+            NamedGraph::new("Q4", gen::hypercube(4).expect("valid")),
+            NamedGraph::new("CCC(3)", gen::cube_connected_cycles(3).expect("valid")),
+            NamedGraph::new("BF(3)", gen::wrapped_butterfly(3).expect("valid")),
+            NamedGraph::new("H(5,14)", gen::harary(5, 14).expect("valid")),
+            NamedGraph::new("Torus4x5", gen::torus(4, 5).expect("valid")),
+            NamedGraph::new("H(3,30)", gen::harary(3, 30).expect("valid")),
+        ]);
+    }
+    graphs
+}
+
+/// E1 — Theorem 3: the kernel routing is `(2t, t)`-tolerant (bounded
+/// below by the Dolev et al. `max{2t, 4}` form).
+pub fn e1_kernel_theorem3(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E1",
+        "Theorem 3: kernel routing is (max{2t,4}, t)-tolerant",
+        VERIFICATION_HEADERS,
+    );
+    for NamedGraph { name, graph } in suite(scale) {
+        let kernel = KernelRouting::build(&graph).expect("suite graphs are connected");
+        kernel
+            .routing()
+            .validate(&graph)
+            .expect("constructions produce valid routings");
+        push_verification_row(
+            &mut table,
+            &name,
+            graph.node_count(),
+            kernel.tolerated_faults(),
+            kernel.routing(),
+            kernel.claim_theorem_3(),
+            FaultStrategy::Exhaustive,
+        );
+    }
+    table.push_note(
+        "Exhaustive over all fault sets |F| <= t; 'worst diameter' is the maximum \
+         surviving-route-graph diameter observed.",
+    );
+    table
+}
+
+/// E2 — Theorem 4: the kernel routing is `(4, ⌊t/2⌋)`-tolerant.
+pub fn e2_kernel_theorem4(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E2",
+        "Theorem 4: kernel routing is (4, t/2)-tolerant",
+        VERIFICATION_HEADERS,
+    );
+    for NamedGraph { name, graph } in suite(scale) {
+        let kernel = KernelRouting::build(&graph).expect("suite graphs are connected");
+        push_verification_row(
+            &mut table,
+            &name,
+            graph.node_count(),
+            kernel.tolerated_faults(),
+            kernel.routing(),
+            kernel.claim_theorem_4(),
+            FaultStrategy::Exhaustive,
+        );
+    }
+    table.push_note("Fault budget is floor(t/2): half the connectivity margin, constant bound 4.");
+    table
+}
+
+/// A4 — how the kernel's worst surviving diameter grows as the fault
+/// budget passes `⌊t/2⌋` (the Theorem 4 regime) toward `t` (the
+/// Theorem 3 regime).
+pub fn ablation_a4_fault_sweep(scale: Scale) -> Table {
+    let graph = match scale {
+        Scale::Quick => gen::harary(4, 12).expect("valid"),
+        Scale::Full => gen::harary(5, 16).expect("valid"),
+    };
+    let kernel = KernelRouting::build(&graph).expect("connected");
+    let t = kernel.tolerated_faults();
+    let mut table = Table::new(
+        "A4",
+        format!(
+            "kernel worst diameter vs fault budget on H({},{}) (t = {t})",
+            t + 1,
+            graph.node_count()
+        ),
+        ["faults", "regime", "worst diameter", "fault sets"],
+    );
+    for f in 0..=t {
+        let report = verify_tolerance(kernel.routing(), f, FaultStrategy::Exhaustive, threads());
+        let regime = if f <= t / 2 {
+            "Theorem 4: <= 4"
+        } else {
+            "Theorem 3: <= max{2t,4}"
+        };
+        table.push_row([
+            f.to_string(),
+            regime.to_string(),
+            fmt_diameter(report.worst_diameter),
+            report.sets_checked.to_string(),
+        ]);
+    }
+    table.push_note(
+        "The transition past |F| = t/2 is where the constant bound of Theorem 4 stops applying.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_all_graphs_satisfy_theorem_3() {
+        let t = e1_kernel_theorem3(Scale::Quick);
+        assert!(t.all_yes("ok"), "{t}");
+        assert_eq!(t.rows().len(), 4);
+    }
+
+    #[test]
+    fn e2_all_graphs_satisfy_theorem_4() {
+        let t = e2_kernel_theorem4(Scale::Quick);
+        assert!(t.all_yes("ok"), "{t}");
+    }
+
+    #[test]
+    fn a4_sweep_is_monotone_in_reported_budget() {
+        let t = ablation_a4_fault_sweep(Scale::Quick);
+        assert_eq!(t.rows().len(), 4); // f = 0..=3 for H(4,12)
+        // worst diameter at f=0 is the no-fault diameter, >= 1
+        assert_ne!(t.rows()[0][2], "inf");
+    }
+}

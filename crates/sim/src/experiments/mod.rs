@@ -1,0 +1,236 @@
+//! The per-theorem experiments of EXPERIMENTS.md.
+//!
+//! The paper proves bounds instead of measuring tables, so each theorem
+//! becomes a *verification experiment*: build the construction on a
+//! suite of graphs, enumerate (or sample/search) fault sets up to the
+//! theorem's budget, and compare the worst observed surviving diameter
+//! against the proved bound. Each experiment returns [`Table`]s whose
+//! Markdown rendering is pasted into EXPERIMENTS.md by the
+//! `experiments` binary.
+//!
+//! Every experiment takes a [`Scale`]: `Quick` keeps runtimes suitable
+//! for `cargo test`, `Full` reproduces the committed tables.
+
+mod adversary;
+mod beyond_exp;
+mod bipolar_exp;
+mod circular_exp;
+mod hypercube_exp;
+mod kernel_exp;
+mod multi_exp;
+mod neighborhood;
+mod protocol;
+mod random_graphs;
+mod scaling;
+
+pub use adversary::{ablation_a2_shortcut_rule, ablation_a3_strategies};
+pub use beyond_exp::e16_beyond_budget;
+pub use bipolar_exp::{e8_bipolar_unidirectional, e9_bipolar_bidirectional};
+pub use circular_exp::{
+    ablation_a1_concentrator_size, e3_circular, e4_tricircular, e5_tricircular_small,
+};
+pub use hypercube_exp::e14_hypercube_baseline;
+pub use kernel_exp::{ablation_a4_fault_sweep, e1_kernel_theorem3, e2_kernel_theorem4};
+pub use multi_exp::{e11_multiroutings, e12_augmentation};
+pub use neighborhood::{e6_neighborhood_sets, e7_degree_thresholds};
+pub use protocol::e15_broadcast;
+pub use random_graphs::e10_two_trees_probability;
+pub use scaling::{s1_scaling, s2_stretch};
+
+use ftr_core::{verify_tolerance, FaultStrategy, RouteTable, ToleranceClaim};
+use ftr_graph::Graph;
+
+use crate::report::{fmt_bool, fmt_diameter, Table};
+
+/// How much work an experiment run should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small graph suite, exhaustive only where cheap; suitable for
+    /// `cargo test`.
+    Quick,
+    /// The committed EXPERIMENTS.md configuration (use `--release`).
+    Full,
+}
+
+/// A named experiment, as listed by the `experiments` binary.
+pub struct ExperimentSpec {
+    /// EXPERIMENTS.md identifier (`"e1"`, ..., `"a4"`).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Runner producing the result tables.
+    pub run: fn(Scale) -> Vec<Table>,
+}
+
+/// Registry of all experiments (E13, the figures, is rendered directly
+/// by the `experiments` binary via [`crate::viz`]).
+pub fn registry() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            id: "e1",
+            title: "Theorem 3: kernel routing is (2t, t)-tolerant",
+            run: |s| vec![e1_kernel_theorem3(s)],
+        },
+        ExperimentSpec {
+            id: "e2",
+            title: "Theorem 4: kernel routing is (4, t/2)-tolerant",
+            run: |s| vec![e2_kernel_theorem4(s)],
+        },
+        ExperimentSpec {
+            id: "e3",
+            title: "Theorem 10: circular routing is (6, t)-tolerant",
+            run: |s| vec![e3_circular(s)],
+        },
+        ExperimentSpec {
+            id: "e4",
+            title: "Theorem 13: tri-circular routing is (4, t)-tolerant",
+            run: |s| vec![e4_tricircular(s)],
+        },
+        ExperimentSpec {
+            id: "e5",
+            title: "Remark 14: small tri-circular routing is (5, t)-tolerant",
+            run: |s| vec![e5_tricircular_small(s)],
+        },
+        ExperimentSpec {
+            id: "e6",
+            title: "Lemma 15: greedy neighborhood sets reach n/(d^2+1)",
+            run: |s| vec![e6_neighborhood_sets(s)],
+        },
+        ExperimentSpec {
+            id: "e7",
+            title: "Corollary 17: degree thresholds for construction feasibility",
+            run: |s| vec![e7_degree_thresholds(s)],
+        },
+        ExperimentSpec {
+            id: "e8",
+            title: "Theorem 20: unidirectional bipolar routing is (4, t)-tolerant",
+            run: |s| vec![e8_bipolar_unidirectional(s)],
+        },
+        ExperimentSpec {
+            id: "e9",
+            title: "Theorem 23: bidirectional bipolar routing is (5, t)-tolerant",
+            run: |s| vec![e9_bipolar_bidirectional(s)],
+        },
+        ExperimentSpec {
+            id: "e10",
+            title: "Lemma 24/Theorem 25: two-trees probability in G(n, p)",
+            run: |s| vec![e10_two_trees_probability(s)],
+        },
+        ExperimentSpec {
+            id: "e11",
+            title: "Section 6: multiroutings (diameter 1 / 3 / measured)",
+            run: |s| vec![e11_multiroutings(s)],
+        },
+        ExperimentSpec {
+            id: "e12",
+            title: "Section 6: clique-augmented kernel is (3, t)-tolerant",
+            run: |s| vec![e12_augmentation(s)],
+        },
+        ExperimentSpec {
+            id: "e14",
+            title: "Dolev et al. hypercube baseline: bit-fixing measured",
+            run: |s| vec![e14_hypercube_baseline(s)],
+        },
+        ExperimentSpec {
+            id: "e15",
+            title: "Broadcast with route counters completes within the bound",
+            run: |s| vec![e15_broadcast(s)],
+        },
+        ExperimentSpec {
+            id: "e16",
+            title: "Open problem 3: component diameters beyond the fault budget",
+            run: |s| vec![e16_beyond_budget(s)],
+        },
+        ExperimentSpec {
+            id: "s1",
+            title: "Scaling: construction cost and route-table footprint vs n",
+            run: |s| vec![s1_scaling(s)],
+        },
+        ExperimentSpec {
+            id: "s2",
+            title: "Scaling: route stretch vs shortest paths",
+            run: |s| vec![s2_stretch(s)],
+        },
+        ExperimentSpec {
+            id: "a1",
+            title: "Ablation: circular routing below the required concentrator size",
+            run: |s| vec![ablation_a1_concentrator_size(s)],
+        },
+        ExperimentSpec {
+            id: "a2",
+            title: "Ablation: tree routings without the direct-edge shortcut rule",
+            run: |s| vec![ablation_a2_shortcut_rule(s)],
+        },
+        ExperimentSpec {
+            id: "a3",
+            title: "Ablation: adversarial vs random fault search",
+            run: |s| vec![ablation_a3_strategies(s)],
+        },
+        ExperimentSpec {
+            id: "a4",
+            title: "Ablation: kernel routing as |F| passes t/2",
+            run: |s| vec![ablation_a4_fault_sweep(s)],
+        },
+    ]
+}
+
+/// Worker thread count for tolerance verification.
+pub(crate) fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// A named graph in an experiment suite.
+pub(crate) struct NamedGraph {
+    pub name: String,
+    pub graph: Graph,
+}
+
+impl NamedGraph {
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        NamedGraph {
+            name: name.into(),
+            graph,
+        }
+    }
+}
+
+/// Runs a tolerance verification and appends the standard row
+/// `graph | n | t | claim | strategy | worst diameter | sets | ok`.
+pub(crate) fn push_verification_row<T: RouteTable + Sync>(
+    table: &mut Table,
+    name: &str,
+    n: usize,
+    t: usize,
+    routing: &T,
+    claim: ToleranceClaim,
+    strategy: FaultStrategy,
+) -> bool {
+    let report = verify_tolerance(routing, claim.faults, strategy, threads());
+    let ok = report.satisfies(&claim);
+    table.push_row([
+        name.to_string(),
+        n.to_string(),
+        t.to_string(),
+        claim.to_string(),
+        strategy.to_string(),
+        fmt_diameter(report.worst_diameter),
+        report.sets_checked.to_string(),
+        fmt_bool(ok),
+    ]);
+    ok
+}
+
+/// The standard verification column set used by most experiments.
+pub(crate) const VERIFICATION_HEADERS: [&str; 8] = [
+    "graph",
+    "n",
+    "t",
+    "claim",
+    "strategy",
+    "worst diameter",
+    "fault sets",
+    "ok",
+];

@@ -1,0 +1,156 @@
+//! E6 and E7: neighborhood-set sizes (Lemma 15) and the degree
+//! thresholds for construction feasibility (Theorem 16 / Corollary 17).
+
+use ftr_core::{CircularRouting, TriCircularRouting, TriCircularVariant};
+use ftr_graph::analysis::{self, SelectionOrder};
+use ftr_graph::{connectivity, gen};
+
+use super::{NamedGraph, Scale};
+use crate::report::{fmt_bool, Table};
+
+fn suite(scale: Scale) -> Vec<NamedGraph> {
+    let mut graphs = vec![
+        NamedGraph::new("C30", gen::cycle(30).expect("valid")),
+        NamedGraph::new("Q5", gen::hypercube(5).expect("valid")),
+        NamedGraph::new("Torus5x6", gen::torus(5, 6).expect("valid")),
+        NamedGraph::new("Petersen", gen::petersen()),
+        NamedGraph::new("H(4,40)", gen::harary(4, 40).expect("valid")),
+        NamedGraph::new("G(60,.05)", gen::gnp(60, 0.05, 6).expect("valid")),
+    ];
+    if scale == Scale::Full {
+        graphs.extend([
+            NamedGraph::new("CCC(5)", gen::cube_connected_cycles(5).expect("valid")),
+            NamedGraph::new("BF(5)", gen::wrapped_butterfly(5).expect("valid")),
+            NamedGraph::new("H(3,120)", gen::harary(3, 120).expect("valid")),
+            NamedGraph::new("G(200,.02)", gen::gnp(200, 0.02, 7).expect("valid")),
+            NamedGraph::new("RandReg(100,4)", gen::random_regular(100, 4, 8).expect("valid")),
+        ]);
+    }
+    graphs
+}
+
+/// E6 — Lemma 15: the greedy algorithm finds a neighborhood set of at
+/// least `⌈n/(d²+1)⌉` members; the table reports the bound and the
+/// sizes achieved under three candidate orders.
+pub fn e6_neighborhood_sets(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E6",
+        "Lemma 15: greedy neighborhood-set sizes vs the n/(d^2+1) bound",
+        [
+            "graph",
+            "n",
+            "max degree d",
+            "bound",
+            "ascending",
+            "min-degree",
+            "random",
+            "ok",
+        ],
+    );
+    for NamedGraph { name, graph } in suite(scale) {
+        let n = graph.node_count();
+        let d = graph.max_degree();
+        let bound = n.div_ceil(d * d + 1);
+        let sizes: Vec<usize> = [
+            SelectionOrder::Ascending,
+            SelectionOrder::MinDegreeFirst,
+            SelectionOrder::Random(0xE6),
+        ]
+        .into_iter()
+        .map(|o| analysis::neighborhood_set(&graph, o).len())
+        .collect();
+        let ok = sizes.iter().all(|&s| s >= bound);
+        table.push_row([
+            name,
+            n.to_string(),
+            d.to_string(),
+            bound.to_string(),
+            sizes[0].to_string(),
+            sizes[1].to_string(),
+            sizes[2].to_string(),
+            fmt_bool(ok),
+        ]);
+    }
+    table.push_note("Lemma 15 holds for any candidate order; sizes often beat the bound widely.");
+    table
+}
+
+/// E7 — Theorem 16 / Corollary 17: when the maximum degree is below
+/// `0.79·n^(1/3)` the circular routing exists, below `0.46·n^(1/3)` the
+/// tri-circular routing exists. The table compares the prediction with
+/// actual construction attempts (the thresholds are sufficient, not
+/// necessary, so `found` may exceed `guaranteed`).
+pub fn e7_degree_thresholds(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E7",
+        "Corollary 17: degree thresholds vs actual construction feasibility",
+        [
+            "graph",
+            "n",
+            "d",
+            "0.79 n^1/3",
+            "circ guaranteed",
+            "circ found",
+            "0.46 n^1/3",
+            "tri guaranteed",
+            "tri found",
+        ],
+    );
+    for NamedGraph { name, graph } in suite(scale) {
+        let n = graph.node_count();
+        let d = graph.max_degree();
+        if connectivity::vertex_connectivity(&graph) == 0 {
+            continue; // constructions need a connected graph
+        }
+        let circ_thresh = 0.79 * (n as f64).cbrt();
+        let tri_thresh = 0.46 * (n as f64).cbrt();
+        let circ_guaranteed = 2.0 <= d as f64 && (d as f64) < circ_thresh;
+        let tri_guaranteed = 2.0 <= d as f64 && (d as f64) < tri_thresh;
+        let circ_found = CircularRouting::build(&graph).is_ok();
+        let tri_found = TriCircularRouting::build(&graph, TriCircularVariant::Standard).is_ok();
+        table.push_row([
+            name,
+            n.to_string(),
+            d.to_string(),
+            format!("{circ_thresh:.2}"),
+            fmt_bool(circ_guaranteed),
+            fmt_bool(circ_found),
+            format!("{tri_thresh:.2}"),
+            fmt_bool(tri_guaranteed),
+            fmt_bool(tri_found),
+        ]);
+    }
+    table.push_note(
+        "Corollary 17's thresholds are asymptotic sufficient conditions: 'guaranteed' implies \
+         'found' (checked), while constructions often succeed far above the threshold.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_bound_holds_everywhere() {
+        let t = e6_neighborhood_sets(Scale::Quick);
+        assert!(t.all_yes("ok"), "{t}");
+        assert_eq!(t.rows().len(), 6);
+    }
+
+    #[test]
+    fn e7_guaranteed_implies_found() {
+        let t = e7_degree_thresholds(Scale::Quick);
+        let idx = |h: &str| t.headers().iter().position(|x| x == h).unwrap();
+        let (cg, cf) = (idx("circ guaranteed"), idx("circ found"));
+        let (tg, tf) = (idx("tri guaranteed"), idx("tri found"));
+        for row in t.rows() {
+            if row[cg] == "yes" {
+                assert_eq!(row[cf], "yes", "sufficient condition violated: {row:?}");
+            }
+            if row[tg] == "yes" {
+                assert_eq!(row[tf], "yes", "sufficient condition violated: {row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! S1 and S2 — systems-style scaling tables the paper never measured:
+//! construction cost and route-table footprint as the network grows.
+//!
+//! These quantify what a deployment would actually pay for each
+//! construction: how long building the table takes, how many routes it
+//! stores, and how long its routes are relative to the network
+//! diameter.
+
+use std::time::Instant;
+
+use ftr_core::{
+    BipolarRouting, CircularRouting, KernelRouting, Routing, RoutingKind, TriCircularRouting,
+    TriCircularVariant,
+};
+use ftr_graph::{gen, traversal, Graph};
+
+use super::Scale;
+use crate::report::Table;
+
+fn fmt_ms(nanos: u128) -> String {
+    format!("{:.2}", nanos as f64 / 1e6)
+}
+
+fn push_scaling_row(table: &mut Table, name: &str, g: &Graph, routing: &Routing, build_ns: u128) {
+    let stats = routing.stats();
+    let diam = traversal::diameter(g, None)
+        .map(|d| d.to_string())
+        .unwrap_or_else(|| "inf".into());
+    table.push_row([
+        name.to_string(),
+        g.node_count().to_string(),
+        g.edge_count().to_string(),
+        diam,
+        fmt_ms(build_ns),
+        stats.routes.to_string(),
+        stats.stored_paths.to_string(),
+        format!("{:.2}", stats.mean_route_len),
+        stats.max_route_len.to_string(),
+    ]);
+}
+
+/// S1 — build time and route-table size across network sizes, one row
+/// per (construction, n).
+pub fn s1_scaling(scale: Scale) -> Table {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[16, 24],
+        Scale::Full => &[16, 24, 32, 48, 64, 96],
+    };
+    let mut table = Table::new(
+        "S1",
+        "construction cost and route-table footprint vs network size",
+        [
+            "construction",
+            "n",
+            "edges",
+            "graph diameter",
+            "build ms",
+            "routes",
+            "stored paths",
+            "mean route len",
+            "max route len",
+        ],
+    );
+    for &n in sizes {
+        // kernel + circular on 4-connected circulants
+        let g = gen::harary(4, n).expect("valid");
+        let start = Instant::now();
+        let kernel = KernelRouting::build(&g).expect("connected");
+        push_scaling_row(
+            &mut table,
+            "kernel/H(4,n)",
+            &g,
+            kernel.routing(),
+            start.elapsed().as_nanos(),
+        );
+        // circular needs K = t + 2 = 5 neighborhood-set members, which
+        // circulants only fit from n ≈ 32 up
+        let start = Instant::now();
+        if let Ok(circ) = CircularRouting::build(&g) {
+            push_scaling_row(
+                &mut table,
+                "circular/H(4,n)",
+                &g,
+                circ.routing(),
+                start.elapsed().as_nanos(),
+            );
+        }
+        // bipolar on cycles (two-trees graphs)
+        let g = gen::cycle(n).expect("valid");
+        let start = Instant::now();
+        let bip = BipolarRouting::build(&g, RoutingKind::Unidirectional).expect("two-trees");
+        push_scaling_row(
+            &mut table,
+            "bipolar-uni/C_n",
+            &g,
+            bip.routing(),
+            start.elapsed().as_nanos(),
+        );
+        // tri-circular needs K = 15 members: only for n >= 45
+        if n >= 45 {
+            let start = Instant::now();
+            let tri = TriCircularRouting::build(&g, TriCircularVariant::Standard).expect("fits");
+            push_scaling_row(
+                &mut table,
+                "tri-circular/C_n",
+                &g,
+                tri.routing(),
+                start.elapsed().as_nanos(),
+            );
+        }
+    }
+    table.push_note(
+        "Route counts grow linearly in n for all constructions (each node keeps O(K · (t+1)) \
+         tree routes plus its edges); build time is dominated by the per-node max-flow calls.",
+    );
+    table
+}
+
+/// S2 — stretch: how much longer are fixed routes than shortest paths,
+/// per construction (mean route length / mean shortest-path distance
+/// over routed pairs)?
+pub fn s2_stretch(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Quick => 20,
+        Scale::Full => 40,
+    };
+    let mut table = Table::new(
+        "S2",
+        "route stretch: fixed-route length vs shortest-path distance over routed pairs",
+        ["construction", "n", "routed pairs", "mean stretch", "max stretch"],
+    );
+    let mut measure = |name: &str, g: &Graph, routing: &Routing| {
+        let mut total_stretch = 0.0;
+        let mut max_stretch: f64 = 0.0;
+        let mut pairs = 0usize;
+        for (s, d, view) in routing.routes() {
+            let shortest = traversal::distance(g, s, d, None);
+            if shortest == 0 || shortest == ftr_graph::INFINITY {
+                continue;
+            }
+            let stretch = view.len() as f64 / shortest as f64;
+            total_stretch += stretch;
+            max_stretch = max_stretch.max(stretch);
+            pairs += 1;
+        }
+        table.push_row([
+            name.to_string(),
+            g.node_count().to_string(),
+            pairs.to_string(),
+            format!("{:.3}", total_stretch / pairs as f64),
+            format!("{max_stretch:.3}"),
+        ]);
+    };
+    let g = gen::harary(4, n.max(40)).expect("valid");
+    let kernel = KernelRouting::build(&g).expect("connected");
+    measure("kernel/H(4,n)", &g, kernel.routing());
+    let circ = CircularRouting::build(&g).expect("n >= 40 fits the concentrator");
+    measure("circular/H(4,n)", &g, circ.routing());
+    let c = gen::cycle(n).expect("valid");
+    let bip = BipolarRouting::build(&c, RoutingKind::Unidirectional).expect("two-trees");
+    measure("bipolar-uni/C_n", &c, bip.routing());
+    table.push_note(
+        "Stretch 1.0 means every fixed route is a shortest path. Tree routings are built from \
+         max-flow path systems, which trade per-route optimality for disjointness — the price \
+         of fault tolerance in route length.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s1_rows_cover_all_sizes() {
+        let t = s1_scaling(Scale::Quick);
+        // sizes 16 and 24: kernel + bipolar each; circular and
+        // tri-circular need larger graphs
+        assert_eq!(t.rows().len(), 4);
+        for row in t.rows() {
+            let routes: usize = row[5].parse().unwrap();
+            let paths: usize = row[6].parse().unwrap();
+            assert!(routes >= paths, "bidirectional sharing cannot exceed routes");
+        }
+    }
+
+    #[test]
+    fn s2_stretch_is_at_least_one() {
+        let t = s2_stretch(Scale::Quick);
+        for row in t.rows() {
+            let mean: f64 = row[3].parse().unwrap();
+            let max: f64 = row[4].parse().unwrap();
+            assert!(mean >= 1.0, "{row:?}");
+            assert!(max >= mean, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Fault injection models for protocol simulations.
+//!
+//! The tolerance verifier in `ftr-core` enumerates fault sets for
+//! worst-case measurement; this module provides the *scenario-level*
+//! fault models the protocol simulations and examples use: uniform
+//! random node failures, failures targeted at a known node set (e.g. a
+//! routing's concentrator), and explicit failure lists. Edge faults are
+//! modelled per the paper by failing one endpoint ("an assumption that
+//! can only weaken our results").
+
+use ftr_graph::{Node, NodeSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible fault scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// No faults.
+    None,
+    /// `count` distinct nodes drawn uniformly with the given seed.
+    Uniform {
+        /// Number of faulty nodes.
+        count: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `count` nodes drawn from `pool` (e.g. concentrator members) with
+    /// the given seed; if the pool is smaller than `count`, the whole
+    /// pool fails.
+    TargetedPool {
+        /// Candidate victims.
+        pool: Vec<Node>,
+        /// Number of faulty nodes.
+        count: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// An explicit list of faulty nodes.
+    Explicit(Vec<Node>),
+}
+
+impl FaultPlan {
+    /// Materializes the plan as a fault set for a graph on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit or pooled node is `>= n`, or if a uniform
+    /// plan requests more faults than there are nodes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ftr_sim::faults::FaultPlan;
+    ///
+    /// let f = FaultPlan::Uniform { count: 3, seed: 1 }.materialize(10);
+    /// assert_eq!(f.len(), 3);
+    /// let same = FaultPlan::Uniform { count: 3, seed: 1 }.materialize(10);
+    /// assert_eq!(f, same, "plans are reproducible");
+    /// ```
+    pub fn materialize(&self, n: usize) -> NodeSet {
+        match self {
+            FaultPlan::None => NodeSet::new(n),
+            FaultPlan::Uniform { count, seed } => {
+                assert!(*count <= n, "cannot fail more nodes than exist");
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                let mut set = NodeSet::new(n);
+                while set.len() < *count {
+                    set.insert(rng.gen_range(0..n) as Node);
+                }
+                set
+            }
+            FaultPlan::TargetedPool { pool, count, seed } => {
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                let mut set = NodeSet::new(n);
+                if pool.len() <= *count {
+                    set.extend(pool.iter().copied());
+                } else {
+                    while set.len() < *count {
+                        set.insert(pool[rng.gen_range(0..pool.len())]);
+                    }
+                }
+                set
+            }
+            FaultPlan::Explicit(nodes) => NodeSet::from_nodes(n, nodes.iter().copied()),
+        }
+    }
+}
+
+/// Converts an edge fault `{u, v}` into a node fault per the paper's
+/// convention: the endpoint is chosen deterministically (the smaller
+/// id), which only weakens (i.e. over-approximates) the damage.
+pub fn edge_fault_to_node(u: Node, v: Node) -> Node {
+    u.min(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultPlan::None.materialize(5).is_empty());
+    }
+
+    #[test]
+    fn uniform_draws_exact_count() {
+        let f = FaultPlan::Uniform { count: 4, seed: 9 }.materialize(20);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than exist")]
+    fn uniform_overflow_panics() {
+        FaultPlan::Uniform { count: 6, seed: 0 }.materialize(5);
+    }
+
+    #[test]
+    fn targeted_stays_in_pool() {
+        let plan = FaultPlan::TargetedPool {
+            pool: vec![2, 4, 6],
+            count: 2,
+            seed: 3,
+        };
+        let f = plan.materialize(10);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|v| [2, 4, 6].contains(&v)));
+    }
+
+    #[test]
+    fn targeted_small_pool_fails_entirely() {
+        let plan = FaultPlan::TargetedPool {
+            pool: vec![1, 2],
+            count: 5,
+            seed: 0,
+        };
+        let f = plan.materialize(10);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn explicit_materializes_list() {
+        let f = FaultPlan::Explicit(vec![7, 1]).materialize(8);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![1, 7]);
+    }
+
+    #[test]
+    fn edge_fault_convention() {
+        assert_eq!(edge_fault_to_node(5, 3), 3);
+        assert_eq!(edge_fault_to_node(3, 5), 3);
+    }
+}

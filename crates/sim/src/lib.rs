@@ -1,0 +1,38 @@
+//! Simulation and experiment harness for the Peleg & Simons fault
+//! tolerant routing reproduction.
+//!
+//! `ftr-core` implements the paper's constructions and verifies their
+//! `(d, f)`-tolerance claims; this crate adds everything around them:
+//!
+//! * [`faults`] — reproducible fault scenarios (uniform, targeted,
+//!   explicit) for protocol simulations;
+//! * [`broadcast`] — the introduction's route-counter broadcast
+//!   protocol, whose round count the surviving diameter bounds;
+//! * [`message`] — end-to-end transmission under the paper's
+//!   endpoint-dominated cost model (encrypting networks, error
+//!   correction at route endpoints);
+//! * [`experiments`] — one verification experiment per theorem
+//!   (E1–E15) plus ablations (A1–A4), each emitting a result
+//!   [`report::Table`];
+//! * [`viz`] — DOT/ASCII renderings of the paper's Figures 1–3 from
+//!   built routings.
+//!
+//! # Example
+//!
+//! ```
+//! use ftr_sim::experiments::{e1_kernel_theorem3, Scale};
+//!
+//! let table = e1_kernel_theorem3(Scale::Quick);
+//! assert!(table.all_yes("ok"), "Theorem 3 verified on the quick suite");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod churn;
+pub mod experiments;
+pub mod faults;
+pub mod message;
+pub mod report;
+pub mod viz;

@@ -1,0 +1,244 @@
+//! End-to-end message transmission under the paper's cost model.
+//!
+//! "Assuming the time required to send a message along a route is
+//! dominated by the processing at the endpoints of the route, the total
+//! transmission time is roughly proportional to the number of routes
+//! traversed" — e.g. networks that encrypt/decrypt or run error
+//! correction at route endpoints. [`simulate_transmission`] finds the
+//! minimum-route chain between two nodes in the surviving graph and
+//! prices it with a [`CostModel`].
+
+use ftr_core::{RouteTable, Routing};
+use ftr_graph::{Node, NodeSet, INFINITY};
+
+/// Cost parameters: heavy per-route endpoint processing (encryption,
+/// error-correction analysis) plus a light per-link forwarding cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost charged once per route traversed (endpoint processing).
+    pub per_route: f64,
+    /// Cost charged per physical link crossed.
+    pub per_link: f64,
+}
+
+impl CostModel {
+    /// The paper's asymptotic regime: endpoint processing dominates.
+    pub fn endpoint_dominated() -> Self {
+        CostModel {
+            per_route: 100.0,
+            per_link: 1.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::endpoint_dominated()
+    }
+}
+
+/// A priced end-to-end transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmission {
+    /// Routes chained (the surviving-graph distance).
+    pub routes_traversed: u32,
+    /// Physical links crossed over all chained routes.
+    pub links_crossed: u32,
+    /// Total cost under the model.
+    pub cost: f64,
+    /// The chain of route endpoints, `src .. dst`.
+    pub relay_points: Vec<Node>,
+}
+
+/// Routes a message from `src` to `dst` under `faults`, chaining as few
+/// surviving routes as possible; returns `None` if the surviving graph
+/// disconnects the pair (or an endpoint is faulty).
+///
+/// # Panics
+///
+/// Panics if `src`/`dst` are out of range or `faults` has the wrong
+/// capacity.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::KernelRouting;
+/// use ftr_graph::{gen, NodeSet};
+/// use ftr_sim::message::{simulate_transmission, CostModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::petersen();
+/// let kernel = KernelRouting::build(&g)?;
+/// let faults = NodeSet::from_nodes(10, [2]);
+/// let tx = simulate_transmission(kernel.routing(), &faults, 0, 7, CostModel::default())
+///     .expect("Petersen tolerates 2 faults");
+/// assert!(tx.routes_traversed <= 4, "kernel is (4, 1)-tolerant");
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_transmission(
+    routing: &Routing,
+    faults: &NodeSet,
+    src: Node,
+    dst: Node,
+    model: CostModel,
+) -> Option<Transmission> {
+    let n = routing.node_count();
+    assert!((src as usize) < n && (dst as usize) < n, "endpoints out of range");
+    assert_eq!(faults.capacity(), n, "fault set capacity mismatch");
+    if faults.contains(src) || faults.contains(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(Transmission {
+            routes_traversed: 0,
+            links_crossed: 0,
+            cost: 0.0,
+            relay_points: vec![src],
+        });
+    }
+    let surviving = routing.surviving(faults);
+    // BFS with parent tracking over the surviving digraph.
+    let digraph = surviving.digraph();
+    let dist = digraph.bfs_distances(src, Some(faults));
+    if dist[dst as usize] == INFINITY {
+        return None;
+    }
+    // Reconstruct one minimum-route chain by walking backwards.
+    let mut chain = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let d = dist[cur as usize];
+        let prev = digraph
+            .nodes()
+            .find(|&u| dist[u as usize].checked_add(1) == Some(d) && digraph.has_arc(u, cur))
+            .expect("BFS distance admits a predecessor");
+        chain.push(prev);
+        cur = prev;
+    }
+    chain.reverse();
+    let routes_traversed = (chain.len() - 1) as u32;
+    let links_crossed: u32 = chain
+        .windows(2)
+        .map(|w| routing.route(w[0], w[1]).expect("surviving arc has a route").len() as u32)
+        .sum();
+    Some(Transmission {
+        routes_traversed,
+        links_crossed,
+        cost: model.per_route * routes_traversed as f64 + model.per_link * links_crossed as f64,
+        relay_points: chain,
+    })
+}
+
+/// Worst-case transmission over all ordered surviving pairs: the priced
+/// version of the surviving diameter. Returns `None` on disconnection.
+pub fn worst_transmission(
+    routing: &Routing,
+    faults: &NodeSet,
+    model: CostModel,
+) -> Option<Transmission> {
+    let n = routing.node_count();
+    let mut worst: Option<Transmission> = None;
+    for src in 0..n as Node {
+        if faults.contains(src) {
+            continue;
+        }
+        for dst in 0..n as Node {
+            if src == dst || faults.contains(dst) {
+                continue;
+            }
+            let tx = simulate_transmission(routing, faults, src, dst, model)?;
+            if worst
+                .as_ref()
+                .is_none_or(|w| tx.routes_traversed > w.routes_traversed)
+            {
+                worst = Some(tx);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_core::KernelRouting;
+    use ftr_graph::gen;
+
+    #[test]
+    fn transmission_matches_surviving_distance() {
+        let g = gen::torus(3, 4).unwrap();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let faults = NodeSet::from_nodes(12, [6]);
+        let s = kernel.routing().surviving(&faults);
+        for src in 0..12u32 {
+            for dst in 0..12u32 {
+                if src == dst || faults.contains(src) || faults.contains(dst) {
+                    continue;
+                }
+                let tx = simulate_transmission(
+                    kernel.routing(),
+                    &faults,
+                    src,
+                    dst,
+                    CostModel::default(),
+                )
+                .unwrap();
+                assert_eq!(tx.routes_traversed, s.distance(src, dst), "{src}->{dst}");
+                assert_eq!(tx.relay_points.first(), Some(&src));
+                assert_eq!(tx.relay_points.last(), Some(&dst));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_priced_by_model() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let model = CostModel {
+            per_route: 10.0,
+            per_link: 1.0,
+        };
+        let tx =
+            simulate_transmission(kernel.routing(), &NodeSet::new(10), 0, 7, model).unwrap();
+        let expected = 10.0 * tx.routes_traversed as f64 + tx.links_crossed as f64;
+        assert!((tx.cost - expected).abs() < 1e-9);
+        assert!(tx.links_crossed >= tx.routes_traversed, "routes have length >= 1");
+    }
+
+    #[test]
+    fn faulty_endpoint_is_unreachable() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let faults = NodeSet::from_nodes(10, [7]);
+        assert!(simulate_transmission(
+            kernel.routing(),
+            &faults,
+            0,
+            7,
+            CostModel::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn self_transmission_is_free() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let tx =
+            simulate_transmission(kernel.routing(), &NodeSet::new(10), 3, 3, CostModel::default())
+                .unwrap();
+        assert_eq!(tx.routes_traversed, 0);
+        assert_eq!(tx.cost, 0.0);
+    }
+
+    #[test]
+    fn worst_transmission_matches_diameter() {
+        let g = gen::torus(3, 4).unwrap();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let faults = NodeSet::from_nodes(12, [0]);
+        let s = kernel.routing().surviving(&faults);
+        let w = worst_transmission(kernel.routing(), &faults, CostModel::default()).unwrap();
+        assert_eq!(w.routes_traversed, s.diameter().unwrap());
+    }
+}

@@ -1,0 +1,245 @@
+//! Result tables: the uniform output format of every experiment.
+//!
+//! The paper is a theory paper without measured tables, so each theorem
+//! becomes a verification experiment whose output is a [`Table`]; the
+//! `experiments` binary renders them as Markdown (for EXPERIMENTS.md)
+//! or CSV.
+
+use std::fmt;
+
+/// A rectangular result table with named columns.
+///
+/// # Example
+///
+/// ```
+/// use ftr_sim::report::Table;
+///
+/// let mut t = Table::new("E0", "demo", ["graph", "n", "ok"]);
+/// t.push_row(["C6", "6", "yes"]);
+/// assert!(t.to_markdown().contains("| C6 | 6 | yes |"));
+/// assert_eq!(t.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    id: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given experiment id, title and
+    /// column headers.
+    pub fn new<S: Into<String>>(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The experiment identifier (e.g. `"E4"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a free-text note rendered under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The attached notes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Returns `true` if every cell of the named boolean-ish column is
+    /// `"yes"` (used by tests: "did every row satisfy its bound?").
+    pub fn all_yes(&self, column: &str) -> bool {
+        let Some(idx) = self.headers.iter().position(|h| h == column) else {
+            return false;
+        };
+        !self.rows.is_empty() && self.rows.iter().all(|r| r[idx] == "yes")
+    }
+
+    /// Renders GitHub-flavored Markdown (header, separator, rows, then
+    /// notes as bullet points).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n*{note}*\n"));
+        }
+        out
+    }
+
+    /// Renders RFC-4180 CSV; cells containing commas, quotes or
+    /// newlines are quoted.
+    pub fn to_csv(&self) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Aligned plain-text rendering for terminals.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{} — {}", self.id, self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an `Option<u32>` diameter, with `None` rendered as `inf`
+/// (disconnected surviving graph).
+pub fn fmt_diameter(d: Option<u32>) -> String {
+    match d {
+        Some(d) => d.to_string(),
+        None => "inf".to_string(),
+    }
+}
+
+/// Formats a yes/no cell.
+pub fn fmt_bool(ok: bool) -> String {
+    if ok { "yes".into() } else { "no".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("E1", "kernel", ["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_note("a note");
+        let md = t.to_markdown();
+        assert!(md.starts_with("### E1 — kernel"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("*a note*"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Table::new("E1", "kernel", ["a", "b"]);
+        t.push_row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("E1", "kernel", ["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn all_yes_checks_column() {
+        let mut t = Table::new("E1", "x", ["g", "ok"]);
+        t.push_row(["a", "yes"]);
+        t.push_row(["b", "yes"]);
+        assert!(t.all_yes("ok"));
+        t.push_row(["c", "no"]);
+        assert!(!t.all_yes("ok"));
+        assert!(!t.all_yes("missing"));
+        let empty = Table::new("E2", "y", ["ok"]);
+        assert!(!empty.all_yes("ok"), "vacuous truth is not success");
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("E1", "x", ["graph", "d"]);
+        t.push_row(["C6", "2"]);
+        let text = t.to_string();
+        assert!(text.contains("graph"));
+        assert!(text.contains("C6"));
+    }
+
+    #[test]
+    fn diameter_formatting() {
+        assert_eq!(fmt_diameter(Some(4)), "4");
+        assert_eq!(fmt_diameter(None), "inf");
+        assert_eq!(fmt_bool(true), "yes");
+        assert_eq!(fmt_bool(false), "no");
+    }
+}

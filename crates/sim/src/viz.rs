@@ -1,0 +1,197 @@
+//! Figure rendering: regenerates the paper's three schematic figures
+//! from *built* routings (experiment E13).
+//!
+//! * Figure 1 — the circular routing: the circle `m_0 .. m_{K-1}` with
+//!   arrows for the CIRC 1/CIRC 2 tree-routing components.
+//! * Figure 2 — the tri-circular routing: three circles with in-circle
+//!   forward arrows and cyclic cross arrows (T-CIRC 1–3).
+//! * Figure 3 — the unidirectional bipolar routing: the two root trees
+//!   with the B-POL 1–4 arrows.
+//!
+//! Output is Graphviz DOT (for rendering) plus a terminal-friendly
+//! ASCII summary. Arrows denote *tree routings from a node (class) to a
+//! set*, exactly as in the paper's captions.
+
+use ftr_core::{BipolarRouting, CircularRouting, TriCircularRouting};
+
+/// DOT rendering of Figure 1 from a built circular routing.
+pub fn circular_figure_dot(circ: &CircularRouting) -> String {
+    let k = circ.concentrator().len();
+    let members = circ.concentrator().members();
+    let mut out = String::from("digraph circular {\n  label=\"Figure 1: the circular routing (arrows: tree routings from a node to a set)\";\n  rankdir=LR;\n");
+    out.push_str("  x [shape=circle, label=\"x ∉ Γ\"];\n");
+    for (i, &m) in members.iter().enumerate() {
+        out.push_str(&format!(
+            "  g{i} [shape=ellipse, label=\"Γ_{i} = Γ(m_{i}={m})\"];\n  m{i} [shape=point, xlabel=\"m_{i}\"];\n  g{i} -> m{i} [style=dotted, arrowhead=none, label=\"edges\"];\n"
+        ));
+    }
+    // CIRC 1: x -> every set.
+    for i in 0..k {
+        out.push_str(&format!("  x -> g{i} [color=blue];\n"));
+    }
+    // CIRC 2: forward half per circle position.
+    let half = k.div_ceil(2);
+    for i in 0..k {
+        for j in 1..half {
+            out.push_str(&format!(
+                "  g{i} -> g{} [color=red, style=dashed];\n",
+                (i + j) % k
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// ASCII rendering of Figure 1.
+pub fn circular_figure_ascii(circ: &CircularRouting) -> String {
+    let k = circ.concentrator().len();
+    let half = k.div_ceil(2);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 1: circular routing over K = {k} neighborhood-set members\n"
+    ));
+    out.push_str(&format!(
+        "  circle: {:?}\n",
+        circ.concentrator().members()
+    ));
+    out.push_str("  CIRC 1: every x outside Γ  ->  every Γ_i\n");
+    out.push_str(&format!(
+        "  CIRC 2: x in Γ_i  ->  Γ_(i+1) .. Γ_(i+{}) (mod {k})\n",
+        half.saturating_sub(1)
+    ));
+    out.push_str("  CIRC 3: direct edge routes\n");
+    out
+}
+
+/// DOT rendering of Figure 2 from a built tri-circular routing.
+pub fn tricircular_figure_dot(tri: &TriCircularRouting) -> String {
+    let s = tri.circle_size();
+    let mut out = String::from("digraph tricircular {\n  label=\"Figure 2: the tri-circular routing\";\n  rankdir=LR;\n");
+    out.push_str("  x [shape=circle, label=\"x ∉ Γ\"];\n");
+    for j in 0..3 {
+        out.push_str(&format!(
+            "  subgraph cluster_{j} {{ label=\"circle M^{j}\";\n"
+        ));
+        for i in 0..s {
+            out.push_str(&format!("    c{j}_{i} [shape=ellipse, label=\"Γ^{j}_{i}\"];\n"));
+        }
+        out.push_str("  }\n");
+    }
+    for j in 0..3 {
+        // T-CIRC 1 arrows (shown once per circle to keep the figure legible).
+        out.push_str(&format!("  x -> c{j}_0 [color=blue];\n"));
+        // T-CIRC 2: forward inside the circle.
+        for i in 0..s {
+            out.push_str(&format!(
+                "  c{j}_{i} -> c{j}_{} [color=red, style=dashed];\n",
+                (i + 1) % s
+            ));
+        }
+        // T-CIRC 3: to every set of the next circle (drawn to set 0).
+        out.push_str(&format!(
+            "  c{j}_0 -> c{}_0 [color=green, penwidth=2];\n",
+            (j + 1) % 3
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// ASCII rendering of Figure 2.
+pub fn tricircular_figure_ascii(tri: &TriCircularRouting) -> String {
+    let s = tri.circle_size();
+    format!(
+        "Figure 2: tri-circular routing, 3 circles of s = {s} members (K = {})\n\
+         \x20 T-CIRC 1: every x outside Γ -> every Γ^j_i\n\
+         \x20 T-CIRC 2: x in Γ^j_i -> next sets of circle j\n\
+         \x20 T-CIRC 3: x in Γ^j_i -> every set of circle j+1 (mod 3)\n\
+         \x20 T-CIRC 4: direct edge routes\n\
+         \x20   M^0 --> M^1 --> M^2 --> M^0   (cyclic cross-links)\n",
+        3 * s
+    )
+}
+
+/// DOT rendering of Figure 3 from a built bipolar routing.
+pub fn bipolar_figure_dot(b: &BipolarRouting) -> String {
+    let (r1, r2) = b.roots();
+    let mut out = String::from("digraph bipolar {\n  label=\"Figure 3: the unidirectional bipolar routing\";\n  rankdir=TB;\n");
+    for (tag, root, members) in [("1", r1, b.m1()), ("2", r2, b.m2())] {
+        out.push_str(&format!(
+            "  subgraph cluster_{tag} {{ label=\"tree of r{tag} = {root}\";\n    r{tag} [shape=circle, label=\"r{tag}={root}\"];\n"
+        ));
+        for (i, &m) in members.iter().enumerate() {
+            out.push_str(&format!(
+                "    m{tag}_{i} [shape=box, label=\"m^{tag}_{i}={m}\"];\n    r{tag} -> m{tag}_{i} [arrowhead=none];\n    g{tag}_{i} [shape=ellipse, label=\"Γ^{tag}_{i}\"];\n"
+            ));
+        }
+        out.push_str("  }\n");
+        // B-POL 3/4: every member to every set of its own tree.
+        for i in 0..members.len() {
+            for j in 0..members.len() {
+                out.push_str(&format!("  m{tag}_{i} -> g{tag}_{j} [color=red, style=dashed];\n"));
+            }
+        }
+    }
+    out.push_str("  x [shape=circle, label=\"x\"];\n");
+    out.push_str("  x -> m1_0 [color=blue, label=\"B-POL 1: tree to M1\"];\n");
+    out.push_str("  x -> m2_0 [color=blue, label=\"B-POL 2: tree to M2\"];\n");
+    out.push_str("}\n");
+    out
+}
+
+/// ASCII rendering of Figure 3.
+pub fn bipolar_figure_ascii(b: &BipolarRouting) -> String {
+    let (r1, r2) = b.roots();
+    format!(
+        "Figure 3: unidirectional bipolar routing\n\
+         \x20 roots: r1 = {r1} (|M1| = {}), r2 = {r2} (|M2| = {})\n\
+         \x20 B-POL 1: every x ∉ M1 -> tree routing to M1\n\
+         \x20 B-POL 2: every x ∉ M2 -> tree routing to M2\n\
+         \x20 B-POL 3: every m ∈ M1 -> every Γ^1_j\n\
+         \x20 B-POL 4: every m ∈ M2 -> every Γ^2_j\n\
+         \x20 B-POL 5: reverses along the same paths; B-POL 6: edges\n",
+        b.m1().len(),
+        b.m2().len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_core::{RoutingKind, TriCircularVariant};
+    use ftr_graph::gen;
+
+    #[test]
+    fn circular_figure_mentions_all_sets() {
+        let g = gen::harary(3, 18).unwrap();
+        let circ = CircularRouting::build(&g).unwrap();
+        let dot = circular_figure_dot(&circ);
+        assert!(dot.starts_with("digraph circular"));
+        for i in 0..circ.concentrator().len() {
+            assert!(dot.contains(&format!("g{i} ")), "set {i} missing");
+        }
+        let ascii = circular_figure_ascii(&circ);
+        assert!(ascii.contains("CIRC 2"));
+    }
+
+    #[test]
+    fn tricircular_figure_has_three_clusters() {
+        let g = gen::cycle(45).unwrap();
+        let tri = TriCircularRouting::build(&g, TriCircularVariant::Standard).unwrap();
+        let dot = tricircular_figure_dot(&tri);
+        assert_eq!(dot.matches("subgraph cluster_").count(), 3);
+        assert!(tricircular_figure_ascii(&tri).contains("M^0 --> M^1"));
+    }
+
+    #[test]
+    fn bipolar_figure_names_roots() {
+        let g = gen::cycle(12).unwrap();
+        let b = BipolarRouting::build(&g, RoutingKind::Unidirectional).unwrap();
+        let (r1, r2) = b.roots();
+        let dot = bipolar_figure_dot(&b);
+        assert!(dot.contains(&format!("r1={r1}")));
+        assert!(dot.contains(&format!("r2={r2}")));
+        assert!(bipolar_figure_ascii(&b).contains("B-POL 3"));
+    }
+}

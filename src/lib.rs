@@ -1,0 +1,42 @@
+//! # ftr — fault tolerant routings for general networks
+//!
+//! Umbrella crate for the reproduction of Peleg & Simons, *On Fault
+//! Tolerant Routings in General Networks* (PODC 1986 / Information and
+//! Computation 74, 1987). It re-exports the three workspace layers:
+//!
+//! * [`graph`] (`ftr-graph`) — the graph substrate: fault overlays,
+//!   unit-node-capacity max flow, vertex connectivity, separators,
+//!   neighborhood sets, two-trees detection, topology generators;
+//! * [`core`] (`ftr-core`) — the paper's constructions (kernel,
+//!   circular, tri-circular, bipolar, multiroutings, augmentation) plus
+//!   surviving route graphs and the `(d, f)`-tolerance verifier;
+//! * [`sim`] (`ftr-sim`) — fault scenarios, the broadcast and message
+//!   protocols from the paper's introduction, the per-theorem
+//!   experiment harness and figure rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftr::core::{CircularRouting, FaultStrategy, verify_tolerance};
+//! use ftr::graph::gen;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 3-connected network (t = 2 tolerated faults).
+//! let network = gen::harary(3, 18)?;
+//! // Theorem 10: the circular routing keeps the surviving diameter <= 6.
+//! let routing = CircularRouting::build(&network)?;
+//! let report = verify_tolerance(routing.routing(), 2, FaultStrategy::Exhaustive, 2);
+//! assert!(report.satisfies(&routing.claim()));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ftr_core as core;
+pub use ftr_graph as graph;
+pub use ftr_sim as sim;

@@ -1,0 +1,63 @@
+//! Runs every experiment of EXPERIMENTS.md at `Quick` scale and asserts
+//! that all verified bounds hold — the same code path the `experiments`
+//! binary uses for the committed tables.
+
+use ftr::sim::experiments::{self, registry, Scale};
+
+#[test]
+fn full_registry_runs_clean_at_quick_scale() {
+    for spec in registry() {
+        let tables = (spec.run)(Scale::Quick);
+        assert!(!tables.is_empty(), "{} produced no tables", spec.id);
+        for table in tables {
+            assert!(!table.rows().is_empty(), "{} produced an empty table", table.id());
+            // every bound-verifying table must be all-"ok" except E14,
+            // which measures a stand-in baseline
+            if table.headers().iter().any(|h| h == "ok") && table.id() != "E14" {
+                assert!(table.all_yes("ok"), "{} violated a bound:\n{table}", table.id());
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_covers_every_experiment_id() {
+    let ids: Vec<&str> = registry().iter().map(|s| s.id).collect();
+    for expected in [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14",
+        "e15", "a1", "a2", "a3", "a4",
+    ] {
+        assert!(ids.contains(&expected), "missing experiment {expected}");
+    }
+}
+
+#[test]
+fn markdown_rendering_is_complete_for_all_tables() {
+    for spec in registry().into_iter().take(3) {
+        for table in (spec.run)(Scale::Quick) {
+            let md = table.to_markdown();
+            assert!(md.contains(&format!("### {}", table.id())));
+            for h in table.headers() {
+                assert!(md.contains(h.as_str()), "header {h} missing from markdown");
+            }
+            let csv = table.to_csv();
+            assert_eq!(csv.lines().count(), table.rows().len() + 1);
+        }
+    }
+}
+
+#[test]
+fn e10_trend_is_visible_even_at_quick_scale() {
+    let table = experiments::e10_two_trees_probability(Scale::Quick);
+    // the sparsest regime at the largest n must succeed most of the time
+    let best = table
+        .rows()
+        .iter()
+        .find(|r| r[0] == "80" && r[1] == "0.10")
+        .expect("row exists");
+    let frac: f64 = best[4].parse().unwrap();
+    assert!(
+        frac >= 0.8,
+        "two-trees property should be common in the sparse regime (got {frac})"
+    );
+}

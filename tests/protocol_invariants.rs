@@ -1,0 +1,154 @@
+//! Protocol-level integration: the broadcast and message simulations
+//! must agree with the surviving-graph metrics for every construction,
+//! tying the paper's motivation (Section 1) to its theorems.
+
+use ftr::core::{
+    BipolarRouting, CircularRouting, KernelRouting, RouteTable, Routing, RoutingKind,
+};
+use ftr::graph::{gen, NodeSet};
+use ftr::sim::broadcast::simulate_broadcast;
+use ftr::sim::faults::FaultPlan;
+use ftr::sim::message::{simulate_transmission, CostModel};
+
+/// Builds one routing of each construction over its preferred network.
+fn constructions() -> Vec<(&'static str, usize, Routing)> {
+    let mut out = Vec::new();
+    let g = gen::petersen();
+    out.push((
+        "kernel/petersen",
+        10,
+        KernelRouting::build(&g).unwrap().routing().clone(),
+    ));
+    let g = gen::harary(3, 18).unwrap();
+    out.push((
+        "circular/h3_18",
+        18,
+        CircularRouting::build(&g).unwrap().routing().clone(),
+    ));
+    let g = gen::cycle(14).unwrap();
+    out.push((
+        "bipolar-uni/c14",
+        14,
+        BipolarRouting::build(&g, RoutingKind::Unidirectional)
+            .unwrap()
+            .routing()
+            .clone(),
+    ));
+    let g = gen::cycle(14).unwrap();
+    out.push((
+        "bipolar-bi/c14",
+        14,
+        BipolarRouting::build(&g, RoutingKind::Bidirectional)
+            .unwrap()
+            .routing()
+            .clone(),
+    ));
+    out
+}
+
+#[test]
+fn broadcast_rounds_equal_surviving_eccentricity_everywhere() {
+    for (name, n, routing) in constructions() {
+        for trial in 0..4u64 {
+            let faults = FaultPlan::Uniform { count: 1, seed: trial }.materialize(n);
+            let s = routing.surviving(&faults);
+            let Some(diam) = s.diameter() else {
+                panic!("{name}: one fault disconnected the surviving graph");
+            };
+            for origin in 0..n as u32 {
+                if faults.contains(origin) {
+                    continue;
+                }
+                let out = simulate_broadcast(&routing, &faults, origin, diam + 1);
+                assert!(out.complete(), "{name}: broadcast from {origin} incomplete");
+                assert!(
+                    out.rounds <= diam,
+                    "{name}: {} rounds > diameter {diam}",
+                    out.rounds
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transmissions_match_surviving_distances_everywhere() {
+    let model = CostModel::endpoint_dominated();
+    for (name, n, routing) in constructions() {
+        let faults = FaultPlan::Uniform { count: 1, seed: 99 }.materialize(n);
+        let s = routing.surviving(&faults);
+        for src in 0..n as u32 {
+            for dst in 0..n as u32 {
+                if src == dst || faults.contains(src) || faults.contains(dst) {
+                    continue;
+                }
+                let tx = simulate_transmission(&routing, &faults, src, dst, model)
+                    .unwrap_or_else(|| panic!("{name}: {src}->{dst} unroutable"));
+                assert_eq!(
+                    tx.routes_traversed,
+                    s.distance(src, dst),
+                    "{name}: transmission took a non-minimal route chain"
+                );
+                // relay chain must consist of surviving routes
+                for w in tx.relay_points.windows(2) {
+                    assert!(s.has_edge(w[0], w[1]), "{name}: dead relay edge");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn message_cost_scales_with_route_count_not_length() {
+    // Under the endpoint-dominated model, a two-route chain costs more
+    // than any one-route delivery, regardless of physical length.
+    let g = gen::cycle(16).unwrap();
+    let kernel = KernelRouting::build(&g).unwrap();
+    let clean = NodeSet::new(16);
+    let model = CostModel {
+        per_route: 1000.0,
+        per_link: 1.0,
+    };
+    let mut one_route_max = f64::MIN;
+    let mut two_route_min = f64::MAX;
+    for src in 0..16u32 {
+        for dst in 0..16u32 {
+            if src == dst {
+                continue;
+            }
+            let tx = simulate_transmission(kernel.routing(), &clean, src, dst, model).unwrap();
+            match tx.routes_traversed {
+                1 => one_route_max = one_route_max.max(tx.cost),
+                2 => two_route_min = two_route_min.min(tx.cost),
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        one_route_max < two_route_min,
+        "endpoint processing must dominate: 1-route max {one_route_max} vs 2-route min {two_route_min}"
+    );
+}
+
+#[test]
+fn broadcast_respects_claim_bound_as_route_counter() {
+    // Setting the route counter to the construction's claimed diameter
+    // always completes the broadcast within the fault budget.
+    let g = gen::harary(3, 18).unwrap();
+    let circ = CircularRouting::build(&g).unwrap();
+    let claim = circ.claim();
+    for trial in 0..6u64 {
+        let faults = FaultPlan::Uniform {
+            count: claim.faults,
+            seed: 7 * trial,
+        }
+        .materialize(18);
+        for origin in 0..18u32 {
+            if faults.contains(origin) {
+                continue;
+            }
+            let out = simulate_broadcast(circ.routing(), &faults, origin, claim.diameter);
+            assert!(out.complete(), "counter = claimed diameter must suffice");
+        }
+    }
+}

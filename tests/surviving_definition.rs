@@ -1,0 +1,153 @@
+//! Cross-crate audit of the surviving route graph: the definition of
+//! `R(G, ρ)/F` is reconstructed from first principles (paper, Section
+//! 2) and compared with the library's implementation for real
+//! constructions under real fault sets.
+
+use ftr::core::{KernelRouting, RouteTable, Routing};
+use ftr::graph::{gen, traversal, DiGraph, Graph, NodeSet, INFINITY};
+
+/// First-principles reconstruction of the surviving graph.
+fn brute_surviving(routing: &Routing, faults: &NodeSet) -> DiGraph {
+    let n = routing.node_count();
+    let mut d = DiGraph::new(n);
+    for x in 0..n as u32 {
+        for y in 0..n as u32 {
+            if x == y || faults.contains(x) || faults.contains(y) {
+                continue;
+            }
+            if let Some(view) = routing.route(x, y) {
+                if view.nodes().iter().all(|&v| !faults.contains(v)) {
+                    d.add_arc(x, y).unwrap();
+                }
+            }
+        }
+    }
+    d
+}
+
+/// First-principles diameter over surviving nodes.
+fn brute_diameter(d: &DiGraph, faults: &NodeSet) -> Option<u32> {
+    let n = d.node_count();
+    let mut worst = 0;
+    for x in 0..n as u32 {
+        if faults.contains(x) {
+            continue;
+        }
+        let dist = d.bfs_distances(x, Some(faults));
+        for y in 0..n as u32 {
+            if y == x || faults.contains(y) {
+                continue;
+            }
+            if dist[y as usize] == INFINITY {
+                return None;
+            }
+            worst = worst.max(dist[y as usize]);
+        }
+    }
+    Some(worst)
+}
+
+fn graphs() -> Vec<Graph> {
+    vec![
+        gen::petersen(),
+        gen::torus(3, 4).unwrap(),
+        gen::cycle(11).unwrap(),
+        gen::hypercube(3).unwrap(),
+    ]
+}
+
+#[test]
+fn surviving_graph_matches_first_principles_reconstruction() {
+    for g in graphs() {
+        let kernel = KernelRouting::build(&g).unwrap();
+        let n = g.node_count();
+        // all single faults and a sweep of fault pairs
+        let mut fault_sets = vec![NodeSet::new(n)];
+        for f in 0..n as u32 {
+            fault_sets.push(NodeSet::from_nodes(n, [f]));
+        }
+        for f in 0..n as u32 {
+            fault_sets.push(NodeSet::from_nodes(n, [f, (f + 3) % n as u32]));
+        }
+        for faults in fault_sets {
+            let fast = kernel.routing().surviving(&faults);
+            let brute = brute_surviving(kernel.routing(), &faults);
+            assert_eq!(
+                fast.digraph(),
+                &brute,
+                "{g:?} faults {faults:?}: surviving graphs differ"
+            );
+            assert_eq!(
+                fast.diameter(),
+                brute_diameter(&brute, &faults),
+                "{g:?} faults {faults:?}: diameters differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn surviving_distance_agrees_with_diameter_extremes() {
+    let g = gen::torus(3, 4).unwrap();
+    let kernel = KernelRouting::build(&g).unwrap();
+    let faults = NodeSet::from_nodes(12, [2, 9]);
+    let s = kernel.routing().surviving(&faults);
+    let diam = s.diameter().expect("within tolerance");
+    let mut max_pairwise = 0;
+    for x in 0..12u32 {
+        for y in 0..12u32 {
+            if x != y && !faults.contains(x) && !faults.contains(y) {
+                let d = s.distance(x, y);
+                assert_ne!(d, INFINITY);
+                max_pairwise = max_pairwise.max(d);
+            }
+        }
+    }
+    assert_eq!(max_pairwise, diam);
+}
+
+#[test]
+fn bidirectional_surviving_graphs_are_symmetric() {
+    for g in graphs() {
+        let kernel = KernelRouting::build(&g).unwrap();
+        let n = g.node_count();
+        for f in 0..n as u32 {
+            let faults = NodeSet::from_nodes(n, [f]);
+            let s = kernel.routing().surviving(&faults);
+            for x in 0..n as u32 {
+                for y in 0..n as u32 {
+                    assert_eq!(
+                        s.has_edge(x, y),
+                        s.has_edge(y, x),
+                        "bidirectional routing must yield a symmetric surviving graph"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn surviving_edges_relate_to_physical_connectivity() {
+    // A surviving route implies physical connectivity between its
+    // endpoints in the faulted network (routes are real paths).
+    let g = gen::petersen();
+    let kernel = KernelRouting::build(&g).unwrap();
+    for f1 in 0..10u32 {
+        for f2 in (f1 + 1)..10u32 {
+            let faults = NodeSet::from_nodes(10, [f1, f2]);
+            let s = kernel.routing().surviving(&faults);
+            for x in 0..10u32 {
+                let phys = traversal::bfs_distances(&g, x, Some(&faults));
+                for y in 0..10u32 {
+                    if s.has_edge(x, y) {
+                        assert_ne!(
+                            phys[y as usize], INFINITY,
+                            "surviving route over physically disconnected pair"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration matrix: every construction of the paper, verified
+//! exhaustively against its theorem on a battery of networks.
+//!
+//! This is the repository's end-to-end statement of reproduction: for
+//! each (theorem, graph) cell the claimed `(d, f)`-tolerance is checked
+//! over *every* fault set within budget.
+
+use ftr::core::{
+    check_claim, concentrator_multirouting, full_multirouting, AugmentedKernelRouting,
+    BipolarRouting, CircularRouting, KernelRouting, RoutingKind, ToleranceClaim,
+    TriCircularRouting, TriCircularVariant,
+};
+use ftr::core::{verify_tolerance, FaultStrategy};
+use ftr::graph::{connectivity, gen, Graph};
+
+fn graphs_for_kernel() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("C8", gen::cycle(8).unwrap()),
+        ("Petersen", gen::petersen()),
+        ("Torus3x4", gen::torus(3, 4).unwrap()),
+        ("Q3", gen::hypercube(3).unwrap()),
+        ("H(4,12)", gen::harary(4, 12).unwrap()),
+        ("Wheel8", gen::wheel(8).unwrap()),
+        ("K3,4", gen::complete_bipartite(3, 4).unwrap()),
+        ("BF(3)", gen::wrapped_butterfly(3).unwrap()),
+    ]
+}
+
+#[test]
+fn theorem_3_kernel_on_all_families() {
+    for (name, g) in graphs_for_kernel() {
+        let kernel = KernelRouting::build(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        kernel.routing().validate(&g).unwrap();
+        let (ok, report) = check_claim(kernel.routing(), &kernel.claim_theorem_3(), 4);
+        assert!(ok, "{name}: Theorem 3 violated — {report}");
+    }
+}
+
+#[test]
+fn theorem_4_kernel_on_all_families() {
+    for (name, g) in graphs_for_kernel() {
+        let kernel = KernelRouting::build(&g).unwrap();
+        let (ok, report) = check_claim(kernel.routing(), &kernel.claim_theorem_4(), 4);
+        assert!(ok, "{name}: Theorem 4 violated — {report}");
+    }
+}
+
+#[test]
+fn theorem_10_circular_on_admitting_families() {
+    for (name, g) in [
+        ("C9", gen::cycle(9).unwrap()),
+        ("C15", gen::cycle(15).unwrap()),
+        ("H(3,20)", gen::harary(3, 20).unwrap()),
+        ("CCC(3)", gen::cube_connected_cycles(3).unwrap()),
+    ] {
+        let circ = CircularRouting::build(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        circ.routing().validate(&g).unwrap();
+        let (ok, report) = check_claim(circ.routing(), &circ.claim(), 4);
+        assert!(ok, "{name}: Theorem 10 violated — {report}");
+    }
+}
+
+#[test]
+fn theorem_13_tricircular_on_cycle() {
+    let g = gen::cycle(45).unwrap();
+    let tri = TriCircularRouting::build(&g, TriCircularVariant::Standard).unwrap();
+    tri.routing().validate(&g).unwrap();
+    let (ok, report) = check_claim(tri.routing(), &tri.claim(), 4);
+    assert!(ok, "Theorem 13 violated — {report}");
+}
+
+#[test]
+fn remark_14_small_tricircular_on_cycle() {
+    let g = gen::cycle(27).unwrap();
+    let tri = TriCircularRouting::build(&g, TriCircularVariant::Small).unwrap();
+    let (ok, report) = check_claim(tri.routing(), &tri.claim(), 4);
+    assert!(ok, "Remark 14 violated — {report}");
+}
+
+#[test]
+fn theorems_20_23_bipolar_on_two_trees_families() {
+    for (name, g) in [
+        ("C12", gen::cycle(12).unwrap()),
+        ("C20", gen::cycle(20).unwrap()),
+    ] {
+        for kind in [RoutingKind::Unidirectional, RoutingKind::Bidirectional] {
+            let b = BipolarRouting::build(&g, kind).unwrap();
+            b.routing().validate(&g).unwrap();
+            let (ok, report) = check_claim(b.routing(), &b.claim(), 4);
+            assert!(ok, "{name} {kind:?}: bipolar bound violated — {report}");
+        }
+    }
+}
+
+#[test]
+fn section_6_multiroutings_meet_their_bounds() {
+    let g = gen::petersen();
+    let t = connectivity::vertex_connectivity(&g) - 1;
+
+    let full = full_multirouting(&g).unwrap();
+    let claim = ToleranceClaim { diameter: 1, faults: t };
+    let (ok, report) = check_claim(&full, &claim, 4);
+    assert!(ok, "full multirouting: {report}");
+
+    let (conc, _) = concentrator_multirouting(&g).unwrap();
+    let claim = ToleranceClaim { diameter: 3, faults: t };
+    let (ok, report) = check_claim(&conc, &claim, 4);
+    assert!(ok, "concentrator multirouting: {report}");
+}
+
+#[test]
+fn section_6_augmentation_meets_bound_and_budget() {
+    for (name, g) in [
+        ("C10", gen::cycle(10).unwrap()),
+        ("Petersen", gen::petersen()),
+        ("Torus3x4", gen::torus(3, 4).unwrap()),
+    ] {
+        let aug = AugmentedKernelRouting::build(&g).unwrap();
+        assert!(
+            aug.added_edges().len() <= aug.link_budget(),
+            "{name}: link budget exceeded"
+        );
+        let (ok, report) = check_claim(aug.routing(), &aug.claim(), 4);
+        assert!(ok, "{name}: Section 6 (3, t) bound violated — {report}");
+    }
+}
+
+#[test]
+fn bounds_are_tight_somewhere() {
+    // The reproduction should not be vacuous: at least one family must
+    // actually reach the kernel's constant bound of 4 under |F| <= t/2.
+    let mut reached = 0u32;
+    for (_, g) in graphs_for_kernel() {
+        let kernel = KernelRouting::build(&g).unwrap();
+        let f = kernel.tolerated_faults() / 2;
+        let report = verify_tolerance(kernel.routing(), f, FaultStrategy::Exhaustive, 4);
+        if let Some(d) = report.worst_diameter {
+            reached = reached.max(d);
+        }
+    }
+    assert!(
+        reached >= 3,
+        "every family stayed far below the bound; the verification would be vacuous"
+    );
+}

@@ -1,0 +1,106 @@
+//! Cross-crate toolbox test: graph6 interchange, vulnerability
+//! screening, churn simulation and beyond-budget profiling working
+//! together, the way a deployment study would chain them.
+
+use ftr::core::{beyond, KernelRouting, RouteTable};
+use ftr::graph::{connectivity, gen, io, vulnerability, NodeSet};
+use ftr::sim::churn::{simulate_churn, ChurnConfig};
+
+#[test]
+fn graph6_round_trip_preserves_construction_results() {
+    // Serialize a topology, reload it, and confirm the construction
+    // produces the identical route table.
+    let original = gen::petersen();
+    let encoded = io::to_graph6(&original);
+    let reloaded = io::from_graph6(&encoded).unwrap();
+    assert_eq!(original, reloaded);
+
+    let a = KernelRouting::build(&original).unwrap();
+    let b = KernelRouting::build(&reloaded).unwrap();
+    assert_eq!(a.separator(), b.separator());
+    assert_eq!(a.routing().route_count(), b.routing().route_count());
+    for (s, d, view) in a.routing().routes() {
+        let other = b.routing().route(s, d).expect("same pairs routed");
+        assert_eq!(view.nodes(), other.nodes());
+    }
+}
+
+#[test]
+fn vulnerability_screen_agrees_with_connectivity() {
+    for (g, expect_robust) in [
+        (gen::petersen(), true),
+        (gen::cycle(9).unwrap(), true),
+        (gen::path_graph(6).unwrap(), false),
+        (gen::star(5).unwrap(), false),
+        (gen::hypercube(4).unwrap(), true),
+    ] {
+        assert_eq!(
+            vulnerability::survives_any_single_fault(&g),
+            expect_robust,
+            "{g:?}"
+        );
+        assert_eq!(connectivity::is_k_connected(&g, 2), expect_robust, "{g:?}");
+    }
+}
+
+#[test]
+fn deployment_study_pipeline() {
+    // 1. Receive a topology in graph6 (here: a 4-connected circulant).
+    let wire = io::to_graph6(&gen::harary(4, 20).unwrap());
+    let network = io::from_graph6(&wire).unwrap();
+
+    // 2. Screen it: no single point of failure, measure κ.
+    assert!(vulnerability::survives_any_single_fault(&network));
+    let kappa = connectivity::vertex_connectivity(&network);
+    assert_eq!(kappa, 4);
+
+    // 3. Build the kernel routing and validate.
+    let kernel = KernelRouting::build(&network).unwrap();
+    kernel.routing().validate(&network).unwrap();
+
+    // 4. Run three months of simulated churn: the claim must hold on
+    //    every step where the live fault count is within budget.
+    let report = simulate_churn(
+        kernel.routing(),
+        &kernel.claim_theorem_3(),
+        ChurnConfig {
+            fail_rate: 0.015,
+            repair_time: 4,
+            steps: 400,
+            seed: 2026,
+        },
+    );
+    assert!(report.claim_held(), "{report:?}");
+    assert!(report.steps_within_budget > 250, "churn config too hot");
+
+    // 5. Stress beyond budget: components must remain internally
+    //    routable even when the network splits.
+    let overload = NodeSet::from_nodes(20, [0, 5, 10, 15, 3]);
+    let profile = beyond::component_profile(&kernel.routing().surviving(&overload));
+    assert!(profile.component_count() >= 1);
+    for &(size, diameter) in &profile.components {
+        assert!(size >= 1);
+        assert!(
+            diameter.is_some(),
+            "bidirectional kernel components are internally routable"
+        );
+    }
+}
+
+#[test]
+fn bridges_identify_the_links_worth_reinforcing() {
+    // A barbell network: the experiment harness can point at the bridge
+    // as the reinforcement target before any routing is attempted.
+    let mut g = gen::cycle(6).unwrap();
+    // second ring 6..11 joined by one link
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .chain([(6, 7), (7, 8), (8, 9), (9, 10), (10, 11), (11, 6)])
+        .chain([(2, 8)])
+        .collect();
+    let g = ftr::graph::Graph::from_edges(12, edges).unwrap();
+    let bridges = vulnerability::bridges(&g);
+    assert_eq!(bridges, vec![(2, 8)]);
+    assert!(!vulnerability::survives_any_single_fault(&g));
+    assert_eq!(connectivity::vertex_connectivity(&g), 1);
+}
