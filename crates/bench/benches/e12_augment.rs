@@ -15,14 +15,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| AugmentedKernelRouting::build(black_box(&g)).expect("not complete"))
     });
     group.bench_function("verify_exhaustive_t3", |b| {
-        b.iter(|| {
-            verify_tolerance(
-                black_box(aug.routing()),
-                3,
-                FaultStrategy::Exhaustive,
-                1,
-            )
-        })
+        b.iter(|| verify_tolerance(black_box(aug.routing()), 3, FaultStrategy::Exhaustive, 1))
     });
     group.finish();
 }

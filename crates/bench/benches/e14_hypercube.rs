@@ -9,20 +9,15 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e14_hypercube");
     group.sample_size(10);
     for dim in [3usize, 4, 5] {
-        group.bench_with_input(BenchmarkId::new("build_bidirectional", dim), &dim, |b, &d| {
-            b.iter(|| HypercubeRouting::build(black_box(d), RoutingKind::Bidirectional))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_bidirectional", dim),
+            &dim,
+            |b, &d| b.iter(|| HypercubeRouting::build(black_box(d), RoutingKind::Bidirectional)),
+        );
     }
     let q4 = HypercubeRouting::build(4, RoutingKind::Bidirectional).expect("valid");
     group.bench_function("verify_q4_exhaustive_f1", |b| {
-        b.iter(|| {
-            verify_tolerance(
-                black_box(q4.routing()),
-                1,
-                FaultStrategy::Exhaustive,
-                1,
-            )
-        })
+        b.iter(|| verify_tolerance(black_box(q4.routing()), 1, FaultStrategy::Exhaustive, 1))
     });
     group.finish();
 }

@@ -13,14 +13,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e15_broadcast");
     group.bench_function("broadcast_h4_20_one_fault", |b| {
-        b.iter(|| {
-            simulate_broadcast(
-                black_box(kernel.routing()),
-                black_box(&faults),
-                0,
-                4,
-            )
-        })
+        b.iter(|| simulate_broadcast(black_box(kernel.routing()), black_box(&faults), 0, 4))
     });
     group.finish();
 }

@@ -1,0 +1,126 @@
+//! E16 bench — the verification engine, before vs after: the legacy
+//! route-walk path against the bitset-compiled engine on the same
+//! routing and fault budget.
+//!
+//! The headline comparison is the acceptance gate of the engine PR:
+//! exhaustive `verify_tolerance` on the kernel routing of `H(5, 24)`
+//! with `f = 2` (301 fault sets) must be at least 5× faster compiled.
+//! Besides the criterion-style timings, the bench writes
+//! `BENCH_engine.json` at the workspace root with machine-readable
+//! sets/second for every strategy × engine pair, so future PRs can
+//! track the trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftr_bench::{engine_graph, engine_pair};
+use ftr_core::{verify_tolerance, FaultStrategy, RouteTable, ToleranceReport};
+use std::hint::black_box;
+use std::time::Instant;
+
+const FAULTS: usize = 2;
+
+fn strategies() -> Vec<(&'static str, FaultStrategy)> {
+    vec![
+        ("exhaustive", FaultStrategy::Exhaustive),
+        (
+            "random_2000",
+            FaultStrategy::RandomSample {
+                trials: 2000,
+                seed: 42,
+            },
+        ),
+        (
+            "adversarial_4",
+            FaultStrategy::Adversarial {
+                restarts: 4,
+                seed: 42,
+            },
+        ),
+    ]
+}
+
+/// Best-of-N wall-clock measurement of one full verification; returns
+/// the report and the evaluated fault sets per second.
+fn measure<T: RouteTable + Sync>(table: &T, strategy: FaultStrategy) -> (ToleranceReport, f64) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let r = verify_tolerance(black_box(table), FAULTS, strategy, 1);
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        report = Some(r);
+    }
+    let report = report.expect("three runs happened");
+    let rate = report.sets_checked as f64 / best;
+    (report, rate)
+}
+
+fn bench(c: &mut Criterion) {
+    let (kernel, engine) = engine_pair();
+    let legacy = kernel.routing();
+    let n = engine_graph().node_count();
+
+    // Criterion-style timings for the headline exhaustive pass.
+    let mut group = c.benchmark_group("e16_engine");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("verify_exhaustive_f2", "legacy"),
+        legacy,
+        |b, r| b.iter(|| verify_tolerance(black_box(r), FAULTS, FaultStrategy::Exhaustive, 1)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("verify_exhaustive_f2", "compiled"),
+        &engine,
+        |b, e| b.iter(|| verify_tolerance(black_box(e), FAULTS, FaultStrategy::Exhaustive, 1)),
+    );
+    group.finish();
+
+    // Machine-readable before/after record.
+    let mut entries = Vec::new();
+    let mut exhaustive_speedup = None;
+    for (name, strategy) in strategies() {
+        let (slow_report, slow_rate) = measure(legacy, strategy);
+        let (fast_report, fast_rate) = measure(&engine, strategy);
+        assert_eq!(
+            slow_report.worst_diameter, fast_report.worst_diameter,
+            "engines disagree under {name}"
+        );
+        let speedup = fast_rate / slow_rate;
+        if name == "exhaustive" {
+            exhaustive_speedup = Some(speedup);
+        }
+        eprintln!(
+            "e16_engine/{name}: legacy {slow_rate:.0} sets/s, compiled {fast_rate:.0} sets/s \
+             ({speedup:.1}x, worst diameter {:?})",
+            fast_report.worst_diameter
+        );
+        for (engine_name, rate, report) in [
+            ("legacy", slow_rate, &slow_report),
+            ("compiled", fast_rate, &fast_report),
+        ] {
+            entries.push(format!(
+                "    {{\n      \"strategy\": \"{name}\",\n      \"engine\": \"{engine_name}\",\n      \
+                 \"sets_checked\": {},\n      \"sets_per_sec\": {rate:.1}\n    }}",
+                report.sets_checked
+            ));
+        }
+    }
+    let speedup = exhaustive_speedup.expect("exhaustive strategy measured");
+
+    let json = format!(
+        "{{\n  \"bench\": \"e16_engine\",\n  \"graph\": \"harary(5, 24) kernel routing\",\n  \
+         \"n\": {n},\n  \"f\": {FAULTS},\n  \"threads\": 1,\n  \
+         \"exhaustive_speedup\": {speedup:.2},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write BENCH_engine.json");
+    eprintln!("e16_engine: wrote {path}");
+    assert!(
+        speedup >= 5.0,
+        "compiled engine must be >= 5x faster exhaustively (measured {speedup:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,15 +1,18 @@
 //! E1 bench — the kernel routing (Theorem 3): construction cost, one
-//! surviving-graph evaluation, and an exhaustive single-fault
-//! verification pass.
+//! surviving-graph evaluation (route-walk vs compiled engine), and an
+//! exhaustive single-fault verification pass.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ftr_bench::{bench_graph, bench_kernel, surviving_diameter, three_faults};
-use ftr_core::{verify_tolerance, FaultStrategy, KernelRouting};
+use ftr_bench::{
+    bench_graph, bench_kernel, surviving_diameter, surviving_diameter_compiled, three_faults,
+};
+use ftr_core::{verify_tolerance, Compile, FaultStrategy, KernelRouting};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let g = bench_graph();
     let (_, kernel) = bench_kernel();
+    let engine = kernel.routing().compile();
     let faults = three_faults();
 
     let mut group = c.benchmark_group("e1_kernel");
@@ -20,15 +23,11 @@ fn bench(c: &mut Criterion) {
     group.bench_function("surviving_diameter_3_faults", |b| {
         b.iter(|| surviving_diameter(black_box(kernel.routing()), black_box(&faults)))
     });
+    group.bench_function("surviving_diameter_3_faults_compiled", |b| {
+        b.iter(|| surviving_diameter_compiled(black_box(&engine), black_box(&faults)))
+    });
     group.bench_function("verify_exhaustive_f1", |b| {
-        b.iter(|| {
-            verify_tolerance(
-                black_box(kernel.routing()),
-                1,
-                FaultStrategy::Exhaustive,
-                1,
-            )
-        })
+        b.iter(|| verify_tolerance(black_box(kernel.routing()), 1, FaultStrategy::Exhaustive, 1))
     });
     group.finish();
 }

@@ -13,21 +13,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_kernel_half");
     group.sample_size(10);
     group.bench_function("verify_exhaustive_half_t", |b| {
-        b.iter(|| {
-            verify_tolerance(
-                black_box(kernel.routing()),
-                f,
-                FaultStrategy::Exhaustive,
-                1,
-            )
-        })
+        b.iter(|| verify_tolerance(black_box(kernel.routing()), f, FaultStrategy::Exhaustive, 1))
     });
     group.bench_function("verify_adversarial", |b| {
         b.iter(|| {
             verify_tolerance(
                 black_box(kernel.routing()),
                 f,
-                FaultStrategy::Adversarial { restarts: 1, seed: 1 },
+                FaultStrategy::Adversarial {
+                    restarts: 1,
+                    seed: 1,
+                },
                 1,
             )
         })

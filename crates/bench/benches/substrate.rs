@@ -1,9 +1,10 @@
 //! Substrate benches: the graph-layer primitives every construction
-//! rests on (flow, connectivity, tree routings, BFS diameter).
+//! rests on (flow, connectivity, tree routings, BFS diameter — in both
+//! the adjacency-list and the bit-matrix representation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftr_core::tree::tree_routing;
-use ftr_graph::{connectivity, flow, gen, traversal};
+use ftr_graph::{connectivity, flow, gen, traversal, BitMatrix};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -20,12 +21,22 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("diameter", name), &g, |b, g| {
             b.iter(|| traversal::diameter(black_box(g), None))
         });
-        let n = g.node_count() as u32;
+        // The same all-pairs diameter on the bit-matrix form: the
+        // compiled engine's inner loop (both directions of every edge).
+        let mut bits = BitMatrix::new(g.node_count());
+        for (u, v) in g.edges() {
+            bits.set(u, v);
+            bits.set(v, u);
+        }
         group.bench_with_input(
-            BenchmarkId::new("disjoint_st_paths", name),
-            &g,
-            |b, g| b.iter(|| flow::vertex_disjoint_st_paths(black_box(g), 0, n / 2, None)),
+            BenchmarkId::new("diameter_bitmatrix", name),
+            &bits,
+            |b, m| b.iter(|| black_box(m).diameter(None)),
         );
+        let n = g.node_count() as u32;
+        group.bench_with_input(BenchmarkId::new("disjoint_st_paths", name), &g, |b, g| {
+            b.iter(|| flow::vertex_disjoint_st_paths(black_box(g), 0, n / 2, None))
+        });
         // Tree-route from node 3 into the neighborhood of the antipodal
         // node (3 is never adjacent to n/2 in these families, so it is
         // outside the target set).

@@ -12,7 +12,9 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use ftr_core::{BipolarRouting, CircularRouting, RoutingKind, TriCircularRouting, TriCircularVariant};
+use ftr_core::{
+    BipolarRouting, CircularRouting, RoutingKind, TriCircularRouting, TriCircularVariant,
+};
 use ftr_graph::gen;
 use ftr_sim::experiments::{registry, Scale};
 use ftr_sim::viz;

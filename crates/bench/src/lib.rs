@@ -3,8 +3,8 @@
 //! time, surviving-graph evaluation, or verification throughput).
 
 use ftr_core::{
-    BipolarRouting, CircularRouting, KernelRouting, Routing, RoutingKind, TriCircularRouting,
-    TriCircularVariant,
+    BipolarRouting, CircularRouting, Compile, CompiledRoutes, KernelRouting, Routing, RoutingKind,
+    TriCircularRouting, TriCircularVariant,
 };
 use ftr_graph::{gen, Graph, NodeSet};
 
@@ -53,8 +53,30 @@ pub fn three_faults() -> NodeSet {
     NodeSet::from_nodes(40, [3, 17, 31])
 }
 
-/// Evaluates one surviving-graph diameter (the verifier's inner loop).
+/// Evaluates one surviving-graph diameter through the legacy route-walk
+/// path (the verifier's historical inner loop).
 pub fn surviving_diameter(routing: &Routing, faults: &NodeSet) -> Option<u32> {
     use ftr_core::RouteTable;
     routing.surviving(faults).diameter()
+}
+
+/// Evaluates one surviving-graph diameter through the compiled engine's
+/// mask-based fast path.
+pub fn surviving_diameter_compiled(engine: &CompiledRoutes, faults: &NodeSet) -> Option<u32> {
+    use ftr_core::RouteTable;
+    engine.surviving_diameter(faults)
+}
+
+/// The engine-comparison network of bench `e16_engine`: H(5, 24), κ = 5.
+pub fn engine_graph() -> Graph {
+    gen::harary(5, 24).expect("valid parameters")
+}
+
+/// The kernel routing on [`engine_graph`] plus its compiled form —
+/// the before/after pair for the `e16_engine` bench.
+pub fn engine_pair() -> (KernelRouting, CompiledRoutes) {
+    let g = engine_graph();
+    let kernel = KernelRouting::build(&g).expect("connected");
+    let engine = kernel.routing().compile();
+    (kernel, engine)
 }

@@ -53,7 +53,10 @@ impl AugmentedKernelRouting {
     pub fn build(g: &Graph) -> Result<Self, RoutingError> {
         let kappa = connectivity::vertex_connectivity(g);
         if kappa == 0 {
-            return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+            return Err(RoutingError::InsufficientConnectivity {
+                needed: 1,
+                found: 0,
+            });
         }
         let sep = connectivity::min_separator(g)
             .ok_or_else(|| RoutingError::property("complete graphs need no augmentation"))?;

@@ -81,7 +81,10 @@ impl BipolarRouting {
     ) -> Result<Self, RoutingError> {
         let kappa = connectivity::vertex_connectivity(g);
         if kappa == 0 {
-            return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+            return Err(RoutingError::InsufficientConnectivity {
+                needed: 1,
+                found: 0,
+            });
         }
         if !analysis::is_two_trees_pair(g, r1, r2) {
             return Err(RoutingError::property(format!(
@@ -299,7 +302,10 @@ mod tests {
         let report = verify_tolerance(
             b.routing(),
             2,
-            FaultStrategy::RandomSample { trials: 40, seed: 9 },
+            FaultStrategy::RandomSample {
+                trials: 40,
+                seed: 9,
+            },
             4,
         );
         assert!(report.satisfies(&b.claim()), "{report}");

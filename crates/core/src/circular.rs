@@ -63,7 +63,10 @@ impl CircularRouting {
     pub fn build(g: &Graph) -> Result<Self, RoutingError> {
         let kappa = connectivity::vertex_connectivity(g);
         if kappa == 0 {
-            return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+            return Err(RoutingError::InsufficientConnectivity {
+                needed: 1,
+                found: 0,
+            });
         }
         let t = kappa - 1;
         let k = if t.is_multiple_of(2) { t + 1 } else { t + 2 };
@@ -81,7 +84,10 @@ impl CircularRouting {
     pub fn build_with_size(g: &Graph, k: usize) -> Result<Self, RoutingError> {
         let kappa = connectivity::vertex_connectivity(g);
         if kappa == 0 {
-            return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+            return Err(RoutingError::InsufficientConnectivity {
+                needed: 1,
+                found: 0,
+            });
         }
         if k == 0 {
             return Err(RoutingError::property("concentrator size must be positive"));

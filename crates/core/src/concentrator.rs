@@ -181,7 +181,10 @@ mod tests {
         let err = NeighborhoodConcentrator::select(&g, 2).unwrap_err();
         assert_eq!(
             err,
-            RoutingError::ConcentratorTooSmall { needed: 2, found: 1 }
+            RoutingError::ConcentratorTooSmall {
+                needed: 2,
+                found: 1
+            }
         );
     }
 }

@@ -1,0 +1,459 @@
+//! The bitset-compiled surviving-graph engine.
+//!
+//! The `(d, f)`-tolerance verifier evaluates the same routing under
+//! thousands-to-millions of fault sets. The route-walk implementations
+//! ([`Routing`], [`MultiRouting`]) re-walk every route and rebuild an
+//! adjacency-list [`ftr_graph::DiGraph`] per fault set; this module
+//! compiles a routing **once** into a mask form under which each
+//! evaluation is word-level bit arithmetic:
+//!
+//! * every route slot stores its **interior fault mask** (a bitset of
+//!   the nodes whose failure kills the route — endpoints are handled by
+//!   the alive-mask of the BFS, since a faulty endpoint removes the node
+//!   itself), so "does fault set `F` kill this route" is one
+//!   [`NodeSet::intersects`] word scan;
+//! * an **inverted index** `node → route slots through it` lets the
+//!   incremental [`FaultCursor`] maintain per-slot kill counts under
+//!   single-fault toggles, touching only the routes through the toggled
+//!   node — the exhaustive verifier's depth-first enumeration and the
+//!   adversarial hill climber both toggle one fault at a time;
+//! * the current surviving route graph lives in a [`BitMatrix`], whose
+//!   all-pairs diameter is measured by row-OR frontier expansion with
+//!   early exit on disconnection.
+//!
+//! The route-walk path remains the reference implementation; an
+//! equivalence property test (`tests/engine_equivalence.rs`) checks the
+//! two produce arc-for-arc identical surviving graphs.
+
+use ftr_graph::{BitMatrix, Node, NodeSet};
+
+use crate::surviving::{FaultCursor, SurvivingGraph};
+use crate::{MultiRouting, RouteTable, Routing};
+
+/// A routing compiled to per-route fault masks, an inverted node→routes
+/// index and a bit-matrix route graph.
+///
+/// Build one with [`Compile::compile`] (or the `from_*` constructors)
+/// and hand it to [`crate::verify_tolerance`] exactly like the original
+/// table — `CompiledRoutes` implements [`RouteTable`], overriding the
+/// evaluation paths with the mask-based fast versions.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{verify_tolerance, Compile, FaultStrategy, KernelRouting};
+/// use ftr_graph::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::petersen();
+/// let kernel = KernelRouting::build(&g)?;
+/// let engine = kernel.routing().compile();
+/// let fast = verify_tolerance(&engine, 2, FaultStrategy::Exhaustive, 2);
+/// let slow = verify_tolerance(kernel.routing(), 2, FaultStrategy::Exhaustive, 2);
+/// assert_eq!(fast.worst_diameter, slow.worst_diameter);
+/// assert_eq!(fast.sets_checked, slow.sets_checked);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledRoutes {
+    n: usize,
+    /// Words per fault mask (`n.div_ceil(64)`).
+    stride: usize,
+    /// Routed ordered pairs, sorted for determinism.
+    pairs: Vec<(Node, Node)>,
+    /// Prefix offsets into the slot arrays, one entry per pair plus a
+    /// trailing total: pair `p` owns slots `pair_slots[p]..pair_slots[p+1]`.
+    pair_slots: Vec<u32>,
+    /// Interior fault masks, `stride` words per slot.
+    masks: Vec<u64>,
+    /// Owning pair of each slot.
+    slot_pair: Vec<u32>,
+    /// Prefix offsets into `index`, one entry per node plus a trailing
+    /// total.
+    index_off: Vec<u32>,
+    /// Inverted index: for each node, the slots whose interior contains
+    /// it.
+    index: Vec<u32>,
+    /// The fault-free surviving route graph (an arc per routed pair).
+    base: BitMatrix,
+}
+
+impl CompiledRoutes {
+    /// Compiles a single-route-per-pair routing.
+    pub fn from_routing(routing: &Routing) -> Self {
+        Self::build(
+            routing.node_count(),
+            routing
+                .routes()
+                .map(|(s, d, view)| (s, d, vec![view.nodes()])),
+        )
+    }
+
+    /// Compiles a multirouting; an arc survives while *any* route of its
+    /// bundle does, so a pair contributes one slot per parallel route.
+    pub fn from_multirouting(multi: &MultiRouting) -> Self {
+        Self::build(
+            multi.node_count(),
+            multi
+                .route_bundles()
+                .map(|(s, d, views)| (s, d, views.iter().map(|v| v.nodes()).collect())),
+        )
+    }
+
+    fn build(n: usize, bundles: impl Iterator<Item = (Node, Node, Vec<Vec<Node>>)>) -> Self {
+        let stride = n.div_ceil(64);
+        let mut collected: Vec<(Node, Node, Vec<Vec<Node>>)> = bundles.collect();
+        // The route tables iterate hash maps; sort so compilation is
+        // deterministic and cache-friendly.
+        collected.sort_unstable_by_key(|&(s, d, _)| (s, d));
+
+        let mut pairs = Vec::with_capacity(collected.len());
+        let mut pair_slots = Vec::with_capacity(collected.len() + 1);
+        let mut masks = Vec::new();
+        let mut slot_pair = Vec::new();
+        let mut base = BitMatrix::new(n);
+        pair_slots.push(0u32);
+        for (s, d, routes) in &collected {
+            let p = pairs.len() as u32;
+            pairs.push((*s, *d));
+            base.set(*s, *d);
+            for route in routes {
+                let start = masks.len();
+                masks.resize(start + stride, 0);
+                for &v in route {
+                    if v != *s && v != *d {
+                        masks[start + v as usize / 64] |= 1u64 << (v % 64);
+                    }
+                }
+                slot_pair.push(p);
+            }
+            pair_slots.push(slot_pair.len() as u32);
+        }
+
+        // Inverted index by counting sort: node -> slots through it.
+        let mut counts = vec![0u32; n + 1];
+        for slot in 0..slot_pair.len() {
+            for v in Self::mask_nodes(&masks[slot * stride..(slot + 1) * stride]) {
+                counts[v as usize] += 1;
+            }
+        }
+        let mut index_off = vec![0u32; n + 1];
+        for v in 0..n {
+            index_off[v + 1] = index_off[v] + counts[v];
+        }
+        let mut cursor = index_off.clone();
+        let mut index = vec![0u32; index_off[n] as usize];
+        for slot in 0..slot_pair.len() {
+            for v in Self::mask_nodes(&masks[slot * stride..(slot + 1) * stride]) {
+                index[cursor[v as usize] as usize] = slot as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        CompiledRoutes {
+            n,
+            stride,
+            pairs,
+            pair_slots,
+            masks,
+            slot_pair,
+            index_off,
+            index,
+            base,
+        }
+    }
+
+    fn mask_nodes(mask: &[u64]) -> impl Iterator<Item = Node> + '_ {
+        mask.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors((w != 0).then_some(w), |&bits| {
+                let rest = bits & (bits - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |bits| (wi * 64) as Node + bits.trailing_zeros())
+        })
+    }
+
+    /// Number of routed ordered pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total route slots (pairs for a [`Routing`], parallel routes
+    /// summed for a [`MultiRouting`]).
+    pub fn slot_count(&self) -> usize {
+        self.slot_pair.len()
+    }
+
+    /// The slots owned by pair `p`.
+    fn slots_of(&self, p: usize) -> std::ops::Range<usize> {
+        self.pair_slots[p] as usize..self.pair_slots[p + 1] as usize
+    }
+
+    /// Returns `true` if the slot's route avoids every faulty node —
+    /// one word-level scan of its interior mask (the same primitive as
+    /// [`NodeSet::intersects`]).
+    fn slot_survives(&self, slot: usize, fault_words: &[u64]) -> bool {
+        !ftr_graph::words_intersect(
+            &self.masks[slot * self.stride..(slot + 1) * self.stride],
+            fault_words,
+        )
+    }
+
+    fn assert_capacity(&self, faults: &NodeSet) {
+        assert_eq!(
+            faults.capacity(),
+            self.n,
+            "fault set capacity must equal the routing's node count"
+        );
+    }
+}
+
+impl RouteTable for CompiledRoutes {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn surviving(&self, faults: &NodeSet) -> SurvivingGraph {
+        self.assert_capacity(faults);
+        let words = faults.words();
+        SurvivingGraph::from_routes(
+            self.n,
+            faults,
+            self.pairs.iter().enumerate().map(|(p, &(s, d))| {
+                let survives = self.slots_of(p).any(|slot| self.slot_survives(slot, words));
+                (s, d, survives)
+            }),
+        )
+    }
+
+    fn surviving_diameter(&self, faults: &NodeSet) -> Option<u32> {
+        self.assert_capacity(faults);
+        let words = faults.words();
+        let mut live = self.base.clone();
+        for (p, &(s, d)) in self.pairs.iter().enumerate() {
+            if !self.slots_of(p).any(|slot| self.slot_survives(slot, words)) {
+                live.clear(s, d);
+            }
+        }
+        live.diameter(Some(faults))
+    }
+
+    fn cursor(&self) -> Box<dyn FaultCursor + '_> {
+        Box::new(CompiledCursor {
+            engine: self,
+            kill: vec![0; self.slot_count()],
+            pair_live: (0..self.pair_count())
+                .map(|p| self.slots_of(p).len() as u32)
+                .collect(),
+            live: self.base.clone(),
+            faults: NodeSet::new(self.n),
+        })
+    }
+}
+
+/// The engine's incremental cursor: per-slot kill counts plus the live
+/// route graph, updated only along the toggled node's inverted index.
+struct CompiledCursor<'a> {
+    engine: &'a CompiledRoutes,
+    /// Per slot: how many current faults lie on the route's interior.
+    kill: Vec<u32>,
+    /// Per pair: how many of its slots have `kill == 0`.
+    pair_live: Vec<u32>,
+    /// The surviving route graph under the current fault set (arcs of
+    /// pairs with at least one live slot; faulty endpoints are excluded
+    /// by the diameter's alive-mask, not by clearing arcs).
+    live: BitMatrix,
+    faults: NodeSet,
+}
+
+impl FaultCursor for CompiledCursor<'_> {
+    fn insert(&mut self, v: Node) {
+        assert!(self.faults.insert(v), "node {v} is already faulty");
+        let e = self.engine;
+        let range = e.index_off[v as usize] as usize..e.index_off[v as usize + 1] as usize;
+        for &slot in &e.index[range] {
+            let slot = slot as usize;
+            if self.kill[slot] == 0 {
+                let p = e.slot_pair[slot] as usize;
+                self.pair_live[p] -= 1;
+                if self.pair_live[p] == 0 {
+                    let (s, d) = e.pairs[p];
+                    self.live.clear(s, d);
+                }
+            }
+            self.kill[slot] += 1;
+        }
+    }
+
+    fn remove(&mut self, v: Node) {
+        assert!(self.faults.remove(v), "node {v} is not faulty");
+        let e = self.engine;
+        let range = e.index_off[v as usize] as usize..e.index_off[v as usize + 1] as usize;
+        for &slot in &e.index[range] {
+            let slot = slot as usize;
+            self.kill[slot] -= 1;
+            if self.kill[slot] == 0 {
+                let p = e.slot_pair[slot] as usize;
+                self.pair_live[p] += 1;
+                if self.pair_live[p] == 1 {
+                    let (s, d) = e.pairs[p];
+                    self.live.set(s, d);
+                }
+            }
+        }
+    }
+
+    fn diameter(&mut self) -> Option<u32> {
+        self.live.diameter(Some(&self.faults))
+    }
+
+    fn faults(&self) -> &NodeSet {
+        &self.faults
+    }
+}
+
+/// Route tables that can be compiled into the bitset engine.
+///
+/// The experiment harness and benches call [`Compile::compile`] once per
+/// routing and run every verification on the compiled form.
+pub trait Compile: RouteTable {
+    /// Compiles this table into a [`CompiledRoutes`] engine.
+    fn compile(&self) -> CompiledRoutes;
+}
+
+impl Compile for Routing {
+    fn compile(&self) -> CompiledRoutes {
+        CompiledRoutes::from_routing(self)
+    }
+}
+
+impl Compile for MultiRouting {
+    fn compile(&self) -> CompiledRoutes {
+        CompiledRoutes::from_multirouting(self)
+    }
+}
+
+impl Compile for CompiledRoutes {
+    fn compile(&self) -> CompiledRoutes {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoutingKind, ToleranceClaim};
+    use ftr_graph::{gen, Path, INFINITY};
+
+    fn demo_routing() -> Routing {
+        let mut r = Routing::new(4, RoutingKind::Bidirectional);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            r.insert(Path::new(vec![a, b]).unwrap()).unwrap();
+        }
+        r.insert(Path::new(vec![0, 1, 2]).unwrap()).unwrap();
+        r
+    }
+
+    #[test]
+    fn compiled_surviving_matches_legacy_on_demo() {
+        let r = demo_routing();
+        let engine = r.compile();
+        assert_eq!(engine.node_count(), 4);
+        assert_eq!(engine.pair_count(), 10);
+        for faulty in 0..4u32 {
+            let faults = NodeSet::from_nodes(4, [faulty]);
+            let slow = r.surviving(&faults);
+            let fast = engine.surviving(&faults);
+            for x in 0..4 {
+                for y in 0..4 {
+                    assert_eq!(slow.has_edge(x, y), fast.has_edge(x, y), "({x}, {y})");
+                }
+            }
+            assert_eq!(slow.diameter(), fast.diameter());
+            assert_eq!(engine.surviving_diameter(&faults), slow.diameter());
+        }
+    }
+
+    #[test]
+    fn cursor_tracks_toggles() {
+        let r = demo_routing();
+        let engine = r.compile();
+        let mut cursor = RouteTable::cursor(&engine);
+        assert_eq!(cursor.diameter(), Some(2));
+        cursor.insert(1);
+        assert_eq!(cursor.diameter(), Some(2)); // 0 -> 3 -> 2 detour
+        cursor.insert(3);
+        assert_eq!(cursor.diameter(), None); // 0 cut from 2
+        cursor.remove(1);
+        cursor.remove(3);
+        assert_eq!(cursor.diameter(), Some(2), "toggles fully undo");
+    }
+
+    #[test]
+    fn cursor_agrees_with_scratch_evaluation() {
+        let g = gen::petersen();
+        let kernel = crate::KernelRouting::build(&g).unwrap();
+        let engine = kernel.routing().compile();
+        let mut cursor = RouteTable::cursor(&engine);
+        for a in 0..10u32 {
+            cursor.insert(a);
+            for b in (a + 1)..10u32 {
+                cursor.insert(b);
+                let faults = NodeSet::from_nodes(10, [a, b]);
+                assert_eq!(
+                    cursor.diameter(),
+                    kernel.routing().surviving_diameter(&faults),
+                    "faults {{{a}, {b}}}"
+                );
+                cursor.remove(b);
+            }
+            cursor.remove(a);
+        }
+    }
+
+    #[test]
+    fn multirouting_bundles_need_every_route_dead() {
+        let mut m = MultiRouting::new(4, RoutingKind::Bidirectional, 2);
+        m.insert(Path::new(vec![0, 1, 2]).unwrap()).unwrap();
+        m.insert(Path::new(vec![0, 3, 2]).unwrap()).unwrap();
+        let engine = m.compile();
+        assert_eq!(engine.pair_count(), 2);
+        assert_eq!(engine.slot_count(), 4);
+        let s = engine.surviving(&NodeSet::from_nodes(4, [1]));
+        assert!(s.has_edge(0, 2), "detour through 3 survives");
+        let s = engine.surviving(&NodeSet::from_nodes(4, [1, 3]));
+        assert!(!s.has_edge(0, 2));
+    }
+
+    #[test]
+    fn faulty_endpoint_removes_node_not_just_routes() {
+        let engine = demo_routing().compile();
+        let faults = NodeSet::from_nodes(4, [0]);
+        let s = engine.surviving(&faults);
+        assert_eq!(s.surviving_count(), 3);
+        assert_eq!(s.distance(0, 2), INFINITY);
+        assert_eq!(engine.surviving_diameter(&faults), Some(2));
+    }
+
+    #[test]
+    fn verify_claim_through_engine() {
+        let g = gen::petersen();
+        let kernel = crate::KernelRouting::build(&g).unwrap();
+        let engine = kernel.routing().compile();
+        let report = crate::verify_tolerance(&engine, 2, crate::FaultStrategy::Exhaustive, 2);
+        assert!(report.satisfies(&kernel.claim_theorem_3()));
+        let absurd = ToleranceClaim {
+            diameter: 0,
+            faults: 2,
+        };
+        assert!(!report.satisfies(&absurd));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn mismatched_fault_capacity_panics() {
+        let engine = demo_routing().compile();
+        let _ = engine.surviving(&NodeSet::new(9));
+    }
+}

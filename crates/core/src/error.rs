@@ -107,9 +107,15 @@ mod tests {
     fn display_variants() {
         let e = RoutingError::RouteConflict { src: 1, dst: 2 };
         assert_eq!(e.to_string(), "conflicting route for pair (1, 2)");
-        let e = RoutingError::InsufficientConnectivity { needed: 4, found: 2 };
+        let e = RoutingError::InsufficientConnectivity {
+            needed: 4,
+            found: 2,
+        };
         assert!(e.to_string().contains("4") && e.to_string().contains("2"));
-        let e = RoutingError::ConcentratorTooSmall { needed: 9, found: 3 };
+        let e = RoutingError::ConcentratorTooSmall {
+            needed: 9,
+            found: 3,
+        };
         assert!(e.to_string().contains("9"));
         let e = RoutingError::property("two-trees roots not found");
         assert!(e.to_string().contains("two-trees"));

@@ -165,7 +165,10 @@ mod tests {
         let hc = HypercubeRouting::build(3, RoutingKind::Bidirectional).unwrap();
         let report = verify_tolerance(hc.routing(), 1, FaultStrategy::Exhaustive, 2);
         let d = report.worst_diameter.expect("Q3 survives one fault");
-        assert!(d <= 3, "bit-fixing on Q3 stays within the quoted bound: {d}");
+        assert!(
+            d <= 3,
+            "bit-fixing on Q3 stays within the quoted bound: {d}"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl KernelRouting {
     pub fn build(g: &Graph) -> Result<Self, RoutingError> {
         let kappa = connectivity::vertex_connectivity(g);
         if kappa == 0 {
-            return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+            return Err(RoutingError::InsufficientConnectivity {
+                needed: 1,
+                found: 0,
+            });
         }
         let separator = match connectivity::min_separator(g) {
             Some(sep) => sep,

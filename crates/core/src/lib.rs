@@ -33,6 +33,21 @@
 //! measures the worst surviving diameter over fault sets exhaustively,
 //! by seeded sampling, or adversarially.
 //!
+//! # The verification engine
+//!
+//! Verification evaluates one routing under combinatorially many fault
+//! sets, so the hot path is compiled: [`Compile::compile`] turns any
+//! route table into a [`CompiledRoutes`] engine holding one interior
+//! fault mask per route, an inverted `node → routes` index, and the
+//! surviving route graph as an [`ftr_graph::BitMatrix`]. Under the
+//! engine, "does `F` kill this route" is a word-level
+//! [`ftr_graph::NodeSet::intersects`] scan, single-fault toggles update
+//! per-route kill counts incrementally, and diameters are measured by
+//! bit-parallel BFS — ~8× faster end-to-end than the route-walk path on
+//! the `e16_engine` bench (see `BENCH_engine.json`). The route-walk
+//! implementations remain the reference semantics; property tests in
+//! `tests/engine_equivalence.rs` pin arc-for-arc agreement.
+//!
 //! # Example
 //!
 //! Build the circular routing on a 3-connected Harary graph and verify
@@ -59,10 +74,12 @@ pub mod beyond;
 mod bipolar;
 mod circular;
 pub mod concentrator;
+mod engine;
 mod error;
 mod hypercube;
 mod kernel;
 mod multi;
+mod par;
 pub mod properties;
 mod routing;
 mod surviving;
@@ -73,6 +90,7 @@ mod tricircular;
 pub use augment::AugmentedKernelRouting;
 pub use bipolar::BipolarRouting;
 pub use circular::CircularRouting;
+pub use engine::{Compile, CompiledRoutes};
 pub use error::RoutingError;
 pub use hypercube::HypercubeRouting;
 pub use kernel::KernelRouting;
@@ -80,7 +98,7 @@ pub use multi::{
     concentrator_multirouting, full_multirouting, single_tree_multirouting, MultiRouting,
 };
 pub use routing::{RouteView, Routing, RoutingKind, RoutingStats};
-pub use surviving::{RouteTable, SurvivingGraph};
+pub use surviving::{FaultCursor, RouteTable, SurvivingGraph};
 pub use tolerance::{check_claim, verify_tolerance, FaultStrategy, ToleranceReport};
 pub use tricircular::{TriCircularRouting, TriCircularVariant};
 

@@ -59,7 +59,10 @@ impl MultiRouting {
     ///
     /// Panics if `max_parallel == 0`.
     pub fn new(n: usize, kind: RoutingKind, max_parallel: usize) -> Self {
-        assert!(max_parallel > 0, "a routing needs at least one route per pair");
+        assert!(
+            max_parallel > 0,
+            "a routing needs at least one route per pair"
+        );
         MultiRouting {
             n,
             kind,
@@ -231,7 +234,10 @@ impl fmt::Debug for MultiRouting {
 pub fn full_multirouting(g: &Graph) -> Result<MultiRouting, RoutingError> {
     let kappa = connectivity::vertex_connectivity(g);
     if kappa == 0 {
-        return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+        return Err(RoutingError::InsufficientConnectivity {
+            needed: 1,
+            found: 0,
+        });
     }
     let mut m = MultiRouting::new(g.node_count(), RoutingKind::Bidirectional, kappa);
     for u in g.nodes() {
@@ -257,7 +263,10 @@ pub fn full_multirouting(g: &Graph) -> Result<MultiRouting, RoutingError> {
 pub fn concentrator_multirouting(g: &Graph) -> Result<(MultiRouting, Vec<Node>), RoutingError> {
     let kappa = connectivity::vertex_connectivity(g);
     if kappa == 0 {
-        return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+        return Err(RoutingError::InsufficientConnectivity {
+            needed: 1,
+            found: 0,
+        });
     }
     let sep = connectivity::min_separator(g)
         .ok_or_else(|| RoutingError::property("complete graphs have no separating set"))?;
@@ -305,7 +314,10 @@ pub fn concentrator_multirouting(g: &Graph) -> Result<(MultiRouting, Vec<Node>),
 pub fn single_tree_multirouting(g: &Graph) -> Result<(MultiRouting, Vec<Node>), RoutingError> {
     let kappa = connectivity::vertex_connectivity(g);
     if kappa == 0 {
-        return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+        return Err(RoutingError::InsufficientConnectivity {
+            needed: 1,
+            found: 0,
+        });
     }
     let sep = connectivity::min_separator(g)
         .ok_or_else(|| RoutingError::property("complete graphs have no separating set"))?;

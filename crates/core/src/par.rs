@@ -1,0 +1,90 @@
+//! Minimal data-parallel reduction on `std::thread::scope`.
+//!
+//! The tolerance verifier used to hand-roll work distribution with
+//! crossbeam scoped threads and a `parking_lot::Mutex` around the shared
+//! accumulator. This module replaces that with the rayon-style shape —
+//! each worker folds into a private accumulator, the fold results are
+//! merged on the calling thread — without the external dependency (the
+//! build environment has no crates-registry access). Work is claimed
+//! dynamically from an atomic counter, so uneven items (fault-set
+//! subtrees of very different sizes) still balance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `worker` on up to `threads` OS threads until `items` work items
+/// are consumed, returning each worker's accumulator (callers merge).
+///
+/// Each worker receives a claim function yielding the next unclaimed
+/// item index, or `None` when the range is exhausted. Per-worker setup
+/// (scratch buffers, cursors) lives inside `worker`, so no state is
+/// shared mutably and no locks are held anywhere.
+///
+/// With `threads <= 1` (or at most one item) the work runs inline on the
+/// calling thread — the verifier's single-threaded mode stays genuinely
+/// single-threaded.
+pub(crate) fn map_workers<R, W>(items: usize, threads: usize, worker: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(&dyn Fn() -> Option<usize>) -> R + Sync,
+{
+    let counter = AtomicUsize::new(0);
+    let claim = move || {
+        let i = counter.fetch_add(1, Ordering::Relaxed);
+        (i < items).then_some(i)
+    };
+    let workers = threads.min(items).max(1);
+    if workers == 1 {
+        return vec![worker(&claim)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| scope.spawn(|| worker(&claim)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verifier workers do not panic"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_items_claimed_exactly_once() {
+        let results = map_workers(1000, 4, |next| {
+            let mut seen = Vec::new();
+            while let Some(i) = next() {
+                seen.push(i);
+            }
+            seen
+        });
+        let mut all: Vec<usize> = results.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let id = std::thread::current().id();
+        let results = map_workers(5, 1, |next| {
+            assert_eq!(std::thread::current().id(), id);
+            let mut count = 0;
+            while next().is_some() {
+                count += 1;
+            }
+            count
+        });
+        assert_eq!(results, vec![5]);
+    }
+
+    #[test]
+    fn zero_items_still_invokes_one_worker() {
+        let results = map_workers(0, 8, |next| {
+            assert!(next().is_none());
+            42
+        });
+        assert_eq!(results, vec![42]);
+    }
+}

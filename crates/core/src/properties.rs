@@ -65,9 +65,10 @@ fn common_relay_within(s: &SurvivingGraph, m: &[Node], bound: u32) -> bool {
     let all: Vec<Node> = nodes(s).collect();
     for (i, &x) in all.iter().enumerate() {
         for &y in &all[i + 1..] {
-            let ok = live.iter().enumerate().any(|(zi, _)| {
-                dists[zi][x as usize] <= bound && dists[zi][y as usize] <= bound
-            });
+            let ok = live
+                .iter()
+                .enumerate()
+                .any(|(zi, _)| dists[zi][x as usize] <= bound && dists[zi][y as usize] <= bound);
             if !ok {
                 return false;
             }
@@ -109,10 +110,9 @@ pub fn b_pol_intra_pole(s: &SurvivingGraph, pole: &[Node]) -> bool {
 /// direct surviving route to some non-faulty `M2` member (the
 /// asymmetric cross-link of the bidirectional bipolar routing).
 pub fn b_pol_cross(s: &SurvivingGraph, m1: &[Node], m2: &[Node]) -> bool {
-    m1.iter().filter(|&&x| alive(s, x)).all(|&x| {
-        m2.iter()
-            .any(|&y| alive(s, y) && s.has_edge(x, y))
-    })
+    m1.iter()
+        .filter(|&&x| alive(s, x))
+        .all(|&x| m2.iter().any(|&y| alive(s, y) && s.has_edge(x, y)))
 }
 
 /// The diameter implication the lemmas conclude with: every ordered
@@ -210,9 +210,18 @@ mod tests {
             let s = b.routing().surviving(&faults);
             assert!(b_pol_to_pole(&s, &m1), "B-POL 1 fails under {faults:?}");
             assert!(b_pol_to_pole(&s, &m2), "B-POL 2 fails under {faults:?}");
-            assert!(b_pol_from_pole(&s, &m1, &m2), "B-POL 3 fails under {faults:?}");
-            assert!(b_pol_intra_pole(&s, &m1), "B-POL 4 (M1) fails under {faults:?}");
-            assert!(b_pol_intra_pole(&s, &m2), "B-POL 4 (M2) fails under {faults:?}");
+            assert!(
+                b_pol_from_pole(&s, &m1, &m2),
+                "B-POL 3 fails under {faults:?}"
+            );
+            assert!(
+                b_pol_intra_pole(&s, &m1),
+                "B-POL 4 (M1) fails under {faults:?}"
+            );
+            assert!(
+                b_pol_intra_pole(&s, &m2),
+                "B-POL 4 (M2) fails under {faults:?}"
+            );
             // Lemma 18: B-POL 1..4 ⇒ (4, t)
             assert!(diameter_within(&s, 4));
         }
@@ -228,8 +237,14 @@ mod tests {
             let s = b.routing().surviving(&faults);
             // 2B-POL 1: every x outside M has a direct link into M
             assert!(b_pol_to_pole(&s, &m), "2B-POL 1 fails under {faults:?}");
-            assert!(b_pol_intra_pole(&s, &m1), "2B-POL 2 (M1) fails under {faults:?}");
-            assert!(b_pol_intra_pole(&s, &m2), "2B-POL 2 (M2) fails under {faults:?}");
+            assert!(
+                b_pol_intra_pole(&s, &m1),
+                "2B-POL 2 (M1) fails under {faults:?}"
+            );
+            assert!(
+                b_pol_intra_pole(&s, &m2),
+                "2B-POL 2 (M2) fails under {faults:?}"
+            );
             assert!(b_pol_cross(&s, &m1, &m2), "2B-POL 3 fails under {faults:?}");
             // Lemma 21: 2B-POL 1..3 ⇒ (5, t)
             assert!(diameter_within(&s, 5));

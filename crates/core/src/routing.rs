@@ -395,7 +395,11 @@ mod tests {
         r.insert(path(&[0, 1, 3])).unwrap();
         r.insert(path(&[3, 1, 0])).unwrap(); // same path, other direction
         assert_eq!(r.route_count(), 2);
-        assert_eq!(r.path_count(), 1, "idempotent inserts do not grow the arena");
+        assert_eq!(
+            r.path_count(),
+            1,
+            "idempotent inserts do not grow the arena"
+        );
     }
 
     #[test]

@@ -4,9 +4,12 @@ use crate::{MultiRouting, Routing};
 
 /// Anything that can produce a surviving route graph under a fault set.
 ///
-/// Implemented by [`Routing`] (one route per ordered pair) and
-/// [`MultiRouting`] (Section 6's parallel routes). The tolerance
-/// verifier is generic over this trait.
+/// Implemented by [`Routing`] (one route per ordered pair),
+/// [`MultiRouting`] (Section 6's parallel routes) and
+/// [`crate::CompiledRoutes`] (the bitset-compiled engine). The tolerance
+/// verifier is generic over this trait: the route-walk implementations
+/// serve as the reference semantics, while the compiled engine overrides
+/// the provided methods with mask-based fast paths.
 pub trait RouteTable {
     /// Node count of the underlying network.
     fn node_count(&self) -> usize;
@@ -18,6 +21,90 @@ pub trait RouteTable {
     /// Implementations panic if `faults` was sized for a different node
     /// count.
     fn surviving(&self, faults: &NodeSet) -> SurvivingGraph;
+
+    /// The diameter of the surviving route graph under `faults` — the
+    /// paper's figure of merit, `None` meaning disconnection.
+    ///
+    /// The provided implementation materializes the surviving graph;
+    /// fast implementations override it to measure without building a
+    /// [`DiGraph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` was sized for a different node count.
+    fn surviving_diameter(&self, faults: &NodeSet) -> Option<u32> {
+        self.surviving(faults).diameter()
+    }
+
+    /// An incremental fault cursor over this table, used by the
+    /// verifier's exhaustive enumeration and adversarial hill climbing
+    /// (both toggle one fault at a time).
+    ///
+    /// The provided implementation re-walks routes on every evaluation;
+    /// the compiled engine overrides it with per-route kill counting.
+    fn cursor(&self) -> Box<dyn FaultCursor + '_>
+    where
+        Self: Sized,
+    {
+        Box::new(WalkCursor {
+            table: self,
+            faults: NodeSet::new(self.node_count()),
+        })
+    }
+}
+
+/// A mutable fault set over a fixed route table, evaluated between
+/// single-node toggles.
+///
+/// The exhaustive verifier's depth-first enumeration and the adversarial
+/// search's hill-climbing swaps both change one fault at a time; a
+/// cursor lets implementations carry state across those toggles instead
+/// of re-deriving the surviving graph from scratch.
+pub trait FaultCursor {
+    /// Marks `v` faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or already faulty.
+    fn insert(&mut self, v: Node);
+
+    /// Marks `v` healthy again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or not currently faulty.
+    fn remove(&mut self, v: Node);
+
+    /// The surviving diameter under the current fault set.
+    fn diameter(&mut self) -> Option<u32>;
+
+    /// The current fault set.
+    fn faults(&self) -> &NodeSet;
+}
+
+/// The reference cursor: keeps a [`NodeSet`] and rebuilds the surviving
+/// graph on every evaluation (the pre-engine behavior).
+struct WalkCursor<'a, T: RouteTable> {
+    table: &'a T,
+    faults: NodeSet,
+}
+
+impl<T: RouteTable> FaultCursor for WalkCursor<'_, T> {
+    fn insert(&mut self, v: Node) {
+        assert!(self.faults.insert(v), "node {v} is already faulty");
+    }
+
+    fn remove(&mut self, v: Node) {
+        assert!(self.faults.remove(v), "node {v} is not faulty");
+    }
+
+    fn diameter(&mut self) -> Option<u32> {
+        self.table.surviving_diameter(&self.faults)
+    }
+
+    fn faults(&self) -> &NodeSet {
+        &self.faults
+    }
 }
 
 /// The surviving route graph `R(G, ρ)/F`: all non-faulty nodes, with an
@@ -49,7 +136,7 @@ pub struct SurvivingGraph {
 }
 
 impl SurvivingGraph {
-    fn from_routes(
+    pub(crate) fn from_routes(
         n: usize,
         faults: &NodeSet,
         routes: impl Iterator<Item = (Node, Node, bool)>,
@@ -135,9 +222,8 @@ impl RouteTable for MultiRouting {
         SurvivingGraph::from_routes(
             MultiRouting::node_count(self),
             faults,
-            self.route_bundles().map(|(s, d, views)| {
-                (s, d, views.iter().any(|v| !v.is_affected_by(faults)))
-            }),
+            self.route_bundles()
+                .map(|(s, d, views)| (s, d, views.iter().any(|v| !v.is_affected_by(faults)))),
         )
     }
 }

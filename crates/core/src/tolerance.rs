@@ -14,16 +14,22 @@
 //!   magnitude faster than sampling on large graphs; ablation A3
 //!   quantifies the gap).
 //!
-//! Enumeration parallelizes across OS threads with crossbeam's scoped
-//! threads.
+//! All three strategies are data-parallel reductions (see `par`): each
+//! worker folds fault-set evaluations into a private [`Worst`]
+//! accumulator and the folds are merged at the end — no shared mutable
+//! state, no locks. The exhaustive enumeration and the hill climber
+//! evaluate through a [`FaultCursor`], so the compiled engine
+//! ([`crate::CompiledRoutes`]) updates per-route kill counts
+//! incrementally instead of re-walking routes per fault set.
 
 use std::fmt;
 
 use ftr_graph::{Node, NodeSet};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::par;
+use crate::surviving::FaultCursor;
 use crate::{RouteTable, ToleranceClaim};
 
 /// How fault sets are enumerated by [`verify_tolerance`].
@@ -84,9 +90,13 @@ impl ToleranceReport {
     /// (every checked fault set of size `<= claim.faults` left diameter
     /// `<= claim.diameter`).
     ///
-    /// Only meaningful when the report was produced with
-    /// `max_faults >= claim.faults`.
+    /// A report produced with `max_faults < claim.faults` never covers
+    /// the claim and answers `false` — a bound cannot be vouched for by
+    /// a measurement that exercised a smaller fault budget.
     pub fn satisfies(&self, claim: &ToleranceClaim) -> bool {
+        if self.max_faults < claim.faults {
+            return false;
+        }
         match self.worst_diameter {
             Some(d) => d <= claim.diameter,
             None => false,
@@ -117,6 +127,10 @@ impl fmt::Display for ToleranceReport {
 /// An observed disconnection (`worst_diameter == None`) dominates any
 /// finite diameter.
 ///
+/// Works with any [`RouteTable`]; compile the table first
+/// ([`crate::Compile::compile`]) to run on the bitset engine — same
+/// results, about an order of magnitude faster (bench `e16_engine`).
+///
 /// # Panics
 ///
 /// Panics if `threads == 0`.
@@ -145,7 +159,9 @@ pub fn verify_tolerance<T: RouteTable + Sync>(
     match strategy {
         FaultStrategy::Exhaustive => exhaustive(table, f, threads),
         FaultStrategy::RandomSample { trials, seed } => random(table, f, trials, seed, threads),
-        FaultStrategy::Adversarial { restarts, seed } => adversarial(table, f, restarts, seed),
+        FaultStrategy::Adversarial { restarts, seed } => {
+            adversarial(table, f, restarts, seed, threads)
+        }
     }
 }
 
@@ -161,14 +177,19 @@ pub fn check_claim<T: RouteTable + Sync>(
     (ok, report)
 }
 
-/// Shared worst-case accumulator. Disconnection (None) beats any finite
-/// diameter; ties keep the first fault set found.
+/// Per-worker worst-case accumulator. Disconnection (None) beats any
+/// finite diameter; ties keep the fault set with the smallest
+/// enumeration key, so results are identical whatever the thread count
+/// or scheduling (each strategy assigns keys in its sequential
+/// enumeration order).
 struct Worst {
     diameter: Option<u32>, // None = not yet measured... see `measured`
     disconnected: bool,
     faults: Vec<Node>,
     sets: u64,
     measured: bool,
+    /// Enumeration key of the current worst set.
+    at: u64,
 }
 
 impl Worst {
@@ -179,20 +200,30 @@ impl Worst {
             faults: Vec::new(),
             sets: 0,
             measured: false,
+            at: u64::MAX,
         }
     }
 
-    fn update(&mut self, diameter: Option<u32>, faults: &NodeSet) {
+    fn update(&mut self, diameter: Option<u32>, faults: &NodeSet, key: u64) {
         self.sets += 1;
-        let better = match (self.disconnected, diameter) {
-            (true, _) => false,
-            (false, None) => true,
-            (false, Some(d)) => !self.measured || d > self.diameter.unwrap_or(0),
+        let better = if !self.measured {
+            true
+        } else {
+            match (self.disconnected, diameter) {
+                (true, Some(_)) => false,
+                (true, None) => key < self.at,
+                (false, None) => true,
+                (false, Some(d)) => {
+                    let cur = self.diameter.unwrap_or(0);
+                    d > cur || (d == cur && key < self.at)
+                }
+            }
         };
         if better {
             self.diameter = diameter;
             self.disconnected = diameter.is_none();
             self.faults = faults.iter().collect();
+            self.at = key;
         }
         self.measured = true;
     }
@@ -202,106 +233,112 @@ impl Worst {
         if !other.measured {
             return;
         }
-        let better = match (self.disconnected, other.disconnected) {
-            (true, _) => false,
-            (false, true) => true,
-            (false, false) => {
-                !self.measured || other.diameter.unwrap_or(0) > self.diameter.unwrap_or(0)
+        let better = if !self.measured {
+            true
+        } else {
+            match (self.disconnected, other.disconnected) {
+                (true, false) => false,
+                (true, true) => other.at < self.at,
+                (false, true) => true,
+                (false, false) => {
+                    let (cur, new) = (self.diameter.unwrap_or(0), other.diameter.unwrap_or(0));
+                    new > cur || (new == cur && other.at < self.at)
+                }
             }
         };
         if better {
             self.diameter = other.diameter;
             self.disconnected = other.disconnected;
             self.faults = other.faults;
+            self.at = other.at;
         }
         self.measured = true;
+    }
+
+    fn merge_all(self, others: Vec<Worst>) -> Worst {
+        others.into_iter().fold(self, |mut acc, w| {
+            acc.merge(w);
+            acc
+        })
     }
 
     fn into_report(self, f: usize) -> ToleranceReport {
         ToleranceReport {
             max_faults: f,
-            worst_diameter: if self.disconnected { None } else { self.diameter },
+            worst_diameter: if self.disconnected {
+                None
+            } else {
+                self.diameter
+            },
             worst_faults: self.faults,
             sets_checked: self.sets,
         }
     }
 }
 
-fn evaluate<T: RouteTable>(table: &T, faults: &NodeSet) -> Option<u32> {
-    table.surviving(faults).diameter()
-}
-
 fn exhaustive<T: RouteTable + Sync>(table: &T, f: usize, threads: usize) -> ToleranceReport {
     let n = table.node_count();
     let f = f.min(n);
-    let global = Mutex::new(Worst::new());
+    let mut global = Worst::new();
 
-    // Evaluate the empty fault set once.
-    {
-        let empty = NodeSet::new(n);
-        let d = evaluate(table, &empty);
-        global.lock().update(d, &empty);
-    }
+    // Evaluate the empty fault set once (enumeration key 0).
+    let empty = NodeSet::new(n);
+    global.update(table.surviving_diameter(&empty), &empty, 0);
     if f == 0 {
-        return global.into_inner().into_report(f);
+        return global.into_report(f);
     }
 
     // Partition work by the first (smallest) fault node; each worker
-    // enumerates all subsets of `first+1..n` of size `k-1` on top.
-    let first_nodes: Vec<Node> = (0..n as Node).collect();
-    let next = Mutex::new(0usize);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| {
-                let mut local = Worst::new();
-                loop {
-                    let idx = {
-                        let mut guard = next.lock();
-                        let i = *guard;
-                        *guard += 1;
-                        i
-                    };
-                    if idx >= first_nodes.len() {
-                        break;
-                    }
-                    let first = first_nodes[idx];
-                    let mut faults = NodeSet::new(n);
-                    faults.insert(first);
-                    let d = evaluate(table, &faults);
-                    local.update(d, &faults);
-                    if f >= 2 {
-                        let rest: Vec<Node> = (first + 1..n as Node).collect();
-                        enumerate_on_top(table, &mut faults, &rest, 0, f - 1, &mut local);
-                    }
-                }
-                global.lock().merge(local);
-            });
+    // claims first nodes dynamically and enumerates all subsets of
+    // `first+1..n` of size `< f` on top with an incremental cursor.
+    // Keys are `(first + 1) << 40 | subtree position`: exactly the
+    // sequential enumeration order, so reported worst sets are
+    // scheduling-independent.
+    let locals = par::map_workers(n, threads, |next| {
+        let mut cursor = table.cursor();
+        let mut local = Worst::new();
+        while let Some(idx) = next() {
+            let first = idx as Node;
+            let mut key = (first as u64 + 1) << 40;
+            cursor.insert(first);
+            local.update(cursor.diameter(), cursor.faults(), key);
+            if f >= 2 {
+                enumerate_on_top(
+                    cursor.as_mut(),
+                    first + 1,
+                    n as Node,
+                    f - 1,
+                    &mut local,
+                    &mut key,
+                );
+            }
+            cursor.remove(first);
         }
-    })
-    .expect("worker threads do not panic");
-
-    global.into_inner().into_report(f)
+        local
+    });
+    global.merge_all(locals).into_report(f)
 }
 
-/// Recursively extends `faults` with members of `pool[start..]`, up to
-/// `budget` more nodes, evaluating every intermediate set.
-fn enumerate_on_top<T: RouteTable>(
-    table: &T,
-    faults: &mut NodeSet,
-    pool: &[Node],
-    start: usize,
+/// Recursively extends the cursor's fault set with nodes of
+/// `from..limit`, up to `budget` more nodes, evaluating every
+/// intermediate set. `key` counts evaluations in DFS order.
+fn enumerate_on_top(
+    cursor: &mut dyn FaultCursor,
+    from: Node,
+    limit: Node,
     budget: usize,
     worst: &mut Worst,
+    key: &mut u64,
 ) {
     if budget == 0 {
         return;
     }
-    for i in start..pool.len() {
-        faults.insert(pool[i]);
-        let d = evaluate(table, faults);
-        worst.update(d, faults);
-        enumerate_on_top(table, faults, pool, i + 1, budget - 1, worst);
-        faults.remove(pool[i]);
+    for v in from..limit {
+        cursor.insert(v);
+        *key += 1;
+        worst.update(cursor.diameter(), cursor.faults(), *key);
+        enumerate_on_top(cursor, v + 1, limit, budget - 1, worst, key);
+        cursor.remove(v);
     }
 }
 
@@ -314,26 +351,20 @@ fn random<T: RouteTable + Sync>(
 ) -> ToleranceReport {
     let n = table.node_count();
     let f = f.min(n);
-    let global = Mutex::new(Worst::new());
-    let threads = threads.min(trials.max(1));
-    crossbeam::thread::scope(|scope| {
-        for worker in 0..threads {
-            let global = &global;
-            scope.spawn(move |_| {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0x9e3779b97f4a7c15));
-                let share = trials / threads + usize::from(worker < trials % threads);
-                let mut local = Worst::new();
-                for _ in 0..share {
-                    let faults = sample_fault_set(n, f, &mut rng);
-                    let d = evaluate(table, &faults);
-                    local.update(d, &faults);
-                }
-                global.lock().merge(local);
-            });
+    // Every trial is seeded by its own index (not by worker or chunk
+    // id), so the drawn fault sets — and the reported worst set, via
+    // the trial-index key — are identical whatever the thread count.
+    let locals = par::map_workers(trials, threads, |next| {
+        let mut local = Worst::new();
+        while let Some(trial) = next() {
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let faults = sample_fault_set(n, f, &mut rng);
+            local.update(table.surviving_diameter(&faults), &faults, trial as u64);
         }
-    })
-    .expect("worker threads do not panic");
-    global.into_inner().into_report(f)
+        local
+    });
+    Worst::new().merge_all(locals).into_report(f)
 }
 
 fn sample_fault_set(n: usize, f: usize, rng: &mut SmallRng) -> NodeSet {
@@ -349,72 +380,104 @@ fn adversarial<T: RouteTable + Sync>(
     f: usize,
     restarts: usize,
     seed: u64,
+    threads: usize,
 ) -> ToleranceReport {
     let n = table.node_count();
     let f = f.min(n);
-    let mut worst = Worst::new();
+    if n == 0 || f == 0 {
+        let empty = NodeSet::new(n);
+        let mut worst = Worst::new();
+        worst.update(table.surviving_diameter(&empty), &empty, 0);
+        return worst.into_report(f);
+    }
+
     // Route load: how many surviving-graph arcs each node's failure
-    // would erase (computed on the fault-free table).
-    let empty = NodeSet::new(n);
-    let mut load = vec![0u64; n];
-    {
-        let baseline = table.surviving(&empty);
-        for v in 0..n as Node {
-            let mut single = NodeSet::new(n);
-            single.insert(v);
-            let s = table.surviving(&single);
-            load[v as usize] =
-                (baseline.digraph().arc_count() - s.digraph().arc_count()) as u64;
+    // would erase (computed on the fault-free table, in parallel).
+    let baseline_arcs = table.surviving(&NodeSet::new(n)).digraph().arc_count();
+    let load_parts = par::map_workers(n, threads, |next| {
+        let mut part = Vec::new();
+        while let Some(v) = next() {
+            let single = NodeSet::from_nodes(n, [v as Node]);
+            let arcs = table.surviving(&single).digraph().arc_count();
+            part.push((v, (baseline_arcs - arcs) as u64));
         }
+        part
+    });
+    let mut load = vec![0u64; n];
+    for (v, l) in load_parts.into_iter().flatten() {
+        load[v] = l;
     }
     let mut by_load: Vec<Node> = (0..n as Node).collect();
     by_load.sort_by_key(|&v| std::cmp::Reverse(load[v as usize]));
+    let by_load = &by_load;
 
-    let mut rng = SmallRng::seed_from_u64(seed);
-    for restart in 0..restarts.max(1) {
-        let mut faults = if restart == 0 {
-            // Pure greedy: the f most loaded nodes.
-            NodeSet::from_nodes(n, by_load.iter().take(f).copied())
-        } else {
-            // Randomized greedy: sample biased toward loaded nodes.
-            let mut set = NodeSet::new(n);
-            while set.len() < f.min(n) {
-                let pick = by_load[rng.gen_range(0..n.min(2 * f + restart)).min(n - 1)];
-                set.insert(pick);
-            }
-            set
-        };
-        let mut current = evaluate(table, &faults);
-        worst.update(current, &faults);
-        // Hill climbing: try single-node swaps that worsen the diameter.
-        let mut improved = true;
-        while improved {
-            improved = false;
-            let members: Vec<Node> = faults.iter().collect();
-            'swap: for &out in &members {
-                for inn in 0..n as Node {
-                    if faults.contains(inn) {
-                        continue;
-                    }
-                    faults.remove(out);
-                    faults.insert(inn);
-                    let cand = evaluate(table, &faults);
-                    worst.update(cand, &faults);
-                    if strictly_worse(current, cand) {
-                        current = cand;
-                        improved = true;
-                        break 'swap;
-                    }
-                    faults.remove(inn);
-                    faults.insert(out);
+    // Restarts are independent searches seeded (and key-ordered) by
+    // restart index; run them as one more parallel reduction. The
+    // `restart << 32 | step` keys make the reported worst set
+    // scheduling-independent.
+    let locals = par::map_workers(restarts.max(1), threads, |next| {
+        let mut local = Worst::new();
+        while let Some(restart) = next() {
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (restart as u64).wrapping_mul(0x6c62272e07bb0142));
+            let start = if restart == 0 {
+                // Pure greedy: the f most loaded nodes.
+                NodeSet::from_nodes(n, by_load.iter().take(f).copied())
+            } else {
+                // Randomized greedy: sample biased toward loaded nodes.
+                let mut set = NodeSet::new(n);
+                while set.len() < f {
+                    let pick = by_load[rng.gen_range(0..n.min(2 * f + restart)).min(n - 1)];
+                    set.insert(pick);
                 }
-            }
-            if current.is_none() {
-                break; // disconnection found: cannot get worse
+                set
+            };
+            hill_climb(table, &start, &mut local, (restart as u64) << 32);
+        }
+        local
+    });
+    Worst::new().merge_all(locals).into_report(f)
+}
+
+/// Hill climbing from `start`: try single-node swaps that worsen the
+/// diameter, through an incremental cursor (one remove + one insert per
+/// candidate swap). `base_key` orders this climb's evaluations.
+fn hill_climb<T: RouteTable>(table: &T, start: &NodeSet, worst: &mut Worst, base_key: u64) {
+    let n = table.node_count();
+    let mut key = base_key;
+    let mut cursor = table.cursor();
+    for v in start {
+        cursor.insert(v);
+    }
+    let mut current = cursor.diameter();
+    worst.update(current, cursor.faults(), key);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        let members: Vec<Node> = cursor.faults().iter().collect();
+        'swap: for &out in &members {
+            for inn in 0..n as Node {
+                if cursor.faults().contains(inn) {
+                    continue;
+                }
+                cursor.remove(out);
+                cursor.insert(inn);
+                let cand = cursor.diameter();
+                key += 1;
+                worst.update(cand, cursor.faults(), key);
+                if strictly_worse(current, cand) {
+                    current = cand;
+                    improved = true;
+                    break 'swap;
+                }
+                cursor.remove(inn);
+                cursor.insert(out);
             }
         }
+        if current.is_none() {
+            break; // disconnection found: cannot get worse
+        }
     }
-    worst.into_report(f)
 }
 
 /// Is `cand` a strictly worse (larger) surviving diameter than `cur`?
@@ -429,13 +492,14 @@ fn strictly_worse(cur: Option<u32>, cand: Option<u32>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{KernelRouting, Routing, RoutingKind};
+    use crate::{Compile, KernelRouting, Routing, RoutingKind};
     use ftr_graph::{gen, Path};
 
     fn ring_routing(n: usize) -> Routing {
         let mut r = Routing::new(n, RoutingKind::Bidirectional);
         for u in 0..n as Node {
-            r.insert(Path::edge(u, (u + 1) % n as Node).unwrap()).unwrap();
+            r.insert(Path::edge(u, (u + 1) % n as Node).unwrap())
+                .unwrap();
         }
         r
     }
@@ -490,13 +554,82 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_every_strategy() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let engine = kernel.routing().compile();
+        for strategy in [
+            FaultStrategy::Exhaustive,
+            FaultStrategy::RandomSample {
+                trials: 40,
+                seed: 9,
+            },
+            FaultStrategy::Adversarial {
+                restarts: 3,
+                seed: 9,
+            },
+        ] {
+            let slow = verify_tolerance(kernel.routing(), 2, strategy, 2);
+            let fast = verify_tolerance(&engine, 2, strategy, 2);
+            assert_eq!(slow.worst_diameter, fast.worst_diameter, "{strategy}");
+            assert_eq!(slow.sets_checked, fast.sets_checked, "{strategy}");
+        }
+    }
+
+    #[test]
     fn random_sampling_is_reproducible() {
         let r = ring_routing(8);
-        let s = FaultStrategy::RandomSample { trials: 50, seed: 7 };
+        let s = FaultStrategy::RandomSample {
+            trials: 50,
+            seed: 7,
+        };
         let a = verify_tolerance(&r, 2, s, 2);
         let b = verify_tolerance(&r, 2, s, 2);
         assert_eq!(a.worst_diameter, b.worst_diameter);
         assert_eq!(a.sets_checked, 50);
+    }
+
+    #[test]
+    fn random_thread_count_does_not_change_the_draw() {
+        let r = ring_routing(9);
+        let s = FaultStrategy::RandomSample {
+            trials: 40,
+            seed: 11,
+        };
+        let a = verify_tolerance(&r, 2, s, 1);
+        let b = verify_tolerance(&r, 2, s, 4);
+        assert_eq!(a.worst_diameter, b.worst_diameter);
+        assert_eq!(a.worst_faults, b.worst_faults, "per-trial seeding + keys");
+        assert_eq!(a.sets_checked, b.sets_checked);
+    }
+
+    #[test]
+    fn reported_worst_sets_are_scheduling_independent() {
+        // Enumeration keys break worst-set ties deterministically, so
+        // every strategy reports the identical witness whatever the
+        // thread count (and however work lands on threads).
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let engine = kernel.routing().compile();
+        for strategy in [
+            FaultStrategy::Exhaustive,
+            FaultStrategy::RandomSample {
+                trials: 30,
+                seed: 5,
+            },
+            FaultStrategy::Adversarial {
+                restarts: 4,
+                seed: 5,
+            },
+        ] {
+            let solo = verify_tolerance(&engine, 2, strategy, 1);
+            for _ in 0..3 {
+                let multi = verify_tolerance(&engine, 2, strategy, 4);
+                assert_eq!(solo.worst_diameter, multi.worst_diameter, "{strategy}");
+                assert_eq!(solo.worst_faults, multi.worst_faults, "{strategy}");
+                assert_eq!(solo.sets_checked, multi.sets_checked, "{strategy}");
+            }
+        }
     }
 
     #[test]
@@ -506,7 +639,10 @@ mod tests {
         let rs = verify_tolerance(
             &r,
             2,
-            FaultStrategy::RandomSample { trials: 30, seed: 3 },
+            FaultStrategy::RandomSample {
+                trials: 30,
+                seed: 3,
+            },
             2,
         );
         let worse = match (ex.worst_diameter, rs.worst_diameter) {
@@ -523,7 +659,10 @@ mod tests {
         let report = verify_tolerance(
             &r,
             2,
-            FaultStrategy::Adversarial { restarts: 3, seed: 1 },
+            FaultStrategy::Adversarial {
+                restarts: 3,
+                seed: 1,
+            },
             1,
         );
         assert_eq!(
@@ -539,9 +678,34 @@ mod tests {
         let (ok, report) = check_claim(kernel.routing(), &kernel.claim_theorem_3(), 2);
         assert!(ok, "{report}");
         // An absurd claim fails.
-        let absurd = ToleranceClaim { diameter: 0, faults: 2 };
+        let absurd = ToleranceClaim {
+            diameter: 0,
+            faults: 2,
+        };
         let (ok, _) = check_claim(kernel.routing(), &absurd, 2);
         assert!(!ok);
+    }
+
+    #[test]
+    fn under_covered_claims_are_rejected() {
+        // Regression: a report measured with a smaller fault budget than
+        // the claim's used to answer `true` silently.
+        let r = ring_routing(8);
+        let report = verify_tolerance(&r, 1, FaultStrategy::Exhaustive, 2);
+        assert!(report.worst_diameter.is_some());
+        let claim_within = ToleranceClaim {
+            diameter: 7,
+            faults: 1,
+        };
+        assert!(report.satisfies(&claim_within));
+        let claim_beyond = ToleranceClaim {
+            diameter: 7,
+            faults: 2,
+        };
+        assert!(
+            !report.satisfies(&claim_beyond),
+            "a (d, 2) claim cannot be vouched for by an f = 1 report"
+        );
     }
 
     #[test]

@@ -137,7 +137,10 @@ mod tests {
         let err = tree_routing(&g, 0, &targets, 3).unwrap_err();
         assert_eq!(
             err,
-            RoutingError::InsufficientConnectivity { needed: 3, found: 2 }
+            RoutingError::InsufficientConnectivity {
+                needed: 3,
+                found: 2
+            }
         );
     }
 

@@ -80,7 +80,10 @@ impl TriCircularRouting {
     pub fn build(g: &Graph, variant: TriCircularVariant) -> Result<Self, RoutingError> {
         let kappa = connectivity::vertex_connectivity(g);
         if kappa == 0 {
-            return Err(RoutingError::InsufficientConnectivity { needed: 1, found: 0 });
+            return Err(RoutingError::InsufficientConnectivity {
+                needed: 1,
+                found: 0,
+            });
         }
         let t = kappa - 1;
         let s = match variant {

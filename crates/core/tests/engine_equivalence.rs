@@ -1,0 +1,168 @@
+//! Engine equivalence: the bitset-compiled engine must produce
+//! surviving route graphs **arc-for-arc identical** to the legacy
+//! route-walk path — same arcs, same diameters, same incremental-cursor
+//! evaluations — on random routings × random fault sets, for both
+//! [`Routing`] and [`MultiRouting`].
+//!
+//! The route-walk implementation is the reference semantics of the
+//! paper's `R(G, ρ)/F`; these properties are what license every
+//! experiment and bench to run on the compiled path.
+
+use ftr_core::{Compile, MultiRouting, RouteTable, Routing, RoutingKind};
+use ftr_graph::{Node, NodeSet, Path};
+use proptest::prelude::*;
+
+const N: Node = 14;
+
+/// Random simple path over nodes `0..n`.
+fn simple_path(n: Node) -> impl Strategy<Value = Path> {
+    prop::collection::btree_set(0..n, 2..6).prop_flat_map(|set| {
+        let nodes: Vec<Node> = set.into_iter().collect();
+        Just(nodes)
+            .prop_shuffle()
+            .prop_map(|nodes| Path::new(nodes).expect("distinct nodes form a simple path"))
+    })
+}
+
+fn routing_kind() -> impl Strategy<Value = RoutingKind> {
+    prop_oneof![
+        Just(RoutingKind::Unidirectional),
+        Just(RoutingKind::Bidirectional),
+    ]
+}
+
+/// A random (possibly sparse, possibly conflicted-and-skipped) routing.
+fn random_routing() -> impl Strategy<Value = Routing> {
+    (routing_kind(), prop::collection::vec(simple_path(N), 0..30)).prop_map(|(kind, paths)| {
+        let mut r = Routing::new(N as usize, kind);
+        for p in paths {
+            let _ = r.insert(p); // conflicts skipped: any table is fair game
+        }
+        r
+    })
+}
+
+/// A random multirouting with a random parallel budget.
+fn random_multirouting() -> impl Strategy<Value = MultiRouting> {
+    (
+        routing_kind(),
+        1usize..4,
+        prop::collection::vec(simple_path(N), 0..40),
+    )
+        .prop_map(|(kind, budget, paths)| {
+            let mut m = MultiRouting::new(N as usize, kind, budget);
+            for p in paths {
+                let _ = m.insert(p); // over-budget inserts skipped
+            }
+            m
+        })
+}
+
+fn random_faults() -> impl Strategy<Value = NodeSet> {
+    prop::collection::btree_set(0..N, 0..6)
+        .prop_map(|faults| NodeSet::from_nodes(N as usize, faults))
+}
+
+/// Arc-for-arc and diameter agreement between the two `surviving`
+/// implementations, plus the mask-based `surviving_diameter` shortcut.
+fn assert_equivalent<T: Compile>(table: &T, faults: &NodeSet) -> Result<(), TestCaseError> {
+    let engine = table.compile();
+    let reference = table.surviving(faults);
+    let compiled = engine.surviving(faults);
+    for x in 0..N {
+        for y in 0..N {
+            prop_assert_eq!(
+                reference.has_edge(x, y),
+                compiled.has_edge(x, y),
+                "arc ({}, {}) under faults {:?}",
+                x,
+                y,
+                faults
+            );
+        }
+    }
+    prop_assert_eq!(reference.surviving_count(), compiled.surviving_count());
+    prop_assert_eq!(reference.diameter(), compiled.diameter());
+    prop_assert_eq!(table.surviving_diameter(faults), reference.diameter());
+    prop_assert_eq!(engine.surviving_diameter(faults), reference.diameter());
+    Ok(())
+}
+
+/// The incremental cursor must agree with from-scratch evaluation at
+/// every step of an insert-then-remove walk.
+fn assert_cursor_equivalent<T: Compile>(table: &T, faults: &NodeSet) -> Result<(), TestCaseError> {
+    let engine = table.compile();
+    let mut cursor = engine.cursor();
+    let members: Vec<Node> = faults.iter().collect();
+    let mut partial = NodeSet::new(N as usize);
+    for &v in &members {
+        cursor.insert(v);
+        partial.insert(v);
+        prop_assert_eq!(
+            cursor.diameter(),
+            table.surviving_diameter(&partial),
+            "insert walk at {:?}",
+            partial
+        );
+    }
+    for &v in members.iter().rev() {
+        cursor.remove(v);
+        partial.remove(v);
+        prop_assert_eq!(
+            cursor.diameter(),
+            table.surviving_diameter(&partial),
+            "remove walk at {:?}",
+            partial
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn routing_surviving_graphs_are_identical(
+        routing in random_routing(),
+        faults in random_faults(),
+    ) {
+        assert_equivalent(&routing, &faults)?;
+    }
+
+    #[test]
+    fn multirouting_surviving_graphs_are_identical(
+        multi in random_multirouting(),
+        faults in random_faults(),
+    ) {
+        assert_equivalent(&multi, &faults)?;
+    }
+
+    #[test]
+    fn routing_cursor_matches_scratch_evaluation(
+        routing in random_routing(),
+        faults in random_faults(),
+    ) {
+        assert_cursor_equivalent(&routing, &faults)?;
+    }
+
+    #[test]
+    fn multirouting_cursor_matches_scratch_evaluation(
+        multi in random_multirouting(),
+        faults in random_faults(),
+    ) {
+        assert_cursor_equivalent(&multi, &faults)?;
+    }
+
+    #[test]
+    fn exhaustive_reports_agree_end_to_end(
+        routing in random_routing(),
+    ) {
+        let engine = routing.compile();
+        let slow = ftr_core::verify_tolerance(
+            &routing, 2, ftr_core::FaultStrategy::Exhaustive, 2);
+        let fast = ftr_core::verify_tolerance(
+            &engine, 2, ftr_core::FaultStrategy::Exhaustive, 2);
+        prop_assert_eq!(slow.worst_diameter, fast.worst_diameter);
+        prop_assert_eq!(slow.sets_checked, fast.sets_checked);
+    }
+}

@@ -18,9 +18,9 @@ use proptest::prelude::*;
 fn simple_path(n: Node) -> impl Strategy<Value = Path> {
     prop::collection::btree_set(0..n, 2..6).prop_flat_map(|set| {
         let nodes: Vec<Node> = set.into_iter().collect();
-        Just(nodes).prop_shuffle().prop_map(|nodes| {
-            Path::new(nodes).expect("distinct nodes form a simple path")
-        })
+        Just(nodes)
+            .prop_shuffle()
+            .prop_map(|nodes| Path::new(nodes).expect("distinct nodes form a simple path"))
     })
 }
 
@@ -115,9 +115,8 @@ proptest! {
 // ------------------------------------------------------------ Tree routing
 
 fn connected_gnp() -> impl Strategy<Value = Graph> {
-    (6usize..20, 0u64..100_000, 3u32..8).prop_map(|(n, seed, dens)| {
-        gen::gnp(n, dens as f64 / 10.0, seed).expect("valid p")
-    })
+    (6usize..20, 0u64..100_000, 3u32..8)
+        .prop_map(|(n, seed, dens)| gen::gnp(n, dens as f64 / 10.0, seed).expect("valid p"))
 }
 
 proptest! {

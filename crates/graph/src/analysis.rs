@@ -411,7 +411,10 @@ mod tests {
 
     #[test]
     fn finder_agrees_with_checker() {
-        for g in [gen::cycle(14).unwrap(), gen::cube_connected_cycles(5).unwrap()] {
+        for g in [
+            gen::cycle(14).unwrap(),
+            gen::cube_connected_cycles(5).unwrap(),
+        ] {
             let (r1, r2) = find_two_trees_roots(&g).expect("girth >= 5 and diameter >= 5");
             assert!(is_two_trees_pair(&g, r1, r2));
         }
@@ -427,10 +430,16 @@ mod tests {
 
     #[test]
     fn finder_exhaustiveness_matches_brute_force_on_small_graphs() {
+        // The finder considers only candidates of degree >= 1 (an
+        // isolated node passes `is_two_trees_pair` vacuously but roots no
+        // usable tree), so the brute force quantifies over the same pairs.
         for seed in 0..10 {
             let g = gen::gnp(18, 0.08, seed).unwrap();
             let found = find_two_trees_roots(&g).is_some();
-            let brute = (0..18u32).any(|a| (0..18u32).any(|b| a != b && is_two_trees_pair(&g, a, b)));
+            let brute = (0..18u32).any(|a| {
+                g.degree(a) >= 1
+                    && (0..18u32).any(|b| a != b && g.degree(b) >= 1 && is_two_trees_pair(&g, a, b))
+            });
             assert_eq!(found, brute, "seed {seed}");
         }
     }

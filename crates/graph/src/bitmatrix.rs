@@ -1,0 +1,328 @@
+use std::fmt;
+
+use crate::{Node, NodeSet};
+
+/// A dense directed adjacency matrix packed into `u64` words.
+///
+/// `BitMatrix` is the data-parallel counterpart of [`crate::DiGraph`]:
+/// row `u` is a bitset of out-neighbors, so one BFS frontier expansion is
+/// a row-OR over words instead of a pointer-chasing adjacency-list walk.
+/// The compiled surviving-graph engine keeps the current surviving route
+/// graph in this form and re-measures its diameter after every fault
+/// toggle.
+///
+/// # Example
+///
+/// ```
+/// use ftr_graph::BitMatrix;
+///
+/// let mut m = BitMatrix::new(3);
+/// m.set(0, 1);
+/// m.set(1, 2);
+/// m.set(2, 0);
+/// assert_eq!(m.diameter(None), Some(2)); // directed triangle
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    /// Words per row.
+    stride: usize,
+    rows: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an empty (arcless) matrix on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let stride = n.div_ceil(64);
+        BitMatrix {
+            n,
+            stride,
+            rows: vec![0; n * stride],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row (shared by compatible alive-masks).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Sets the arc `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn set(&mut self, u: Node, v: Node) {
+        let (row, word, bit) = self.locate(u, v);
+        self.rows[row * self.stride + word] |= 1u64 << bit;
+    }
+
+    /// Clears the arc `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn clear(&mut self, u: Node, v: Node) {
+        let (row, word, bit) = self.locate(u, v);
+        self.rows[row * self.stride + word] &= !(1u64 << bit);
+    }
+
+    /// Returns `true` if the arc `u → v` is present. Out-of-range
+    /// arguments yield `false`.
+    pub fn has(&self, u: Node, v: Node) -> bool {
+        let (u, v) = (u as usize, v as usize);
+        u < self.n && v < self.n && self.rows[u * self.stride + v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// The out-neighbor bitset of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn row(&self, u: Node) -> &[u64] {
+        let u = u as usize;
+        assert!(u < self.n, "node {u} out of range for {} nodes", self.n);
+        &self.rows[u * self.stride..(u + 1) * self.stride]
+    }
+
+    /// Number of arcs (popcount over all rows).
+    pub fn arc_count(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn locate(&self, u: Node, v: Node) -> (usize, usize, u32) {
+        let (u, v) = (u as usize, v as usize);
+        assert!(
+            u < self.n && v < self.n,
+            "arc ({u}, {v}) out of range for {} nodes",
+            self.n
+        );
+        (u, v / 64, (v % 64) as u32)
+    }
+
+    /// The word-packed set of nodes *not* in `avoid` (the "alive" mask
+    /// used by the masked traversals).
+    fn alive_mask(&self, avoid: Option<&NodeSet>) -> Vec<u64> {
+        let mut alive = vec![!0u64; self.stride];
+        // Mask off the bits beyond n in the last word.
+        if self.stride > 0 {
+            let tail = self.n % 64;
+            if tail != 0 {
+                alive[self.stride - 1] = (1u64 << tail) - 1;
+            }
+        }
+        if let Some(avoid) = avoid {
+            for (a, f) in alive.iter_mut().zip(avoid.words()) {
+                *a &= !f;
+            }
+        }
+        alive
+    }
+
+    /// BFS eccentricity of `src` restricted to nodes outside `avoid`:
+    /// returns `(max distance, reached all alive nodes?)`.
+    ///
+    /// Each level is one frontier expansion: OR together the rows of the
+    /// frontier's members, mask with the not-yet-visited alive nodes, and
+    /// repeat — `O(n / 64)` words of work per frontier member per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or `src` itself is avoided.
+    pub fn masked_eccentricity(&self, src: Node, avoid: Option<&NodeSet>) -> (u32, bool) {
+        let alive = self.alive_mask(avoid);
+        self.eccentricity_in(src, &alive)
+    }
+
+    fn eccentricity_in(&self, src: Node, alive: &[u64]) -> (u32, bool) {
+        let s = src as usize;
+        assert!(s < self.n, "source {s} out of range");
+        assert!(
+            alive[s / 64] & (1u64 << (s % 64)) != 0,
+            "source {s} is avoided"
+        );
+        let mut visited = vec![0u64; self.stride];
+        let mut frontier = vec![0u64; self.stride];
+        visited[s / 64] |= 1u64 << (s % 64);
+        frontier[s / 64] |= 1u64 << (s % 64);
+        let mut next = vec![0u64; self.stride];
+        let mut depth = 0;
+        loop {
+            next.fill(0);
+            for (wi, &fw) in frontier.iter().enumerate() {
+                let mut bits = fw;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let row = &self.rows[(wi * 64 + b) * self.stride..];
+                    for (nw, &rw) in next.iter_mut().zip(row) {
+                        *nw |= rw;
+                    }
+                }
+            }
+            let mut any = false;
+            for i in 0..self.stride {
+                next[i] &= alive[i] & !visited[i];
+                visited[i] |= next[i];
+                any |= next[i] != 0;
+            }
+            if !any {
+                break;
+            }
+            depth += 1;
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        let complete = visited.iter().zip(alive).all(|(v, a)| v & a == *a);
+        (depth, complete)
+    }
+
+    /// The diameter over ordered pairs of nodes outside `avoid`, or
+    /// `None` if some such node cannot reach another — with early exit on
+    /// the first disconnected source.
+    ///
+    /// Returns `Some(0)` when at most one node survives. This is the
+    /// bit-parallel equivalent of [`crate::DiGraph::diameter`] and the
+    /// inner loop of the `(d, f)`-tolerance verifier.
+    pub fn diameter(&self, avoid: Option<&NodeSet>) -> Option<u32> {
+        let alive = self.alive_mask(avoid);
+        let mut best = 0;
+        for wi in 0..self.stride {
+            let mut bits = alive[wi];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let src = (wi * 64 + b) as Node;
+                let (ecc, complete) = self.eccentricity_in(src, &alive);
+                if !complete {
+                    return None;
+                }
+                best = best.max(ecc);
+            }
+        }
+        Some(best)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BitMatrix")
+            .field("nodes", &self.n)
+            .field("arcs", &self.arc_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    fn triangle() -> BitMatrix {
+        let mut m = BitMatrix::new(3);
+        m.set(0, 1);
+        m.set(1, 2);
+        m.set(2, 0);
+        m
+    }
+
+    #[test]
+    fn set_clear_has() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 65);
+        assert!(m.has(0, 65));
+        assert!(!m.has(65, 0));
+        m.clear(0, 65);
+        assert!(!m.has(0, 65));
+        assert_eq!(m.arc_count(), 0);
+        assert!(!m.has(200, 0), "out of range is absent");
+    }
+
+    #[test]
+    fn row_exposes_neighbors() {
+        let mut m = BitMatrix::new(70);
+        m.set(1, 0);
+        m.set(1, 69);
+        assert_eq!(m.row(1)[0], 1);
+        assert_eq!(m.row(1)[1], 1 << 5);
+    }
+
+    #[test]
+    fn diameter_of_directed_cycle() {
+        assert_eq!(triangle().diameter(None), Some(2));
+    }
+
+    #[test]
+    fn diameter_disconnected_is_none() {
+        let mut m = BitMatrix::new(2);
+        m.set(0, 1);
+        assert_eq!(m.diameter(None), None);
+    }
+
+    #[test]
+    fn diameter_with_avoid_shrinks_node_set() {
+        let mut m = BitMatrix::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)] {
+            m.set(u, v);
+        }
+        assert_eq!(m.diameter(None), Some(3));
+        let avoid = NodeSet::from_nodes(4, [3]);
+        assert_eq!(m.diameter(Some(&avoid)), Some(2));
+    }
+
+    #[test]
+    fn diameter_single_survivor_is_zero() {
+        let avoid = NodeSet::from_nodes(3, [0, 1]);
+        assert_eq!(triangle().diameter(Some(&avoid)), Some(0));
+    }
+
+    #[test]
+    fn diameter_empty_matrix() {
+        assert_eq!(BitMatrix::new(0).diameter(None), Some(0));
+        let all = NodeSet::from_nodes(3, [0, 1, 2]);
+        assert_eq!(triangle().diameter(Some(&all)), Some(0));
+    }
+
+    #[test]
+    fn masked_eccentricity_reports_completeness() {
+        let m = triangle();
+        let (ecc, complete) = m.masked_eccentricity(0, None);
+        assert_eq!((ecc, complete), (2, true));
+        let mut broken = triangle();
+        broken.clear(1, 2);
+        let (_, complete) = broken.masked_eccentricity(1, None);
+        assert!(!complete);
+    }
+
+    #[test]
+    fn agrees_with_digraph_diameter_on_random_graphs() {
+        // Deterministic pseudo-random arc sets across word boundaries.
+        for seed in 0..20u64 {
+            let n = 66 + (seed as usize % 5);
+            let mut m = BitMatrix::new(n);
+            let mut d = DiGraph::new(n);
+            let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            for _ in 0..6 * n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = ((x >> 16) % n as u64) as Node;
+                let v = ((x >> 40) % n as u64) as Node;
+                if u != v {
+                    m.set(u, v);
+                    d.add_arc(u, v).expect("in range");
+                }
+            }
+            let avoid = NodeSet::from_nodes(n, [(seed % n as u64) as Node]);
+            assert_eq!(m.diameter(None), d.diameter(None), "seed {seed}");
+            assert_eq!(
+                m.diameter(Some(&avoid)),
+                d.diameter(Some(&avoid)),
+                "seed {seed} with avoid"
+            );
+        }
+    }
+}

@@ -141,8 +141,7 @@ pub fn min_separator(g: &Graph) -> Option<NodeSet> {
             best_pair = Some((s, t));
         }
     }
-    let (s, t) = best_pair
-        .expect("a non-complete connected graph has a separating witness pair");
+    let (s, t) = best_pair.expect("a non-complete connected graph has a separating witness pair");
     let cut = flow::min_st_vertex_cut(g, s, t).expect("witness pairs are non-adjacent");
     debug_assert_eq!(cut.len(), k);
     Some(cut)
@@ -176,8 +175,14 @@ mod tests {
         assert_eq!(vertex_connectivity(&gen::path_graph(5).unwrap()), 1);
         assert_eq!(vertex_connectivity(&gen::star(6).unwrap()), 1);
         assert_eq!(vertex_connectivity(&gen::wheel(7).unwrap()), 3);
-        assert_eq!(vertex_connectivity(&gen::complete_bipartite(3, 5).unwrap()), 3);
-        assert_eq!(vertex_connectivity(&gen::cube_connected_cycles(3).unwrap()), 3);
+        assert_eq!(
+            vertex_connectivity(&gen::complete_bipartite(3, 5).unwrap()),
+            3
+        );
+        assert_eq!(
+            vertex_connectivity(&gen::cube_connected_cycles(3).unwrap()),
+            3
+        );
     }
 
     #[test]
@@ -271,8 +276,7 @@ mod tests {
             if size >= best {
                 continue;
             }
-            let set =
-                NodeSet::from_nodes(n, (0..n as Node).filter(|&v| mask & (1 << v) != 0));
+            let set = NodeSet::from_nodes(n, (0..n as Node).filter(|&v| mask & (1 << v) != 0));
             if is_separator(g, &set) {
                 best = size;
             }

@@ -1,7 +1,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use crate::{GraphError, Node, NodeSet, INFINITY};
+use crate::{BitMatrix, GraphError, Node, NodeSet, INFINITY};
 
 /// A directed simple graph.
 ///
@@ -98,9 +98,10 @@ impl DiGraph {
 
     /// Iterates over all arcs `(u, v)`.
     pub fn arcs(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
-        self.out_adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter().copied().map(move |v| (u as Node, v))
-        })
+        self.out_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().copied().map(move |v| (u as Node, v)))
     }
 
     /// BFS distances from `src` along arcs, skipping nodes in `avoid`.
@@ -131,6 +132,17 @@ impl DiGraph {
             }
         }
         dist
+    }
+
+    /// Packs the adjacency into a [`BitMatrix`], the word-parallel form
+    /// used by the compiled verification engine (`m.diameter(avoid)`
+    /// equals `self.diameter(avoid)` for every overlay).
+    pub fn to_bitmatrix(&self) -> BitMatrix {
+        let mut m = BitMatrix::new(self.node_count());
+        for (u, v) in self.arcs() {
+            m.set(u, v);
+        }
+        m
     }
 
     /// The diameter restricted to the nodes *not* in `avoid`: the maximum
@@ -225,7 +237,10 @@ mod tests {
     fn bfs_respects_avoid() {
         let d = triangle_cycle();
         let avoid = NodeSet::from_nodes(3, [1]);
-        assert_eq!(d.bfs_distances(0, Some(&avoid)), vec![0, INFINITY, INFINITY]);
+        assert_eq!(
+            d.bfs_distances(0, Some(&avoid)),
+            vec![0, INFINITY, INFINITY]
+        );
     }
 
     #[test]
@@ -272,5 +287,18 @@ mod tests {
     fn arcs_iterator() {
         let d = triangle_cycle();
         assert_eq!(d.arcs().collect::<Vec<_>>(), vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn bitmatrix_conversion_preserves_arcs_and_diameter() {
+        let d = triangle_cycle();
+        let m = d.to_bitmatrix();
+        assert_eq!(m.arc_count(), d.arc_count());
+        for (u, v) in d.arcs() {
+            assert!(m.has(u, v));
+        }
+        assert_eq!(m.diameter(None), d.diameter(None));
+        let avoid = NodeSet::from_nodes(3, [1]);
+        assert_eq!(m.diameter(Some(&avoid)), d.diameter(Some(&avoid)));
     }
 }

@@ -285,7 +285,9 @@ pub fn vertex_disjoint_paths_to_set(
         return Err(GraphError::invalid("target set must be non-empty"));
     }
     if targets.contains(s) {
-        return Err(GraphError::invalid("target set must not contain the source"));
+        return Err(GraphError::invalid(
+            "target set must not contain the source",
+        ));
     }
     let n = g.node_count();
     let mut no_internal = targets.clone();
@@ -337,7 +339,9 @@ pub fn min_st_vertex_cut(g: &Graph, s: Node, t: Node) -> Result<NodeSet, GraphEr
     check_node(g, s)?;
     check_node(g, t)?;
     if s == t {
-        return Err(GraphError::invalid("vertex cut requires distinct endpoints"));
+        return Err(GraphError::invalid(
+            "vertex cut requires distinct endpoints",
+        ));
     }
     if g.has_edge(s, t) {
         return Err(GraphError::invalid(

@@ -323,9 +323,7 @@ pub fn harary(k: usize, n: usize) -> Result<Graph, GraphError> {
         return Err(GraphError::invalid("harary requires n > k"));
     }
     if k % 2 == 1 && n % 2 == 1 {
-        return Err(GraphError::invalid(
-            "harary with odd k requires even n",
-        ));
+        return Err(GraphError::invalid("harary with odd k requires even n"));
     }
     let half = (k / 2) as u32;
     let offsets: Vec<u32> = (1..=half).collect();

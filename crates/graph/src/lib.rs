@@ -13,6 +13,10 @@
 //! * [`DiGraph`] — a directed graph used to represent *surviving route
 //!   graphs* (routes are ordered pairs, so the surviving graph is directed
 //!   even when the underlying network is not).
+//! * [`BitMatrix`] — a word-packed directed adjacency matrix whose BFS
+//!   frontier expansion is a row-OR over `u64` words; the compiled
+//!   surviving-graph engine measures all-pairs diameters on it with early
+//!   exit on disconnection.
 //! * [`flow`] — maximum flow with unit node capacities (node splitting),
 //!   which yields Menger-style vertex-disjoint paths, the *tree routings*
 //!   of the paper's Lemma 2, and minimum vertex cuts.
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod bitmatrix;
 pub mod connectivity;
 mod digraph;
 mod error;
@@ -62,10 +67,11 @@ mod path;
 pub mod traversal;
 pub mod vulnerability;
 
+pub use bitmatrix::BitMatrix;
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::Graph;
-pub use nodeset::NodeSet;
+pub use nodeset::{words_intersect, NodeSet};
 pub use path::Path;
 
 /// Identifier of a node in a [`Graph`] or [`DiGraph`].

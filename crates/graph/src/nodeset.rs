@@ -124,7 +124,11 @@ impl NodeSet {
         Iter {
             set: self,
             word_idx: 0,
-            current: if self.words.is_empty() { 0 } else { self.words[0] },
+            current: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 
@@ -189,6 +193,23 @@ impl NodeSet {
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
+    /// Returns `true` if some node belongs to both sets — the word-level
+    /// primitive behind the compiled surviving-graph engine's
+    /// "is this route affected" test.
+    ///
+    /// Unlike [`NodeSet::is_disjoint`] this tolerates differing
+    /// capacities (missing high words are treated as zero), so a route
+    /// mask sized for graph `G` can be probed with any fault overlay.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        words_intersect(&self.words, &other.words)
+    }
+
+    /// The backing bitmap as `u64` words, least-significant bit first
+    /// (node `64 * i + b` lives in bit `b` of word `i`).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Returns `true` if every node of `self` belongs to `other`.
     ///
     /// # Panics
@@ -199,7 +220,10 @@ impl NodeSet {
             self.capacity, other.capacity,
             "node set capacities must match"
         );
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     fn recount(&mut self) {
@@ -214,6 +238,16 @@ impl NodeSet {
         );
         (idx / 64, (idx % 64) as u32)
     }
+}
+
+/// Returns `true` if two word-packed bitsets share a set bit.
+///
+/// The common word-scan behind [`NodeSet::intersects`] and the compiled
+/// engine's per-route fault masks; slices of different lengths are
+/// compared over their common prefix (missing high words count as
+/// zero).
+pub fn words_intersect(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
 }
 
 impl fmt::Debug for NodeSet {
@@ -347,6 +381,34 @@ mod tests {
         let mut s = NodeSet::new(10);
         s.extend([1u32, 2, 2, 3]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn intersects_matches_disjoint() {
+        let a = NodeSet::from_nodes(100, [1, 65]);
+        let b = NodeSet::from_nodes(100, [65]);
+        let c = NodeSet::from_nodes(100, [2, 64]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersects(&c), !a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn intersects_tolerates_capacity_mismatch() {
+        let small = NodeSet::from_nodes(10, [3]);
+        let large = NodeSet::from_nodes(200, [3, 150]);
+        assert!(small.intersects(&large));
+        let far = NodeSet::from_nodes(200, [150]);
+        assert!(!small.intersects(&far));
+    }
+
+    #[test]
+    fn words_expose_the_bitmap() {
+        let s = NodeSet::from_nodes(130, [0, 63, 64, 129]);
+        assert_eq!(s.words().len(), 3);
+        assert_eq!(s.words()[0], 1 | (1 << 63));
+        assert_eq!(s.words()[1], 1);
+        assert_eq!(s.words()[2], 2);
     }
 
     #[test]

@@ -128,7 +128,8 @@ pub fn is_connected(g: &Graph, avoid: Option<&NodeSet>) -> bool {
         return true;
     };
     let dist = bfs_distances(g, start, avoid);
-    g.nodes().all(|v| blocked(v) || dist[v as usize] != INFINITY)
+    g.nodes()
+        .all(|v| blocked(v) || dist[v as usize] != INFINITY)
 }
 
 /// Labels the connected components of the non-avoided subgraph.
@@ -246,7 +247,9 @@ mod tests {
     fn bfs_from_avoided_source_unreachable() {
         let g = gen::cycle(4).unwrap();
         let avoid = NodeSet::from_nodes(4, [0]);
-        assert!(bfs_distances(&g, 0, Some(&avoid)).iter().all(|&d| d == INFINITY));
+        assert!(bfs_distances(&g, 0, Some(&avoid))
+            .iter()
+            .all(|&d| d == INFINITY));
     }
 
     #[test]

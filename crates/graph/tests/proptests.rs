@@ -117,9 +117,8 @@ proptest! {
 
 /// A random graph strategy: `n` nodes, G(n, p)-style with a seed.
 fn small_gnp() -> impl Strategy<Value = Graph> {
-    (4usize..24, 0u64..1_000_000, 1u32..9).prop_map(|(n, seed, dens)| {
-        gen::gnp(n, dens as f64 / 10.0, seed).expect("valid p")
-    })
+    (4usize..24, 0u64..1_000_000, 1u32..9)
+        .prop_map(|(n, seed, dens)| gen::gnp(n, dens as f64 / 10.0, seed).expect("valid p"))
 }
 
 proptest! {

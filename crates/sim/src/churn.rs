@@ -90,7 +90,11 @@ impl ChurnReport {
 /// # Ok(())
 /// # }
 /// ```
-pub fn simulate_churn(routing: &Routing, claim: &ToleranceClaim, config: ChurnConfig) -> ChurnReport {
+pub fn simulate_churn(
+    routing: &Routing,
+    claim: &ToleranceClaim,
+    config: ChurnConfig,
+) -> ChurnReport {
     assert!(
         (0.0..=1.0).contains(&config.fail_rate),
         "fail rate must be a probability"
@@ -178,7 +182,10 @@ mod tests {
         };
         let report = simulate_churn(circ.routing(), &circ.claim(), config);
         assert!(report.claim_held(), "{report:?}");
-        assert!(report.peak_faults >= 2, "heavy churn should exceed the budget sometimes");
+        assert!(
+            report.peak_faults >= 2,
+            "heavy churn should exceed the budget sometimes"
+        );
     }
 
     #[test]

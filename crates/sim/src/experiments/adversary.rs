@@ -9,7 +9,7 @@
 //!   and at what cost.
 
 use ftr_core::{
-    verify_tolerance, FaultStrategy, KernelRouting, Routing, RoutingError, RoutingKind,
+    verify_tolerance, Compile, FaultStrategy, KernelRouting, Routing, RoutingError, RoutingKind,
 };
 use ftr_graph::{connectivity, flow, gen, Graph, Path};
 
@@ -20,10 +20,9 @@ use crate::report::{fmt_diameter, Table};
 /// conflicting inserts (which are skipped, keeping the first route).
 fn kernel_without_shortcut(g: &Graph) -> Result<(Routing, usize), RoutingError> {
     let kappa = connectivity::vertex_connectivity(g);
-    let sep = connectivity::min_separator(g)
-        .ok_or_else(|| RoutingError::PropertyNotSatisfied {
-            what: "complete graph".into(),
-        })?;
+    let sep = connectivity::min_separator(g).ok_or_else(|| RoutingError::PropertyNotSatisfied {
+        what: "complete graph".into(),
+    })?;
     let mut routing = Routing::new(g.node_count(), RoutingKind::Bidirectional);
     for (u, v) in g.edges() {
         routing.insert(Path::edge(u, v).expect("valid edge"))?;
@@ -55,7 +54,10 @@ pub fn ablation_a2_shortcut_rule(scale: Scale) -> Table {
         NamedGraph::new("Torus3x4", gen::torus(3, 4).expect("valid")),
     ];
     if scale == Scale::Full {
-        graphs.push(NamedGraph::new("H(4,16)", gen::harary(4, 16).expect("valid")));
+        graphs.push(NamedGraph::new(
+            "H(4,16)",
+            gen::harary(4, 16).expect("valid"),
+        ));
         graphs.push(NamedGraph::new("Q4", gen::hypercube(4).expect("valid")));
     }
     let mut table = Table::new(
@@ -72,9 +74,13 @@ pub fn ablation_a2_shortcut_rule(scale: Scale) -> Table {
         let (raw, conflicts) = kernel_without_shortcut(&graph).expect("suite graphs qualify");
         let kernel = KernelRouting::build(&graph).expect("connected");
         let t = kernel.tolerated_faults();
-        let raw_report = verify_tolerance(&raw, t, FaultStrategy::Exhaustive, threads());
-        let good_report =
-            verify_tolerance(kernel.routing(), t, FaultStrategy::Exhaustive, threads());
+        let raw_report = verify_tolerance(&raw.compile(), t, FaultStrategy::Exhaustive, threads());
+        let good_report = verify_tolerance(
+            &kernel.routing().compile(),
+            t,
+            FaultStrategy::Exhaustive,
+            threads(),
+        );
         table.push_row([
             name,
             conflicts.to_string(),
@@ -112,13 +118,26 @@ pub fn ablation_a3_strategies(scale: Scale) -> Table {
     );
     let strategies = [
         FaultStrategy::Exhaustive,
-        FaultStrategy::RandomSample { trials: 50, seed: 3 },
-        FaultStrategy::RandomSample { trials: 500, seed: 3 },
-        FaultStrategy::Adversarial { restarts: 1, seed: 3 },
-        FaultStrategy::Adversarial { restarts: 4, seed: 3 },
+        FaultStrategy::RandomSample {
+            trials: 50,
+            seed: 3,
+        },
+        FaultStrategy::RandomSample {
+            trials: 500,
+            seed: 3,
+        },
+        FaultStrategy::Adversarial {
+            restarts: 1,
+            seed: 3,
+        },
+        FaultStrategy::Adversarial {
+            restarts: 4,
+            seed: 3,
+        },
     ];
+    let engine = kernel.routing().compile();
     for strategy in strategies {
-        let report = verify_tolerance(kernel.routing(), t, strategy, threads());
+        let report = verify_tolerance(&engine, t, strategy, threads());
         table.push_row([
             strategy.to_string(),
             fmt_diameter(report.worst_diameter),

@@ -24,7 +24,8 @@ fn suite(scale: Scale) -> Vec<NamedGraph> {
 fn run(id: &str, title: &str, kind: RoutingKind, scale: Scale) -> Table {
     let mut table = Table::new(id, title, VERIFICATION_HEADERS);
     for NamedGraph { name, graph } in suite(scale) {
-        let b = BipolarRouting::build(&graph, kind).expect("suite graphs have the two-trees property");
+        let b =
+            BipolarRouting::build(&graph, kind).expect("suite graphs have the two-trees property");
         b.routing().validate(&graph).expect("valid routing");
         let n = graph.node_count();
         let t = b.tolerated_faults();

@@ -2,7 +2,7 @@
 //! (Theorems 10 and 13, Remark 14).
 
 use ftr_core::{
-    verify_tolerance, CircularRouting, FaultStrategy, RoutingError, ToleranceClaim,
+    verify_tolerance, CircularRouting, Compile, FaultStrategy, RoutingError, ToleranceClaim,
     TriCircularRouting, TriCircularVariant,
 };
 use ftr_graph::gen;
@@ -43,7 +43,15 @@ pub fn e3_circular(scale: Scale) -> Table {
                 seed: 0xE3,
             }
         };
-        push_verification_row(&mut table, &name, n, t, circ.routing(), circ.claim(), strategy);
+        push_verification_row(
+            &mut table,
+            &name,
+            n,
+            t,
+            circ.routing(),
+            circ.claim(),
+            strategy,
+        );
     }
     table.push_note("K follows the theorem: t+1 members for even t, t+2 for odd t.");
     table
@@ -78,7 +86,15 @@ pub fn e4_tricircular(scale: Scale) -> Table {
                 seed: 0xE4,
             }
         };
-        push_verification_row(&mut table, &name, n, t, tri.routing(), tri.claim(), strategy);
+        push_verification_row(
+            &mut table,
+            &name,
+            n,
+            t,
+            tri.routing(),
+            tri.claim(),
+            strategy,
+        );
     }
     table.push_note("Three circles of 2t+3 members each (K = 6t+9).");
     table
@@ -115,7 +131,15 @@ pub fn e5_tricircular_small(scale: Scale) -> Table {
                 seed: 0xE5,
             }
         };
-        push_verification_row(&mut table, &name, n, t, tri.routing(), tri.claim(), strategy);
+        push_verification_row(
+            &mut table,
+            &name,
+            n,
+            t,
+            tri.routing(),
+            tri.claim(),
+            strategy,
+        );
     }
     table.push_note(
         "The paper states the (5, t) bound without the construction; this validates our \
@@ -142,8 +166,12 @@ pub fn ablation_a1_concentrator_size(scale: Scale) -> Table {
     for k in 1..=k_max {
         match CircularRouting::build_with_size(&graph, k) {
             Ok(circ) => {
-                let report =
-                    verify_tolerance(circ.routing(), t, FaultStrategy::Exhaustive, threads());
+                let report = verify_tolerance(
+                    &circ.routing().compile(),
+                    t,
+                    FaultStrategy::Exhaustive,
+                    threads(),
+                );
                 let claim = ToleranceClaim {
                     diameter: 6,
                     faults: t,

@@ -3,7 +3,7 @@
 //! bidirectional routing, 2 for a unidirectional one, with up to
 //! `d - 1` faults).
 
-use ftr_core::{verify_tolerance, FaultStrategy, HypercubeRouting, RoutingKind};
+use ftr_core::{verify_tolerance, Compile, FaultStrategy, HypercubeRouting, RoutingKind};
 
 use super::{threads, Scale};
 use crate::report::{fmt_bool, fmt_diameter, Table};
@@ -35,7 +35,7 @@ pub fn e14_hypercube_baseline(scale: Scale) -> Table {
             let hc = HypercubeRouting::build(dim, kind).expect("dims are valid");
             let claim = hc.claim_quoted();
             let report = verify_tolerance(
-                hc.routing(),
+                &hc.routing().compile(),
                 claim.faults,
                 FaultStrategy::Exhaustive,
                 threads(),

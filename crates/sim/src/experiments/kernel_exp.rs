@@ -1,6 +1,6 @@
 //! E1, E2 and A4: the kernel routing bounds (Theorems 3 and 4).
 
-use ftr_core::{verify_tolerance, FaultStrategy, KernelRouting};
+use ftr_core::{verify_tolerance, Compile, FaultStrategy, KernelRouting};
 use ftr_graph::gen;
 
 use super::{push_verification_row, threads, NamedGraph, Scale, VERIFICATION_HEADERS};
@@ -99,8 +99,9 @@ pub fn ablation_a4_fault_sweep(scale: Scale) -> Table {
         ),
         ["faults", "regime", "worst diameter", "fault sets"],
     );
+    let engine = kernel.routing().compile();
     for f in 0..=t {
-        let report = verify_tolerance(kernel.routing(), f, FaultStrategy::Exhaustive, threads());
+        let report = verify_tolerance(&engine, f, FaultStrategy::Exhaustive, threads());
         let regime = if f <= t / 2 {
             "Theorem 4: <= 4"
         } else {
@@ -140,7 +141,7 @@ mod tests {
     fn a4_sweep_is_monotone_in_reported_budget() {
         let t = ablation_a4_fault_sweep(Scale::Quick);
         assert_eq!(t.rows().len(), 4); // f = 0..=3 for H(4,12)
-        // worst diameter at f=0 is the no-fault diameter, >= 1
+                                       // worst diameter at f=0 is the no-fault diameter, >= 1
         assert_ne!(t.rows()[0][2], "inf");
     }
 }

@@ -37,7 +37,7 @@ pub use protocol::e15_broadcast;
 pub use random_graphs::e10_two_trees_probability;
 pub use scaling::{s1_scaling, s2_stretch};
 
-use ftr_core::{verify_tolerance, FaultStrategy, RouteTable, ToleranceClaim};
+use ftr_core::{verify_tolerance, Compile, FaultStrategy, ToleranceClaim};
 use ftr_graph::Graph;
 
 use crate::report::{fmt_bool, fmt_diameter, Table};
@@ -199,7 +199,12 @@ impl NamedGraph {
 
 /// Runs a tolerance verification and appends the standard row
 /// `graph | n | t | claim | strategy | worst diameter | sets | ok`.
-pub(crate) fn push_verification_row<T: RouteTable + Sync>(
+///
+/// The routing is compiled into the bitset engine first
+/// ([`Compile::compile`]), so every experiment's verification loop runs
+/// on the mask-based fast path; the route-walk path stays covered by the
+/// engine-equivalence property tests.
+pub(crate) fn push_verification_row<T: Compile + Sync>(
     table: &mut Table,
     name: &str,
     n: usize,
@@ -208,7 +213,8 @@ pub(crate) fn push_verification_row<T: RouteTable + Sync>(
     claim: ToleranceClaim,
     strategy: FaultStrategy,
 ) -> bool {
-    let report = verify_tolerance(routing, claim.faults, strategy, threads());
+    let engine = routing.compile();
+    let report = verify_tolerance(&engine, claim.faults, strategy, threads());
     let ok = report.satisfies(&claim);
     table.push_row([
         name.to_string(),

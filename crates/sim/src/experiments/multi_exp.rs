@@ -3,7 +3,7 @@
 
 use ftr_core::{
     concentrator_multirouting, full_multirouting, single_tree_multirouting, verify_tolerance,
-    AugmentedKernelRouting, FaultStrategy, ToleranceClaim,
+    AugmentedKernelRouting, Compile, FaultStrategy, ToleranceClaim,
 };
 use ftr_graph::{connectivity, gen};
 
@@ -19,7 +19,10 @@ pub fn e11_multiroutings(scale: Scale) -> Table {
         NamedGraph::new("Torus3x4", gen::torus(3, 4).expect("valid")),
     ];
     if scale == Scale::Full {
-        graphs.push(NamedGraph::new("H(4,16)", gen::harary(4, 16).expect("valid")));
+        graphs.push(NamedGraph::new(
+            "H(4,16)",
+            gen::harary(4, 16).expect("valid"),
+        ));
         graphs.push(NamedGraph::new("C12", gen::cycle(12).expect("valid")));
     }
     let mut table = Table::new(
@@ -41,8 +44,11 @@ pub fn e11_multiroutings(scale: Scale) -> Table {
         let t = connectivity::vertex_connectivity(&graph) - 1;
 
         let full = full_multirouting(&graph).expect("connected");
-        let report = verify_tolerance(&full, t, FaultStrategy::Exhaustive, threads());
-        let claim = ToleranceClaim { diameter: 1, faults: t };
+        let report = verify_tolerance(&full.compile(), t, FaultStrategy::Exhaustive, threads());
+        let claim = ToleranceClaim {
+            diameter: 1,
+            faults: t,
+        };
         table.push_row([
             name.clone(),
             n.to_string(),
@@ -55,8 +61,11 @@ pub fn e11_multiroutings(scale: Scale) -> Table {
         ]);
 
         let (conc, _) = concentrator_multirouting(&graph).expect("not complete");
-        let report = verify_tolerance(&conc, t, FaultStrategy::Exhaustive, threads());
-        let claim = ToleranceClaim { diameter: 3, faults: t };
+        let report = verify_tolerance(&conc.compile(), t, FaultStrategy::Exhaustive, threads());
+        let claim = ToleranceClaim {
+            diameter: 3,
+            faults: t,
+        };
         table.push_row([
             name.clone(),
             n.to_string(),
@@ -71,7 +80,7 @@ pub fn e11_multiroutings(scale: Scale) -> Table {
         // The paper proves no diameter bound for the two-route variant;
         // the implicit claim is that |F| <= t never disconnects it.
         let (single, _) = single_tree_multirouting(&graph).expect("not complete");
-        let report = verify_tolerance(&single, t, FaultStrategy::Exhaustive, threads());
+        let report = verify_tolerance(&single.compile(), t, FaultStrategy::Exhaustive, threads());
         table.push_row([
             name.clone(),
             n.to_string(),
@@ -99,8 +108,14 @@ pub fn e12_augmentation(scale: Scale) -> Table {
         NamedGraph::new("Torus3x4", gen::torus(3, 4).expect("valid")),
     ];
     if scale == Scale::Full {
-        graphs.push(NamedGraph::new("H(4,14)", gen::harary(4, 14).expect("valid")));
-        graphs.push(NamedGraph::new("H(5,16)", gen::harary(5, 16).expect("valid")));
+        graphs.push(NamedGraph::new(
+            "H(4,14)",
+            gen::harary(4, 14).expect("valid"),
+        ));
+        graphs.push(NamedGraph::new(
+            "H(5,16)",
+            gen::harary(5, 16).expect("valid"),
+        ));
     }
     let mut table = Table::new(
         "E12",
@@ -119,7 +134,7 @@ pub fn e12_augmentation(scale: Scale) -> Table {
         let aug = AugmentedKernelRouting::build(&graph).expect("not complete");
         let claim = aug.claim();
         let report = verify_tolerance(
-            aug.routing(),
+            &aug.routing().compile(),
             claim.faults,
             FaultStrategy::Exhaustive,
             threads(),

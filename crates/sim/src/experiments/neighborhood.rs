@@ -23,7 +23,10 @@ fn suite(scale: Scale) -> Vec<NamedGraph> {
             NamedGraph::new("BF(5)", gen::wrapped_butterfly(5).expect("valid")),
             NamedGraph::new("H(3,120)", gen::harary(3, 120).expect("valid")),
             NamedGraph::new("G(200,.02)", gen::gnp(200, 0.02, 7).expect("valid")),
-            NamedGraph::new("RandReg(100,4)", gen::random_regular(100, 4, 8).expect("valid")),
+            NamedGraph::new(
+                "RandReg(100,4)",
+                gen::random_regular(100, 4, 8).expect("valid"),
+            ),
         ]);
     }
     graphs

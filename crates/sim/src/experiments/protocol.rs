@@ -21,7 +21,10 @@ pub fn e15_broadcast(scale: Scale) -> Table {
         NamedGraph::new("Torus3x4", gen::torus(3, 4).expect("valid")),
     ];
     if scale == Scale::Full {
-        graphs.push(NamedGraph::new("H(4,20)", gen::harary(4, 20).expect("valid")));
+        graphs.push(NamedGraph::new(
+            "H(4,20)",
+            gen::harary(4, 20).expect("valid"),
+        ));
         graphs.push(NamedGraph::new("Q4", gen::hypercube(4).expect("valid")));
     }
     let trials = match scale {

@@ -29,7 +29,8 @@ pub fn e10_two_trees_probability(scale: Scale) -> Table {
             let p = (n as f64).powf(eps) / n as f64;
             let mut hits = 0usize;
             for trial in 0..trials {
-                let seed = 0xE10_0000 + (n as u64) * 1_000 + (eps * 100.0) as u64 * 10 + trial as u64;
+                let seed =
+                    0xE10_0000 + (n as u64) * 1_000 + (eps * 100.0) as u64 * 10 + trial as u64;
                 let g = gen::gnp(n, p, seed).expect("p in range");
                 if analysis::find_two_trees_roots(&g).is_some() {
                     hits += 1;

@@ -127,7 +127,13 @@ pub fn s2_stretch(scale: Scale) -> Table {
     let mut table = Table::new(
         "S2",
         "route stretch: fixed-route length vs shortest-path distance over routed pairs",
-        ["construction", "n", "routed pairs", "mean stretch", "max stretch"],
+        [
+            "construction",
+            "n",
+            "routed pairs",
+            "mean stretch",
+            "max stretch",
+        ],
     );
     let mut measure = |name: &str, g: &Graph, routing: &Routing| {
         let mut total_stretch = 0.0;
@@ -180,7 +186,10 @@ mod tests {
         for row in t.rows() {
             let routes: usize = row[5].parse().unwrap();
             let paths: usize = row[6].parse().unwrap();
-            assert!(routes >= paths, "bidirectional sharing cannot exceed routes");
+            assert!(
+                routes >= paths,
+                "bidirectional sharing cannot exceed routes"
+            );
         }
     }
 

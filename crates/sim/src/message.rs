@@ -84,7 +84,10 @@ pub fn simulate_transmission(
     model: CostModel,
 ) -> Option<Transmission> {
     let n = routing.node_count();
-    assert!((src as usize) < n && (dst as usize) < n, "endpoints out of range");
+    assert!(
+        (src as usize) < n && (dst as usize) < n,
+        "endpoints out of range"
+    );
     assert_eq!(faults.capacity(), n, "fault set capacity mismatch");
     if faults.contains(src) || faults.contains(dst) {
         return None;
@@ -120,7 +123,12 @@ pub fn simulate_transmission(
     let routes_traversed = (chain.len() - 1) as u32;
     let links_crossed: u32 = chain
         .windows(2)
-        .map(|w| routing.route(w[0], w[1]).expect("surviving arc has a route").len() as u32)
+        .map(|w| {
+            routing
+                .route(w[0], w[1])
+                .expect("surviving arc has a route")
+                .len() as u32
+        })
         .sum();
     Some(Transmission {
         routes_traversed,
@@ -199,11 +207,13 @@ mod tests {
             per_route: 10.0,
             per_link: 1.0,
         };
-        let tx =
-            simulate_transmission(kernel.routing(), &NodeSet::new(10), 0, 7, model).unwrap();
+        let tx = simulate_transmission(kernel.routing(), &NodeSet::new(10), 0, 7, model).unwrap();
         let expected = 10.0 * tx.routes_traversed as f64 + tx.links_crossed as f64;
         assert!((tx.cost - expected).abs() < 1e-9);
-        assert!(tx.links_crossed >= tx.routes_traversed, "routes have length >= 1");
+        assert!(
+            tx.links_crossed >= tx.routes_traversed,
+            "routes have length >= 1"
+        );
     }
 
     #[test]
@@ -211,23 +221,23 @@ mod tests {
         let g = gen::petersen();
         let kernel = KernelRouting::build(&g).unwrap();
         let faults = NodeSet::from_nodes(10, [7]);
-        assert!(simulate_transmission(
-            kernel.routing(),
-            &faults,
-            0,
-            7,
-            CostModel::default()
-        )
-        .is_none());
+        assert!(
+            simulate_transmission(kernel.routing(), &faults, 0, 7, CostModel::default()).is_none()
+        );
     }
 
     #[test]
     fn self_transmission_is_free() {
         let g = gen::petersen();
         let kernel = KernelRouting::build(&g).unwrap();
-        let tx =
-            simulate_transmission(kernel.routing(), &NodeSet::new(10), 3, 3, CostModel::default())
-                .unwrap();
+        let tx = simulate_transmission(
+            kernel.routing(),
+            &NodeSet::new(10),
+            3,
+            3,
+            CostModel::default(),
+        )
+        .unwrap();
         assert_eq!(tx.routes_traversed, 0);
         assert_eq!(tx.cost, 0.0);
     }

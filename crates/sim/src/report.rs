@@ -129,7 +129,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
@@ -157,7 +164,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }
@@ -179,7 +190,11 @@ pub fn fmt_diameter(d: Option<u32>) -> String {
 
 /// Formats a yes/no cell.
 pub fn fmt_bool(ok: bool) -> String {
-    if ok { "yes".into() } else { "no".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 #[cfg(test)]

@@ -51,10 +51,7 @@ pub fn circular_figure_ascii(circ: &CircularRouting) -> String {
     out.push_str(&format!(
         "Figure 1: circular routing over K = {k} neighborhood-set members\n"
     ));
-    out.push_str(&format!(
-        "  circle: {:?}\n",
-        circ.concentrator().members()
-    ));
+    out.push_str(&format!("  circle: {:?}\n", circ.concentrator().members()));
     out.push_str("  CIRC 1: every x outside Γ  ->  every Γ_i\n");
     out.push_str(&format!(
         "  CIRC 2: x in Γ_i  ->  Γ_(i+1) .. Γ_(i+{}) (mod {k})\n",
@@ -67,14 +64,18 @@ pub fn circular_figure_ascii(circ: &CircularRouting) -> String {
 /// DOT rendering of Figure 2 from a built tri-circular routing.
 pub fn tricircular_figure_dot(tri: &TriCircularRouting) -> String {
     let s = tri.circle_size();
-    let mut out = String::from("digraph tricircular {\n  label=\"Figure 2: the tri-circular routing\";\n  rankdir=LR;\n");
+    let mut out = String::from(
+        "digraph tricircular {\n  label=\"Figure 2: the tri-circular routing\";\n  rankdir=LR;\n",
+    );
     out.push_str("  x [shape=circle, label=\"x ∉ Γ\"];\n");
     for j in 0..3 {
         out.push_str(&format!(
             "  subgraph cluster_{j} {{ label=\"circle M^{j}\";\n"
         ));
         for i in 0..s {
-            out.push_str(&format!("    c{j}_{i} [shape=ellipse, label=\"Γ^{j}_{i}\"];\n"));
+            out.push_str(&format!(
+                "    c{j}_{i} [shape=ellipse, label=\"Γ^{j}_{i}\"];\n"
+            ));
         }
         out.push_str("  }\n");
     }
@@ -129,7 +130,9 @@ pub fn bipolar_figure_dot(b: &BipolarRouting) -> String {
         // B-POL 3/4: every member to every set of its own tree.
         for i in 0..members.len() {
             for j in 0..members.len() {
-                out.push_str(&format!("  m{tag}_{i} -> g{tag}_{j} [color=red, style=dashed];\n"));
+                out.push_str(&format!(
+                    "  m{tag}_{i} -> g{tag}_{j} [color=red, style=dashed];\n"
+                ));
             }
         }
     }

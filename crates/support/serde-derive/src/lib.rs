@@ -1,0 +1,51 @@
+//! No-op `Serialize` / `Deserialize` derives for the `ftr-serde`
+//! stand-in. Each derive emits an empty marker-trait impl for the
+//! annotated type, which is exactly what the workspace's
+//! `serde_feature` compile-time tests check. Generic types are not
+//! supported — the workspace derives only on concrete types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct` / `enum` / `union` item,
+/// skipping attributes and visibility.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip `#[...]` attributes: consume the bracket group after `#`.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        return name.to_string();
+                    }
+                    panic!("ftr-serde-derive: item has no name");
+                }
+                // `pub`, `pub(crate)` etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("ftr-serde-derive: expected a struct, enum or union");
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}

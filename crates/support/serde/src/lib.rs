@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates-registry access, so the workspace's
+//! optional `serde` feature is wired against this marker crate instead of
+//! the real one: [`Serialize`] and [`Deserialize`] are empty marker
+//! traits, and the re-exported derives emit empty impls. This keeps the
+//! feature compiling and the `serde_feature` trait-bound tests meaningful
+//! (they verify which types are annotated), while performing no actual
+//! serialization. Swapping in the real `serde = { version = "1",
+//! features = ["derive"] }` requires no source changes.
+
+#![forbid(unsafe_code)]
+
+pub use ftr_serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

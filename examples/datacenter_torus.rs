@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --example datacenter_torus --release`
 
-use ftr::core::{
-    verify_tolerance, CircularRouting, FaultStrategy, KernelRouting, RouteTable,
-};
+use ftr::core::{verify_tolerance, CircularRouting, FaultStrategy, KernelRouting, RouteTable};
 use ftr::graph::{gen, traversal};
 use ftr::sim::faults::FaultPlan;
 

@@ -20,12 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for kind in [RoutingKind::Bidirectional, RoutingKind::Unidirectional] {
             let hc = HypercubeRouting::build(dim, kind)?;
             let claim = hc.claim_quoted();
-            let report = verify_tolerance(
-                hc.routing(),
-                claim.faults,
-                FaultStrategy::Exhaustive,
-                4,
-            );
+            let report = verify_tolerance(hc.routing(), claim.faults, FaultStrategy::Exhaustive, 4);
             println!(
                 "Q{dim} {kind:?}: measured worst diameter {} vs quoted {} ({} fault sets)",
                 report

@@ -18,7 +18,10 @@ use ftr::sim::broadcast::simulate_broadcast;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = gen::harary(4, 20)?; // κ = 4: t = 3, Theorem 4 regime f <= 1
     let kernel = KernelRouting::build(&network)?;
-    println!("network: {network}, kernel claim {}", kernel.claim_theorem_4());
+    println!(
+        "network: {network}, kernel claim {}",
+        kernel.claim_theorem_4()
+    );
 
     // One router fails. Surviving diameter is at most 4 (Theorem 4).
     let faults = NodeSet::from_nodes(20, [7]);

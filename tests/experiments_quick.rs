@@ -10,11 +10,19 @@ fn full_registry_runs_clean_at_quick_scale() {
         let tables = (spec.run)(Scale::Quick);
         assert!(!tables.is_empty(), "{} produced no tables", spec.id);
         for table in tables {
-            assert!(!table.rows().is_empty(), "{} produced an empty table", table.id());
+            assert!(
+                !table.rows().is_empty(),
+                "{} produced an empty table",
+                table.id()
+            );
             // every bound-verifying table must be all-"ok" except E14,
             // which measures a stand-in baseline
             if table.headers().iter().any(|h| h == "ok") && table.id() != "E14" {
-                assert!(table.all_yes("ok"), "{} violated a bound:\n{table}", table.id());
+                assert!(
+                    table.all_yes("ok"),
+                    "{} violated a bound:\n{table}",
+                    table.id()
+                );
             }
         }
     }
@@ -24,8 +32,8 @@ fn full_registry_runs_clean_at_quick_scale() {
 fn registry_covers_every_experiment_id() {
     let ids: Vec<&str> = registry().iter().map(|s| s.id).collect();
     for expected in [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14",
-        "e15", "a1", "a2", "a3", "a4",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14", "e15",
+        "a1", "a2", "a3", "a4",
     ] {
         assert!(ids.contains(&expected), "missing experiment {expected}");
     }

@@ -2,9 +2,7 @@
 //! must agree with the surviving-graph metrics for every construction,
 //! tying the paper's motivation (Section 1) to its theorems.
 
-use ftr::core::{
-    BipolarRouting, CircularRouting, KernelRouting, RouteTable, Routing, RoutingKind,
-};
+use ftr::core::{BipolarRouting, CircularRouting, KernelRouting, RouteTable, Routing, RoutingKind};
 use ftr::graph::{gen, NodeSet};
 use ftr::sim::broadcast::simulate_broadcast;
 use ftr::sim::faults::FaultPlan;
@@ -50,7 +48,11 @@ fn constructions() -> Vec<(&'static str, usize, Routing)> {
 fn broadcast_rounds_equal_surviving_eccentricity_everywhere() {
     for (name, n, routing) in constructions() {
         for trial in 0..4u64 {
-            let faults = FaultPlan::Uniform { count: 1, seed: trial }.materialize(n);
+            let faults = FaultPlan::Uniform {
+                count: 1,
+                seed: trial,
+            }
+            .materialize(n);
             let s = routing.surviving(&faults);
             let Some(diam) = s.diameter() else {
                 panic!("{name}: one fault disconnected the surviving graph");

@@ -122,7 +122,10 @@ fn bipolar_routes_every_node_to_both_poles() {
                 .iter()
                 .filter(|&&m| b.routing().route(x, m).is_some())
                 .count();
-            assert!(count >= 2, "node {x} reaches only {count} of M1 (t+1 = 2 needed)");
+            assert!(
+                count >= 2,
+                "node {x} reaches only {count} of M1 (t+1 = 2 needed)"
+            );
         }
         if !m2.contains(x) {
             let count = b

@@ -98,12 +98,18 @@ fn section_6_multiroutings_meet_their_bounds() {
     let t = connectivity::vertex_connectivity(&g) - 1;
 
     let full = full_multirouting(&g).unwrap();
-    let claim = ToleranceClaim { diameter: 1, faults: t };
+    let claim = ToleranceClaim {
+        diameter: 1,
+        faults: t,
+    };
     let (ok, report) = check_claim(&full, &claim, 4);
     assert!(ok, "full multirouting: {report}");
 
     let (conc, _) = concentrator_multirouting(&g).unwrap();
-    let claim = ToleranceClaim { diameter: 3, faults: t };
+    let claim = ToleranceClaim {
+        diameter: 3,
+        faults: t,
+    };
     let (ok, report) = check_claim(&conc, &claim, 4);
     assert!(ok, "concentrator multirouting: {report}");
 }

@@ -91,7 +91,7 @@ fn deployment_study_pipeline() {
 fn bridges_identify_the_links_worth_reinforcing() {
     // A barbell network: the experiment harness can point at the bridge
     // as the reinforcement target before any routing is attempted.
-    let mut g = gen::cycle(6).unwrap();
+    let g = gen::cycle(6).unwrap();
     // second ring 6..11 joined by one link
     let edges: Vec<(u32, u32)> = g
         .edges()
