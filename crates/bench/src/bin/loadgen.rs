@@ -1,0 +1,425 @@
+//! `loadgen` — drives an in-process `ftr-serve` daemon over loopback
+//! with concurrent query clients and live fault churn, and records the
+//! sustained throughput in `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen [--clients N] [--seconds S] [--churn-hz R] [--fault-budget F]
+//!         [--pipeline B] [--graph harary:K,N|petersen|cycle:N]
+//!         [--assert-qps Q] [--out FILE]
+//! ```
+//!
+//! The churn client rotates through a scenario mix drawn from
+//! `ftr_sim::faults` and `ftr_sim::churn`: uniform random victims,
+//! victims targeted at the kernel separator ([`FaultPlan::TargetedPool`]
+//! — the adversarial case for a kernel routing), and organic
+//! fail/repair processes ([`ChurnStream`]). Query clients send pipelined
+//! bursts of `ROUTE` with sprinkled `DIAM`/`EPOCH`/`TOLERATE`.
+//!
+//! Exits nonzero on any protocol error, unclean shutdown, or a missed
+//! `--assert-qps` floor.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use ftr_core::KernelRouting;
+use ftr_graph::Node;
+use ftr_serve::spec::parse_graph_spec;
+use ftr_serve::{Client, RoutingSnapshot, Server, ServerConfig};
+use ftr_sim::churn::{ChurnConfig, ChurnStream};
+use ftr_sim::faults::FaultPlan;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    clients: usize,
+    seconds: f64,
+    churn_hz: f64,
+    fault_budget: usize,
+    pipeline: usize,
+    graph: String,
+    assert_qps: Option<f64>,
+    out: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            clients: 8,
+            seconds: 3.0,
+            churn_hz: 200.0,
+            fault_budget: 2,
+            pipeline: 32,
+            graph: "harary:5,24".to_string(),
+            assert_qps: None,
+            out: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--clients" => args.clients = parse(&value("--clients")?)?,
+                "--seconds" => args.seconds = parse(&value("--seconds")?)?,
+                "--churn-hz" => args.churn_hz = parse(&value("--churn-hz")?)?,
+                "--fault-budget" => args.fault_budget = parse(&value("--fault-budget")?)?,
+                "--pipeline" => args.pipeline = parse(&value("--pipeline")?)?,
+                "--graph" => args.graph = value("--graph")?,
+                "--assert-qps" => args.assert_qps = Some(parse(&value("--assert-qps")?)?),
+                "--out" => args.out = Some(value("--out")?),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if args.clients == 0 || args.pipeline == 0 || args.seconds <= 0.0 {
+            return Err("--clients, --pipeline and --seconds must be positive".into());
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(token: &str) -> Result<T, String> {
+    token.parse().map_err(|_| format!("bad value {token:?}"))
+}
+
+#[derive(Default)]
+struct Totals {
+    route: AtomicU64,
+    direct: AtomicU64,
+    detour: AtomicU64,
+    unreachable: AtomicU64,
+    diam: AtomicU64,
+    epoch: AtomicU64,
+    tolerate: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The churn client: rotates scenarios, keeps at most `budget` nodes
+/// down, paces events at `hz`.
+#[allow(clippy::too_many_arguments)]
+fn run_churn(
+    addr: std::net::SocketAddr,
+    n: usize,
+    pool: Vec<Node>,
+    budget: usize,
+    hz: f64,
+    stop: &AtomicBool,
+    events_out: &AtomicU64,
+    errors: &AtomicU64,
+) {
+    let mut client = Client::connect(addr).expect("churn client connects");
+    let tick = Duration::from_secs_f64(1.0 / hz.max(1e-6));
+    // Organic churn tuned so a step usually touches at least one node.
+    let mut organic = ChurnStream::new(
+        n,
+        ChurnConfig {
+            fail_rate: (budget as f64 / n as f64).min(0.5),
+            repair_time: 3,
+            steps: u32::MAX,
+            seed: 0xC0FFEE,
+        },
+    );
+    let mut down: Vec<Node> = Vec::new();
+    let mut ticks: u64 = 0;
+    let mut scenario = 0usize;
+    let mut rng = SmallRng::seed_from_u64(0x10AD);
+    while !stop.load(Ordering::Relaxed) {
+        // Rotate the scenario every 64 ticks (ticks advance by exactly
+        // one per loop, so no rotation boundary can be stepped over).
+        if ticks.is_multiple_of(64) {
+            scenario = (scenario + 1) % 3;
+        }
+        ticks += 1;
+        let sent = match scenario {
+            // Scenario "organic": replay a ChurnStream step as live
+            // traffic (budget-capped).
+            0 => {
+                let step = organic.step();
+                let mut sent = 0u64;
+                for &v in &step.repaired {
+                    if let Some(i) = down.iter().position(|&d| d == v) {
+                        down.swap_remove(i);
+                        check(client.repair(v), errors);
+                        sent += 1;
+                    }
+                }
+                for &v in &step.failed {
+                    if down.len() < budget && !down.contains(&v) {
+                        down.push(v);
+                        check(client.fail(v), errors);
+                        sent += 1;
+                    }
+                }
+                sent
+            }
+            // Scenarios "uniform" and "targeted": fail plan-drawn
+            // victims up to the budget, then repair the oldest.
+            s => {
+                if down.len() >= budget {
+                    let v = down.remove(0);
+                    check(client.repair(v), errors);
+                    1
+                } else {
+                    let plan = if s == 1 {
+                        FaultPlan::Uniform {
+                            count: budget.min(n),
+                            seed: rng.next_u64(),
+                        }
+                    } else {
+                        FaultPlan::TargetedPool {
+                            pool: pool.clone(),
+                            count: budget,
+                            seed: rng.next_u64(),
+                        }
+                    };
+                    match plan.materialize(n).iter().find(|v| !down.contains(v)) {
+                        Some(v) => {
+                            down.push(v);
+                            check(client.fail(v), errors);
+                            1
+                        }
+                        None => 0,
+                    }
+                }
+            }
+        };
+        events_out.fetch_add(sent, Ordering::Relaxed);
+        std::thread::sleep(tick);
+    }
+    // Leave the server fault-free so shutdown state is deterministic.
+    for v in down.drain(..) {
+        check(client.repair(v), errors);
+    }
+    let _ = client.quit();
+}
+
+fn check(result: std::io::Result<bool>, errors: &AtomicU64) {
+    if !matches!(result, Ok(true)) {
+        errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One query client: pipelined bursts of ROUTE with sprinkled
+/// DIAM/EPOCH/TOLERATE, until the deadline.
+fn run_client(
+    addr: std::net::SocketAddr,
+    n: usize,
+    seed: u64,
+    pipeline: usize,
+    deadline: Instant,
+    totals: &Totals,
+) {
+    let mut client = Client::connect(addr).expect("query client connects");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut requests: Vec<String> = Vec::with_capacity(pipeline);
+    let mut replies: Vec<String> = Vec::with_capacity(pipeline);
+    let mut burst: u64 = 0;
+    while Instant::now() < deadline {
+        requests.clear();
+        replies.clear();
+        burst += 1;
+        for i in 0..pipeline {
+            // ~1 non-ROUTE probe per burst keeps the mix honest without
+            // moving the throughput needle.
+            if i == 0 && burst % 4 == 1 {
+                match burst % 12 {
+                    1 => requests.push("DIAM".to_string()),
+                    5 => requests.push("EPOCH".to_string()),
+                    _ => requests.push("TOLERATE 8 1".to_string()),
+                }
+                continue;
+            }
+            let x = rng.gen_range(0..n) as Node;
+            let mut y = rng.gen_range(0..n) as Node;
+            if y == x {
+                y = (y + 1) % n as Node;
+            }
+            requests.push(format!("ROUTE {x} {y}"));
+        }
+        if client.pipeline(&requests, &mut replies).is_err() {
+            totals.errors.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        for (req, reply) in requests.iter().zip(&replies) {
+            let counter = match reply.split(' ').nth(1) {
+                Some("DIRECT") => &totals.direct,
+                Some("DETOUR") => &totals.detour,
+                Some("UNREACHABLE") => &totals.unreachable,
+                Some("DIAM") => &totals.diam,
+                Some("EPOCH") => &totals.epoch,
+                Some("TOLERATE") => &totals.tolerate,
+                _ => {
+                    eprintln!("loadgen: protocol error: {req:?} -> {reply:?}");
+                    &totals.errors
+                }
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            if req.starts_with("ROUTE") {
+                totals.route.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let _ = client.quit();
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let (graph, family_label) = parse_graph_spec(&args.graph)?;
+    let graph_label = format!("{family_label} kernel routing");
+    let n = graph.node_count();
+    let kernel = KernelRouting::build(&graph).map_err(|e| e.to_string())?;
+    let separator: Vec<Node> = kernel.separator().to_vec();
+    let snapshot = RoutingSnapshot::new(graph, kernel.routing().clone())
+        .map_err(|e| e.to_string())?
+        .into_shared();
+    let server = Server::bind(
+        snapshot,
+        ServerConfig {
+            workers: args.clients + 2,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let spawned = server.spawn();
+
+    let totals = Totals::default();
+    let stop_churn = AtomicBool::new(false);
+    let churn_events = AtomicU64::new(0);
+    let barrier = Barrier::new(args.clients + 1);
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(args.seconds);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            run_churn(
+                addr,
+                n,
+                separator,
+                args.fault_budget,
+                args.churn_hz,
+                &stop_churn,
+                &churn_events,
+                &totals.errors,
+            )
+        });
+        for c in 0..args.clients {
+            let totals = &totals;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                run_client(addr, n, 0xBEEF + c as u64, args.pipeline, deadline, totals);
+            });
+        }
+        barrier.wait();
+        // Stop churn at the deadline; the scope's implicit join then
+        // waits for every client to drain its final burst.
+        if let Some(left) = deadline.checked_duration_since(Instant::now()) {
+            std::thread::sleep(left);
+        }
+        stop_churn.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Give the churn thread's final repairs a moment, then stop the
+    // server and collect its counters.
+    let epochs = handle.store().current_id();
+    let server_stats = handle.stats();
+    let cache_hits = server_stats.cache_hits.load(Ordering::Relaxed);
+    let server_queries = server_stats.queries.load(Ordering::Relaxed);
+    let server_errors = server_stats.protocol_errors.load(Ordering::Relaxed);
+    spawned
+        .shutdown_and_join()
+        .map_err(|e| format!("unclean shutdown: {e}"))?;
+
+    let route = totals.route.load(Ordering::Relaxed);
+    let total: u64 = [
+        &totals.direct,
+        &totals.detour,
+        &totals.unreachable,
+        &totals.diam,
+        &totals.epoch,
+        &totals.tolerate,
+    ]
+    .iter()
+    .map(|c| c.load(Ordering::Relaxed))
+    .sum();
+    let client_errors = totals.errors.load(Ordering::Relaxed);
+    let route_qps = route as f64 / elapsed;
+    let total_qps = total as f64 / elapsed;
+    let hit_rate = if server_queries > 0 {
+        cache_hits as f64 / server_queries as f64
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"loadgen\",\n  \"graph\": \"{graph_label}\",\n  \"n\": {n},\n  \
+         \"clients\": {},\n  \"pipeline_depth\": {},\n  \"seconds\": {elapsed:.2},\n  \
+         \"churn_hz\": {},\n  \"fault_budget\": {},\n  \"route_queries\": {route},\n  \
+         \"route_qps\": {route_qps:.0},\n  \"total_queries\": {total},\n  \
+         \"total_qps\": {total_qps:.0},\n  \"direct\": {},\n  \"detour\": {},\n  \
+         \"unreachable\": {},\n  \"churn_events\": {},\n  \"epochs_advanced\": {epochs},\n  \
+         \"cache_hit_rate\": {hit_rate:.3},\n  \"protocol_errors\": {}\n}}\n",
+        args.clients,
+        args.pipeline,
+        args.churn_hz,
+        args.fault_budget,
+        totals.direct.load(Ordering::Relaxed),
+        totals.detour.load(Ordering::Relaxed),
+        totals.unreachable.load(Ordering::Relaxed),
+        churn_events.load(Ordering::Relaxed),
+        server_errors + client_errors,
+    );
+    // Default to the workspace root of the build tree; if the binary
+    // runs outside its checkout (path gone), fall back to the cwd so a
+    // successful load test never fails on bookkeeping.
+    let out = match &args.out {
+        Some(path) => path.clone(),
+        None => {
+            let workspace = format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR"));
+            if std::path::Path::new(env!("CARGO_MANIFEST_DIR")).is_dir() {
+                workspace
+            } else {
+                "BENCH_serve.json".to_string()
+            }
+        }
+    };
+    std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "loadgen: {route} route queries in {elapsed:.2}s = {route_qps:.0}/s \
+         ({total_qps:.0}/s total, {epochs} epochs, cache hit rate {:.1}%, \
+         {} churn events)",
+        hit_rate * 100.0,
+        churn_events.load(Ordering::Relaxed)
+    );
+    eprintln!("loadgen: wrote {out}");
+
+    if server_errors + client_errors > 0 {
+        return Err(format!(
+            "{} protocol errors observed",
+            server_errors + client_errors
+        ));
+    }
+    if epochs == 0 {
+        return Err("no epoch ever advanced — churn never reached the server".into());
+    }
+    if let Some(floor) = args.assert_qps {
+        if route_qps < floor {
+            return Err(format!(
+                "route throughput {route_qps:.0}/s below the asserted floor {floor:.0}/s"
+            ));
+        }
+    }
+    Ok(())
+}

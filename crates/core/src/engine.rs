@@ -57,6 +57,10 @@ use crate::{MultiRouting, RouteTable, Routing};
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledRoutes {
+    /// Process-unique identity of this compilation (shared by clones,
+    /// which have identical layout); lets [`EpochState`] verify it is
+    /// being driven by the engine it was created from.
+    build_id: u64,
     n: usize,
     /// Words per fault mask (`n.div_ceil(64)`).
     stride: usize,
@@ -151,7 +155,9 @@ impl CompiledRoutes {
             }
         }
 
+        static BUILD_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         CompiledRoutes {
+            build_id: BUILD_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             n,
             stride,
             pairs,
@@ -242,20 +248,76 @@ impl RouteTable for CompiledRoutes {
     fn cursor(&self) -> Box<dyn FaultCursor + '_> {
         Box::new(CompiledCursor {
             engine: self,
-            kill: vec![0; self.slot_count()],
-            pair_live: (0..self.pair_count())
-                .map(|p| self.slots_of(p).len() as u32)
-                .collect(),
-            live: self.base.clone(),
-            faults: NodeSet::new(self.n),
+            state: self.epoch_state(),
         })
     }
 }
 
-/// The engine's incremental cursor: per-slot kill counts plus the live
-/// route graph, updated only along the toggled node's inverted index.
+/// The engine's incremental cursor: a borrowed wrapper around
+/// [`EpochState`] that enforces the [`FaultCursor`] toggle discipline.
 struct CompiledCursor<'a> {
     engine: &'a CompiledRoutes,
+    state: EpochState,
+}
+
+impl FaultCursor for CompiledCursor<'_> {
+    fn insert(&mut self, v: Node) {
+        assert!(
+            self.state.insert(self.engine, v),
+            "node {v} is already faulty"
+        );
+    }
+
+    fn remove(&mut self, v: Node) {
+        assert!(self.state.remove(self.engine, v), "node {v} is not faulty");
+    }
+
+    fn diameter(&mut self) -> Option<u32> {
+        self.state.diameter()
+    }
+
+    fn faults(&self) -> &NodeSet {
+        self.state.faults()
+    }
+}
+
+/// An *owned* incremental fault state over a [`CompiledRoutes`] engine —
+/// the epoch-advance primitive behind the `ftr-serve` snapshot store.
+///
+/// [`RouteTable::cursor`] borrows the engine for its whole lifetime,
+/// which a long-lived server holding the engine in an
+/// [`std::sync::Arc`] cannot express. `EpochState` carries the same
+/// per-slot kill counts, per-pair live counts and live route
+/// [`BitMatrix`], but owns them outright; every mutation takes the
+/// engine by reference instead. Applying a fault batch is
+/// `O(routes through the toggled nodes)` — no recompilation, no route
+/// re-walks — after which [`EpochState::live`] and
+/// [`EpochState::faults`] are cheap to clone into an immutable epoch
+/// snapshot.
+///
+/// # Example
+///
+/// ```
+/// use ftr_core::{Compile, KernelRouting};
+/// use ftr_graph::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = gen::petersen();
+/// let engine = KernelRouting::build(&g)?.routing().compile();
+/// let mut state = engine.epoch_state();
+/// assert!(state.insert(&engine, 3));
+/// assert!(!state.insert(&engine, 3), "insert is idempotent");
+/// let under_fault = state.diameter();
+/// assert!(state.remove(&engine, 3));
+/// assert_eq!(state.faults().len(), 0);
+/// assert!(under_fault >= state.diameter());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochState {
+    /// The `build_id` of the engine this state was created from.
+    engine_id: u64,
     /// Per slot: how many current faults lie on the route's interior.
     kill: Vec<u32>,
     /// Per pair: how many of its slots have `kill == 0`.
@@ -267,49 +329,110 @@ struct CompiledCursor<'a> {
     faults: NodeSet,
 }
 
-impl FaultCursor for CompiledCursor<'_> {
-    fn insert(&mut self, v: Node) {
-        assert!(self.faults.insert(v), "node {v} is already faulty");
-        let e = self.engine;
-        let range = e.index_off[v as usize] as usize..e.index_off[v as usize + 1] as usize;
-        for &slot in &e.index[range] {
+impl CompiledRoutes {
+    /// A fresh (fault-free) [`EpochState`] for this engine.
+    pub fn epoch_state(&self) -> EpochState {
+        EpochState {
+            engine_id: self.build_id,
+            kill: vec![0; self.slot_count()],
+            pair_live: (0..self.pair_count())
+                .map(|p| self.slots_of(p).len() as u32)
+                .collect(),
+            live: self.base.clone(),
+            faults: NodeSet::new(self.n),
+        }
+    }
+}
+
+impl EpochState {
+    fn check(&self, engine: &CompiledRoutes, v: Node) {
+        assert_eq!(
+            self.engine_id, engine.build_id,
+            "epoch state used with a different engine"
+        );
+        assert!(
+            (v as usize) < engine.n,
+            "node {v} out of range for {} nodes",
+            engine.n
+        );
+    }
+
+    /// Marks `v` faulty; returns `false` (and changes nothing) if it
+    /// already was. Touches only the routes through `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `engine` is not the engine this
+    /// state was created from.
+    pub fn insert(&mut self, engine: &CompiledRoutes, v: Node) -> bool {
+        self.check(engine, v);
+        if !self.faults.insert(v) {
+            return false;
+        }
+        let range =
+            engine.index_off[v as usize] as usize..engine.index_off[v as usize + 1] as usize;
+        for &slot in &engine.index[range] {
             let slot = slot as usize;
             if self.kill[slot] == 0 {
-                let p = e.slot_pair[slot] as usize;
+                let p = engine.slot_pair[slot] as usize;
                 self.pair_live[p] -= 1;
                 if self.pair_live[p] == 0 {
-                    let (s, d) = e.pairs[p];
+                    let (s, d) = engine.pairs[p];
                     self.live.clear(s, d);
                 }
             }
             self.kill[slot] += 1;
         }
+        true
     }
 
-    fn remove(&mut self, v: Node) {
-        assert!(self.faults.remove(v), "node {v} is not faulty");
-        let e = self.engine;
-        let range = e.index_off[v as usize] as usize..e.index_off[v as usize + 1] as usize;
-        for &slot in &e.index[range] {
+    /// Marks `v` healthy again; returns `false` (and changes nothing) if
+    /// it was not faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `engine` is not the engine this
+    /// state was created from.
+    pub fn remove(&mut self, engine: &CompiledRoutes, v: Node) -> bool {
+        self.check(engine, v);
+        if !self.faults.remove(v) {
+            return false;
+        }
+        let range =
+            engine.index_off[v as usize] as usize..engine.index_off[v as usize + 1] as usize;
+        for &slot in &engine.index[range] {
             let slot = slot as usize;
             self.kill[slot] -= 1;
             if self.kill[slot] == 0 {
-                let p = e.slot_pair[slot] as usize;
+                let p = engine.slot_pair[slot] as usize;
                 self.pair_live[p] += 1;
                 if self.pair_live[p] == 1 {
-                    let (s, d) = e.pairs[p];
+                    let (s, d) = engine.pairs[p];
                     self.live.set(s, d);
                 }
             }
         }
+        true
     }
 
-    fn diameter(&mut self) -> Option<u32> {
-        self.live.diameter(Some(&self.faults))
-    }
-
-    fn faults(&self) -> &NodeSet {
+    /// The current fault set.
+    pub fn faults(&self) -> &NodeSet {
         &self.faults
+    }
+
+    /// The surviving route graph under the current faults: an arc per
+    /// pair with at least one live route. Faulty *endpoints* stay in the
+    /// matrix — exclude them with the fault set as an avoid-mask, as
+    /// [`EpochState::diameter`] does.
+    pub fn live(&self) -> &BitMatrix {
+        &self.live
+    }
+
+    /// The surviving diameter under the current fault set (`None` means
+    /// disconnection) — identical to
+    /// [`RouteTable::surviving_diameter`] at the same fault set.
+    pub fn diameter(&self) -> Option<u32> {
+        self.live.diameter(Some(&self.faults))
     }
 }
 
@@ -455,5 +578,70 @@ mod tests {
     fn mismatched_fault_capacity_panics() {
         let engine = demo_routing().compile();
         let _ = engine.surviving(&NodeSet::new(9));
+    }
+
+    #[test]
+    fn epoch_state_toggles_are_idempotent_and_undo() {
+        let engine = demo_routing().compile();
+        let mut state = engine.epoch_state();
+        let fresh = state.clone();
+        assert_eq!(state.diameter(), Some(2));
+        assert!(state.insert(&engine, 1));
+        assert!(!state.insert(&engine, 1), "double insert is a no-op");
+        assert_eq!(state.faults().len(), 1);
+        assert_eq!(state.diameter(), Some(2)); // 0 -> 3 -> 2 detour
+        assert!(state.insert(&engine, 3));
+        assert_eq!(state.diameter(), None);
+        assert!(state.remove(&engine, 1));
+        assert!(!state.remove(&engine, 1), "double remove is a no-op");
+        assert!(state.remove(&engine, 3));
+        assert_eq!(state.kill, fresh.kill, "toggles fully undo");
+        assert_eq!(state.pair_live, fresh.pair_live);
+        assert_eq!(state.live, fresh.live);
+    }
+
+    #[test]
+    fn epoch_state_agrees_with_scratch_evaluation() {
+        let g = gen::petersen();
+        let kernel = crate::KernelRouting::build(&g).unwrap();
+        let engine = kernel.routing().compile();
+        let mut state = engine.epoch_state();
+        for a in 0..10u32 {
+            state.insert(&engine, a);
+            for b in (a + 1)..10u32 {
+                state.insert(&engine, b);
+                let faults = NodeSet::from_nodes(10, [a, b]);
+                assert_eq!(
+                    state.diameter(),
+                    kernel.routing().surviving_diameter(&faults),
+                    "faults {{{a}, {b}}}"
+                );
+                // The live matrix matches the surviving graph arc set on
+                // healthy endpoints.
+                let s = engine.surviving(&faults);
+                for x in 0..10 {
+                    for y in 0..10 {
+                        if x != y && !faults.contains(x) && !faults.contains(y) {
+                            assert_eq!(state.live().has(x, y), s.has_edge(x, y), "({x}, {y})");
+                        }
+                    }
+                }
+                state.remove(&engine, b);
+            }
+            state.remove(&engine, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different engine")]
+    fn epoch_state_rejects_foreign_engine() {
+        let engine = demo_routing().compile();
+        let other = gen::petersen();
+        let other_engine = crate::KernelRouting::build(&other)
+            .unwrap()
+            .routing()
+            .compile();
+        let mut state = engine.epoch_state();
+        state.insert(&other_engine, 0);
     }
 }

@@ -90,7 +90,7 @@ mod tricircular;
 pub use augment::AugmentedKernelRouting;
 pub use bipolar::BipolarRouting;
 pub use circular::CircularRouting;
-pub use engine::{Compile, CompiledRoutes};
+pub use engine::{Compile, CompiledRoutes, EpochState};
 pub use error::RoutingError;
 pub use hypercube::HypercubeRouting;
 pub use kernel::KernelRouting;

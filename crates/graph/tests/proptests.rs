@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use ftr_graph::analysis::{self, SelectionOrder};
-use ftr_graph::{connectivity, flow, gen, traversal, Graph, Node, NodeSet, Path, INFINITY};
+use ftr_graph::{connectivity, flow, gen, io, traversal, Graph, Node, NodeSet, Path, INFINITY};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------- NodeSet
@@ -377,6 +377,89 @@ proptest! {
             .collect();
         let expect = per_node.iter().flatten().min().copied();
         prop_assert_eq!(analysis::girth(&g), expect);
+    }
+}
+
+// ------------------------------------------------------------- graph6 I/O
+//
+// The `ftr-serve` snapshot loader trusts this parser with on-disk input,
+// so the round trip and the rejection paths are pinned on randomized
+// graphs — including the 4-byte header used for n > 62.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph6_round_trips_across_header_sizes(
+        n in 1usize..90,
+        seed in any::<u64>(),
+        dens in 0u32..11,
+    ) {
+        let g = gen::gnp(n, dens as f64 / 10.0, seed).expect("valid p");
+        let encoded = io::to_graph6(&g);
+        // 1-byte header up to 62 nodes, the 126-marker 4-byte form above.
+        if n <= 62 {
+            prop_assert_eq!(encoded.as_bytes()[0] as usize, n + 63);
+        } else {
+            prop_assert_eq!(encoded.as_bytes()[0], 126);
+        }
+        let decoded = io::from_graph6(&encoded).expect("own encoding parses");
+        prop_assert_eq!(&decoded, &g);
+        // A trailing newline (files end with one) is tolerated.
+        prop_assert_eq!(&io::from_graph6(&format!("{encoded}\n")).expect("newline ok"), &g);
+    }
+
+    #[test]
+    fn graph6_rejects_truncations(
+        n in 2usize..80,
+        seed in any::<u64>(),
+        cut in 1usize..8,
+    ) {
+        let g = gen::gnp(n, 0.5, seed).expect("valid p");
+        let encoded = io::to_graph6(&g);
+        prop_assume!(cut < encoded.len());
+        let truncated = &encoded[..encoded.len() - cut];
+        prop_assert!(
+            io::from_graph6(truncated).is_err(),
+            "accepted truncated input {:?}", truncated
+        );
+        // Extending is just as malformed as truncating.
+        prop_assert!(io::from_graph6(&format!("{encoded}??")).is_err());
+    }
+
+    #[test]
+    fn graph6_never_panics_on_garbage(
+        bytes in prop::collection::vec(0u32..256, 0..40),
+    ) {
+        let garbage: String = bytes.iter().map(|&b| b as u8 as char).collect();
+        // Any outcome is fine except a panic; an accepted parse must
+        // describe a coherent graph that survives a re-encode round trip.
+        if let Ok(g) = io::from_graph6(&garbage) {
+            let reencoded = io::to_graph6(&g);
+            prop_assert_eq!(&io::from_graph6(&reencoded).expect("own encoding parses"), &g);
+        }
+    }
+
+    #[test]
+    fn graph6_rejects_out_of_range_bytes(
+        n in 2usize..70,
+        seed in any::<u64>(),
+        pos in 0usize..40,
+        low in 0u32..63,
+    ) {
+        let g = gen::gnp(n, 0.5, seed).expect("valid p");
+        let mut bytes = io::to_graph6(&g).into_bytes();
+        prop_assume!(pos < bytes.len());
+        // Bytes below 63 are outside the printable graph6 alphabet
+        // (except that trailing whitespace is trimmed).
+        bytes[pos] = low as u8;
+        let mangled = String::from_utf8(bytes).expect("ascii");
+        if let Ok(parsed) = io::from_graph6(&mangled) {
+            // Only reachable when the mangled byte was trailing
+            // whitespace trimmed away; the parse must then still match a
+            // strict prefix encoding.
+            prop_assert_eq!(io::to_graph6(&parsed), mangled.trim_end());
+        }
     }
 }
 

@@ -1,0 +1,116 @@
+//! `ftr-served` — the routing query daemon.
+//!
+//! ```text
+//! ftr-served [--graph SPEC | --snapshot FILE] [--routing kernel|circular]
+//!            [--addr HOST:PORT] [--workers N] [--batch-us N]
+//!            [--write-snapshot FILE]
+//!
+//! Graph specs: petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C
+//! ```
+//!
+//! With `--write-snapshot` the daemon builds the routing, writes the
+//! snapshot file and exits — the file can then be served (or shipped)
+//! with `--snapshot`.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ftr_core::{CircularRouting, KernelRouting, Routing};
+use ftr_graph::Graph;
+use ftr_serve::spec::parse_graph_spec;
+use ftr_serve::{RoutingSnapshot, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ftr-served: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut graph_spec = String::from("harary:5,24");
+    let mut snapshot_file: Option<String> = None;
+    let mut routing_kind = String::from("kernel");
+    let mut addr: SocketAddr = "127.0.0.1:7077".parse().expect("valid default");
+    let mut config = ServerConfig::default();
+    let mut write_snapshot: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--graph" => graph_spec = value("--graph")?,
+            "--snapshot" => snapshot_file = Some(value("--snapshot")?),
+            "--routing" => routing_kind = value("--routing")?,
+            "--addr" => {
+                addr = value("--addr")?
+                    .parse()
+                    .map_err(|e| format!("--addr: {e}"))?
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--batch-us" => {
+                let us: u64 = value("--batch-us")?
+                    .parse()
+                    .map_err(|e| format!("--batch-us: {e}"))?;
+                config.batch_window = Duration::from_micros(us);
+            }
+            "--write-snapshot" => write_snapshot = Some(value("--write-snapshot")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ftr-served [--graph SPEC | --snapshot FILE] \
+                     [--routing kernel|circular] [--addr HOST:PORT] [--workers N] \
+                     [--batch-us N] [--write-snapshot FILE]\n\
+                     graph specs: petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+
+    let snapshot = match snapshot_file {
+        Some(path) => RoutingSnapshot::load(&path).map_err(|e| e.to_string())?,
+        None => {
+            let (graph, _) = parse_graph_spec(&graph_spec)?;
+            let routing = build_routing(&graph, &routing_kind)?;
+            RoutingSnapshot::new(graph, routing).map_err(|e| e.to_string())?
+        }
+    };
+
+    if let Some(path) = write_snapshot {
+        snapshot.save(&path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote snapshot ({} nodes, {} routes) to {path}",
+            snapshot.node_count(),
+            snapshot.routing().route_count()
+        );
+        return Ok(());
+    }
+
+    config.addr = addr;
+    let server = Server::bind(snapshot.into_shared(), config).map_err(|e| format!("bind: {e}"))?;
+    println!("ftr-served listening on {}", server.local_addr());
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn build_routing(graph: &Graph, kind: &str) -> Result<Routing, String> {
+    match kind {
+        "kernel" => Ok(KernelRouting::build(graph)
+            .map_err(|e| e.to_string())?
+            .routing()
+            .clone()),
+        "circular" => Ok(CircularRouting::build(graph)
+            .map_err(|e| e.to_string())?
+            .routing()
+            .clone()),
+        other => Err(format!("unknown routing {other:?} (kernel|circular)")),
+    }
+}

@@ -1,0 +1,186 @@
+//! A small blocking client for the wire protocol, used by the load
+//! generator, the CI smoke test and anyone scripting the daemon.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ftr_graph::Node;
+
+/// One connection to a routing daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`) to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads one reply line (trailing newline
+    /// stripped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; an empty read (server gone) is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    /// Sends every request line in one write, then reads one reply per
+    /// request — the pipelined fast path the load generator uses.
+    /// Replies are appended to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn pipeline(&mut self, lines: &[String], out: &mut Vec<String>) -> io::Result<()> {
+        for line in lines {
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        for _ in lines {
+            let reply = self.read_reply()?;
+            out.push(reply);
+        }
+        Ok(())
+    }
+
+    fn read_reply(&mut self) -> io::Result<String> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
+    /// `PING`; returns `true` on `OK PONG`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(self.request("PING")? == "OK PONG")
+    }
+
+    /// `EPOCH`; returns `(epoch id, fault count)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an unparseable
+    /// reply.
+    pub fn epoch(&mut self) -> io::Result<(u64, usize)> {
+        let reply = self.request("EPOCH")?;
+        let parsed = (|| {
+            let rest = reply.strip_prefix("OK EPOCH id=")?;
+            let (id, faults) = rest.split_once(" faults=")?;
+            let count = if faults == "-" {
+                0
+            } else {
+                faults.split(',').count()
+            };
+            Some((id.parse().ok()?, count))
+        })();
+        parsed.ok_or_else(|| bad_reply("EPOCH", &reply))
+    }
+
+    /// `DIAM`; `None` means the surviving graph is disconnected.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an unparseable
+    /// reply.
+    pub fn diam(&mut self) -> io::Result<Option<u32>> {
+        let reply = self.request("DIAM")?;
+        match reply.strip_prefix("OK DIAM ") {
+            Some("disconnected") => Ok(None),
+            Some(d) => d.parse().map(Some).map_err(|_| bad_reply("DIAM", &reply)),
+            None => Err(bad_reply("DIAM", &reply)),
+        }
+    }
+
+    /// `ROUTE x y`; returns the reply line verbatim (`OK DIRECT …`,
+    /// `OK DETOUR …`, `OK UNREACHABLE` or `ERR …`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn route(&mut self, x: Node, y: Node) -> io::Result<String> {
+        self.request(&format!("ROUTE {x} {y}"))
+    }
+
+    /// `FAIL v`; returns `true` if the event was queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn fail(&mut self, v: Node) -> io::Result<bool> {
+        Ok(self.request(&format!("FAIL {v}"))? == "OK QUEUED")
+    }
+
+    /// `REPAIR v`; returns `true` if the event was queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn repair(&mut self, v: Node) -> io::Result<bool> {
+        Ok(self.request(&format!("REPAIR {v}"))? == "OK QUEUED")
+    }
+
+    /// `TOLERATE d f`; returns `true` if the daemon answered `yes`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an `ERR` or
+    /// unparseable reply.
+    pub fn tolerate(&mut self, d: u32, f: usize) -> io::Result<bool> {
+        let reply = self.request(&format!("TOLERATE {d} {f}"))?;
+        match reply.strip_prefix("OK TOLERATE ") {
+            Some(rest) if rest.starts_with("yes") => Ok(true),
+            Some(rest) if rest.starts_with("no") => Ok(false),
+            _ => Err(bad_reply("TOLERATE", &reply)),
+        }
+    }
+
+    /// `QUIT`, consuming the client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn quit(mut self) -> io::Result<()> {
+        let reply = self.request("QUIT")?;
+        if reply == "OK BYE" {
+            Ok(())
+        } else {
+            Err(bad_reply("QUIT", &reply))
+        }
+    }
+}
+
+fn bad_reply(what: &str, reply: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected {what} reply {reply:?}"),
+    )
+}

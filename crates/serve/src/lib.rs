@@ -1,0 +1,68 @@
+//! # ftr-serve — the online fault-tolerant routing query service
+//!
+//! The constructions and verifier in `ftr-core` answer *offline*
+//! questions: is this routing `(d, f)`-tolerant? This crate is the
+//! *online* counterpart the paper's model implies — a fixed routing
+//! artifact consulted at query time while faults arrive around it:
+//!
+//! * [`RoutingSnapshot`] — the immutable serving artifact: network,
+//!   route table and compiled engine, loadable from a text format
+//!   (graph6 topology + route lines);
+//! * [`EpochStore`] / [`Epoch`] — epoch-versioned snapshots of the
+//!   surviving route graph, published by one writer with an atomic
+//!   swap and read lock-free in the steady state; each epoch carries
+//!   its own query cache, so invalidation is structural;
+//! * [`EventQueue`] / [`Ingestor`] — batched `FAIL`/`REPAIR` ingestion
+//!   applied incrementally through [`ftr_core::EpochState`] (cost
+//!   proportional to the routes through the toggled nodes — never a
+//!   recompile) with one epoch advance per effective batch;
+//! * [`query`] — `ROUTE` (surviving route or shortest detour over
+//!   surviving routes), `DIAM`, and `TOLERATE` (exhaustive what-if on
+//!   top of the current faults) as pure functions of one epoch;
+//! * [`Server`] / [`Client`] — a line-delimited TCP protocol served by
+//!   a scoped worker pool, plus the blocking client the `loadgen`
+//!   bench binary drives it with.
+//!
+//! # Example
+//!
+//! Serve the kernel routing of the Petersen graph and query it:
+//!
+//! ```
+//! use ftr_core::KernelRouting;
+//! use ftr_graph::gen;
+//! use ftr_serve::{Client, RoutingSnapshot, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = gen::petersen();
+//! let kernel = KernelRouting::build(&g)?;
+//! let snapshot = RoutingSnapshot::new(g, kernel.routing().clone())?.into_shared();
+//! let server = Server::bind(snapshot, ServerConfig::default())?.spawn();
+//!
+//! let mut client = Client::connect(server.addr())?;
+//! assert!(client.ping()?);
+//! assert!(client.route(0, 5)?.starts_with("OK "));
+//! client.fail(3)?;                       // enqueue churn
+//! client.quit()?;
+//! server.shutdown_and_join()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod epoch;
+pub mod ingest;
+pub mod proto;
+pub mod query;
+mod server;
+mod snapshot;
+pub mod spec;
+
+pub use client::Client;
+pub use epoch::{Epoch, EpochReader, EpochStore, QueryCache, QueryKey};
+pub use ingest::{EventQueue, FaultEvent, IngestReport, Ingestor};
+pub use query::{QueryError, RouteReply, ToleranceAnswer};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats, SpawnedServer};
+pub use snapshot::{RoutingSnapshot, SnapshotError};

@@ -1,0 +1,186 @@
+//! The line-delimited wire protocol.
+//!
+//! One request per line, one reply line per request, UTF-8, tokens
+//! separated by spaces. Replies start with `OK` or `ERR`. Verbs are
+//! case-insensitive; node ids are decimal.
+//!
+//! | Request | Reply |
+//! |---|---|
+//! | `PING` | `OK PONG` |
+//! | `EPOCH` | `OK EPOCH id=<e> faults=<v,…|->` |
+//! | `DIAM` | `OK DIAM <d>` or `OK DIAM disconnected` |
+//! | `ROUTE x y` | `OK DIRECT <v …>` / `OK DETOUR <v …>` / `OK UNREACHABLE` |
+//! | `TOLERATE d f` | `OK TOLERATE yes|no worst=<w|disconnect> sets=<k>` |
+//! | `FAIL v` | `OK QUEUED` |
+//! | `REPAIR v` | `OK QUEUED` |
+//! | `STATS` | `OK STATS epoch=… queries=… cache_hits=… …` |
+//! | `QUIT` | `OK BYE` (connection closes) |
+//!
+//! Anything else gets `ERR <reason>` and the connection stays open.
+
+use ftr_graph::Node;
+
+use crate::query::RouteReply;
+
+/// A parsed request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Current epoch id and fault set.
+    Epoch,
+    /// Surviving diameter at the current epoch.
+    Diam,
+    /// Surviving route (or detour) for an ordered pair.
+    Route {
+        /// Source node.
+        x: Node,
+        /// Destination node.
+        y: Node,
+    },
+    /// Does the current epoch tolerate `faults` more failures within
+    /// diameter `diameter`?
+    Tolerate {
+        /// Claimed diameter bound.
+        diameter: u32,
+        /// Extra fault budget.
+        faults: usize,
+    },
+    /// Enqueue a node failure.
+    Fail(Node),
+    /// Enqueue a node repair.
+    Repair(Node),
+    /// Server counters.
+    Stats,
+    /// Close this connection.
+    Quit,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable reason, rendered by the server as
+/// `ERR <reason>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or("empty request")?.to_ascii_uppercase();
+    let mut arg = |name: &str| -> Result<&str, String> {
+        tokens.next().ok_or(format!("{verb} needs <{name}>"))
+    };
+    let parsed = match verb.as_str() {
+        "PING" => Request::Ping,
+        "EPOCH" => Request::Epoch,
+        "DIAM" => Request::Diam,
+        "STATS" => Request::Stats,
+        "QUIT" => Request::Quit,
+        "ROUTE" => Request::Route {
+            x: parse_node(arg("x")?)?,
+            y: parse_node(arg("y")?)?,
+        },
+        "TOLERATE" => Request::Tolerate {
+            diameter: parse_num(arg("d")?, "diameter")?,
+            faults: parse_num(arg("f")?, "fault count")?,
+        },
+        "FAIL" => Request::Fail(parse_node(arg("v")?)?),
+        "REPAIR" => Request::Repair(parse_node(arg("v")?)?),
+        other => return Err(format!("unknown request {other:?}")),
+    };
+    match tokens.next() {
+        Some(extra) => Err(format!("{verb}: unexpected trailing token {extra:?}")),
+        None => Ok(parsed),
+    }
+}
+
+fn parse_node(token: &str) -> Result<Node, String> {
+    token.parse().map_err(|_| format!("bad node id {token:?}"))
+}
+
+fn parse_num<T: std::str::FromStr>(token: &str, what: &str) -> Result<T, String> {
+    token.parse().map_err(|_| format!("bad {what} {token:?}"))
+}
+
+/// Renders a [`RouteReply`] as its `OK …` line (without newline).
+pub fn render_route(reply: &RouteReply) -> String {
+    match reply {
+        RouteReply::Direct(nodes) => format!("OK DIRECT {}", join(nodes)),
+        RouteReply::Detour(nodes) => format!("OK DETOUR {}", join(nodes)),
+        RouteReply::Unreachable => "OK UNREACHABLE".to_string(),
+    }
+}
+
+/// Renders a diameter measurement (`None` = disconnected).
+pub fn render_diameter(d: Option<u32>) -> String {
+    match d {
+        Some(d) => format!("OK DIAM {d}"),
+        None => "OK DIAM disconnected".to_string(),
+    }
+}
+
+fn join(nodes: &[Node]) -> String {
+    let rendered: Vec<String> = nodes.iter().map(|v| v.to_string()).collect();
+    rendered.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("  epoch "), Ok(Request::Epoch));
+        assert_eq!(parse_request("Diam"), Ok(Request::Diam));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("quit"), Ok(Request::Quit));
+        assert_eq!(
+            parse_request("ROUTE 3 17"),
+            Ok(Request::Route { x: 3, y: 17 })
+        );
+        assert_eq!(
+            parse_request("tolerate 6 2"),
+            Ok(Request::Tolerate {
+                diameter: 6,
+                faults: 2
+            })
+        );
+        assert_eq!(parse_request("FAIL 9"), Ok(Request::Fail(9)));
+        assert_eq!(parse_request("repair 0"), Ok(Request::Repair(0)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "   ",
+            "FROB",
+            "ROUTE",
+            "ROUTE 1",
+            "ROUTE 1 2 3",
+            "ROUTE one two",
+            "ROUTE -1 2",
+            "TOLERATE 6",
+            "TOLERATE x 2",
+            "FAIL",
+            "FAIL 1 2",
+            "PING PONG",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn renders_replies() {
+        assert_eq!(
+            render_route(&RouteReply::Direct(vec![0, 4, 7])),
+            "OK DIRECT 0 4 7"
+        );
+        assert_eq!(
+            render_route(&RouteReply::Detour(vec![1, 2])),
+            "OK DETOUR 1 2"
+        );
+        assert_eq!(render_route(&RouteReply::Unreachable), "OK UNREACHABLE");
+        assert_eq!(render_diameter(Some(3)), "OK DIAM 3");
+        assert_eq!(render_diameter(None), "OK DIAM disconnected");
+    }
+}

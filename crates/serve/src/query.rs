@@ -1,0 +1,457 @@
+//! Query evaluation against one epoch.
+//!
+//! Everything here is a pure function of `(snapshot, epoch, request)`,
+//! which is what makes the per-epoch cache sound: the same inputs always
+//! produce the same reply, so a memoized answer is exactly as good as a
+//! recomputed one for the epoch it was computed under.
+
+use std::collections::VecDeque;
+
+use ftr_core::{CompiledRoutes, EpochState};
+use ftr_graph::{Node, NodeSet};
+
+use crate::epoch::Epoch;
+use crate::snapshot::RoutingSnapshot;
+
+/// Reply to a `ROUTE x y` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteReply {
+    /// The pair's own route survives; the full node path is attached.
+    Direct(Vec<Node>),
+    /// The primary route is dead but a chain of surviving routes
+    /// connects the pair; the concatenated node path (through each relay
+    /// endpoint) is attached.
+    Detour(Vec<Node>),
+    /// No chain of surviving routes connects the pair at this epoch.
+    Unreachable,
+}
+
+/// A malformed or over-budget query (rendered as an `ERR` line; never
+/// cached).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A node id at or beyond the network size.
+    NodeOutOfRange(Node),
+    /// `ROUTE x x` is not a route.
+    EqualEndpoints,
+    /// A `TOLERATE` enumeration would exceed the configured budget.
+    TolerateBudget {
+        /// Fault sets the enumeration would have to visit.
+        needed: u64,
+        /// The configured cap.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
+            QueryError::EqualEndpoints => write!(f, "route endpoints must differ"),
+            QueryError::TolerateBudget { needed, budget } => {
+                write!(f, "tolerate needs {needed} fault sets, budget is {budget}")
+            }
+        }
+    }
+}
+
+fn check_node(snapshot: &RoutingSnapshot, v: Node) -> Result<(), QueryError> {
+    if (v as usize) < snapshot.node_count() {
+        Ok(())
+    } else {
+        Err(QueryError::NodeOutOfRange(v))
+    }
+}
+
+/// Validates the endpoints of a `ROUTE x y` query without evaluating
+/// it. The server rejects invalid queries *before* touching the
+/// per-epoch cache, so error replies are never cached and the cache key
+/// space stays bounded by the valid pairs.
+///
+/// # Errors
+///
+/// Returns [`QueryError`] for out-of-range or equal endpoints.
+pub fn validate_route_query(
+    snapshot: &RoutingSnapshot,
+    x: Node,
+    y: Node,
+) -> Result<(), QueryError> {
+    check_node(snapshot, x)?;
+    check_node(snapshot, y)?;
+    if x == y {
+        return Err(QueryError::EqualEndpoints);
+    }
+    Ok(())
+}
+
+/// Answers `ROUTE x y` at `epoch`: the surviving primary route, a
+/// shortest detour over surviving routes, or unreachability.
+///
+/// # Errors
+///
+/// Returns [`QueryError`] for out-of-range or equal endpoints.
+pub fn route(
+    snapshot: &RoutingSnapshot,
+    epoch: &Epoch,
+    x: Node,
+    y: Node,
+) -> Result<RouteReply, QueryError> {
+    validate_route_query(snapshot, x, y)?;
+    if epoch.faults().contains(x) || epoch.faults().contains(y) {
+        return Ok(RouteReply::Unreachable);
+    }
+    if epoch.arc_survives(x, y) {
+        let view = snapshot
+            .routing()
+            .route(x, y)
+            .expect("live arcs exist only for routed pairs");
+        return Ok(RouteReply::Direct(view.nodes()));
+    }
+    match relay_chain(epoch, x, y) {
+        Some(relays) => {
+            // Expand each surviving hop into its stored node path,
+            // dropping the duplicated joint between consecutive hops.
+            let mut nodes: Vec<Node> = Vec::new();
+            for hop in relays.windows(2) {
+                let view = snapshot
+                    .routing()
+                    .route(hop[0], hop[1])
+                    .expect("live arcs exist only for routed pairs");
+                let path = view.nodes();
+                let skip = usize::from(!nodes.is_empty());
+                nodes.extend(path.into_iter().skip(skip));
+            }
+            Ok(RouteReply::Detour(nodes))
+        }
+        None => Ok(RouteReply::Unreachable),
+    }
+}
+
+/// BFS over the epoch's surviving route graph (faulty nodes masked out)
+/// from `x` to `y`, returning the relay endpoints `x, r1, …, y` of a
+/// shortest chain of surviving routes.
+fn relay_chain(epoch: &Epoch, x: Node, y: Node) -> Option<Vec<Node>> {
+    let n = epoch.live().node_count();
+    let mut pred: Vec<Node> = vec![Node::MAX; n];
+    let mut queue = VecDeque::new();
+    pred[x as usize] = x;
+    queue.push_back(x);
+    'search: while let Some(u) = queue.pop_front() {
+        for (wi, &word) in epoch.live().row(u).iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let v = (wi * 64) as Node + bits.trailing_zeros();
+                bits &= bits - 1;
+                if pred[v as usize] != Node::MAX || epoch.faults().contains(v) {
+                    continue;
+                }
+                pred[v as usize] = u;
+                if v == y {
+                    break 'search;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if pred[y as usize] == Node::MAX {
+        return None;
+    }
+    let mut relays = vec![y];
+    let mut at = y;
+    while at != x {
+        at = pred[at as usize];
+        relays.push(at);
+    }
+    relays.reverse();
+    Some(relays)
+}
+
+/// Outcome of a `TOLERATE` measurement at one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToleranceAnswer {
+    /// Worst surviving diameter over every fault set reachable by
+    /// adding at most `extra` healthy-node failures to the epoch's
+    /// faults; `None` if any such set disconnects the survivors.
+    pub worst: Option<u32>,
+    /// Fault sets evaluated (including the epoch's own).
+    pub sets: u64,
+}
+
+impl ToleranceAnswer {
+    /// Does the epoch tolerate `extra` more faults within diameter `d`?
+    pub fn within(&self, d: u32) -> bool {
+        self.worst.is_some_and(|w| w <= d)
+    }
+}
+
+/// Measures `TOLERATE` at `epoch`: exhaustively enumerates every way to
+/// add up to `extra` faults on currently-healthy nodes (depth-first,
+/// incremental toggles on a scratch [`EpochState`] — the same cursor
+/// discipline as the offline verifier) and records the worst surviving
+/// diameter.
+///
+/// # Errors
+///
+/// Returns [`QueryError::TolerateBudget`] without doing any work if the
+/// enumeration would exceed `budget` fault sets.
+pub fn tolerate(
+    snapshot: &RoutingSnapshot,
+    epoch: &Epoch,
+    extra: usize,
+    budget: u64,
+) -> Result<ToleranceAnswer, QueryError> {
+    let engine = snapshot.engine();
+    let healthy: Vec<Node> = (0..snapshot.node_count() as Node)
+        .filter(|&v| !epoch.faults().contains(v))
+        .collect();
+    let needed = sets_to_visit(healthy.len() as u64, extra as u64);
+    if needed > budget {
+        return Err(QueryError::TolerateBudget { needed, budget });
+    }
+    debug_assert_eq!(needed, tolerate_cost(snapshot, epoch, extra));
+    let mut state = engine.epoch_state();
+    for v in epoch.faults().iter() {
+        state.insert(engine, v);
+    }
+    let mut answer = ToleranceAnswer {
+        worst: state.diameter(),
+        sets: 1,
+    };
+    if answer.worst.is_some() && extra > 0 {
+        descend(engine, &mut state, &healthy, 0, extra, &mut answer);
+    }
+    Ok(answer)
+}
+
+/// Depth-first enumeration with early exit on the first disconnection
+/// (nothing can be worse).
+fn descend(
+    engine: &CompiledRoutes,
+    state: &mut EpochState,
+    healthy: &[Node],
+    from: usize,
+    depth_left: usize,
+    answer: &mut ToleranceAnswer,
+) {
+    for (i, &v) in healthy.iter().enumerate().skip(from) {
+        state.insert(engine, v);
+        answer.sets += 1;
+        match state.diameter() {
+            Some(d) => {
+                answer.worst = answer.worst.map(|w| w.max(d));
+                if depth_left > 1 {
+                    descend(engine, state, healthy, i + 1, depth_left - 1, answer);
+                }
+            }
+            None => answer.worst = None,
+        }
+        state.remove(engine, v);
+        if answer.worst.is_none() {
+            return;
+        }
+    }
+}
+
+/// The number of fault sets a [`tolerate`] evaluation with `extra`
+/// additional faults would visit at `epoch` — the server compares this
+/// against its budget *before* consulting the per-epoch cache, so
+/// over-budget requests are rejected without caching anything.
+pub fn tolerate_cost(snapshot: &RoutingSnapshot, epoch: &Epoch, extra: usize) -> u64 {
+    let healthy = (snapshot.node_count() - epoch.faults().len()) as u64;
+    sets_to_visit(healthy, extra as u64)
+}
+
+/// `1 + C(n, 1) + … + C(n, k)` with saturation: the number of diameter
+/// evaluations a `TOLERATE` with `k` extra faults costs.
+fn sets_to_visit(n: u64, k: u64) -> u64 {
+    let mut total: u64 = 1;
+    let mut level: u64 = 1;
+    for i in 0..k.min(n) {
+        level = match level.checked_mul(n - i) {
+            Some(x) => x / (i + 1),
+            None => return u64::MAX,
+        };
+        total = total.saturating_add(level);
+    }
+    total
+}
+
+/// The current fault set rendered for diagnostics (`-` when empty).
+pub fn render_faults(faults: &NodeSet) -> String {
+    if faults.is_empty() {
+        return "-".to_string();
+    }
+    let ids: Vec<String> = faults.iter().map(|v| v.to_string()).collect();
+    ids.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochStore;
+    use ftr_core::{verify_tolerance, FaultStrategy, KernelRouting, RouteTable};
+    use ftr_graph::gen;
+
+    fn fixture() -> (RoutingSnapshot, EpochStore) {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let snapshot = RoutingSnapshot::new(g, kernel.routing().clone()).unwrap();
+        let store = EpochStore::new(&snapshot.engine().epoch_state());
+        (snapshot, store)
+    }
+
+    fn epoch_with_faults(snapshot: &RoutingSnapshot, store: &EpochStore, faults: &[Node]) {
+        let mut state = snapshot.engine().epoch_state();
+        for &v in faults {
+            state.insert(snapshot.engine(), v);
+        }
+        store.publish(&state);
+    }
+
+    #[test]
+    fn direct_route_returns_stored_path() {
+        let (snapshot, store) = fixture();
+        let epoch = store.load();
+        for (s, d, view) in snapshot.routing().routes() {
+            match route(&snapshot, &epoch, s, d).unwrap() {
+                RouteReply::Direct(nodes) => assert_eq!(nodes, view.nodes()),
+                other => panic!("fault-free ({s}, {d}) must be direct, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detour_chains_surviving_routes() {
+        let (snapshot, store) = fixture();
+        // Fail nodes until some pair loses its direct route.
+        epoch_with_faults(&snapshot, &store, &[0]);
+        let epoch = store.load();
+        let mut detours = 0;
+        for x in 0..10u32 {
+            for y in 0..10u32 {
+                if x == y || epoch.faults().contains(x) || epoch.faults().contains(y) {
+                    continue;
+                }
+                match route(&snapshot, &epoch, x, y).unwrap() {
+                    RouteReply::Direct(nodes) => {
+                        assert_eq!(nodes.first(), Some(&x));
+                        assert_eq!(nodes.last(), Some(&y));
+                    }
+                    RouteReply::Detour(nodes) => {
+                        detours += 1;
+                        assert_eq!(nodes.first(), Some(&x));
+                        assert_eq!(nodes.last(), Some(&y));
+                        // Surviving routes avoid every fault by
+                        // construction, so the whole expanded path must.
+                        assert!(nodes.iter().all(|&v| !epoch.faults().contains(v)));
+                    }
+                    RouteReply::Unreachable => {
+                        panic!("kernel routing on petersen survives one fault ({x}, {y})")
+                    }
+                }
+            }
+        }
+        assert!(detours > 0, "failing node 0 must force some detours");
+    }
+
+    #[test]
+    fn faulty_endpoint_is_unreachable() {
+        let (snapshot, store) = fixture();
+        epoch_with_faults(&snapshot, &store, &[3]);
+        let epoch = store.load();
+        assert_eq!(
+            route(&snapshot, &epoch, 3, 5).unwrap(),
+            RouteReply::Unreachable
+        );
+        assert_eq!(
+            route(&snapshot, &epoch, 5, 3).unwrap(),
+            RouteReply::Unreachable
+        );
+    }
+
+    #[test]
+    fn malformed_routes_error() {
+        let (snapshot, store) = fixture();
+        let epoch = store.load();
+        assert_eq!(
+            route(&snapshot, &epoch, 4, 4),
+            Err(QueryError::EqualEndpoints)
+        );
+        assert_eq!(
+            route(&snapshot, &epoch, 0, 99),
+            Err(QueryError::NodeOutOfRange(99))
+        );
+    }
+
+    #[test]
+    fn tolerate_matches_offline_verifier_at_genesis() {
+        let (snapshot, store) = fixture();
+        let epoch = store.load();
+        let answer = tolerate(&snapshot, &epoch, 2, 1_000_000).unwrap();
+        let report = verify_tolerance(snapshot.engine(), 2, FaultStrategy::Exhaustive, 1);
+        assert_eq!(answer.worst, report.worst_diameter);
+        // Same enumeration, plus the f=0 and f=1 prefixes.
+        assert!(answer.sets >= report.sets_checked as u64);
+        assert!(answer.within(report.worst_diameter.unwrap()));
+        assert!(!answer.within(report.worst_diameter.unwrap() - 1));
+    }
+
+    #[test]
+    fn tolerate_accounts_for_current_faults() {
+        let (snapshot, store) = fixture();
+        epoch_with_faults(&snapshot, &store, &[1, 6]);
+        let epoch = store.load();
+        let zero_extra = tolerate(&snapshot, &epoch, 0, 100).unwrap();
+        assert_eq!(zero_extra.sets, 1);
+        assert_eq!(
+            zero_extra.worst,
+            snapshot
+                .engine()
+                .surviving_diameter(&NodeSet::from_nodes(10, [1, 6]))
+        );
+        // One more fault on top of two is three total: beyond the kernel
+        // claim's budget of t = 2, so disconnection may appear — but the
+        // measurement must agree with brute force.
+        let one_extra = tolerate(&snapshot, &epoch, 1, 1_000).unwrap();
+        let mut brute_worst = zero_extra.worst;
+        for v in 0..10u32 {
+            if epoch.faults().contains(v) {
+                continue;
+            }
+            let mut faults = NodeSet::from_nodes(10, [1, 6]);
+            faults.insert(v);
+            match (
+                snapshot.engine().surviving_diameter(&faults),
+                &mut brute_worst,
+            ) {
+                (Some(d), Some(w)) => *w = (*w).max(d),
+                (None, w) => *w = None,
+                (Some(_), None) => {}
+            }
+        }
+        assert_eq!(one_extra.worst, brute_worst);
+    }
+
+    #[test]
+    fn tolerate_budget_is_enforced() {
+        let (snapshot, store) = fixture();
+        let epoch = store.load();
+        let err = tolerate(&snapshot, &epoch, 3, 10).unwrap_err();
+        assert!(matches!(err, QueryError::TolerateBudget { budget: 10, .. }));
+    }
+
+    #[test]
+    fn sets_to_visit_counts_binomials() {
+        assert_eq!(sets_to_visit(10, 0), 1);
+        assert_eq!(sets_to_visit(10, 1), 11);
+        assert_eq!(sets_to_visit(10, 2), 56); // 1 + 10 + 45
+        assert_eq!(sets_to_visit(3, 5), 8); // whole powerset
+        assert_eq!(sets_to_visit(u64::MAX / 2, 3), u64::MAX);
+    }
+
+    #[test]
+    fn faults_render_compactly() {
+        assert_eq!(render_faults(&NodeSet::new(5)), "-");
+        assert_eq!(render_faults(&NodeSet::from_nodes(9, [7, 2])), "2,7");
+    }
+}

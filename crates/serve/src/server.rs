@@ -1,0 +1,516 @@
+//! The TCP daemon: accept loop, worker pool, and the glue between the
+//! protocol, the epoch store and the ingest queue.
+//!
+//! Threading follows the `ftr_core::par` shape — a `std::thread::scope`
+//! whose workers own their state outright (an [`EpochReader`], a scratch
+//! line buffer) and share only a connection queue and atomic counters,
+//! no locks on the query path. One extra scoped thread runs the
+//! [`Ingestor`]; the accept loop runs on the caller's thread.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::epoch::{EpochReader, EpochStore, QueryKey};
+use crate::ingest::{EventQueue, FaultEvent, Ingestor};
+use crate::proto::{parse_request, render_diameter, render_route, Request};
+use crate::query::{self, QueryError};
+use crate::snapshot::RoutingSnapshot;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 to let the OS pick (see
+    /// [`Server::local_addr`]).
+    pub addr: SocketAddr,
+    /// Connection-handling worker threads. Each held-open client
+    /// connection occupies one worker, so size this at least as large
+    /// as the expected concurrent client count.
+    pub workers: usize,
+    /// How long the ingest thread holds a batch open after the first
+    /// event, so bursts coalesce into one epoch advance.
+    pub batch_window: Duration,
+    /// Maximum events per batch.
+    pub max_batch: usize,
+    /// Fault-set budget for one `TOLERATE` evaluation.
+    pub tolerate_budget: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 8,
+            batch_window: Duration::from_micros(200),
+            max_batch: 1024,
+            tolerate_budget: 250_000,
+        }
+    }
+}
+
+/// Monotonic counters shared by the workers, readable over `STATS` and
+/// through [`ServerHandle::stats`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests answered (including `ERR` replies).
+    pub queries: AtomicU64,
+    /// `ROUTE`/`TOLERATE` answers served from the epoch cache.
+    pub cache_hits: AtomicU64,
+    /// Malformed requests and query errors.
+    pub protocol_errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Fault events enqueued.
+    pub events_enqueued: AtomicU64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.queries.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.protocol_errors.load(Ordering::Relaxed),
+            self.connections.load(Ordering::Relaxed),
+            self.events_enqueued.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A blocking queue of accepted connections feeding the worker pool.
+struct ConnQueue {
+    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    signal: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            signal: Condvar::new(),
+        }
+    }
+
+    fn push(&self, conn: TcpStream) {
+        let mut inner = self.inner.lock().expect("conn queue poisoned");
+        inner.0.push_back(conn);
+        drop(inner);
+        self.signal.notify_one();
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("conn queue poisoned").1 = true;
+        self.signal.notify_all();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(conn) = inner.0.pop_front() {
+                return Some(conn);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self.signal.wait(inner).expect("conn queue poisoned");
+        }
+    }
+}
+
+/// Control handle for a bound (possibly running) server: address,
+/// stats, live epoch access and shutdown.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    store: EpochStore,
+    queue: Arc<EventQueue>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The epoch store (read-side, e.g. for tests and diagnostics).
+    pub fn store(&self) -> &EpochStore {
+        &self.store
+    }
+
+    /// Requests shutdown: closes the ingest queue, flags the loops and
+    /// pokes the accept loop awake. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound server, ready to run.
+pub struct Server {
+    snapshot: Arc<RoutingSnapshot>,
+    config: ServerConfig,
+    listener: TcpListener,
+    handle: ServerHandle,
+}
+
+impl Server {
+    /// Binds the listener and builds the epoch store (genesis epoch =
+    /// fault-free snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(snapshot: Arc<RoutingSnapshot>, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let store = EpochStore::new(&snapshot.engine().epoch_state());
+        let handle = ServerHandle {
+            addr,
+            stats: Arc::new(ServerStats::default()),
+            store,
+            queue: Arc::new(EventQueue::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        };
+        Ok(Server {
+            snapshot,
+            config,
+            listener,
+            handle,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.handle.addr
+    }
+
+    /// A control handle (clone freely).
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Runs the server on the calling thread until
+    /// [`ServerHandle::shutdown`]; workers and the ingest thread live in
+    /// a `std::thread::scope` inside this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures other than shutdown-induced ones.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            snapshot,
+            config,
+            listener,
+            handle,
+        } = self;
+        let conns = ConnQueue::new();
+        std::thread::scope(|scope| {
+            let ingestor = Ingestor::new(snapshot.engine(), handle.store.clone());
+            let queue = Arc::clone(&handle.queue);
+            let (window, max_batch) = (config.batch_window, config.max_batch);
+            scope.spawn(move || ingestor.run(&queue, window, max_batch));
+            for _ in 0..config.workers.max(1) {
+                let worker = Worker {
+                    snapshot: &snapshot,
+                    config: &config,
+                    stats: &handle.stats,
+                    queue: &handle.queue,
+                    reader: handle.store.reader(),
+                    shutdown: &handle.shutdown,
+                };
+                let conns = &conns;
+                scope.spawn(move || {
+                    let mut worker = worker;
+                    while let Some(conn) = conns.pop() {
+                        worker.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let _ = worker.serve_connection(conn);
+                    }
+                });
+            }
+            // Accept loop on this thread.
+            loop {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        if handle.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        conns.push(conn);
+                    }
+                    Err(e) => {
+                        if handle.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient accept errors (e.g. EMFILE, aborted
+                        // handshakes) should not kill the daemon.
+                        std::thread::sleep(Duration::from_millis(1));
+                        let _ = e;
+                    }
+                }
+            }
+            conns.close();
+            handle.queue.close();
+            Ok(())
+        })
+    }
+
+    /// Runs the server on a background thread, returning a handle pair
+    /// for in-process use (tests, the load generator).
+    pub fn spawn(self) -> SpawnedServer {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        SpawnedServer { handle, join }
+    }
+}
+
+/// A server running on a background thread (see [`Server::spawn`]).
+pub struct SpawnedServer {
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl SpawnedServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// The control handle.
+    pub fn handle(&self) -> &ServerHandle {
+        &self.handle
+    }
+
+    /// Shuts the server down and joins its thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a listener failure from the server loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread itself panicked.
+    pub fn shutdown_and_join(self) -> std::io::Result<()> {
+        self.handle.shutdown();
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+/// Per-worker state: an epoch reader (lock-free current-epoch access)
+/// plus borrowed shared pieces.
+struct Worker<'a> {
+    snapshot: &'a RoutingSnapshot,
+    config: &'a ServerConfig,
+    stats: &'a ServerStats,
+    queue: &'a EventQueue,
+    reader: EpochReader,
+    shutdown: &'a AtomicBool,
+}
+
+impl Worker<'_> {
+    fn serve_connection(&mut self, conn: TcpStream) -> std::io::Result<()> {
+        conn.set_nodelay(true)?;
+        // A finite read timeout lets the worker notice shutdown even
+        // while a client holds the connection open silently.
+        conn.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let mut reader = BufReader::new(conn.try_clone()?);
+        let mut writer = BufWriter::new(conn);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            // Assemble one full line, tolerating read timeouts (which
+            // may leave partial data appended to `line`).
+            let eof = loop {
+                match reader.read_line(&mut line) {
+                    Ok(0) => break true,
+                    Ok(_) if line.ends_with('\n') => break false,
+                    Ok(_) => break true, // EOF mid-line: serve what we got
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            return Ok(());
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            if line.trim().is_empty() {
+                if eof {
+                    return Ok(());
+                }
+                continue;
+            }
+            self.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let (reply, quit) = self.dispatch(line.trim());
+            writer.write_all(reply.as_bytes())?;
+            writer.write_all(b"\n")?;
+            // Flush only when no further *complete* pipelined request is
+            // already buffered — one syscall per burst, not per request.
+            // A buffered partial line must not withhold replies: its
+            // sender may be blocked waiting on this reply before finishing
+            // the next request.
+            if quit || eof || !reader.buffer().contains(&b'\n') {
+                writer.flush()?;
+            }
+            if quit || eof {
+                return Ok(());
+            }
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> (String, bool) {
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(reason) => {
+                self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return (format!("ERR {reason}"), false);
+            }
+        };
+        let reply = match request {
+            Request::Ping => "OK PONG".to_string(),
+            Request::Quit => return ("OK BYE".to_string(), true),
+            Request::Epoch => {
+                let epoch = self.reader.current();
+                format!(
+                    "OK EPOCH id={} faults={}",
+                    epoch.id(),
+                    query::render_faults(epoch.faults())
+                )
+            }
+            Request::Diam => render_diameter(self.reader.current().diameter()),
+            // Malformed queries are rejected *before* the cache lookup,
+            // so an `ERR` reply is never cached and the cache's key
+            // space stays bounded by valid node pairs / budgets.
+            Request::Route { x, y } => {
+                if let Err(e) = query::validate_route_query(self.snapshot, x, y) {
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    format!("ERR {e}")
+                } else {
+                    let epoch = Arc::clone(self.reader.current());
+                    let (reply, hit) =
+                        epoch.cache().get_or_insert_with(QueryKey::Route(x, y), || {
+                            match query::route(self.snapshot, &epoch, x, y) {
+                                Ok(r) => render_route(&r),
+                                // Unreachable post-validation; kept so a
+                                // logic slip degrades to an ERR reply,
+                                // not a worker panic.
+                                Err(e) => format!("ERR {e}"),
+                            }
+                        });
+                    if hit {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    reply.to_string()
+                }
+            }
+            Request::Tolerate { diameter, faults } => {
+                let epoch = Arc::clone(self.reader.current());
+                let budget = self.config.tolerate_budget;
+                let needed = query::tolerate_cost(self.snapshot, &epoch, faults);
+                if needed > budget {
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    format!("ERR {}", QueryError::TolerateBudget { needed, budget })
+                } else {
+                    // The cache stores the measurement (`worst=… sets=…`
+                    // for `faults` extras); the yes/no against `diameter`
+                    // is request-specific arithmetic on top. A cached
+                    // value that does not parse back (impossible unless
+                    // the formats below drift apart) is surfaced as an
+                    // explicit ERR, never a silent wrong answer.
+                    let (measured, hit) =
+                        epoch
+                            .cache()
+                            .get_or_insert_with(QueryKey::Tolerate(faults), || {
+                                match query::tolerate(self.snapshot, &epoch, faults, budget) {
+                                    Ok(a) => match a.worst {
+                                        Some(w) => format!("worst={w} sets={}", a.sets),
+                                        None => format!("worst=disconnect sets={}", a.sets),
+                                    },
+                                    // Unreachable (the budget was checked
+                                    // with the same inputs above); parses
+                                    // back as None => ERR below.
+                                    Err(e) => format!("internal error: {e}"),
+                                }
+                            });
+                    if hit {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let verdict = measured
+                        .strip_prefix("worst=")
+                        .and_then(|rest| rest.split_once(" sets="))
+                        .and_then(|(worst, _)| match worst {
+                            "disconnect" => Some(false),
+                            w => w.parse::<u32>().ok().map(|w| w <= diameter),
+                        });
+                    match verdict {
+                        Some(yes) => {
+                            format!("OK TOLERATE {} {measured}", if yes { "yes" } else { "no" })
+                        }
+                        None => {
+                            self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            format!("ERR tolerate measurement unavailable ({measured})")
+                        }
+                    }
+                }
+            }
+            Request::Fail(v) | Request::Repair(v) => {
+                if (v as usize) >= self.snapshot.node_count() {
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    format!("ERR {}", QueryError::NodeOutOfRange(v))
+                } else {
+                    let event = match request {
+                        Request::Fail(v) => FaultEvent::Fail(v),
+                        _ => FaultEvent::Repair(v),
+                    };
+                    self.queue.push(event);
+                    self.stats.events_enqueued.fetch_add(1, Ordering::Relaxed);
+                    "OK QUEUED".to_string()
+                }
+            }
+            Request::Stats => {
+                let (queries, hits, errors, conns, events) = self.stats.snapshot();
+                let epoch = self.reader.current();
+                format!(
+                    "OK STATS epoch={} faults={} queries={queries} cache_hits={hits} \
+                     errors={errors} connections={conns} events={events}",
+                    epoch.id(),
+                    epoch.faults().len()
+                )
+            }
+        };
+        (reply, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_core::KernelRouting;
+    use ftr_graph::gen;
+
+    #[test]
+    fn bind_picks_a_port_and_shuts_down_cleanly() {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let snapshot = RoutingSnapshot::new(g, kernel.routing().clone())
+            .unwrap()
+            .into_shared();
+        let server = Server::bind(snapshot, ServerConfig::default()).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        let spawned = server.spawn();
+        spawned.shutdown_and_join().unwrap();
+    }
+}

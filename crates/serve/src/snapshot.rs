@@ -1,0 +1,294 @@
+//! The immutable routing artifact a server epoch is built over, plus its
+//! on-disk interchange format.
+//!
+//! The paper's operational model is exactly a snapshot: routes are fixed
+//! tables computed ahead of time and *consulted* — never recomputed — at
+//! query time while faults arrive around them. [`RoutingSnapshot`]
+//! bundles the three read-only pieces every query needs: the network
+//! [`Graph`], the [`Routing`] table (for rendering actual node paths),
+//! and the bitset-compiled [`CompiledRoutes`] engine (for fault math).
+//!
+//! The disk format is line-delimited text: a graph6 body for the
+//! topology (interchangeable with nauty/geng/NetworkX, parsed by
+//! [`ftr_graph::io`]) and one `route` line per stored path. A
+//! bidirectional routing writes each path once; loading re-registers
+//! both directions.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path as FsPath;
+use std::sync::Arc;
+
+use ftr_core::{Compile, CompiledRoutes, Routing, RoutingKind};
+use ftr_graph::{io as graph_io, Graph, Node, Path};
+
+/// Magic first line of a snapshot file.
+const HEADER: &str = "ftr-snapshot v1";
+
+/// The immutable serving artifact: network, route table and compiled
+/// engine. Epochs share one of these through an [`Arc`]; only the fault
+/// set changes between epochs.
+#[derive(Debug, Clone)]
+pub struct RoutingSnapshot {
+    graph: Graph,
+    routing: Routing,
+    engine: CompiledRoutes,
+}
+
+impl RoutingSnapshot {
+    /// Bundles a validated routing with its network and compiles the
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ftr_core::RoutingError`] if the routing
+    /// does not validate against `graph`.
+    pub fn new(graph: Graph, routing: Routing) -> Result<Self, ftr_core::RoutingError> {
+        routing.validate(&graph)?;
+        let engine = routing.compile();
+        Ok(RoutingSnapshot {
+            graph,
+            routing,
+            engine,
+        })
+    }
+
+    /// The network topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The fixed route table (used to render node paths in replies).
+    pub fn routing(&self) -> &Routing {
+        &self.routing
+    }
+
+    /// The compiled engine (used for all fault arithmetic).
+    pub fn engine(&self) -> &CompiledRoutes {
+        &self.engine
+    }
+
+    /// Node count of the network.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Writes the snapshot in the `ftr-snapshot v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "{HEADER}")?;
+        writeln!(w, "graph {}", graph_io::to_graph6(&self.graph))?;
+        let kind = match self.routing.kind() {
+            RoutingKind::Unidirectional => "unidirectional",
+            RoutingKind::Bidirectional => "bidirectional",
+        };
+        writeln!(w, "kind {kind}")?;
+        let mut routes: Vec<Vec<Node>> = self
+            .routing
+            .routes()
+            .filter(|(s, d, _)| self.routing.kind() == RoutingKind::Unidirectional || s < d)
+            .map(|(_, _, view)| view.nodes())
+            .collect();
+        routes.sort_unstable();
+        for nodes in routes {
+            write!(w, "route")?;
+            for v in nodes {
+                write!(w, " {v}")?;
+            }
+            writeln!(w)?;
+        }
+        writeln!(w, "end")
+    }
+
+    /// Parses a snapshot from the `ftr-snapshot v1` text format,
+    /// validating every route against the embedded graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on I/O failure or any malformed or
+    /// invalid content.
+    pub fn read_from(r: impl BufRead) -> Result<Self, SnapshotError> {
+        let mut lines = r.lines();
+        let header = lines.next().ok_or_else(|| bad("empty snapshot"))??;
+        if header.trim_end() != HEADER {
+            return Err(bad(format!("bad header {header:?}, want {HEADER:?}")));
+        }
+        let mut graph = None;
+        let mut routing: Option<Routing> = None;
+        let mut ended = false;
+        for line in lines {
+            let line = line?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match verb {
+                "graph" => {
+                    let g =
+                        graph_io::from_graph6(rest).map_err(|e| bad(format!("graph line: {e}")))?;
+                    graph = Some(g);
+                }
+                "kind" => {
+                    let kind = match rest {
+                        "unidirectional" => RoutingKind::Unidirectional,
+                        "bidirectional" => RoutingKind::Bidirectional,
+                        other => return Err(bad(format!("unknown routing kind {other:?}"))),
+                    };
+                    let g = graph.as_ref().ok_or_else(|| bad("kind before graph"))?;
+                    routing = Some(Routing::new(g.node_count(), kind));
+                }
+                "route" => {
+                    let table = routing.as_mut().ok_or_else(|| bad("route before kind"))?;
+                    let nodes: Vec<Node> = rest
+                        .split_whitespace()
+                        .map(|t| t.parse().map_err(|_| bad(format!("bad node {t:?}"))))
+                        .collect::<Result<_, _>>()?;
+                    let path = Path::new(nodes).map_err(|e| bad(format!("route line: {e}")))?;
+                    table
+                        .insert(path)
+                        .map_err(|e| bad(format!("route line: {e}")))?;
+                }
+                "end" => {
+                    ended = true;
+                    break;
+                }
+                other => return Err(bad(format!("unknown snapshot line {other:?}"))),
+            }
+        }
+        if !ended {
+            return Err(bad("snapshot truncated (no `end` line)"));
+        }
+        let graph = graph.ok_or_else(|| bad("snapshot has no graph"))?;
+        let routing = routing.ok_or_else(|| bad("snapshot has no routing"))?;
+        RoutingSnapshot::new(graph, routing).map_err(|e| bad(format!("invalid routing: {e}")))
+    }
+
+    /// Writes the snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<FsPath>) -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Loads a snapshot from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on I/O failure or malformed content.
+    pub fn load(path: impl AsRef<FsPath>) -> Result<Self, SnapshotError> {
+        let r = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(r)
+    }
+
+    /// Wraps the snapshot for sharing across server threads.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Malformed(msg.into())
+}
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The content was not a valid `ftr-snapshot v1` document.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_core::KernelRouting;
+    use ftr_graph::gen;
+
+    fn petersen_snapshot() -> RoutingSnapshot {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        RoutingSnapshot::new(g, kernel.routing().clone()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let snap = petersen_snapshot();
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let loaded = RoutingSnapshot::read_from(buf.as_slice()).unwrap();
+        assert_eq!(loaded.graph(), snap.graph());
+        assert_eq!(loaded.routing().route_count(), snap.routing().route_count());
+        for (s, d, view) in snap.routing().routes() {
+            let other = loaded.routing().route(s, d).expect("pair preserved");
+            assert_eq!(other.nodes(), view.nodes(), "route ({s}, {d})");
+        }
+        // The compiled engines agree arc-for-arc on the fault-free graph.
+        assert_eq!(loaded.engine().pair_count(), snap.engine().pair_count());
+    }
+
+    #[test]
+    fn round_trips_through_file() {
+        let snap = petersen_snapshot();
+        let path = std::env::temp_dir().join(format!("ftr-snap-test-{}.snap", std::process::id()));
+        snap.save(&path).unwrap();
+        let loaded = RoutingSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.graph(), snap.graph());
+        assert_eq!(loaded.routing().route_count(), snap.routing().route_count());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "not a snapshot",
+            "ftr-snapshot v1\nkind bidirectional\nend\n", // kind before graph
+            "ftr-snapshot v1\ngraph C~\nroute 0 1\nend\n", // route before kind
+            "ftr-snapshot v1\ngraph C~\nkind sideways\nend\n",
+            "ftr-snapshot v1\ngraph ~~~~~\nkind bidirectional\nend\n",
+            "ftr-snapshot v1\ngraph C~\nkind bidirectional\nroute 0 9\nend\n",
+            "ftr-snapshot v1\ngraph C~\nkind bidirectional\nroute 0 x\nend\n",
+            "ftr-snapshot v1\ngraph C~\nkind bidirectional\n", // truncated
+            "ftr-snapshot v1\nmystery line\nend\n",
+        ] {
+            assert!(
+                RoutingSnapshot::read_from(doc.as_bytes()).is_err(),
+                "accepted {doc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validates_routes_against_graph() {
+        // "DQc" (the 5-node path 2-0-4-3-1) has no 0-1 edge, so the
+        // route line must fail validation against the embedded graph.
+        let doc = "ftr-snapshot v1\ngraph DQc\nkind bidirectional\nroute 0 1\nend\n";
+        assert!(RoutingSnapshot::read_from(doc.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end test: a real daemon on loopback, driven through the
+//! client — queries, fault churn, epoch advance, cache behavior and
+//! clean shutdown.
+
+use std::time::{Duration, Instant};
+
+use ftr_core::{KernelRouting, RouteTable};
+use ftr_graph::{gen, NodeSet};
+use ftr_serve::{Client, RoutingSnapshot, Server, ServerConfig};
+
+fn start_petersen_server() -> (ftr_serve::SpawnedServer, RoutingSnapshot) {
+    let g = gen::petersen();
+    let kernel = KernelRouting::build(&g).unwrap();
+    let snapshot = RoutingSnapshot::new(g, kernel.routing().clone()).unwrap();
+    let server = Server::bind(
+        snapshot.clone().into_shared(),
+        ServerConfig {
+            batch_window: Duration::from_micros(100),
+            // Small enough that a TOLERATE with a huge fault budget is
+            // rejected even on a 10-node graph (2^10 = 1024 sets).
+            tolerate_budget: 500,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    (server.spawn(), snapshot)
+}
+
+/// Polls `EPOCH` until the fault count reaches `want` (ingestion is
+/// asynchronous).
+fn wait_for_faults(client: &mut Client, want: usize) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (id, faults) = client.epoch().unwrap();
+        if faults == want {
+            return id;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ingest did not reach {want} faults (at {faults})"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn serves_queries_through_fault_churn() {
+    let (server, snapshot) = start_petersen_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Fault-free epoch 0.
+    assert!(client.ping().unwrap());
+    assert_eq!(client.epoch().unwrap(), (0, 0));
+    let base_diam = client.diam().unwrap().expect("petersen kernel connected");
+    assert_eq!(
+        Some(base_diam),
+        snapshot.engine().surviving_diameter(&NodeSet::new(10))
+    );
+
+    // Direct route matches the stored table.
+    let (s, d, view) = snapshot.routing().routes().next().unwrap();
+    let direct = client.route(s, d).unwrap();
+    let want: Vec<String> = view.nodes().iter().map(|v| v.to_string()).collect();
+    assert_eq!(direct, format!("OK DIRECT {}", want.join(" ")));
+
+    // Tolerance: the kernel routing claims (2t, t); measured through the
+    // wire it must agree with the offline verifier's worst diameter.
+    let claim = KernelRouting::build(&gen::petersen())
+        .unwrap()
+        .claim_theorem_3();
+    assert!(client.tolerate(claim.diameter, claim.faults).unwrap());
+    assert!(!client.tolerate(0, 1).unwrap());
+
+    // Inject a fault; the epoch advances and queries follow the new state.
+    assert!(client.fail(3).unwrap());
+    let id = wait_for_faults(&mut client, 1);
+    assert!(id >= 1);
+    assert_eq!(client.route(3, 5).unwrap(), "OK UNREACHABLE");
+    let wire_diam = client.diam().unwrap();
+    assert_eq!(
+        wire_diam,
+        snapshot
+            .engine()
+            .surviving_diameter(&NodeSet::from_nodes(10, [3]))
+    );
+
+    // Duplicate FAIL is queued but ineffective: no epoch advance for it.
+    assert!(client.fail(3).unwrap());
+    std::thread::sleep(Duration::from_millis(20));
+    let (_, faults) = client.epoch().unwrap();
+    assert_eq!(faults, 1);
+
+    // Repair brings the baseline back.
+    assert!(client.repair(3).unwrap());
+    wait_for_faults(&mut client, 0);
+    assert_eq!(client.diam().unwrap(), Some(base_diam));
+
+    // Protocol errors answer ERR without dropping the connection.
+    assert!(client.request("FROBNICATE").unwrap().starts_with("ERR "));
+    assert!(client.request("ROUTE 0 99").unwrap().starts_with("ERR "));
+    assert!(client.ping().unwrap(), "connection survives ERR replies");
+
+    // ERR replies are never cached: distinct invalid queries must not
+    // grow the epoch cache (its key space is bounded by valid pairs).
+    let cache_before = server.handle().store().load().cache().len();
+    for i in 0..8u32 {
+        let reply = client.request(&format!("ROUTE 0 {}", 1000 + i)).unwrap();
+        assert!(reply.starts_with("ERR "), "{reply}");
+        let reply = client.request(&format!("TOLERATE 4 {}", 50 + i)).unwrap();
+        assert!(reply.starts_with("ERR "), "{reply}");
+    }
+    assert_eq!(
+        server.handle().store().load().cache().len(),
+        cache_before,
+        "ERR replies leaked into the query cache"
+    );
+
+    // Stats reflect the 18 deliberate errors and zero others.
+    let stats = client.request("STATS").unwrap();
+    assert!(stats.contains("errors=18"), "unexpected stats: {stats}");
+
+    client.quit().unwrap();
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn pipelined_queries_answer_in_order() {
+    let (server, snapshot) = start_petersen_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let requests: Vec<String> = (0..10u32)
+        .flat_map(|x| {
+            (0..10u32)
+                .filter(move |&y| y != x)
+                .map(move |y| format!("ROUTE {x} {y}"))
+        })
+        .collect();
+    let mut replies = Vec::new();
+    client.pipeline(&requests, &mut replies).unwrap();
+    assert_eq!(replies.len(), requests.len());
+    for (req, reply) in requests.iter().zip(&replies) {
+        let mut toks = req.split(' ');
+        let (_, x, y) = (
+            toks.next().unwrap(),
+            toks.next().unwrap(),
+            toks.next().unwrap(),
+        );
+        assert!(
+            reply.starts_with("OK DIRECT") || reply.starts_with("OK DETOUR"),
+            "{req} -> {reply}"
+        );
+        let nodes: Vec<&str> = reply.splitn(3, ' ').nth(2).unwrap().split(' ').collect();
+        assert_eq!(nodes.first(), Some(&x), "{req} -> {reply}");
+        assert_eq!(nodes.last(), Some(&y), "{req} -> {reply}");
+    }
+    // Everything was valid: zero protocol errors, and the repeated pairs
+    // were all cache misses exactly once (100 distinct keys... 90 pairs).
+    let stats = client.request("STATS").unwrap();
+    assert!(stats.contains("errors=0"), "unexpected stats: {stats}");
+    drop(snapshot);
+    client.quit().unwrap();
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_and_churn_stay_consistent() {
+    let (server, snapshot) = start_petersen_server();
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        // A churn client cycles faults while query clients hammer ROUTE.
+        scope.spawn(move || {
+            let mut churn = Client::connect(addr).unwrap();
+            for round in 0..30u32 {
+                let v = round % 10;
+                churn.fail(v).unwrap();
+                std::thread::sleep(Duration::from_micros(300));
+                churn.repair(v).unwrap();
+            }
+            churn.quit().unwrap();
+        });
+        for t in 0..3u32 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..300u32 {
+                    let x = (i + t) % 10;
+                    let y = (i + t + 1 + i % 7) % 10;
+                    if x == y {
+                        continue;
+                    }
+                    let reply = client.route(x, y).unwrap();
+                    assert!(reply.starts_with("OK "), "ROUTE {x} {y} -> {reply}");
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+    let stats = server.handle().stats();
+    assert_eq!(
+        stats
+            .protocol_errors
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+    drop(snapshot);
+    server.shutdown_and_join().unwrap();
+}

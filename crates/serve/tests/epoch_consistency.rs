@@ -1,0 +1,157 @@
+//! Concurrency tests for the epoch machinery: readers racing a
+//! publishing writer must only ever observe fully-formed epochs, and
+//! the per-epoch query cache must never serve an answer computed under
+//! a different epoch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ftr_core::{CompiledRoutes, KernelRouting, RouteTable};
+use ftr_graph::gen;
+use ftr_serve::{EpochStore, QueryKey, RoutingSnapshot};
+use ftr_sim::churn::{ChurnConfig, ChurnStream};
+
+const READERS: usize = 4;
+
+fn fixture() -> (RoutingSnapshot, EpochStore) {
+    let g = gen::petersen();
+    let kernel = KernelRouting::build(&g).unwrap();
+    let snapshot = RoutingSnapshot::new(g, kernel.routing().clone()).unwrap();
+    let store = EpochStore::new(&snapshot.engine().epoch_state());
+    (snapshot, store)
+}
+
+/// Drives the store through churn-generated epochs on a writer thread.
+fn churn_writer(engine: &CompiledRoutes, store: &EpochStore, steps: u32, done: &AtomicBool) {
+    let mut state = engine.epoch_state();
+    let mut stream = ChurnStream::new(
+        engine.node_count(),
+        ChurnConfig {
+            fail_rate: 0.15,
+            repair_time: 3,
+            steps,
+            seed: 0x5EED,
+        },
+    );
+    for _ in 0..steps {
+        let step = stream.step();
+        let mut touched = false;
+        for &v in &step.repaired {
+            touched |= state.remove(engine, v);
+        }
+        for &v in &step.failed {
+            touched |= state.insert(engine, v);
+        }
+        if touched {
+            store.publish(&state);
+        }
+    }
+    done.store(true, Ordering::Release);
+}
+
+#[test]
+fn concurrent_readers_observe_only_fully_formed_epochs() {
+    let (snapshot, store) = fixture();
+    let engine = snapshot.engine();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| churn_writer(engine, &store, 600, &done));
+        for _ in 0..READERS {
+            let mut reader = store.reader();
+            let done = &done;
+            let store = &store;
+            scope.spawn(move || {
+                let mut last_id = 0u64;
+                let mut observed = 0u64;
+                while !done.load(Ordering::Acquire) || observed == 0 {
+                    let epoch = Arc::clone(reader.current());
+                    // Ids move forward only: a reader can never be handed
+                    // an epoch older than one it has already seen.
+                    assert!(epoch.id() >= last_id, "epoch went backwards");
+                    last_id = epoch.id();
+                    // A torn epoch would pair a fault set with reachability
+                    // state from another one; recomputing the diameter from
+                    // the engine at the epoch's own fault set must agree.
+                    assert_eq!(
+                        epoch.diameter(),
+                        engine.surviving_diameter(epoch.faults()),
+                        "epoch {} serves state inconsistent with its fault set",
+                        epoch.id()
+                    );
+                    // The live matrix is the engine's surviving graph.
+                    let reference = engine.surviving(epoch.faults());
+                    for x in 0..10 {
+                        for y in 0..10 {
+                            if x != y && !epoch.faults().contains(x) && !epoch.faults().contains(y)
+                            {
+                                assert_eq!(
+                                    epoch.arc_survives(x, y),
+                                    reference.has_edge(x, y),
+                                    "epoch {} arc ({x}, {y})",
+                                    epoch.id()
+                                );
+                            }
+                        }
+                    }
+                    observed += 1;
+                }
+                assert!(observed > 0);
+                let _ = store.current_id();
+            });
+        }
+    });
+    assert!(store.current_id() > 0, "the writer published epochs");
+}
+
+#[test]
+fn query_cache_never_serves_a_stale_epoch() {
+    let (snapshot, store) = fixture();
+    let engine = snapshot.engine();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| churn_writer(engine, &store, 400, &done));
+        for reader_id in 0..READERS {
+            let mut reader = store.reader();
+            let done = &done;
+            let snapshot = &snapshot;
+            scope.spawn(move || {
+                let mut checked = 0u64;
+                while !done.load(Ordering::Acquire) || checked == 0 {
+                    let epoch = Arc::clone(reader.current());
+                    for (x, y) in [(0, 5), (1, 8), (3, 9), (reader_id as u32, 7)] {
+                        if x == y {
+                            continue;
+                        }
+                        // Cache values embed the id of the epoch they were
+                        // computed under; a stale hit would surface a
+                        // mismatched id or a reply that disagrees with a
+                        // fresh evaluation at this epoch.
+                        let (value, _hit) =
+                            epoch.cache().get_or_insert_with(QueryKey::Route(x, y), || {
+                                format!(
+                                    "{} {:?}",
+                                    epoch.id(),
+                                    ftr_serve::query::route(snapshot, &epoch, x, y).unwrap()
+                                )
+                            });
+                        let (cached_id, cached_reply) =
+                            value.split_once(' ').expect("id-tagged cache value");
+                        assert_eq!(
+                            cached_id.parse::<u64>().unwrap(),
+                            epoch.id(),
+                            "cache handed epoch {} an answer from epoch {cached_id}",
+                            epoch.id()
+                        );
+                        let fresh = format!(
+                            "{:?}",
+                            ftr_serve::query::route(snapshot, &epoch, x, y).unwrap()
+                        );
+                        assert_eq!(cached_reply, fresh, "stale cached reply");
+                        checked += 1;
+                    }
+                }
+                assert!(checked > 0);
+            });
+        }
+    });
+}

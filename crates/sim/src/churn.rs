@@ -10,7 +10,7 @@
 //! validation that complements the exhaustive verifier.
 
 use ftr_core::{RouteTable, Routing, ToleranceClaim};
-use ftr_graph::NodeSet;
+use ftr_graph::{Node, NodeSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,6 +63,99 @@ impl ChurnReport {
     }
 }
 
+/// One step's worth of churn events, in application order: repairs
+/// complete before fresh failures strike.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnStep {
+    /// Nodes whose downtime expired this step.
+    pub repaired: Vec<Node>,
+    /// Nodes that failed this step.
+    pub failed: Vec<Node>,
+}
+
+impl ChurnStep {
+    /// Returns `true` if the step changed nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.repaired.is_empty() && self.failed.is_empty()
+    }
+}
+
+/// The churn process as a reusable *event stream*: each [`step`] yields
+/// the repairs and failures of one discrete time step.
+///
+/// [`simulate_churn`] consumes one of these against a claim; the
+/// `ftr-serve` load generator replays the same stream as live
+/// `FAIL`/`REPAIR` traffic against a running routing daemon, so the
+/// offline validation and the online serving path churn identically.
+///
+/// # Example
+///
+/// ```
+/// use ftr_sim::churn::{ChurnConfig, ChurnStream};
+///
+/// let mut stream = ChurnStream::new(10, ChurnConfig::default());
+/// let step = stream.step();
+/// assert_eq!(step.failed.len(), stream.current_faults().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnStream {
+    /// Remaining downtime per node; 0 = live.
+    downtime: Vec<u32>,
+    rng: SmallRng,
+    config: ChurnConfig,
+}
+
+impl ChurnStream {
+    /// A stream over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.fail_rate` is outside `[0, 1]`.
+    pub fn new(n: usize, config: ChurnConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.fail_rate),
+            "fail rate must be a probability"
+        );
+        ChurnStream {
+            downtime: vec![0; n],
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Advances one step: downtimes tick down (expiries are *repaired*),
+    /// then every live node *fails* independently with the configured
+    /// rate.
+    pub fn step(&mut self) -> ChurnStep {
+        let mut step = ChurnStep::default();
+        for (v, d) in self.downtime.iter_mut().enumerate() {
+            if *d == 1 {
+                step.repaired.push(v as Node);
+            }
+            *d = d.saturating_sub(1);
+        }
+        for (v, d) in self.downtime.iter_mut().enumerate() {
+            if *d == 0 && self.rng.gen_bool(self.config.fail_rate) {
+                *d = self.config.repair_time.max(1);
+                step.failed.push(v as Node);
+            }
+        }
+        step
+    }
+
+    /// The currently-down nodes.
+    pub fn current_faults(&self) -> NodeSet {
+        NodeSet::from_nodes(
+            self.downtime.len(),
+            self.downtime
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d > 0)
+                .map(|(v, _)| v as u32),
+        )
+    }
+}
+
 /// Runs the churn process against `routing` and `claim`.
 ///
 /// Each step: every live node fails independently with
@@ -95,14 +188,8 @@ pub fn simulate_churn(
     claim: &ToleranceClaim,
     config: ChurnConfig,
 ) -> ChurnReport {
-    assert!(
-        (0.0..=1.0).contains(&config.fail_rate),
-        "fail rate must be a probability"
-    );
     let n = routing.node_count();
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    // remaining downtime per node; 0 = live
-    let mut downtime = vec![0u32; n];
+    let mut stream = ChurnStream::new(n, config);
     let mut report = ChurnReport {
         steps: config.steps,
         steps_within_budget: 0,
@@ -112,23 +199,8 @@ pub fn simulate_churn(
         peak_faults: 0,
     };
     for _ in 0..config.steps {
-        // repairs, then fresh failures
-        for d in downtime.iter_mut() {
-            *d = d.saturating_sub(1);
-        }
-        for d in downtime.iter_mut() {
-            if *d == 0 && rng.gen_bool(config.fail_rate) {
-                *d = config.repair_time.max(1);
-            }
-        }
-        let faults = NodeSet::from_nodes(
-            n,
-            downtime
-                .iter()
-                .enumerate()
-                .filter(|(_, &d)| d > 0)
-                .map(|(v, _)| v as u32),
-        );
+        stream.step();
+        let faults = stream.current_faults();
         report.peak_faults = report.peak_faults.max(faults.len());
         let diameter = routing.surviving(&faults).diameter();
         if faults.len() <= claim.faults {
@@ -217,6 +289,53 @@ mod tests {
             ChurnConfig::default(),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_events_track_fault_set() {
+        let mut stream = ChurnStream::new(
+            16,
+            ChurnConfig {
+                fail_rate: 0.2,
+                repair_time: 3,
+                steps: 50,
+                seed: 11,
+            },
+        );
+        let mut model = std::collections::BTreeSet::new();
+        let mut saw_repair = false;
+        for _ in 0..50 {
+            let step = stream.step();
+            for &v in &step.repaired {
+                assert!(model.remove(&v), "repaired node {v} was not down");
+                saw_repair = true;
+            }
+            for &v in &step.failed {
+                assert!(model.insert(v), "failed node {v} was already down");
+            }
+            assert_eq!(
+                stream.current_faults().iter().collect::<Vec<_>>(),
+                model.iter().copied().collect::<Vec<_>>()
+            );
+        }
+        assert!(saw_repair, "a 50-step run at 20% churn repairs someone");
+    }
+
+    #[test]
+    fn stream_matches_simulate_churn_trajectory() {
+        // The report path consumes the same stream type, so peak faults
+        // agree with a hand-rolled replay.
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let config = ChurnConfig::default();
+        let report = simulate_churn(kernel.routing(), &kernel.claim_theorem_3(), config);
+        let mut stream = ChurnStream::new(10, config);
+        let mut peak = 0;
+        for _ in 0..config.steps {
+            stream.step();
+            peak = peak.max(stream.current_faults().len());
+        }
+        assert_eq!(report.peak_faults, peak);
     }
 
     #[test]

@@ -191,7 +191,16 @@ pub fn ablation_a1_concentrator_size(scale: Scale) -> Table {
                     format!("concentrator maxes out at {found}"),
                 ]);
             }
-            Err(e) => panic!("unexpected construction failure: {e}"),
+            // Any other construction failure becomes a reported row: one
+            // bad (graph, K) combination must not kill the whole sweep.
+            Err(e) => {
+                table.push_row([
+                    k.to_string(),
+                    "-".to_string(),
+                    "no".to_string(),
+                    format!("construction failed: {e}"),
+                ]);
+            }
         }
     }
     table.push_note(

@@ -2,7 +2,7 @@
 //!
 //! Umbrella crate for the reproduction of Peleg & Simons, *On Fault
 //! Tolerant Routings in General Networks* (PODC 1986 / Information and
-//! Computation 74, 1987). It re-exports the three workspace layers:
+//! Computation 74, 1987). It re-exports the four workspace layers:
 //!
 //! * [`graph`] (`ftr-graph`) — the graph substrate: fault overlays,
 //!   unit-node-capacity max flow, vertex connectivity, separators,
@@ -11,8 +11,11 @@
 //!   circular, tri-circular, bipolar, multiroutings, augmentation) plus
 //!   surviving route graphs and the `(d, f)`-tolerance verifier;
 //! * [`sim`] (`ftr-sim`) — fault scenarios, the broadcast and message
-//!   protocols from the paper's introduction, the per-theorem
-//!   experiment harness and figure rendering.
+//!   protocols from the paper's introduction, churn streams, the
+//!   per-theorem experiment harness and figure rendering;
+//! * [`serve`] (`ftr-serve`) — the online query service: epoch-versioned
+//!   snapshots of the surviving route graph, batched fault ingestion,
+//!   and a line-delimited TCP protocol with client library.
 //!
 //! # Quickstart
 //!
@@ -39,4 +42,5 @@
 
 pub use ftr_core as core;
 pub use ftr_graph as graph;
+pub use ftr_serve as serve;
 pub use ftr_sim as sim;
