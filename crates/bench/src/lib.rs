@@ -80,3 +80,9 @@ pub fn engine_pair() -> (KernelRouting, CompiledRoutes) {
     let engine = kernel.routing().compile();
     (kernel, engine)
 }
+
+/// The scale-sweep network of bench `e17_scale`: H(4, n), κ = 4, for
+/// n ∈ {256, 1024, 4096}.
+pub fn scale_graph(n: usize) -> Graph {
+    gen::harary(4, n).expect("valid parameters")
+}

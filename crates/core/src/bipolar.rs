@@ -17,9 +17,10 @@
 //! steps (Lemma 5 via the Γ¹_j / Γ²_j sets), and the asymmetric
 //! M1-to-M2 links bound the diameter.
 
-use ftr_graph::{analysis, connectivity, Graph, Node, NodeSet};
+use ftr_graph::{analysis, connectivity, Graph, Node, NodeSet, Path};
 
 use crate::kernel::insert_edge_routes;
+use crate::par;
 use crate::tree::tree_routing;
 use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
 
@@ -156,49 +157,78 @@ fn construct_unidirectional(
     let mut routing = Routing::new(n, RoutingKind::Unidirectional);
     // B-POL 6: direct edges, both directions.
     for (u, v) in g.edges() {
-        routing.insert(ftr_graph::Path::edge(u, v).expect("valid edge"))?;
-        routing.insert(ftr_graph::Path::edge(v, u).expect("valid edge"))?;
+        routing.insert(Path::edge(u, v).expect("valid edge"))?;
+        routing.insert(Path::edge(v, u).expect("valid edge"))?;
     }
-    // B-POL 1 and B-POL 2: tree routings toward the poles.
-    for x in g.nodes() {
+    // B-POL 1 and B-POL 2: tree routings toward the poles, derived per
+    // source in parallel; insertion stays sequential in source order.
+    let nodes: Vec<Node> = g.nodes().collect();
+    let batches = par::ordered_map(nodes.len(), par::default_threads(), |idx| {
+        let x = nodes[idx];
+        let mut paths = Vec::new();
         if !m1.contains(x) {
-            for p in tree_routing(g, x, &m1, kappa)? {
-                routing.insert(p)?;
-            }
+            paths.extend(tree_routing(g, x, &m1, kappa)?);
         }
         if !m2.contains(x) {
-            for p in tree_routing(g, x, &m2, kappa)? {
-                routing.insert(p)?;
-            }
+            paths.extend(tree_routing(g, x, &m2, kappa)?);
+        }
+        Ok::<_, RoutingError>(paths)
+    });
+    for batch in batches {
+        for p in batch? {
+            routing.insert(p)?;
         }
     }
     // B-POL 3 and B-POL 4: pole members into every Γ-set of their tree.
-    for (members, root) in [(&m1, r1), (&m2, r2)] {
-        let list: Vec<Node> = members.iter().collect();
-        for &mi in &list {
-            for &mj in &list {
-                let targets = g.neighbor_set(mj);
-                debug_assert!(
-                    mi == mj || !targets.contains(mi),
-                    "pole sets are independent"
-                );
-                let _ = root;
-                for p in tree_routing(g, mi, &targets, kappa)? {
-                    routing.insert(p)?;
-                }
-            }
-        }
+    for members in [&m1, &m2] {
+        insert_pole_tree_routings(&mut routing, g, members, kappa)?;
     }
-    // B-POL 5: complete missing reverse directions along the same path.
-    let missing: Vec<ftr_graph::Path> = routing
+    // B-POL 5: complete missing reverse directions along the same path
+    // (built directly in reverse travel order — one collect per route).
+    let missing: Vec<Path> = routing
         .routes()
         .filter(|&(s, d, _)| routing.route(d, s).is_none())
-        .map(|(_, _, view)| view.to_path().reversed())
+        .map(|(_, _, view)| {
+            Path::new(view.iter().rev().collect()).expect("stored routes are simple")
+        })
         .collect();
     for p in missing {
         routing.insert(p)?;
     }
+    routing.freeze();
     Ok(routing)
+}
+
+/// Derives tree routings from every pole member `m_i` into every Γ(m_j)
+/// of its pole (components B-POL 3/4 and 2B-POL 3/4), one member per
+/// parallel work item, and inserts them in member order.
+fn insert_pole_tree_routings(
+    routing: &mut Routing,
+    g: &Graph,
+    members: &NodeSet,
+    kappa: usize,
+) -> Result<(), RoutingError> {
+    let kind = routing.kind();
+    let list: Vec<Node> = members.iter().collect();
+    let batches = par::ordered_map(list.len(), par::default_threads(), |idx| {
+        let mi = list[idx];
+        let mut paths = Vec::new();
+        for &mj in &list {
+            let targets = g.neighbor_set(mj);
+            debug_assert!(
+                kind == RoutingKind::Bidirectional || mi == mj || !targets.contains(mi),
+                "pole sets are independent"
+            );
+            paths.extend(tree_routing(g, mi, &targets, kappa)?);
+        }
+        Ok::<_, RoutingError>(paths)
+    });
+    for batch in batches {
+        for p in batch? {
+            routing.insert(p)?;
+        }
+    }
+    Ok(())
 }
 
 /// Components 2B-POL 1–5 (Theorem 23).
@@ -227,34 +257,35 @@ fn construct_bidirectional(
     // bidirectional routes off the pairs that 2B-POL 3 defines, and
     // excluding all of M makes the construction asymmetric: M2 members
     // reach M1 only through Property 2B-POL 3's M1-to-M2 links.
-    for x in g.nodes() {
-        if !m1.contains(x) && !m2.contains(x) && !gamma1.contains(x) {
-            for p in tree_routing(g, x, &m1, kappa)? {
-                routing.insert(p)?;
-            }
-        }
-    }
+    //
     // 2B-POL 2: x ∉ M2 ∪ Γ2 routes to M2 (this includes every M1 member,
-    // which yields Property 2B-POL 3).
-    for x in g.nodes() {
-        if !m2.contains(x) && !gamma2.contains(x) {
-            for p in tree_routing(g, x, &m2, kappa)? {
+    // which yields Property 2B-POL 3). Both components derive their tree
+    // routings per source in parallel, preserving the serial insertion
+    // order (all of 2B-POL 1, then all of 2B-POL 2).
+    let nodes: Vec<Node> = g.nodes().collect();
+    let pol1 = |x: Node| !m1.contains(x) && !m2.contains(x) && !gamma1.contains(x);
+    let pol2 = |x: Node| !m2.contains(x) && !gamma2.contains(x);
+    let components: [(&NodeSet, &(dyn Fn(Node) -> bool + Sync)); 2] = [(&m1, &pol1), (&m2, &pol2)];
+    for (targets, include) in components {
+        let batches = par::ordered_map(nodes.len(), par::default_threads(), |idx| {
+            let x = nodes[idx];
+            if include(x) {
+                tree_routing(g, x, targets, kappa)
+            } else {
+                Ok(Vec::new())
+            }
+        });
+        for batch in batches {
+            for p in batch? {
                 routing.insert(p)?;
             }
         }
     }
     // 2B-POL 3 and 2B-POL 4: pole members into every Γ-set of their tree.
     for members in [&m1, &m2] {
-        let list: Vec<Node> = members.iter().collect();
-        for &mi in &list {
-            for &mj in &list {
-                let targets = g.neighbor_set(mj);
-                for p in tree_routing(g, mi, &targets, kappa)? {
-                    routing.insert(p)?;
-                }
-            }
-        }
+        insert_pole_tree_routings(&mut routing, g, members, kappa)?;
     }
+    routing.freeze();
     Ok(routing)
 }
 

@@ -18,10 +18,11 @@
 //! `m` give a 2-step surviving route to `m`), any two surviving nodes
 //! route through surviving concentrator members within 6 hops.
 
-use ftr_graph::{connectivity, Graph};
+use ftr_graph::{connectivity, Graph, Node};
 
 use crate::concentrator::NeighborhoodConcentrator;
 use crate::kernel::insert_edge_routes;
+use crate::par;
 use crate::tree::tree_routing;
 use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
 
@@ -136,27 +137,35 @@ fn construct(
     let mut routing = Routing::new(g.node_count(), RoutingKind::Bidirectional);
     // CIRC 3 first so the shortcut rule folds tree-routing edges onto it.
     insert_edge_routes(&mut routing, g)?;
-    for x in g.nodes() {
+    // CIRC 1 and CIRC 2: every source's tree routings are derived in
+    // parallel; insertion is sequential in source order.
+    let nodes: Vec<Node> = g.nodes().collect();
+    let batches = par::ordered_map(nodes.len(), par::default_threads(), |idx| {
+        let x = nodes[idx];
+        let mut paths = Vec::new();
         match conc.circle_of(x) {
             // CIRC 1: x outside Γ routes into every Γ_i.
             None => {
                 for i in 0..k {
-                    for p in tree_routing(g, x, conc.gamma(i), kappa)? {
-                        routing.insert(p)?;
-                    }
+                    paths.extend(tree_routing(g, x, conc.gamma(i), kappa)?);
                 }
             }
             // CIRC 2: x ∈ Γ_i routes into the forward half of the circle.
             Some(i) => {
                 for j in 1..half {
                     let target = (i + j) % k;
-                    for p in tree_routing(g, x, conc.gamma(target), kappa)? {
-                        routing.insert(p)?;
-                    }
+                    paths.extend(tree_routing(g, x, conc.gamma(target), kappa)?);
                 }
             }
         }
+        Ok::<_, RoutingError>(paths)
+    });
+    for batch in batches {
+        for p in batch? {
+            routing.insert(p)?;
+        }
     }
+    routing.freeze();
     Ok(routing)
 }
 

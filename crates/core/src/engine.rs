@@ -85,56 +85,55 @@ pub struct CompiledRoutes {
 
 impl CompiledRoutes {
     /// Compiles a single-route-per-pair routing.
+    ///
+    /// Masks are built by streaming the borrowed route slices straight
+    /// into the builder — for a frozen [`Routing`] that is one linear
+    /// pass over the CSR arena with **zero per-route allocation** (an
+    /// interior fault mask is orientation-independent, so the
+    /// storage-order slice suffices). `routes()` iterates in ascending
+    /// `(src, dst)` order in both the builder and frozen states, so the
+    /// compilation is deterministic without a sort here.
     pub fn from_routing(routing: &Routing) -> Self {
-        Self::build(
-            routing.node_count(),
-            routing
-                .routes()
-                .map(|(s, d, view)| (s, d, vec![view.nodes()])),
-        )
+        let mut b = MaskBuilder::new(routing.node_count(), routing.route_count());
+        let mut prev: Option<(Node, Node)> = None;
+        for (s, d, view) in routing.routes() {
+            debug_assert!(prev < Some((s, d)), "routes() iterates in sorted order");
+            prev = Some((s, d));
+            b.begin_pair(s, d);
+            b.push_slot(s, d, view.stored_nodes());
+            b.end_pair();
+        }
+        b.finish()
     }
 
     /// Compiles a multirouting; an arc survives while *any* route of its
     /// bundle does, so a pair contributes one slot per parallel route.
     pub fn from_multirouting(multi: &MultiRouting) -> Self {
-        Self::build(
-            multi.node_count(),
-            multi
-                .route_bundles()
-                .map(|(s, d, views)| (s, d, views.iter().map(|v| v.nodes()).collect())),
-        )
+        let n = multi.node_count();
+        let mut collected: Vec<(Node, Node, Vec<crate::RouteView<'_>>)> =
+            multi.route_bundles().collect();
+        collected.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        let mut b = MaskBuilder::new(n, collected.len());
+        for (s, d, views) in collected {
+            b.begin_pair(s, d);
+            for view in views {
+                b.push_slot(s, d, view.stored_nodes());
+            }
+            b.end_pair();
+        }
+        b.finish()
     }
 
-    fn build(n: usize, bundles: impl Iterator<Item = (Node, Node, Vec<Vec<Node>>)>) -> Self {
-        let stride = n.div_ceil(64);
-        let mut collected: Vec<(Node, Node, Vec<Vec<Node>>)> = bundles.collect();
-        // The route tables iterate hash maps; sort so compilation is
-        // deterministic and cache-friendly.
-        collected.sort_unstable_by_key(|&(s, d, _)| (s, d));
-
-        let mut pairs = Vec::with_capacity(collected.len());
-        let mut pair_slots = Vec::with_capacity(collected.len() + 1);
-        let mut masks = Vec::new();
-        let mut slot_pair = Vec::new();
-        let mut base = BitMatrix::new(n);
-        pair_slots.push(0u32);
-        for (s, d, routes) in &collected {
-            let p = pairs.len() as u32;
-            pairs.push((*s, *d));
-            base.set(*s, *d);
-            for route in routes {
-                let start = masks.len();
-                masks.resize(start + stride, 0);
-                for &v in route {
-                    if v != *s && v != *d {
-                        masks[start + v as usize / 64] |= 1u64 << (v % 64);
-                    }
-                }
-                slot_pair.push(p);
-            }
-            pair_slots.push(slot_pair.len() as u32);
-        }
-
+    fn finish_from(n: usize, parts: MaskBuilder) -> Self {
+        let MaskBuilder {
+            stride,
+            pairs,
+            pair_slots,
+            masks,
+            slot_pair,
+            base,
+            ..
+        } = parts;
         // Inverted index by counting sort: node -> slots through it.
         let mut counts = vec![0u32; n + 1];
         for slot in 0..slot_pair.len() {
@@ -215,6 +214,62 @@ impl CompiledRoutes {
     }
 }
 
+/// Accumulates the per-pair slot arrays of a compilation; sources are
+/// pushed in ascending `(src, dst)` order by the `from_*` constructors
+/// and [`CompiledRoutes::finish_from`] derives the inverted index.
+struct MaskBuilder {
+    n: usize,
+    stride: usize,
+    pairs: Vec<(Node, Node)>,
+    pair_slots: Vec<u32>,
+    masks: Vec<u64>,
+    slot_pair: Vec<u32>,
+    base: BitMatrix,
+}
+
+impl MaskBuilder {
+    fn new(n: usize, pair_hint: usize) -> Self {
+        let stride = n.div_ceil(64);
+        let mut pair_slots = Vec::with_capacity(pair_hint + 1);
+        pair_slots.push(0u32);
+        MaskBuilder {
+            n,
+            stride,
+            pairs: Vec::with_capacity(pair_hint),
+            pair_slots,
+            masks: Vec::with_capacity(pair_hint * stride),
+            slot_pair: Vec::with_capacity(pair_hint),
+            base: BitMatrix::new(n),
+        }
+    }
+
+    fn begin_pair(&mut self, s: Node, d: Node) {
+        self.pairs.push((s, d));
+        self.base.set(s, d);
+    }
+
+    /// Adds one route slot for the current pair, masking the interior
+    /// nodes of `nodes` (endpoints are handled by the BFS alive-mask).
+    fn push_slot(&mut self, s: Node, d: Node, nodes: &[Node]) {
+        let start = self.masks.len();
+        self.masks.resize(start + self.stride, 0);
+        for &v in nodes {
+            if v != s && v != d {
+                self.masks[start + v as usize / 64] |= 1u64 << (v % 64);
+            }
+        }
+        self.slot_pair.push((self.pairs.len() - 1) as u32);
+    }
+
+    fn end_pair(&mut self) {
+        self.pair_slots.push(self.slot_pair.len() as u32);
+    }
+
+    fn finish(self) -> CompiledRoutes {
+        CompiledRoutes::finish_from(self.n, self)
+    }
+}
+
 impl RouteTable for CompiledRoutes {
     fn node_count(&self) -> usize {
         self.n
@@ -236,13 +291,24 @@ impl RouteTable for CompiledRoutes {
     fn surviving_diameter(&self, faults: &NodeSet) -> Option<u32> {
         self.assert_capacity(faults);
         let words = faults.words();
-        let mut live = self.base.clone();
-        for (p, &(s, d)) in self.pairs.iter().enumerate() {
-            if !self.slots_of(p).any(|slot| self.slot_survives(slot, words)) {
-                live.clear(s, d);
-            }
+        // One scratch matrix per thread, overwritten from `base` per
+        // fault set — the random-sampling verifier calls this once per
+        // trial, and cloning `base` outright allocated a fresh matrix
+        // every time (2 MiB per call at n = 4096).
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<BitMatrix> =
+                std::cell::RefCell::new(BitMatrix::new(0));
         }
-        live.diameter(Some(faults))
+        SCRATCH.with(|cell| {
+            let mut live = cell.borrow_mut();
+            live.copy_from(&self.base);
+            for (p, &(s, d)) in self.pairs.iter().enumerate() {
+                if !self.slots_of(p).any(|slot| self.slot_survives(slot, words)) {
+                    live.clear(s, d);
+                }
+            }
+            live.diameter(Some(faults))
+        })
     }
 
     fn cursor(&self) -> Box<dyn FaultCursor + '_> {

@@ -14,6 +14,7 @@
 
 use ftr_graph::{gen, Graph, Node, Path};
 
+use crate::par;
 use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
 
 /// A hypercube together with its bit-fixing routing.
@@ -53,17 +54,21 @@ impl HypercubeRouting {
         let graph = gen::hypercube(dim)?;
         let n = graph.node_count();
         let mut routing = Routing::new(n, kind);
-        for x in 0..n as Node {
-            for y in 0..n as Node {
-                if x == y {
-                    continue;
-                }
-                if kind == RoutingKind::Bidirectional && x > y {
-                    continue; // the x < y insert covers both directions
-                }
-                routing.insert(bit_fixing_path(x, y))?;
+        // Per-source route derivation in parallel; insertion is
+        // sequential in source order.
+        let batches = par::ordered_map(n, par::default_threads(), |x| {
+            let x = x as Node;
+            (0..n as Node)
+                .filter(|&y| x != y && (kind == RoutingKind::Unidirectional || x < y))
+                .map(|y| bit_fixing_path(x, y))
+                .collect::<Vec<_>>()
+        });
+        for batch in batches {
+            for p in batch {
+                routing.insert(p)?;
             }
         }
+        routing.freeze();
         Ok(HypercubeRouting {
             graph,
             routing,

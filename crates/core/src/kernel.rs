@@ -13,6 +13,7 @@
 
 use ftr_graph::{connectivity, Graph, Node, NodeSet, Path};
 
+use crate::par;
 use crate::tree::tree_routing;
 use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
 
@@ -67,6 +68,7 @@ impl KernelRouting {
                 // Complete graph: direct edges route every pair.
                 let mut routing = Routing::new(g.node_count(), RoutingKind::Bidirectional);
                 insert_edge_routes(&mut routing, g)?;
+                routing.freeze();
                 return Ok(KernelRouting {
                     routing,
                     separator: Vec::new(),
@@ -106,14 +108,20 @@ impl KernelRouting {
         let mut routing = Routing::new(g.node_count(), RoutingKind::Bidirectional);
         // KERNEL 2 first: the shortcut rule makes tree-routing edges agree.
         insert_edge_routes(&mut routing, g)?;
-        // KERNEL 1: tree routings into M.
-        for x in g.nodes() {
-            if !separator.contains(x) {
-                for p in tree_routing(g, x, separator, k)? {
-                    routing.insert(p)?;
-                }
+        // KERNEL 1: tree routings into M, derived per source in parallel
+        // (each source's max-flow is independent; insertion stays
+        // sequential and in source order, so conflicts and the final
+        // table are identical to the serial build).
+        let outside: Vec<Node> = g.nodes().filter(|&x| !separator.contains(x)).collect();
+        let batches = par::ordered_map(outside.len(), par::default_threads(), |i| {
+            tree_routing(g, outside[i], separator, k)
+        });
+        for batch in batches {
+            for p in batch? {
+                routing.insert(p)?;
             }
         }
+        routing.freeze();
         Ok(KernelRouting {
             routing,
             separator: separator.iter().collect(),

@@ -33,20 +33,41 @@
 //! measures the worst surviving diameter over fault sets exhaustively,
 //! by seeded sampling, or adversarially.
 //!
+//! # The route-table lifecycle: builder → frozen CSR
+//!
+//! A [`Routing`] is built in two phases. Constructions call
+//! [`Routing::insert`] against a hash-map *builder* — deriving each
+//! source's route batch **in parallel** (the `par` module's ordered
+//! map; insertion stays sequential and deterministic) — and finish with
+//! [`Routing::freeze`], which compacts the table into a pair-indexed
+//! **CSR layout** over one flat `u32` node arena: `route(s, d)` becomes
+//! a binary search of one contiguous row, [`Routing::routes`] a
+//! cache-linear scan in ascending `(src, dst)` order, and the layout is
+//! canonical (independent of build order), which is what makes
+//! `ftr-serve`'s bulk-arena snapshot format byte-stable. Measured at
+//! scale (bench `e17_scale`, `BENCH_scale.json`, single-threaded):
+//! the kernel routing of `H(4, 4096)` — 49 100 routes — constructs in
+//! 1.8 s, freezes at ~130k routes/s, compiles in 1.1 s, and every
+//! sampled 3-fault set keeps the surviving diameter within Theorem 3's
+//! bound; the previous experiment ceiling was n = 24.
+//!
 //! # The verification engine
 //!
 //! Verification evaluates one routing under combinatorially many fault
 //! sets, so the hot path is compiled: [`Compile::compile`] turns any
 //! route table into a [`CompiledRoutes`] engine holding one interior
-//! fault mask per route, an inverted `node → routes` index, and the
+//! fault mask per route (built straight off the frozen arena with zero
+//! per-path allocation), an inverted `node → routes` index, and the
 //! surviving route graph as an [`ftr_graph::BitMatrix`]. Under the
 //! engine, "does `F` kill this route" is a word-level
 //! [`ftr_graph::NodeSet::intersects`] scan, single-fault toggles update
-//! per-route kill counts incrementally, and diameters are measured by
-//! bit-parallel BFS — ~8× faster end-to-end than the route-walk path on
+//! per-route kill counts incrementally, per-fault-set diameter scans
+//! reuse a thread-local scratch matrix, and diameters are measured by
+//! bit-parallel BFS — ~7× faster end-to-end than the route-walk path on
 //! the `e16_engine` bench (see `BENCH_engine.json`). The route-walk
 //! implementations remain the reference semantics; property tests in
-//! `tests/engine_equivalence.rs` pin arc-for-arc agreement.
+//! `tests/engine_equivalence.rs` and `tests/proptests.rs` pin
+//! arc-for-arc agreement between builder, frozen and compiled forms.
 //!
 //! # Example
 //!

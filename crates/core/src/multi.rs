@@ -16,8 +16,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use ftr_graph::{connectivity, flow, Graph, GraphError, Node, Path};
+use ftr_graph::{connectivity, flow, Graph, GraphError, Node, NodeSet, Path};
 
+use crate::par;
 use crate::routing::RoutingKind;
 use crate::tree::tree_routing;
 use crate::{RouteView, RoutingError};
@@ -165,7 +166,7 @@ impl MultiRouting {
             .map(|refs| {
                 refs.iter()
                     .map(|&(idx, forward)| {
-                        RouteView::from_parts(&self.paths[idx as usize], forward)
+                        RouteView::from_parts(self.paths[idx as usize].nodes(), forward)
                     })
                     .collect()
             })
@@ -178,7 +179,9 @@ impl MultiRouting {
         self.table.iter().map(move |(&(s, d), refs)| {
             let views = refs
                 .iter()
-                .map(|&(idx, forward)| RouteView::from_parts(&self.paths[idx as usize], forward))
+                .map(|&(idx, forward)| {
+                    RouteView::from_parts(self.paths[idx as usize].nodes(), forward)
+                })
                 .collect();
             (s, d, views)
         })
@@ -240,11 +243,20 @@ pub fn full_multirouting(g: &Graph) -> Result<MultiRouting, RoutingError> {
         });
     }
     let mut m = MultiRouting::new(g.node_count(), RoutingKind::Bidirectional, kappa);
-    for u in g.nodes() {
+    // One parallel work item per source u: the disjoint-path bundles to
+    // every v > u (each an independent max flow).
+    let n = g.node_count();
+    let batches = par::ordered_map(n, par::default_threads(), |u| {
+        let u = u as Node;
+        let mut paths = Vec::new();
         for v in g.nodes().filter(|&v| v > u) {
-            for p in flow::vertex_disjoint_st_paths(g, u, v, Some(kappa))? {
-                m.insert(p)?;
-            }
+            paths.extend(flow::vertex_disjoint_st_paths(g, u, v, Some(kappa))?);
+        }
+        Ok::<_, RoutingError>(paths)
+    });
+    for batch in batches {
+        for p in batch? {
+            m.insert(p)?;
         }
     }
     Ok(m)
@@ -275,14 +287,9 @@ pub fn concentrator_multirouting(g: &Graph) -> Result<(MultiRouting, Vec<Node>),
     for (u, v) in g.edges() {
         m.insert(Path::edge(u, v).expect("graph edges join distinct nodes"))?;
     }
-    // KERNEL 1: tree routings into the separator.
-    for x in g.nodes() {
-        if !sep.contains(x) {
-            for p in tree_routing(g, x, &sep, kappa)? {
-                m.insert(p)?;
-            }
-        }
-    }
+    // KERNEL 1: tree routings into the separator, derived per source in
+    // parallel.
+    insert_tree_routings_outside(&mut m, g, &sep, kappa)?;
     // Section 6 (2): full parallel routes inside M.
     let members: Vec<Node> = sep.iter().collect();
     for (i, &a) in members.iter().enumerate() {
@@ -325,13 +332,7 @@ pub fn single_tree_multirouting(g: &Graph) -> Result<(MultiRouting, Vec<Node>), 
     for (u, v) in g.edges() {
         m.insert(Path::edge(u, v).expect("graph edges join distinct nodes"))?;
     }
-    for x in g.nodes() {
-        if !sep.contains(x) {
-            for p in tree_routing(g, x, &sep, kappa)? {
-                m.insert(p)?;
-            }
-        }
-    }
+    insert_tree_routings_outside(&mut m, g, &sep, kappa)?;
     let members: Vec<Node> = sep.iter().collect();
     for &mi in &members {
         for &mj in &members {
@@ -350,11 +351,33 @@ pub fn single_tree_multirouting(g: &Graph) -> Result<(MultiRouting, Vec<Node>), 
     Ok((m, members))
 }
 
+/// Derives a tree routing into `targets` for every source outside it —
+/// one parallel work item per source — and inserts the batches in source
+/// order (the kernel-style component shared by the concentrator and
+/// single-tree multiroutings).
+fn insert_tree_routings_outside(
+    m: &mut MultiRouting,
+    g: &Graph,
+    targets: &NodeSet,
+    kappa: usize,
+) -> Result<(), RoutingError> {
+    let outside: Vec<Node> = g.nodes().filter(|&x| !targets.contains(x)).collect();
+    let batches = par::ordered_map(outside.len(), par::default_threads(), |i| {
+        tree_routing(g, outside[i], targets, kappa)
+    });
+    for batch in batches {
+        for p in batch? {
+            m.insert(p)?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::RouteTable;
-    use ftr_graph::{gen, NodeSet};
+    use ftr_graph::gen;
 
     #[test]
     fn parallel_budget_enforced() {

@@ -47,9 +47,51 @@ where
     })
 }
 
+/// Maps `f` over `0..items` on up to `threads` OS threads, returning the
+/// results **in item order** — the shape every construction uses to
+/// derive per-source route batches in parallel while keeping insertion
+/// (and therefore conflict reporting) deterministic.
+pub(crate) fn ordered_map<T, F>(items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let parts = map_workers(items, threads, |next| {
+        let mut out = Vec::new();
+        while let Some(i) = next() {
+            out.push((i, f(i)));
+        }
+        out
+    });
+    let mut slots: Vec<Option<T>> = (0..items).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item is claimed exactly once"))
+        .collect()
+}
+
+/// The construction-time default worker count: one per available core.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ordered_map_preserves_item_order() {
+        for threads in [1, 4] {
+            let out = ordered_map(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(ordered_map(0, 4, |i| i).is_empty());
+    }
 
     #[test]
     fn all_items_claimed_exactly_once() {

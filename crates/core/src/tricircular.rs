@@ -23,10 +23,11 @@
 //! the natural construction and experiment E5 validates the bound
 //! empirically.
 
-use ftr_graph::{connectivity, Graph};
+use ftr_graph::{connectivity, Graph, Node};
 
 use crate::concentrator::NeighborhoodConcentrator;
 use crate::kernel::insert_edge_routes;
+use crate::par;
 use crate::tree::tree_routing;
 use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
 
@@ -167,33 +168,39 @@ fn construct(
     let mut routing = Routing::new(g.node_count(), RoutingKind::Bidirectional);
     insert_edge_routes(&mut routing, g)?; // T-CIRC 4
     let set_of = |j: usize, i: usize| conc.gamma(j * s + i);
-    for x in g.nodes() {
+    // T-CIRC 1–3 derive every source's tree routings in parallel;
+    // insertion is sequential in source order.
+    let nodes: Vec<Node> = g.nodes().collect();
+    let batches = par::ordered_map(nodes.len(), par::default_threads(), |idx| {
+        let x = nodes[idx];
+        let mut paths = Vec::new();
         match conc.circle_of(x) {
             // T-CIRC 1: x outside Γ routes into every set of every circle.
             None => {
-                for idx in 0..3 * s {
-                    for p in tree_routing(g, x, conc.gamma(idx), kappa)? {
-                        routing.insert(p)?;
-                    }
+                for i in 0..3 * s {
+                    paths.extend(tree_routing(g, x, conc.gamma(i), kappa)?);
                 }
             }
             Some(global) => {
                 let (j, i) = (global / s, global % s);
                 // T-CIRC 2: forward within the own circle.
                 for k in 1..=forward {
-                    for p in tree_routing(g, x, set_of(j, (i + k) % s), kappa)? {
-                        routing.insert(p)?;
-                    }
+                    paths.extend(tree_routing(g, x, set_of(j, (i + k) % s), kappa)?);
                 }
                 // T-CIRC 3: every set of the next circle.
                 for l in 0..s {
-                    for p in tree_routing(g, x, set_of((j + 1) % 3, l), kappa)? {
-                        routing.insert(p)?;
-                    }
+                    paths.extend(tree_routing(g, x, set_of((j + 1) % 3, l), kappa)?);
                 }
             }
         }
+        Ok::<_, RoutingError>(paths)
+    });
+    for batch in batches {
+        for p in batch? {
+            routing.insert(p)?;
+        }
     }
+    routing.freeze();
     Ok(routing)
 }
 

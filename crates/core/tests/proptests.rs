@@ -112,6 +112,127 @@ proptest! {
     }
 }
 
+// ------------------------------------------- Frozen CSR vs reference model
+
+/// Builds the same route set twice — once left as a builder, once
+/// frozen — plus a plain `HashMap` model, from random paths.
+fn build_with_model(
+    n: usize,
+    kind: RoutingKind,
+    paths: &[Path],
+) -> (Routing, Routing, HashMap<(Node, Node), Vec<Node>>) {
+    let mut routing = Routing::new(n, kind);
+    let mut model: HashMap<(Node, Node), Vec<Node>> = HashMap::new();
+    for p in paths {
+        if routing.insert(p.clone()).is_ok() {
+            model.insert((p.source(), p.target()), p.nodes().to_vec());
+            if kind == RoutingKind::Bidirectional {
+                let mut rev = p.nodes().to_vec();
+                rev.reverse();
+                model.insert((p.target(), p.source()), rev);
+            }
+        }
+    }
+    let mut frozen = routing.clone();
+    frozen.freeze();
+    (routing, frozen, model)
+}
+
+proptest! {
+    // A frozen CSR table answers `route`, `route_count` and `routes`
+    // identically to the HashMap reference model (and to its own
+    // builder state), for both routing kinds.
+    #[test]
+    fn frozen_csr_matches_hashmap_model(
+        paths in prop::collection::vec(simple_path(16), 0..40),
+        bidirectional in any::<bool>(),
+    ) {
+        let kind = if bidirectional { RoutingKind::Bidirectional } else { RoutingKind::Unidirectional };
+        let (builder, frozen, model) = build_with_model(16, kind, &paths);
+        prop_assert!(frozen.is_frozen());
+        prop_assert_eq!(frozen.route_count(), model.len());
+        prop_assert_eq!(frozen.route_count(), builder.route_count());
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                match model.get(&(x, y)) {
+                    Some(nodes) => {
+                        prop_assert_eq!(&frozen.route(x, y).expect("routed").nodes(), nodes);
+                        prop_assert_eq!(&builder.route(x, y).expect("routed").nodes(), nodes);
+                    }
+                    None => {
+                        prop_assert!(frozen.route(x, y).is_none());
+                        prop_assert!(builder.route(x, y).is_none());
+                    }
+                }
+            }
+        }
+        // routes() iterates both states in identical (sorted) order.
+        let a: Vec<(Node, Node, Vec<Node>)> =
+            builder.routes().map(|(s, d, v)| (s, d, v.nodes())).collect();
+        let b: Vec<(Node, Node, Vec<Node>)> =
+            frozen.routes().map(|(s, d, v)| (s, d, v.nodes())).collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(builder.stats(), frozen.stats());
+    }
+
+    // Frozen and builder tables produce arc-for-arc identical surviving
+    // graphs under every sampled fault set, directly and through the
+    // compiled engine.
+    #[test]
+    fn frozen_csr_surviving_graphs_match(
+        paths in prop::collection::vec(simple_path(14), 1..30),
+        faults in prop::collection::btree_set(0u32..14, 0..5),
+        bidirectional in any::<bool>(),
+    ) {
+        let kind = if bidirectional { RoutingKind::Bidirectional } else { RoutingKind::Unidirectional };
+        let (builder, frozen, _) = build_with_model(14, kind, &paths);
+        let fs = NodeSet::from_nodes(14, faults.iter().copied());
+        let a = builder.surviving(&fs);
+        let b = frozen.surviving(&fs);
+        let ea = ftr_core::Compile::compile(&builder).surviving(&fs);
+        let eb = ftr_core::Compile::compile(&frozen).surviving(&fs);
+        for x in 0..14u32 {
+            for y in 0..14u32 {
+                if x == y { continue; }
+                prop_assert_eq!(a.has_edge(x, y), b.has_edge(x, y), "({}, {})", x, y);
+                prop_assert_eq!(a.has_edge(x, y), ea.has_edge(x, y), "engine ({}, {})", x, y);
+                prop_assert_eq!(a.has_edge(x, y), eb.has_edge(x, y), "frozen engine ({}, {})", x, y);
+            }
+        }
+        prop_assert_eq!(a.diameter(), b.diameter());
+    }
+
+    // Re-inserting every existing route (in either orientation, for
+    // bidirectional tables) into a frozen table is idempotent and does
+    // not thaw it; genuinely conflicting paths are still rejected.
+    #[test]
+    fn frozen_reinsert_is_idempotent(
+        paths in prop::collection::vec(simple_path(12), 1..25),
+        bidirectional in any::<bool>(),
+        flip in any::<bool>(),
+    ) {
+        let kind = if bidirectional { RoutingKind::Bidirectional } else { RoutingKind::Unidirectional };
+        let (_, mut frozen, model) = build_with_model(12, kind, &paths);
+        let routes = frozen.route_count();
+        let arena_before: (Vec<u32>, Vec<Node>) = {
+            let (off, arena) = frozen.arena().expect("frozen");
+            (off.to_vec(), arena.to_vec())
+        };
+        for nodes in model.values() {
+            let mut nodes = nodes.clone();
+            if flip && kind == RoutingKind::Bidirectional {
+                nodes.reverse();
+            }
+            frozen.insert(Path::new(nodes).unwrap()).expect("idempotent");
+        }
+        prop_assert!(frozen.is_frozen(), "re-inserts must not thaw");
+        prop_assert_eq!(frozen.route_count(), routes);
+        let (off, arena) = frozen.arena().expect("still frozen");
+        prop_assert_eq!(off, &arena_before.0[..], "arena untouched");
+        prop_assert_eq!(arena, &arena_before.1[..]);
+    }
+}
+
 // ------------------------------------------------------------ Tree routing
 
 fn connected_gnp() -> impl Strategy<Value = Graph> {

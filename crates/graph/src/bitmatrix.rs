@@ -94,6 +94,16 @@ impl BitMatrix {
         self.rows.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Makes `self` an exact copy of `src`, reusing the existing word
+    /// buffer when it is large enough — the scratch-matrix primitive
+    /// behind the compiled engine's per-fault-set evaluation, which would
+    /// otherwise allocate a fresh matrix per call.
+    pub fn copy_from(&mut self, src: &BitMatrix) {
+        self.n = src.n;
+        self.stride = src.stride;
+        self.rows.clone_from(&src.rows);
+    }
+
     fn locate(&self, u: Node, v: Node) -> (usize, usize, u32) {
         let (u, v) = (u as usize, v as usize);
         assert!(

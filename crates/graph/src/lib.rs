@@ -72,7 +72,7 @@ pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use nodeset::{words_intersect, NodeSet};
-pub use path::Path;
+pub use path::{nodes_affected_by, validate_nodes_in, Path};
 
 /// Identifier of a node in a [`Graph`] or [`DiGraph`].
 ///

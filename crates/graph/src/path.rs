@@ -104,7 +104,7 @@ impl Path {
     /// This is the paper's "a route is *affected* by a fault if the fault
     /// is contained in it".
     pub fn is_affected_by(&self, faults: &NodeSet) -> bool {
-        self.nodes.iter().any(|&v| faults.contains(v))
+        nodes_affected_by(&self.nodes, faults)
     }
 
     /// The same path traversed in the opposite direction.
@@ -122,21 +122,42 @@ impl Path {
     /// * [`GraphError::NodeOutOfRange`] if a node is not in `g`.
     /// * [`GraphError::MissingEdge`] if consecutive nodes are not adjacent.
     pub fn validate_in(&self, g: &Graph) -> Result<(), GraphError> {
-        for &v in &self.nodes {
-            if v as usize >= g.node_count() {
-                return Err(GraphError::NodeOutOfRange {
-                    node: v,
-                    n: g.node_count(),
-                });
-            }
-        }
-        for w in self.nodes.windows(2) {
-            if !g.has_edge(w[0], w[1]) {
-                return Err(GraphError::MissingEdge { u: w[0], v: w[1] });
-            }
-        }
-        Ok(())
+        validate_nodes_in(&self.nodes, g)
     }
+}
+
+/// Returns `true` if any node of the slice belongs to `faults` — the
+/// borrowed-slice form of [`Path::is_affected_by`], used by route tables
+/// that store their paths in a flat node arena instead of as [`Path`]
+/// values.
+pub fn nodes_affected_by(nodes: &[Node], faults: &NodeSet) -> bool {
+    nodes.iter().any(|&v| faults.contains(v))
+}
+
+/// Checks that every node of the slice exists in `g` and consecutive
+/// nodes are adjacent — the borrowed-slice form of [`Path::validate_in`]
+/// for arena-stored routes (simplicity is the arena owner's invariant
+/// and is not re-checked here).
+///
+/// # Errors
+///
+/// * [`GraphError::NodeOutOfRange`] if a node is not in `g`.
+/// * [`GraphError::MissingEdge`] if consecutive nodes are not adjacent.
+pub fn validate_nodes_in(nodes: &[Node], g: &Graph) -> Result<(), GraphError> {
+    for &v in nodes {
+        if v as usize >= g.node_count() {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                n: g.node_count(),
+            });
+        }
+    }
+    for w in nodes.windows(2) {
+        if !g.has_edge(w[0], w[1]) {
+            return Err(GraphError::MissingEdge { u: w[0], v: w[1] });
+        }
+    }
+    Ok(())
 }
 
 impl fmt::Debug for Path {

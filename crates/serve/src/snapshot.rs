@@ -10,9 +10,16 @@
 //!
 //! The disk format is line-delimited text: a graph6 body for the
 //! topology (interchangeable with nauty/geng/NetworkX, parsed by
-//! [`ftr_graph::io`]) and one `route` line per stored path. A
-//! bidirectional routing writes each path once; loading re-registers
-//! both directions.
+//! [`ftr_graph::io`]) and the route table. Two versions exist:
+//!
+//! * **v2** (written) — the frozen [`Routing`]'s flat node arena is
+//!   serialized in bulk: a `paths` count, the `off` path-offset array
+//!   and the `arena` node array, chunked onto fixed-width lines. The
+//!   frozen layout is canonical, so write → load → write round-trips
+//!   byte-identically.
+//! * **v1** (still read) — one `route` line per stored path; a
+//!   bidirectional routing writes each path once and loading
+//!   re-registers both directions.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -22,8 +29,15 @@ use std::sync::Arc;
 use ftr_core::{Compile, CompiledRoutes, Routing, RoutingKind};
 use ftr_graph::{io as graph_io, Graph, Node, Path};
 
-/// Magic first line of a snapshot file.
-const HEADER: &str = "ftr-snapshot v1";
+/// Magic first line of a legacy (per-route-line) snapshot file.
+const HEADER_V1: &str = "ftr-snapshot v1";
+
+/// Magic first line of a bulk-arena snapshot file.
+const HEADER_V2: &str = "ftr-snapshot v2";
+
+/// Values per `off` / `arena` line; fixed so the writer is
+/// deterministic and diffs stay reviewable.
+const CHUNK: usize = 1024;
 
 /// The immutable serving artifact: network, route table and compiled
 /// engine. Epochs share one of these through an [`Arc`]; only the fault
@@ -37,13 +51,16 @@ pub struct RoutingSnapshot {
 
 impl RoutingSnapshot {
     /// Bundles a validated routing with its network and compiles the
-    /// engine.
+    /// engine. The routing is frozen first — a snapshot is by definition
+    /// a finished table, and the frozen CSR arena is what the v2 disk
+    /// format serializes.
     ///
     /// # Errors
     ///
     /// Returns the underlying [`ftr_core::RoutingError`] if the routing
     /// does not validate against `graph`.
-    pub fn new(graph: Graph, routing: Routing) -> Result<Self, ftr_core::RoutingError> {
+    pub fn new(graph: Graph, mut routing: Routing) -> Result<Self, ftr_core::RoutingError> {
+        routing.freeze();
         routing.validate(&graph)?;
         let engine = routing.compile();
         Ok(RoutingSnapshot {
@@ -73,38 +90,36 @@ impl RoutingSnapshot {
         self.graph.node_count()
     }
 
-    /// Writes the snapshot in the `ftr-snapshot v1` text format.
+    /// Writes the snapshot in the `ftr-snapshot v2` bulk-arena format:
+    /// the frozen route table's path-offset and node-arena arrays are
+    /// emitted directly, in fixed-width chunks. Because the frozen
+    /// layout is canonical, the output is byte-identical across write →
+    /// load → write round trips.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        writeln!(w, "{HEADER}")?;
+        writeln!(w, "{HEADER_V2}")?;
         writeln!(w, "graph {}", graph_io::to_graph6(&self.graph))?;
         let kind = match self.routing.kind() {
             RoutingKind::Unidirectional => "unidirectional",
             RoutingKind::Bidirectional => "bidirectional",
         };
         writeln!(w, "kind {kind}")?;
-        let mut routes: Vec<Vec<Node>> = self
+        let (off, arena) = self
             .routing
-            .routes()
-            .filter(|(s, d, _)| self.routing.kind() == RoutingKind::Unidirectional || s < d)
-            .map(|(_, _, view)| view.nodes())
-            .collect();
-        routes.sort_unstable();
-        for nodes in routes {
-            write!(w, "route")?;
-            for v in nodes {
-                write!(w, " {v}")?;
-            }
-            writeln!(w)?;
-        }
+            .arena()
+            .expect("snapshot routings are always frozen");
+        writeln!(w, "paths {}", off.len() - 1)?;
+        write_chunked(w, "off", off)?;
+        write_chunked(w, "arena", arena)?;
         writeln!(w, "end")
     }
 
-    /// Parses a snapshot from the `ftr-snapshot v1` text format,
-    /// validating every route against the embedded graph.
+    /// Parses a snapshot from either text format (`ftr-snapshot v2`, or
+    /// the legacy per-route-line `ftr-snapshot v1`), validating every
+    /// route against the embedded graph.
     ///
     /// # Errors
     ///
@@ -113,9 +128,17 @@ impl RoutingSnapshot {
     pub fn read_from(r: impl BufRead) -> Result<Self, SnapshotError> {
         let mut lines = r.lines();
         let header = lines.next().ok_or_else(|| bad("empty snapshot"))??;
-        if header.trim_end() != HEADER {
-            return Err(bad(format!("bad header {header:?}, want {HEADER:?}")));
+        match header.trim_end() {
+            HEADER_V2 => Self::read_v2(lines),
+            HEADER_V1 => Self::read_v1(lines),
+            other => Err(bad(format!(
+                "bad header {other:?}, want {HEADER_V2:?} or {HEADER_V1:?}"
+            ))),
         }
+    }
+
+    /// The legacy v1 body: one `route` line per stored path.
+    fn read_v1(lines: io::Lines<impl BufRead>) -> Result<Self, SnapshotError> {
         let mut graph = None;
         let mut routing: Option<Routing> = None;
         let mut ended = false;
@@ -133,11 +156,7 @@ impl RoutingSnapshot {
                     graph = Some(g);
                 }
                 "kind" => {
-                    let kind = match rest {
-                        "unidirectional" => RoutingKind::Unidirectional,
-                        "bidirectional" => RoutingKind::Bidirectional,
-                        other => return Err(bad(format!("unknown routing kind {other:?}"))),
-                    };
+                    let kind = parse_kind(rest)?;
                     let g = graph.as_ref().ok_or_else(|| bad("kind before graph"))?;
                     routing = Some(Routing::new(g.node_count(), kind));
                 }
@@ -164,6 +183,75 @@ impl RoutingSnapshot {
         }
         let graph = graph.ok_or_else(|| bad("snapshot has no graph"))?;
         let routing = routing.ok_or_else(|| bad("snapshot has no routing"))?;
+        RoutingSnapshot::new(graph, routing).map_err(|e| bad(format!("invalid routing: {e}")))
+    }
+
+    /// The v2 body: `paths` count plus bulk `off` / `arena` arrays.
+    fn read_v2(lines: io::Lines<impl BufRead>) -> Result<Self, SnapshotError> {
+        let mut graph = None;
+        let mut kind = None;
+        let mut paths: Option<usize> = None;
+        let mut off: Vec<u32> = Vec::new();
+        let mut arena: Vec<Node> = Vec::new();
+        let mut ended = false;
+        for line in lines {
+            let line = line?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match verb {
+                "graph" => {
+                    let g =
+                        graph_io::from_graph6(rest).map_err(|e| bad(format!("graph line: {e}")))?;
+                    graph = Some(g);
+                }
+                "kind" => kind = Some(parse_kind(rest)?),
+                "paths" => {
+                    paths = Some(
+                        rest.trim()
+                            .parse()
+                            .map_err(|_| bad(format!("bad path count {rest:?}")))?,
+                    );
+                }
+                "off" => parse_numbers_into(rest, &mut off)?,
+                "arena" => parse_numbers_into(rest, &mut arena)?,
+                "end" => {
+                    ended = true;
+                    break;
+                }
+                other => return Err(bad(format!("unknown snapshot line {other:?}"))),
+            }
+        }
+        if !ended {
+            return Err(bad("snapshot truncated (no `end` line)"));
+        }
+        let graph = graph.ok_or_else(|| bad("snapshot has no graph"))?;
+        let kind = kind.ok_or_else(|| bad("snapshot has no kind"))?;
+        let paths = paths.ok_or_else(|| bad("snapshot has no path count"))?;
+        if off.len() != paths + 1 {
+            return Err(bad(format!(
+                "offset array has {} entries, want paths + 1 = {}",
+                off.len(),
+                paths + 1
+            )));
+        }
+        if off.first() != Some(&0) || off.last().copied() != Some(arena.len() as u32) {
+            return Err(bad("offset array does not span the arena"));
+        }
+        let mut routing = Routing::new(graph.node_count(), kind);
+        for p in 0..paths {
+            let (a, b) = (off[p] as usize, off[p + 1] as usize);
+            if a > b || b > arena.len() {
+                return Err(bad(format!("offsets {a}..{b} are not monotone")));
+            }
+            let path =
+                Path::new(arena[a..b].to_vec()).map_err(|e| bad(format!("arena path {p}: {e}")))?;
+            routing
+                .insert(path)
+                .map_err(|e| bad(format!("arena path {p}: {e}")))?;
+        }
         RoutingSnapshot::new(graph, routing).map_err(|e| bad(format!("invalid routing: {e}")))
     }
 
@@ -196,6 +284,36 @@ impl RoutingSnapshot {
 
 fn bad(msg: impl Into<String>) -> SnapshotError {
     SnapshotError::Malformed(msg.into())
+}
+
+fn parse_kind(token: &str) -> Result<RoutingKind, SnapshotError> {
+    match token {
+        "unidirectional" => Ok(RoutingKind::Unidirectional),
+        "bidirectional" => Ok(RoutingKind::Bidirectional),
+        other => Err(bad(format!("unknown routing kind {other:?}"))),
+    }
+}
+
+/// Writes `values` as repeated `<verb> v v v ...` lines of [`CHUNK`]
+/// values each.
+fn write_chunked(w: &mut impl Write, verb: &str, values: &[u32]) -> io::Result<()> {
+    for chunk in values.chunks(CHUNK) {
+        write!(w, "{verb}")?;
+        for v in chunk {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Appends every whitespace-separated number of `rest` to `out` (the
+/// bulk decode path of the v2 loader).
+fn parse_numbers_into(rest: &str, out: &mut Vec<u32>) -> Result<(), SnapshotError> {
+    for t in rest.split_whitespace() {
+        out.push(t.parse().map_err(|_| bad(format!("bad number {t:?}")))?);
+    }
+    Ok(())
 }
 
 /// Why a snapshot could not be loaded.
@@ -264,6 +382,56 @@ mod tests {
     }
 
     #[test]
+    fn v2_round_trip_is_byte_identical() {
+        let snap = petersen_snapshot();
+        let mut first = Vec::new();
+        snap.write_to(&mut first).unwrap();
+        assert!(first.starts_with(b"ftr-snapshot v2\n"));
+        let loaded = RoutingSnapshot::read_from(first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        loaded.write_to(&mut second).unwrap();
+        assert_eq!(first, second, "write -> load -> write must not drift");
+    }
+
+    #[test]
+    fn reads_legacy_v1_documents() {
+        // A v1 document equivalent to what the previous writer produced:
+        // each stored path once, sorted.
+        let snap = petersen_snapshot();
+        let mut doc = String::from("ftr-snapshot v1\n");
+        doc.push_str(&format!("graph {}\n", graph_io::to_graph6(snap.graph())));
+        doc.push_str("kind bidirectional\n");
+        let mut routes: Vec<Vec<Node>> = snap
+            .routing()
+            .routes()
+            .filter(|&(s, d, _)| s < d)
+            .map(|(_, _, view)| view.nodes())
+            .collect();
+        routes.sort_unstable();
+        for nodes in routes {
+            doc.push_str("route");
+            for v in nodes {
+                doc.push_str(&format!(" {v}"));
+            }
+            doc.push('\n');
+        }
+        doc.push_str("end\n");
+        let loaded = RoutingSnapshot::read_from(doc.as_bytes()).unwrap();
+        assert_eq!(loaded.graph(), snap.graph());
+        assert_eq!(loaded.routing().route_count(), snap.routing().route_count());
+        for (s, d, view) in snap.routing().routes() {
+            let other = loaded.routing().route(s, d).expect("pair preserved");
+            assert_eq!(other.nodes(), view.nodes(), "route ({s}, {d})");
+        }
+        // Re-writing the v1 document upgrades it to the canonical v2
+        // form, identical to writing the original snapshot.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        loaded.write_to(&mut a).unwrap();
+        snap.write_to(&mut b).unwrap();
+        assert_eq!(a, b, "v1 upgrade is canonical");
+    }
+
+    #[test]
     fn rejects_malformed_documents() {
         for doc in [
             "",
@@ -276,6 +444,15 @@ mod tests {
             "ftr-snapshot v1\ngraph C~\nkind bidirectional\nroute 0 x\nend\n",
             "ftr-snapshot v1\ngraph C~\nkind bidirectional\n", // truncated
             "ftr-snapshot v1\nmystery line\nend\n",
+            // v2-specific failures:
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\nend\n", // no paths
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\npaths 1\noff 0 2\narena 0 1\n", // truncated
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\npaths 2\noff 0 2\narena 0 1\nend\n", // off too short
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\npaths 1\noff 0 3\narena 0 1\nend\n", // off beyond arena
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\npaths 1\noff 1 2\narena 0 1\nend\n", // off not from 0
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\npaths 1\noff 0 2\narena 0 x\nend\n", // bad number
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\npaths 1\noff 0 2\narena 0 9\nend\n", // node out of range
+            "ftr-snapshot v2\ngraph C~\nkind bidirectional\npaths 1\noff 0 1\narena 0\nend\n", // single-node path
         ] {
             assert!(
                 RoutingSnapshot::read_from(doc.as_bytes()).is_err(),
@@ -287,8 +464,12 @@ mod tests {
     #[test]
     fn validates_routes_against_graph() {
         // "DQc" (the 5-node path 2-0-4-3-1) has no 0-1 edge, so the
-        // route line must fail validation against the embedded graph.
-        let doc = "ftr-snapshot v1\ngraph DQc\nkind bidirectional\nroute 0 1\nend\n";
-        assert!(RoutingSnapshot::read_from(doc.as_bytes()).is_err());
+        // route must fail validation against the embedded graph in both
+        // formats.
+        let v1 = "ftr-snapshot v1\ngraph DQc\nkind bidirectional\nroute 0 1\nend\n";
+        assert!(RoutingSnapshot::read_from(v1.as_bytes()).is_err());
+        let v2 =
+            "ftr-snapshot v2\ngraph DQc\nkind bidirectional\npaths 1\noff 0 2\narena 0 1\nend\n";
+        assert!(RoutingSnapshot::read_from(v2.as_bytes()).is_err());
     }
 }

@@ -26,6 +26,9 @@ fn push_scaling_row(table: &mut Table, name: &str, g: &Graph, routing: &Routing,
     let diam = traversal::diameter(g, None)
         .map(|d| d.to_string())
         .unwrap_or_else(|| "inf".into());
+    // Constructions return frozen tables, so this is the exact CSR
+    // footprint — the number a deployment would provision per route.
+    let bytes_per_route = routing.memory_bytes() as f64 / stats.routes.max(1) as f64;
     table.push_row([
         name.to_string(),
         g.node_count().to_string(),
@@ -36,6 +39,7 @@ fn push_scaling_row(table: &mut Table, name: &str, g: &Graph, routing: &Routing,
         stats.stored_paths.to_string(),
         format!("{:.2}", stats.mean_route_len),
         stats.max_route_len.to_string(),
+        format!("{bytes_per_route:.1}"),
     ]);
 }
 
@@ -59,6 +63,7 @@ pub fn s1_scaling(scale: Scale) -> Table {
             "stored paths",
             "mean route len",
             "max route len",
+            "bytes/route",
         ],
     );
     for &n in sizes {
