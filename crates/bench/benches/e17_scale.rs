@@ -98,7 +98,7 @@ fn measure(n: usize) -> Point {
     // fault sets of the full budget t = 3.
     let trials = (8192 / n).clamp(4, 32);
     let f = kernel.tolerated_faults();
-    let claim = kernel.claim_theorem_3();
+    let claim = kernel.guarantee_theorem_3().claim();
     let start = Instant::now();
     let report = verify_tolerance(
         &engine,

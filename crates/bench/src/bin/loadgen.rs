@@ -5,15 +5,18 @@
 //! ```text
 //! loadgen [--clients N] [--seconds S] [--churn-hz R] [--fault-budget F]
 //!         [--pipeline B] [--graph harary:K,N|petersen|cycle:N]
-//!         [--assert-qps Q] [--out FILE]
+//!         [--scheme SCHEME|auto] [--assert-qps Q] [--out FILE]
 //! ```
 //!
-//! The churn client rotates through a scenario mix drawn from
-//! `ftr_sim::faults` and `ftr_sim::churn`: uniform random victims,
-//! victims targeted at the kernel separator ([`FaultPlan::TargetedPool`]
-//! — the adversarial case for a kernel routing), and organic
-//! fail/repair processes ([`ChurnStream`]). Query clients send pipelined
-//! bursts of `ROUTE` with sprinkled `DIAM`/`EPOCH`/`TOLERATE`.
+//! `--scheme` takes the shared `ftr_core::SchemeSpec` grammar (the same
+//! one `ftr-served` accepts) and serves that construction; `auto` lets
+//! the scheme planner pick. The churn client rotates through a scenario
+//! mix drawn from `ftr_sim::faults` and `ftr_sim::churn`: uniform random
+//! victims, victims targeted at the served scheme's core nodes
+//! (separator / concentrator / poles, [`FaultPlan::TargetedPool`] — the
+//! adversarial case), and organic fail/repair processes
+//! ([`ChurnStream`]). Query clients send pipelined bursts of `ROUTE`
+//! with sprinkled `DIAM`/`EPOCH`/`TOLERATE`.
 //!
 //! Exits nonzero on any protocol error, unclean shutdown, or a missed
 //! `--assert-qps` floor.
@@ -23,8 +26,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use ftr_core::KernelRouting;
-use ftr_graph::Node;
+use ftr_core::{BuiltRouting, Planner, PlannerRequest, SchemeRegistry, SchemeSpec};
+use ftr_graph::{connectivity, Graph, Node};
 use ftr_serve::spec::parse_graph_spec;
 use ftr_serve::{Client, RoutingSnapshot, Server, ServerConfig};
 use ftr_sim::churn::{ChurnConfig, ChurnStream};
@@ -39,6 +42,7 @@ struct Args {
     fault_budget: usize,
     pipeline: usize,
     graph: String,
+    scheme: String,
     assert_qps: Option<f64>,
     out: Option<String>,
 }
@@ -52,6 +56,7 @@ impl Args {
             fault_budget: 2,
             pipeline: 32,
             graph: "harary:5,24".to_string(),
+            scheme: "kernel".to_string(),
             assert_qps: None,
             out: None,
         };
@@ -65,6 +70,7 @@ impl Args {
                 "--fault-budget" => args.fault_budget = parse(&value("--fault-budget")?)?,
                 "--pipeline" => args.pipeline = parse(&value("--pipeline")?)?,
                 "--graph" => args.graph = value("--graph")?,
+                "--scheme" => args.scheme = value("--scheme")?,
                 "--assert-qps" => args.assert_qps = Some(parse(&value("--assert-qps")?)?),
                 "--out" => args.out = Some(value("--out")?),
                 other => return Err(format!("unknown flag {other:?}")),
@@ -271,14 +277,34 @@ fn main() -> ExitCode {
     }
 }
 
+/// Builds the served scheme through the shared registry/planner path
+/// (the same `SchemeSpec` grammar `ftr-served --scheme` accepts).
+fn build_scheme(graph: &Graph, scheme: &str) -> Result<BuiltRouting, String> {
+    if scheme == "auto" {
+        let budget = connectivity::vertex_connectivity(graph).saturating_sub(1);
+        let request = PlannerRequest::tolerate(budget).single_routes();
+        let plan = Planner::new()
+            .plan(graph, &request)
+            .map_err(|e| e.to_string())?;
+        return Ok(plan.winner);
+    }
+    let spec: SchemeSpec = scheme.parse()?;
+    SchemeRegistry::standard()
+        .build_spec(graph, &spec)
+        .map_err(|e| e.to_string())
+}
+
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
     let (graph, family_label) = parse_graph_spec(&args.graph)?;
-    let graph_label = format!("{family_label} kernel routing");
-    let n = graph.node_count();
-    let kernel = KernelRouting::build(&graph).map_err(|e| e.to_string())?;
-    let separator: Vec<Node> = kernel.separator().to_vec();
-    let snapshot = RoutingSnapshot::new(graph, kernel.routing().clone())
+    let built = build_scheme(&graph, &args.scheme)?;
+    let scheme_label = built.spec().to_string();
+    let graph_label = format!("{family_label} {scheme_label} routing");
+    // The served network is the built routing's network (the augment
+    // scheme serves the augmented graph, which has the same node set).
+    let n = built.graph().node_count();
+    let core: Vec<Node> = built.core_nodes().to_vec();
+    let snapshot = RoutingSnapshot::from_built(built)
         .map_err(|e| e.to_string())?
         .into_shared();
     let server = Server::bind(
@@ -305,7 +331,7 @@ fn run() -> Result<(), String> {
             run_churn(
                 addr,
                 n,
-                separator,
+                core,
                 args.fault_budget,
                 args.churn_hz,
                 &stop_churn,
@@ -364,7 +390,8 @@ fn run() -> Result<(), String> {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"loadgen\",\n  \"graph\": \"{graph_label}\",\n  \"n\": {n},\n  \
+        "{{\n  \"bench\": \"loadgen\",\n  \"graph\": \"{graph_label}\",\n  \
+         \"scheme\": \"{scheme_label}\",\n  \"n\": {n},\n  \
          \"clients\": {},\n  \"pipeline_depth\": {},\n  \"seconds\": {elapsed:.2},\n  \
          \"churn_hz\": {},\n  \"fault_budget\": {},\n  \"route_queries\": {route},\n  \
          \"route_qps\": {route_qps:.0},\n  \"total_queries\": {total},\n  \

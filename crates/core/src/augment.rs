@@ -11,7 +11,7 @@
 use ftr_graph::{connectivity, Graph, Node};
 
 use crate::kernel::KernelRouting;
-use crate::{Routing, RoutingError, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, TheoremId, ToleranceClaim};
 
 /// A kernel routing over a clique-augmented network.
 ///
@@ -89,6 +89,12 @@ impl AugmentedKernelRouting {
         self.kernel.routing()
     }
 
+    /// Consumes the construction, returning the augmented network and
+    /// the owned route table over it.
+    pub fn into_parts(self) -> (Graph, Routing) {
+        (self.augmented, self.kernel.into_routing())
+    }
+
     /// The separator that was turned into a clique.
     pub fn separator(&self) -> &[Node] {
         self.kernel.separator()
@@ -105,12 +111,23 @@ impl AugmentedKernelRouting {
         self.t
     }
 
-    /// Section 6's claim: `(3, t)`-tolerance on the augmented network.
-    pub fn claim(&self) -> ToleranceClaim {
-        ToleranceClaim {
+    /// Section 6's guarantee: `(3, t)`-tolerance on the augmented
+    /// network, with this table's exact costs.
+    pub fn guarantee(&self) -> Guarantee {
+        Guarantee {
+            scheme: "augment",
+            theorem: TheoremId::Section6Augment,
             diameter: 3,
             faults: self.t,
+            routes: self.routing().route_count(),
+            memory_bytes: self.routing().memory_bytes(),
         }
+    }
+
+    /// Section 6's claim.
+    #[deprecated(note = "use `guarantee().claim()`")]
+    pub fn claim(&self) -> ToleranceClaim {
+        self.guarantee().claim()
     }
 
     /// The added-link budget the paper states: `t(t+1)/2`.
@@ -175,7 +192,7 @@ mod tests {
         let g = gen::petersen(); // t = 2
         let aug = AugmentedKernelRouting::build(&g).unwrap();
         let report = verify_tolerance(aug.routing(), 2, FaultStrategy::Exhaustive, 4);
-        assert!(report.satisfies(&aug.claim()), "{report}");
+        assert!(report.satisfies(&aug.guarantee().claim()), "{report}");
     }
 
     #[test]
@@ -183,7 +200,7 @@ mod tests {
         let g = gen::cycle(10).unwrap(); // t = 1
         let aug = AugmentedKernelRouting::build(&g).unwrap();
         let report = verify_tolerance(aug.routing(), 1, FaultStrategy::Exhaustive, 2);
-        assert!(report.satisfies(&aug.claim()), "{report}");
+        assert!(report.satisfies(&aug.guarantee().claim()), "{report}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use ftr_graph::{analysis, connectivity, Graph, Node, NodeSet, Path};
 use crate::kernel::insert_edge_routes;
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
 
 /// A bipolar routing with its roots and polar sets.
 ///
@@ -111,6 +111,11 @@ impl BipolarRouting {
         &self.routing
     }
 
+    /// Consumes the construction, returning the owned route table.
+    pub fn into_routing(self) -> Routing {
+        self.routing
+    }
+
     /// The two roots `(r1, r2)`.
     pub fn roots(&self) -> (Node, Node) {
         (self.r1, self.r2)
@@ -131,16 +136,28 @@ impl BipolarRouting {
         self.t
     }
 
-    /// Theorem 20's `(4, t)` claim for unidirectional routings,
-    /// Theorem 23's `(5, t)` for bidirectional ones.
-    pub fn claim(&self) -> ToleranceClaim {
-        ToleranceClaim {
-            diameter: match self.routing.kind() {
-                RoutingKind::Unidirectional => 4,
-                RoutingKind::Bidirectional => 5,
-            },
+    /// Theorem 20's `(4, t)` guarantee for unidirectional routings,
+    /// Theorem 23's `(5, t)` for bidirectional ones, with this table's
+    /// exact costs.
+    pub fn guarantee(&self) -> Guarantee {
+        let (theorem, diameter) = match self.routing.kind() {
+            RoutingKind::Unidirectional => (TheoremId::Theorem20, 4),
+            RoutingKind::Bidirectional => (TheoremId::Theorem23, 5),
+        };
+        Guarantee {
+            scheme: "bipolar",
+            theorem,
+            diameter,
             faults: self.t,
+            routes: self.routing.route_count(),
+            memory_bytes: self.routing.memory_bytes(),
         }
+    }
+
+    /// Theorem 20's / Theorem 23's claim.
+    #[deprecated(note = "use `guarantee().claim()`")]
+    pub fn claim(&self) -> ToleranceClaim {
+        self.guarantee().claim()
     }
 }
 
@@ -311,7 +328,7 @@ mod tests {
         let g = gen::cycle(12).unwrap(); // t = 1
         let b = BipolarRouting::build(&g, RoutingKind::Unidirectional).unwrap();
         let report = verify_tolerance(b.routing(), 1, FaultStrategy::Exhaustive, 4);
-        assert!(report.satisfies(&b.claim()), "{report}");
+        assert!(report.satisfies(&b.guarantee().claim()), "{report}");
     }
 
     #[test]
@@ -320,7 +337,7 @@ mod tests {
         let b = BipolarRouting::build(&g, RoutingKind::Bidirectional).unwrap();
         b.routing().validate(&g).unwrap();
         let report = verify_tolerance(b.routing(), 1, FaultStrategy::Exhaustive, 4);
-        assert!(report.satisfies(&b.claim()), "{report}");
+        assert!(report.satisfies(&b.guarantee().claim()), "{report}");
     }
 
     #[test]
@@ -339,7 +356,7 @@ mod tests {
             },
             4,
         );
-        assert!(report.satisfies(&b.claim()), "{report}");
+        assert!(report.satisfies(&b.guarantee().claim()), "{report}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::concentrator::NeighborhoodConcentrator;
 use crate::kernel::insert_edge_routes;
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
 
 /// A circular routing with its concentrator.
 ///
@@ -107,6 +107,11 @@ impl CircularRouting {
         &self.routing
     }
 
+    /// Consumes the construction, returning the owned route table.
+    pub fn into_routing(self) -> Routing {
+        self.routing
+    }
+
     /// The concentrator (circle) used.
     pub fn concentrator(&self) -> &NeighborhoodConcentrator {
         &self.concentrator
@@ -117,12 +122,23 @@ impl CircularRouting {
         self.t
     }
 
-    /// Theorem 10's claim: `(6, t)`-tolerance.
-    pub fn claim(&self) -> ToleranceClaim {
-        ToleranceClaim {
+    /// Theorem 10's guarantee: `(6, t)`-tolerance, with the exact
+    /// route-count/memory cost of this table.
+    pub fn guarantee(&self) -> Guarantee {
+        Guarantee {
+            scheme: "circular",
+            theorem: TheoremId::Theorem10,
             diameter: 6,
             faults: self.t,
+            routes: self.routing.route_count(),
+            memory_bytes: self.routing.memory_bytes(),
         }
+    }
+
+    /// Theorem 10's claim.
+    #[deprecated(note = "use `guarantee().claim()`")]
+    pub fn claim(&self) -> ToleranceClaim {
+        self.guarantee().claim()
     }
 }
 
@@ -203,7 +219,7 @@ mod tests {
         let circ = CircularRouting::build(&g).unwrap();
         circ.routing().validate(&g).unwrap();
         let report = verify_tolerance(circ.routing(), 1, FaultStrategy::Exhaustive, 2);
-        assert!(report.satisfies(&circ.claim()), "{report}");
+        assert!(report.satisfies(&circ.guarantee().claim()), "{report}");
     }
 
     #[test]
@@ -211,7 +227,7 @@ mod tests {
         let g = gen::harary(3, 20).unwrap(); // t = 2
         let circ = CircularRouting::build(&g).unwrap();
         let report = verify_tolerance(circ.routing(), 2, FaultStrategy::Exhaustive, 4);
-        assert!(report.satisfies(&circ.claim()), "{report}");
+        assert!(report.satisfies(&circ.guarantee().claim()), "{report}");
     }
 
     #[test]
@@ -230,7 +246,7 @@ mod tests {
         let g = gen::cycle(15).unwrap();
         let circ = CircularRouting::build_with_size(&g, 3).unwrap();
         let report = verify_tolerance(circ.routing(), 1, FaultStrategy::Exhaustive, 2);
-        assert!(report.satisfies(&circ.claim()), "{report}");
+        assert!(report.satisfies(&circ.guarantee().claim()), "{report}");
     }
 
     #[test]

@@ -631,7 +631,7 @@ mod tests {
         let kernel = crate::KernelRouting::build(&g).unwrap();
         let engine = kernel.routing().compile();
         let report = crate::verify_tolerance(&engine, 2, crate::FaultStrategy::Exhaustive, 2);
-        assert!(report.satisfies(&kernel.claim_theorem_3()));
+        assert!(report.satisfies(&kernel.guarantee_theorem_3().claim()));
         let absurd = ToleranceClaim {
             diameter: 0,
             faults: 2,

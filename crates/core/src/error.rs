@@ -3,6 +3,122 @@ use std::fmt;
 
 use ftr_graph::{GraphError, Node};
 
+/// Why a construction scheme cannot be applied to a graph, with the
+/// scheme's name attached — the uniform "not for this network" half of
+/// the error taxonomy. [`RoutingError`] remains the "the build itself
+/// failed" half; [`Inapplicable::from_build_error`] classifies between
+/// the two.
+///
+/// Every consumer (the planner, the sim sweep rows, the serve `SCHEMES`
+/// verb) renders this through its one [`fmt::Display`] impl, so the
+/// reason a scheme was skipped reads identically everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inapplicable {
+    /// Name of the scheme that was ruled out (e.g. `"circular"`).
+    pub scheme: &'static str,
+    /// The structural reason.
+    pub reason: InapplicableReason,
+}
+
+/// The structural reason a scheme was ruled out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InapplicableReason {
+    /// The graph's vertex connectivity is below what the construction
+    /// requires (`0` found means disconnected).
+    InsufficientConnectivity {
+        /// Disjoint paths / connectivity required.
+        needed: usize,
+        /// Connectivity found.
+        found: usize,
+    },
+    /// No concentrator (neighborhood set, separator, …) of the required
+    /// size exists.
+    ConcentratorTooSmall {
+        /// Members required.
+        needed: usize,
+        /// Members found.
+        found: usize,
+    },
+    /// A structural property the construction needs does not hold
+    /// (two-trees roots, separating set, exact hypercube topology, …).
+    MissingProperty {
+        /// The violated requirement, human-readable.
+        what: String,
+    },
+    /// The requested fault budget exceeds what the construction can
+    /// promise on this graph.
+    FaultBudgetExceeded {
+        /// Faults the construction tolerates here.
+        tolerates: usize,
+        /// Faults requested.
+        requested: usize,
+    },
+    /// The construction's estimated route count exceeds the planner's
+    /// configured route budget.
+    OverRouteBudget {
+        /// Estimated ordered-pair route count.
+        estimated: usize,
+        /// The configured cap.
+        budget: usize,
+    },
+}
+
+impl Inapplicable {
+    /// An [`InapplicableReason::MissingProperty`] for `scheme`.
+    pub fn property(scheme: &'static str, what: impl Into<String>) -> Self {
+        Inapplicable {
+            scheme,
+            reason: InapplicableReason::MissingProperty { what: what.into() },
+        }
+    }
+
+    /// Classifies a build error: precondition failures (connectivity,
+    /// concentrator size, missing properties) become the corresponding
+    /// [`Inapplicable`] tagged with `scheme`; genuine construction bugs
+    /// (route conflicts, invalid paths) are handed back unchanged.
+    pub fn from_build_error(scheme: &'static str, e: RoutingError) -> Result<Self, RoutingError> {
+        let reason = match e {
+            RoutingError::InsufficientConnectivity { needed, found } => {
+                InapplicableReason::InsufficientConnectivity { needed, found }
+            }
+            RoutingError::ConcentratorTooSmall { needed, found } => {
+                InapplicableReason::ConcentratorTooSmall { needed, found }
+            }
+            RoutingError::PropertyNotSatisfied { what } => {
+                InapplicableReason::MissingProperty { what }
+            }
+            RoutingError::Inapplicable(i) => return Ok(i),
+            other => return Err(other),
+        };
+        Ok(Inapplicable { scheme, reason })
+    }
+}
+
+impl fmt::Display for Inapplicable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} inapplicable: ", self.scheme)?;
+        match &self.reason {
+            InapplicableReason::InsufficientConnectivity { needed, found } => {
+                write!(f, "needs connectivity {needed}, graph has {found}")
+            }
+            InapplicableReason::ConcentratorTooSmall { needed, found } => {
+                write!(f, "concentrator needs {needed} members, found {found}")
+            }
+            InapplicableReason::MissingProperty { what } => write!(f, "{what}"),
+            InapplicableReason::FaultBudgetExceeded {
+                tolerates,
+                requested,
+            } => write!(f, "tolerates {tolerates} faults, {requested} requested"),
+            InapplicableReason::OverRouteBudget { estimated, budget } => {
+                write!(f, "~{estimated} routes exceed the {budget}-route budget")
+            }
+        }
+    }
+}
+
+impl Error for Inapplicable {}
+
 /// Errors produced while building or validating routings.
 ///
 /// # Example
@@ -54,6 +170,9 @@ pub enum RoutingError {
         /// The violated requirement, human-readable.
         what: String,
     },
+    /// A scheme's precondition failed (the scheme-API form of the
+    /// precondition variants above, with the scheme name attached).
+    Inapplicable(Inapplicable),
 }
 
 impl RoutingError {
@@ -80,6 +199,7 @@ impl fmt::Display for RoutingError {
             RoutingError::PropertyNotSatisfied { what } => {
                 write!(f, "required property not satisfied: {what}")
             }
+            RoutingError::Inapplicable(i) => write!(f, "{i}"),
         }
     }
 }
@@ -88,6 +208,7 @@ impl Error for RoutingError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RoutingError::Graph(e) => Some(e),
+            RoutingError::Inapplicable(i) => Some(i),
             _ => None,
         }
     }
@@ -96,6 +217,12 @@ impl Error for RoutingError {
 impl From<GraphError> for RoutingError {
     fn from(e: GraphError) -> Self {
         RoutingError::Graph(e)
+    }
+}
+
+impl From<Inapplicable> for RoutingError {
+    fn from(i: Inapplicable) -> Self {
+        RoutingError::Inapplicable(i)
     }
 }
 

@@ -15,7 +15,7 @@ use ftr_graph::{connectivity, Graph, Node, NodeSet, Path};
 
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
 
 /// The kernel routing of a graph, with its separator and parameters.
 ///
@@ -134,6 +134,12 @@ impl KernelRouting {
         &self.routing
     }
 
+    /// Consumes the construction, returning the owned route table (the
+    /// scheme API's hand-off into [`crate::BuiltRouting`]).
+    pub fn into_routing(self) -> Routing {
+        self.routing
+    }
+
     /// The separating set `M` used as concentrator (empty for complete
     /// graphs).
     pub fn separator(&self) -> &[Node] {
@@ -146,25 +152,54 @@ impl KernelRouting {
         self.t
     }
 
-    /// Theorem 3's claim: `(2t, t)`-tolerance (clamped below by the
-    /// trivial diameter 1; for complete graphs, `(1, t)`).
-    pub fn claim_theorem_3(&self) -> ToleranceClaim {
-        ToleranceClaim {
+    fn guarantee(&self, theorem: TheoremId, diameter: u32, faults: usize) -> Guarantee {
+        Guarantee {
+            scheme: "kernel",
+            theorem,
             diameter: if self.separator.is_empty() {
                 1
             } else {
-                (2 * self.t as u32).max(4)
+                diameter
             },
-            faults: self.t,
+            faults,
+            routes: self.routing.route_count(),
+            memory_bytes: self.routing.memory_bytes(),
         }
     }
 
-    /// Theorem 4's claim: `(4, ⌊t/2⌋)`-tolerance.
-    pub fn claim_theorem_4(&self) -> ToleranceClaim {
-        ToleranceClaim {
-            diameter: if self.separator.is_empty() { 1 } else { 4 },
-            faults: self.t / 2,
+    /// Theorem 3's guarantee: `(max{2t, 4}, t)`-tolerance (`(1, t)` for
+    /// complete graphs, which route every pair directly).
+    pub fn guarantee_theorem_3(&self) -> Guarantee {
+        self.guarantee(TheoremId::Theorem3, (2 * self.t as u32).max(4), self.t)
+    }
+
+    /// Theorem 4's guarantee: `(4, ⌊t/2⌋)`-tolerance.
+    pub fn guarantee_theorem_4(&self) -> Guarantee {
+        self.guarantee(TheoremId::Theorem4, 4, self.t / 2)
+    }
+
+    /// The tightest guarantee covering a fault budget of `f` (clamped to
+    /// the tolerance `t`): Theorem 4's constant bound while
+    /// `f <= ⌊t/2⌋`, Theorem 3's `max{2t, 4}` beyond.
+    pub fn guarantee_for_budget(&self, f: usize) -> Guarantee {
+        let f = f.min(self.t);
+        if f <= self.t / 2 {
+            self.guarantee(TheoremId::Theorem4, 4, f)
+        } else {
+            self.guarantee(TheoremId::Theorem3, (2 * self.t as u32).max(4), f)
         }
+    }
+
+    /// Theorem 3's claim.
+    #[deprecated(note = "use `guarantee_theorem_3().claim()`")]
+    pub fn claim_theorem_3(&self) -> ToleranceClaim {
+        self.guarantee_theorem_3().claim()
+    }
+
+    /// Theorem 4's claim.
+    #[deprecated(note = "use `guarantee_theorem_4().claim()`")]
+    pub fn claim_theorem_4(&self) -> ToleranceClaim {
+        self.guarantee_theorem_4().claim()
     }
 }
 
@@ -210,7 +245,7 @@ mod tests {
         // check the claim object instead).
         let g = gen::cycle(6).unwrap();
         let kernel = KernelRouting::build(&g).unwrap();
-        let claim = kernel.claim_theorem_3();
+        let claim = kernel.guarantee_theorem_3().claim();
         for f in g.nodes() {
             let faults = NodeSet::from_nodes(6, [f]);
             let s = kernel.routing().surviving(&faults);
@@ -252,6 +287,31 @@ mod tests {
             KernelRouting::build(&g),
             Err(RoutingError::InsufficientConnectivity { .. })
         ));
+    }
+
+    #[test]
+    fn guarantees_are_budget_aware_and_shims_agree() {
+        let g = gen::torus(3, 4).unwrap(); // t = 3
+        let kernel = KernelRouting::build(&g).unwrap();
+        let g3 = kernel.guarantee_theorem_3();
+        let g4 = kernel.guarantee_theorem_4();
+        assert_eq!((g3.diameter, g3.faults), (6, 3));
+        assert_eq!((g4.diameter, g4.faults), (4, 1));
+        assert_eq!(g3.routes, kernel.routing().route_count());
+        assert_eq!(
+            kernel.guarantee_for_budget(1).theorem,
+            crate::TheoremId::Theorem4
+        );
+        assert_eq!(
+            kernel.guarantee_for_budget(2).theorem,
+            crate::TheoremId::Theorem3
+        );
+        assert_eq!(kernel.guarantee_for_budget(99).faults, 3, "clamped to t");
+        #[allow(deprecated)]
+        {
+            assert_eq!(kernel.claim_theorem_3(), g3.claim());
+            assert_eq!(kernel.claim_theorem_4(), g4.claim());
+        }
     }
 
     #[test]

@@ -33,6 +33,30 @@
 //! measures the worst surviving diameter over fault sets exhaustively,
 //! by seeded sampling, or adversarially.
 //!
+//! # The scheme API and the planner
+//!
+//! Each construction above is also registered behind the uniform
+//! [`Scheme`] trait — the paper's menu turned into one interface.
+//! [`Scheme::applicability`] answers "can this construction run on this
+//! graph, and what would it promise?" *without* building anything; the
+//! promise is a [`Guarantee`] machine-encoding the backing theorem
+//! ([`TheoremId`]), the tolerated fault count, the surviving-diameter
+//! bound and the route/memory cost. [`Scheme::build`] produces a
+//! [`BuiltRouting`] bundling the table with that guarantee, the network
+//! it routes and the construction's core nodes. The [`SchemeRegistry`]
+//! holds all seven schemes; [`SchemeSpec`] (`kernel`, `circular:k=6`,
+//! `bipolar:bi`, …) is the shared parseable grammar; precondition
+//! failures are one typed [`Inapplicable`] taxonomy with the scheme
+//! name attached. On top sits the [`Planner`]: given a
+//! [`PlannerRequest`] (fault budget, optional diameter target,
+//! single-route / route-count restrictions) it surveys the registry,
+//! builds every eligible candidate data-parallel, and ranks by smallest
+//! guaranteed diameter, then exact route count, then registry order —
+//! deterministic across thread counts. Construction-specific guarantee
+//! accessors (`guarantee_theorem_3()`, `CircularRouting::guarantee()`,
+//! …) return the same [`Guarantee`] type; the old per-construction
+//! `claim*` accessors remain as deprecated shims.
+//!
 //! # The route-table lifecycle: builder → frozen CSR
 //!
 //! A [`Routing`] is built in two phases. Constructions call
@@ -82,7 +106,7 @@
 //! let g = gen::harary(3, 18)?;
 //! let circ = CircularRouting::build(&g)?;
 //! let report = verify_tolerance(circ.routing(), 2, FaultStrategy::Exhaustive, 4);
-//! assert!(report.satisfies(&circ.claim()));
+//! assert!(report.satisfies(&circ.guarantee().claim()));
 //! # Ok(())
 //! # }
 //! ```
@@ -101,8 +125,10 @@ mod hypercube;
 mod kernel;
 mod multi;
 mod par;
+mod planner;
 pub mod properties;
 mod routing;
+mod scheme;
 mod surviving;
 mod tolerance;
 pub mod tree;
@@ -112,13 +138,19 @@ pub use augment::AugmentedKernelRouting;
 pub use bipolar::BipolarRouting;
 pub use circular::CircularRouting;
 pub use engine::{Compile, CompiledRoutes, EpochState};
-pub use error::RoutingError;
+pub use error::{Inapplicable, InapplicableReason, RoutingError};
 pub use hypercube::HypercubeRouting;
 pub use kernel::KernelRouting;
 pub use multi::{
     concentrator_multirouting, full_multirouting, single_tree_multirouting, MultiRouting,
 };
+pub use planner::{Candidate, CandidateOutcome, Plan, PlanError, Planner, PlannerRequest};
 pub use routing::{RouteView, Routing, RoutingKind, RoutingStats};
+pub use scheme::{
+    AugmentScheme, BipolarScheme, BuiltRouting, BuiltTable, CircularScheme, Guarantee,
+    HypercubeScheme, KernelScheme, MultiMode, MultiScheme, Scheme, SchemeParams, SchemeRegistry,
+    SchemeSpec, TheoremId, TriCircularScheme, SCHEME_NAMES,
+};
 pub use surviving::{FaultCursor, RouteTable, SurvivingGraph};
 pub use tolerance::{check_claim, verify_tolerance, FaultStrategy, ToleranceReport};
 pub use tricircular::{TriCircularRouting, TriCircularVariant};

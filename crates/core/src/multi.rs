@@ -98,6 +98,24 @@ impl MultiRouting {
         self.table.values().map(Vec::len).sum()
     }
 
+    /// Approximate heap footprint of the table in bytes (stored paths
+    /// plus the pair map), comparable with [`crate::Routing::memory_bytes`].
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let paths: usize = self
+            .paths
+            .iter()
+            .map(|p| size_of::<Path>() + std::mem::size_of_val(p.nodes()))
+            .sum();
+        let bucket = size_of::<((Node, Node), Vec<(u32, bool)>)>() + 1;
+        let refs: usize = self
+            .table
+            .values()
+            .map(|v| v.capacity() * size_of::<(u32, bool)>())
+            .sum();
+        paths + self.table.capacity() * bucket + refs
+    }
+
     /// Inserts a parallel route from `path.source()` to `path.target()`
     /// (both directions when bidirectional). Duplicate identical routes
     /// for a pair are ignored.

@@ -145,7 +145,7 @@ impl fmt::Display for ToleranceReport {
 /// let g = gen::petersen();
 /// let kernel = KernelRouting::build(&g)?;
 /// let report = verify_tolerance(kernel.routing(), 2, FaultStrategy::Exhaustive, 2);
-/// assert!(report.satisfies(&kernel.claim_theorem_3()));
+/// assert!(report.satisfies(&kernel.guarantee_theorem_3().claim()));
 /// # Ok(())
 /// # }
 /// ```
@@ -675,7 +675,7 @@ mod tests {
     fn claim_checking() {
         let g = gen::petersen();
         let kernel = KernelRouting::build(&g).unwrap();
-        let (ok, report) = check_claim(kernel.routing(), &kernel.claim_theorem_3(), 2);
+        let (ok, report) = check_claim(kernel.routing(), &kernel.guarantee_theorem_3().claim(), 2);
         assert!(ok, "{report}");
         // An absurd claim fails.
         let absurd = ToleranceClaim {

@@ -29,7 +29,7 @@ use crate::concentrator::NeighborhoodConcentrator;
 use crate::kernel::insert_edge_routes;
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Routing, RoutingError, RoutingKind, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
 
 /// Which tri-circular construction to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +113,11 @@ impl TriCircularRouting {
         &self.routing
     }
 
+    /// Consumes the construction, returning the owned route table.
+    pub fn into_routing(self) -> Routing {
+        self.routing
+    }
+
     /// The concentrator; members `[j*s .. (j+1)*s]` form circle `j`.
     pub fn concentrator(&self) -> &NeighborhoodConcentrator {
         &self.concentrator
@@ -133,16 +138,27 @@ impl TriCircularRouting {
         self.t
     }
 
-    /// Theorem 13's `(4, t)` claim, or Remark 14's `(5, t)` claim for
-    /// the small variant.
-    pub fn claim(&self) -> ToleranceClaim {
-        ToleranceClaim {
-            diameter: match self.variant {
-                TriCircularVariant::Standard => 4,
-                TriCircularVariant::Small => 5,
-            },
+    /// Theorem 13's `(4, t)` guarantee, or Remark 14's `(5, t)` for the
+    /// small variant, with this table's exact costs.
+    pub fn guarantee(&self) -> Guarantee {
+        let (theorem, diameter) = match self.variant {
+            TriCircularVariant::Standard => (TheoremId::Theorem13, 4),
+            TriCircularVariant::Small => (TheoremId::Remark14, 5),
+        };
+        Guarantee {
+            scheme: "tricircular",
+            theorem,
+            diameter,
             faults: self.t,
+            routes: self.routing.route_count(),
+            memory_bytes: self.routing.memory_bytes(),
         }
+    }
+
+    /// Theorem 13's / Remark 14's claim.
+    #[deprecated(note = "use `guarantee().claim()`")]
+    pub fn claim(&self) -> ToleranceClaim {
+        self.guarantee().claim()
     }
 }
 
@@ -217,7 +233,7 @@ mod tests {
         tri.routing().validate(&g).unwrap();
         assert_eq!(tri.circle_size(), 5);
         assert_eq!(tri.concentrator().len(), 15);
-        assert_eq!(tri.claim().diameter, 4);
+        assert_eq!(tri.guarantee().claim().diameter, 4);
     }
 
     #[test]
@@ -226,7 +242,7 @@ mod tests {
         let tri = TriCircularRouting::build(&g, TriCircularVariant::Small).unwrap();
         assert_eq!(tri.circle_size(), 3);
         assert_eq!(tri.concentrator().len(), 9);
-        assert_eq!(tri.claim().diameter, 5);
+        assert_eq!(tri.guarantee().claim().diameter, 5);
     }
 
     #[test]
@@ -234,7 +250,7 @@ mod tests {
         let g = gen::cycle(45).unwrap(); // t = 1
         let tri = TriCircularRouting::build(&g, TriCircularVariant::Standard).unwrap();
         let report = verify_tolerance(tri.routing(), 1, FaultStrategy::Exhaustive, 4);
-        assert!(report.satisfies(&tri.claim()), "{report}");
+        assert!(report.satisfies(&tri.guarantee().claim()), "{report}");
     }
 
     #[test]
@@ -242,7 +258,7 @@ mod tests {
         let g = gen::cycle(27).unwrap(); // t = 1
         let tri = TriCircularRouting::build(&g, TriCircularVariant::Small).unwrap();
         let report = verify_tolerance(tri.routing(), 1, FaultStrategy::Exhaustive, 4);
-        assert!(report.satisfies(&tri.claim()), "{report}");
+        assert!(report.satisfies(&tri.guarantee().claim()), "{report}");
     }
 
     #[test]

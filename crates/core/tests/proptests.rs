@@ -6,8 +6,8 @@ use std::collections::HashMap;
 
 use ftr_core::tree::{is_tree_routing, tree_routing};
 use ftr_core::{
-    verify_tolerance, FaultStrategy, KernelRouting, MultiRouting, RouteTable, Routing,
-    RoutingError, RoutingKind,
+    verify_tolerance, FaultStrategy, KernelRouting, MultiRouting, Planner, PlannerRequest,
+    RouteTable, Routing, RoutingError, RoutingKind, SchemeParams, SchemeRegistry,
 };
 use ftr_graph::{connectivity, gen, Graph, Node, NodeSet, Path};
 use proptest::prelude::*;
@@ -323,7 +323,7 @@ proptest! {
             faults.insert((x % n as u64) as Node);
         }
         let d = kernel.routing().surviving(&faults).diameter();
-        let claim = kernel.claim_theorem_3();
+        let claim = kernel.guarantee_theorem_3().claim();
         prop_assert!(
             matches!(d, Some(d) if d <= claim.diameter),
             "faults {:?} gave diameter {:?} > {}", faults, d, claim.diameter
@@ -375,6 +375,94 @@ proptest! {
                 (Some(_), None) => true,
             };
             prop_assert!(!exceeds, "{strategy:?} beat exhaustive");
+        }
+    }
+}
+
+// ----------------------------------------------------------- Planner honesty
+
+/// Graphs spanning every applicability regime of the scheme registry:
+/// Harary (kernel/circular territory), cycles (two-trees, tri-circular
+/// at larger n), the Petersen graph, a genuine hypercube and a torus.
+fn scheme_suite_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        Just(gen::petersen()),
+        Just(gen::hypercube(3).expect("valid")),
+        Just(gen::torus(3, 4).expect("valid")),
+        (3usize..5, 5usize..14).prop_map(|(k, extra)| {
+            let n = k + extra + (k * (k + extra)) % 2;
+            gen::harary(k, n).expect("valid")
+        }),
+        (8usize..40).prop_map(|n| gen::cycle(n).expect("valid")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Planner honesty, part 1: every scheme the registry declares
+    // applicable must (a) actually build, (b) advertise the same
+    // (d, f) claim it offered pre-build, and (c) survive measurement —
+    // sampled fault sets through the compiled engine never exceed the
+    // advertised surviving-diameter bound.
+    #[test]
+    fn applicable_schemes_never_violate_their_guarantee(
+        g in scheme_suite_graph(),
+        seed in any::<u64>(),
+    ) {
+        let registry = SchemeRegistry::standard();
+        let params = SchemeParams::default();
+        for scheme in registry.iter() {
+            let Ok(offered) = scheme.applicability(&g, &params) else { continue };
+            let built = match scheme.build(&g, &params) {
+                Ok(b) => b,
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "{} declared applicable but failed to build: {e}", scheme.name()
+                ))),
+            };
+            prop_assert_eq!(
+                built.guarantee().claim(), offered.claim(),
+                "{} advertised a different claim after building", scheme.name()
+            );
+            let report = built.verify(FaultStrategy::RandomSample { trials: 10, seed }, 2);
+            prop_assert!(
+                report.satisfies(&built.guarantee().claim()),
+                "{} violated its advertised {}: {report}",
+                scheme.name(), built.guarantee()
+            );
+        }
+    }
+
+    // Planner honesty, part 2: the ranked winner (scheme, spec and
+    // guarantee) is identical across thread counts — candidate builds
+    // are deterministic and the ranking consumes them in registry
+    // order, so parallelism only changes wall-clock.
+    #[test]
+    fn planner_winner_is_thread_count_invariant(
+        g in scheme_suite_graph(),
+        budget in 0usize..4,
+        single in any::<bool>(),
+    ) {
+        let t = connectivity::vertex_connectivity(&g).saturating_sub(1);
+        let mut request = PlannerRequest::tolerate(budget.min(t));
+        if single {
+            request = request.single_routes();
+        }
+        let base = Planner::new().threads(1).plan(&g, &request);
+        for threads in [2, 5] {
+            let other = Planner::new().threads(threads).plan(&g, &request);
+            match (&base, &other) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.winner.scheme(), b.winner.scheme());
+                    prop_assert_eq!(a.winner.spec(), b.winner.spec());
+                    prop_assert_eq!(a.winner.guarantee(), b.winner.guarantee());
+                    prop_assert_eq!(a.candidates.len(), b.candidates.len());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.candidates.len(), b.candidates.len()),
+                _ => return Err(TestCaseError::fail(format!(
+                    "planner outcome differs between 1 and {threads} threads"
+                ))),
+            }
         }
     }
 }

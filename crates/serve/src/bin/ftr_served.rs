@@ -1,12 +1,21 @@
 //! `ftr-served` — the routing query daemon.
 //!
 //! ```text
-//! ftr-served [--graph SPEC | --snapshot FILE] [--routing kernel|circular]
-//!            [--addr HOST:PORT] [--workers N] [--batch-us N]
+//! ftr-served [--graph SPEC | --snapshot FILE] [--scheme SCHEME|auto]
+//!            [--faults F] [--addr HOST:PORT] [--workers N] [--batch-us N]
 //!            [--write-snapshot FILE]
 //!
-//! Graph specs: petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C
+//! Graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C
+//! Scheme specs: kernel | circular[:k=N] | tricircular[:small] |
+//!               bipolar[:uni|bi,roots=A-B] | hypercube | augment | auto
 //! ```
+//!
+//! `--scheme` takes a `ftr_core::SchemeSpec` (the same grammar the load
+//! generator and experiment binaries accept) and builds the named
+//! construction through the `SchemeRegistry`; `--scheme auto` lets the
+//! `Planner` survey every applicable scheme and serve the winner. Either
+//! way the snapshot records which scheme (and guarantee) built it, and
+//! the provenance round-trips through the v2 snapshot format.
 //!
 //! With `--write-snapshot` the daemon builds the routing, writes the
 //! snapshot file and exits — the file can then be served (or shipped)
@@ -16,8 +25,8 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use ftr_core::{CircularRouting, KernelRouting, Routing};
-use ftr_graph::Graph;
+use ftr_core::{Planner, PlannerRequest, SchemeRegistry, SchemeSpec};
+use ftr_graph::{connectivity, Graph};
 use ftr_serve::spec::parse_graph_spec;
 use ftr_serve::{RoutingSnapshot, Server, ServerConfig};
 
@@ -34,7 +43,8 @@ fn main() -> ExitCode {
 fn run() -> Result<(), String> {
     let mut graph_spec = String::from("harary:5,24");
     let mut snapshot_file: Option<String> = None;
-    let mut routing_kind = String::from("kernel");
+    let mut scheme_spec = String::from("kernel");
+    let mut faults: Option<usize> = None;
     let mut addr: SocketAddr = "127.0.0.1:7077".parse().expect("valid default");
     let mut config = ServerConfig::default();
     let mut write_snapshot: Option<String> = None;
@@ -45,7 +55,14 @@ fn run() -> Result<(), String> {
         match flag.as_str() {
             "--graph" => graph_spec = value("--graph")?,
             "--snapshot" => snapshot_file = Some(value("--snapshot")?),
-            "--routing" => routing_kind = value("--routing")?,
+            "--scheme" => scheme_spec = value("--scheme")?,
+            "--faults" => {
+                faults = Some(
+                    value("--faults")?
+                        .parse()
+                        .map_err(|e| format!("--faults: {e}"))?,
+                )
+            }
             "--addr" => {
                 addr = value("--addr")?
                     .parse()
@@ -66,9 +83,11 @@ fn run() -> Result<(), String> {
             "--help" | "-h" => {
                 println!(
                     "usage: ftr-served [--graph SPEC | --snapshot FILE] \
-                     [--routing kernel|circular] [--addr HOST:PORT] [--workers N] \
+                     [--scheme SCHEME|auto] [--faults F] [--addr HOST:PORT] [--workers N] \
                      [--batch-us N] [--write-snapshot FILE]\n\
-                     graph specs: petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C"
+                     graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C\n\
+                     scheme specs: kernel | circular[:k=N] | tricircular[:small] | \
+                     bipolar[:uni|bi] | hypercube | augment | auto"
                 );
                 return Ok(());
             }
@@ -79,18 +98,29 @@ fn run() -> Result<(), String> {
     let snapshot = match snapshot_file {
         Some(path) => RoutingSnapshot::load(&path).map_err(|e| e.to_string())?,
         None => {
-            let (graph, _) = parse_graph_spec(&graph_spec)?;
-            let routing = build_routing(&graph, &routing_kind)?;
-            RoutingSnapshot::new(graph, routing).map_err(|e| e.to_string())?
+            let (graph, label) = parse_graph_spec(&graph_spec)?;
+            let built = build_scheme(&graph, &scheme_spec, faults)?;
+            println!(
+                "built {} on {label}: guarantees ({}, {}) per {}",
+                built.spec(),
+                built.guarantee().diameter,
+                built.guarantee().faults,
+                built.guarantee().theorem
+            );
+            RoutingSnapshot::from_built(built).map_err(|e| e.to_string())?
         }
     };
 
     if let Some(path) = write_snapshot {
         snapshot.save(&path).map_err(|e| e.to_string())?;
         println!(
-            "wrote snapshot ({} nodes, {} routes) to {path}",
+            "wrote snapshot ({} nodes, {} routes{}) to {path}",
             snapshot.node_count(),
-            snapshot.routing().route_count()
+            snapshot.routing().route_count(),
+            match snapshot.scheme() {
+                Some(tag) => format!(", scheme {}", tag.spec),
+                None => String::new(),
+            }
         );
         return Ok(());
     }
@@ -101,16 +131,31 @@ fn run() -> Result<(), String> {
     server.run().map_err(|e| format!("serve: {e}"))
 }
 
-fn build_routing(graph: &Graph, kind: &str) -> Result<Routing, String> {
-    match kind {
-        "kernel" => Ok(KernelRouting::build(graph)
-            .map_err(|e| e.to_string())?
-            .routing()
-            .clone()),
-        "circular" => Ok(CircularRouting::build(graph)
-            .map_err(|e| e.to_string())?
-            .routing()
-            .clone()),
-        other => Err(format!("unknown routing {other:?} (kernel|circular)")),
+/// Builds the requested scheme through the registry, or lets the
+/// planner pick (`auto`). Only single-route schemes are servable, so
+/// `auto` plans with that restriction.
+fn build_scheme(
+    graph: &Graph,
+    scheme: &str,
+    faults: Option<usize>,
+) -> Result<ftr_core::BuiltRouting, String> {
+    if scheme == "auto" {
+        let budget =
+            faults.unwrap_or_else(|| connectivity::vertex_connectivity(graph).saturating_sub(1));
+        let request = PlannerRequest::tolerate(budget).single_routes();
+        let plan = Planner::new()
+            .plan(graph, &request)
+            .map_err(|e| e.to_string())?;
+        for candidate in &plan.candidates {
+            println!("plan: {candidate}");
+        }
+        return Ok(plan.winner);
     }
+    let mut spec: SchemeSpec = scheme.parse()?;
+    if faults.is_some() {
+        spec.params.faults = faults;
+    }
+    SchemeRegistry::standard()
+        .build_spec(graph, &spec)
+        .map_err(|e| e.to_string())
 }

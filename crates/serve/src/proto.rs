@@ -11,10 +11,18 @@
 //! | `DIAM` | `OK DIAM <d>` or `OK DIAM disconnected` |
 //! | `ROUTE x y` | `OK DIRECT <v …>` / `OK DETOUR <v …>` / `OK UNREACHABLE` |
 //! | `TOLERATE d f` | `OK TOLERATE yes|no worst=<w|disconnect> sets=<k>` |
+//! | `SCHEMES` | `OK SCHEMES <name>=(d,f)/<thm>|<name>=- …` |
+//! | `PLAN d f` | `OK PLAN scheme=<spec> theorem=<thm> d=<d> f=<f> routes=<r>` or `OK PLAN none` |
 //! | `FAIL v` | `OK QUEUED` |
 //! | `REPAIR v` | `OK QUEUED` |
 //! | `STATS` | `OK STATS epoch=… queries=… cache_hits=… …` |
 //! | `QUIT` | `OK BYE` (connection closes) |
+//!
+//! `SCHEMES` reports each registry scheme's applicability on the served
+//! network (the guarantee it would offer, or `-`). `PLAN d f` runs the
+//! scheme planner against the served network for a `(d, f)` target and
+//! reports which construction it would pick — a dry run; the serving
+//! snapshot is never swapped.
 //!
 //! Anything else gets `ERR <reason>` and the connection stays open.
 
@@ -44,6 +52,16 @@ pub enum Request {
         /// Claimed diameter bound.
         diameter: u32,
         /// Extra fault budget.
+        faults: usize,
+    },
+    /// Per-scheme applicability of the served network.
+    Schemes,
+    /// Which scheme the planner would pick for a `(diameter, faults)`
+    /// target on the served network (a dry run).
+    Plan {
+        /// Surviving-diameter target.
+        diameter: u32,
+        /// Fault budget the guarantee must cover.
         faults: usize,
     },
     /// Enqueue a node failure.
@@ -79,6 +97,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             y: parse_node(arg("y")?)?,
         },
         "TOLERATE" => Request::Tolerate {
+            diameter: parse_num(arg("d")?, "diameter")?,
+            faults: parse_num(arg("f")?, "fault count")?,
+        },
+        "SCHEMES" => Request::Schemes,
+        "PLAN" => Request::Plan {
             diameter: parse_num(arg("d")?, "diameter")?,
             faults: parse_num(arg("f")?, "fault count")?,
         },
@@ -146,6 +169,14 @@ mod tests {
         );
         assert_eq!(parse_request("FAIL 9"), Ok(Request::Fail(9)));
         assert_eq!(parse_request("repair 0"), Ok(Request::Repair(0)));
+        assert_eq!(parse_request("schemes"), Ok(Request::Schemes));
+        assert_eq!(
+            parse_request("PLAN 4 2"),
+            Ok(Request::Plan {
+                diameter: 4,
+                faults: 2
+            })
+        );
     }
 
     #[test]
@@ -161,6 +192,11 @@ mod tests {
             "ROUTE -1 2",
             "TOLERATE 6",
             "TOLERATE x 2",
+            "PLAN",
+            "PLAN 4",
+            "PLAN x 2",
+            "PLAN 4 2 9",
+            "SCHEMES now",
             "FAIL",
             "FAIL 1 2",
             "PING PONG",

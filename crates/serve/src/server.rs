@@ -7,12 +7,14 @@
 //! no locks on the query path. One extra scoped thread runs the
 //! [`Ingestor`]; the accept loop runs on the caller's thread.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+use ftr_core::{Planner, PlannerRequest, SchemeParams, SchemeRegistry};
 
 use crate::epoch::{EpochReader, EpochStore, QueryKey};
 use crate::ingest::{EventQueue, FaultEvent, Ingestor};
@@ -37,6 +39,9 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Fault-set budget for one `TOLERATE` evaluation.
     pub tolerate_budget: u64,
+    /// Estimated-route-count cap for one `PLAN` evaluation (candidates
+    /// above it are ruled out instead of built).
+    pub plan_route_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +52,7 @@ impl Default for ServerConfig {
             batch_window: Duration::from_micros(200),
             max_batch: 1024,
             tolerate_budget: 250_000,
+            plan_route_budget: 2_000_000,
         }
     }
 }
@@ -217,6 +223,10 @@ impl Server {
             handle,
         } = self;
         let conns = ConnQueue::new();
+        // Scheme planning is a static property of the served graph:
+        // the SCHEMES survey is memoized once, PLAN replies per (d, f).
+        let schemes = OnceLock::new();
+        let plans = Mutex::new(HashMap::new());
         std::thread::scope(|scope| {
             let ingestor = Ingestor::new(snapshot.engine(), handle.store.clone());
             let queue = Arc::clone(&handle.queue);
@@ -230,6 +240,8 @@ impl Server {
                     queue: &handle.queue,
                     reader: handle.store.reader(),
                     shutdown: &handle.shutdown,
+                    schemes: &schemes,
+                    plans: &plans,
                 };
                 let conns = &conns;
                 scope.spawn(move || {
@@ -307,6 +319,10 @@ impl SpawnedServer {
     }
 }
 
+/// Upper bound on memoized `PLAN` replies; distinct `(d, f)` targets
+/// beyond it are answered but not cached.
+const PLAN_MEMO_CAP: usize = 64;
+
 /// Per-worker state: an epoch reader (lock-free current-epoch access)
 /// plus borrowed shared pieces.
 struct Worker<'a> {
@@ -316,6 +332,11 @@ struct Worker<'a> {
     queue: &'a EventQueue,
     reader: EpochReader,
     shutdown: &'a AtomicBool,
+    /// Lazily memoized `SCHEMES` reply (one applicability survey per
+    /// server lifetime — the graph never changes).
+    schemes: &'a OnceLock<String>,
+    /// Memoized `PLAN` replies per `(diameter, faults)` target.
+    plans: &'a Mutex<HashMap<(u32, usize), String>>,
 }
 
 impl Worker<'_> {
@@ -489,6 +510,77 @@ impl Worker<'_> {
                     epoch.id(),
                     epoch.faults().len()
                 )
+            }
+            // The served graph never changes, so the applicability
+            // survey is computed once per server lifetime.
+            Request::Schemes => self
+                .schemes
+                .get_or_init(|| {
+                    let registry = SchemeRegistry::standard();
+                    let params = SchemeParams::default();
+                    let parts: Vec<String> = registry
+                        .iter()
+                        .map(
+                            |scheme| match scheme.applicability(self.snapshot.graph(), &params) {
+                                Ok(g) => format!(
+                                    "{}=({},{})/{}",
+                                    scheme.name(),
+                                    g.diameter,
+                                    g.faults,
+                                    g.theorem.token()
+                                ),
+                                Err(_) => format!("{}=-", scheme.name()),
+                            },
+                        )
+                        .collect();
+                    format!("OK SCHEMES {}", parts.join(" "))
+                })
+                .clone(),
+            // A dry run of the planner against the served network; the
+            // serving snapshot is never swapped. The memo lock is never
+            // held across a plan (candidate builds take seconds on large
+            // graphs and must not serialize every connection's PLAN);
+            // concurrent identical targets may race to build the same
+            // plan — deterministic, so they insert the same reply.
+            Request::Plan { diameter, faults } => {
+                let key = (diameter, faults);
+                let cached = self
+                    .plans
+                    .lock()
+                    .expect("plan cache poisoned")
+                    .get(&key)
+                    .cloned();
+                match cached {
+                    Some(reply) => reply,
+                    None => {
+                        let request = PlannerRequest::tolerate(faults)
+                            .within_diameter(diameter)
+                            .single_routes()
+                            .max_routes(self.config.plan_route_budget);
+                        let reply = match Planner::new().plan(self.snapshot.graph(), &request) {
+                            Ok(plan) => {
+                                let g = plan.winner.guarantee();
+                                format!(
+                                    "OK PLAN scheme={} theorem={} d={} f={} routes={}",
+                                    plan.winner.spec(),
+                                    g.theorem.token(),
+                                    g.diameter,
+                                    g.faults,
+                                    g.routes
+                                )
+                            }
+                            Err(_) => "OK PLAN none".to_string(),
+                        };
+                        let mut plans = self.plans.lock().expect("plan cache poisoned");
+                        // A malicious target sweep must not grow the memo
+                        // without bound; past the cap, plans still answer,
+                        // just uncached.
+                        if plans.len() < PLAN_MEMO_CAP {
+                            plans.insert(key, reply.clone());
+                        }
+                        reply
+                    }
+                }
             }
         };
         (reply, false)

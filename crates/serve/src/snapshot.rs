@@ -14,9 +14,10 @@
 //!
 //! * **v2** (written) — the frozen [`Routing`]'s flat node arena is
 //!   serialized in bulk: a `paths` count, the `off` path-offset array
-//!   and the `arena` node array, chunked onto fixed-width lines. The
-//!   frozen layout is canonical, so write → load → write round-trips
-//!   byte-identically.
+//!   and the `arena` node array, chunked onto fixed-width lines, plus an
+//!   optional `scheme` provenance line recording which construction
+//!   scheme (and guarantee) built the table. The frozen layout is
+//!   canonical, so write → load → write round-trips byte-identically.
 //! * **v1** (still read) — one `route` line per stored path; a
 //!   bidirectional routing writes each path once and loading
 //!   re-registers both directions.
@@ -26,7 +27,7 @@ use std::io::{self, BufRead, Write};
 use std::path::Path as FsPath;
 use std::sync::Arc;
 
-use ftr_core::{Compile, CompiledRoutes, Routing, RoutingKind};
+use ftr_core::{BuiltRouting, Compile, CompiledRoutes, Routing, RoutingKind};
 use ftr_graph::{io as graph_io, Graph, Node, Path};
 
 /// Magic first line of a legacy (per-route-line) snapshot file.
@@ -39,6 +40,22 @@ const HEADER_V2: &str = "ftr-snapshot v2";
 /// deterministic and diffs stay reviewable.
 const CHUNK: usize = 1024;
 
+/// Which scheme (and guarantee) built a snapshot's routing — recorded
+/// by `ftr-served --scheme`, written as the optional `scheme` line of
+/// the v2 format and round-tripped verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeTag {
+    /// The canonical [`ftr_core::SchemeSpec`] rendering that reproduces
+    /// the build (e.g. `circular:k=6`).
+    pub spec: String,
+    /// The [`ftr_core::TheoremId::token`] backing the guarantee.
+    pub theorem: String,
+    /// Guaranteed surviving-diameter bound.
+    pub diameter: u32,
+    /// Guaranteed tolerated fault count.
+    pub faults: usize,
+}
+
 /// The immutable serving artifact: network, route table and compiled
 /// engine. Epochs share one of these through an [`Arc`]; only the fault
 /// set changes between epochs.
@@ -47,6 +64,7 @@ pub struct RoutingSnapshot {
     graph: Graph,
     routing: Routing,
     engine: CompiledRoutes,
+    scheme: Option<SchemeTag>,
 }
 
 impl RoutingSnapshot {
@@ -67,7 +85,37 @@ impl RoutingSnapshot {
             graph,
             routing,
             engine,
+            scheme: None,
         })
+    }
+
+    /// Builds a snapshot from a scheme-API [`BuiltRouting`], recording
+    /// which scheme and guarantee produced it. The snapshot's network is
+    /// the routing's network — for the augmentation scheme that is the
+    /// *augmented* graph.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] for multiroutings (the snapshot
+    /// format stores one route per ordered pair) and invalid routings.
+    pub fn from_built(built: BuiltRouting) -> Result<Self, SnapshotError> {
+        let (graph, routing, spec, guarantee) = built
+            .into_single()
+            .map_err(|_| bad("multirouting tables cannot be served as snapshots"))?;
+        let mut snapshot = RoutingSnapshot::new(graph, routing)
+            .map_err(|e| bad(format!("invalid routing: {e}")))?;
+        snapshot.scheme = Some(SchemeTag {
+            spec: spec.to_string(),
+            theorem: guarantee.theorem.token().to_string(),
+            diameter: guarantee.diameter,
+            faults: guarantee.faults,
+        });
+        Ok(snapshot)
+    }
+
+    /// The scheme that built this routing, when recorded.
+    pub fn scheme(&self) -> Option<&SchemeTag> {
+        self.scheme.as_ref()
     }
 
     /// The network topology.
@@ -107,6 +155,13 @@ impl RoutingSnapshot {
             RoutingKind::Bidirectional => "bidirectional",
         };
         writeln!(w, "kind {kind}")?;
+        if let Some(tag) = &self.scheme {
+            writeln!(
+                w,
+                "scheme {} {} {} {}",
+                tag.spec, tag.theorem, tag.diameter, tag.faults
+            )?;
+        }
         let (off, arena) = self
             .routing
             .arena()
@@ -186,10 +241,12 @@ impl RoutingSnapshot {
         RoutingSnapshot::new(graph, routing).map_err(|e| bad(format!("invalid routing: {e}")))
     }
 
-    /// The v2 body: `paths` count plus bulk `off` / `arena` arrays.
+    /// The v2 body: `paths` count plus bulk `off` / `arena` arrays and
+    /// the optional `scheme` provenance line.
     fn read_v2(lines: io::Lines<impl BufRead>) -> Result<Self, SnapshotError> {
         let mut graph = None;
         let mut kind = None;
+        let mut scheme = None;
         let mut paths: Option<usize> = None;
         let mut off: Vec<u32> = Vec::new();
         let mut arena: Vec<Node> = Vec::new();
@@ -208,6 +265,7 @@ impl RoutingSnapshot {
                     graph = Some(g);
                 }
                 "kind" => kind = Some(parse_kind(rest)?),
+                "scheme" => scheme = Some(parse_scheme_tag(rest)?),
                 "paths" => {
                     paths = Some(
                         rest.trim()
@@ -252,7 +310,10 @@ impl RoutingSnapshot {
                 .insert(path)
                 .map_err(|e| bad(format!("arena path {p}: {e}")))?;
         }
-        RoutingSnapshot::new(graph, routing).map_err(|e| bad(format!("invalid routing: {e}")))
+        let mut snapshot = RoutingSnapshot::new(graph, routing)
+            .map_err(|e| bad(format!("invalid routing: {e}")))?;
+        snapshot.scheme = scheme;
+        Ok(snapshot)
     }
 
     /// Writes the snapshot to a file.
@@ -292,6 +353,31 @@ fn parse_kind(token: &str) -> Result<RoutingKind, SnapshotError> {
         "bidirectional" => Ok(RoutingKind::Bidirectional),
         other => Err(bad(format!("unknown routing kind {other:?}"))),
     }
+}
+
+/// Parses the `scheme <spec> <theorem> <d> <f>` provenance line. The
+/// spec must re-parse as a [`ftr_core::SchemeSpec`] so a tampered file
+/// cannot smuggle an unreproducible provenance claim.
+fn parse_scheme_tag(rest: &str) -> Result<SchemeTag, SnapshotError> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    let [spec, theorem, d, f] = parts.as_slice() else {
+        return Err(bad(format!("scheme line wants 4 fields, got {rest:?}")));
+    };
+    spec.parse::<ftr_core::SchemeSpec>()
+        .map_err(|e| bad(format!("scheme line: {e}")))?;
+    if ftr_core::TheoremId::from_token(theorem).is_none() {
+        return Err(bad(format!("scheme line: unknown theorem {theorem:?}")));
+    }
+    Ok(SchemeTag {
+        spec: spec.to_string(),
+        theorem: theorem.to_string(),
+        diameter: d
+            .parse()
+            .map_err(|_| bad(format!("bad scheme diameter {d:?}")))?,
+        faults: f
+            .parse()
+            .map_err(|_| bad(format!("bad scheme fault count {f:?}")))?,
+    })
 }
 
 /// Writes `values` as repeated `<verb> v v v ...` lines of [`CHUNK`]
@@ -429,6 +515,60 @@ mod tests {
         loaded.write_to(&mut a).unwrap();
         snap.write_to(&mut b).unwrap();
         assert_eq!(a, b, "v1 upgrade is canonical");
+    }
+
+    #[test]
+    fn scheme_tag_round_trips_byte_identically() {
+        let g = gen::petersen();
+        let built = ftr_core::SchemeRegistry::standard()
+            .build_spec(&g, &ftr_core::SchemeSpec::named("kernel"))
+            .unwrap();
+        let snap = RoutingSnapshot::from_built(built).unwrap();
+        let tag = snap.scheme().expect("from_built records the scheme");
+        assert_eq!(tag.spec, "kernel");
+        assert_eq!(tag.theorem, "thm3");
+        let mut first = Vec::new();
+        snap.write_to(&mut first).unwrap();
+        let text = String::from_utf8(first.clone()).unwrap();
+        assert!(
+            text.contains("\nscheme kernel thm3 "),
+            "scheme line present: {text}"
+        );
+        let loaded = RoutingSnapshot::read_from(first.as_slice()).unwrap();
+        assert_eq!(loaded.scheme(), snap.scheme());
+        let mut second = Vec::new();
+        loaded.write_to(&mut second).unwrap();
+        assert_eq!(first, second, "scheme line survives the round trip");
+    }
+
+    #[test]
+    fn multirouting_builds_cannot_snapshot() {
+        let g = gen::petersen();
+        let built = ftr_core::SchemeRegistry::standard()
+            .build_spec(&g, &"multi:concentrator".parse().unwrap())
+            .unwrap();
+        assert!(RoutingSnapshot::from_built(built).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_scheme_lines() {
+        for line in [
+            "scheme kernel thm3 4",         // missing field
+            "scheme klein thm3 4 1",        // unknown scheme spec
+            "scheme kernel thm99 4 1",      // unknown theorem token
+            "scheme kernel thm3 four 1",    // bad diameter
+            "scheme kernel thm3 4 -1",      // bad fault count
+            "scheme kernel thm3 4 1 extra", // trailing field
+        ] {
+            let doc = format!(
+                "ftr-snapshot v2\ngraph C~\nkind bidirectional\n{line}\n\
+                 paths 1\noff 0 2\narena 0 1\nend\n"
+            );
+            assert!(
+                RoutingSnapshot::read_from(doc.as_bytes()).is_err(),
+                "accepted {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -67,7 +67,8 @@ fn serves_queries_through_fault_churn() {
     // wire it must agree with the offline verifier's worst diameter.
     let claim = KernelRouting::build(&gen::petersen())
         .unwrap()
-        .claim_theorem_3();
+        .guarantee_theorem_3()
+        .claim();
     assert!(client.tolerate(claim.diameter, claim.faults).unwrap());
     assert!(!client.tolerate(0, 1).unwrap());
 
@@ -201,5 +202,54 @@ fn concurrent_clients_and_churn_stay_consistent() {
         0
     );
     drop(snapshot);
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn schemes_and_plan_verbs_answer_over_the_wire() {
+    // Serve a planner-built snapshot so scheme provenance flows
+    // end-to-end: planner -> BuiltRouting -> snapshot -> daemon.
+    let g = gen::petersen();
+    let plan = ftr_core::Planner::new()
+        .plan(&g, &ftr_core::PlannerRequest::tolerate(2).single_routes())
+        .unwrap();
+    let winner = plan.winner.spec().to_string();
+    let snapshot = RoutingSnapshot::from_built(plan.winner).unwrap();
+    // The recorded spec is the canonical rendering, budget included.
+    assert_eq!(snapshot.scheme().unwrap().spec, winner);
+    let server = Server::bind(snapshot.into_shared(), ServerConfig::default())
+        .unwrap()
+        .spawn();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // SCHEMES: one entry per registry scheme, applicable ones carrying
+    // their (d, f)/theorem guarantee, inapplicable ones a dash.
+    let schemes = client.request("SCHEMES").unwrap();
+    assert!(schemes.starts_with("OK SCHEMES "), "{schemes}");
+    let entries: Vec<&str> = schemes["OK SCHEMES ".len()..].split(' ').collect();
+    assert_eq!(entries.len(), ftr_core::SCHEME_NAMES.len(), "{schemes}");
+    assert!(
+        entries.iter().any(|e| e.starts_with("kernel=(")),
+        "kernel applies on petersen: {schemes}"
+    );
+    assert!(
+        entries.contains(&"hypercube=-"),
+        "petersen is not a hypercube: {schemes}"
+    );
+    // Memoized: the second survey renders identically.
+    assert_eq!(client.request("SCHEMES").unwrap(), schemes);
+
+    // PLAN: a (3, 2) target on petersen is met by the augmentation
+    // scheme; an impossible fault budget reports none.
+    let plan_reply = client.request("PLAN 3 2").unwrap();
+    assert!(
+        plan_reply.starts_with("OK PLAN scheme=augment:f=2 theorem=sec6-augment d=3 f=2"),
+        "{plan_reply}"
+    );
+    assert_eq!(client.request("PLAN 3 2").unwrap(), plan_reply, "memoized");
+    assert_eq!(client.request("PLAN 1 9").unwrap(), "OK PLAN none");
+    assert!(client.request("PLAN").unwrap().starts_with("ERR "));
+
+    drop(client);
     server.shutdown_and_join().unwrap();
 }

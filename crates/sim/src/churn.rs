@@ -178,7 +178,7 @@ impl ChurnStream {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = gen::torus(3, 4)?;
 /// let kernel = KernelRouting::build(&g)?;
-/// let report = simulate_churn(kernel.routing(), &kernel.claim_theorem_3(), ChurnConfig::default());
+/// let report = simulate_churn(kernel.routing(), &kernel.guarantee_theorem_3().claim(), ChurnConfig::default());
 /// assert!(report.claim_held(), "{report:?}");
 /// # Ok(())
 /// # }
@@ -234,7 +234,7 @@ mod tests {
         let kernel = KernelRouting::build(&g).unwrap();
         let report = simulate_churn(
             kernel.routing(),
-            &kernel.claim_theorem_3(),
+            &kernel.guarantee_theorem_3().claim(),
             ChurnConfig::default(),
         );
         assert!(report.claim_held(), "{report:?}");
@@ -252,7 +252,7 @@ mod tests {
             steps: 300,
             seed: 9,
         };
-        let report = simulate_churn(circ.routing(), &circ.claim(), config);
+        let report = simulate_churn(circ.routing(), &circ.guarantee().claim(), config);
         assert!(report.claim_held(), "{report:?}");
         assert!(
             report.peak_faults >= 2,
@@ -268,7 +268,11 @@ mod tests {
             fail_rate: 0.0,
             ..ChurnConfig::default()
         };
-        let report = simulate_churn(kernel.routing(), &kernel.claim_theorem_3(), config);
+        let report = simulate_churn(
+            kernel.routing(),
+            &kernel.guarantee_theorem_3().claim(),
+            config,
+        );
         assert_eq!(report.peak_faults, 0);
         assert_eq!(report.steps_within_budget, report.steps);
         assert!(report.claim_held());
@@ -280,12 +284,12 @@ mod tests {
         let kernel = KernelRouting::build(&g).unwrap();
         let a = simulate_churn(
             kernel.routing(),
-            &kernel.claim_theorem_3(),
+            &kernel.guarantee_theorem_3().claim(),
             ChurnConfig::default(),
         );
         let b = simulate_churn(
             kernel.routing(),
-            &kernel.claim_theorem_3(),
+            &kernel.guarantee_theorem_3().claim(),
             ChurnConfig::default(),
         );
         assert_eq!(a, b);
@@ -328,7 +332,11 @@ mod tests {
         let g = gen::petersen();
         let kernel = KernelRouting::build(&g).unwrap();
         let config = ChurnConfig::default();
-        let report = simulate_churn(kernel.routing(), &kernel.claim_theorem_3(), config);
+        let report = simulate_churn(
+            kernel.routing(),
+            &kernel.guarantee_theorem_3().claim(),
+            config,
+        );
         let mut stream = ChurnStream::new(10, config);
         let mut peak = 0;
         for _ in 0..config.steps {
@@ -345,7 +353,7 @@ mod tests {
         let kernel = KernelRouting::build(&g).unwrap();
         simulate_churn(
             kernel.routing(),
-            &kernel.claim_theorem_3(),
+            &kernel.guarantee_theorem_3().claim(),
             ChurnConfig {
                 fail_rate: 1.5,
                 ..ChurnConfig::default()

@@ -1,10 +1,11 @@
-//! E8 and E9: the bipolar routings (Theorems 20 and 23).
+//! E8 and E9: the bipolar routings (Theorems 20 and 23), driven by the
+//! generic scheme-sweep harness over the `bipolar:uni` / `bipolar:bi`
+//! specs.
 
-use ftr_core::{BipolarRouting, FaultStrategy, RoutingKind};
 use ftr_graph::gen;
 
-use super::circular_exp::binomial;
-use super::{push_verification_row, NamedGraph, Scale, VERIFICATION_HEADERS};
+use super::scheme_sweep::{push_scheme_rows, SweepConfig};
+use super::{NamedGraph, Scale, VERIFICATION_HEADERS};
 use crate::report::Table;
 
 fn suite(scale: Scale) -> Vec<NamedGraph> {
@@ -21,24 +22,15 @@ fn suite(scale: Scale) -> Vec<NamedGraph> {
     graphs
 }
 
-fn run(id: &str, title: &str, kind: RoutingKind, scale: Scale) -> Table {
+fn run(id: &str, title: &str, spec: &str, scale: Scale) -> Table {
     let mut table = Table::new(id, title, VERIFICATION_HEADERS);
-    for NamedGraph { name, graph } in suite(scale) {
-        let b =
-            BipolarRouting::build(&graph, kind).expect("suite graphs have the two-trees property");
-        b.routing().validate(&graph).expect("valid routing");
-        let n = graph.node_count();
-        let t = b.tolerated_faults();
-        let strategy = if binomial(n, t) <= 15_000 {
-            FaultStrategy::Exhaustive
-        } else {
-            FaultStrategy::RandomSample {
-                trials: 1_500,
-                seed: 0xB1,
-            }
-        };
-        push_verification_row(&mut table, &name, n, t, b.routing(), b.claim(), strategy);
-    }
+    push_scheme_rows(
+        &mut table,
+        &spec.parse().expect("valid spec"),
+        &|t| t,
+        &suite(scale),
+        &SweepConfig::sampled(15_000, 1_500, 0xB1),
+    );
     table.push_note(
         "Suite graphs have girth >= 5 and diameter >= 5, so two-trees roots exist \
          (cycles and cube-connected cycles; tori and hypercubes fail the property).",
@@ -52,7 +44,7 @@ pub fn e8_bipolar_unidirectional(scale: Scale) -> Table {
     run(
         "E8",
         "Theorem 20: unidirectional bipolar routing is (4, t)-tolerant",
-        RoutingKind::Unidirectional,
+        "bipolar:uni",
         scale,
     )
 }
@@ -63,7 +55,7 @@ pub fn e9_bipolar_bidirectional(scale: Scale) -> Table {
     run(
         "E9",
         "Theorem 23: bidirectional bipolar routing is (5, t)-tolerant",
-        RoutingKind::Bidirectional,
+        "bipolar:bi",
         scale,
     )
 }

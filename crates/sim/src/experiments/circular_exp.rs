@@ -2,16 +2,19 @@
 //! (Theorems 10 and 13, Remark 14).
 
 use ftr_core::{
-    verify_tolerance, CircularRouting, Compile, FaultStrategy, RoutingError, ToleranceClaim,
-    TriCircularRouting, TriCircularVariant,
+    verify_tolerance, CircularRouting, Compile, FaultStrategy, RoutingError, SchemeSpec,
+    ToleranceClaim,
 };
 use ftr_graph::gen;
 
-use super::{push_verification_row, threads, NamedGraph, Scale, VERIFICATION_HEADERS};
+use super::scheme_sweep::{push_scheme_rows, SweepConfig};
+use super::{threads, NamedGraph, Scale, VERIFICATION_HEADERS};
 use crate::report::{fmt_bool, fmt_diameter, Table};
 
 /// E3 — Theorem 10: the circular routing is `(6, t)`-tolerant given a
 /// neighborhood set of `t+1` (`t` even) or `t+2` (`t` odd) members.
+/// Driven by the generic scheme-sweep harness (exhaustive where
+/// `C(n, t)` is small, seeded sampling above).
 pub fn e3_circular(scale: Scale) -> Table {
     let mut graphs = vec![
         NamedGraph::new("C9", gen::cycle(9).expect("valid")),
@@ -29,30 +32,13 @@ pub fn e3_circular(scale: Scale) -> Table {
         "Theorem 10: circular routing is (6, t)-tolerant",
         VERIFICATION_HEADERS,
     );
-    for NamedGraph { name, graph } in graphs {
-        let circ = CircularRouting::build(&graph).expect("suite graphs admit concentrators");
-        circ.routing().validate(&graph).expect("valid routing");
-        // Exhaustive where C(n, t) is small, adversarial + sampling above.
-        let n = graph.node_count();
-        let t = circ.tolerated_faults();
-        let strategy = if binomial(n, t) <= 20_000 {
-            FaultStrategy::Exhaustive
-        } else {
-            FaultStrategy::RandomSample {
-                trials: 2_000,
-                seed: 0xE3,
-            }
-        };
-        push_verification_row(
-            &mut table,
-            &name,
-            n,
-            t,
-            circ.routing(),
-            circ.claim(),
-            strategy,
-        );
-    }
+    push_scheme_rows(
+        &mut table,
+        &SchemeSpec::named("circular"),
+        &|t| t,
+        &graphs,
+        &SweepConfig::sampled(20_000, 2_000, 0xE3),
+    );
     table.push_note("K follows the theorem: t+1 members for even t, t+2 for odd t.");
     table
 }
@@ -72,30 +58,13 @@ pub fn e4_tricircular(scale: Scale) -> Table {
         "Theorem 13: tri-circular routing is (4, t)-tolerant",
         VERIFICATION_HEADERS,
     );
-    for NamedGraph { name, graph } in graphs {
-        let tri = TriCircularRouting::build(&graph, TriCircularVariant::Standard)
-            .expect("suite graphs admit 6t+9 concentrators");
-        tri.routing().validate(&graph).expect("valid routing");
-        let n = graph.node_count();
-        let t = tri.tolerated_faults();
-        let strategy = if binomial(n, t) <= 20_000 {
-            FaultStrategy::Exhaustive
-        } else {
-            FaultStrategy::RandomSample {
-                trials: 1_000,
-                seed: 0xE4,
-            }
-        };
-        push_verification_row(
-            &mut table,
-            &name,
-            n,
-            t,
-            tri.routing(),
-            tri.claim(),
-            strategy,
-        );
-    }
+    push_scheme_rows(
+        &mut table,
+        &"tricircular:standard".parse().expect("valid spec"),
+        &|t| t,
+        &graphs,
+        &SweepConfig::sampled(20_000, 1_000, 0xE4),
+    );
     table.push_note("Three circles of 2t+3 members each (K = 6t+9).");
     table
 }
@@ -117,30 +86,13 @@ pub fn e5_tricircular_small(scale: Scale) -> Table {
         "Remark 14: small tri-circular routing is (5, t)-tolerant",
         VERIFICATION_HEADERS,
     );
-    for NamedGraph { name, graph } in graphs {
-        let tri = TriCircularRouting::build(&graph, TriCircularVariant::Small)
-            .expect("suite graphs admit 3t+3 / 3t+6 concentrators");
-        tri.routing().validate(&graph).expect("valid routing");
-        let n = graph.node_count();
-        let t = tri.tolerated_faults();
-        let strategy = if binomial(n, t) <= 20_000 {
-            FaultStrategy::Exhaustive
-        } else {
-            FaultStrategy::RandomSample {
-                trials: 1_000,
-                seed: 0xE5,
-            }
-        };
-        push_verification_row(
-            &mut table,
-            &name,
-            n,
-            t,
-            tri.routing(),
-            tri.claim(),
-            strategy,
-        );
-    }
+    push_scheme_rows(
+        &mut table,
+        &"tricircular:small".parse().expect("valid spec"),
+        &|t| t,
+        &graphs,
+        &SweepConfig::sampled(20_000, 1_000, 0xE5),
+    );
     table.push_note(
         "The paper states the (5, t) bound without the construction; this validates our \
          reconstruction (three small circles, circular forward rule, all-sets cross links).",

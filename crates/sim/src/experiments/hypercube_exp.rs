@@ -33,7 +33,7 @@ pub fn e14_hypercube_baseline(scale: Scale) -> Table {
     for &dim in dims {
         for kind in [RoutingKind::Bidirectional, RoutingKind::Unidirectional] {
             let hc = HypercubeRouting::build(dim, kind).expect("dims are valid");
-            let claim = hc.claim_quoted();
+            let claim = hc.quoted_bound();
             let report = verify_tolerance(
                 &hc.routing().compile(),
                 claim.faults,

@@ -1,9 +1,10 @@
 //! E1, E2 and A4: the kernel routing bounds (Theorems 3 and 4).
 
-use ftr_core::{verify_tolerance, Compile, FaultStrategy, KernelRouting};
+use ftr_core::{verify_tolerance, Compile, FaultStrategy, KernelRouting, SchemeSpec};
 use ftr_graph::gen;
 
-use super::{push_verification_row, threads, NamedGraph, Scale, VERIFICATION_HEADERS};
+use super::scheme_sweep::{push_scheme_rows, SweepConfig};
+use super::{threads, NamedGraph, Scale, VERIFICATION_HEADERS};
 use crate::report::{fmt_diameter, Table};
 
 fn suite(scale: Scale) -> Vec<NamedGraph> {
@@ -27,29 +28,21 @@ fn suite(scale: Scale) -> Vec<NamedGraph> {
 }
 
 /// E1 — Theorem 3: the kernel routing is `(2t, t)`-tolerant (bounded
-/// below by the Dolev et al. `max{2t, 4}` form).
+/// below by the Dolev et al. `max{2t, 4}` form). Driven by the generic
+/// scheme-sweep harness at the full budget `t`.
 pub fn e1_kernel_theorem3(scale: Scale) -> Table {
     let mut table = Table::new(
         "E1",
         "Theorem 3: kernel routing is (max{2t,4}, t)-tolerant",
         VERIFICATION_HEADERS,
     );
-    for NamedGraph { name, graph } in suite(scale) {
-        let kernel = KernelRouting::build(&graph).expect("suite graphs are connected");
-        kernel
-            .routing()
-            .validate(&graph)
-            .expect("constructions produce valid routings");
-        push_verification_row(
-            &mut table,
-            &name,
-            graph.node_count(),
-            kernel.tolerated_faults(),
-            kernel.routing(),
-            kernel.claim_theorem_3(),
-            FaultStrategy::Exhaustive,
-        );
-    }
+    push_scheme_rows(
+        &mut table,
+        &SchemeSpec::named("kernel"),
+        &|t| t,
+        &suite(scale),
+        &SweepConfig::exhaustive(),
+    );
     table.push_note(
         "Exhaustive over all fault sets |F| <= t; 'worst diameter' is the maximum \
          surviving-route-graph diameter observed.",
@@ -57,25 +50,22 @@ pub fn e1_kernel_theorem3(scale: Scale) -> Table {
     table
 }
 
-/// E2 — Theorem 4: the kernel routing is `(4, ⌊t/2⌋)`-tolerant.
+/// E2 — Theorem 4: the kernel routing is `(4, ⌊t/2⌋)`-tolerant. The
+/// harness budget `⌊t/2⌋` makes the scheme advertise the Theorem 4
+/// regime.
 pub fn e2_kernel_theorem4(scale: Scale) -> Table {
     let mut table = Table::new(
         "E2",
         "Theorem 4: kernel routing is (4, t/2)-tolerant",
         VERIFICATION_HEADERS,
     );
-    for NamedGraph { name, graph } in suite(scale) {
-        let kernel = KernelRouting::build(&graph).expect("suite graphs are connected");
-        push_verification_row(
-            &mut table,
-            &name,
-            graph.node_count(),
-            kernel.tolerated_faults(),
-            kernel.routing(),
-            kernel.claim_theorem_4(),
-            FaultStrategy::Exhaustive,
-        );
-    }
+    push_scheme_rows(
+        &mut table,
+        &SchemeSpec::named("kernel"),
+        &|t| t / 2,
+        &suite(scale),
+        &SweepConfig::exhaustive(),
+    );
     table.push_note("Fault budget is floor(t/2): half the connectivity margin, constant bound 4.");
     table
 }

@@ -22,6 +22,7 @@ mod neighborhood;
 mod protocol;
 mod random_graphs;
 mod scaling;
+mod scheme_sweep;
 
 pub use adversary::{ablation_a2_shortcut_rule, ablation_a3_strategies};
 pub use beyond_exp::e16_beyond_budget;
@@ -36,11 +37,11 @@ pub use neighborhood::{e6_neighborhood_sets, e7_degree_thresholds};
 pub use protocol::e15_broadcast;
 pub use random_graphs::e10_two_trees_probability;
 pub use scaling::{s1_scaling, s2_stretch};
+pub use scheme_sweep::{e18_planner_selection, e18_scheme_sweep};
 
-use ftr_core::{verify_tolerance, Compile, FaultStrategy, ToleranceClaim};
 use ftr_graph::Graph;
 
-use crate::report::{fmt_bool, fmt_diameter, Table};
+use crate::report::Table;
 
 /// How much work an experiment run should do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +143,11 @@ pub fn registry() -> Vec<ExperimentSpec> {
             run: |s| vec![e16_beyond_budget(s)],
         },
         ExperimentSpec {
+            id: "e18",
+            title: "Scheme sweep + planner selection over the whole registry",
+            run: |s| vec![e18_scheme_sweep(s), e18_planner_selection(s)],
+        },
+        ExperimentSpec {
             id: "s1",
             title: "Scaling: construction cost and route-table footprint vs n",
             run: |s| vec![s1_scaling(s)],
@@ -197,39 +203,8 @@ impl NamedGraph {
     }
 }
 
-/// Runs a tolerance verification and appends the standard row
-/// `graph | n | t | claim | strategy | worst diameter | sets | ok`.
-///
-/// The routing is compiled into the bitset engine first
-/// ([`Compile::compile`]), so every experiment's verification loop runs
-/// on the mask-based fast path; the route-walk path stays covered by the
-/// engine-equivalence property tests.
-pub(crate) fn push_verification_row<T: Compile + Sync>(
-    table: &mut Table,
-    name: &str,
-    n: usize,
-    t: usize,
-    routing: &T,
-    claim: ToleranceClaim,
-    strategy: FaultStrategy,
-) -> bool {
-    let engine = routing.compile();
-    let report = verify_tolerance(&engine, claim.faults, strategy, threads());
-    let ok = report.satisfies(&claim);
-    table.push_row([
-        name.to_string(),
-        n.to_string(),
-        t.to_string(),
-        claim.to_string(),
-        strategy.to_string(),
-        fmt_diameter(report.worst_diameter),
-        report.sets_checked.to_string(),
-        fmt_bool(ok),
-    ]);
-    ok
-}
-
-/// The standard verification column set used by most experiments.
+/// The standard verification column set used by most experiments (the
+/// scheme-sweep harness in [`scheme_sweep`] fills it).
 pub(crate) const VERIFICATION_HEADERS: [&str; 8] = [
     "graph",
     "n",

@@ -132,7 +132,7 @@ pub fn e12_augmentation(scale: Scale) -> Table {
     );
     for NamedGraph { name, graph } in graphs {
         let aug = AugmentedKernelRouting::build(&graph).expect("not complete");
-        let claim = aug.claim();
+        let claim = aug.guarantee().claim();
         let report = verify_tolerance(
             &aug.routing().compile(),
             claim.faults,

@@ -96,7 +96,12 @@ impl Table {
         let Some(idx) = self.headers.iter().position(|h| h == column) else {
             return false;
         };
-        !self.rows.is_empty() && self.rows.iter().all(|r| r[idx] == "yes")
+        // "-" marks a cell with nothing to verify (e.g. a scheme ruled
+        // inapplicable on one suite graph): neutral, not a violation.
+        // At least one genuine "yes" is still required — an all-dash
+        // table verified nothing.
+        self.rows.iter().any(|r| r[idx] == "yes")
+            && self.rows.iter().all(|r| r[idx] == "yes" || r[idx] == "-")
     }
 
     /// Renders GitHub-flavored Markdown (header, separator, rows, then
@@ -234,11 +239,16 @@ mod tests {
         t.push_row(["a", "yes"]);
         t.push_row(["b", "yes"]);
         assert!(t.all_yes("ok"));
+        t.push_row(["d", "-"]);
+        assert!(t.all_yes("ok"), "inapplicable rows are neutral");
         t.push_row(["c", "no"]);
         assert!(!t.all_yes("ok"));
         assert!(!t.all_yes("missing"));
         let empty = Table::new("E2", "y", ["ok"]);
         assert!(!empty.all_yes("ok"), "vacuous truth is not success");
+        let mut dashes = Table::new("E3", "z", ["ok"]);
+        dashes.push_row(["-"]);
+        assert!(!dashes.all_yes("ok"), "an all-dash table verified nothing");
     }
 
     #[test]

@@ -68,11 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "claims: kernel {} (Thm 3), circular {} (Thm 10)",
-        kernel.claim_theorem_3(),
-        circular.claim()
+        kernel.guarantee_theorem_3().claim(),
+        circular.guarantee().claim()
     );
-    assert!(kernel_report.satisfies(&kernel.claim_theorem_3()));
-    assert!(circ_report.satisfies(&circular.claim()));
+    assert!(kernel_report.satisfies(&kernel.guarantee_theorem_3().claim()));
+    assert!(circ_report.satisfies(&circular.guarantee().claim()));
 
     println!("\nfixed route tables survive any 3 rack failures with constant reroute depth OK");
     Ok(())

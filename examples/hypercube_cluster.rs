@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for dim in [3usize, 4] {
         for kind in [RoutingKind::Bidirectional, RoutingKind::Unidirectional] {
             let hc = HypercubeRouting::build(dim, kind)?;
-            let claim = hc.claim_quoted();
+            let claim = hc.quoted_bound();
             let report = verify_tolerance(hc.routing(), claim.faults, FaultStrategy::Exhaustive, 4);
             println!(
                 "Q{dim} {kind:?}: measured worst diameter {} vs quoted {} ({} fault sets)",
@@ -49,13 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "CCC(4) kernel routing, faults {{10, 33}}: surviving diameter {:?} (bound {})",
         s.diameter(),
-        kernel.claim_theorem_3().diameter
+        kernel.guarantee_theorem_3().claim().diameter
     );
 
     // The full exhaustive check over all fault pairs.
     let report = verify_tolerance(kernel.routing(), 2, FaultStrategy::Exhaustive, 4);
     println!("CCC(4) kernel exhaustive: {report}");
-    assert!(report.satisfies(&kernel.claim_theorem_3()));
+    assert!(report.satisfies(&kernel.guarantee_theorem_3().claim()));
 
     println!("\nhypercube-family networks hold their bounds OK");
     Ok(())

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = kernel.tolerated_faults();
     println!(
         "network: {network}, budget t = {t}, in-budget claim {}",
-        kernel.claim_theorem_3()
+        kernel.guarantee_theorem_3().claim()
     );
 
     println!("\n|F| | trials disconnected | worst component diameter | smallest 'largest island'");

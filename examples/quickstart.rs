@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "after faults {{4, 13}}: surviving diameter = {:?} (Theorem 3 bound: {})",
         surviving.diameter(),
-        kernel.claim_theorem_3().diameter
+        kernel.guarantee_theorem_3().claim().diameter
     );
 
     // --- The circular routing (Theorem 10) ---------------------------
@@ -43,9 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = verify_tolerance(circular.routing(), 2, FaultStrategy::Exhaustive, 4);
     println!(
         "circular tolerance (exhaustive over all |F| <= 2): {report} — claim {}",
-        circular.claim()
+        circular.guarantee().claim()
     );
-    assert!(report.satisfies(&circular.claim()));
+    assert!(report.satisfies(&circular.guarantee().claim()));
 
     // --- Changing the network (Section 6) ----------------------------
     let augmented = AugmentedKernelRouting::build(&network)?;
@@ -53,11 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "augmented kernel: added {} links (budget {}), claim {}",
         augmented.added_edges().len(),
         augmented.link_budget(),
-        augmented.claim()
+        augmented.guarantee().claim()
     );
     let report = verify_tolerance(augmented.routing(), 2, FaultStrategy::Exhaustive, 4);
     println!("augmented tolerance: {report}");
-    assert!(report.satisfies(&augmented.claim()));
+    assert!(report.satisfies(&augmented.guarantee().claim()));
 
     println!("all claimed bounds verified exhaustively OK");
     Ok(())

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = KernelRouting::build(&network)?;
     println!(
         "network: {network}, kernel claim {}",
-        kernel.claim_theorem_4()
+        kernel.guarantee_theorem_4().claim()
     );
 
     // One router fails. Surviving diameter is at most 4 (Theorem 4).

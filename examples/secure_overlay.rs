@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (r1, r2) = bipolar.roots();
     println!(
         "overlay: {overlay}; bipolar roots r1 = {r1}, r2 = {r2}, claim {}",
-        bipolar.claim()
+        bipolar.guarantee().claim()
     );
 
     // Cost model: encrypting + decrypting at every route endpoint costs
@@ -63,9 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "worst-case routes chained over all single faults: {worst_routes} (claim: {})",
-        bipolar.claim().diameter
+        bipolar.guarantee().claim().diameter
     );
-    assert!(worst_routes <= bipolar.claim().diameter);
+    assert!(worst_routes <= bipolar.guarantee().claim().diameter);
 
     // Compare with the kernel routing: same guarantee class, different
     // constant — (max{2t,4}, t) instead of (5, t).
@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "kernel routing worst-case routes: {kernel_worst} (claim: {})",
-        kernel.claim_theorem_3().diameter
+        kernel.guarantee_theorem_3().claim().diameter
     );
 
     println!("endpoint-dominated latency stays bounded by the surviving diameter OK");

@@ -29,7 +29,7 @@
 //! // Theorem 10: the circular routing keeps the surviving diameter <= 6.
 //! let routing = CircularRouting::build(&network)?;
 //! let report = verify_tolerance(routing.routing(), 2, FaultStrategy::Exhaustive, 2);
-//! assert!(report.satisfies(&routing.claim()));
+//! assert!(report.satisfies(&routing.guarantee().claim()));
 //! # Ok(())
 //! # }
 //! ```

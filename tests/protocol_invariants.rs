@@ -138,7 +138,7 @@ fn broadcast_respects_claim_bound_as_route_counter() {
     // always completes the broadcast within the fault budget.
     let g = gen::harary(3, 18).unwrap();
     let circ = CircularRouting::build(&g).unwrap();
-    let claim = circ.claim();
+    let claim = circ.guarantee().claim();
     for trial in 0..6u64 {
         let faults = FaultPlan::Uniform {
             count: claim.faults,

@@ -31,7 +31,7 @@ fn theorem_3_kernel_on_all_families() {
     for (name, g) in graphs_for_kernel() {
         let kernel = KernelRouting::build(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
         kernel.routing().validate(&g).unwrap();
-        let (ok, report) = check_claim(kernel.routing(), &kernel.claim_theorem_3(), 4);
+        let (ok, report) = check_claim(kernel.routing(), &kernel.guarantee_theorem_3().claim(), 4);
         assert!(ok, "{name}: Theorem 3 violated — {report}");
     }
 }
@@ -40,7 +40,7 @@ fn theorem_3_kernel_on_all_families() {
 fn theorem_4_kernel_on_all_families() {
     for (name, g) in graphs_for_kernel() {
         let kernel = KernelRouting::build(&g).unwrap();
-        let (ok, report) = check_claim(kernel.routing(), &kernel.claim_theorem_4(), 4);
+        let (ok, report) = check_claim(kernel.routing(), &kernel.guarantee_theorem_4().claim(), 4);
         assert!(ok, "{name}: Theorem 4 violated — {report}");
     }
 }
@@ -55,7 +55,7 @@ fn theorem_10_circular_on_admitting_families() {
     ] {
         let circ = CircularRouting::build(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
         circ.routing().validate(&g).unwrap();
-        let (ok, report) = check_claim(circ.routing(), &circ.claim(), 4);
+        let (ok, report) = check_claim(circ.routing(), &circ.guarantee().claim(), 4);
         assert!(ok, "{name}: Theorem 10 violated — {report}");
     }
 }
@@ -65,7 +65,7 @@ fn theorem_13_tricircular_on_cycle() {
     let g = gen::cycle(45).unwrap();
     let tri = TriCircularRouting::build(&g, TriCircularVariant::Standard).unwrap();
     tri.routing().validate(&g).unwrap();
-    let (ok, report) = check_claim(tri.routing(), &tri.claim(), 4);
+    let (ok, report) = check_claim(tri.routing(), &tri.guarantee().claim(), 4);
     assert!(ok, "Theorem 13 violated — {report}");
 }
 
@@ -73,7 +73,7 @@ fn theorem_13_tricircular_on_cycle() {
 fn remark_14_small_tricircular_on_cycle() {
     let g = gen::cycle(27).unwrap();
     let tri = TriCircularRouting::build(&g, TriCircularVariant::Small).unwrap();
-    let (ok, report) = check_claim(tri.routing(), &tri.claim(), 4);
+    let (ok, report) = check_claim(tri.routing(), &tri.guarantee().claim(), 4);
     assert!(ok, "Remark 14 violated — {report}");
 }
 
@@ -86,7 +86,7 @@ fn theorems_20_23_bipolar_on_two_trees_families() {
         for kind in [RoutingKind::Unidirectional, RoutingKind::Bidirectional] {
             let b = BipolarRouting::build(&g, kind).unwrap();
             b.routing().validate(&g).unwrap();
-            let (ok, report) = check_claim(b.routing(), &b.claim(), 4);
+            let (ok, report) = check_claim(b.routing(), &b.guarantee().claim(), 4);
             assert!(ok, "{name} {kind:?}: bipolar bound violated — {report}");
         }
     }
@@ -126,7 +126,7 @@ fn section_6_augmentation_meets_bound_and_budget() {
             aug.added_edges().len() <= aug.link_budget(),
             "{name}: link budget exceeded"
         );
-        let (ok, report) = check_claim(aug.routing(), &aug.claim(), 4);
+        let (ok, report) = check_claim(aug.routing(), &aug.guarantee().claim(), 4);
         assert!(ok, "{name}: Section 6 (3, t) bound violated — {report}");
     }
 }

@@ -62,7 +62,7 @@ fn deployment_study_pipeline() {
     //    every step where the live fault count is within budget.
     let report = simulate_churn(
         kernel.routing(),
-        &kernel.claim_theorem_3(),
+        &kernel.guarantee_theorem_3().claim(),
         ChurnConfig {
             fail_rate: 0.015,
             repair_time: 4,
