@@ -1,0 +1,350 @@
+//! `ftr-audit` — audit routings, emit and check tolerance certificates.
+//!
+//! ```text
+//! ftr-audit audit   --graph SPEC (--scheme SCHEME | --routes FILE [--kind uni|bi])
+//!                   [--claim-d D] [--claim-f F] [--mode certify|worst]
+//!                   [--threads N] [--cap N] [--out FILE]
+//! ftr-audit check   FILE
+//! ftr-audit compare --graph SPEC --scheme SCHEME [--claim-d D] [--claim-f F] [--threads N]
+//!
+//! Graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C
+//! Scheme specs: the shared SchemeSpec grammar (kernel, circular:k=6, …)
+//! Routes file:  one route per line, whitespace-separated node ids; `#` comments
+//! ```
+//!
+//! `audit` builds the routing (through the registry, or from literal
+//! route lines), runs the branch-and-bound search against the claim
+//! (default: the scheme's advertised guarantee) and writes the
+//! certificate to stdout or `--out`. `check` independently re-validates
+//! a certificate (hash, rebuild, accounting, witness re-measurement) and
+//! exits non-zero on any failure. `compare` runs the pruned search *and*
+//! the exhaustive verifier, reports both evaluation counts and fails if
+//! the verdicts disagree.
+
+use std::process::ExitCode;
+
+use ftr_audit::{audit, check, Certificate, SearchConfig, SearchMode, Verdict};
+use ftr_core::{check_claim, BuiltTable, Compile, SchemeRegistry, SchemeSpec, ToleranceClaim};
+use ftr_graph::{spec::parse_graph_spec, Graph, NodeSet, Path};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("audit") => run_audit(&args[1..]),
+        Some("check") => run_check(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ftr-audit: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage:\n  ftr-audit audit   --graph SPEC (--scheme SCHEME | --routes FILE [--kind uni|bi])\n\
+         \x20                   [--claim-d D] [--claim-f F] [--mode certify|worst]\n\
+         \x20                   [--threads N] [--cap N] [--out FILE]\n\
+         \x20 ftr-audit check   FILE\n\
+         \x20 ftr-audit compare --graph SPEC --scheme SCHEME [--claim-d D] [--claim-f F] [--threads N]"
+    );
+}
+
+/// Flags shared by `audit` and `compare`.
+struct Options {
+    graph: Option<String>,
+    scheme: Option<String>,
+    routes: Option<String>,
+    kind: ftr_core::RoutingKind,
+    claim_d: Option<u32>,
+    claim_f: Option<usize>,
+    mode: SearchMode,
+    threads: usize,
+    cap: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        graph: None,
+        scheme: None,
+        routes: None,
+        kind: ftr_core::RoutingKind::Bidirectional,
+        claim_d: None,
+        claim_f: None,
+        mode: SearchMode::Certify,
+        threads: ftr_core::par::default_threads(),
+        cap: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--graph" => opts.graph = Some(value("--graph")?),
+            "--scheme" => opts.scheme = Some(value("--scheme")?),
+            "--routes" => opts.routes = Some(value("--routes")?),
+            "--kind" => {
+                opts.kind = match value("--kind")?.as_str() {
+                    "uni" => ftr_core::RoutingKind::Unidirectional,
+                    "bi" => ftr_core::RoutingKind::Bidirectional,
+                    other => return Err(format!("--kind wants uni|bi, got {other:?}")),
+                }
+            }
+            "--claim-d" => {
+                opts.claim_d = Some(
+                    value("--claim-d")?
+                        .parse()
+                        .map_err(|e| format!("--claim-d: {e}"))?,
+                )
+            }
+            "--claim-f" => {
+                opts.claim_f = Some(
+                    value("--claim-f")?
+                        .parse()
+                        .map_err(|e| format!("--claim-f: {e}"))?,
+                )
+            }
+            "--mode" => {
+                opts.mode =
+                    SearchMode::from_token(&value("--mode")?).ok_or("--mode wants certify|worst")?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--cap" => opts.cap = Some(value("--cap")?.parse().map_err(|e| format!("--cap: {e}"))?),
+            "--out" => opts.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+impl Options {
+    fn config(&self) -> SearchConfig {
+        SearchConfig {
+            mode: self.mode,
+            threads: self.threads.max(1),
+            max_visits: self.cap,
+            min_prune_subtree: 8,
+        }
+    }
+
+    fn graph(&self) -> Result<(Graph, String), String> {
+        let spec = self.graph.as_deref().ok_or("--graph is required")?;
+        parse_graph_spec(spec)
+    }
+}
+
+/// The audited subject: a certificate-ready table plus its metadata.
+enum Subject {
+    Scheme(Box<ftr_core::BuiltRouting>),
+    Routing(ftr_core::Routing),
+}
+
+impl Subject {
+    fn build(opts: &Options, graph: &Graph) -> Result<Subject, String> {
+        match (&opts.scheme, &opts.routes) {
+            (Some(scheme), None) => {
+                let spec: SchemeSpec = scheme.parse()?;
+                let built = SchemeRegistry::standard()
+                    .build_spec(graph, &spec)
+                    .map_err(|e| e.to_string())?;
+                Ok(Subject::Scheme(Box::new(built)))
+            }
+            (None, Some(path)) => {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("--routes {path}: {e}"))?;
+                let mut routing = ftr_core::Routing::new(graph.node_count(), opts.kind);
+                for (lineno, line) in text.lines().enumerate() {
+                    let line = line.split('#').next().unwrap_or("").trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let nodes: Vec<u32> = line
+                        .split_whitespace()
+                        .map(|t| {
+                            t.parse()
+                                .map_err(|_| format!("line {}: bad node {t:?}", lineno + 1))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let path = Path::new(nodes).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    routing
+                        .insert(path)
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                }
+                routing
+                    .validate(graph)
+                    .map_err(|e| format!("routes not valid in the graph: {e}"))?;
+                routing.freeze();
+                Ok(Subject::Routing(routing))
+            }
+            _ => Err("exactly one of --scheme / --routes is required".to_string()),
+        }
+    }
+
+    fn claim(&self, opts: &Options) -> Result<ToleranceClaim, String> {
+        match self {
+            Subject::Scheme(built) => {
+                let g = built.guarantee();
+                Ok(ToleranceClaim {
+                    diameter: opts.claim_d.unwrap_or(g.diameter),
+                    faults: opts.claim_f.unwrap_or(g.faults),
+                })
+            }
+            Subject::Routing(_) => Ok(ToleranceClaim {
+                diameter: opts.claim_d.ok_or("--claim-d is required with --routes")?,
+                faults: opts.claim_f.ok_or("--claim-f is required with --routes")?,
+            }),
+        }
+    }
+
+    fn engine(&self) -> ftr_core::CompiledRoutes {
+        match self {
+            Subject::Scheme(built) => match built.table() {
+                BuiltTable::Single(r) => r.compile(),
+                BuiltTable::Multi(m) => m.compile(),
+            },
+            Subject::Routing(r) => r.compile(),
+        }
+    }
+
+    fn core_nodes(&self) -> &[u32] {
+        match self {
+            Subject::Scheme(built) => built.core_nodes(),
+            Subject::Routing(_) => &[],
+        }
+    }
+
+    fn certificate(
+        &self,
+        graph: &Graph,
+        engine: &ftr_core::CompiledRoutes,
+        base: &NodeSet,
+        mode: SearchMode,
+        report: &ftr_audit::AuditReport,
+    ) -> Certificate {
+        match self {
+            Subject::Scheme(built) => Certificate::for_scheme(
+                graph,
+                built.spec(),
+                built.guarantee().theorem,
+                engine,
+                base,
+                mode,
+                report,
+            ),
+            Subject::Routing(r) => Certificate::for_routing(graph, r, engine, base, mode, report),
+        }
+    }
+}
+
+fn run_audit(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let (graph, label) = opts.graph()?;
+    let subject = Subject::build(&opts, &graph)?;
+    let claim = subject.claim(&opts)?;
+    let engine = subject.engine();
+    let base = NodeSet::new(graph.node_count());
+    let report = audit(&engine, claim, subject.core_nodes(), &base, &opts.config());
+    match &report.verdict {
+        Verdict::Holds => eprintln!(
+            "{label}: {claim} HOLDS — {} visited + {} pruned = {} sets ({} subtrees cut)",
+            report.visited, report.pruned_sets, report.space, report.pruned_subtrees
+        ),
+        Verdict::Violated { witness, diameter } => eprintln!(
+            "{label}: {claim} VIOLATED by {witness:?} (diameter {}) after {} of {} sets",
+            diameter.map_or("disconnect".to_string(), |d| d.to_string()),
+            report.visited,
+            report.space
+        ),
+        Verdict::Exhausted => {
+            return Err(format!(
+                "visit cap reached after {} evaluations — no verdict, no certificate",
+                report.visited
+            ))
+        }
+    }
+    let cert = subject
+        .certificate(&graph, &engine, &base, opts.mode, &report)
+        .serialize();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &cert).map_err(|e| format!("--out {path}: {e}"))?;
+            eprintln!("wrote certificate to {path}");
+        }
+        None => print!("{cert}"),
+    }
+    Ok(())
+}
+
+fn run_check(args: &[String]) -> Result<(), String> {
+    let path = match args {
+        [path] => path,
+        _ => return Err("check wants exactly one certificate file".to_string()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let checked = check(&text).map_err(|e| format!("{path}: INVALID — {e}"))?;
+    println!(
+        "{path}: VALID — {} {} {}",
+        checked.source,
+        checked.claim,
+        if checked.holds {
+            "holds (full accounting verified)".to_string()
+        } else {
+            format!(
+                "violated (witness re-measured: {})",
+                match checked.witness_diameter {
+                    Some(Some(d)) => format!("diameter {d}"),
+                    Some(None) => "disconnected".to_string(),
+                    None => "-".to_string(),
+                }
+            )
+        }
+    );
+    Ok(())
+}
+
+fn run_compare(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let (graph, label) = opts.graph()?;
+    let subject = Subject::build(&opts, &graph)?;
+    let claim = subject.claim(&opts)?;
+    let engine = subject.engine();
+    let base = NodeSet::new(graph.node_count());
+    let report = audit(&engine, claim, subject.core_nodes(), &base, &opts.config());
+    if matches!(report.verdict, Verdict::Exhausted) {
+        return Err("pruned search hit its cap; raise --cap".to_string());
+    }
+    let (exhaustive_ok, exhaustive) = check_claim(&engine, &claim, opts.threads.max(1));
+    let pruned_ok = report.holds();
+    println!(
+        "{label} {claim}: pruned {} in {} evaluations, exhaustive {} in {} — {:.1}x fewer",
+        if pruned_ok { "holds" } else { "violated" },
+        report.visited,
+        if exhaustive_ok { "holds" } else { "violated" },
+        exhaustive.sets_checked,
+        exhaustive.sets_checked as f64 / report.visited.max(1) as f64
+    );
+    if pruned_ok != exhaustive_ok {
+        return Err(format!(
+            "VERDICT MISMATCH: pruned says {}, exhaustive says {} (worst {:?})",
+            pruned_ok, exhaustive_ok, exhaustive.worst_diameter
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,787 @@
+//! Machine-checkable tolerance certificates.
+//!
+//! A certificate is the durable artifact of one audit: what was audited
+//! (the graph as graph6 plus either a scheme spec — rebuildable through
+//! the deterministic `SchemeRegistry` — or the literal route lines of a
+//! hand-built routing), the `(d, f)` claim, the searched-space
+//! accounting, the verdict, and a content hash. The text format is
+//! line-oriented and fully deterministic, so equal audits serialize
+//! byte-identically.
+//!
+//! [`check`] re-validates a certificate *independently* of the searcher:
+//! it recomputes the hash, rebuilds the routing from the recorded
+//! source, compares the engine shape, re-verifies the accounting
+//! arithmetic (`visited + pruned = space` for a holds verdict, with
+//! `space` recomputed from `n`, the base and `f`), and — for a violated
+//! verdict — re-measures the witness through the **route-walk reference
+//! implementation**, never the compiled engine the searcher ran on.
+
+use std::fmt;
+
+use ftr_core::{BuiltTable, Routing, RoutingKind, SchemeRegistry, SchemeSpec, ToleranceClaim};
+use ftr_graph::{io, Graph, Node, NodeSet, Path};
+
+use crate::search::{search_space, AuditReport, SearchMode, Verdict};
+
+/// Where the audited routing came from — enough to rebuild it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// Built through the registry: the canonical spec plus the theorem
+    /// token of the guarantee under audit.
+    Scheme {
+        /// Canonical [`SchemeSpec`] rendering.
+        spec: String,
+        /// [`ftr_core::TheoremId::token`] of the audited guarantee.
+        theorem: String,
+    },
+    /// A hand-built routing, embedded route by route.
+    Routing {
+        /// Routing kind.
+        kind: RoutingKind,
+        /// Every stored route as its node path, in the table's sorted
+        /// `(src, dst)` iteration order.
+        routes: Vec<Vec<Node>>,
+    },
+}
+
+/// The verdict a certificate records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertVerdict {
+    /// The claim held over the whole accounted space.
+    Holds,
+    /// A witness fault set violating the claim.
+    Violated {
+        /// Surviving diameter under the witness (`None` = disconnected).
+        diameter: Option<u32>,
+        /// The witness fault set, ascending.
+        witness: Vec<Node>,
+    },
+}
+
+/// One audit, serialized: see the module docs for the format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The audited network in graph6 (the *input* graph for schemes —
+    /// the augmentation scheme re-derives its augmented network).
+    pub graph6: String,
+    /// How to rebuild the routing.
+    pub source: Source,
+    /// Pre-existing faults the claim quantifies on top of (usually
+    /// empty).
+    pub base: Vec<Node>,
+    /// The audited claim.
+    pub claim: ToleranceClaim,
+    /// Search mode that produced the verdict.
+    pub mode: SearchMode,
+    /// Engine shape at audit time (node count, routed pairs, slots).
+    pub engine: (usize, usize, usize),
+    /// Diameter evaluations performed.
+    pub visited: u64,
+    /// Subtrees cut by the monotone prune.
+    pub pruned_subtrees: u64,
+    /// Fault sets covered by pruning.
+    pub pruned_sets: u64,
+    /// The whole space `Σ_{k<=f} C(m, k)`.
+    pub space: u64,
+    /// The verdict.
+    pub verdict: CertVerdict,
+}
+
+/// FNV-1a 64 over the certificate body — cheap, dependency-free, and
+/// plenty to catch tampering and transcription damage (this is an
+/// integrity check, not a cryptographic signature).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn join_nodes(nodes: &[Node]) -> String {
+    if nodes.is_empty() {
+        return "-".to_string();
+    }
+    let parts: Vec<String> = nodes.iter().map(|v| v.to_string()).collect();
+    parts.join(",")
+}
+
+fn parse_nodes(text: &str) -> Result<Vec<Node>, CheckError> {
+    if text == "-" {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|t| {
+            t.parse()
+                .map_err(|_| CheckError::Malformed(format!("bad node id {t:?}")))
+        })
+        .collect()
+}
+
+impl Certificate {
+    /// Assembles a certificate from an audit of a scheme-built routing.
+    ///
+    /// `input_graph` is the graph the scheme was built *on* (for the
+    /// augmentation scheme that differs from the routed network);
+    /// rebuilding `spec` on it reproduces the audited table exactly.
+    pub fn for_scheme(
+        input_graph: &Graph,
+        spec: &SchemeSpec,
+        theorem: ftr_core::TheoremId,
+        engine: &ftr_core::CompiledRoutes,
+        base: &NodeSet,
+        mode: SearchMode,
+        report: &AuditReport,
+    ) -> Certificate {
+        Certificate::assemble(
+            input_graph,
+            Source::Scheme {
+                spec: spec.to_string(),
+                theorem: theorem.token().to_string(),
+            },
+            engine,
+            base,
+            mode,
+            report,
+        )
+    }
+
+    /// Assembles a certificate from an audit of a hand-built routing,
+    /// embedding every route.
+    pub fn for_routing(
+        graph: &Graph,
+        routing: &Routing,
+        engine: &ftr_core::CompiledRoutes,
+        base: &NodeSet,
+        mode: SearchMode,
+        report: &AuditReport,
+    ) -> Certificate {
+        let routes = routing
+            .routes()
+            // A bidirectional table registers each stored path under both
+            // orientations; keep the forward one only, so re-inserting
+            // reproduces the table exactly.
+            .filter(|(_, _, view)| view.is_forward())
+            .map(|(_, _, view)| view.nodes())
+            .collect();
+        Certificate::assemble(
+            graph,
+            Source::Routing {
+                kind: routing.kind(),
+                routes,
+            },
+            engine,
+            base,
+            mode,
+            report,
+        )
+    }
+
+    fn assemble(
+        graph: &Graph,
+        source: Source,
+        engine: &ftr_core::CompiledRoutes,
+        base: &NodeSet,
+        mode: SearchMode,
+        report: &AuditReport,
+    ) -> Certificate {
+        use ftr_core::RouteTable;
+        let verdict = match &report.verdict {
+            Verdict::Holds => CertVerdict::Holds,
+            Verdict::Violated { witness, diameter } => CertVerdict::Violated {
+                diameter: *diameter,
+                witness: witness.clone(),
+            },
+            Verdict::Exhausted => {
+                panic!("an exhausted search has no verdict to certify")
+            }
+        };
+        Certificate {
+            graph6: io::to_graph6(graph),
+            source,
+            base: base.iter().collect(),
+            claim: report.claim,
+            mode,
+            engine: (
+                engine.node_count(),
+                engine.pair_count(),
+                engine.slot_count(),
+            ),
+            visited: report.visited,
+            pruned_subtrees: report.pruned_subtrees,
+            pruned_sets: report.pruned_sets,
+            space: report.space,
+            verdict,
+        }
+    }
+
+    /// The canonical text form, hash line included.
+    pub fn serialize(&self) -> String {
+        let mut body = String::new();
+        body.push_str("ftr-certificate v1\n");
+        body.push_str(&format!("graph {}\n", self.graph6));
+        match &self.source {
+            Source::Scheme { spec, theorem } => {
+                body.push_str(&format!("scheme {spec} theorem={theorem}\n"));
+            }
+            Source::Routing { kind, routes } => {
+                let kind = match kind {
+                    RoutingKind::Unidirectional => "uni",
+                    RoutingKind::Bidirectional => "bi",
+                };
+                body.push_str(&format!("routing kind={kind} count={}\n", routes.len()));
+                for route in routes {
+                    let parts: Vec<String> = route.iter().map(|v| v.to_string()).collect();
+                    body.push_str(&format!("route {}\n", parts.join(" ")));
+                }
+            }
+        }
+        body.push_str(&format!("base {}\n", join_nodes(&self.base)));
+        body.push_str(&format!(
+            "claim d={} f={}\n",
+            self.claim.diameter, self.claim.faults
+        ));
+        body.push_str(&format!("mode {}\n", self.mode.token()));
+        body.push_str(&format!(
+            "engine n={} pairs={} slots={}\n",
+            self.engine.0, self.engine.1, self.engine.2
+        ));
+        body.push_str(&format!(
+            "search visited={} pruned-subtrees={} pruned-sets={} space={}\n",
+            self.visited, self.pruned_subtrees, self.pruned_sets, self.space
+        ));
+        match &self.verdict {
+            CertVerdict::Holds => body.push_str("verdict holds\n"),
+            CertVerdict::Violated { diameter, witness } => {
+                let d = match diameter {
+                    Some(d) => d.to_string(),
+                    None => "disconnect".to_string(),
+                };
+                body.push_str(&format!(
+                    "verdict violated d={d} witness={}\n",
+                    join_nodes(witness)
+                ));
+            }
+        }
+        let hash = fnv1a64(body.as_bytes());
+        body.push_str(&format!("hash {hash:016x}\n"));
+        body
+    }
+
+    /// Parses the text form (syntax only — [`check`] validates content).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::Malformed`] describing the first offending line.
+    pub fn parse(text: &str) -> Result<(Certificate, u64), CheckError> {
+        let bad = |msg: &str| CheckError::Malformed(msg.to_string());
+        let mut lines = text.lines();
+        if lines.next() != Some("ftr-certificate v1") {
+            return Err(bad("missing `ftr-certificate v1` header"));
+        }
+        let graph6 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("graph "))
+            .ok_or_else(|| bad("missing `graph` line"))?
+            .to_string();
+        let source_line = lines.next().ok_or_else(|| bad("missing source line"))?;
+        let source = if let Some(rest) = source_line.strip_prefix("scheme ") {
+            let (spec, theorem) = rest
+                .split_once(" theorem=")
+                .ok_or_else(|| bad("scheme line wants `scheme <spec> theorem=<token>`"))?;
+            Source::Scheme {
+                spec: spec.to_string(),
+                theorem: theorem.to_string(),
+            }
+        } else if let Some(rest) = source_line.strip_prefix("routing ") {
+            let (kind, count) = rest
+                .strip_prefix("kind=")
+                .and_then(|r| r.split_once(" count="))
+                .ok_or_else(|| bad("routing line wants `routing kind=<k> count=<n>`"))?;
+            let kind = match kind {
+                "uni" => RoutingKind::Unidirectional,
+                "bi" => RoutingKind::Bidirectional,
+                other => return Err(CheckError::Malformed(format!("bad routing kind {other:?}"))),
+            };
+            let count: usize = count.parse().map_err(|_| bad("bad routing count"))?;
+            let mut routes = Vec::with_capacity(count);
+            for _ in 0..count {
+                let line = lines.next().ok_or_else(|| bad("truncated route lines"))?;
+                let nodes = line
+                    .strip_prefix("route ")
+                    .ok_or_else(|| bad("expected a `route` line"))?
+                    .split_whitespace()
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| CheckError::Malformed(format!("bad route node {t:?}")))
+                    })
+                    .collect::<Result<Vec<Node>, _>>()?;
+                routes.push(nodes);
+            }
+            Source::Routing { kind, routes }
+        } else {
+            return Err(bad("expected a `scheme` or `routing` source line"));
+        };
+        let mut next_field = |prefix: &str| -> Result<String, CheckError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| CheckError::Malformed(format!("missing `{prefix}` line")))?;
+            line.strip_prefix(prefix)
+                .map(|s| s.to_string())
+                .ok_or_else(|| CheckError::Malformed(format!("expected `{prefix}…`, got {line:?}")))
+        };
+        let base = parse_nodes(&next_field("base ")?)?;
+        let claim_text = next_field("claim d=")?;
+        let (d, f) = claim_text
+            .split_once(" f=")
+            .ok_or_else(|| bad("claim line wants `claim d=<d> f=<f>`"))?;
+        let claim = ToleranceClaim {
+            diameter: d.parse().map_err(|_| bad("bad claim diameter"))?,
+            faults: f.parse().map_err(|_| bad("bad claim fault count"))?,
+        };
+        let mode =
+            SearchMode::from_token(&next_field("mode ")?).ok_or_else(|| bad("bad mode token"))?;
+        let engine_text = next_field("engine n=")?;
+        let engine = {
+            let (n, rest) = engine_text
+                .split_once(" pairs=")
+                .ok_or_else(|| bad("engine line wants n/pairs/slots"))?;
+            let (pairs, slots) = rest
+                .split_once(" slots=")
+                .ok_or_else(|| bad("engine line wants n/pairs/slots"))?;
+            (
+                n.parse().map_err(|_| bad("bad engine n"))?,
+                pairs.parse().map_err(|_| bad("bad engine pairs"))?,
+                slots.parse().map_err(|_| bad("bad engine slots"))?,
+            )
+        };
+        let search_text = next_field("search visited=")?;
+        let (visited, pruned_subtrees, pruned_sets, space) = {
+            let (v, rest) = search_text
+                .split_once(" pruned-subtrees=")
+                .ok_or_else(|| bad("search line wants visited/pruned/space"))?;
+            let (ps, rest) = rest
+                .split_once(" pruned-sets=")
+                .ok_or_else(|| bad("search line wants visited/pruned/space"))?;
+            let (pk, space) = rest
+                .split_once(" space=")
+                .ok_or_else(|| bad("search line wants visited/pruned/space"))?;
+            (
+                v.parse().map_err(|_| bad("bad visited"))?,
+                ps.parse().map_err(|_| bad("bad pruned-subtrees"))?,
+                pk.parse().map_err(|_| bad("bad pruned-sets"))?,
+                space.parse().map_err(|_| bad("bad space"))?,
+            )
+        };
+        let verdict_line = next_field("verdict ")?;
+        let verdict = if verdict_line == "holds" {
+            CertVerdict::Holds
+        } else if let Some(rest) = verdict_line.strip_prefix("violated d=") {
+            let (d, witness) = rest
+                .split_once(" witness=")
+                .ok_or_else(|| bad("violated verdict wants d= and witness="))?;
+            let diameter = match d {
+                "disconnect" => None,
+                num => Some(num.parse().map_err(|_| bad("bad witness diameter"))?),
+            };
+            CertVerdict::Violated {
+                diameter,
+                witness: parse_nodes(witness)?,
+            }
+        } else {
+            return Err(bad("verdict must be `holds` or `violated …`"));
+        };
+        let hash_text = next_field("hash ")?;
+        let stored_hash = u64::from_str_radix(&hash_text, 16).map_err(|_| bad("bad hash hex"))?;
+        if lines.next().is_some_and(|l| !l.trim().is_empty()) {
+            return Err(bad("trailing content after the hash line"));
+        }
+        Ok((
+            Certificate {
+                graph6,
+                source,
+                base,
+                claim,
+                mode,
+                engine,
+                visited,
+                pruned_subtrees,
+                pruned_sets,
+                space,
+                verdict,
+            },
+            stored_hash,
+        ))
+    }
+}
+
+/// Why a certificate failed [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The text does not parse as a certificate.
+    Malformed(String),
+    /// The content hash does not match the body (tampering or damage).
+    HashMismatch {
+        /// Hash recorded in the certificate.
+        stored: u64,
+        /// Hash of the body as received.
+        computed: u64,
+    },
+    /// The graph6 payload does not decode.
+    BadGraph(String),
+    /// The recorded source could not be rebuilt.
+    RebuildFailed(String),
+    /// The rebuilt engine's shape differs from the recorded one.
+    EngineMismatch {
+        /// `(n, pairs, slots)` recorded.
+        stored: (usize, usize, usize),
+        /// `(n, pairs, slots)` rebuilt.
+        rebuilt: (usize, usize, usize),
+    },
+    /// The recorded space is not `Σ_{k<=f} C(m, k)`.
+    SpaceMismatch {
+        /// Space recorded.
+        stored: u64,
+        /// Space recomputed from `n`, base and `f`.
+        computed: u64,
+    },
+    /// A holds verdict whose accounting does not cover the space.
+    CoverageGap {
+        /// `visited + pruned_sets`.
+        covered: u64,
+        /// The full space.
+        space: u64,
+    },
+    /// The witness does not reproduce the recorded violation.
+    WitnessMismatch(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Malformed(msg) => write!(f, "malformed certificate: {msg}"),
+            CheckError::HashMismatch { stored, computed } => write!(
+                f,
+                "content hash mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            CheckError::BadGraph(msg) => write!(f, "graph6 payload rejected: {msg}"),
+            CheckError::RebuildFailed(msg) => write!(f, "could not rebuild the routing: {msg}"),
+            CheckError::EngineMismatch { stored, rebuilt } => write!(
+                f,
+                "engine shape mismatch: recorded {stored:?}, rebuilt {rebuilt:?}"
+            ),
+            CheckError::SpaceMismatch { stored, computed } => write!(
+                f,
+                "space mismatch: recorded {stored}, recomputed {computed}"
+            ),
+            CheckError::CoverageGap { covered, space } => {
+                write!(f, "holds verdict covers {covered} of {space} fault sets")
+            }
+            CheckError::WitnessMismatch(msg) => write!(f, "witness does not reproduce: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// What an accepted certificate established.
+#[derive(Debug, Clone)]
+pub struct Checked {
+    /// Human label of the rebuilt source.
+    pub source: String,
+    /// The claim the certificate is about.
+    pub claim: ToleranceClaim,
+    /// `true` for a holds certificate, `false` for a witness
+    /// certificate (whose witness was re-measured successfully).
+    pub holds: bool,
+    /// The witness diameter re-measured by the route-walk reference
+    /// (`Some(None)` = disconnection; `None` for holds certificates).
+    pub witness_diameter: Option<Option<u32>>,
+}
+
+/// Independently re-checks a serialized certificate: hash, rebuild,
+/// engine shape, accounting arithmetic, and (for violations) the
+/// witness via the route-walk reference implementation.
+///
+/// # Errors
+///
+/// The first [`CheckError`] encountered, in the order listed there.
+pub fn check(text: &str) -> Result<Checked, CheckError> {
+    use ftr_core::{Compile, RouteTable};
+
+    let (cert, stored_hash) = Certificate::parse(text)?;
+    let body_end = text
+        .rfind("\nhash ")
+        .map(|i| i + 1)
+        .expect("parse accepted a hash line");
+    let computed = fnv1a64(&text.as_bytes()[..body_end]);
+    if computed != stored_hash {
+        return Err(CheckError::HashMismatch {
+            stored: stored_hash,
+            computed,
+        });
+    }
+
+    let graph = io::from_graph6(&cert.graph6).map_err(|e| CheckError::BadGraph(e.to_string()))?;
+
+    // The base list comes from an untrusted artifact: every node must
+    // be in range and distinct, or the accounting arithmetic below
+    // would be computed on garbage (a checker must reject, not panic).
+    {
+        let mut seen = NodeSet::new(graph.node_count());
+        for &b in &cert.base {
+            if (b as usize) >= graph.node_count() || !seen.insert(b) {
+                return Err(CheckError::Malformed(format!(
+                    "base node {b} out of range or duplicated"
+                )));
+            }
+        }
+    }
+
+    // Rebuild the routing from the recorded source.
+    enum Table {
+        Single(Routing),
+        Multi(ftr_core::MultiRouting),
+    }
+    let (label, table) = match &cert.source {
+        Source::Scheme { spec, theorem } => {
+            let spec: SchemeSpec = spec
+                .parse()
+                .map_err(|e| CheckError::RebuildFailed(format!("bad spec: {e}")))?;
+            let built = SchemeRegistry::standard()
+                .build_spec(&graph, &spec)
+                .map_err(|e| CheckError::RebuildFailed(e.to_string()))?;
+            if built.guarantee().theorem.token() != theorem {
+                return Err(CheckError::RebuildFailed(format!(
+                    "rebuilt guarantee cites {}, certificate cites {theorem}",
+                    built.guarantee().theorem.token()
+                )));
+            }
+            let label = format!("scheme {spec}");
+            let table = match built.into_single() {
+                Ok((_, routing, _, _)) => Table::Single(routing),
+                Err(built) => match built.table() {
+                    BuiltTable::Multi(m) => Table::Multi(m.clone()),
+                    BuiltTable::Single(_) => unreachable!("into_single only fails for multi"),
+                },
+            };
+            (label, table)
+        }
+        Source::Routing { kind, routes } => {
+            let mut routing = Routing::new(graph.node_count(), *kind);
+            for nodes in routes {
+                let path = Path::new(nodes.clone())
+                    .map_err(|e| CheckError::RebuildFailed(format!("bad route: {e}")))?;
+                routing
+                    .insert(path)
+                    .map_err(|e| CheckError::RebuildFailed(format!("bad route: {e}")))?;
+            }
+            routing
+                .validate(&graph)
+                .map_err(|e| CheckError::RebuildFailed(format!("routes not in graph: {e}")))?;
+            routing.freeze();
+            (
+                format!("routing ({} routes)", routing.route_count()),
+                Table::Single(routing),
+            )
+        }
+    };
+
+    // The engine compiled from the rebuilt table must have the recorded
+    // shape (same table ⇒ same masks ⇒ the audit ran on what we hold).
+    let engine = match &table {
+        Table::Single(r) => r.compile(),
+        Table::Multi(m) => m.compile(),
+    };
+    let rebuilt = (
+        engine.node_count(),
+        engine.pair_count(),
+        engine.slot_count(),
+    );
+    if rebuilt != cert.engine {
+        return Err(CheckError::EngineMismatch {
+            stored: cert.engine,
+            rebuilt,
+        });
+    }
+
+    // Accounting arithmetic.
+    let n = graph.node_count();
+    let candidates = n - cert.base.len();
+    let space = search_space(candidates, cert.claim.faults.min(candidates));
+    if space != cert.space {
+        return Err(CheckError::SpaceMismatch {
+            stored: cert.space,
+            computed: space,
+        });
+    }
+
+    match &cert.verdict {
+        CertVerdict::Holds => {
+            let covered = cert.visited.saturating_add(cert.pruned_sets);
+            if covered != space {
+                return Err(CheckError::CoverageGap { covered, space });
+            }
+            Ok(Checked {
+                source: label,
+                claim: cert.claim,
+                holds: true,
+                witness_diameter: None,
+            })
+        }
+        CertVerdict::Violated { diameter, witness } => {
+            let mut faults = NodeSet::new(n);
+            for &v in witness {
+                if (v as usize) >= n || !faults.insert(v) {
+                    return Err(CheckError::WitnessMismatch(format!(
+                        "witness node {v} out of range or duplicated"
+                    )));
+                }
+            }
+            for &b in &cert.base {
+                if !faults.contains(b) {
+                    return Err(CheckError::WitnessMismatch(format!(
+                        "witness does not include base fault {b}"
+                    )));
+                }
+            }
+            if witness.len() - cert.base.len() > cert.claim.faults {
+                return Err(CheckError::WitnessMismatch(format!(
+                    "witness adds {} faults, budget is {}",
+                    witness.len() - cert.base.len(),
+                    cert.claim.faults
+                )));
+            }
+            // Route-walk reference measurement — independent of the
+            // engine the searcher evaluated on.
+            let measured = match &table {
+                Table::Single(r) => r.surviving_diameter(&faults),
+                Table::Multi(m) => m.surviving_diameter(&faults),
+            };
+            if measured != *diameter {
+                return Err(CheckError::WitnessMismatch(format!(
+                    "recorded diameter {diameter:?}, measured {measured:?}"
+                )));
+            }
+            let violates = match measured {
+                None => true,
+                Some(d) => d > cert.claim.diameter,
+            };
+            if !violates {
+                return Err(CheckError::WitnessMismatch(format!(
+                    "measured diameter {measured:?} does not violate {}",
+                    cert.claim
+                )));
+            }
+            Ok(Checked {
+                source: label,
+                claim: cert.claim,
+                holds: false,
+                witness_diameter: Some(measured),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{audit, SearchConfig};
+    use ftr_core::{Compile, KernelRouting};
+    use ftr_graph::gen;
+
+    fn petersen_cert() -> Certificate {
+        let g = gen::petersen();
+        let kernel = KernelRouting::build(&g).unwrap();
+        let engine = kernel.routing().compile();
+        let claim = kernel.guarantee_theorem_3().claim();
+        let base = NodeSet::new(10);
+        let report = audit(
+            &engine,
+            claim,
+            kernel.separator(),
+            &base,
+            &SearchConfig::default(),
+        );
+        Certificate::for_scheme(
+            &g,
+            &ftr_core::SchemeSpec::named("kernel"),
+            ftr_core::TheoremId::Theorem3,
+            &engine,
+            &base,
+            SearchMode::Certify,
+            &report,
+        )
+    }
+
+    #[test]
+    fn round_trip_and_check() {
+        let cert = petersen_cert();
+        let text = cert.serialize();
+        let (parsed, _) = Certificate::parse(&text).unwrap();
+        assert_eq!(parsed, cert);
+        assert_eq!(parsed.serialize(), text, "canonical form is stable");
+        let checked = check(&text).unwrap();
+        assert!(checked.holds);
+        assert!(checked.source.contains("kernel"));
+    }
+
+    #[test]
+    fn flipped_hash_is_rejected() {
+        let text = petersen_cert().serialize();
+        // Flip the final hex digit of the hash line.
+        let trimmed = text.trim_end();
+        let last = trimmed.chars().last().unwrap();
+        let flipped = if last == '0' { '1' } else { '0' };
+        let tampered = format!("{}{flipped}\n", &trimmed[..trimmed.len() - 1]);
+        assert!(matches!(
+            check(&tampered),
+            Err(CheckError::HashMismatch { .. })
+        ));
+        // Flip a byte of the body instead, leaving the hash alone.
+        let tampered = text.replace("claim d=", "claim d=1");
+        assert!(matches!(
+            check(&tampered),
+            Err(CheckError::HashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_accounting_with_fixed_hash_is_rejected() {
+        let cert = petersen_cert();
+        let mut tampered = cert.clone();
+        tampered.visited -= 1; // claim a smaller search than happened
+        let text = tampered.serialize(); // hash recomputed: consistent text
+        assert!(matches!(check(&text), Err(CheckError::CoverageGap { .. })));
+    }
+
+    #[test]
+    fn hostile_base_list_is_rejected_not_panicked() {
+        // A crafted certificate whose base has more (duplicated) entries
+        // than the graph has nodes used to underflow the accounting
+        // arithmetic; the checker must answer Malformed instead.
+        let cert = petersen_cert();
+        for base in [vec![0; 11], vec![99], vec![3, 3]] {
+            let mut hostile = cert.clone();
+            hostile.base = base.clone();
+            let text = hostile.serialize(); // hash self-consistent
+            assert!(
+                matches!(check(&text), Err(CheckError::Malformed(_))),
+                "base {base:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn fabricated_witness_with_fixed_hash_is_rejected() {
+        let cert = petersen_cert();
+        let mut tampered = cert.clone();
+        tampered.verdict = CertVerdict::Violated {
+            diameter: Some(99),
+            witness: vec![0, 1],
+        };
+        let text = tampered.serialize();
+        assert!(matches!(check(&text), Err(CheckError::WitnessMismatch(_))));
+    }
+}

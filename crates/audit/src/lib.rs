@@ -1,0 +1,167 @@
+//! `ftr-audit` — adversarial fault-set search with machine-checkable
+//! tolerance certificates.
+//!
+//! The paper's bounds are universally quantified; the exhaustive
+//! verifier establishes them by brute force over `C(n, <=f)` fault
+//! sets. This crate decides the same question orders of magnitude
+//! faster and leaves a durable, independently re-checkable artifact:
+//!
+//! * [`audit`] — the branch-and-bound searcher (adversarial seeding
+//!   from core nodes + route-coverage impact, monotone pruning over the
+//!   compiled engine's incremental cursor, data-parallel subtrees);
+//!   see the [`search`] module docs for the soundness argument.
+//! * [`Certificate`] / [`check`] — a deterministic text format carrying
+//!   the rebuildable source, the claim, searched-space accounting, the
+//!   verdict (holds, or a witness) and a content hash, plus the
+//!   independent re-checker that re-measures witnesses through the
+//!   route-walk reference implementation.
+//! * [`audit_built`] / [`plan_audited`] — the stack wiring: audit a
+//!   [`BuiltRouting`]'s advertised [`ftr_core::Guarantee`] and, on a
+//!   holds verdict, upgrade it from *advertised* to *audited*
+//!   (`Guarantee::audited`); `plan_audited` does the same to a
+//!   [`Planner`] winner.
+//!
+//! The `ftr-audit` CLI exposes all of it (`audit`, `check`,
+//! `compare --exhaustive`); `ftr-serve` delegates its `TOLERATE` sweep
+//! and new `AUDIT` verb here; experiment E19 and the `e19_audit` bench
+//! measure pruned-vs-exhaustive evaluation counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod certificate;
+mod search;
+
+pub use certificate::{check, CertVerdict, Certificate, CheckError, Checked, Source};
+pub use search::{audit, search_space, AuditReport, SearchConfig, SearchMode, Verdict};
+
+use ftr_core::{
+    BuiltRouting, BuiltTable, Compile, Plan, PlanError, Planner, PlannerRequest, ToleranceClaim,
+};
+use ftr_graph::{Graph, NodeSet};
+
+/// Audits a [`BuiltRouting`]'s guarantee (or a caller-tightened `claim`
+/// override) and assembles the matching certificate.
+///
+/// On a holds verdict the routing's guarantee is upgraded from
+/// advertised to audited ([`ftr_core::Guarantee::audited`]) — but only
+/// when the audited claim covers the guarantee (same fault budget, a
+/// diameter at most the guaranteed one).
+///
+/// `input_graph` is the graph the scheme was built on — for every
+/// scheme except augmentation that equals [`BuiltRouting::graph`], and
+/// the certificate records it so the checker can rebuild the scheme.
+///
+/// # Panics
+///
+/// Panics if the search exhausts its visit cap (pass `None` for
+/// unbounded) — an exhausted search certifies nothing.
+pub fn audit_built(
+    built: &mut BuiltRouting,
+    input_graph: &Graph,
+    claim: Option<ToleranceClaim>,
+    config: &SearchConfig,
+) -> (AuditReport, Certificate) {
+    let engine = match built.table() {
+        BuiltTable::Single(r) => r.compile(),
+        BuiltTable::Multi(m) => m.compile(),
+    };
+    let claim = claim.unwrap_or_else(|| built.guarantee().claim());
+    let base = NodeSet::new(engine_nodes(&engine));
+    let report = audit(&engine, claim, built.core_nodes(), &base, config);
+    assert!(
+        !matches!(report.verdict, Verdict::Exhausted),
+        "audit hit its visit cap; nothing to certify"
+    );
+    let guarantee = *built.guarantee();
+    if report.holds() && claim.faults >= guarantee.faults && claim.diameter <= guarantee.diameter {
+        built.upgrade_audited();
+    }
+    let cert = Certificate::for_scheme(
+        input_graph,
+        built.spec(),
+        guarantee.theorem,
+        &engine,
+        &base,
+        config.mode,
+        &report,
+    );
+    (report, cert)
+}
+
+fn engine_nodes(engine: &ftr_core::CompiledRoutes) -> usize {
+    use ftr_core::RouteTable;
+    engine.node_count()
+}
+
+/// Plans a routing and audits the winner's guarantee in one step: the
+/// planner surveys and ranks as usual, then the winner's advertised
+/// bound is searched; a holds verdict upgrades it to audited.
+///
+/// # Errors
+///
+/// The planner's own [`PlanError`] when nothing applicable builds. A
+/// winner whose audit finds a witness is **not** an error — the plan is
+/// returned with the guarantee left advertised and the violating
+/// certificate attached (a construction bug worth surfacing loudly, but
+/// the caller decides).
+pub fn plan_audited(
+    planner: &Planner,
+    graph: &Graph,
+    request: &PlannerRequest,
+    config: &SearchConfig,
+) -> Result<(Plan, AuditReport, Certificate), PlanError> {
+    let mut plan = planner.plan(graph, request)?;
+    let (report, cert) = audit_built(&mut plan.winner, graph, None, config);
+    Ok((plan, report, cert))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_graph::gen;
+
+    #[test]
+    fn audit_built_upgrades_to_audited() {
+        let g = gen::petersen();
+        let mut built = ftr_core::SchemeRegistry::standard()
+            .build_spec(&g, &ftr_core::SchemeSpec::named("kernel"))
+            .unwrap();
+        assert!(!built.guarantee().audited);
+        let (report, cert) = audit_built(&mut built, &g, None, &SearchConfig::default());
+        assert!(report.holds(), "{:?}", report.verdict);
+        assert!(built.guarantee().audited);
+        assert!(built.guarantee().to_string().contains("[audited]"));
+        check(&cert.serialize()).expect("certificate re-checks");
+    }
+
+    #[test]
+    fn tightened_violation_does_not_upgrade() {
+        let g = gen::petersen();
+        let mut built = ftr_core::SchemeRegistry::standard()
+            .build_spec(&g, &ftr_core::SchemeSpec::named("kernel"))
+            .unwrap();
+        // The kernel's worst diameter on Petersen under 2 faults is 3;
+        // a (2, 2) claim is tightened past the truth.
+        let claim = ToleranceClaim {
+            diameter: 2,
+            faults: 2,
+        };
+        let (report, cert) = audit_built(&mut built, &g, Some(claim), &SearchConfig::default());
+        assert!(matches!(report.verdict, Verdict::Violated { .. }));
+        assert!(!built.guarantee().audited);
+        let checked = check(&cert.serialize()).expect("witness certificate re-checks");
+        assert!(!checked.holds);
+    }
+
+    #[test]
+    fn plan_audited_upgrades_the_winner() {
+        let g = gen::petersen();
+        let request = PlannerRequest::tolerate(2).single_routes();
+        let (plan, report, cert) =
+            plan_audited(&Planner::new(), &g, &request, &SearchConfig::default()).unwrap();
+        assert!(report.holds());
+        assert!(plan.winner.guarantee().audited);
+        check(&cert.serialize()).expect("winner certificate re-checks");
+    }
+}

@@ -1,0 +1,322 @@
+//! E19 bench — pruned audit vs exhaustive enumeration: fault-set
+//! evaluation counts and wall-clock for deciding `(d, f)` claims.
+//!
+//! Configs cover both verdicts: advertised guarantees that hold (the
+//! searcher must cover the whole space, monotone pruning doing the
+//! saving) and tightened/hand-built claims that are violated (the
+//! adversarial seeding finds a witness almost immediately while the
+//! exhaustive verifier grinds the full space). The machine-readable
+//! record lands in `BENCH_audit.json`; the run **fails** unless every
+//! config reaches the same verdict as exhaustive enumeration, every
+//! certificate passes the independent `ftr-audit` re-check, and at
+//! least one config decides with >= 5x fewer evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_audit::{audit, check, Certificate, SearchConfig, SearchMode, Verdict};
+use ftr_core::{
+    verify_tolerance, Compile, FaultStrategy, Routing, RoutingKind, SchemeRegistry, SchemeSpec,
+    ToleranceClaim,
+};
+use ftr_graph::{gen, Graph, NodeSet, Path};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Config {
+    graph_label: &'static str,
+    graph: Graph,
+    /// `Some(spec)` builds through the registry; `None` uses the
+    /// hand-built bare ring routing (edge routes only).
+    scheme: Option<&'static str>,
+    /// Fault-budget override for the scheme build.
+    faults: Option<usize>,
+    /// Claim override (default: the scheme's advertised guarantee).
+    claim: Option<ToleranceClaim>,
+    note: &'static str,
+}
+
+fn ring_routing(n: usize) -> Routing {
+    let mut r = Routing::new(n, RoutingKind::Bidirectional);
+    for u in 0..n as u32 {
+        r.insert(Path::edge(u, (u + 1) % n as u32).unwrap())
+            .unwrap();
+    }
+    r.freeze();
+    r
+}
+
+fn configs() -> Vec<Config> {
+    vec![
+        Config {
+            graph_label: "harary(5,24)",
+            graph: gen::harary(5, 24).expect("valid"),
+            scheme: Some("kernel"),
+            faults: None,
+            claim: None, // advertised (8, 4) per Theorem 3
+            note: "advertised guarantee, holds",
+        },
+        Config {
+            graph_label: "harary(5,24)",
+            graph: gen::harary(5, 24).expect("valid"),
+            scheme: Some("kernel"),
+            faults: Some(2),
+            claim: Some(ToleranceClaim {
+                diameter: 2,
+                faults: 2,
+            }),
+            note: "tightened below the true worst, violated",
+        },
+        Config {
+            graph_label: "petersen",
+            graph: gen::petersen(),
+            scheme: Some("augment"),
+            faults: None,
+            claim: None, // advertised (3, 2)
+            note: "advertised guarantee, holds",
+        },
+        Config {
+            graph_label: "cycle(24)",
+            graph: gen::cycle(24).expect("valid"),
+            scheme: None, // bare ring, edge routes only
+            faults: None,
+            claim: Some(ToleranceClaim {
+                diameter: 12,
+                faults: 2,
+            }),
+            note: "hand-built ring, violated (single faults already blow the bound)",
+        },
+    ]
+}
+
+struct Point {
+    graph: &'static str,
+    source: String,
+    claim: ToleranceClaim,
+    verdict: &'static str,
+    pruned_evals: u64,
+    pruned_sets: u64,
+    space: u64,
+    exhaustive_evals: u64,
+    speedup: f64,
+    pruned_s: f64,
+    exhaustive_s: f64,
+    certificate_ok: bool,
+}
+
+/// Assembles the certificate for one measured configuration.
+type CertBuild = Box<dyn Fn(&ftr_core::CompiledRoutes, &ftr_audit::AuditReport) -> Certificate>;
+
+fn measure(config: &Config) -> Point {
+    let n = config.graph.node_count();
+    let base = NodeSet::new(n);
+    let search = SearchConfig {
+        mode: SearchMode::Certify,
+        threads: 1, // reproducible counts; exhaustive counts are thread-independent anyway
+        ..SearchConfig::default()
+    };
+
+    let (source, engine, core, claim, cert_build): (
+        String,
+        ftr_core::CompiledRoutes,
+        Vec<u32>,
+        ToleranceClaim,
+        CertBuild,
+    ) = match config.scheme {
+        Some(name) => {
+            let mut spec: SchemeSpec = name.parse().expect("valid scheme");
+            spec.params.faults = config.faults;
+            let built = SchemeRegistry::standard()
+                .build_spec(&config.graph, &spec)
+                .expect("scheme applies");
+            let engine = match built.table() {
+                ftr_core::BuiltTable::Single(r) => r.compile(),
+                ftr_core::BuiltTable::Multi(m) => m.compile(),
+            };
+            let claim = config.claim.unwrap_or_else(|| built.guarantee().claim());
+            let core = built.core_nodes().to_vec();
+            let graph = config.graph.clone();
+            let theorem = built.guarantee().theorem;
+            let spec = built.spec().clone();
+            (
+                format!("scheme {spec}"),
+                engine,
+                core,
+                claim,
+                Box::new(move |engine, report| {
+                    Certificate::for_scheme(
+                        &graph,
+                        &spec,
+                        theorem,
+                        engine,
+                        &NodeSet::new(graph.node_count()),
+                        SearchMode::Certify,
+                        report,
+                    )
+                }),
+            )
+        }
+        None => {
+            let routing = ring_routing(n);
+            let engine = routing.compile();
+            let claim = config.claim.expect("hand-built configs carry a claim");
+            let graph = config.graph.clone();
+            (
+                "ring routing".to_string(),
+                engine,
+                Vec::new(),
+                claim,
+                Box::new(move |engine, report| {
+                    Certificate::for_routing(
+                        &graph,
+                        &ring_routing(graph.node_count()),
+                        engine,
+                        &NodeSet::new(graph.node_count()),
+                        SearchMode::Certify,
+                        report,
+                    )
+                }),
+            )
+        }
+    };
+
+    let start = Instant::now();
+    let report = audit(&engine, claim, &core, &base, &search);
+    let pruned_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let exhaustive = verify_tolerance(&engine, claim.faults, FaultStrategy::Exhaustive, 1);
+    let exhaustive_s = start.elapsed().as_secs_f64();
+
+    let pruned_holds = report.holds();
+    let exhaustive_holds = exhaustive.satisfies(&claim);
+    assert_eq!(
+        pruned_holds, exhaustive_holds,
+        "{} {}: pruned and exhaustive verdicts disagree (exhaustive worst {:?})",
+        config.graph_label, claim, exhaustive.worst_diameter
+    );
+    assert!(
+        !matches!(report.verdict, Verdict::Exhausted),
+        "no cap was configured"
+    );
+
+    let cert = cert_build(&engine, &report).serialize();
+    let certificate_ok = match check(&cert) {
+        Ok(_) => true,
+        Err(e) => panic!(
+            "{} {}: certificate failed the independent re-check: {e}",
+            config.graph_label, claim
+        ),
+    };
+
+    Point {
+        graph: config.graph_label,
+        source,
+        claim,
+        verdict: if pruned_holds { "holds" } else { "violated" },
+        pruned_evals: report.visited,
+        pruned_sets: report.pruned_sets,
+        space: report.space,
+        exhaustive_evals: exhaustive.sets_checked,
+        speedup: exhaustive.sets_checked as f64 / report.visited.max(1) as f64,
+        pruned_s,
+        exhaustive_s,
+        certificate_ok,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Criterion-style timing of one full audit on the smallest config.
+    let mut group = c.benchmark_group("e19_audit");
+    group.sample_size(10);
+    let g = gen::petersen();
+    let built = SchemeRegistry::standard()
+        .build_spec(&g, &SchemeSpec::named("kernel"))
+        .expect("kernel applies");
+    let engine = built.routing().expect("single").compile();
+    let claim = built.guarantee().claim();
+    let core = built.core_nodes().to_vec();
+    let base = NodeSet::new(10);
+    group.bench_function("audit_petersen_kernel", |b| {
+        b.iter(|| {
+            audit(
+                black_box(&engine),
+                claim,
+                &core,
+                &base,
+                &SearchConfig {
+                    threads: 1,
+                    ..SearchConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+
+    let mut points = Vec::new();
+    for config in configs() {
+        let p = measure(&config);
+        eprintln!(
+            "e19_audit/{} {}: {} {} — pruned {} evals (+{} pruned of {} space) in {:.4}s, \
+             exhaustive {} evals in {:.4}s, {:.1}x fewer, cert {}",
+            p.graph,
+            p.source,
+            p.claim,
+            p.verdict,
+            p.pruned_evals,
+            p.pruned_sets,
+            p.space,
+            p.pruned_s,
+            p.exhaustive_evals,
+            p.exhaustive_s,
+            p.speedup,
+            if p.certificate_ok { "ok" } else { "FAILED" },
+        );
+        let _ = config.note;
+        points.push(p);
+    }
+
+    let max_speedup = points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
+    assert!(
+        max_speedup >= 5.0,
+        "acceptance gate: no config reached a 5x evaluation saving (best {max_speedup:.1}x)"
+    );
+
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"graph\": \"{}\",\n      \"source\": \"{}\",\n      \
+                 \"claim\": {{ \"d\": {}, \"f\": {} }},\n      \"verdict\": \"{}\",\n      \
+                 \"pruned\": {{ \"evals\": {}, \"pruned_sets\": {}, \"space\": {}, \"seconds\": {:.4} }},\n      \
+                 \"exhaustive\": {{ \"evals\": {}, \"seconds\": {:.4} }},\n      \
+                 \"speedup\": {:.2},\n      \"certificate_ok\": {}\n    }}",
+                p.graph,
+                p.source,
+                p.claim.diameter,
+                p.claim.faults,
+                p.verdict,
+                p.pruned_evals,
+                p.pruned_sets,
+                p.space,
+                p.pruned_s,
+                p.exhaustive_evals,
+                p.exhaustive_s,
+                p.speedup,
+                p.certificate_ok,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e19_audit\",\n  \"mode\": \"certify, 1 thread\",\n  \
+         \"gate\": \"same verdict as exhaustive; >= 5x fewer evaluations on at least one config; all certificates re-check\",\n  \
+         \"max_speedup\": {:.2},\n  \"points\": [\n{}\n  ]\n}}\n",
+        max_speedup,
+        entries.join(",\n")
+    );
+    let path = format!("{}/../../BENCH_audit.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write BENCH_audit.json");
+    eprintln!("e19_audit: wrote {path} (max speedup {max_speedup:.1}x)");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 use ftr_graph::{connectivity, Graph, Node};
 
 use crate::kernel::KernelRouting;
-use crate::{Guarantee, Routing, RoutingError, TheoremId, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, TheoremId};
 
 /// A kernel routing over a clique-augmented network.
 ///
@@ -121,13 +121,8 @@ impl AugmentedKernelRouting {
             faults: self.t,
             routes: self.routing().route_count(),
             memory_bytes: self.routing().memory_bytes(),
+            audited: false,
         }
-    }
-
-    /// Section 6's claim.
-    #[deprecated(note = "use `guarantee().claim()`")]
-    pub fn claim(&self) -> ToleranceClaim {
-        self.guarantee().claim()
     }
 
     /// The added-link budget the paper states: `t(t+1)/2`.

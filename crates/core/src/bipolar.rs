@@ -22,7 +22,7 @@ use ftr_graph::{analysis, connectivity, Graph, Node, NodeSet, Path};
 use crate::kernel::insert_edge_routes;
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId};
 
 /// A bipolar routing with its roots and polar sets.
 ///
@@ -151,13 +151,8 @@ impl BipolarRouting {
             faults: self.t,
             routes: self.routing.route_count(),
             memory_bytes: self.routing.memory_bytes(),
+            audited: false,
         }
-    }
-
-    /// Theorem 20's / Theorem 23's claim.
-    #[deprecated(note = "use `guarantee().claim()`")]
-    pub fn claim(&self) -> ToleranceClaim {
-        self.guarantee().claim()
     }
 }
 

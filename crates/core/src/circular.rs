@@ -24,7 +24,7 @@ use crate::concentrator::NeighborhoodConcentrator;
 use crate::kernel::insert_edge_routes;
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId};
 
 /// A circular routing with its concentrator.
 ///
@@ -132,13 +132,8 @@ impl CircularRouting {
             faults: self.t,
             routes: self.routing.route_count(),
             memory_bytes: self.routing.memory_bytes(),
+            audited: false,
         }
-    }
-
-    /// Theorem 10's claim.
-    #[deprecated(note = "use `guarantee().claim()`")]
-    pub fn claim(&self) -> ToleranceClaim {
-        self.guarantee().claim()
     }
 }
 

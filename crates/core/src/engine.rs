@@ -190,6 +190,33 @@ impl CompiledRoutes {
         self.slot_pair.len()
     }
 
+    /// The routed ordered pairs, ascending by `(src, dst)` — pair `p` of
+    /// this slice owns the slots of [`CompiledRoutes::pair_slot_range`].
+    pub fn pairs(&self) -> &[(Node, Node)] {
+        &self.pairs
+    }
+
+    /// The slot range owned by pair `p` (see [`CompiledRoutes::pairs`]).
+    pub fn pair_slot_range(&self, p: usize) -> std::ops::Range<usize> {
+        self.slots_of(p)
+    }
+
+    /// How many route slots pass *through* `v` (interior only, endpoints
+    /// excluded) — one inverted-index row length. This is the
+    /// route-coverage impact score the adversarial searcher seeds with:
+    /// failing a high-impact node kills the most routes at once.
+    pub fn routes_through(&self, v: Node) -> usize {
+        let v = v as usize;
+        assert!(v < self.n, "node {v} out of range for {} nodes", self.n);
+        (self.index_off[v + 1] - self.index_off[v]) as usize
+    }
+
+    /// The interior nodes of one route slot (the nodes whose failure
+    /// kills it), in ascending order.
+    pub fn slot_interior(&self, slot: usize) -> impl Iterator<Item = Node> + '_ {
+        Self::mask_nodes(&self.masks[slot * self.stride..(slot + 1) * self.stride])
+    }
+
     /// The slots owned by pair `p`.
     fn slots_of(&self, p: usize) -> std::ops::Range<usize> {
         self.pair_slots[p] as usize..self.pair_slots[p + 1] as usize
@@ -484,6 +511,17 @@ impl EpochState {
     /// The current fault set.
     pub fn faults(&self) -> &NodeSet {
         &self.faults
+    }
+
+    /// Whether route slot `slot` survives the current fault set (no
+    /// current fault lies on its interior) — the per-slot kill counter
+    /// the toggles maintain, exposed for the audit searcher's pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range for the engine's slot count.
+    pub fn slot_live(&self, slot: usize) -> bool {
+        self.kill[slot] == 0
     }
 
     /// The surviving route graph under the current faults: an arc per

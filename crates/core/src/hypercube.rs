@@ -134,13 +134,8 @@ impl HypercubeRouting {
             faults: self.dim - 1,
             routes: self.routing.route_count(),
             memory_bytes: self.routing.memory_bytes(),
+            audited: false,
         }
-    }
-
-    /// The quoted Dolev et al. bound.
-    #[deprecated(note = "use `quoted_bound()` (or `guarantee()` for the bound bit-fixing meets)")]
-    pub fn claim_quoted(&self) -> ToleranceClaim {
-        self.quoted_bound()
     }
 }
 

@@ -15,7 +15,7 @@ use ftr_graph::{connectivity, Graph, Node, NodeSet, Path};
 
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId};
 
 /// The kernel routing of a graph, with its separator and parameters.
 ///
@@ -164,6 +164,7 @@ impl KernelRouting {
             faults,
             routes: self.routing.route_count(),
             memory_bytes: self.routing.memory_bytes(),
+            audited: false,
         }
     }
 
@@ -188,18 +189,6 @@ impl KernelRouting {
         } else {
             self.guarantee(TheoremId::Theorem3, (2 * self.t as u32).max(4), f)
         }
-    }
-
-    /// Theorem 3's claim.
-    #[deprecated(note = "use `guarantee_theorem_3().claim()`")]
-    pub fn claim_theorem_3(&self) -> ToleranceClaim {
-        self.guarantee_theorem_3().claim()
-    }
-
-    /// Theorem 4's claim.
-    #[deprecated(note = "use `guarantee_theorem_4().claim()`")]
-    pub fn claim_theorem_4(&self) -> ToleranceClaim {
-        self.guarantee_theorem_4().claim()
     }
 }
 
@@ -290,7 +279,7 @@ mod tests {
     }
 
     #[test]
-    fn guarantees_are_budget_aware_and_shims_agree() {
+    fn guarantees_are_budget_aware() {
         let g = gen::torus(3, 4).unwrap(); // t = 3
         let kernel = KernelRouting::build(&g).unwrap();
         let g3 = kernel.guarantee_theorem_3();
@@ -307,11 +296,8 @@ mod tests {
             crate::TheoremId::Theorem3
         );
         assert_eq!(kernel.guarantee_for_budget(99).faults, 3, "clamped to t");
-        #[allow(deprecated)]
-        {
-            assert_eq!(kernel.claim_theorem_3(), g3.claim());
-            assert_eq!(kernel.claim_theorem_4(), g4.claim());
-        }
+        assert_eq!(g3.claim().diameter, 6);
+        assert_eq!(g4.claim(), kernel.guarantee_for_budget(1).claim());
     }
 
     #[test]

@@ -54,8 +54,11 @@
 //! guaranteed diameter, then exact route count, then registry order —
 //! deterministic across thread counts. Construction-specific guarantee
 //! accessors (`guarantee_theorem_3()`, `CircularRouting::guarantee()`,
-//! …) return the same [`Guarantee`] type; the old per-construction
-//! `claim*` accessors remain as deprecated shims.
+//! …) return the same [`Guarantee`] type. A guarantee starts life
+//! *advertised* (the theorem's word); the `ftr-audit` crate's
+//! branch-and-bound searcher can upgrade it to *audited*
+//! ([`Guarantee::audited`]) by certifying the bound over every fault
+//! set within budget.
 //!
 //! # The route-table lifecycle: builder → frozen CSR
 //!
@@ -124,7 +127,7 @@ mod error;
 mod hypercube;
 mod kernel;
 mod multi;
-mod par;
+pub mod par;
 mod planner;
 pub mod properties;
 mod routing;

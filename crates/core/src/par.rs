@@ -8,6 +8,10 @@
 //! build environment has no crates-registry access). Work is claimed
 //! dynamically from an atomic counter, so uneven items (fault-set
 //! subtrees of very different sizes) still balance.
+//!
+//! The module is public: downstream crates (`ftr-audit`'s subtree
+//! exploration, construction harnesses) reuse the same shape instead of
+//! growing their own thread pools.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -22,7 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// With `threads <= 1` (or at most one item) the work runs inline on the
 /// calling thread — the verifier's single-threaded mode stays genuinely
 /// single-threaded.
-pub(crate) fn map_workers<R, W>(items: usize, threads: usize, worker: W) -> Vec<R>
+pub fn map_workers<R, W>(items: usize, threads: usize, worker: W) -> Vec<R>
 where
     R: Send,
     W: Fn(&dyn Fn() -> Option<usize>) -> R + Sync,
@@ -51,7 +55,7 @@ where
 /// results **in item order** — the shape every construction uses to
 /// derive per-source route batches in parallel while keeping insertion
 /// (and therefore conflict reporting) deterministic.
-pub(crate) fn ordered_map<T, F>(items: usize, threads: usize, f: F) -> Vec<T>
+pub fn ordered_map<T, F>(items: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -74,7 +78,7 @@ where
 }
 
 /// The construction-time default worker count: one per available core.
-pub(crate) fn default_threads() -> usize {
+pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

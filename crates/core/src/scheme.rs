@@ -155,6 +155,12 @@ pub struct Guarantee {
     /// Route-table heap footprint in bytes (estimate before build,
     /// exact after).
     pub memory_bytes: usize,
+    /// Whether the bound has been machine-audited — certified by the
+    /// `ftr-audit` branch-and-bound search over every fault set within
+    /// budget — rather than merely advertised by the theorem. Always
+    /// `false` on pre-build estimates; upgraded through
+    /// [`BuiltRouting::upgrade_audited`].
+    pub audited: bool,
 }
 
 impl Guarantee {
@@ -166,6 +172,7 @@ impl Guarantee {
             faults,
             routes: 0,
             memory_bytes: 0,
+            audited: false,
         }
     }
 
@@ -191,8 +198,12 @@ impl fmt::Display for Guarantee {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: ({}, {})-tolerant per {}",
-            self.scheme, self.diameter, self.faults, self.theorem
+            "{}: ({}, {})-tolerant per {}{}",
+            self.scheme,
+            self.diameter,
+            self.faults,
+            self.theorem,
+            if self.audited { " [audited]" } else { "" }
         )
     }
 }
@@ -506,6 +517,15 @@ impl BuiltRouting {
     /// injection.
     pub fn core_nodes(&self) -> &[Node] {
         &self.core_nodes
+    }
+
+    /// Marks the guarantee as machine-audited: the `ftr-audit` searcher
+    /// has certified the bound over *every* fault set within the budget,
+    /// upgrading it from the theorem's advertised word to a checked
+    /// fact. Callers (the audit crate's `plan_audited`, the `ftr-audit`
+    /// CLI) invoke this only after a holds verdict.
+    pub fn upgrade_audited(&mut self) {
+        self.guarantee.audited = true;
     }
 
     /// Decomposes into the served pieces: the (possibly augmented)

@@ -29,7 +29,7 @@ use crate::concentrator::NeighborhoodConcentrator;
 use crate::kernel::insert_edge_routes;
 use crate::par;
 use crate::tree::tree_routing;
-use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId, ToleranceClaim};
+use crate::{Guarantee, Routing, RoutingError, RoutingKind, TheoremId};
 
 /// Which tri-circular construction to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,13 +152,8 @@ impl TriCircularRouting {
             faults: self.t,
             routes: self.routing.route_count(),
             memory_bytes: self.routing.memory_bytes(),
+            audited: false,
         }
-    }
-
-    /// Theorem 13's / Remark 14's claim.
-    #[deprecated(note = "use `guarantee().claim()`")]
-    pub fn claim(&self) -> ToleranceClaim {
-        self.guarantee().claim()
     }
 }
 

@@ -64,6 +64,7 @@ mod graph;
 pub mod io;
 mod nodeset;
 mod path;
+pub mod spec;
 pub mod traversal;
 pub mod vulnerability;
 

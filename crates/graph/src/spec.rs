@@ -1,0 +1,92 @@
+//! Command-line graph specs shared by every binary that names a
+//! topology (`ftr-served`, the `loadgen` bench binary, the `ftr-audit`
+//! CLI), so the daemon, the load generator and the auditor always
+//! accept the same families.
+
+use crate::{gen, Graph};
+
+/// Parses a graph spec into the graph and a canonical human label.
+///
+/// Accepted specs: `petersen` | `cycle:N` | `hypercube:D` |
+/// `harary:K,N` | `torus:R,C`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown families, malformed
+/// numbers, or parameters the generator rejects.
+pub fn parse_graph_spec(spec: &str) -> Result<(Graph, String), String> {
+    let (family, params) = spec.split_once(':').unwrap_or((spec, ""));
+    let nums: Vec<usize> = if params.is_empty() {
+        Vec::new()
+    } else {
+        params
+            .split(',')
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| format!("bad number {t:?} in {spec:?}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let (graph, label) = match (family, nums.as_slice()) {
+        ("petersen", []) => (gen::petersen(), "petersen".to_string()),
+        ("cycle", [n]) => (
+            gen::cycle(*n).map_err(|e| e.to_string())?,
+            format!("cycle({n})"),
+        ),
+        ("hypercube", [d]) => (
+            gen::hypercube(*d).map_err(|e| e.to_string())?,
+            format!("hypercube({d})"),
+        ),
+        ("harary", [k, n]) => (
+            gen::harary(*k, *n).map_err(|e| e.to_string())?,
+            format!("harary({k}, {n})"),
+        ),
+        ("torus", [r, c]) => (
+            gen::torus(*r, *c).map_err(|e| e.to_string())?,
+            format!("torus({r}x{c})"),
+        ),
+        _ => {
+            return Err(format!(
+                "unknown graph spec {spec:?} \
+                 (petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C)"
+            ))
+        }
+    };
+    Ok((graph, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_family() {
+        for (spec, n, label) in [
+            ("petersen", 10, "petersen"),
+            ("cycle:9", 9, "cycle(9)"),
+            ("hypercube:4", 16, "hypercube(4)"),
+            ("harary:5,24", 24, "harary(5, 24)"),
+            ("torus:3,4", 12, "torus(3x4)"),
+        ] {
+            let (g, got) = parse_graph_spec(spec).expect(spec);
+            assert_eq!(g.node_count(), n, "{spec}");
+            assert_eq!(got, label, "{spec}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "klein-bottle",
+            "cycle",
+            "cycle:x",
+            "cycle:3,4",
+            "harary:5",
+            "petersen:7",
+            "cycle:1", // generator rejects degenerate parameters
+        ] {
+            assert!(parse_graph_spec(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

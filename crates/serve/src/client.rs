@@ -163,6 +163,22 @@ impl Client {
         }
     }
 
+    /// `AUDIT d f`; returns `true` if the daemon certified the claim
+    /// against the pristine snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an `ERR` or
+    /// unparseable reply.
+    pub fn audit(&mut self, d: u32, f: usize) -> io::Result<bool> {
+        let reply = self.request(&format!("AUDIT {d} {f}"))?;
+        match reply.strip_prefix("OK AUDIT ") {
+            Some(rest) if rest.starts_with("holds") => Ok(true),
+            Some(rest) if rest.starts_with("violated") => Ok(false),
+            _ => Err(bad_reply("AUDIT", &reply)),
+        }
+    }
+
     /// `QUIT`, consuming the client.
     ///
     /// # Errors

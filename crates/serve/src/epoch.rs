@@ -98,9 +98,10 @@ impl Epoch {
 pub enum QueryKey {
     /// A `ROUTE x y` reply.
     Route(Node, Node),
-    /// A `TOLERATE _ f` worst-extra-fault measurement (the claimed
-    /// diameter is compared per request; only `f` shapes the search).
-    Tolerate(usize),
+    /// A `TOLERATE d f` verdict — the pruned search is bound-aware, so
+    /// both the claimed diameter and the extra-fault budget shape the
+    /// answer and the key.
+    Tolerate(u32, usize),
 }
 
 /// A sharded memo table scoped to one epoch.

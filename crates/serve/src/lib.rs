@@ -17,8 +17,10 @@
 //!   proportional to the routes through the toggled nodes — never a
 //!   recompile) with one epoch advance per effective batch;
 //! * [`query`] — `ROUTE` (surviving route or shortest detour over
-//!   surviving routes), `DIAM`, and `TOLERATE` (exhaustive what-if on
-//!   top of the current faults) as pure functions of one epoch;
+//!   surviving routes), `DIAM`, `TOLERATE` (bound-aware what-if on top
+//!   of the current faults, decided by the `ftr-audit` pruned
+//!   searcher) and `AUDIT` (fully-accounted pristine-snapshot audit)
+//!   as pure functions of one epoch;
 //! * [`Server`] / [`Client`] — a line-delimited TCP protocol served by
 //!   a scoped worker pool, plus the blocking client the `loadgen`
 //!   bench binary drives it with.

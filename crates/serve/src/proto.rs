@@ -10,7 +10,8 @@
 //! | `EPOCH` | `OK EPOCH id=<e> faults=<v,…|->` |
 //! | `DIAM` | `OK DIAM <d>` or `OK DIAM disconnected` |
 //! | `ROUTE x y` | `OK DIRECT <v …>` / `OK DETOUR <v …>` / `OK UNREACHABLE` |
-//! | `TOLERATE d f` | `OK TOLERATE yes|no worst=<w|disconnect> sets=<k>` |
+//! | `TOLERATE d f` | `OK TOLERATE yes sets=<k> pruned=<p>` or `OK TOLERATE no found=<w|disconnect> witness=<v,…> sets=<k>` |
+//! | `AUDIT d f` | `OK AUDIT holds visited=<k> pruned=<p> covered=<c> space=<s>` or `OK AUDIT violated found=<w|disconnect> witness=<v,…> visited=<k>` |
 //! | `SCHEMES` | `OK SCHEMES <name>=(d,f)/<thm>|<name>=- …` |
 //! | `PLAN d f` | `OK PLAN scheme=<spec> theorem=<thm> d=<d> f=<f> routes=<r>` or `OK PLAN none` |
 //! | `FAIL v` | `OK QUEUED` |
@@ -23,6 +24,14 @@
 //! scheme planner against the served network for a `(d, f)` target and
 //! reports which construction it would pick — a dry run; the serving
 //! snapshot is never swapped.
+//!
+//! `TOLERATE d f` asks whether the *current epoch* tolerates `f` more
+//! failures within diameter `d`, answered by the `ftr-audit` pruned
+//! searcher (a `no` carries the witness). `AUDIT d f` audits the claim
+//! against the *pristine* snapshot with full searched-space accounting
+//! — the online counterpart of an `ftr-audit` certificate run. Both
+//! reject over-budget requests with a structured `ERR` naming the
+//! worst-case search size.
 //!
 //! Anything else gets `ERR <reason>` and the connection stays open.
 
@@ -52,6 +61,14 @@ pub enum Request {
         /// Claimed diameter bound.
         diameter: u32,
         /// Extra fault budget.
+        faults: usize,
+    },
+    /// Audit a `(diameter, faults)` claim against the pristine snapshot
+    /// (full searched-space accounting, current faults ignored).
+    Audit {
+        /// Claimed diameter bound.
+        diameter: u32,
+        /// Fault budget.
         faults: usize,
     },
     /// Per-scheme applicability of the served network.
@@ -97,6 +114,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             y: parse_node(arg("y")?)?,
         },
         "TOLERATE" => Request::Tolerate {
+            diameter: parse_num(arg("d")?, "diameter")?,
+            faults: parse_num(arg("f")?, "fault count")?,
+        },
+        "AUDIT" => Request::Audit {
             diameter: parse_num(arg("d")?, "diameter")?,
             faults: parse_num(arg("f")?, "fault count")?,
         },
@@ -167,6 +188,13 @@ mod tests {
                 faults: 2
             })
         );
+        assert_eq!(
+            parse_request("audit 4 2"),
+            Ok(Request::Audit {
+                diameter: 4,
+                faults: 2
+            })
+        );
         assert_eq!(parse_request("FAIL 9"), Ok(Request::Fail(9)));
         assert_eq!(parse_request("repair 0"), Ok(Request::Repair(0)));
         assert_eq!(parse_request("schemes"), Ok(Request::Schemes));
@@ -192,6 +220,9 @@ mod tests {
             "ROUTE -1 2",
             "TOLERATE 6",
             "TOLERATE x 2",
+            "AUDIT",
+            "AUDIT 4",
+            "AUDIT 4 2 1",
             "PLAN",
             "PLAN 4",
             "PLAN x 2",

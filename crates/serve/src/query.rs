@@ -7,7 +7,8 @@
 
 use std::collections::VecDeque;
 
-use ftr_core::{CompiledRoutes, EpochState};
+use ftr_audit::{SearchConfig, SearchMode, Verdict};
+use ftr_core::ToleranceClaim;
 use ftr_graph::{Node, NodeSet};
 
 use crate::epoch::Epoch;
@@ -34,9 +35,20 @@ pub enum QueryError {
     NodeOutOfRange(Node),
     /// `ROUTE x x` is not a route.
     EqualEndpoints,
-    /// A `TOLERATE` enumeration would exceed the configured budget.
+    /// A `TOLERATE` search could exceed the configured budget: the ERR
+    /// names the estimated (worst-case) search size so the client knows
+    /// how far over it asked, instead of receiving a silently truncated
+    /// sweep.
     TolerateBudget {
-        /// Fault sets the enumeration would have to visit.
+        /// Fault sets the search would have to cover in the worst case
+        /// (pruning can beat the estimate but cannot promise to).
+        needed: u64,
+        /// The configured cap.
+        budget: u64,
+    },
+    /// An `AUDIT` search could exceed the configured budget.
+    AuditBudget {
+        /// Fault sets the audit would have to cover in the worst case.
         needed: u64,
         /// The configured cap.
         budget: u64,
@@ -49,7 +61,16 @@ impl std::fmt::Display for QueryError {
             QueryError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
             QueryError::EqualEndpoints => write!(f, "route endpoints must differ"),
             QueryError::TolerateBudget { needed, budget } => {
-                write!(f, "tolerate needs {needed} fault sets, budget is {budget}")
+                write!(
+                    f,
+                    "TOLERATE search-size estimate {needed} exceeds budget {budget}"
+                )
+            }
+            QueryError::AuditBudget { needed, budget } => {
+                write!(
+                    f,
+                    "AUDIT search-size estimate {needed} exceeds budget {budget}"
+                )
             }
         }
     }
@@ -166,99 +187,170 @@ fn relay_chain(epoch: &Epoch, x: Node, y: Node) -> Option<Vec<Node>> {
     Some(relays)
 }
 
-/// Outcome of a `TOLERATE` measurement at one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Outcome of a `TOLERATE` measurement at one epoch: the pruned
+/// searcher's bound-aware verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ToleranceAnswer {
-    /// Worst surviving diameter over every fault set reachable by
-    /// adding at most `extra` healthy-node failures to the epoch's
-    /// faults; `None` if any such set disconnects the survivors.
-    pub worst: Option<u32>,
-    /// Fault sets evaluated (including the epoch's own).
+    /// `true` iff *every* way to add up to `extra` healthy-node faults
+    /// keeps the surviving diameter within the requested bound.
+    pub holds: bool,
+    /// On a `no` verdict: the surviving diameter the witness produced
+    /// (`None` = disconnection).
+    pub found: Option<Option<u32>>,
+    /// On a `no` verdict: the full violating fault set (current epoch
+    /// faults included), ascending.
+    pub witness: Vec<Node>,
+    /// Fault sets actually evaluated (including the epoch's own).
     pub sets: u64,
+    /// Fault sets covered by the monotone prune instead of evaluation.
+    pub pruned: u64,
 }
 
-impl ToleranceAnswer {
-    /// Does the epoch tolerate `extra` more faults within diameter `d`?
-    pub fn within(&self, d: u32) -> bool {
-        self.worst.is_some_and(|w| w <= d)
-    }
-}
-
-/// Measures `TOLERATE` at `epoch`: exhaustively enumerates every way to
-/// add up to `extra` faults on currently-healthy nodes (depth-first,
-/// incremental toggles on a scratch [`EpochState`] — the same cursor
-/// discipline as the offline verifier) and records the worst surviving
-/// diameter.
+/// Measures `TOLERATE d f` at `epoch` through the `ftr-audit` pruned
+/// searcher: the claim "every extension of the current faults by at
+/// most `extra` healthy nodes keeps the surviving diameter `<= bound`"
+/// is certified (with full accounting) or refuted by a witness —
+/// instead of the raw count-capped sweep this verb used to run.
+///
+/// Single-threaded by design: replies are cached per `(bound, extra)`
+/// in the epoch cache, and a deterministic search keeps cached and
+/// fresh answers byte-identical.
 ///
 /// # Errors
 ///
 /// Returns [`QueryError::TolerateBudget`] without doing any work if the
-/// enumeration would exceed `budget` fault sets.
+/// worst-case search size exceeds `budget` fault sets.
 pub fn tolerate(
     snapshot: &RoutingSnapshot,
     epoch: &Epoch,
+    bound: u32,
     extra: usize,
     budget: u64,
 ) -> Result<ToleranceAnswer, QueryError> {
-    let engine = snapshot.engine();
-    let healthy: Vec<Node> = (0..snapshot.node_count() as Node)
-        .filter(|&v| !epoch.faults().contains(v))
-        .collect();
-    let needed = sets_to_visit(healthy.len() as u64, extra as u64);
+    let needed = tolerate_cost(snapshot, epoch, extra);
     if needed > budget {
         return Err(QueryError::TolerateBudget { needed, budget });
     }
-    debug_assert_eq!(needed, tolerate_cost(snapshot, epoch, extra));
-    let mut state = engine.epoch_state();
-    for v in epoch.faults().iter() {
-        state.insert(engine, v);
-    }
-    let mut answer = ToleranceAnswer {
-        worst: state.diameter(),
-        sets: 1,
+    let claim = ToleranceClaim {
+        diameter: bound,
+        faults: extra,
     };
-    if answer.worst.is_some() && extra > 0 {
-        descend(engine, &mut state, &healthy, 0, extra, &mut answer);
-    }
-    Ok(answer)
+    let report = ftr_audit::audit(
+        snapshot.engine(),
+        claim,
+        &[],
+        epoch.faults(),
+        &SearchConfig {
+            mode: SearchMode::Certify,
+            threads: 1,
+            max_visits: None, // the worst case was budget-checked above
+            ..SearchConfig::default()
+        },
+    );
+    Ok(match report.verdict {
+        Verdict::Holds => ToleranceAnswer {
+            holds: true,
+            found: None,
+            witness: Vec::new(),
+            sets: report.visited,
+            pruned: report.pruned_sets,
+        },
+        Verdict::Violated { witness, diameter } => ToleranceAnswer {
+            holds: false,
+            found: Some(diameter),
+            witness,
+            sets: report.visited,
+            pruned: report.pruned_sets,
+        },
+        Verdict::Exhausted => unreachable!("no visit cap was set"),
+    })
 }
 
-/// Depth-first enumeration with early exit on the first disconnection
-/// (nothing can be worse).
-fn descend(
-    engine: &CompiledRoutes,
-    state: &mut EpochState,
-    healthy: &[Node],
-    from: usize,
-    depth_left: usize,
-    answer: &mut ToleranceAnswer,
-) {
-    for (i, &v) in healthy.iter().enumerate().skip(from) {
-        state.insert(engine, v);
-        answer.sets += 1;
-        match state.diameter() {
-            Some(d) => {
-                answer.worst = answer.worst.map(|w| w.max(d));
-                if depth_left > 1 {
-                    descend(engine, state, healthy, i + 1, depth_left - 1, answer);
-                }
-            }
-            None => answer.worst = None,
-        }
-        state.remove(engine, v);
-        if answer.worst.is_none() {
-            return;
-        }
-    }
-}
-
-/// The number of fault sets a [`tolerate`] evaluation with `extra`
-/// additional faults would visit at `epoch` — the server compares this
-/// against its budget *before* consulting the per-epoch cache, so
-/// over-budget requests are rejected without caching anything.
+/// The worst-case number of fault sets a [`tolerate`] search with
+/// `extra` additional faults would have to cover at `epoch` — the
+/// server compares this against its budget *before* consulting the
+/// per-epoch cache, so over-budget requests are rejected with a
+/// structured ERR (naming this estimate) without caching anything.
+/// Pruning may finish far below the estimate but cannot promise to.
 pub fn tolerate_cost(snapshot: &RoutingSnapshot, epoch: &Epoch, extra: usize) -> u64 {
     let healthy = (snapshot.node_count() - epoch.faults().len()) as u64;
     sets_to_visit(healthy, extra as u64)
+}
+
+/// Outcome of an `AUDIT d f` evaluation: a pristine-snapshot audit of
+/// the claim, with full searched-space accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditAnswer {
+    /// `true` iff the claim held over the whole space.
+    pub holds: bool,
+    /// On a violation: the witness's surviving diameter.
+    pub found: Option<Option<u32>>,
+    /// On a violation: the witness fault set, ascending.
+    pub witness: Vec<Node>,
+    /// Fault sets evaluated.
+    pub visited: u64,
+    /// Fault sets covered by pruning.
+    pub pruned: u64,
+    /// The whole space `Σ_{k<=f} C(n, k)`.
+    pub space: u64,
+}
+
+/// Audits `(bound, faults)` against the **pristine** snapshot (current
+/// epoch faults ignored — this is about the served scheme's guarantee,
+/// not the current weather), through the pruned searcher. The answer is
+/// epoch-independent, so the server memoizes it per `(bound, faults)`
+/// for its whole lifetime.
+///
+/// # Errors
+///
+/// Returns [`QueryError::AuditBudget`] without doing any work if the
+/// worst-case search size exceeds `budget`.
+pub fn audit_claim(
+    snapshot: &RoutingSnapshot,
+    bound: u32,
+    faults: usize,
+    budget: u64,
+) -> Result<AuditAnswer, QueryError> {
+    let n = snapshot.node_count() as u64;
+    let needed = sets_to_visit(n, faults as u64);
+    if needed > budget {
+        return Err(QueryError::AuditBudget { needed, budget });
+    }
+    let claim = ToleranceClaim {
+        diameter: bound,
+        faults,
+    };
+    let report = ftr_audit::audit(
+        snapshot.engine(),
+        claim,
+        &[],
+        &NodeSet::new(snapshot.node_count()),
+        &SearchConfig {
+            mode: SearchMode::Certify,
+            threads: 1,
+            max_visits: None,
+            ..SearchConfig::default()
+        },
+    );
+    Ok(match report.verdict {
+        Verdict::Holds => AuditAnswer {
+            holds: true,
+            found: None,
+            witness: Vec::new(),
+            visited: report.visited,
+            pruned: report.pruned_sets,
+            space: report.space,
+        },
+        Verdict::Violated { witness, diameter } => AuditAnswer {
+            holds: false,
+            found: Some(diameter),
+            witness,
+            visited: report.visited,
+            pruned: report.pruned_sets,
+            space: report.space,
+        },
+        Verdict::Exhausted => unreachable!("no visit cap was set"),
+    })
 }
 
 /// `1 + C(n, 1) + … + C(n, k)` with saturation: the number of diameter
@@ -387,13 +479,24 @@ mod tests {
     fn tolerate_matches_offline_verifier_at_genesis() {
         let (snapshot, store) = fixture();
         let epoch = store.load();
-        let answer = tolerate(&snapshot, &epoch, 2, 1_000_000).unwrap();
         let report = verify_tolerance(snapshot.engine(), 2, FaultStrategy::Exhaustive, 1);
-        assert_eq!(answer.worst, report.worst_diameter);
-        // Same enumeration, plus the f=0 and f=1 prefixes.
-        assert!(answer.sets >= report.sets_checked as u64);
-        assert!(answer.within(report.worst_diameter.unwrap()));
-        assert!(!answer.within(report.worst_diameter.unwrap() - 1));
+        let worst = report.worst_diameter.unwrap();
+        // At the exhaustive worst diameter the claim holds, with full
+        // accounting; one below it, a witness must surface.
+        let at = tolerate(&snapshot, &epoch, worst, 2, 1_000_000).unwrap();
+        assert!(at.holds, "{at:?}");
+        assert_eq!(at.sets + at.pruned, report.sets_checked as u64);
+        let below = tolerate(&snapshot, &epoch, worst - 1, 2, 1_000_000).unwrap();
+        assert!(!below.holds);
+        let found = below.found.expect("witness diameter recorded");
+        assert_eq!(
+            found,
+            snapshot
+                .engine()
+                .surviving_diameter(&NodeSet::from_nodes(10, below.witness.clone())),
+            "witness reproduces"
+        );
+        assert!(below.sets < at.sets, "violations end the search early");
     }
 
     #[test]
@@ -401,19 +504,22 @@ mod tests {
         let (snapshot, store) = fixture();
         epoch_with_faults(&snapshot, &store, &[1, 6]);
         let epoch = store.load();
-        let zero_extra = tolerate(&snapshot, &epoch, 0, 100).unwrap();
+        let current = snapshot
+            .engine()
+            .surviving_diameter(&NodeSet::from_nodes(10, [1, 6]))
+            .expect("two faults keep the petersen kernel connected");
+        let zero_extra = tolerate(&snapshot, &epoch, current, 0, 100).unwrap();
+        assert!(zero_extra.holds);
         assert_eq!(zero_extra.sets, 1);
-        assert_eq!(
-            zero_extra.worst,
-            snapshot
-                .engine()
-                .surviving_diameter(&NodeSet::from_nodes(10, [1, 6]))
+        assert!(
+            !tolerate(&snapshot, &epoch, current - 1, 0, 100)
+                .unwrap()
+                .holds
         );
         // One more fault on top of two is three total: beyond the kernel
-        // claim's budget of t = 2, so disconnection may appear — but the
-        // measurement must agree with brute force.
-        let one_extra = tolerate(&snapshot, &epoch, 1, 1_000).unwrap();
-        let mut brute_worst = zero_extra.worst;
+        // claim's budget of t = 2 — the verdict must agree with brute
+        // force over the nine single extensions.
+        let mut brute_worst = Some(current);
         for v in 0..10u32 {
             if epoch.faults().contains(v) {
                 continue;
@@ -429,15 +535,27 @@ mod tests {
                 (Some(_), None) => {}
             }
         }
-        assert_eq!(one_extra.worst, brute_worst);
+        for bound in [current, current + 1, 12] {
+            let answer = tolerate(&snapshot, &epoch, bound, 1, 1_000).unwrap();
+            let brute_holds = brute_worst.is_some_and(|w| w <= bound);
+            assert_eq!(answer.holds, brute_holds, "bound {bound}");
+            if !answer.holds {
+                assert!(answer.witness.contains(&1) && answer.witness.contains(&6));
+            }
+        }
     }
 
     #[test]
     fn tolerate_budget_is_enforced() {
         let (snapshot, store) = fixture();
         let epoch = store.load();
-        let err = tolerate(&snapshot, &epoch, 3, 10).unwrap_err();
+        let err = tolerate(&snapshot, &epoch, 4, 3, 10).unwrap_err();
         assert!(matches!(err, QueryError::TolerateBudget { budget: 10, .. }));
+        // The structured ERR names the worst-case estimate.
+        assert!(err.to_string().contains("176"), "{err}"); // 1 + 10 + 45 + 120
+                                                           // AUDIT has its own guard.
+        let err = audit_claim(&snapshot, 4, 3, 10).unwrap_err();
+        assert!(matches!(err, QueryError::AuditBudget { budget: 10, .. }));
     }
 
     #[test]

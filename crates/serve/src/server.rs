@@ -37,8 +37,12 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Maximum events per batch.
     pub max_batch: usize,
-    /// Fault-set budget for one `TOLERATE` evaluation.
+    /// Worst-case fault-set budget for one `TOLERATE` search.
     pub tolerate_budget: u64,
+    /// Worst-case fault-set budget for one `AUDIT` search (audits run
+    /// on the pristine snapshot and are memoized, so they may be
+    /// granted more room than per-epoch `TOLERATE`s).
+    pub audit_budget: u64,
     /// Estimated-route-count cap for one `PLAN` evaluation (candidates
     /// above it are ruled out instead of built).
     pub plan_route_budget: usize,
@@ -52,6 +56,7 @@ impl Default for ServerConfig {
             batch_window: Duration::from_micros(200),
             max_batch: 1024,
             tolerate_budget: 250_000,
+            audit_budget: 1_000_000,
             plan_route_budget: 2_000_000,
         }
     }
@@ -223,10 +228,12 @@ impl Server {
             handle,
         } = self;
         let conns = ConnQueue::new();
-        // Scheme planning is a static property of the served graph:
-        // the SCHEMES survey is memoized once, PLAN replies per (d, f).
+        // Scheme planning and auditing are static properties of the
+        // served graph: the SCHEMES survey is memoized once, PLAN and
+        // AUDIT replies per (d, f).
         let schemes = OnceLock::new();
         let plans = Mutex::new(HashMap::new());
+        let audits = Mutex::new(HashMap::new());
         std::thread::scope(|scope| {
             let ingestor = Ingestor::new(snapshot.engine(), handle.store.clone());
             let queue = Arc::clone(&handle.queue);
@@ -242,6 +249,7 @@ impl Server {
                     shutdown: &handle.shutdown,
                     schemes: &schemes,
                     plans: &plans,
+                    audits: &audits,
                 };
                 let conns = &conns;
                 scope.spawn(move || {
@@ -319,8 +327,8 @@ impl SpawnedServer {
     }
 }
 
-/// Upper bound on memoized `PLAN` replies; distinct `(d, f)` targets
-/// beyond it are answered but not cached.
+/// Upper bound on memoized `PLAN` (and `AUDIT`) replies; distinct
+/// `(d, f)` targets beyond it are answered but not cached.
 const PLAN_MEMO_CAP: usize = 64;
 
 /// Per-worker state: an epoch reader (lock-free current-epoch access)
@@ -337,6 +345,9 @@ struct Worker<'a> {
     schemes: &'a OnceLock<String>,
     /// Memoized `PLAN` replies per `(diameter, faults)` target.
     plans: &'a Mutex<HashMap<(u32, usize), String>>,
+    /// Memoized `AUDIT` replies per `(diameter, faults)` claim — audits
+    /// run against the pristine snapshot, so they never go stale.
+    audits: &'a Mutex<HashMap<(u32, usize), String>>,
 }
 
 impl Worker<'_> {
@@ -442,49 +453,60 @@ impl Worker<'_> {
                 let budget = self.config.tolerate_budget;
                 let needed = query::tolerate_cost(self.snapshot, &epoch, faults);
                 if needed > budget {
+                    // Bound-aware budget guard: reject with a structured
+                    // ERR naming the worst-case search size instead of
+                    // truncating the sweep.
                     self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     format!("ERR {}", QueryError::TolerateBudget { needed, budget })
                 } else {
-                    // The cache stores the measurement (`worst=… sets=…`
-                    // for `faults` extras); the yes/no against `diameter`
-                    // is request-specific arithmetic on top. A cached
-                    // value that does not parse back (impossible unless
-                    // the formats below drift apart) is surfaced as an
-                    // explicit ERR, never a silent wrong answer.
-                    let (measured, hit) =
-                        epoch
-                            .cache()
-                            .get_or_insert_with(QueryKey::Tolerate(faults), || {
-                                match query::tolerate(self.snapshot, &epoch, faults, budget) {
-                                    Ok(a) => match a.worst {
-                                        Some(w) => format!("worst={w} sets={}", a.sets),
-                                        None => format!("worst=disconnect sets={}", a.sets),
-                                    },
-                                    // Unreachable (the budget was checked
-                                    // with the same inputs above); parses
-                                    // back as None => ERR below.
-                                    Err(e) => format!("internal error: {e}"),
-                                }
-                            });
+                    // The pruned search is bound-aware, so the cache key
+                    // carries the full (d, f) claim; the search itself is
+                    // single-threaded and deterministic, so a cached
+                    // reply is byte-identical to a fresh one.
+                    let (reply, hit) = epoch.cache().get_or_insert_with(
+                        QueryKey::Tolerate(diameter, faults),
+                        || match query::tolerate(self.snapshot, &epoch, diameter, faults, budget) {
+                            Ok(a) => render_tolerate(&a),
+                            // Unreachable (the budget was checked with
+                            // the same inputs above); kept as a visible
+                            // ERR, never a silent wrong answer.
+                            Err(e) => format!("ERR {e}"),
+                        },
+                    );
                     if hit {
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     }
-                    let verdict = measured
-                        .strip_prefix("worst=")
-                        .and_then(|rest| rest.split_once(" sets="))
-                        .and_then(|(worst, _)| match worst {
-                            "disconnect" => Some(false),
-                            w => w.parse::<u32>().ok().map(|w| w <= diameter),
-                        });
-                    match verdict {
-                        Some(yes) => {
-                            format!("OK TOLERATE {} {measured}", if yes { "yes" } else { "no" })
-                        }
-                        None => {
-                            self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            format!("ERR tolerate measurement unavailable ({measured})")
-                        }
+                    reply.to_string()
+                }
+            }
+            Request::Audit { diameter, faults } => {
+                let budget = self.config.audit_budget;
+                let key = (diameter, faults);
+                let cached = self
+                    .audits
+                    .lock()
+                    .expect("audit cache poisoned")
+                    .get(&key)
+                    .cloned();
+                match cached {
+                    Some(reply) => {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        reply
                     }
+                    None => match query::audit_claim(self.snapshot, diameter, faults, budget) {
+                        Err(e) => {
+                            self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            format!("ERR {e}")
+                        }
+                        Ok(a) => {
+                            let reply = render_audit(&a);
+                            let mut audits = self.audits.lock().expect("audit cache poisoned");
+                            if audits.len() < PLAN_MEMO_CAP {
+                                audits.insert(key, reply.clone());
+                            }
+                            reply
+                        }
+                    },
                 }
             }
             Request::Fail(v) | Request::Repair(v) => {
@@ -585,6 +607,56 @@ impl Worker<'_> {
         };
         (reply, false)
     }
+}
+
+/// Renders a [`query::ToleranceAnswer`] as its `OK TOLERATE …` line.
+fn render_tolerate(a: &query::ToleranceAnswer) -> String {
+    if a.holds {
+        format!("OK TOLERATE yes sets={} pruned={}", a.sets, a.pruned)
+    } else {
+        format!(
+            "OK TOLERATE no found={} witness={} sets={}",
+            render_found(a.found),
+            render_witness(&a.witness),
+            a.sets
+        )
+    }
+}
+
+/// Renders a [`query::AuditAnswer`] as its `OK AUDIT …` line.
+fn render_audit(a: &query::AuditAnswer) -> String {
+    if a.holds {
+        format!(
+            "OK AUDIT holds visited={} pruned={} covered={} space={}",
+            a.visited,
+            a.pruned,
+            a.visited + a.pruned,
+            a.space
+        )
+    } else {
+        format!(
+            "OK AUDIT violated found={} witness={} visited={}",
+            render_found(a.found),
+            render_witness(&a.witness),
+            a.visited
+        )
+    }
+}
+
+fn render_found(found: Option<Option<u32>>) -> String {
+    match found {
+        Some(Some(d)) => d.to_string(),
+        Some(None) => "disconnect".to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn render_witness(witness: &[ftr_graph::Node]) -> String {
+    if witness.is_empty() {
+        return "-".to_string();
+    }
+    let parts: Vec<String> = witness.iter().map(|v| v.to_string()).collect();
+    parts.join(",")
 }
 
 #[cfg(test)]

@@ -71,6 +71,23 @@ fn serves_queries_through_fault_churn() {
         .claim();
     assert!(client.tolerate(claim.diameter, claim.faults).unwrap());
     assert!(!client.tolerate(0, 1).unwrap());
+    // A failed TOLERATE names its witness so the caller can reproduce.
+    let reply = client.request("TOLERATE 0 1").unwrap();
+    assert!(reply.starts_with("OK TOLERATE no found="), "{reply}");
+    assert!(reply.contains("witness="), "{reply}");
+
+    // AUDIT certifies the claim against the pristine snapshot with full
+    // accounting (epoch-independent, memoized server-side).
+    assert!(client.audit(claim.diameter, claim.faults).unwrap());
+    assert!(!client.audit(0, 1).unwrap());
+    let reply = client
+        .request(&format!("AUDIT {} {}", claim.diameter, claim.faults))
+        .unwrap();
+    assert!(reply.starts_with("OK AUDIT holds visited="), "{reply}");
+    assert!(
+        reply.contains("space=56"),
+        "audit accounts for all C(10, <=2) sets: {reply}"
+    );
 
     // Inject a fault; the epoch advances and queries follow the new state.
     assert!(client.fail(3).unwrap());

@@ -12,6 +12,7 @@
 //! for `cargo test`, `Full` reproduces the committed tables.
 
 mod adversary;
+mod audit_exp;
 mod beyond_exp;
 mod bipolar_exp;
 mod circular_exp;
@@ -25,6 +26,7 @@ mod scaling;
 mod scheme_sweep;
 
 pub use adversary::{ablation_a2_shortcut_rule, ablation_a3_strategies};
+pub use audit_exp::{e19_audit_sweep, e19_planner_audited};
 pub use beyond_exp::e16_beyond_budget;
 pub use bipolar_exp::{e8_bipolar_unidirectional, e9_bipolar_bidirectional};
 pub use circular_exp::{
@@ -146,6 +148,11 @@ pub fn registry() -> Vec<ExperimentSpec> {
             id: "e18",
             title: "Scheme sweep + planner selection over the whole registry",
             run: |s| vec![e18_scheme_sweep(s), e18_planner_selection(s)],
+        },
+        ExperimentSpec {
+            id: "e19",
+            title: "Audit sweep: branch-and-bound certification + audited planner winners",
+            run: |s| vec![e19_audit_sweep(s), e19_planner_audited(s)],
         },
         ExperimentSpec {
             id: "s1",

@@ -2,7 +2,7 @@
 //!
 //! Umbrella crate for the reproduction of Peleg & Simons, *On Fault
 //! Tolerant Routings in General Networks* (PODC 1986 / Information and
-//! Computation 74, 1987). It re-exports the four workspace layers:
+//! Computation 74, 1987). It re-exports the workspace layers:
 //!
 //! * [`graph`] (`ftr-graph`) — the graph substrate: fault overlays,
 //!   unit-node-capacity max flow, vertex connectivity, separators,
@@ -10,6 +10,11 @@
 //! * [`core`] (`ftr-core`) — the paper's constructions (kernel,
 //!   circular, tri-circular, bipolar, multiroutings, augmentation) plus
 //!   surviving route graphs and the `(d, f)`-tolerance verifier;
+//! * [`audit`] (`ftr-audit`) — adversarial fault-set search: a
+//!   branch-and-bound searcher that certifies or refutes `(d, f)`
+//!   claims orders of magnitude faster than exhaustive enumeration,
+//!   emitting machine-checkable certificates with an independent
+//!   re-checker;
 //! * [`sim`] (`ftr-sim`) — fault scenarios, the broadcast and message
 //!   protocols from the paper's introduction, churn streams, the
 //!   per-theorem experiment harness and figure rendering;
@@ -40,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ftr_audit as audit;
 pub use ftr_core as core;
 pub use ftr_graph as graph;
 pub use ftr_serve as serve;
