@@ -1,0 +1,283 @@
+//! E20 bench — the hot-path raw-speed push, before vs after: the
+//! engine's batched fault-set evaluation against the one-shot path, and
+//! the sharded pipelined serve loop's sustained route throughput with
+//! latency percentiles.
+//!
+//! Two segments:
+//!
+//! 1. **Kernel batch**: `surviving_diameter_batch` (one thread-local
+//!    scratch matrix, candidate-pair work only) vs the same fault sets
+//!    through one-shot `surviving_diameter`, on the `e16` network
+//!    H(5, 24) at `f = 2` (all 276 pairs) and on the wider-stride
+//!    H(4, 256) (sampled pairs) where the 4×u64-unrolled word kernels
+//!    carry the BFS. Results are asserted bit-identical.
+//! 2. **Serve**: an in-process daemon driven by pipelined byte-framed
+//!    clients (no churn — the pure query hot path), recording route
+//!    qps and p50/p95/p99 burst latency.
+//!
+//! Writes `BENCH_hotpath.json` at the workspace root. Knobs:
+//! `E20_SECONDS` (serve measurement window, default 2), `E20_MAX_N`
+//! (skip kernel networks larger than this, e.g. `E20_MAX_N=24` in
+//! constrained CI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_bench::load::{push_route, Histogram};
+use ftr_core::{Compile, CompiledRoutes, KernelRouting, RouteTable};
+use ftr_graph::{gen, Node, NodeSet};
+use ftr_serve::{Client, ReplyLines, RoutingSnapshot, Server, ServerConfig};
+use std::hint::black_box;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// All `f = 2` fault sets of an `n`-node network, optionally sampled
+/// down to `max_sets` (stride > 1 keeps every k-th pair).
+fn pair_fault_sets(n: usize, max_sets: usize) -> Vec<NodeSet> {
+    let mut sets = Vec::new();
+    for a in 0..n as Node {
+        for b in (a + 1)..n as Node {
+            sets.push(NodeSet::from_nodes(n, [a, b]));
+        }
+    }
+    if sets.len() > max_sets {
+        let stride = sets.len().div_ceil(max_sets);
+        sets = sets.into_iter().step_by(stride).collect();
+    }
+    sets
+}
+
+/// Best-of-3 sets/second through one-shot `surviving_diameter`.
+fn measure_one_shot(engine: &CompiledRoutes, sets: &[NodeSet]) -> (Vec<Option<u32>>, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        out = sets
+            .iter()
+            .map(|f| engine.surviving_diameter(black_box(f)))
+            .collect();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (out, sets.len() as f64 / best)
+}
+
+/// Best-of-3 sets/second through `surviving_diameter_batch`.
+fn measure_batch(engine: &CompiledRoutes, sets: &[NodeSet]) -> (Vec<Option<u32>>, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        out = engine.surviving_diameter_batch(black_box(sets));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (out, sets.len() as f64 / best)
+}
+
+struct KernelPoint {
+    label: String,
+    sets: usize,
+    one_shot_rate: f64,
+    batch_rate: f64,
+    speedup: f64,
+}
+
+fn kernel_point(k: usize, n: usize, max_sets: usize) -> KernelPoint {
+    let g = gen::harary(k, n).expect("valid parameters");
+    let kernel = KernelRouting::build(&g).expect("connected");
+    let engine = kernel.routing().compile();
+    let sets = pair_fault_sets(n, max_sets);
+    let (one_shot, one_shot_rate) = measure_one_shot(&engine, &sets);
+    let (batched, batch_rate) = measure_batch(&engine, &sets);
+    assert_eq!(
+        one_shot, batched,
+        "batched evaluation must be bit-identical on H({k}, {n})"
+    );
+    let speedup = batch_rate / one_shot_rate;
+    eprintln!(
+        "e20_hotpath/kernel H({k},{n}): one-shot {one_shot_rate:.0} sets/s, \
+         batch {batch_rate:.0} sets/s ({speedup:.2}x, {} sets)",
+        sets.len()
+    );
+    KernelPoint {
+        label: format!("harary({k}, {n}) kernel routing"),
+        sets: sets.len(),
+        one_shot_rate,
+        batch_rate,
+        speedup,
+    }
+}
+
+struct ServePoint {
+    clients: usize,
+    pipeline: usize,
+    seconds: f64,
+    routes: u64,
+    qps: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// Drives an in-process daemon with pipelined byte-framed clients for
+/// `seconds` — the pure query hot path (no churn).
+fn serve_point(clients: usize, pipeline: usize, seconds: f64) -> ServePoint {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let g = gen::harary(5, 24).expect("valid parameters");
+    let n = g.node_count();
+    let kernel = KernelRouting::build(&g).expect("connected");
+    let snapshot = RoutingSnapshot::new(g, kernel.routing().clone())
+        .expect("kernel routing is total")
+        .into_shared();
+    let server = Server::bind(snapshot, ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let spawned = server.spawn();
+
+    let latency = Mutex::new(Histogram::new());
+    let total = Mutex::new(0u64);
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(seconds);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let latency = &latency;
+            let total = &total;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut rng = SmallRng::seed_from_u64(0xE20 + c as u64);
+                let mut requests: Vec<u8> = Vec::with_capacity(pipeline * 16);
+                let mut replies = ReplyLines::new();
+                let mut local = Histogram::new();
+                let mut routes = 0u64;
+                while Instant::now() < deadline {
+                    requests.clear();
+                    for _ in 0..pipeline {
+                        let x = rng.gen_range(0..n) as Node;
+                        let mut y = rng.gen_range(0..n) as Node;
+                        if y == x {
+                            y = (y + 1) % n as Node;
+                        }
+                        push_route(&mut requests, u64::from(x), u64::from(y));
+                    }
+                    let sent = Instant::now();
+                    client
+                        .pipeline_raw(&requests, pipeline, &mut replies)
+                        .expect("pipelined burst answered");
+                    local.record_n(sent.elapsed().as_nanos() as u64, pipeline as u64);
+                    routes += pipeline as u64;
+                    for reply in replies.iter() {
+                        assert!(reply.starts_with(b"OK "), "protocol error in bench");
+                    }
+                }
+                latency.lock().expect("merge").merge(&local);
+                *total.lock().expect("count") += routes;
+                let _ = client.quit();
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    spawned.shutdown_and_join().expect("clean shutdown");
+    let routes = *total.lock().expect("count");
+    let latency = latency.into_inner().expect("histogram");
+    let qps = routes as f64 / elapsed;
+    let (p50, p95, p99) = (
+        latency.quantile_us(0.50),
+        latency.quantile_us(0.95),
+        latency.quantile_us(0.99),
+    );
+    eprintln!(
+        "e20_hotpath/serve: {routes} routes in {elapsed:.2}s = {qps:.0}/s \
+         (p50 {p50:.0}us p95 {p95:.0}us p99 {p99:.0}us)"
+    );
+    ServePoint {
+        clients,
+        pipeline,
+        seconds: elapsed,
+        routes,
+        qps,
+        p50,
+        p95,
+        p99,
+    }
+}
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bench(c: &mut Criterion) {
+    // Criterion-style timing of the headline comparison: the full
+    // f = 2 sweep of H(5, 24), one-shot vs batched.
+    let g = gen::harary(5, 24).expect("valid parameters");
+    let kernel = KernelRouting::build(&g).expect("connected");
+    let engine = kernel.routing().compile();
+    let sets = pair_fault_sets(24, usize::MAX);
+    let mut group = c.benchmark_group("e20_hotpath");
+    group.sample_size(20);
+    group.bench_function("f2_sweep_one_shot", |b| {
+        b.iter(|| {
+            sets.iter()
+                .map(|f| engine.surviving_diameter(black_box(f)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("f2_sweep_batch", |b| {
+        b.iter(|| engine.surviving_diameter_batch(black_box(&sets)))
+    });
+    group.finish();
+
+    // Machine-readable record.
+    let max_n: usize = env_num("E20_MAX_N", usize::MAX);
+    let seconds: f64 = env_num("E20_SECONDS", 2.0);
+    let mut kernel_points = vec![kernel_point(5, 24, usize::MAX)];
+    if max_n >= 256 {
+        kernel_points.push(kernel_point(4, 256, 512));
+    } else {
+        eprintln!("e20_hotpath: skipping H(4, 256) (E20_MAX_N = {max_n})");
+    }
+    let serve = serve_point(2, 256, seconds);
+
+    let kernel_json: Vec<String> = kernel_points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"graph\": \"{}\",\n      \"f\": 2,\n      \"sets\": {},\n      \
+                 \"one_shot_sets_per_sec\": {:.1},\n      \"batch_sets_per_sec\": {:.1},\n      \
+                 \"batch_speedup\": {:.2}\n    }}",
+                p.label, p.sets, p.one_shot_rate, p.batch_rate, p.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e20_hotpath\",\n  \"kernel_points\": [\n{}\n  ],\n  \
+         \"serve\": {{\n    \"graph\": \"harary(5, 24) kernel routing\",\n    \
+         \"clients\": {},\n    \"pipeline_depth\": {},\n    \"seconds\": {:.2},\n    \
+         \"route_queries\": {},\n    \"route_qps\": {:.0},\n    \
+         \"route_latency_us\": {{ \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1} }}\n  }}\n}}\n",
+        kernel_json.join(",\n"),
+        serve.clients,
+        serve.pipeline,
+        serve.seconds,
+        serve.routes,
+        serve.qps,
+        serve.p50,
+        serve.p95,
+        serve.p99,
+    );
+    let path = format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write BENCH_hotpath.json");
+    eprintln!("e20_hotpath: wrote {path}");
+
+    let headline = &kernel_points[0];
+    assert!(
+        headline.speedup >= 1.0,
+        "batched evaluation must not be slower than one-shot \
+         (measured {:.2}x)",
+        headline.speedup
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

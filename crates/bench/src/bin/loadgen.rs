@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! loadgen [--clients N] [--seconds S] [--churn-hz R] [--fault-budget F]
-//!         [--pipeline B] [--graph harary:K,N|petersen|cycle:N]
+//!         [--pipeline B] [--shards N] [--graph harary:K,N|petersen|cycle:N]
 //!         [--scheme SCHEME|auto] [--assert-qps Q] [--out FILE]
 //! ```
 //!
@@ -23,13 +23,14 @@
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
+use ftr_bench::load::{push_route, Histogram};
 use ftr_core::{BuiltRouting, Planner, PlannerRequest, SchemeRegistry, SchemeSpec};
 use ftr_graph::{connectivity, Graph, Node};
 use ftr_serve::spec::parse_graph_spec;
-use ftr_serve::{Client, RoutingSnapshot, Server, ServerConfig};
+use ftr_serve::{Client, ReplyLines, RoutingSnapshot, Server, ServerConfig};
 use ftr_sim::churn::{ChurnConfig, ChurnStream};
 use ftr_sim::faults::FaultPlan;
 use rand::rngs::SmallRng;
@@ -41,6 +42,7 @@ struct Args {
     churn_hz: f64,
     fault_budget: usize,
     pipeline: usize,
+    shards: usize,
     graph: String,
     scheme: String,
     assert_qps: Option<f64>,
@@ -54,7 +56,11 @@ impl Args {
             seconds: 3.0,
             churn_hz: 200.0,
             fault_budget: 2,
-            pipeline: 32,
+            // Deep pipelining is the design point of the batched serve
+            // loop: each burst becomes one read, one epoch acquisition,
+            // one cache pass and one coalesced write on the server.
+            pipeline: 256,
+            shards: 2,
             graph: "harary:5,24".to_string(),
             scheme: "kernel".to_string(),
             assert_qps: None,
@@ -69,6 +75,7 @@ impl Args {
                 "--churn-hz" => args.churn_hz = parse(&value("--churn-hz")?)?,
                 "--fault-budget" => args.fault_budget = parse(&value("--fault-budget")?)?,
                 "--pipeline" => args.pipeline = parse(&value("--pipeline")?)?,
+                "--shards" => args.shards = parse(&value("--shards")?)?,
                 "--graph" => args.graph = value("--graph")?,
                 "--scheme" => args.scheme = value("--scheme")?,
                 "--assert-qps" => args.assert_qps = Some(parse(&value("--assert-qps")?)?),
@@ -97,6 +104,35 @@ struct Totals {
     epoch: AtomicU64,
     tolerate: AtomicU64,
     errors: AtomicU64,
+}
+
+/// One query client's tallies, merged into the shared [`Totals`] once
+/// when the client finishes.
+#[derive(Default)]
+struct LocalCounts {
+    route: u64,
+    direct: u64,
+    detour: u64,
+    unreachable: u64,
+    diam: u64,
+    epoch: u64,
+    tolerate: u64,
+    errors: u64,
+}
+
+impl LocalCounts {
+    fn merge_into(&self, totals: &Totals) {
+        totals.route.fetch_add(self.route, Ordering::Relaxed);
+        totals.direct.fetch_add(self.direct, Ordering::Relaxed);
+        totals.detour.fetch_add(self.detour, Ordering::Relaxed);
+        totals
+            .unreachable
+            .fetch_add(self.unreachable, Ordering::Relaxed);
+        totals.diam.fetch_add(self.diam, Ordering::Relaxed);
+        totals.epoch.fetch_add(self.epoch, Ordering::Relaxed);
+        totals.tolerate.fetch_add(self.tolerate, Ordering::Relaxed);
+        totals.errors.fetch_add(self.errors, Ordering::Relaxed);
+    }
 }
 
 /// The churn client: rotates scenarios, keeps at most `budget` nodes
@@ -205,7 +241,11 @@ fn check(result: std::io::Result<bool>, errors: &AtomicU64) {
 }
 
 /// One query client: pipelined bursts of ROUTE with sprinkled
-/// DIAM/EPOCH/TOLERATE, until the deadline.
+/// DIAM/EPOCH/TOLERATE, until the deadline. Requests are framed into a
+/// reused byte buffer and replies land in a reused [`ReplyLines`], so
+/// the steady-state loop allocates nothing; each burst's round-trip
+/// time is attributed to every query in it (the latency a pipelined
+/// caller actually waits).
 fn run_client(
     addr: std::net::SocketAddr,
     n: usize,
@@ -213,25 +253,30 @@ fn run_client(
     pipeline: usize,
     deadline: Instant,
     totals: &Totals,
+    latency: &Mutex<Histogram>,
 ) {
     let mut client = Client::connect(addr).expect("query client connects");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut requests: Vec<String> = Vec::with_capacity(pipeline);
-    let mut replies: Vec<String> = Vec::with_capacity(pipeline);
+    let mut requests: Vec<u8> = Vec::with_capacity(pipeline * 16);
+    let mut route_flags: Vec<bool> = Vec::with_capacity(pipeline);
+    let mut replies = ReplyLines::new();
+    let mut local = Histogram::new();
+    let mut counts = LocalCounts::default();
     let mut burst: u64 = 0;
     while Instant::now() < deadline {
         requests.clear();
-        replies.clear();
+        route_flags.clear();
         burst += 1;
         for i in 0..pipeline {
             // ~1 non-ROUTE probe per burst keeps the mix honest without
             // moving the throughput needle.
             if i == 0 && burst % 4 == 1 {
-                match burst % 12 {
-                    1 => requests.push("DIAM".to_string()),
-                    5 => requests.push("EPOCH".to_string()),
-                    _ => requests.push("TOLERATE 8 1".to_string()),
-                }
+                requests.extend_from_slice(match burst % 12 {
+                    1 => b"DIAM\n".as_slice(),
+                    5 => b"EPOCH\n".as_slice(),
+                    _ => b"TOLERATE 8 1\n".as_slice(),
+                });
+                route_flags.push(false);
                 continue;
             }
             let x = rng.gen_range(0..n) as Node;
@@ -239,31 +284,52 @@ fn run_client(
             if y == x {
                 y = (y + 1) % n as Node;
             }
-            requests.push(format!("ROUTE {x} {y}"));
+            push_route(&mut requests, x as u64, y as u64);
+            route_flags.push(true);
         }
-        if client.pipeline(&requests, &mut replies).is_err() {
+        let sent = Instant::now();
+        if client
+            .pipeline_raw(&requests, pipeline, &mut replies)
+            .is_err()
+        {
             totals.errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
-        for (req, reply) in requests.iter().zip(&replies) {
-            let counter = match reply.split(' ').nth(1) {
-                Some("DIRECT") => &totals.direct,
-                Some("DETOUR") => &totals.detour,
-                Some("UNREACHABLE") => &totals.unreachable,
-                Some("DIAM") => &totals.diam,
-                Some("EPOCH") => &totals.epoch,
-                Some("TOLERATE") => &totals.tolerate,
-                _ => {
-                    eprintln!("loadgen: protocol error: {req:?} -> {reply:?}");
-                    &totals.errors
-                }
+        let rtt = sent.elapsed().as_nanos() as u64;
+        let mut routes = 0u64;
+        for (&is_route, reply) in route_flags.iter().zip(replies.iter()) {
+            // Thread-local tallies; one atomic merge per client at the
+            // end keeps the reply loop free of shared-cacheline traffic.
+            let counter = if reply.starts_with(b"OK DIRECT") {
+                &mut counts.direct
+            } else if reply.starts_with(b"OK DETOUR") {
+                &mut counts.detour
+            } else if reply.starts_with(b"OK UNREACHABLE") {
+                &mut counts.unreachable
+            } else if reply.starts_with(b"OK DIAM") {
+                &mut counts.diam
+            } else if reply.starts_with(b"OK EPOCH") {
+                &mut counts.epoch
+            } else if reply.starts_with(b"OK TOLERATE") {
+                &mut counts.tolerate
+            } else {
+                eprintln!(
+                    "loadgen: protocol error: {:?}",
+                    String::from_utf8_lossy(reply)
+                );
+                &mut counts.errors
             };
-            counter.fetch_add(1, Ordering::Relaxed);
-            if req.starts_with("ROUTE") {
-                totals.route.fetch_add(1, Ordering::Relaxed);
-            }
+            *counter += 1;
+            routes += u64::from(is_route);
         }
+        local.record_n(rtt, routes);
+        counts.route += routes;
     }
+    counts.merge_into(totals);
+    latency
+        .lock()
+        .expect("latency histogram poisoned")
+        .merge(&local);
     let _ = client.quit();
 }
 
@@ -310,7 +376,7 @@ fn run() -> Result<(), String> {
     let server = Server::bind(
         snapshot,
         ServerConfig {
-            workers: args.clients + 2,
+            shards: args.shards,
             ..ServerConfig::default()
         },
     )
@@ -320,6 +386,7 @@ fn run() -> Result<(), String> {
     let spawned = server.spawn();
 
     let totals = Totals::default();
+    let latency = Mutex::new(Histogram::new());
     let stop_churn = AtomicBool::new(false);
     let churn_events = AtomicU64::new(0);
     let barrier = Barrier::new(args.clients + 1);
@@ -341,10 +408,19 @@ fn run() -> Result<(), String> {
         });
         for c in 0..args.clients {
             let totals = &totals;
+            let latency = &latency;
             let barrier = &barrier;
             scope.spawn(move || {
                 barrier.wait();
-                run_client(addr, n, 0xBEEF + c as u64, args.pipeline, deadline, totals);
+                run_client(
+                    addr,
+                    n,
+                    0xBEEF + c as u64,
+                    args.pipeline,
+                    deadline,
+                    totals,
+                    latency,
+                );
             });
         }
         barrier.wait();
@@ -389,19 +465,35 @@ fn run() -> Result<(), String> {
         0.0
     };
 
+    let latency = latency.into_inner().expect("latency histogram poisoned");
+    let (p50, p95, p99) = (
+        latency.quantile_us(0.50),
+        latency.quantile_us(0.95),
+        latency.quantile_us(0.99),
+    );
     let json = format!(
         "{{\n  \"bench\": \"loadgen\",\n  \"graph\": \"{graph_label}\",\n  \
          \"scheme\": \"{scheme_label}\",\n  \"n\": {n},\n  \
          \"clients\": {},\n  \"pipeline_depth\": {},\n  \"seconds\": {elapsed:.2},\n  \
          \"churn_hz\": {},\n  \"fault_budget\": {},\n  \"route_queries\": {route},\n  \
          \"route_qps\": {route_qps:.0},\n  \"total_queries\": {total},\n  \
-         \"total_qps\": {total_qps:.0},\n  \"direct\": {},\n  \"detour\": {},\n  \
+         \"total_qps\": {total_qps:.0},\n  \
+         \"route_latency_us\": {{ \"p50\": {p50:.1}, \"p95\": {p95:.1}, \"p99\": {p99:.1} }},\n  \
+         \"verbs\": {{ \"direct\": {}, \"detour\": {}, \"unreachable\": {}, \
+         \"diam\": {}, \"epoch\": {}, \"tolerate\": {} }},\n  \
+         \"direct\": {},\n  \"detour\": {},\n  \
          \"unreachable\": {},\n  \"churn_events\": {},\n  \"epochs_advanced\": {epochs},\n  \
          \"cache_hit_rate\": {hit_rate:.3},\n  \"protocol_errors\": {}\n}}\n",
         args.clients,
         args.pipeline,
         args.churn_hz,
         args.fault_budget,
+        totals.direct.load(Ordering::Relaxed),
+        totals.detour.load(Ordering::Relaxed),
+        totals.unreachable.load(Ordering::Relaxed),
+        totals.diam.load(Ordering::Relaxed),
+        totals.epoch.load(Ordering::Relaxed),
+        totals.tolerate.load(Ordering::Relaxed),
         totals.direct.load(Ordering::Relaxed),
         totals.detour.load(Ordering::Relaxed),
         totals.unreachable.load(Ordering::Relaxed),
@@ -425,8 +517,8 @@ fn run() -> Result<(), String> {
     std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!(
         "loadgen: {route} route queries in {elapsed:.2}s = {route_qps:.0}/s \
-         ({total_qps:.0}/s total, {epochs} epochs, cache hit rate {:.1}%, \
-         {} churn events)",
+         ({total_qps:.0}/s total, burst latency p50 {p50:.0}us p95 {p95:.0}us p99 {p99:.0}us, \
+         {epochs} epochs, cache hit rate {:.1}%, {} churn events)",
         hit_rate * 100.0,
         churn_events.load(Ordering::Relaxed)
     );

@@ -8,6 +8,8 @@ use ftr_core::{
 };
 use ftr_graph::{gen, Graph, NodeSet};
 
+pub mod load;
+
 /// The default mid-size benchmark network: H(4, 40), κ = 4.
 pub fn bench_graph() -> Graph {
     gen::harary(4, 40).expect("valid parameters")

@@ -25,10 +25,51 @@
 //! equivalence property test (`tests/engine_equivalence.rs`) checks the
 //! two produce arc-for-arc identical surviving graphs.
 
-use ftr_graph::{BitMatrix, Node, NodeSet};
+use ftr_graph::{BfsScratch, BitMatrix, Node, NodeSet};
 
 use crate::surviving::{FaultCursor, SurvivingGraph};
 use crate::{MultiRouting, RouteTable, Routing};
+
+/// Reusable per-thread state for [`CompiledRoutes`]'s batched
+/// fault-set evaluation: a live route matrix kept synchronized with the
+/// engine's fault-free base via clear/restore lists (never re-copied
+/// per set), generation-stamped candidate-pair marks, and the BFS
+/// scratch buffers.
+struct BatchScratch {
+    engine_id: Option<u64>,
+    live: BitMatrix,
+    pair_stamp: Vec<u64>,
+    generation: u64,
+    bfs: BfsScratch,
+    dead: Vec<(Node, Node)>,
+}
+
+impl BatchScratch {
+    fn new() -> Self {
+        BatchScratch {
+            engine_id: None,
+            live: BitMatrix::new(0),
+            pair_stamp: Vec::new(),
+            generation: 0,
+            bfs: BfsScratch::new(),
+            dead: Vec::new(),
+        }
+    }
+
+    /// Re-binds the scratch to `engine`, resetting the live matrix to
+    /// the fault-free base when the engine changed (or when a panic
+    /// unwound mid-evaluation and left arcs cleared).
+    fn sync(&mut self, engine: &CompiledRoutes) {
+        if self.engine_id != Some(engine.build_id) || !self.dead.is_empty() {
+            self.engine_id = Some(engine.build_id);
+            self.live.copy_from(&engine.base);
+            self.pair_stamp.clear();
+            self.pair_stamp.resize(engine.pair_count(), 0);
+            self.generation = 0;
+            self.dead.clear();
+        }
+    }
+}
 
 /// A routing compiled to per-route fault masks, an inverted node→routes
 /// index and a bit-matrix route graph.
@@ -239,6 +280,41 @@ impl CompiledRoutes {
             "fault set capacity must equal the routing's node count"
         );
     }
+
+    /// One batched evaluation against a synchronized [`BatchScratch`]:
+    /// walk the inverted index from each faulty node to the *candidate*
+    /// pairs (only routes through a faulty node can die), clear the arcs
+    /// of pairs whose every slot is killed, measure, then restore the
+    /// cleared arcs. Cost is `O(routes through F)` plus the BFS — the
+    /// base matrix is never re-copied.
+    fn batch_eval_one(&self, faults: &NodeSet, scratch: &mut BatchScratch) -> Option<u32> {
+        let words = faults.words();
+        scratch.generation += 1;
+        let generation = scratch.generation;
+        debug_assert!(scratch.dead.is_empty());
+        for v in faults.iter() {
+            let range =
+                self.index_off[v as usize] as usize..self.index_off[v as usize + 1] as usize;
+            for &slot in &self.index[range] {
+                let p = self.slot_pair[slot as usize] as usize;
+                if scratch.pair_stamp[p] == generation {
+                    continue;
+                }
+                scratch.pair_stamp[p] = generation;
+                if !self.slots_of(p).any(|s| self.slot_survives(s, words)) {
+                    let (s, d) = self.pairs[p];
+                    scratch.live.clear(s, d);
+                    scratch.dead.push((s, d));
+                }
+            }
+        }
+        let result = scratch.live.diameter_with(Some(faults), &mut scratch.bfs);
+        for &(s, d) in &scratch.dead {
+            scratch.live.set(s, d);
+        }
+        scratch.dead.clear();
+        result
+    }
 }
 
 /// Accumulates the per-pair slot arrays of a compilation; sources are
@@ -335,6 +411,23 @@ impl RouteTable for CompiledRoutes {
                 }
             }
             live.diameter(Some(faults))
+        })
+    }
+
+    fn surviving_diameter_batch(&self, fault_sets: &[NodeSet]) -> Vec<Option<u32>> {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<BatchScratch> =
+                std::cell::RefCell::new(BatchScratch::new());
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.sync(self);
+            let mut out = Vec::with_capacity(fault_sets.len());
+            for faults in fault_sets {
+                self.assert_capacity(faults);
+                out.push(self.batch_eval_one(faults, scratch));
+            }
+            out
         })
     }
 

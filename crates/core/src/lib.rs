@@ -91,7 +91,21 @@
 //! per-route kill counts incrementally, per-fault-set diameter scans
 //! reuse a thread-local scratch matrix, and diameters are measured by
 //! bit-parallel BFS — ~7× faster end-to-end than the route-walk path on
-//! the `e16_engine` bench (see `BENCH_engine.json`). The route-walk
+//! the `e16_engine` bench (see `BENCH_engine.json`).
+//!
+//! Callers holding **many** fault sets should prefer the batched entry
+//! point: [`RouteTable::surviving_diameter_batch`] evaluates a whole
+//! slice of fault sets in one call. The [`CompiledRoutes`] override
+//! keeps a single scratch [`ftr_graph::BitMatrix`] and BFS frontier
+//! live across the batch instead of re-acquiring them per set, walks
+//! only the routes each fault set can touch (via the inverted index),
+//! and runs the underlying word loops 4×u64-unrolled — this is the
+//! engine the adversarial audit searcher, the `TOLERATE` serve verb and
+//! the `e20_hotpath` bench all drive (`BENCH_hotpath.json` records the
+//! batch-vs-one-shot ratio). Results are bit-identical to calling
+//! [`RouteTable::surviving_diameter`] per set — pinned by proptests —
+//! and the trait's default implementation does exactly that loop, so
+//! every route table gets the batched signature. The route-walk
 //! implementations remain the reference semantics; property tests in
 //! `tests/engine_equivalence.rs` and `tests/proptests.rs` pin
 //! arc-for-arc agreement between builder, frozen and compiled forms.

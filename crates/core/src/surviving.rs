@@ -36,6 +36,27 @@ pub trait RouteTable {
         self.surviving(faults).diameter()
     }
 
+    /// Surviving diameters for a batch of fault sets, answered in input
+    /// order.
+    ///
+    /// The provided implementation maps [`RouteTable::surviving_diameter`]
+    /// over the slice and is the reference semantics; the compiled
+    /// engine ([`crate::CompiledRoutes`]) overrides it with a
+    /// scratch-reusing evaluation that touches only the routes through
+    /// each set's faulty nodes and restores them afterwards, so a batch
+    /// never re-copies the base route graph. Results are bit-identical
+    /// to calling the one-shot path per set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault set was sized for a different node count.
+    fn surviving_diameter_batch(&self, fault_sets: &[NodeSet]) -> Vec<Option<u32>> {
+        fault_sets
+            .iter()
+            .map(|f| self.surviving_diameter(f))
+            .collect()
+    }
+
     /// An incremental fault cursor over this table, used by the
     /// verifier's exhaustive enumeration and adversarial hill climbing
     /// (both toggle one fault at a time).

@@ -354,13 +354,33 @@ fn random<T: RouteTable + Sync>(
     // Every trial is seeded by its own index (not by worker or chunk
     // id), so the drawn fault sets — and the reported worst set, via
     // the trial-index key — are identical whatever the thread count.
+    // Trials are drawn and evaluated in chunks through the batched
+    // engine path ([`RouteTable::surviving_diameter_batch`]), which
+    // amortizes scratch state across the chunk. The per-trial seeds and
+    // trial-index keys are untouched, so the draw — and the reported
+    // worst set — stay identical to one-at-a-time evaluation.
+    const CHUNK: usize = 64;
     let locals = par::map_workers(trials, threads, |next| {
         let mut local = Worst::new();
-        while let Some(trial) = next() {
-            let mut rng =
-                SmallRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9e3779b97f4a7c15));
-            let faults = sample_fault_set(n, f, &mut rng);
-            local.update(table.surviving_diameter(&faults), &faults, trial as u64);
+        let mut ids: Vec<u64> = Vec::with_capacity(CHUNK);
+        let mut sets: Vec<NodeSet> = Vec::with_capacity(CHUNK);
+        loop {
+            ids.clear();
+            sets.clear();
+            while ids.len() < CHUNK {
+                let Some(trial) = next() else { break };
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                ids.push(trial as u64);
+                sets.push(sample_fault_set(n, f, &mut rng));
+            }
+            if ids.is_empty() {
+                break;
+            }
+            let diameters = table.surviving_diameter_batch(&sets);
+            for ((&trial, faults), diameter) in ids.iter().zip(&sets).zip(diameters) {
+                local.update(diameter, faults, trial);
+            }
         }
         local
     });

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use ftr_core::tree::{is_tree_routing, tree_routing};
 use ftr_core::{
-    verify_tolerance, FaultStrategy, KernelRouting, MultiRouting, Planner, PlannerRequest,
+    verify_tolerance, Compile, FaultStrategy, KernelRouting, MultiRouting, Planner, PlannerRequest,
     RouteTable, Routing, RoutingError, RoutingKind, SchemeParams, SchemeRegistry,
 };
 use ftr_graph::{connectivity, gen, Graph, Node, NodeSet, Path};
@@ -464,5 +464,61 @@ proptest! {
                 ))),
             }
         }
+    }
+}
+
+// ------------------------------------------------------- Batched engine
+//
+// `surviving_diameter_batch` on the compiled engine reuses one scratch
+// matrix and touches only the routes through each fault set; these
+// tests pin it bit-identical to the one-shot engine path and to the
+// legacy route-walk definition, across interleaved batches (scratch
+// restoration) and ragged fault sets.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_diameter_matches_one_shot_and_route_walk(
+        g in connected_gnp(),
+        fault_picks in prop::collection::vec(
+            prop::collection::btree_set(0u32..20, 0..5),
+            1..10
+        ),
+    ) {
+        prop_assume!(ftr_graph::traversal::is_connected(&g, None));
+        let n = g.node_count();
+        let kernel = KernelRouting::build(&g).expect("connected");
+        let routing = kernel.routing();
+        let engine = routing.compile();
+        let sets: Vec<NodeSet> = fault_picks
+            .iter()
+            .map(|picks| {
+                NodeSet::from_nodes(n, picks.iter().copied().filter(|&v| (v as usize) < n))
+            })
+            .collect();
+
+        let batched = engine.surviving_diameter_batch(&sets);
+        prop_assert_eq!(batched.len(), sets.len());
+        for (faults, &batch_d) in sets.iter().zip(&batched) {
+            prop_assert_eq!(batch_d, engine.surviving_diameter(faults), "one-shot engine");
+            prop_assert_eq!(
+                batch_d,
+                routing.surviving(faults).diameter(),
+                "route-walk reference"
+            );
+        }
+
+        // The trait's default batch (used by uncompiled tables) is the
+        // one-shot map by construction; pin the engine override to it.
+        prop_assert_eq!(batched.clone(), routing.surviving_diameter_batch(&sets));
+
+        // Scratch reuse across batches is stateless: re-running the
+        // same batch, and running it element-reversed, changes nothing.
+        prop_assert_eq!(batched.clone(), engine.surviving_diameter_batch(&sets));
+        let reversed: Vec<NodeSet> = sets.iter().rev().cloned().collect();
+        let mut re = engine.surviving_diameter_batch(&reversed);
+        re.reverse();
+        prop_assert_eq!(batched, re);
     }
 }

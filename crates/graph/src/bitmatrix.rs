@@ -1,6 +1,63 @@
+use std::cell::RefCell;
 use std::fmt;
 
 use crate::{Node, NodeSet};
+
+/// Reusable word buffers for the masked BFS kernels.
+///
+/// One eccentricity sweep needs four `stride`-word bitsets (alive mask,
+/// visited set, current frontier, next frontier). Allocating them per
+/// call dominates the cost of small-graph BFS, so the hot entry points
+/// ([`BitMatrix::diameter_with`], [`BitMatrix::eccentricity_with`]) take
+/// a `&mut BfsScratch` that is grown once and reused across calls; the
+/// convenience wrappers route through a thread-local instance.
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    alive: Vec<u64>,
+    visited: Vec<u64>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+
+    fn fit(&mut self, stride: usize) {
+        self.alive.resize(stride, 0);
+        self.visited.resize(stride, 0);
+        self.frontier.resize(stride, 0);
+        self.next.resize(stride, 0);
+    }
+}
+
+thread_local! {
+    static BFS_SCRATCH: RefCell<BfsScratch> = RefCell::new(BfsScratch::new());
+}
+
+/// ORs `row` into `acc`, four words per iteration.
+///
+/// This is the BFS frontier expansion's inner loop; the unrolled form is
+/// branch-free over each 256-bit group and lets the compiler keep the
+/// accumulator words in registers (or vectorize) instead of a dependent
+/// one-word-at-a-time chain.
+#[inline]
+fn or_into(acc: &mut [u64], row: &[u64]) {
+    debug_assert_eq!(acc.len(), row.len());
+    let mut a4 = acc.chunks_exact_mut(4);
+    let mut r4 = row.chunks_exact(4);
+    for (a, r) in (&mut a4).zip(&mut r4) {
+        a[0] |= r[0];
+        a[1] |= r[1];
+        a[2] |= r[2];
+        a[3] |= r[3];
+    }
+    for (a, r) in a4.into_remainder().iter_mut().zip(r4.remainder()) {
+        *a |= r;
+    }
+}
 
 /// A dense directed adjacency matrix packed into `u64` words.
 ///
@@ -114,23 +171,38 @@ impl BitMatrix {
         (u, v / 64, (v % 64) as u32)
     }
 
-    /// The word-packed set of nodes *not* in `avoid` (the "alive" mask
-    /// used by the masked traversals).
-    fn alive_mask(&self, avoid: Option<&NodeSet>) -> Vec<u64> {
-        let mut alive = vec![!0u64; self.stride];
+    /// Writes the word-packed set of nodes *not* in `avoid` (the "alive"
+    /// mask used by the masked traversals) into `out`.
+    fn alive_mask_into(&self, avoid: Option<&NodeSet>, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.stride);
+        match avoid {
+            Some(avoid) => {
+                // Missing high words of a smaller overlay count as
+                // fault-free, matching the pre-batch semantics.
+                let words = avoid.words();
+                let common = words.len().min(self.stride);
+                let mut o4 = out[..common].chunks_exact_mut(4);
+                let mut f4 = words[..common].chunks_exact(4);
+                for (o, f) in (&mut o4).zip(&mut f4) {
+                    o[0] = !f[0];
+                    o[1] = !f[1];
+                    o[2] = !f[2];
+                    o[3] = !f[3];
+                }
+                for (o, f) in o4.into_remainder().iter_mut().zip(f4.remainder()) {
+                    *o = !f;
+                }
+                out[common..].fill(!0u64);
+            }
+            None => out.fill(!0u64),
+        }
         // Mask off the bits beyond n in the last word.
         if self.stride > 0 {
             let tail = self.n % 64;
             if tail != 0 {
-                alive[self.stride - 1] = (1u64 << tail) - 1;
+                out[self.stride - 1] &= (1u64 << tail) - 1;
             }
         }
-        if let Some(avoid) = avoid {
-            for (a, f) in alive.iter_mut().zip(avoid.words()) {
-                *a &= !f;
-            }
-        }
-        alive
     }
 
     /// BFS eccentricity of `src` restricted to nodes outside `avoid`:
@@ -140,26 +212,58 @@ impl BitMatrix {
     /// frontier's members, mask with the not-yet-visited alive nodes, and
     /// repeat — `O(n / 64)` words of work per frontier member per level.
     ///
+    /// Allocation-free across calls via a thread-local [`BfsScratch`];
+    /// pass an explicit scratch with [`BitMatrix::eccentricity_with`] to
+    /// control buffer reuse yourself.
+    ///
     /// # Panics
     ///
     /// Panics if `src` is out of range or `src` itself is avoided.
     pub fn masked_eccentricity(&self, src: Node, avoid: Option<&NodeSet>) -> (u32, bool) {
-        let alive = self.alive_mask(avoid);
-        self.eccentricity_in(src, &alive)
+        BFS_SCRATCH.with(|s| self.eccentricity_with(src, avoid, &mut s.borrow_mut()))
     }
 
-    fn eccentricity_in(&self, src: Node, alive: &[u64]) -> (u32, bool) {
+    /// [`BitMatrix::masked_eccentricity`] against caller-owned scratch
+    /// buffers (no thread-local traffic, no allocation once grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or `src` itself is avoided.
+    pub fn eccentricity_with(
+        &self,
+        src: Node,
+        avoid: Option<&NodeSet>,
+        scratch: &mut BfsScratch,
+    ) -> (u32, bool) {
+        scratch.fit(self.stride);
+        self.alive_mask_into(avoid, &mut scratch.alive);
+        let BfsScratch {
+            alive,
+            visited,
+            frontier,
+            next,
+        } = scratch;
+        self.eccentricity_in(src, alive, visited, frontier, next)
+    }
+
+    fn eccentricity_in(
+        &self,
+        src: Node,
+        alive: &[u64],
+        visited: &mut [u64],
+        frontier: &mut Vec<u64>,
+        next: &mut Vec<u64>,
+    ) -> (u32, bool) {
         let s = src as usize;
         assert!(s < self.n, "source {s} out of range");
         assert!(
             alive[s / 64] & (1u64 << (s % 64)) != 0,
             "source {s} is avoided"
         );
-        let mut visited = vec![0u64; self.stride];
-        let mut frontier = vec![0u64; self.stride];
+        visited.fill(0);
+        frontier.fill(0);
         visited[s / 64] |= 1u64 << (s % 64);
         frontier[s / 64] |= 1u64 << (s % 64);
-        let mut next = vec![0u64; self.stride];
         let mut depth = 0;
         loop {
             next.fill(0);
@@ -168,23 +272,25 @@ impl BitMatrix {
                 while bits != 0 {
                     let b = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    let row = &self.rows[(wi * 64 + b) * self.stride..];
-                    for (nw, &rw) in next.iter_mut().zip(row) {
-                        *nw |= rw;
-                    }
+                    let row =
+                        &self.rows[(wi * 64 + b) * self.stride..(wi * 64 + b + 1) * self.stride];
+                    or_into(next, row);
                 }
             }
-            let mut any = false;
+            // Advance: keep only unvisited alive nodes, fold them into
+            // the visited set, and accumulate "any new" branch-free.
+            let mut newly = 0u64;
             for i in 0..self.stride {
-                next[i] &= alive[i] & !visited[i];
-                visited[i] |= next[i];
-                any |= next[i] != 0;
+                let nw = next[i] & alive[i] & !visited[i];
+                next[i] = nw;
+                visited[i] |= nw;
+                newly |= nw;
             }
-            if !any {
+            if newly == 0 {
                 break;
             }
             depth += 1;
-            std::mem::swap(&mut frontier, &mut next);
+            std::mem::swap(frontier, next);
         }
         let complete = visited.iter().zip(alive).all(|(v, a)| v & a == *a);
         (depth, complete)
@@ -196,9 +302,24 @@ impl BitMatrix {
     ///
     /// Returns `Some(0)` when at most one node survives. This is the
     /// bit-parallel equivalent of [`crate::DiGraph::diameter`] and the
-    /// inner loop of the `(d, f)`-tolerance verifier.
+    /// inner loop of the `(d, f)`-tolerance verifier. Scratch buffers
+    /// come from a thread-local [`BfsScratch`], so repeated calls do not
+    /// allocate; use [`BitMatrix::diameter_with`] to supply your own.
     pub fn diameter(&self, avoid: Option<&NodeSet>) -> Option<u32> {
-        let alive = self.alive_mask(avoid);
+        BFS_SCRATCH.with(|s| self.diameter_with(avoid, &mut s.borrow_mut()))
+    }
+
+    /// [`BitMatrix::diameter`] against caller-owned scratch buffers —
+    /// the batched-evaluation entry point used by the compiled engine.
+    pub fn diameter_with(&self, avoid: Option<&NodeSet>, scratch: &mut BfsScratch) -> Option<u32> {
+        scratch.fit(self.stride);
+        self.alive_mask_into(avoid, &mut scratch.alive);
+        let BfsScratch {
+            alive,
+            visited,
+            frontier,
+            next,
+        } = scratch;
         let mut best = 0;
         for wi in 0..self.stride {
             let mut bits = alive[wi];
@@ -206,7 +327,7 @@ impl BitMatrix {
                 let b = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let src = (wi * 64 + b) as Node;
-                let (ecc, complete) = self.eccentricity_in(src, &alive);
+                let (ecc, complete) = self.eccentricity_in(src, alive, visited, frontier, next);
                 if !complete {
                     return None;
                 }

@@ -68,7 +68,7 @@ pub mod spec;
 pub mod traversal;
 pub mod vulnerability;
 
-pub use bitmatrix::BitMatrix;
+pub use bitmatrix::{BfsScratch, BitMatrix};
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::Graph;

@@ -142,10 +142,7 @@ impl NodeSet {
             self.capacity, other.capacity,
             "node set capacities must match"
         );
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w |= o;
-        }
-        self.recount();
+        self.len = merge_count(&mut self.words, &other.words, |a, b| a | b);
     }
 
     /// Keeps only nodes present in both sets.
@@ -158,10 +155,7 @@ impl NodeSet {
             self.capacity, other.capacity,
             "node set capacities must match"
         );
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w &= o;
-        }
-        self.recount();
+        self.len = merge_count(&mut self.words, &other.words, |a, b| a & b);
     }
 
     /// Removes every node of `other` from `self`.
@@ -174,10 +168,7 @@ impl NodeSet {
             self.capacity, other.capacity,
             "node set capacities must match"
         );
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w &= !o;
-        }
-        self.recount();
+        self.len = merge_count(&mut self.words, &other.words, |a, b| a & !b);
     }
 
     /// Returns `true` if no node belongs to both sets.
@@ -226,10 +217,6 @@ impl NodeSet {
             .all(|(a, b)| a & !b == 0)
     }
 
-    fn recount(&mut self) {
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
-    }
-
     fn locate(node: Node, capacity: usize) -> (usize, u32) {
         let idx = node as usize;
         assert!(
@@ -240,14 +227,62 @@ impl NodeSet {
     }
 }
 
+/// Applies `op` word-by-word (`dst[i] = op(dst[i], src[i])`) and returns
+/// the resulting popcount in the same pass.
+///
+/// The main loop is unrolled four words (256 bits) wide with independent
+/// per-lane popcount accumulators, so it compiles to straight-line
+/// bitwise ops that vectorize; the ragged tail (word counts not divisible
+/// by four) is handled by a scalar remainder loop.
+#[inline]
+fn merge_count(dst: &mut [u64], src: &[u64], op: impl Fn(u64, u64) -> u64 + Copy) -> usize {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut d4 = dst.chunks_exact_mut(4);
+    let mut s4 = src.chunks_exact(4);
+    let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+    for (d, s) in (&mut d4).zip(&mut s4) {
+        let w0 = op(d[0], s[0]);
+        let w1 = op(d[1], s[1]);
+        let w2 = op(d[2], s[2]);
+        let w3 = op(d[3], s[3]);
+        d[0] = w0;
+        d[1] = w1;
+        d[2] = w2;
+        d[3] = w3;
+        c0 += w0.count_ones() as usize;
+        c1 += w1.count_ones() as usize;
+        c2 += w2.count_ones() as usize;
+        c3 += w3.count_ones() as usize;
+    }
+    let mut count = c0 + c1 + c2 + c3;
+    for (d, s) in d4.into_remainder().iter_mut().zip(s4.remainder()) {
+        *d = op(*d, *s);
+        count += d.count_ones() as usize;
+    }
+    count
+}
+
 /// Returns `true` if two word-packed bitsets share a set bit.
 ///
 /// The common word-scan behind [`NodeSet::intersects`] and the compiled
 /// engine's per-route fault masks; slices of different lengths are
 /// compared over their common prefix (missing high words count as
-/// zero).
+/// zero). Four words are tested per branch so short masks (the common
+/// case) decide in one OR-reduced compare.
 pub fn words_intersect(a: &[u64], b: &[u64]) -> bool {
-    a.iter().zip(b).any(|(x, y)| x & y != 0)
+    let common = a.len().min(b.len());
+    let (a, b) = (&a[..common], &b[..common]);
+    let mut a4 = a.chunks_exact(4);
+    let mut b4 = b.chunks_exact(4);
+    for (x, y) in (&mut a4).zip(&mut b4) {
+        if ((x[0] & y[0]) | (x[1] & y[1]) | (x[2] & y[2]) | (x[3] & y[3])) != 0 {
+            return true;
+        }
+    }
+    a4.remainder()
+        .iter()
+        .zip(b4.remainder())
+        .any(|(x, y)| x & y != 0)
 }
 
 impl fmt::Debug for NodeSet {

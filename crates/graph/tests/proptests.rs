@@ -81,6 +81,139 @@ proptest! {
     }
 }
 
+// ------------------------------------------- Unrolled bitset kernels
+//
+// The word loops behind `union_with`/`intersect_with`/`difference_with`
+// and `words_intersect` are 4×u64-unrolled with a scalar remainder;
+// these tests pin them to the set model at capacities chosen to
+// exercise every remainder shape (0–3 ragged tail words, plus a
+// non-multiple-of-64 final word).
+
+/// Capacities covering each `chunks_exact(4)` remainder length and
+/// ragged final words.
+const RAGGED_CAPACITIES: [usize; 10] = [1, 63, 64, 65, 129, 192, 257, 300, 448, 511];
+
+fn ragged_set_pair() -> impl Strategy<Value = (usize, BTreeSet<u32>, BTreeSet<u32>)> {
+    (0..RAGGED_CAPACITIES.len()).prop_flat_map(|i| {
+        let cap = RAGGED_CAPACITIES[i];
+        (
+            Just(cap),
+            prop::collection::btree_set(0..cap as u32, 0..cap.min(96)),
+            prop::collection::btree_set(0..cap as u32, 0..cap.min(96)),
+        )
+    })
+}
+
+/// No bit at or above `capacity` may survive a kernel — stray tail bits
+/// would corrupt later word-level operations.
+fn assert_tail_clean(set: &NodeSet) -> Result<(), TestCaseError> {
+    let tail = set.capacity() % 64;
+    if tail != 0 {
+        let last = *set.words().last().expect("capacity > 0 has words");
+        prop_assert_eq!(last & !((1u64 << tail) - 1), 0, "stray bits past capacity");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn unrolled_set_algebra_matches_model_at_ragged_capacities(
+        input in ragged_set_pair()
+    ) {
+        let (cap, a, b) = input;
+        let sa = NodeSet::from_nodes(cap, a.iter().copied());
+        let sb = NodeSet::from_nodes(cap, b.iter().copied());
+
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let expect: Vec<Node> = a.union(&b).copied().collect();
+        prop_assert_eq!(union.len(), expect.len(), "fused popcount drifted");
+        prop_assert_eq!(union.iter().collect::<Vec<_>>(), expect);
+        assert_tail_clean(&union)?;
+
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        let expect: Vec<Node> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(inter.len(), expect.len(), "fused popcount drifted");
+        prop_assert_eq!(inter.iter().collect::<Vec<_>>(), expect);
+        assert_tail_clean(&inter)?;
+
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        let expect: Vec<Node> = a.difference(&b).copied().collect();
+        prop_assert_eq!(diff.len(), expect.len(), "fused popcount drifted");
+        prop_assert_eq!(diff.iter().collect::<Vec<_>>(), expect);
+        assert_tail_clean(&diff)?;
+
+        prop_assert_eq!(
+            ftr_graph::words_intersect(sa.words(), sb.words()),
+            !a.is_disjoint(&b)
+        );
+        prop_assert_eq!(sa.intersects(&sb), !a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn words_intersect_handles_length_mismatch(
+        input in ragged_set_pair(),
+        shorter in 0usize..4,
+    ) {
+        // Callers pass fault-set word slices shorter than the matrix
+        // stride; only the common prefix may decide the answer.
+        let (cap, a, b) = input;
+        let sa = NodeSet::from_nodes(cap, a.iter().copied());
+        let sb = NodeSet::from_nodes(cap, b.iter().copied());
+        let cut = sb.words().len().saturating_sub(shorter).max(1);
+        let prefix = &sb.words()[..cut];
+        let expect = a.iter().any(|&v| (v as usize) < cut * 64 && b.contains(&v));
+        prop_assert_eq!(ftr_graph::words_intersect(sa.words(), prefix), expect);
+        prop_assert_eq!(ftr_graph::words_intersect(prefix, sa.words()), expect);
+    }
+}
+
+// ---------------------------------------------- BitMatrix BFS kernels
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmatrix_diameter_matches_graph_bfs(
+        g in small_gnp(),
+        picks in prop::collection::btree_set(0u32..24, 0..6),
+    ) {
+        use ftr_graph::{BfsScratch, BitMatrix};
+        let n = g.node_count();
+        let mut bm = BitMatrix::new(n);
+        for (u, v) in g.edges() {
+            bm.set(u, v);
+            bm.set(v, u);
+        }
+        let avoid = NodeSet::from_nodes(n, picks.into_iter().filter(|&v| (v as usize) < n));
+        prop_assume!(avoid.len() + 2 <= n);
+
+        // The unrolled frontier BFS against the graph-level reference.
+        prop_assert_eq!(bm.diameter(None), traversal::diameter(&g, None));
+        prop_assert_eq!(bm.diameter(Some(&avoid)), traversal::diameter(&g, Some(&avoid)));
+
+        // Caller-owned scratch is identical to the thread-local path,
+        // including when the scratch is reused across differently-sized
+        // calls.
+        let mut scratch = BfsScratch::new();
+        prop_assert_eq!(bm.diameter_with(Some(&avoid), &mut scratch), bm.diameter(Some(&avoid)));
+        prop_assert_eq!(bm.diameter_with(None, &mut scratch), bm.diameter(None));
+        for src in 0..n as Node {
+            if avoid.contains(src) {
+                continue;
+            }
+            prop_assert_eq!(
+                bm.eccentricity_with(src, Some(&avoid), &mut scratch),
+                bm.masked_eccentricity(src, Some(&avoid))
+            );
+        }
+    }
+}
+
 // ------------------------------------------------------------------- Path
 
 proptest! {

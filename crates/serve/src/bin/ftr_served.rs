@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ftr-served [--graph SPEC | --snapshot FILE] [--scheme SCHEME|auto]
-//!            [--faults F] [--addr HOST:PORT] [--workers N] [--batch-us N]
+//!            [--faults F] [--addr HOST:PORT] [--shards N] [--batch-us N]
 //!            [--write-snapshot FILE]
 //!
 //! Graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C
@@ -68,10 +68,10 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--addr: {e}"))?
             }
-            "--workers" => {
-                config.workers = value("--workers")?
+            "--shards" => {
+                config.shards = value("--shards")?
                     .parse()
-                    .map_err(|e| format!("--workers: {e}"))?
+                    .map_err(|e| format!("--shards: {e}"))?
             }
             "--batch-us" => {
                 let us: u64 = value("--batch-us")?
@@ -83,7 +83,7 @@ fn run() -> Result<(), String> {
             "--help" | "-h" => {
                 println!(
                     "usage: ftr-served [--graph SPEC | --snapshot FILE] \
-                     [--scheme SCHEME|auto] [--faults F] [--addr HOST:PORT] [--workers N] \
+                     [--scheme SCHEME|auto] [--faults F] [--addr HOST:PORT] [--shards N] \
                      [--batch-us N] [--write-snapshot FILE]\n\
                      graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C\n\
                      scheme specs: kernel | circular[:k=N] | tricircular[:small] | \

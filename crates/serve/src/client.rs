@@ -61,6 +61,54 @@ impl Client {
         Ok(())
     }
 
+    /// Writes pre-framed request bytes (newline-terminated lines) in
+    /// one syscall and reads exactly `replies` reply lines into `out`
+    /// (cleared first) — the allocation-free pipelined path: reply
+    /// bytes land in `out`'s reused buffer straight from the socket
+    /// buffer, no per-line `String`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a server close before all replies
+    /// arrive is [`io::ErrorKind::UnexpectedEof`].
+    pub fn pipeline_raw(
+        &mut self,
+        requests: &[u8],
+        replies: usize,
+        out: &mut ReplyLines,
+    ) -> io::Result<()> {
+        out.clear();
+        self.writer.write_all(requests)?;
+        self.writer.flush()?;
+        while out.len() < replies {
+            let available = self.reader.fill_buf()?;
+            if available.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let mut consumed = 0;
+            while consumed < available.len() && out.len() < replies {
+                match available[consumed..].iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        out.buf
+                            .extend_from_slice(&available[consumed..consumed + pos]);
+                        out.end_line();
+                        consumed += pos + 1;
+                    }
+                    None => {
+                        // Partial line: buffer it and read more.
+                        out.buf.extend_from_slice(&available[consumed..]);
+                        consumed = available.len();
+                    }
+                }
+            }
+            self.reader.consume(consumed);
+        }
+        Ok(())
+    }
+
     fn read_reply(&mut self) -> io::Result<String> {
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {
@@ -199,4 +247,88 @@ fn bad_reply(what: &str, reply: &str) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("unexpected {what} reply {reply:?}"),
     )
+}
+
+/// Reply lines from [`Client::pipeline_raw`], stored back-to-back in
+/// one reusable buffer (no per-line allocation; `clear` keeps the
+/// capacity for the next burst).
+#[derive(Default)]
+pub struct ReplyLines {
+    /// Line bytes, concatenated without separators.
+    buf: Vec<u8>,
+    /// End offset of each line in `buf` (its start is the previous
+    /// line's end).
+    ends: Vec<usize>,
+}
+
+impl ReplyLines {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ReplyLines::default()
+    }
+
+    /// Number of complete lines held.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether no complete line is held.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Line `i` as raw bytes (newline and any trailing `\r` stripped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn line(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        &self.buf[start..self.ends[i]]
+    }
+
+    /// Iterates the lines in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.len()).map(move |i| self.line(i))
+    }
+
+    /// Drops all lines, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.ends.clear();
+    }
+
+    /// Seals the bytes pushed since the last seal as one line,
+    /// stripping a trailing `\r`.
+    fn end_line(&mut self) {
+        let start = self.ends.last().copied().unwrap_or(0);
+        if self.buf.len() > start && self.buf.last() == Some(&b'\r') {
+            self.buf.pop();
+        }
+        self.ends.push(self.buf.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ReplyLines;
+
+    #[test]
+    fn reply_lines_accumulate_and_reset() {
+        let mut lines = ReplyLines::new();
+        lines.buf.extend_from_slice(b"OK PONG\r");
+        lines.end_line();
+        lines.buf.extend_from_slice(b"OK DIAM 3");
+        lines.end_line();
+        lines.buf.extend_from_slice(b"");
+        lines.end_line();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.line(0), b"OK PONG");
+        assert_eq!(lines.line(1), b"OK DIAM 3");
+        assert_eq!(lines.line(2), b"");
+        let collected: Vec<&[u8]> = lines.iter().collect();
+        assert_eq!(collected, vec![&b"OK PONG"[..], b"OK DIAM 3", b""]);
+        lines.clear();
+        assert!(lines.is_empty());
+    }
 }

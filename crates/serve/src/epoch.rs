@@ -32,6 +32,11 @@ use ftr_graph::{BitMatrix, Node, NodeSet};
 /// contention between worker threads warming the same epoch).
 const CACHE_SHARDS: usize = 16;
 
+/// Largest node count for which the cache keeps a flat lock-free
+/// `n × n` array of ROUTE reply slots (16 bytes per slot; 256 KiB at
+/// the cap). Beyond this, ROUTE replies share the hashed shard maps.
+const FLAT_ROUTE_MAX_N: usize = 128;
+
 /// One immutable serving snapshot: fault set, surviving-route
 /// reachability, lazily measured diameter, and the query cache for
 /// answers valid at exactly this epoch.
@@ -46,12 +51,13 @@ pub struct Epoch {
 
 impl Epoch {
     fn new(id: u64, faults: NodeSet, live: BitMatrix) -> Self {
+        let n = live.node_count();
         Epoch {
             id,
             faults,
             live,
             diameter: OnceLock::new(),
-            cache: QueryCache::new(),
+            cache: QueryCache::new(n),
         }
     }
 
@@ -104,41 +110,94 @@ pub enum QueryKey {
     Tolerate(u32, usize),
 }
 
-/// A sharded memo table scoped to one epoch.
+/// A memo table scoped to one epoch.
 ///
 /// Values are rendered reply fragments; the cache never outlives its
 /// epoch, so entries need no versioning or expiry.
+///
+/// ROUTE replies on small graphs (`n ≤` [`FLAT_ROUTE_MAX_N`]) live in a
+/// flat `n × n` array of [`OnceLock`] slots — lock-free and hash-free
+/// on both hit and miss, the serve hot path. Everything else (TOLERATE
+/// verdicts, ROUTE on large graphs) shares the hashed shard maps.
 #[derive(Debug)]
 pub struct QueryCache {
+    routes: Option<FlatRoutes>,
     shards: Vec<Mutex<HashMap<QueryKey, Arc<str>>>>,
 }
 
+/// The flat lock-free ROUTE-reply array (slot `x * n + y`).
+#[derive(Debug)]
+struct FlatRoutes {
+    n: usize,
+    slots: Vec<OnceLock<Arc<str>>>,
+}
+
+impl FlatRoutes {
+    fn slot(&self, x: Node, y: Node) -> Option<&OnceLock<Arc<str>>> {
+        let (x, y) = (x as usize, y as usize);
+        (x < self.n && y < self.n).then(|| &self.slots[x * self.n + y])
+    }
+
+    fn get_or_insert(
+        &self,
+        slot: &OnceLock<Arc<str>>,
+        compute: impl FnOnce() -> String,
+    ) -> (Arc<str>, bool) {
+        if let Some(v) = slot.get() {
+            return (v.clone(), true);
+        }
+        let mut computed = false;
+        let v = slot.get_or_init(|| {
+            computed = true;
+            Arc::from(compute())
+        });
+        // A racing thread may have initialized the slot first; either
+        // way the caller that ran `compute` reports a miss.
+        (v.clone(), !computed)
+    }
+}
+
 impl QueryCache {
-    fn new() -> Self {
+    fn new(n: usize) -> Self {
+        let routes = (n <= FLAT_ROUTE_MAX_N).then(|| FlatRoutes {
+            n,
+            slots: (0..n * n).map(|_| OnceLock::new()).collect(),
+        });
         QueryCache {
+            routes,
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
         }
     }
 
-    fn shard(&self, key: &QueryKey) -> &Mutex<HashMap<QueryKey, Arc<str>>> {
+    fn shard_index(key: &QueryKey) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+        (h.finish() as usize) % CACHE_SHARDS
+    }
+
+    fn shard(&self, key: &QueryKey) -> &Mutex<HashMap<QueryKey, Arc<str>>> {
+        &self.shards[Self::shard_index(key)]
     }
 
     /// Looks `key` up, computing and memoizing it with `compute` on a
     /// miss. Returns the value and whether it was a hit.
     ///
-    /// The shard lock is *not* held while `compute` runs — concurrent
-    /// misses may compute twice, and the first insert wins; queries are
-    /// pure functions of the epoch, so duplicated work is the only cost.
+    /// No lock is held while `compute` runs — concurrent misses may
+    /// compute twice, and the first insert wins; queries are pure
+    /// functions of the epoch, so duplicated work is the only cost.
     pub fn get_or_insert_with(
         &self,
         key: QueryKey,
         compute: impl FnOnce() -> String,
     ) -> (Arc<str>, bool) {
+        if let QueryKey::Route(x, y) = key {
+            if let Some(slot) = self.routes.as_ref().and_then(|f| f.slot(x, y)) {
+                let flat = self.routes.as_ref().expect("slot implies flat");
+                return flat.get_or_insert(slot, compute);
+            }
+        }
         let shard = self.shard(&key);
         if let Some(v) = shard.lock().expect("cache shard poisoned").get(&key) {
             return (v.clone(), true);
@@ -149,12 +208,91 @@ impl QueryCache {
         (value, false)
     }
 
+    /// Resolves a batch of validated ROUTE pairs in one pass, calling
+    /// `sink(index, reply, hit)` for each pair in order.
+    ///
+    /// On the flat path this is lock-free per pair. On the sharded path
+    /// the batch takes each touched shard lock at most twice (one probe
+    /// pass, one insert pass for the misses) instead of once per query;
+    /// `compute` runs outside any lock and the first insert wins.
+    pub fn route_many(
+        &self,
+        pairs: &[(Node, Node)],
+        mut compute: impl FnMut(Node, Node) -> String,
+        mut sink: impl FnMut(usize, Arc<str>, bool),
+    ) {
+        if let Some(flat) = &self.routes {
+            for (i, &(x, y)) in pairs.iter().enumerate() {
+                match flat.slot(x, y) {
+                    Some(slot) => {
+                        let (v, hit) = flat.get_or_insert(slot, || compute(x, y));
+                        sink(i, v, hit);
+                    }
+                    None => {
+                        // Out-of-range pairs are rejected by validation
+                        // before they reach the cache; fall back to the
+                        // shard maps for safety if one slips through.
+                        let (v, hit) =
+                            self.get_or_insert_with(QueryKey::Route(x, y), || compute(x, y));
+                        sink(i, v, hit);
+                    }
+                }
+            }
+            return;
+        }
+        let shard_of: Vec<u8> = pairs
+            .iter()
+            .map(|&(x, y)| Self::shard_index(&QueryKey::Route(x, y)) as u8)
+            .collect();
+        let mut touched = [false; CACHE_SHARDS];
+        for &s in &shard_of {
+            touched[s as usize] = true;
+        }
+        let mut resolved: Vec<Option<(Arc<str>, bool)>> = vec![None; pairs.len()];
+        for (s, _) in touched.iter().enumerate().filter(|(_, t)| **t) {
+            let map = self.shards[s].lock().expect("cache shard poisoned");
+            for (i, &(x, y)) in pairs.iter().enumerate() {
+                if shard_of[i] as usize == s {
+                    if let Some(v) = map.get(&QueryKey::Route(x, y)) {
+                        resolved[i] = Some((v.clone(), true));
+                    }
+                }
+            }
+        }
+        let mut fresh: Vec<Option<Arc<str>>> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| resolved[i].is_none().then(|| Arc::from(compute(x, y))))
+            .collect();
+        for (s, _) in touched.iter().enumerate().filter(|(_, t)| **t) {
+            let mut map = self.shards[s].lock().expect("cache shard poisoned");
+            for (i, &(x, y)) in pairs.iter().enumerate() {
+                if shard_of[i] as usize == s && resolved[i].is_none() {
+                    let value = map
+                        .entry(QueryKey::Route(x, y))
+                        .or_insert_with(|| fresh[i].take().expect("computed above"))
+                        .clone();
+                    resolved[i] = Some((value, false));
+                }
+            }
+        }
+        for (i, entry) in resolved.into_iter().enumerate() {
+            let (v, hit) = entry.expect("every pair resolved");
+            sink(i, v, hit);
+        }
+    }
+
     /// Number of cached entries (for stats).
     pub fn len(&self) -> usize {
-        self.shards
+        let flat = self
+            .routes
+            .as_ref()
+            .map_or(0, |f| f.slots.iter().filter(|s| s.get().is_some()).count());
+        flat + self
+            .shards
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+            .sum::<usize>()
     }
 
     /// Returns `true` if nothing is cached yet.

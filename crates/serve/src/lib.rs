@@ -22,8 +22,11 @@
 //!   searcher) and `AUDIT` (fully-accounted pristine-snapshot audit)
 //!   as pure functions of one epoch;
 //! * [`Server`] / [`Client`] — a line-delimited TCP protocol served by
-//!   a scoped worker pool, plus the blocking client the `loadgen`
-//!   bench binary drives it with.
+//!   sharded readiness-polling threads (each shard multiplexes many
+//!   nonblocking connections, frame-decodes whole read buffers into
+//!   request batches and answers each batch against a single epoch
+//!   acquisition), plus the blocking client the `loadgen` bench binary
+//!   drives it with.
 //!
 //! # Example
 //!
@@ -50,19 +53,22 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the poll(2) shim in `poll` needs one
+// audited `unsafe` block (the syscall FFI); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 pub mod epoch;
 pub mod ingest;
+mod poll;
 pub mod proto;
 pub mod query;
 mod server;
 mod snapshot;
 pub mod spec;
 
-pub use client::Client;
+pub use client::{Client, ReplyLines};
 pub use epoch::{Epoch, EpochReader, EpochStore, QueryCache, QueryKey};
 pub use ingest::{EventQueue, FaultEvent, IngestReport, Ingestor};
 pub use query::{QueryError, RouteReply, ToleranceAnswer};

@@ -1,0 +1,144 @@
+//! A std-only readiness-polling shim over `poll(2)`.
+//!
+//! The sharded serve loop multiplexes many nonblocking connections on
+//! one thread and needs to sleep until *some* socket has bytes (or
+//! drained enough to accept more reply bytes). The libc `poll` symbol
+//! is declared by hand — no external crate — behind a [`PollSet`] that
+//! hides the raw-fd plumbing. On non-unix targets the set degrades to a
+//! short sleep with every connection reported ready; the sockets are
+//! nonblocking, so spurious readiness costs a `WouldBlock` read and
+//! nothing else.
+
+// The one place in the crate allowed to touch FFI: the `poll(2)`
+// declaration and its call site below.
+#![allow(unsafe_code)]
+
+use std::net::TcpStream;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub type NfdsT = std::os::raw::c_uint;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+}
+
+/// A reusable set of connections to wait on.
+#[derive(Default)]
+pub struct PollSet {
+    #[cfg(unix)]
+    fds: Vec<sys::PollFd>,
+    #[cfg(not(unix))]
+    len: usize,
+}
+
+impl PollSet {
+    pub fn new() -> Self {
+        PollSet::default()
+    }
+
+    pub fn clear(&mut self) {
+        #[cfg(unix)]
+        self.fds.clear();
+        #[cfg(not(unix))]
+        {
+            self.len = 0;
+        }
+    }
+
+    /// Registers `stream` for read readiness (always) and write
+    /// readiness (when `want_write`, i.e. the reply buffer has pending
+    /// bytes). Index order follows push order.
+    pub fn push(&mut self, stream: &TcpStream, want_write: bool) {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let events = sys::POLLIN | if want_write { sys::POLLOUT } else { 0 };
+            self.fds.push(sys::PollFd {
+                fd: stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (stream, want_write);
+            self.len += 1;
+        }
+    }
+
+    /// Blocks until some registered socket is ready or `timeout_ms`
+    /// elapses. Returns the number of ready sockets (0 on timeout).
+    pub fn wait(&mut self, timeout_ms: i32) -> usize {
+        #[cfg(unix)]
+        {
+            if self.fds.is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(0) as u64));
+                return 0;
+            }
+            let rc = unsafe {
+                sys::poll(
+                    self.fds.as_mut_ptr(),
+                    self.fds.len() as sys::NfdsT,
+                    timeout_ms,
+                )
+            };
+            rc.max(0) as usize
+        }
+        #[cfg(not(unix))]
+        {
+            // Degraded mode: a short sleep bounds the busy-scan rate and
+            // every connection is reported ready.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            self.len
+        }
+    }
+
+    /// Whether socket `i` (push order) has bytes to read — errors and
+    /// hangups report as readable so the next read surfaces them.
+    pub fn readable(&self, i: usize) -> bool {
+        #[cfg(unix)]
+        {
+            self.fds[i].revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = i;
+            true
+        }
+    }
+
+    /// Whether socket `i` (push order) can accept more reply bytes.
+    pub fn writable(&self, i: usize) -> bool {
+        #[cfg(unix)]
+        {
+            self.fds[i].revents & (sys::POLLOUT | sys::POLLERR | sys::POLLHUP) != 0
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = i;
+            true
+        }
+    }
+}

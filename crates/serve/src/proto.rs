@@ -98,12 +98,37 @@ pub enum Request {
 /// Returns a human-readable reason, rendered by the server as
 /// `ERR <reason>`.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    // Fast path for the overwhelmingly common canonical form
+    // `ROUTE <x> <y>` (exactly one space, uppercase, decimal) — skips
+    // the tokenizer and verb table. Anything else (lowercase, extra
+    // whitespace, huge numbers) falls through to the general parser,
+    // which accepts or rejects it exactly as before.
+    if let Some(route) = parse_route_fast(line.as_bytes()) {
+        return Ok(route);
+    }
     let mut tokens = line.split_whitespace();
-    let verb = tokens.next().ok_or("empty request")?.to_ascii_uppercase();
+    let verb = tokens.next().ok_or("empty request")?;
+    // Case-insensitive verb match without allocating an uppercased
+    // copy — the parse sits on the per-request hot path.
+    let canon = |v: &str| -> &'static str {
+        for known in [
+            "PING", "EPOCH", "DIAM", "STATS", "QUIT", "ROUTE", "TOLERATE", "AUDIT", "SCHEMES",
+            "PLAN", "FAIL", "REPAIR",
+        ] {
+            if v.eq_ignore_ascii_case(known) {
+                return known;
+            }
+        }
+        ""
+    };
+    let verb = match canon(verb) {
+        "" => return Err(format!("unknown request {:?}", verb.to_ascii_uppercase())),
+        known => known,
+    };
     let mut arg = |name: &str| -> Result<&str, String> {
         tokens.next().ok_or(format!("{verb} needs <{name}>"))
     };
-    let parsed = match verb.as_str() {
+    let parsed = match verb {
         "PING" => Request::Ping,
         "EPOCH" => Request::Epoch,
         "DIAM" => Request::Diam,
@@ -128,12 +153,38 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         },
         "FAIL" => Request::Fail(parse_node(arg("v")?)?),
         "REPAIR" => Request::Repair(parse_node(arg("v")?)?),
-        other => return Err(format!("unknown request {other:?}")),
+        _ => unreachable!("canonical verbs are matched exhaustively"),
     };
     match tokens.next() {
         Some(extra) => Err(format!("{verb}: unexpected trailing token {extra:?}")),
         None => Ok(parsed),
     }
+}
+
+#[inline]
+fn parse_route_fast(line: &[u8]) -> Option<Request> {
+    let rest = line.strip_prefix(b"ROUTE ")?;
+    let sp = rest.iter().position(|&c| c == b' ')?;
+    let x = parse_dec(&rest[..sp])?;
+    let y = parse_dec(&rest[sp + 1..])?;
+    Some(Request::Route { x, y })
+}
+
+/// Overflow-free decimal parse of a short digit run; anything longer
+/// (or non-digit) defers to the general path.
+#[inline]
+fn parse_dec(digits: &[u8]) -> Option<Node> {
+    if digits.is_empty() || digits.len() > 9 {
+        return None;
+    }
+    let mut v: Node = 0;
+    for &c in digits {
+        if !c.is_ascii_digit() {
+            return None;
+        }
+        v = v * 10 + Node::from(c - b'0');
+    }
+    Some(v)
 }
 
 fn parse_node(token: &str) -> Result<Node, String> {

@@ -148,6 +148,38 @@ pub fn route(
     }
 }
 
+/// Answers a batch of **pre-validated** `ROUTE` pairs against one epoch
+/// in a single cache pass, calling `sink(index, rendered_reply, hit)`
+/// per pair in order.
+///
+/// This is the server's pipeline-window fast path: the caller acquires
+/// the epoch once for the whole window, validation (and therefore every
+/// `ERR`) happens before the cache is touched, and the cache resolves
+/// the window with at most one lock acquisition per shard — lock-free
+/// outright on small graphs ([`crate::QueryCache::route_many`]). Misses
+/// are computed by [`route`] and rendered once; the `Arc<str>` handed to
+/// `sink` is the cached allocation, never a copy.
+///
+/// # Panics
+///
+/// Panics if a pair fails [`validate_route_query`] — the caller must
+/// reject those before building the batch.
+pub fn route_batch(
+    snapshot: &RoutingSnapshot,
+    epoch: &Epoch,
+    pairs: &[(Node, Node)],
+    sink: impl FnMut(usize, std::sync::Arc<str>, bool),
+) {
+    epoch.cache().route_many(
+        pairs,
+        |x, y| {
+            let reply = route(snapshot, epoch, x, y).expect("route batch pairs are pre-validated");
+            crate::proto::render_route(&reply)
+        },
+        sink,
+    );
+}
+
 /// BFS over the epoch's surviving route graph (faulty nodes masked out)
 /// from `x` to `y`, returning the relay endpoints `x, r1, …, y` of a
 /// shortest chain of surviving routes.

@@ -1,24 +1,33 @@
-//! The TCP daemon: accept loop, worker pool, and the glue between the
-//! protocol, the epoch store and the ingest queue.
+//! The TCP daemon: sharded accept, readiness-polled connection shards,
+//! and the glue between the protocol, the epoch store and the ingest
+//! queue.
 //!
-//! Threading follows the `ftr_core::par` shape — a `std::thread::scope`
-//! whose workers own their state outright (an [`EpochReader`], a scratch
-//! line buffer) and share only a connection queue and atomic counters,
-//! no locks on the query path. One extra scoped thread runs the
-//! [`Ingestor`]; the accept loop runs on the caller's thread.
+//! The serve loop is built for pipelined throughput rather than
+//! thread-per-connection simplicity. One accept thread (the caller's)
+//! deals connections round-robin into per-shard inboxes; each shard
+//! thread multiplexes its connections with nonblocking sockets and the
+//! [`crate::poll::PollSet`] readiness shim, frame-decodes whole read
+//! buffers into request *batches*, executes each batch against a single
+//! epoch acquisition (one `Arc` clone and one cache pass per window —
+//! see [`query::route_batch`]), and writes one coalesced reply buffer
+//! back per batch. One extra scoped thread runs the [`Ingestor`];
+//! shared state is only the epoch store, atomic counters and the
+//! static-scheme memos.
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use ftr_core::{Planner, PlannerRequest, SchemeParams, SchemeRegistry};
+use ftr_graph::Node;
 
-use crate::epoch::{EpochReader, EpochStore, QueryKey};
+use crate::epoch::{Epoch, EpochReader, EpochStore, QueryKey};
 use crate::ingest::{EventQueue, FaultEvent, Ingestor};
-use crate::proto::{parse_request, render_diameter, render_route, Request};
+use crate::poll::PollSet;
+use crate::proto::{parse_request, render_diameter, Request};
 use crate::query::{self, QueryError};
 use crate::snapshot::RoutingSnapshot;
 
@@ -28,10 +37,10 @@ pub struct ServerConfig {
     /// Listen address; use port 0 to let the OS pick (see
     /// [`Server::local_addr`]).
     pub addr: SocketAddr,
-    /// Connection-handling worker threads. Each held-open client
-    /// connection occupies one worker, so size this at least as large
-    /// as the expected concurrent client count.
-    pub workers: usize,
+    /// Connection-shard threads. Each shard multiplexes many
+    /// connections with readiness polling, so this sizes to core
+    /// count, not client count.
+    pub shards: usize,
     /// How long the ingest thread holds a batch open after the first
     /// event, so bursts coalesce into one epoch advance.
     pub batch_window: Duration,
@@ -52,7 +61,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
-            workers: 8,
+            shards: 2,
             batch_window: Duration::from_micros(200),
             max_batch: 1024,
             tolerate_budget: 250_000,
@@ -62,7 +71,7 @@ impl Default for ServerConfig {
     }
 }
 
-/// Monotonic counters shared by the workers, readable over `STATS` and
+/// Monotonic counters shared by the shards, readable over `STATS` and
 /// through [`ServerHandle::stats`].
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -76,57 +85,20 @@ pub struct ServerStats {
     pub connections: AtomicU64,
     /// Fault events enqueued.
     pub events_enqueued: AtomicU64,
+    /// Transient accept-loop errors retried with backoff.
+    pub accept_retries: AtomicU64,
 }
 
 impl ServerStats {
-    fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+    fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
         (
             self.queries.load(Ordering::Relaxed),
             self.cache_hits.load(Ordering::Relaxed),
             self.protocol_errors.load(Ordering::Relaxed),
             self.connections.load(Ordering::Relaxed),
             self.events_enqueued.load(Ordering::Relaxed),
+            self.accept_retries.load(Ordering::Relaxed),
         )
-    }
-}
-
-/// A blocking queue of accepted connections feeding the worker pool.
-struct ConnQueue {
-    inner: Mutex<(VecDeque<TcpStream>, bool)>,
-    signal: Condvar,
-}
-
-impl ConnQueue {
-    fn new() -> Self {
-        ConnQueue {
-            inner: Mutex::new((VecDeque::new(), false)),
-            signal: Condvar::new(),
-        }
-    }
-
-    fn push(&self, conn: TcpStream) {
-        let mut inner = self.inner.lock().expect("conn queue poisoned");
-        inner.0.push_back(conn);
-        drop(inner);
-        self.signal.notify_one();
-    }
-
-    fn close(&self) {
-        self.inner.lock().expect("conn queue poisoned").1 = true;
-        self.signal.notify_all();
-    }
-
-    fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.inner.lock().expect("conn queue poisoned");
-        loop {
-            if let Some(conn) = inner.0.pop_front() {
-                return Some(conn);
-            }
-            if inner.1 {
-                return None;
-            }
-            inner = self.signal.wait(inner).expect("conn queue poisoned");
-        }
     }
 }
 
@@ -214,8 +186,8 @@ impl Server {
     }
 
     /// Runs the server on the calling thread until
-    /// [`ServerHandle::shutdown`]; workers and the ingest thread live in
-    /// a `std::thread::scope` inside this call.
+    /// [`ServerHandle::shutdown`]; shard threads and the ingest thread
+    /// live in a `std::thread::scope` inside this call.
     ///
     /// # Errors
     ///
@@ -227,7 +199,9 @@ impl Server {
             listener,
             handle,
         } = self;
-        let conns = ConnQueue::new();
+        let shard_count = config.shards.max(1);
+        let inboxes: Vec<Mutex<Vec<TcpStream>>> =
+            (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
         // Scheme planning and auditing are static properties of the
         // served graph: the SCHEMES survey is memoized once, PLAN and
         // AUDIT replies per (d, f).
@@ -239,8 +213,8 @@ impl Server {
             let queue = Arc::clone(&handle.queue);
             let (window, max_batch) = (config.batch_window, config.max_batch);
             scope.spawn(move || ingestor.run(&queue, window, max_batch));
-            for _ in 0..config.workers.max(1) {
-                let worker = Worker {
+            for inbox in &inboxes {
+                let shard = Shard {
                     snapshot: &snapshot,
                     config: &config,
                     stats: &handle.stats,
@@ -250,37 +224,43 @@ impl Server {
                     schemes: &schemes,
                     plans: &plans,
                     audits: &audits,
+                    inbox,
                 };
-                let conns = &conns;
                 scope.spawn(move || {
-                    let mut worker = worker;
-                    while let Some(conn) = conns.pop() {
-                        worker.stats.connections.fetch_add(1, Ordering::Relaxed);
-                        let _ = worker.serve_connection(conn);
-                    }
+                    let mut shard = shard;
+                    shard.run();
                 });
             }
-            // Accept loop on this thread.
+            // Accept loop on this thread: deal connections round-robin
+            // into the shard inboxes. Transient errors (EMFILE, aborted
+            // handshakes) back off exponentially instead of hot-looping.
+            let mut next_shard = 0usize;
+            let mut backoff = Duration::from_millis(1);
+            const BACKOFF_CAP: Duration = Duration::from_millis(128);
             loop {
                 match listener.accept() {
                     Ok((conn, _)) => {
+                        backoff = Duration::from_millis(1);
                         if handle.shutdown.load(Ordering::SeqCst) {
                             break;
                         }
-                        conns.push(conn);
+                        handle.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        inboxes[next_shard % shard_count]
+                            .lock()
+                            .expect("shard inbox poisoned")
+                            .push(conn);
+                        next_shard = next_shard.wrapping_add(1);
                     }
-                    Err(e) => {
+                    Err(_) => {
                         if handle.shutdown.load(Ordering::SeqCst) {
                             break;
                         }
-                        // Transient accept errors (e.g. EMFILE, aborted
-                        // handshakes) should not kill the daemon.
-                        std::thread::sleep(Duration::from_millis(1));
-                        let _ = e;
+                        handle.stats.accept_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
                     }
                 }
             }
-            conns.close();
             handle.queue.close();
             Ok(())
         })
@@ -331,9 +311,128 @@ impl SpawnedServer {
 /// `(d, f)` targets beyond it are answered but not cached.
 const PLAN_MEMO_CAP: usize = 64;
 
-/// Per-worker state: an epoch reader (lock-free current-epoch access)
-/// plus borrowed shared pieces.
-struct Worker<'a> {
+/// Poll timeout: how stale a shard may be about shutdown flags and
+/// freshly accepted connections sitting in its inbox.
+const POLL_TIMEOUT_MS: i32 = 10;
+
+/// A connection's unparsed input may grow only this far without a
+/// newline before the connection is dropped as abusive.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One multiplexed client connection.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed (at most one partial trailing
+    /// line between batches).
+    rbuf: Vec<u8>,
+    /// Coalesced reply bytes not yet written.
+    wbuf: Vec<u8>,
+    /// Prefix of `wbuf` already written.
+    wpos: usize,
+    /// Peer sent EOF; serve what is buffered, flush, close.
+    eof: bool,
+    /// Peer sent QUIT; flush the replies (ending with `OK BYE`), close.
+    quit: bool,
+    /// Connection is finished (flushed + closing, or errored).
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            eof: false,
+            quit: false,
+            dead: false,
+        })
+    }
+
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Drains the socket into `rbuf` until `WouldBlock` (or EOF/error),
+    /// reading through the shard's reused chunk buffer.
+    fn fill(&mut self, chunk: &mut [u8]) {
+        loop {
+            match self.stream.read(chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes as much of `wbuf` as the socket accepts; on a complete
+    /// flush, a connection pending close (QUIT or EOF) dies.
+    fn flush(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        if self.quit || self.eof {
+            self.dead = true;
+        }
+    }
+}
+
+/// One reply slot of a dispatch batch, aligned with the parsed request
+/// at the same index.
+enum Reply {
+    /// A cached (or batch-computed) reply — the `Arc` is the cache's
+    /// own allocation, serialized without copying into a `String`.
+    Shared(Arc<str>),
+    /// A reply rendered for this request alone.
+    Owned(String),
+    /// Placeholder for a validated ROUTE awaiting the batch pass.
+    Pending,
+}
+
+/// Reusable per-shard buffers for batch dispatch.
+#[derive(Default)]
+struct DispatchScratch {
+    requests: Vec<Result<Request, String>>,
+    replies: Vec<Reply>,
+    /// `(reply index, x, y)` of validated ROUTE queries in this batch.
+    jobs: Vec<(u32, Node, Node)>,
+    /// The `(x, y)` column of `jobs`, contiguous for the cache pass.
+    pairs: Vec<(Node, Node)>,
+}
+
+/// Per-shard state: an epoch reader (lock-free current-epoch access),
+/// the shard's connections, and borrowed shared pieces.
+struct Shard<'a> {
     snapshot: &'a RoutingSnapshot,
     config: &'a ServerConfig,
     stats: &'a ServerStats,
@@ -348,116 +447,263 @@ struct Worker<'a> {
     /// Memoized `AUDIT` replies per `(diameter, faults)` claim — audits
     /// run against the pristine snapshot, so they never go stale.
     audits: &'a Mutex<HashMap<(u32, usize), String>>,
+    /// Connections accepted for this shard, awaiting adoption.
+    inbox: &'a Mutex<Vec<TcpStream>>,
 }
 
-impl Worker<'_> {
-    fn serve_connection(&mut self, conn: TcpStream) -> std::io::Result<()> {
-        conn.set_nodelay(true)?;
-        // A finite read timeout lets the worker notice shutdown even
-        // while a client holds the connection open silently.
-        conn.set_read_timeout(Some(Duration::from_millis(50)))?;
-        let mut reader = BufReader::new(conn.try_clone()?);
-        let mut writer = BufWriter::new(conn);
-        let mut line = String::new();
-        loop {
-            line.clear();
-            // Assemble one full line, tolerating read timeouts (which
-            // may leave partial data appended to `line`).
-            let eof = loop {
-                match reader.read_line(&mut line) {
-                    Ok(0) => break true,
-                    Ok(_) if line.ends_with('\n') => break false,
-                    Ok(_) => break true, // EOF mid-line: serve what we got
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        if self.shutdown.load(Ordering::SeqCst) {
-                            return Ok(());
-                        }
+impl Shard<'_> {
+    fn run(&mut self) {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut poll = PollSet::new();
+        let mut scratch = DispatchScratch::default();
+        let mut chunk = vec![0u8; 64 * 1024];
+        while !self.shutdown.load(Ordering::SeqCst) {
+            // Adopt freshly accepted connections.
+            {
+                let mut inbox = self.inbox.lock().expect("shard inbox poisoned");
+                for stream in inbox.drain(..) {
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
                     }
-                    Err(e) => return Err(e),
                 }
-            };
-            if line.trim().is_empty() {
-                if eof {
-                    return Ok(());
-                }
+            }
+            poll.clear();
+            for conn in &conns {
+                poll.push(&conn.stream, conn.wants_write());
+            }
+            if poll.wait(POLL_TIMEOUT_MS) == 0 {
                 continue;
             }
-            self.stats.queries.fetch_add(1, Ordering::Relaxed);
-            let (reply, quit) = self.dispatch(line.trim());
-            writer.write_all(reply.as_bytes())?;
-            writer.write_all(b"\n")?;
-            // Flush only when no further *complete* pipelined request is
-            // already buffered — one syscall per burst, not per request.
-            // A buffered partial line must not withhold replies: its
-            // sender may be blocked waiting on this reply before finishing
-            // the next request.
-            if quit || eof || !reader.buffer().contains(&b'\n') {
-                writer.flush()?;
+            for (i, conn) in conns.iter_mut().enumerate() {
+                if conn.dead {
+                    continue;
+                }
+                // A backlogged socket that still isn't writable would
+                // answer every write with `WouldBlock`; skip it until
+                // poll reports the send buffer drained.
+                let backlogged = conn.wants_write() && !poll.writable(i);
+                if poll.readable(i) && !conn.eof {
+                    conn.fill(&mut chunk);
+                }
+                if !conn.rbuf.is_empty() || conn.eof {
+                    Self::drain_batches(
+                        self.snapshot,
+                        self.config,
+                        self.stats,
+                        self.queue,
+                        &mut self.reader,
+                        self.schemes,
+                        self.plans,
+                        self.audits,
+                        conn,
+                        &mut scratch,
+                    );
+                }
+                if !backlogged && (conn.wants_write() || conn.quit || conn.eof) {
+                    conn.flush();
+                }
             }
-            if quit || eof {
-                return Ok(());
-            }
+            conns.retain(|c| !c.dead);
         }
     }
 
-    fn dispatch(&mut self, line: &str) -> (String, bool) {
-        let request = match parse_request(line) {
-            Ok(r) => r,
-            Err(reason) => {
-                self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return (format!("ERR {reason}"), false);
+    /// Frame-decodes every complete line buffered on `conn` into one
+    /// request batch, dispatches it against a single epoch acquisition,
+    /// and appends the coalesced replies to the connection's write
+    /// buffer. At EOF a trailing partial line is served as a final
+    /// request (a slow sender's last query is answered, not dropped).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_batches(
+        snapshot: &RoutingSnapshot,
+        config: &ServerConfig,
+        stats: &ServerStats,
+        queue: &EventQueue,
+        reader: &mut EpochReader,
+        schemes: &OnceLock<String>,
+        plans: &Mutex<HashMap<(u32, usize), String>>,
+        audits: &Mutex<HashMap<(u32, usize), String>>,
+        conn: &mut Conn,
+        scratch: &mut DispatchScratch,
+    ) {
+        scratch.requests.clear();
+        let buf = &conn.rbuf;
+        let mut consumed = 0usize;
+        let mut cursor = 0usize;
+        while let Some(nl) = buf[cursor..].iter().position(|&b| b == b'\n') {
+            let line = &buf[cursor..cursor + nl];
+            cursor += nl + 1;
+            consumed = cursor;
+            if Self::push_line(&mut scratch.requests, line) {
+                conn.quit = true;
+                consumed = buf.len();
+                break;
             }
+        }
+        if conn.eof && !conn.quit && consumed < buf.len() {
+            // EOF mid-line: serve what we got.
+            let line = &buf[consumed..];
+            if Self::push_line(&mut scratch.requests, line) {
+                conn.quit = true;
+            }
+            consumed = buf.len();
+        }
+        if consumed == 0 && buf.len() > MAX_LINE_BYTES {
+            conn.dead = true;
+            return;
+        }
+        conn.rbuf.drain(..consumed);
+        if scratch.requests.is_empty() {
+            return;
+        }
+        // One epoch acquisition for the whole window: every request of
+        // the batch answers at the same epoch.
+        let epoch = Arc::clone(reader.current());
+        stats
+            .queries
+            .fetch_add(scratch.requests.len() as u64, Ordering::Relaxed);
+        let DispatchScratch {
+            requests,
+            replies,
+            jobs,
+            pairs,
+        } = scratch;
+        replies.clear();
+        jobs.clear();
+        pairs.clear();
+        let mut errors = 0u64;
+        let ctx = DispatchCtx {
+            snapshot,
+            config,
+            stats,
+            queue,
+            schemes,
+            plans,
+            audits,
         };
-        let reply = match request {
-            Request::Ping => "OK PONG".to_string(),
-            Request::Quit => return ("OK BYE".to_string(), true),
-            Request::Epoch => {
-                let epoch = self.reader.current();
-                format!(
-                    "OK EPOCH id={} faults={}",
-                    epoch.id(),
-                    query::render_faults(epoch.faults())
-                )
-            }
-            Request::Diam => render_diameter(self.reader.current().diameter()),
-            // Malformed queries are rejected *before* the cache lookup,
-            // so an `ERR` reply is never cached and the cache's key
-            // space stays bounded by valid node pairs / budgets.
-            Request::Route { x, y } => {
-                if let Err(e) = query::validate_route_query(self.snapshot, x, y) {
-                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    format!("ERR {e}")
-                } else {
-                    let epoch = Arc::clone(self.reader.current());
-                    let (reply, hit) =
-                        epoch.cache().get_or_insert_with(QueryKey::Route(x, y), || {
-                            match query::route(self.snapshot, &epoch, x, y) {
-                                Ok(r) => render_route(&r),
-                                // Unreachable post-validation; kept so a
-                                // logic slip degrades to an ERR reply,
-                                // not a worker panic.
-                                Err(e) => format!("ERR {e}"),
-                            }
-                        });
-                    if hit {
-                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    }
-                    reply.to_string()
+        for (idx, parsed) in requests.iter().enumerate() {
+            let reply = match parsed {
+                Err(reason) => {
+                    errors += 1;
+                    Reply::Owned(format!("ERR {reason}"))
                 }
+                // Malformed queries are rejected *before* the cache
+                // lookup, so an `ERR` reply is never cached and the
+                // cache's key space stays bounded by valid node pairs.
+                Ok(Request::Route { x, y }) => {
+                    match query::validate_route_query(snapshot, *x, *y) {
+                        Ok(()) => {
+                            jobs.push((idx as u32, *x, *y));
+                            pairs.push((*x, *y));
+                            Reply::Pending
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            Reply::Owned(format!("ERR {e}"))
+                        }
+                    }
+                }
+                Ok(request) => ctx.dispatch_slow(*request, &epoch, &mut errors),
+            };
+            replies.push(reply);
+        }
+        if !pairs.is_empty() {
+            let mut hits = 0u64;
+            query::route_batch(snapshot, &epoch, pairs, |j, value, hit| {
+                hits += u64::from(hit);
+                replies[jobs[j].0 as usize] = Reply::Shared(value);
+            });
+            if hits > 0 {
+                stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
             }
+        }
+        if errors > 0 {
+            stats.protocol_errors.fetch_add(errors, Ordering::Relaxed);
+        }
+        for reply in replies.iter() {
+            match reply {
+                Reply::Shared(s) => conn.wbuf.extend_from_slice(s.as_bytes()),
+                Reply::Owned(s) => conn.wbuf.extend_from_slice(s.as_bytes()),
+                Reply::Pending => unreachable!("route batch fills every pending slot"),
+            }
+            conn.wbuf.push(b'\n');
+        }
+    }
+
+    /// Parses one raw line into the batch; returns `true` on QUIT (the
+    /// batch ends there; pipelined bytes after a QUIT are discarded,
+    /// matching the blocking loop's behavior). Empty lines produce no
+    /// request and no reply.
+    fn push_line(requests: &mut Vec<Result<Request, String>>, line: &[u8]) -> bool {
+        let line = trim_ascii(line);
+        if line.is_empty() {
+            return false;
+        }
+        let parsed = match std::str::from_utf8(line) {
+            Ok(s) => parse_request(s),
+            Err(_) => Err("request is not valid UTF-8".to_string()),
+        };
+        let quit = matches!(parsed, Ok(Request::Quit));
+        requests.push(parsed);
+        quit
+    }
+}
+
+fn trim_ascii(mut line: &[u8]) -> &[u8] {
+    while let [b, rest @ ..] = line {
+        if b.is_ascii_whitespace() {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., b] = line {
+        if b.is_ascii_whitespace() {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    line
+}
+
+/// The shared pieces a batch dispatch needs, split from [`Shard`] so
+/// the epoch reader can be borrowed mutably alongside.
+struct DispatchCtx<'a> {
+    snapshot: &'a RoutingSnapshot,
+    config: &'a ServerConfig,
+    stats: &'a ServerStats,
+    queue: &'a EventQueue,
+    schemes: &'a OnceLock<String>,
+    plans: &'a Mutex<HashMap<(u32, usize), String>>,
+    audits: &'a Mutex<HashMap<(u32, usize), String>>,
+}
+
+impl DispatchCtx<'_> {
+    /// Answers every verb except `ROUTE` (batched separately by the
+    /// caller) against the batch's epoch.
+    fn dispatch_slow(&self, request: Request, epoch: &Arc<Epoch>, errors: &mut u64) -> Reply {
+        match request {
+            Request::Ping => Reply::Owned("OK PONG".to_string()),
+            Request::Quit => Reply::Owned("OK BYE".to_string()),
+            Request::Route { .. } => unreachable!("ROUTE is batched by the caller"),
+            Request::Epoch => Reply::Owned(format!(
+                "OK EPOCH id={} faults={}",
+                epoch.id(),
+                query::render_faults(epoch.faults())
+            )),
+            Request::Diam => Reply::Owned(render_diameter(epoch.diameter())),
             Request::Tolerate { diameter, faults } => {
-                let epoch = Arc::clone(self.reader.current());
                 let budget = self.config.tolerate_budget;
-                let needed = query::tolerate_cost(self.snapshot, &epoch, faults);
+                let needed = query::tolerate_cost(self.snapshot, epoch, faults);
                 if needed > budget {
                     // Bound-aware budget guard: reject with a structured
                     // ERR naming the worst-case search size instead of
                     // truncating the sweep.
-                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    format!("ERR {}", QueryError::TolerateBudget { needed, budget })
+                    *errors += 1;
+                    Reply::Owned(format!(
+                        "ERR {}",
+                        QueryError::TolerateBudget { needed, budget }
+                    ))
                 } else {
                     // The pruned search is bound-aware, so the cache key
                     // carries the full (d, f) claim; the search itself is
@@ -465,7 +711,7 @@ impl Worker<'_> {
                     // reply is byte-identical to a fresh one.
                     let (reply, hit) = epoch.cache().get_or_insert_with(
                         QueryKey::Tolerate(diameter, faults),
-                        || match query::tolerate(self.snapshot, &epoch, diameter, faults, budget) {
+                        || match query::tolerate(self.snapshot, epoch, diameter, faults, budget) {
                             Ok(a) => render_tolerate(&a),
                             // Unreachable (the budget was checked with
                             // the same inputs above); kept as a visible
@@ -476,7 +722,7 @@ impl Worker<'_> {
                     if hit {
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     }
-                    reply.to_string()
+                    Reply::Shared(reply)
                 }
             }
             Request::Audit { diameter, faults } => {
@@ -491,12 +737,12 @@ impl Worker<'_> {
                 match cached {
                     Some(reply) => {
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        reply
+                        Reply::Owned(reply)
                     }
                     None => match query::audit_claim(self.snapshot, diameter, faults, budget) {
                         Err(e) => {
-                            self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            format!("ERR {e}")
+                            *errors += 1;
+                            Reply::Owned(format!("ERR {e}"))
                         }
                         Ok(a) => {
                             let reply = render_audit(&a);
@@ -504,15 +750,15 @@ impl Worker<'_> {
                             if audits.len() < PLAN_MEMO_CAP {
                                 audits.insert(key, reply.clone());
                             }
-                            reply
+                            Reply::Owned(reply)
                         }
                     },
                 }
             }
             Request::Fail(v) | Request::Repair(v) => {
                 if (v as usize) >= self.snapshot.node_count() {
-                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    format!("ERR {}", QueryError::NodeOutOfRange(v))
+                    *errors += 1;
+                    Reply::Owned(format!("ERR {}", QueryError::NodeOutOfRange(v)))
                 } else {
                     let event = match request {
                         Request::Fail(v) => FaultEvent::Fail(v),
@@ -520,44 +766,45 @@ impl Worker<'_> {
                     };
                     self.queue.push(event);
                     self.stats.events_enqueued.fetch_add(1, Ordering::Relaxed);
-                    "OK QUEUED".to_string()
+                    Reply::Owned("OK QUEUED".to_string())
                 }
             }
             Request::Stats => {
-                let (queries, hits, errors, conns, events) = self.stats.snapshot();
-                let epoch = self.reader.current();
-                format!(
+                let (queries, hits, errors, conns, events, retries) = self.stats.snapshot();
+                Reply::Owned(format!(
                     "OK STATS epoch={} faults={} queries={queries} cache_hits={hits} \
-                     errors={errors} connections={conns} events={events}",
+                     errors={errors} connections={conns} events={events} \
+                     accept_retries={retries}",
                     epoch.id(),
                     epoch.faults().len()
-                )
+                ))
             }
             // The served graph never changes, so the applicability
             // survey is computed once per server lifetime.
-            Request::Schemes => self
-                .schemes
-                .get_or_init(|| {
-                    let registry = SchemeRegistry::standard();
-                    let params = SchemeParams::default();
-                    let parts: Vec<String> = registry
-                        .iter()
-                        .map(
-                            |scheme| match scheme.applicability(self.snapshot.graph(), &params) {
-                                Ok(g) => format!(
-                                    "{}=({},{})/{}",
-                                    scheme.name(),
-                                    g.diameter,
-                                    g.faults,
-                                    g.theorem.token()
-                                ),
-                                Err(_) => format!("{}=-", scheme.name()),
-                            },
-                        )
-                        .collect();
-                    format!("OK SCHEMES {}", parts.join(" "))
-                })
-                .clone(),
+            Request::Schemes => Reply::Owned(
+                self.schemes
+                    .get_or_init(|| {
+                        let registry = SchemeRegistry::standard();
+                        let params = SchemeParams::default();
+                        let parts: Vec<String> = registry
+                            .iter()
+                            .map(|scheme| {
+                                match scheme.applicability(self.snapshot.graph(), &params) {
+                                    Ok(g) => format!(
+                                        "{}=({},{})/{}",
+                                        scheme.name(),
+                                        g.diameter,
+                                        g.faults,
+                                        g.theorem.token()
+                                    ),
+                                    Err(_) => format!("{}=-", scheme.name()),
+                                }
+                            })
+                            .collect();
+                        format!("OK SCHEMES {}", parts.join(" "))
+                    })
+                    .clone(),
+            ),
             // A dry run of the planner against the served network; the
             // serving snapshot is never swapped. The memo lock is never
             // held across a plan (candidate builds take seconds on large
@@ -573,7 +820,7 @@ impl Worker<'_> {
                     .get(&key)
                     .cloned();
                 match cached {
-                    Some(reply) => reply,
+                    Some(reply) => Reply::Owned(reply),
                     None => {
                         let request = PlannerRequest::tolerate(faults)
                             .within_diameter(diameter)
@@ -600,12 +847,11 @@ impl Worker<'_> {
                         if plans.len() < PLAN_MEMO_CAP {
                             plans.insert(key, reply.clone());
                         }
-                        reply
+                        Reply::Owned(reply)
                     }
                 }
             }
-        };
-        (reply, false)
+        }
     }
 }
 
@@ -676,5 +922,13 @@ mod tests {
         assert_ne!(server.local_addr().port(), 0);
         let spawned = server.spawn();
         spawned.shutdown_and_join().unwrap();
+    }
+
+    #[test]
+    fn trim_ascii_strips_both_ends() {
+        assert_eq!(trim_ascii(b"  PING \r\n"), b"PING");
+        assert_eq!(trim_ascii(b"\r\n"), b"");
+        assert_eq!(trim_ascii(b""), b"");
+        assert_eq!(trim_ascii(b"a b"), b"a b");
     }
 }
