@@ -263,14 +263,21 @@ fn run_audit(args: &[String]) -> Result<(), String> {
     let report = audit(&engine, claim, subject.core_nodes(), &base, &opts.config());
     match &report.verdict {
         Verdict::Holds => eprintln!(
-            "{label}: {claim} HOLDS — {} visited + {} pruned = {} sets ({} subtrees cut)",
-            report.visited, report.pruned_sets, report.space, report.pruned_subtrees
+            "{label}: {claim} HOLDS — {} visited + {} pruned = {} sets ({} subtrees cut) \
+             in {:.3}s",
+            report.visited,
+            report.pruned_sets,
+            report.space,
+            report.pruned_subtrees,
+            report.wall_nanos as f64 / 1e9
         ),
         Verdict::Violated { witness, diameter } => eprintln!(
-            "{label}: {claim} VIOLATED by {witness:?} (diameter {}) after {} of {} sets",
+            "{label}: {claim} VIOLATED by {witness:?} (diameter {}) after {} of {} sets \
+             in {:.3}s",
             diameter.map_or("disconnect".to_string(), |d| d.to_string()),
             report.visited,
-            report.space
+            report.space,
+            report.wall_nanos as f64 / 1e9
         ),
         Verdict::Exhausted => {
             return Err(format!(

@@ -150,6 +150,10 @@ pub struct AuditReport {
     /// How many candidates were seeded from the construction's core
     /// nodes (ordered ahead of the impact ranking).
     pub core_seeds: usize,
+    /// Wall-clock duration of the search in nanoseconds (measured
+    /// inside [`audit`], covering seeding, prune precomputation and the
+    /// parallel exploration).
+    pub wall_nanos: u64,
 }
 
 impl AuditReport {
@@ -338,6 +342,7 @@ pub fn audit(
     config: &SearchConfig,
 ) -> AuditReport {
     assert!(config.threads > 0, "at least one search thread is required");
+    let wall_start = std::time::Instant::now();
     let n = engine.node_count();
     assert_eq!(
         base.capacity(),
@@ -536,6 +541,7 @@ pub fn audit(
         space,
         candidates: m,
         core_seeds,
+        wall_nanos: wall_start.elapsed().as_nanos() as u64,
     }
 }
 

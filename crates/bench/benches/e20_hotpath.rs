@@ -118,8 +118,10 @@ struct ServePoint {
 }
 
 /// Drives an in-process daemon with pipelined byte-framed clients for
-/// `seconds` — the pure query hot path (no churn).
-fn serve_point(clients: usize, pipeline: usize, seconds: f64) -> ServePoint {
+/// `seconds` — the pure query hot path (no churn). `metrics` sets the
+/// server's hot-path recording flag, so an on/off pair measures the
+/// observability overhead.
+fn serve_point(clients: usize, pipeline: usize, seconds: f64, metrics: bool) -> ServePoint {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -129,7 +131,11 @@ fn serve_point(clients: usize, pipeline: usize, seconds: f64) -> ServePoint {
     let snapshot = RoutingSnapshot::new(g, kernel.routing().clone())
         .expect("kernel routing is total")
         .into_shared();
-    let server = Server::bind(snapshot, ServerConfig::default()).expect("bind loopback");
+    let config = ServerConfig {
+        metrics,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(snapshot, config).expect("bind loopback");
     let addr = server.local_addr();
     let spawned = server.spawn();
 
@@ -185,8 +191,9 @@ fn serve_point(clients: usize, pipeline: usize, seconds: f64) -> ServePoint {
         latency.quantile_us(0.99),
     );
     eprintln!(
-        "e20_hotpath/serve: {routes} routes in {elapsed:.2}s = {qps:.0}/s \
-         (p50 {p50:.0}us p95 {p95:.0}us p99 {p99:.0}us)"
+        "e20_hotpath/serve (metrics {}): {routes} routes in {elapsed:.2}s = {qps:.0}/s \
+         (p50 {p50:.0}us p95 {p95:.0}us p99 {p99:.0}us)",
+        if metrics { "on" } else { "off" }
     );
     ServePoint {
         clients,
@@ -237,7 +244,16 @@ fn bench(c: &mut Criterion) {
     } else {
         eprintln!("e20_hotpath: skipping H(4, 256) (E20_MAX_N = {max_n})");
     }
-    let serve = serve_point(2, 256, seconds);
+    // Metrics-on is the headline "serve" record (the production
+    // configuration, and the one CI floors); the off point rides along
+    // so the observability overhead is machine-readable.
+    let serve_off = serve_point(2, 256, seconds, false);
+    let serve = serve_point(2, 256, seconds, true);
+    let metrics_overhead_pct = if serve_off.qps > 0.0 {
+        (serve_off.qps - serve.qps) / serve_off.qps * 100.0
+    } else {
+        0.0
+    };
 
     let kernel_json: Vec<String> = kernel_points
         .iter()
@@ -254,8 +270,12 @@ fn bench(c: &mut Criterion) {
         "{{\n  \"bench\": \"e20_hotpath\",\n  \"kernel_points\": [\n{}\n  ],\n  \
          \"serve\": {{\n    \"graph\": \"harary(5, 24) kernel routing\",\n    \
          \"clients\": {},\n    \"pipeline_depth\": {},\n    \"seconds\": {:.2},\n    \
+         \"metrics\": true,\n    \
          \"route_queries\": {},\n    \"route_qps\": {:.0},\n    \
-         \"route_latency_us\": {{ \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1} }}\n  }}\n}}\n",
+         \"route_latency_us\": {{ \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1} }}\n  }},\n  \
+         \"serve_metrics_off\": {{\n    \"route_qps\": {:.0},\n    \
+         \"route_latency_us\": {{ \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1} }}\n  }},\n  \
+         \"metrics_overhead_pct\": {metrics_overhead_pct:.1}\n}}\n",
         kernel_json.join(",\n"),
         serve.clients,
         serve.pipeline,
@@ -265,6 +285,10 @@ fn bench(c: &mut Criterion) {
         serve.p50,
         serve.p95,
         serve.p99,
+        serve_off.qps,
+        serve_off.p50,
+        serve_off.p95,
+        serve_off.p99,
     );
     let path = format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR"));
     std::fs::write(&path, &json).expect("write BENCH_hotpath.json");

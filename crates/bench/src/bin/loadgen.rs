@@ -5,7 +5,8 @@
 //! ```text
 //! loadgen [--clients N] [--seconds S] [--churn-hz R] [--fault-budget F]
 //!         [--pipeline B] [--shards N] [--graph harary:K,N|petersen|cycle:N]
-//!         [--scheme SCHEME|auto] [--assert-qps Q] [--out FILE]
+//!         [--scheme SCHEME|auto] [--assert-qps Q] [--no-metrics]
+//!         [--compare-metrics] [--out FILE]
 //! ```
 //!
 //! `--scheme` takes the shared `ftr_core::SchemeSpec` grammar (the same
@@ -17,6 +18,13 @@
 //! adversarial case), and organic fail/repair processes
 //! ([`ChurnStream`]). Query clients send pipelined bursts of `ROUTE`
 //! with sprinkled `DIAM`/`EPOCH`/`TOLERATE`.
+//!
+//! The server's metric recording is on by default (the production
+//! configuration — the qps floor is asserted with observability paying
+//! its way). `--no-metrics` turns it off; `--compare-metrics` runs the
+//! whole measurement twice, metrics-off then metrics-on, and records
+//! both throughputs plus the overhead percentage in the JSON (the
+//! `--assert-qps` floor applies to the metrics-on run).
 //!
 //! Exits nonzero on any protocol error, unclean shutdown, or a missed
 //! `--assert-qps` floor.
@@ -46,6 +54,8 @@ struct Args {
     graph: String,
     scheme: String,
     assert_qps: Option<f64>,
+    metrics: bool,
+    compare_metrics: bool,
     out: Option<String>,
 }
 
@@ -64,6 +74,8 @@ impl Args {
             graph: "harary:5,24".to_string(),
             scheme: "kernel".to_string(),
             assert_qps: None,
+            metrics: true,
+            compare_metrics: false,
             out: None,
         };
         let mut it = std::env::args().skip(1);
@@ -79,6 +91,8 @@ impl Args {
                 "--graph" => args.graph = value("--graph")?,
                 "--scheme" => args.scheme = value("--scheme")?,
                 "--assert-qps" => args.assert_qps = Some(parse(&value("--assert-qps")?)?),
+                "--no-metrics" => args.metrics = false,
+                "--compare-metrics" => args.compare_metrics = true,
                 "--out" => args.out = Some(value("--out")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -360,23 +374,50 @@ fn build_scheme(graph: &Graph, scheme: &str) -> Result<BuiltRouting, String> {
         .map_err(|e| e.to_string())
 }
 
-fn run() -> Result<(), String> {
-    let args = Args::parse()?;
-    let (graph, family_label) = parse_graph_spec(&args.graph)?;
-    let built = build_scheme(&graph, &args.scheme)?;
-    let scheme_label = built.spec().to_string();
-    let graph_label = format!("{family_label} {scheme_label} routing");
-    // The served network is the built routing's network (the augment
-    // scheme serves the augmented graph, which has the same node set).
-    let n = built.graph().node_count();
-    let core: Vec<Node> = built.core_nodes().to_vec();
-    let snapshot = RoutingSnapshot::from_built(built)
-        .map_err(|e| e.to_string())?
-        .into_shared();
+/// Everything one measurement run produces (counters already loaded out
+/// of their atomics, server shut down).
+struct Measurement {
+    elapsed: f64,
+    route: u64,
+    total: u64,
+    direct: u64,
+    detour: u64,
+    unreachable: u64,
+    diam: u64,
+    epoch: u64,
+    tolerate: u64,
+    churn_events: u64,
+    epochs: u64,
+    hit_rate: f64,
+    errors: u64,
+    latency: Histogram,
+}
+
+impl Measurement {
+    fn route_qps(&self) -> f64 {
+        self.route as f64 / self.elapsed
+    }
+
+    fn total_qps(&self) -> f64 {
+        self.total as f64 / self.elapsed
+    }
+}
+
+/// One complete load-test run against a fresh server on `snapshot`:
+/// spawn, drive churn + query clients until the deadline, shut down,
+/// collect. `metrics` sets the server's hot-path recording flag.
+fn measure(
+    args: &Args,
+    snapshot: &std::sync::Arc<RoutingSnapshot>,
+    n: usize,
+    core: &[Node],
+    metrics: bool,
+) -> Result<Measurement, String> {
     let server = Server::bind(
-        snapshot,
+        std::sync::Arc::clone(snapshot),
         ServerConfig {
             shards: args.shards,
+            metrics,
             ..ServerConfig::default()
         },
     )
@@ -398,7 +439,7 @@ fn run() -> Result<(), String> {
             run_churn(
                 addr,
                 n,
-                core,
+                core.to_vec(),
                 args.fault_budget,
                 args.churn_hz,
                 &stop_churn,
@@ -444,7 +485,6 @@ fn run() -> Result<(), String> {
         .shutdown_and_join()
         .map_err(|e| format!("unclean shutdown: {e}"))?;
 
-    let route = totals.route.load(Ordering::Relaxed);
     let total: u64 = [
         &totals.direct,
         &totals.detour,
@@ -456,49 +496,122 @@ fn run() -> Result<(), String> {
     .iter()
     .map(|c| c.load(Ordering::Relaxed))
     .sum();
-    let client_errors = totals.errors.load(Ordering::Relaxed);
-    let route_qps = route as f64 / elapsed;
-    let total_qps = total as f64 / elapsed;
-    let hit_rate = if server_queries > 0 {
-        cache_hits as f64 / server_queries as f64
-    } else {
-        0.0
-    };
+    Ok(Measurement {
+        elapsed,
+        route: totals.route.load(Ordering::Relaxed),
+        total,
+        direct: totals.direct.load(Ordering::Relaxed),
+        detour: totals.detour.load(Ordering::Relaxed),
+        unreachable: totals.unreachable.load(Ordering::Relaxed),
+        diam: totals.diam.load(Ordering::Relaxed),
+        epoch: totals.epoch.load(Ordering::Relaxed),
+        tolerate: totals.tolerate.load(Ordering::Relaxed),
+        churn_events: churn_events.load(Ordering::Relaxed),
+        epochs,
+        hit_rate: if server_queries > 0 {
+            cache_hits as f64 / server_queries as f64
+        } else {
+            0.0
+        },
+        errors: server_errors + totals.errors.load(Ordering::Relaxed),
+        latency: latency.into_inner().expect("latency histogram poisoned"),
+    })
+}
 
-    let latency = latency.into_inner().expect("latency histogram poisoned");
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let (graph, family_label) = parse_graph_spec(&args.graph)?;
+    let built = build_scheme(&graph, &args.scheme)?;
+    let scheme_label = built.spec().to_string();
+    let graph_label = format!("{family_label} {scheme_label} routing");
+    // The served network is the built routing's network (the augment
+    // scheme serves the augmented graph, which has the same node set).
+    let n = built.graph().node_count();
+    let core: Vec<Node> = built.core_nodes().to_vec();
+    let snapshot = RoutingSnapshot::from_built(built)
+        .map_err(|e| e.to_string())?
+        .into_shared();
+
+    // With --compare-metrics, a metrics-off baseline runs first (same
+    // duration, fresh server) so the JSON records the observability
+    // overhead; the floor-asserted run below is always metrics-on.
+    let baseline = if args.compare_metrics {
+        let m = measure(&args, &snapshot, n, &core, false)?;
+        eprintln!(
+            "loadgen: metrics-off baseline: {:.0} route qps ({:.0} total)",
+            m.route_qps(),
+            m.total_qps()
+        );
+        Some(m)
+    } else {
+        None
+    };
+    let metrics_on = args.metrics || args.compare_metrics;
+    let m = measure(&args, &snapshot, n, &core, metrics_on)?;
+
+    let Measurement {
+        elapsed,
+        route,
+        total,
+        churn_events,
+        epochs,
+        hit_rate,
+        errors,
+        ..
+    } = m;
+    let route_qps = m.route_qps();
+    let total_qps = m.total_qps();
+    let latency = &m.latency;
     let (p50, p95, p99) = (
         latency.quantile_us(0.50),
         latency.quantile_us(0.95),
         latency.quantile_us(0.99),
     );
+    // The metrics-on/off pair records what observability costs: the
+    // overhead is (off - on) / off as a percentage of the baseline.
+    let overhead = baseline.as_ref().map(|b| {
+        let (off, on) = (b.route_qps(), route_qps);
+        let pct = if off > 0.0 {
+            (off - on) / off * 100.0
+        } else {
+            0.0
+        };
+        format!(
+            "\n  \"metrics_off_route_qps\": {off:.0},\n  \
+             \"metrics_off_total_qps\": {:.0},\n  \
+             \"metrics_overhead_pct\": {pct:.1},",
+            b.total_qps()
+        )
+    });
     let json = format!(
         "{{\n  \"bench\": \"loadgen\",\n  \"graph\": \"{graph_label}\",\n  \
          \"scheme\": \"{scheme_label}\",\n  \"n\": {n},\n  \
          \"clients\": {},\n  \"pipeline_depth\": {},\n  \"seconds\": {elapsed:.2},\n  \
-         \"churn_hz\": {},\n  \"fault_budget\": {},\n  \"route_queries\": {route},\n  \
+         \"churn_hz\": {},\n  \"fault_budget\": {},\n  \"metrics\": {metrics_on},{}\n  \
+         \"route_queries\": {route},\n  \
          \"route_qps\": {route_qps:.0},\n  \"total_queries\": {total},\n  \
          \"total_qps\": {total_qps:.0},\n  \
          \"route_latency_us\": {{ \"p50\": {p50:.1}, \"p95\": {p95:.1}, \"p99\": {p99:.1} }},\n  \
          \"verbs\": {{ \"direct\": {}, \"detour\": {}, \"unreachable\": {}, \
          \"diam\": {}, \"epoch\": {}, \"tolerate\": {} }},\n  \
          \"direct\": {},\n  \"detour\": {},\n  \
-         \"unreachable\": {},\n  \"churn_events\": {},\n  \"epochs_advanced\": {epochs},\n  \
-         \"cache_hit_rate\": {hit_rate:.3},\n  \"protocol_errors\": {}\n}}\n",
+         \"unreachable\": {},\n  \"churn_events\": {churn_events},\n  \
+         \"epochs_advanced\": {epochs},\n  \
+         \"cache_hit_rate\": {hit_rate:.3},\n  \"protocol_errors\": {errors}\n}}\n",
         args.clients,
         args.pipeline,
         args.churn_hz,
         args.fault_budget,
-        totals.direct.load(Ordering::Relaxed),
-        totals.detour.load(Ordering::Relaxed),
-        totals.unreachable.load(Ordering::Relaxed),
-        totals.diam.load(Ordering::Relaxed),
-        totals.epoch.load(Ordering::Relaxed),
-        totals.tolerate.load(Ordering::Relaxed),
-        totals.direct.load(Ordering::Relaxed),
-        totals.detour.load(Ordering::Relaxed),
-        totals.unreachable.load(Ordering::Relaxed),
-        churn_events.load(Ordering::Relaxed),
-        server_errors + client_errors,
+        overhead.unwrap_or_default(),
+        m.direct,
+        m.detour,
+        m.unreachable,
+        m.diam,
+        m.epoch,
+        m.tolerate,
+        m.direct,
+        m.detour,
+        m.unreachable,
     );
     // Default to the workspace root of the build tree; if the binary
     // runs outside its checkout (path gone), fall back to the cwd so a
@@ -518,19 +631,16 @@ fn run() -> Result<(), String> {
     eprintln!(
         "loadgen: {route} route queries in {elapsed:.2}s = {route_qps:.0}/s \
          ({total_qps:.0}/s total, burst latency p50 {p50:.0}us p95 {p95:.0}us p99 {p99:.0}us, \
-         {epochs} epochs, cache hit rate {:.1}%, {} churn events)",
+         {epochs} epochs, cache hit rate {:.1}%, {churn_events} churn events)",
         hit_rate * 100.0,
-        churn_events.load(Ordering::Relaxed)
     );
     eprintln!("loadgen: wrote {out}");
 
-    if server_errors + client_errors > 0 {
-        return Err(format!(
-            "{} protocol errors observed",
-            server_errors + client_errors
-        ));
+    let all_errors = errors + baseline.as_ref().map_or(0, |b| b.errors);
+    if all_errors > 0 {
+        return Err(format!("{all_errors} protocol errors observed"));
     }
-    if epochs == 0 {
+    if epochs == 0 || baseline.as_ref().is_some_and(|b| b.epochs == 0) {
         return Err("no epoch ever advanced — churn never reached the server".into());
     }
     if let Some(floor) = args.assert_qps {

@@ -1,103 +1,9 @@
 //! Load-measurement helpers shared by the `loadgen` binary and the
-//! `e20_hotpath` bench: a log-linear latency histogram and
-//! allocation-free request framing.
+//! `e20_hotpath` bench: the shared log-linear latency histogram
+//! (re-exported from `ftr-obs`, where it lives so the server can record
+//! into the same implementation) and allocation-free request framing.
 
-/// Sub-buckets per octave: latency resolution is ~1/16 ≈ 6%, plenty
-/// for p50/p95/p99 reporting without HDR-histogram-sized tables.
-const SUB: usize = 16;
-/// Bucket count covering the full `u64` nanosecond range.
-const BUCKETS: usize = 61 * SUB;
-
-/// A log-linear histogram of nanosecond latencies (fixed ~6% relative
-/// error, constant-time record, mergeable across client threads).
-pub struct Histogram {
-    buckets: Vec<u64>,
-    count: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-        }
-    }
-
-    fn index(v: u64) -> usize {
-        if v < SUB as u64 {
-            return v as usize;
-        }
-        let msb = 63 - v.leading_zeros() as usize;
-        let sub = ((v >> (msb - 4)) & 0xF) as usize;
-        ((msb - 3) * SUB + sub).min(BUCKETS - 1)
-    }
-
-    /// Lower bound of bucket `i`'s value range.
-    fn lower_bound(i: usize) -> u64 {
-        if i < SUB {
-            return i as u64;
-        }
-        let octave = i / SUB;
-        let sub = i % SUB;
-        ((SUB + sub) as u64) << (octave - 1)
-    }
-
-    /// Records `count` observations of `nanos` (e.g. a pipelined burst
-    /// round trip attributed to each query in the burst).
-    pub fn record_n(&mut self, nanos: u64, count: u64) {
-        self.buckets[Self::index(nanos)] += count;
-        self.count += count;
-    }
-
-    /// Records one observation of `nanos`.
-    pub fn record(&mut self, nanos: u64) {
-        self.record_n(nanos, 1);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Folds another histogram (typically a per-thread local) into this
-    /// one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds — the lower edge
-    /// of the bucket where the cumulative count crosses `q`. Returns 0
-    /// on an empty histogram.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::lower_bound(i);
-            }
-        }
-        Self::lower_bound(BUCKETS - 1)
-    }
-
-    /// The `q`-quantile in microseconds.
-    pub fn quantile_us(&self, q: f64) -> f64 {
-        self.quantile(q) as f64 / 1_000.0
-    }
-}
+pub use ftr_obs::Histogram;
 
 /// Appends the decimal rendering of `v` without allocating (the
 /// request-framing hot path writes straight into the burst buffer).
@@ -142,41 +48,15 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_monotone_and_tight() {
-        // Every value lands in a bucket whose range contains it, with
-        // lower bound within ~6% below.
-        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
-            let i = Histogram::index(v);
-            let lo = Histogram::lower_bound(i);
-            assert!(lo <= v, "lower bound {lo} above value {v}");
-            if v >= 16 {
-                assert!((v - lo) as f64 / v as f64 <= 1.0 / 16.0 + 1e-9);
-            }
-            if i + 1 < BUCKETS {
-                assert!(Histogram::lower_bound(i + 1) > v);
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_order_and_merge() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        for v in 1..=1000u64 {
-            if v % 2 == 0 {
-                a.record(v * 1_000);
-            } else {
-                b.record(v * 1_000);
-            }
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 1000);
-        let (p50, p95, p99) = (a.quantile(0.50), a.quantile(0.95), a.quantile(0.99));
-        assert!(p50 <= p95 && p95 <= p99);
-        // ~6% relative accuracy around the true values.
-        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.07);
-        assert!((p95 as f64 - 950_000.0).abs() / 950_000.0 < 0.07);
-        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07);
-        assert_eq!(Histogram::new().quantile(0.99), 0);
+    fn reexported_histogram_is_the_shared_one() {
+        // The bench-facing API (record_n / merge / quantile_us) must
+        // keep working through the re-export.
+        let mut h = Histogram::new();
+        h.record_n(10_000, 3);
+        let mut other = Histogram::new();
+        other.record(20_000);
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile_us(1.0) >= 18.0);
     }
 }

@@ -415,6 +415,12 @@ impl RouteTable for CompiledRoutes {
     }
 
     fn surviving_diameter_batch(&self, fault_sets: &[NodeSet]) -> Vec<Option<u32>> {
+        #[cfg(feature = "obs-counters")]
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            crate::obs::BATCH_CALLS.fetch_add(1, Relaxed);
+            crate::obs::BATCH_SETS.fetch_add(fault_sets.len() as u64, Relaxed);
+        }
         thread_local! {
             static SCRATCH: std::cell::RefCell<BatchScratch> =
                 std::cell::RefCell::new(BatchScratch::new());

@@ -141,6 +141,8 @@ mod error;
 mod hypercube;
 mod kernel;
 mod multi;
+#[cfg(feature = "obs-counters")]
+pub mod obs;
 pub mod par;
 mod planner;
 pub mod properties;

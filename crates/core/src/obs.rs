@@ -1,0 +1,23 @@
+//! Feature-gated batch-kernel counters for the observability layer.
+//!
+//! Compiled only under the `obs-counters` feature (which also enables
+//! `ftr-graph/obs-counters` for the BFS-level counters underneath).
+//! Cost when enabled: two relaxed atomic adds per
+//! [`crate::RouteTable::surviving_diameter_batch`] invocation.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Batched surviving-diameter kernel invocations.
+pub static BATCH_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Fault sets evaluated through the batched kernel.
+pub static BATCH_SETS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of [`BATCH_CALLS`].
+pub fn batch_calls() -> u64 {
+    BATCH_CALLS.load(Relaxed)
+}
+
+/// Snapshot of [`BATCH_SETS`].
+pub fn batch_sets() -> u64 {
+    BATCH_SETS.load(Relaxed)
+}

@@ -293,6 +293,12 @@ impl BitMatrix {
             std::mem::swap(frontier, next);
         }
         let complete = visited.iter().zip(alive).all(|(v, a)| v & a == *a);
+        #[cfg(feature = "obs-counters")]
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            crate::obs::BFS_CALLS.fetch_add(1, Relaxed);
+            crate::obs::BFS_LEVELS.fetch_add(u64::from(depth), Relaxed);
+        }
         (depth, complete)
     }
 

@@ -63,6 +63,8 @@ pub mod gen;
 mod graph;
 pub mod io;
 mod nodeset;
+#[cfg(feature = "obs-counters")]
+pub mod obs;
 mod path;
 pub mod spec;
 pub mod traversal;

@@ -1,0 +1,24 @@
+//! Feature-gated BFS counters for the observability layer.
+//!
+//! Compiled only under the `obs-counters` feature: with it disabled the
+//! statics (and the counting code in the BFS kernel) do not exist, so
+//! the default build pays nothing. With it enabled the cost is one
+//! relaxed atomic add per field per [`crate::BitMatrix`] eccentricity
+//! call — never one per frontier word or per level.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Bit-parallel BFS invocations (one per eccentricity evaluation).
+pub static BFS_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Total BFS levels expanded (frontier iterations) across all calls.
+pub static BFS_LEVELS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of [`BFS_CALLS`].
+pub fn bfs_calls() -> u64 {
+    BFS_CALLS.load(Relaxed)
+}
+
+/// Snapshot of [`BFS_LEVELS`].
+pub fn bfs_levels() -> u64 {
+    BFS_LEVELS.load(Relaxed)
+}

@@ -1,0 +1,183 @@
+//! The log-linear histogram shared by loadgen and the server.
+
+/// Sub-buckets per octave: resolution is ~1/16 ≈ 6%, plenty for
+/// p50/p95/p99 reporting without HDR-histogram-sized tables.
+pub(crate) const SUB: usize = 16;
+/// Bucket count covering the full `u64` range.
+pub(crate) const BUCKETS: usize = 61 * SUB;
+
+/// A log-linear histogram of `u64` observations (fixed ~6% relative
+/// error, constant-time record, mergeable across threads).
+///
+/// Buckets are allocated lazily up to the highest index touched, so an
+/// empty histogram holds no bucket storage and per-shard locals stay
+/// small. [`Histogram::merge`] accepts histograms with a different
+/// (ragged) bucket-array length — shorter arrays are treated as
+/// trailing zeros.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    pub(crate) buckets: Vec<u64>,
+    pub(crate) count: u64,
+    pub(crate) sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    pub(crate) fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (msb - 4)) & 0xF) as usize;
+        ((msb - 3) * SUB + sub).min(BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `i`'s value range.
+    pub(crate) fn lower_bound(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        let octave = i / SUB;
+        let sub = i % SUB;
+        ((SUB + sub) as u64) << (octave - 1)
+    }
+
+    /// Records `count` observations of `value` (e.g. a pipelined burst
+    /// round trip attributed to each query in the burst).
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        let i = Self::index(value);
+        if i >= self.buckets.len() {
+            self.buckets.resize(i + 1, 0);
+        }
+        self.buckets[i] += count;
+        self.count += count;
+        self.sum = self.sum.saturating_add(value.saturating_mul(count));
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Drops all observations, keeping the bucket allocation.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+    }
+
+    /// Folds another histogram (typically a per-thread or per-shard
+    /// local) into this one. The two bucket arrays may have different
+    /// lengths; `self` grows as needed.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Rebuilds a histogram from a raw bucket array (any length up to
+    /// [`BUCKETS`] indices is meaningful; longer arrays are truncated
+    /// into the overflow bucket's range). `sum` is recomputed from
+    /// bucket lower bounds, so it carries the same ~6% error as the
+    /// quantiles.
+    pub fn from_buckets(raw: &[u64]) -> Self {
+        let mut h = Histogram::new();
+        for (i, &c) in raw.iter().enumerate() {
+            if c > 0 {
+                h.record_n(Self::lower_bound(i.min(BUCKETS - 1)), c);
+            }
+        }
+        h
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) — the lower edge of the bucket
+    /// where the cumulative count crosses `q`. Returns 0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::lower_bound(i);
+            }
+        }
+        Self::lower_bound(BUCKETS - 1)
+    }
+
+    /// The `q`-quantile in microseconds (observations in nanoseconds).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_tight() {
+        // Every value lands in a bucket whose range contains it, with
+        // lower bound within ~6% below.
+        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
+            let i = Histogram::index(v);
+            let lo = Histogram::lower_bound(i);
+            assert!(lo <= v, "lower bound {lo} above value {v}");
+            if v >= 16 {
+                assert!((v - lo) as f64 / v as f64 <= 1.0 / 16.0 + 1e-9);
+            }
+            if i + 1 < BUCKETS {
+                assert!(Histogram::lower_bound(i + 1) > v);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_order_and_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 1_000);
+            } else {
+                b.record(v * 1_000);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        let (p50, p95, p99) = (a.quantile(0.50), a.quantile(0.95), a.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99);
+        // ~6% relative accuracy around the true values.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.07);
+        assert!((p95 as f64 - 950_000.0).abs() / 950_000.0 < 0.07);
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07);
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+}

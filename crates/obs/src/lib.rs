@@ -1,0 +1,42 @@
+//! Workspace-wide observability: metrics, histograms and event tracing.
+//!
+//! `ftr-obs` is the std-only telemetry layer shared by the serving
+//! stack, the audit searcher and the load generator. It provides:
+//!
+//! - [`Histogram`] — the log-linear latency histogram (~6% relative
+//!   error, constant-time record, mergeable across threads) promoted
+//!   here from the bench crate so loadgen and the server share one
+//!   implementation. Buckets grow lazily, so mostly-empty histograms
+//!   stay small and [`Histogram::merge`] accepts ragged bucket arrays.
+//! - [`Counter`] / [`Gauge`] / [`AtomicHistogram`] — lock-free shared
+//!   metric cells built on relaxed [`std::sync::atomic`] operations.
+//!   The intended hot-path discipline is *per-shard local accumulation
+//!   with bulk flush*: worker threads record into a plain [`Histogram`]
+//!   and plain `u64` counters, then fold them into the shared atomics
+//!   every few batches (see `ftr_serve`'s shard loop).
+//! - [`Registry`] — a named collection of metric families with
+//!   Prometheus-style text exposition ([`Registry::render_prometheus`])
+//!   and flat JSON snapshots ([`Registry::render_json`]). Registration
+//!   takes a lock; reads and writes of the registered cells do not.
+//! - [`TraceRing`] — a bounded ring-buffer journal of structured
+//!   [`TraceEvent`]s tagged with epoch ids and monotonic timestamps
+//!   (see [`monotonic_nanos`]), drained by the `TRACE n` protocol verb.
+//!
+//! Nothing in this crate blocks on the metric hot path: counters and
+//! gauges are single relaxed atomic ops, and histogram recording is a
+//! handful of them. The registry and trace ring take short mutexes only
+//! on registration, exposition and event push — all of which happen at
+//! epoch/batch/scrape rate, not query rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod metrics;
+mod registry;
+mod trace;
+
+pub use hist::Histogram;
+pub use metrics::{AtomicHistogram, Counter, Gauge};
+pub use registry::{Registry, Unit};
+pub use trace::{monotonic_nanos, TraceEvent, TraceRing};

@@ -1,0 +1,179 @@
+//! Lock-free shared metric cells: counters, gauges and atomic
+//! histograms. All operations are relaxed atomics — there is no
+//! ordering contract between metrics, only eventual visibility, which
+//! is all an exposition scrape needs.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::hist::{Histogram, BUCKETS};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (epoch id, fault count, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A shared, concurrently writable [`Histogram`]: the same log-linear
+/// bucket layout with every cell an [`AtomicU64`].
+///
+/// Direct [`AtomicHistogram::record`] is a few relaxed atomic adds; the
+/// cheaper pattern for per-shard hot loops is to record into a local
+/// [`Histogram`] and periodically [`AtomicHistogram::merge_from`] it in
+/// bulk (one atomic add per *non-empty* bucket per flush).
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram (full fixed-size bucket table, ~7.6 KiB).
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `count` observations of `value`.
+    pub fn record_n(&self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.buckets[Histogram::index(value)].fetch_add(count, Relaxed);
+        self.count.fetch_add(count, Relaxed);
+        self.sum.fetch_add(value.saturating_mul(count), Relaxed);
+    }
+
+    /// Folds a local [`Histogram`] into this shared one — the bulk
+    /// flush half of the per-shard accumulation pattern. Touches only
+    /// the local's non-empty buckets.
+    pub fn merge_from(&self, local: &Histogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (i, &c) in local.buckets.iter().enumerate() {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Relaxed);
+        self.sum.fetch_add(local.sum, Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// A point-in-time plain-histogram copy (trailing empty buckets
+    /// trimmed, so snapshots of quiet histograms are small). Under
+    /// concurrent writers the snapshot is only eventually consistent;
+    /// its `count` is recomputed from the bucket reads so the quantile
+    /// math stays internally consistent.
+    pub fn snapshot(&self) -> Histogram {
+        let mut raw: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        while raw.last() == Some(&0) {
+            raw.pop();
+        }
+        let count = raw.iter().sum();
+        Histogram {
+            buckets: raw,
+            count,
+            sum: self.sum.load(Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_histogram_round_trips_through_snapshot() {
+        let h = AtomicHistogram::new();
+        h.record(100);
+        h.record_n(1_000, 9);
+        let mut local = Histogram::new();
+        local.record_n(50, 5);
+        h.merge_from(&local);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 15);
+        assert_eq!(snap.sum(), 100 + 9 * 1_000 + 5 * 50);
+        assert!(snap.quantile(1.0) >= 960); // lower bound of 1000's bucket
+                                            // Snapshot is ragged: buckets past the last hit are trimmed.
+        assert!(snap.buckets.len() < BUCKETS);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+}

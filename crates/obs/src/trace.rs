@@ -1,0 +1,143 @@
+//! A bounded ring-buffer journal of structured events.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Nanoseconds on a process-wide monotonic clock. The origin is the
+/// first call in the process (so the first reading is 0); call once at
+/// startup to anchor the origin at process start.
+pub fn monotonic_nanos() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    origin.elapsed().as_nanos() as u64
+}
+
+/// One journal entry: a monotonic timestamp, the epoch it happened
+/// under, a static event kind and a short free-form detail string.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// [`monotonic_nanos`] at push time.
+    pub nanos: u64,
+    /// Epoch id the event is tagged with.
+    pub epoch: u64,
+    /// Event kind (`epoch_publish`, `ingest_batch`, `audit_search`, …).
+    pub kind: &'static str,
+    /// Free-form `key=value` detail tokens.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ts_ns={} epoch={} kind={}{}{}",
+            self.nanos,
+            self.epoch,
+            self.kind,
+            if self.detail.is_empty() { "" } else { " " },
+            self.detail
+        )
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. Pushes beyond the capacity
+/// evict the oldest entry and bump the drop counter, so the journal is
+/// always the *last* `cap` events. Pushing takes a short mutex — trace
+/// events fire at epoch/batch/search rate, never per query, so this is
+/// off the serving hot path by construction.
+pub struct TraceRing {
+    cap: usize,
+    inner: Mutex<VecDeque<TraceEvent>>,
+    total: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` events (`cap == 0` keeps nothing).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap,
+            inner: Mutex::new(VecDeque::with_capacity(cap.min(4096))),
+            total: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event stamped with [`monotonic_nanos`] now.
+    pub fn push(&self, epoch: u64, kind: &'static str, detail: String) {
+        self.total.fetch_add(1, Relaxed);
+        let event = TraceEvent {
+            nanos: monotonic_nanos(),
+            epoch,
+            kind,
+            detail,
+        };
+        let mut ring = self.inner.lock().unwrap();
+        if self.cap == 0 {
+            self.dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = self.inner.lock().unwrap();
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events pushed over the ring's lifetime.
+    pub fn total(&self) -> u64 {
+        self.total.load(Relaxed)
+    }
+
+    /// Events evicted (or refused at `cap == 0`).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_last_events_and_counts_drops() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push(i, "tick", format!("i={i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let last = ring.last(10);
+        assert_eq!(last.len(), 3);
+        assert_eq!(last[0].epoch, 2);
+        assert_eq!(last[2].epoch, 4);
+        assert!(last[0].nanos <= last[2].nanos);
+        let two = ring.last(2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0].epoch, 3);
+        let line = two[0].to_string();
+        assert!(line.starts_with("ts_ns="));
+        assert!(line.contains("kind=tick i=3"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Histogram edge cases and a quantile-vs-sorted-reference property
+//! test (satellite coverage for the shared `ftr-obs` histogram).
+
+use ftr_obs::Histogram;
+use proptest::prelude::*;
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Histogram::new();
+    assert!(h.is_empty());
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0);
+    }
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+}
+
+#[test]
+fn single_sample_dominates_every_quantile() {
+    // Below 16 the buckets are exact: every quantile is the sample.
+    let mut h = Histogram::new();
+    h.record(7);
+    for q in [0.0, 0.01, 0.5, 1.0] {
+        assert_eq!(h.quantile(q), 7);
+    }
+    assert_eq!((h.count(), h.sum()), (1, 7));
+    // Above 16 the quantile is the sample's bucket lower bound, within
+    // ~6% below the sample itself.
+    let mut h = Histogram::new();
+    h.record(1_000_003);
+    let q = h.quantile(0.5);
+    assert!(q <= 1_000_003);
+    assert!((1_000_003 - q) as f64 / 1_000_003.0 <= 1.0 / 16.0 + 1e-9);
+}
+
+#[test]
+fn overflow_bucket_absorbs_the_top_of_the_range() {
+    let mut h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX - 1);
+    assert_eq!(h.count(), 2);
+    // Both collapse into the final (overflow) bucket: one shared lower
+    // bound, no panic, quantiles stay <= the recorded values.
+    let top = h.quantile(1.0);
+    assert_eq!(h.quantile(0.1), top);
+    assert!(top < u64::MAX);
+    assert!(top > 1 << 60);
+    // Sum saturates rather than wrapping.
+    assert_eq!(h.sum(), u64::MAX);
+}
+
+#[test]
+fn ragged_merge_grows_the_shorter_side() {
+    // A histogram of small values holds a short bucket array; merging a
+    // long (large-value) histogram into it must extend it, and the
+    // merge must commute on counts, sums and quantiles.
+    let mut small = Histogram::new();
+    for v in 1..=10u64 {
+        small.record(v);
+    }
+    let mut large = Histogram::new();
+    large.record(1_000_000_000);
+
+    let mut ab = small.clone();
+    ab.merge(&large);
+    let mut ba = large.clone();
+    ba.merge(&small);
+
+    assert_eq!(ab.count(), 11);
+    assert_eq!(ba.count(), 11);
+    assert_eq!(ab.sum(), ba.sum());
+    for q in [0.1, 0.5, 0.9, 1.0] {
+        assert_eq!(ab.quantile(q), ba.quantile(q));
+    }
+    assert_eq!(ab.quantile(0.5), 6);
+    assert!(ab.quantile(1.0) > 900_000_000);
+
+    // Raw ragged bucket arrays round-trip through from_buckets too.
+    let short = Histogram::from_buckets(&[0, 3, 1]);
+    let mut long = Histogram::from_buckets(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2]);
+    long.merge(&short);
+    assert_eq!(long.count(), 7);
+    assert_eq!(long.quantile(0.5), 1);
+}
+
+#[test]
+fn from_buckets_truncates_past_the_table() {
+    // An index beyond the bucket table folds into the overflow bucket
+    // instead of panicking.
+    let mut raw = vec![0u64; 2000];
+    raw[1999] = 4;
+    raw[3] = 1;
+    let h = Histogram::from_buckets(&raw);
+    assert_eq!(h.count(), 5);
+    assert_eq!(h.quantile(0.1), 3);
+    assert!(h.quantile(1.0) > 1 << 59);
+}
+
+proptest! {
+    #[test]
+    fn quantiles_agree_with_sorted_reference(
+        values in prop::collection::vec(0u64..1_000_000_000_000, 1..300),
+        qs_permille in prop::collection::vec(0u64..1001, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        for q in qs_permille.into_iter().map(|p| p as f64 / 1000.0) {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let reference = sorted[rank - 1];
+            let got = h.quantile(q);
+            // The histogram answers with the lower bound of the bucket
+            // holding the reference element: never above it, and within
+            // 1/16 relative error (exact below 16).
+            prop_assert!(got <= reference);
+            if reference < 16 {
+                prop_assert_eq!(got, reference);
+            } else {
+                prop_assert!(
+                    (reference - got) as f64 / reference as f64 <= 1.0 / 16.0 + 1e-9,
+                    "q={} reference={} got={}", q, reference, got
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut all = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            all.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            all.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), all.count());
+        prop_assert_eq!(ha.sum(), all.sum());
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            prop_assert_eq!(ha.quantile(q), all.quantile(q));
+        }
+    }
+}

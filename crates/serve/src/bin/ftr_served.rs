@@ -3,6 +3,7 @@
 //! ```text
 //! ftr-served [--graph SPEC | --snapshot FILE] [--scheme SCHEME|auto]
 //!            [--faults F] [--addr HOST:PORT] [--shards N] [--batch-us N]
+//!            [--no-metrics] [--metrics-json FILE] [--metrics-interval-s N]
 //!            [--write-snapshot FILE]
 //!
 //! Graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C
@@ -20,6 +21,12 @@
 //! With `--write-snapshot` the daemon builds the routing, writes the
 //! snapshot file and exits — the file can then be served (or shipped)
 //! with `--snapshot`.
+//!
+//! Metrics are on by default (`METRICS` / `TRACE n` serve them over the
+//! wire); `--no-metrics` turns hot-path recording off, and
+//! `--metrics-json FILE` additionally writes a flat JSON snapshot of
+//! the registry every `--metrics-interval-s` seconds (default 5),
+//! atomically via a temp-file rename.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -48,6 +55,8 @@ fn run() -> Result<(), String> {
     let mut addr: SocketAddr = "127.0.0.1:7077".parse().expect("valid default");
     let mut config = ServerConfig::default();
     let mut write_snapshot: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut metrics_interval = Duration::from_secs(5);
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -80,11 +89,20 @@ fn run() -> Result<(), String> {
                 config.batch_window = Duration::from_micros(us);
             }
             "--write-snapshot" => write_snapshot = Some(value("--write-snapshot")?),
+            "--no-metrics" => config.metrics = false,
+            "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
+            "--metrics-interval-s" => {
+                let s: u64 = value("--metrics-interval-s")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-interval-s: {e}"))?;
+                metrics_interval = Duration::from_secs(s.max(1));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ftr-served [--graph SPEC | --snapshot FILE] \
                      [--scheme SCHEME|auto] [--faults F] [--addr HOST:PORT] [--shards N] \
-                     [--batch-us N] [--write-snapshot FILE]\n\
+                     [--batch-us N] [--no-metrics] [--metrics-json FILE] \
+                     [--metrics-interval-s N] [--write-snapshot FILE]\n\
                      graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C\n\
                      scheme specs: kernel | circular[:k=N] | tricircular[:small] | \
                      bipolar[:uni|bi] | hypercube | augment | auto"
@@ -128,7 +146,33 @@ fn run() -> Result<(), String> {
     config.addr = addr;
     let server = Server::bind(snapshot.into_shared(), config).map_err(|e| format!("bind: {e}"))?;
     println!("ftr-served listening on {}", server.local_addr());
+    if let Some(path) = metrics_json {
+        spawn_metrics_writer(server.handle(), path, metrics_interval);
+    }
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// Periodically snapshots the metric registry as flat JSON. The thread
+/// is detached — it exits with the process (the write interval bounds
+/// how stale the final file can be), and write failures are reported
+/// once without killing the daemon.
+fn spawn_metrics_writer(handle: ftr_serve::ServerHandle, path: String, interval: Duration) {
+    std::thread::spawn(move || {
+        let tmp = format!("{path}.tmp");
+        let mut warned = false;
+        loop {
+            std::thread::sleep(interval);
+            let json = handle.obs().render_json();
+            let result =
+                std::fs::write(&tmp, json.as_bytes()).and_then(|()| std::fs::rename(&tmp, &path));
+            if let Err(e) = result {
+                if !warned {
+                    eprintln!("ftr-served: metrics-json write to {path} failed: {e}");
+                    warned = true;
+                }
+            }
+        }
+    });
 }
 
 /// Builds the requested scheme through the registry, or lets the

@@ -227,6 +227,48 @@ impl Client {
         }
     }
 
+    /// `METRICS`; returns the Prometheus text exposition (the body
+    /// lines after the `OK METRICS lines=<k>` header, joined with
+    /// newlines).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an `ERR` or
+    /// unparseable reply.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.multi_line("METRICS", "OK METRICS lines=")
+    }
+
+    /// `TRACE n`; returns the last `≤ n` trace-journal lines, oldest
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an `ERR` or
+    /// unparseable reply.
+    pub fn trace(&mut self, n: usize) -> io::Result<Vec<String>> {
+        let body = self.multi_line(&format!("TRACE {n}"), "OK TRACE lines=")?;
+        Ok(body.lines().map(str::to_string).collect())
+    }
+
+    /// Sends `request` and reads a `lines=<k>`-framed multi-line reply:
+    /// the header names how many body lines follow.
+    fn multi_line(&mut self, request: &str, header: &str) -> io::Result<String> {
+        let reply = self.request(request)?;
+        let count: usize = reply
+            .strip_prefix(header)
+            .and_then(|k| k.parse().ok())
+            .ok_or_else(|| bad_reply(request, &reply))?;
+        let mut body = String::new();
+        for i in 0..count {
+            if i > 0 {
+                body.push('\n');
+            }
+            body.push_str(&self.read_reply()?);
+        }
+        Ok(body)
+    }
+
     /// `QUIT`, consuming the client.
     ///
     /// # Errors

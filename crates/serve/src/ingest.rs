@@ -8,13 +8,14 @@
 //! through the toggled nodes, never a recompile — and publishes one new
 //! epoch per effective batch.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ftr_core::{CompiledRoutes, EpochState};
 use ftr_graph::Node;
 
 use crate::epoch::EpochStore;
+use crate::metrics::ServeObs;
 
 /// One fault-churn event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,9 @@ pub struct Ingestor<'a> {
     engine: &'a CompiledRoutes,
     state: EpochState,
     store: EpochStore,
+    /// Metric/trace sink; `None` keeps the ingest loop observation-free
+    /// (unit tests, embedded uses).
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl<'a> Ingestor<'a> {
@@ -138,7 +142,16 @@ impl<'a> Ingestor<'a> {
             engine,
             state,
             store,
+            obs: None,
         }
+    }
+
+    /// Attaches the server observatory: batch occupancy, apply and
+    /// publish timing, epoch gauges and trace events.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<ServeObs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Applies one batch of events to the cursor state; if any toggle
@@ -150,6 +163,8 @@ impl<'a> Ingestor<'a> {
     /// state was real; publishing keeps epoch ids aligned with batches
     /// that did work).
     pub fn apply_batch(&mut self, events: &[FaultEvent]) -> usize {
+        let observing = self.obs.as_deref().is_some_and(ServeObs::enabled);
+        let start = observing.then(Instant::now);
         let mut applied = 0;
         for &event in events {
             let effective = match event {
@@ -158,8 +173,23 @@ impl<'a> Ingestor<'a> {
             };
             applied += usize::from(effective);
         }
+        let apply_nanos = start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let mut publish_nanos = 0;
         if applied > 0 {
+            let start = observing.then(Instant::now);
             self.store.publish(&self.state);
+            publish_nanos = start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        }
+        if let Some(obs) = &self.obs {
+            obs.ingest_batch(
+                events.len() as u64,
+                applied as u64,
+                apply_nanos,
+                publish_nanos,
+                applied > 0,
+                self.store.current_id(),
+                self.state.faults().len() as u64,
+            );
         }
         applied
     }

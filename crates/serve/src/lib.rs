@@ -26,7 +26,13 @@
 //!   nonblocking connections, frame-decodes whole read buffers into
 //!   request batches and answers each batch against a single epoch
 //!   acquisition), plus the blocking client the `loadgen` bench binary
-//!   drives it with.
+//!   drives it with;
+//! * [`ServeObs`] — the observability surface built on `ftr-obs`:
+//!   per-verb counters and latency summaries, per-shard cache and
+//!   batch-size series, ingest/epoch timing and a bounded trace
+//!   journal, exposed over the `METRICS` (Prometheus text exposition)
+//!   and `TRACE n` verbs and recorded shard-locally so the hot path
+//!   stays lock-free.
 //!
 //! # Example
 //!
@@ -61,6 +67,7 @@
 mod client;
 pub mod epoch;
 pub mod ingest;
+pub mod metrics;
 mod poll;
 pub mod proto;
 pub mod query;
@@ -71,6 +78,7 @@ pub mod spec;
 pub use client::{Client, ReplyLines};
 pub use epoch::{Epoch, EpochReader, EpochStore, QueryCache, QueryKey};
 pub use ingest::{EventQueue, FaultEvent, IngestReport, Ingestor};
+pub use metrics::ServeObs;
 pub use query::{QueryError, RouteReply, ToleranceAnswer};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats, SpawnedServer};
 pub use snapshot::{RoutingSnapshot, SnapshotError};

@@ -1,0 +1,620 @@
+//! Server-side observability: the metric catalog, per-shard local
+//! accumulators and the `METRICS`/`TRACE` reply rendering.
+//!
+//! Built on [`ftr_obs`]. The hot-path discipline is the one the load
+//! generator's qps floor demands: connection shards record into plain
+//! (non-atomic) [`LocalObs`] cells and flush them into the shared
+//! registry in bulk — every [`FLUSH_EVERY`] batches, on poll-timeout
+//! idle, when the batch contains an introspection verb (so `STATS` /
+//! `METRICS` see their own batch), and at shard exit. No locks and no
+//! shared-cacheline stores per request. The ingest thread and the
+//! audit/tolerate handlers run at epoch/search rate and record straight
+//! into the shared atomics.
+//!
+//! With [`crate::ServerConfig::metrics`] off, shards skip all recording
+//! (including the `Instant::now` reads); the registry still exists, so
+//! `METRICS` stays answerable — its serve-side series just stay zero.
+
+use std::sync::Arc;
+
+use ftr_obs::{
+    monotonic_nanos, AtomicHistogram, Counter, Gauge, Histogram, Registry, TraceEvent, TraceRing,
+    Unit,
+};
+
+use crate::proto::Request;
+use crate::server::ServerStats;
+
+/// Verb labels, in dispatch order (`route` first: it dominates).
+pub(crate) const VERBS: [&str; 14] = [
+    "route", "ping", "epoch", "diam", "tolerate", "audit", "schemes", "plan", "fail", "repair",
+    "stats", "metrics", "trace", "quit",
+];
+
+/// Index into [`VERBS`] (and the per-verb counter array) for a request.
+pub(crate) fn verb_index(request: &Request) -> usize {
+    match request {
+        Request::Route { .. } => 0,
+        Request::Ping => 1,
+        Request::Epoch => 2,
+        Request::Diam => 3,
+        Request::Tolerate { .. } => 4,
+        Request::Audit { .. } => 5,
+        Request::Schemes => 6,
+        Request::Plan { .. } => 7,
+        Request::Fail(_) => 8,
+        Request::Repair(_) => 9,
+        Request::Stats => 10,
+        Request::Metrics => 11,
+        Request::Trace(_) => 12,
+        Request::Quit => 13,
+    }
+}
+
+/// Indices into the per-verb latency histograms (only the verbs whose
+/// server-side latency is worth a distribution).
+pub(crate) const LAT_ROUTE: usize = 0;
+pub(crate) const LAT_TOLERATE: usize = 1;
+pub(crate) const LAT_AUDIT: usize = 2;
+pub(crate) const LAT_PLAN: usize = 3;
+const LAT_VERBS: [&str; 4] = ["route", "tolerate", "audit", "plan"];
+
+/// Flush a shard's [`LocalObs`] into the shared registry every this
+/// many dispatch batches (also flushed on idle and at shard exit).
+pub(crate) const FLUSH_EVERY: u32 = 64;
+
+/// Default capacity of the trace ring (events, not bytes).
+pub(crate) const TRACE_CAPACITY: usize = 1024;
+
+/// The server's metric registry plus every series the layers record
+/// into, shared through [`crate::ServerHandle`].
+pub struct ServeObs {
+    enabled: bool,
+    registry: Registry,
+    trace: Arc<TraceRing>,
+    start_nanos: u64,
+    // ---- serve ----
+    requests: Vec<Arc<Counter>>,
+    latency: Vec<Arc<AtomicHistogram>>,
+    shard_hits: Vec<Arc<Counter>>,
+    shard_misses: Vec<Arc<Counter>>,
+    shard_batch: Vec<Arc<AtomicHistogram>>,
+    // ---- ingest / epoch ----
+    ingest_events: Arc<Counter>,
+    ingest_batches: Arc<Counter>,
+    ingest_applied: Arc<Counter>,
+    ingest_occupancy: Arc<AtomicHistogram>,
+    ingest_apply_seconds: Arc<AtomicHistogram>,
+    epoch_publish_seconds: Arc<AtomicHistogram>,
+    epoch_id: Arc<Gauge>,
+    epoch_faults: Arc<Gauge>,
+    epoch_advances: Arc<Counter>,
+    // ---- audit / tolerate searches ----
+    search_visited: Arc<Counter>,
+    search_pruned: Arc<Counter>,
+    search_wall_seconds: Arc<AtomicHistogram>,
+}
+
+impl ServeObs {
+    /// Builds the full catalog for `shards` connection shards, bridging
+    /// the pre-existing [`ServerStats`] counters into the exposition.
+    pub(crate) fn new(enabled: bool, shards: usize, stats: Arc<ServerStats>) -> Self {
+        use std::sync::atomic::Ordering::Relaxed;
+        let start_nanos = monotonic_nanos();
+        let registry = Registry::new();
+        let trace = Arc::new(TraceRing::new(TRACE_CAPACITY));
+
+        registry.func_gauge(
+            "ftr_uptime_seconds",
+            "Seconds since the server observatory was created.",
+            &[],
+            move || (monotonic_nanos() - start_nanos) / 1_000_000_000,
+        );
+        let requests = VERBS
+            .iter()
+            .map(|verb| {
+                registry.counter(
+                    "ftr_requests_total",
+                    "Requests dispatched, by verb (parsed lines only).",
+                    &[("verb", verb)],
+                )
+            })
+            .collect();
+        let latency = LAT_VERBS
+            .iter()
+            .map(|verb| {
+                registry.histogram(
+                    "ftr_request_latency_seconds",
+                    "Server-side dispatch latency by verb (ROUTE is \
+                     batch-attributed: each query in a batch records the \
+                     batch's compute time).",
+                    Unit::Seconds,
+                    &[("verb", verb)],
+                )
+            })
+            .collect();
+        let mut shard_hits = Vec::with_capacity(shards);
+        let mut shard_misses = Vec::with_capacity(shards);
+        let mut shard_batch = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let shard = s.to_string();
+            shard_hits.push(registry.counter(
+                "ftr_cache_hits_total",
+                "Epoch-cache hits, by connection shard.",
+                &[("shard", &shard)],
+            ));
+            shard_misses.push(registry.counter(
+                "ftr_cache_misses_total",
+                "Epoch-cache misses, by connection shard.",
+                &[("shard", &shard)],
+            ));
+            shard_batch.push(registry.histogram(
+                "ftr_batch_size",
+                "Requests per dispatch batch, by connection shard.",
+                Unit::None,
+                &[("shard", &shard)],
+            ));
+        }
+        // Pre-existing STATS counters, bridged so one scrape carries
+        // everything. (The Arc clones keep the closures 'static.)
+        let s = Arc::clone(&stats);
+        registry.func_counter(
+            "ftr_queries_total",
+            "Requests answered, ERR replies included (STATS queries=).",
+            &[],
+            move || s.queries.load(Relaxed),
+        );
+        let s = Arc::clone(&stats);
+        registry.func_counter(
+            "ftr_connections_total",
+            "Connections accepted (STATS connections=).",
+            &[],
+            move || s.connections.load(Relaxed),
+        );
+        let s = Arc::clone(&stats);
+        registry.func_counter(
+            "ftr_protocol_errors_total",
+            "Malformed requests and query errors (STATS errors=).",
+            &[],
+            move || s.protocol_errors.load(Relaxed),
+        );
+        let s = Arc::clone(&stats);
+        registry.func_counter(
+            "ftr_events_enqueued_total",
+            "Fault events enqueued (STATS events=).",
+            &[],
+            move || s.events_enqueued.load(Relaxed),
+        );
+        let s = Arc::clone(&stats);
+        registry.func_counter(
+            "ftr_accept_retries_total",
+            "Transient accept-loop errors retried (STATS accept_retries=).",
+            &[],
+            move || s.accept_retries.load(Relaxed),
+        );
+
+        let ingest_events = registry.counter(
+            "ftr_ingest_events_total",
+            "Fault events drained by the ingest thread.",
+            &[],
+        );
+        let ingest_batches = registry.counter(
+            "ftr_ingest_batches_total",
+            "Ingest batches drained (effective or not).",
+            &[],
+        );
+        let ingest_applied = registry.counter(
+            "ftr_ingest_applied_total",
+            "Events that actually toggled a node.",
+            &[],
+        );
+        let ingest_occupancy = registry.histogram(
+            "ftr_ingest_batch_occupancy",
+            "Events per ingest batch (window occupancy; cap is the \
+             configured max batch).",
+            Unit::None,
+            &[],
+        );
+        let ingest_apply_seconds = registry.histogram(
+            "ftr_ingest_apply_seconds",
+            "Incremental epoch-advance time per effective batch \
+             (toggles applied, excluding the publish swap).",
+            Unit::Seconds,
+            &[],
+        );
+        let epoch_publish_seconds = registry.histogram(
+            "ftr_epoch_publish_seconds",
+            "Snapshot-swap (epoch publish) time.",
+            Unit::Seconds,
+            &[],
+        );
+        let epoch_id = registry.gauge("ftr_epoch_id", "Current epoch id.", &[]);
+        let epoch_faults =
+            registry.gauge("ftr_epoch_faults", "Fault count of the current epoch.", &[]);
+        let epoch_advances = registry.counter(
+            "ftr_epoch_advances_total",
+            "Epochs published since start.",
+            &[],
+        );
+
+        let search_visited = registry.counter(
+            "ftr_search_visited_total",
+            "Fault sets evaluated by TOLERATE/AUDIT searches.",
+            &[],
+        );
+        let search_pruned = registry.counter(
+            "ftr_search_pruned_total",
+            "Fault sets covered by pruning in TOLERATE/AUDIT searches.",
+            &[],
+        );
+        let search_wall_seconds = registry.histogram(
+            "ftr_search_wall_seconds",
+            "TOLERATE/AUDIT search wall time.",
+            Unit::Seconds,
+            &[],
+        );
+
+        let t = Arc::clone(&trace);
+        registry.func_counter(
+            "ftr_trace_events_total",
+            "Events pushed to the trace ring since start.",
+            &[],
+            move || t.total(),
+        );
+        let t = Arc::clone(&trace);
+        registry.func_counter(
+            "ftr_trace_dropped_total",
+            "Trace events evicted from the ring.",
+            &[],
+            move || t.dropped(),
+        );
+
+        #[cfg(feature = "obs-counters")]
+        {
+            registry.func_counter(
+                "ftr_engine_bfs_calls_total",
+                "Bit-parallel BFS invocations (obs-counters feature).",
+                &[],
+                ftr_graph::obs::bfs_calls,
+            );
+            registry.func_counter(
+                "ftr_engine_bfs_levels_total",
+                "BFS frontier levels expanded (obs-counters feature).",
+                &[],
+                ftr_graph::obs::bfs_levels,
+            );
+            registry.func_counter(
+                "ftr_engine_batch_calls_total",
+                "Batched diameter-kernel invocations (obs-counters feature).",
+                &[],
+                ftr_core::obs::batch_calls,
+            );
+            registry.func_counter(
+                "ftr_engine_batch_sets_total",
+                "Fault sets evaluated by the batched kernel (obs-counters \
+                 feature).",
+                &[],
+                ftr_core::obs::batch_sets,
+            );
+        }
+
+        ServeObs {
+            enabled,
+            registry,
+            trace,
+            start_nanos,
+            requests,
+            latency,
+            shard_hits,
+            shard_misses,
+            shard_batch,
+            ingest_events,
+            ingest_batches,
+            ingest_applied,
+            ingest_occupancy,
+            ingest_apply_seconds,
+            epoch_publish_seconds,
+            epoch_id,
+            epoch_faults,
+            epoch_advances,
+            search_visited,
+            search_pruned,
+            search_wall_seconds,
+        }
+    }
+
+    /// Whether shards record (the exposition works either way).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whole seconds since the observatory was created.
+    pub fn uptime_seconds(&self) -> u64 {
+        (monotonic_nanos() - self.start_nanos) / 1_000_000_000
+    }
+
+    /// The event journal.
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// The last `n` journal events, oldest first.
+    pub fn trace_last(&self, n: usize) -> Vec<TraceEvent> {
+        self.trace.last(n)
+    }
+
+    /// Per-verb request counts, aligned with [`VERBS`].
+    pub(crate) fn verb_counts(&self) -> [u64; VERBS.len()] {
+        let mut out = [0u64; VERBS.len()];
+        for (slot, counter) in out.iter_mut().zip(&self.requests) {
+            *slot = counter.get();
+        }
+        out
+    }
+
+    /// Prometheus text exposition of the whole registry.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Flat JSON snapshot of the whole registry.
+    pub fn render_json(&self) -> String {
+        self.registry.render_json()
+    }
+
+    /// The `OK METRICS lines=<k>` reply: header plus the exposition
+    /// lines, newline-separated (the server's write loop appends the
+    /// final newline).
+    pub(crate) fn metrics_reply(&self) -> String {
+        let body = self.render_prometheus();
+        let body = body.trim_end_matches('\n');
+        if body.is_empty() {
+            return "OK METRICS lines=0".to_string();
+        }
+        format!("OK METRICS lines={}\n{body}", body.lines().count())
+    }
+
+    /// The `OK TRACE lines=<k>` reply draining the last `n` events.
+    pub(crate) fn trace_reply(&self, n: usize) -> String {
+        let events = self.trace.last(n);
+        let mut out = format!("OK TRACE lines={}", events.len());
+        for event in &events {
+            out.push('\n');
+            out.push_str(&event.to_string());
+        }
+        out
+    }
+
+    /// Records one drained ingest batch (and, when it published, the
+    /// epoch advance) — called from the ingest thread at batch rate.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ingest_batch(
+        &self,
+        events: u64,
+        applied: u64,
+        apply_nanos: u64,
+        publish_nanos: u64,
+        published: bool,
+        epoch_id: u64,
+        faults: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.ingest_events.add(events);
+        self.ingest_batches.inc();
+        self.ingest_applied.add(applied);
+        self.ingest_occupancy.record(events);
+        if published {
+            self.ingest_apply_seconds.record(apply_nanos);
+            self.epoch_publish_seconds.record(publish_nanos);
+            self.epoch_id.set(epoch_id);
+            self.epoch_faults.set(faults);
+            self.epoch_advances.inc();
+            self.trace.push(
+                epoch_id,
+                "epoch_publish",
+                format!(
+                    "events={events} applied={applied} faults={faults} \
+                     apply_ns={apply_nanos} publish_ns={publish_nanos}"
+                ),
+            );
+        } else {
+            self.trace
+                .push(epoch_id, "ingest_noop", format!("events={events}"));
+        }
+    }
+
+    /// Seeds the epoch gauges from the genesis epoch.
+    pub(crate) fn seed_epoch(&self, epoch_id: u64, faults: u64) {
+        self.epoch_id.set(epoch_id);
+        self.epoch_faults.set(faults);
+        self.trace
+            .push(epoch_id, "server_start", format!("faults={faults}"));
+    }
+
+    /// Records one TOLERATE/AUDIT search (visited/pruned progression
+    /// plus wall time) — called at search rate, never per query.
+    pub(crate) fn search(
+        &self,
+        kind: &'static str,
+        epoch_id: u64,
+        visited: u64,
+        pruned: u64,
+        wall_nanos: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.search_visited.add(visited);
+        self.search_pruned.add(pruned);
+        self.search_wall_seconds.record(wall_nanos);
+        self.trace.push(
+            epoch_id,
+            kind,
+            format!("visited={visited} pruned={pruned} wall_ns={wall_nanos}"),
+        );
+    }
+}
+
+/// A shard's plain-integer metric accumulator: written on the dispatch
+/// hot path without atomics, flushed in bulk into [`ServeObs`].
+pub(crate) struct LocalObs {
+    pub verbs: [u64; VERBS.len()],
+    pub hits: u64,
+    pub misses: u64,
+    pub batch_sizes: Histogram,
+    pub latency: [Histogram; LAT_VERBS.len()],
+    /// Dispatch batches since the last flush.
+    pub batches: u32,
+}
+
+impl LocalObs {
+    pub fn new() -> Self {
+        LocalObs {
+            verbs: [0; VERBS.len()],
+            hits: 0,
+            misses: 0,
+            batch_sizes: Histogram::new(),
+            latency: [
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+            ],
+            batches: 0,
+        }
+    }
+
+    /// Whether anything has accumulated since the last flush. (Latency
+    /// and cache outcomes can land after a mid-batch introspection
+    /// flush, so this checks every cell, not just the batch count.)
+    pub fn dirty(&self) -> bool {
+        self.batches > 0
+            || self.hits > 0
+            || self.misses > 0
+            || !self.batch_sizes.is_empty()
+            || self.latency.iter().any(|h| !h.is_empty())
+    }
+
+    /// Folds everything into the shared registry and resets.
+    pub fn flush(&mut self, obs: &ServeObs, shard: usize) {
+        if !self.dirty() {
+            return;
+        }
+        for (count, counter) in self.verbs.iter_mut().zip(&obs.requests) {
+            counter.add(*count);
+            *count = 0;
+        }
+        obs.shard_hits[shard].add(self.hits);
+        obs.shard_misses[shard].add(self.misses);
+        self.hits = 0;
+        self.misses = 0;
+        obs.shard_batch[shard].merge_from(&self.batch_sizes);
+        self.batch_sizes.clear();
+        for (local, shared) in self.latency.iter_mut().zip(&obs.latency) {
+            shared.merge_from(local);
+            local.clear();
+        }
+        self.batches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_renders_at_least_twelve_series() {
+        let obs = ServeObs::new(true, 2, Arc::new(ServerStats::default()));
+        let text = obs.render_prometheus();
+        let families: std::collections::BTreeSet<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert!(
+            families.len() >= 12,
+            "only {} families: {families:?}",
+            families.len()
+        );
+        for required in [
+            "ftr_uptime_seconds",
+            "ftr_requests_total",
+            "ftr_request_latency_seconds",
+            "ftr_cache_hits_total",
+            "ftr_cache_misses_total",
+            "ftr_batch_size",
+            "ftr_ingest_events_total",
+            "ftr_ingest_batch_occupancy",
+            "ftr_epoch_id",
+            "ftr_epoch_advances_total",
+            "ftr_epoch_publish_seconds",
+            "ftr_search_visited_total",
+            "ftr_search_wall_seconds",
+        ] {
+            assert!(families.contains(required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn local_obs_flushes_into_the_shared_catalog() {
+        let obs = ServeObs::new(true, 1, Arc::new(ServerStats::default()));
+        let mut local = LocalObs::new();
+        local.verbs[0] += 3; // route
+        local.verbs[1] += 1; // ping
+        local.hits += 2;
+        local.misses += 1;
+        local.batch_sizes.record(4);
+        local.latency[LAT_ROUTE].record_n(10_000, 4);
+        local.batches = 1;
+        local.flush(&obs, 0);
+        assert!(!local.dirty());
+        let counts = obs.verb_counts();
+        assert_eq!(counts[0], 3);
+        assert_eq!(counts[1], 1);
+        let text = obs.render_prometheus();
+        assert!(text.contains("ftr_cache_hits_total{shard=\"0\"} 2"));
+        assert!(text.contains("ftr_cache_misses_total{shard=\"0\"} 1"));
+        assert!(text.contains("ftr_request_latency_seconds_count{verb=\"route\"} 4"));
+        // Flushing twice adds nothing.
+        local.flush(&obs, 0);
+        assert_eq!(obs.verb_counts()[0], 3);
+    }
+
+    #[test]
+    fn ingest_and_search_paths_record_and_trace() {
+        let obs = ServeObs::new(true, 1, Arc::new(ServerStats::default()));
+        obs.seed_epoch(0, 0);
+        obs.ingest_batch(3, 2, 1_000, 500, true, 1, 2);
+        obs.ingest_batch(1, 0, 0, 0, false, 1, 2);
+        obs.search("audit_search", 1, 56, 0, 2_000_000);
+        let text = obs.render_prometheus();
+        assert!(text.contains("ftr_ingest_events_total 4"));
+        assert!(text.contains("ftr_ingest_batches_total 2"));
+        assert!(text.contains("ftr_ingest_applied_total 2"));
+        assert!(text.contains("ftr_epoch_id 1"));
+        assert!(text.contains("ftr_epoch_faults 2"));
+        assert!(text.contains("ftr_epoch_advances_total 1"));
+        assert!(text.contains("ftr_search_visited_total 56"));
+        let events = obs.trace_last(10);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, "server_start");
+        assert_eq!(events[1].kind, "epoch_publish");
+        assert_eq!(events[2].kind, "ingest_noop");
+        assert_eq!(events[3].kind, "audit_search");
+        let reply = obs.trace_reply(2);
+        assert!(reply.starts_with("OK TRACE lines=2\n"));
+        assert!(reply.contains("kind=audit_search"));
+        let metrics = obs.metrics_reply();
+        assert!(metrics.starts_with("OK METRICS lines="));
+        // Disabled recording is a no-op but the exposition still works.
+        let off = ServeObs::new(false, 1, Arc::new(ServerStats::default()));
+        off.ingest_batch(3, 2, 1_000, 500, true, 1, 2);
+        off.search("audit_search", 1, 5, 0, 10);
+        assert!(off
+            .render_prometheus()
+            .contains("ftr_ingest_events_total 0"));
+        assert!(off.metrics_reply().starts_with("OK METRICS lines="));
+    }
+}

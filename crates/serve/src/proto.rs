@@ -17,6 +17,8 @@
 //! | `FAIL v` | `OK QUEUED` |
 //! | `REPAIR v` | `OK QUEUED` |
 //! | `STATS` | `OK STATS epoch=… queries=… cache_hits=… …` |
+//! | `METRICS` | `OK METRICS lines=<k>` + `k` exposition lines |
+//! | `TRACE n` | `OK TRACE lines=<k>` + `k` journal lines (`k ≤ n`) |
 //! | `QUIT` | `OK BYE` (connection closes) |
 //!
 //! `SCHEMES` reports each registry scheme's applicability on the served
@@ -32,6 +34,13 @@
 //! — the online counterpart of an `ftr-audit` certificate run. Both
 //! reject over-budget requests with a structured `ERR` naming the
 //! worst-case search size.
+//!
+//! `METRICS` and `TRACE n` are the only multi-line replies: the header
+//! carries `lines=<k>` so clients know exactly how many body lines
+//! follow (the Prometheus text exposition for `METRICS`, the newest
+//! `k ≤ n` trace-journal events, oldest first, for `TRACE`). Pipelining
+//! stays intact — the header plus body count as the one reply for the
+//! request line.
 //!
 //! Anything else gets `ERR <reason>` and the connection stays open.
 
@@ -87,6 +96,10 @@ pub enum Request {
     Repair(Node),
     /// Server counters.
     Stats,
+    /// Prometheus-style text exposition of every registered metric.
+    Metrics,
+    /// The last `n` trace-journal events, oldest first.
+    Trace(usize),
     /// Close this connection.
     Quit,
 }
@@ -113,7 +126,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let canon = |v: &str| -> &'static str {
         for known in [
             "PING", "EPOCH", "DIAM", "STATS", "QUIT", "ROUTE", "TOLERATE", "AUDIT", "SCHEMES",
-            "PLAN", "FAIL", "REPAIR",
+            "PLAN", "FAIL", "REPAIR", "METRICS", "TRACE",
         ] {
             if v.eq_ignore_ascii_case(known) {
                 return known;
@@ -153,6 +166,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         },
         "FAIL" => Request::Fail(parse_node(arg("v")?)?),
         "REPAIR" => Request::Repair(parse_node(arg("v")?)?),
+        "METRICS" => Request::Metrics,
+        "TRACE" => Request::Trace(parse_num(arg("n")?, "event count")?),
         _ => unreachable!("canonical verbs are matched exhaustively"),
     };
     match tokens.next() {
@@ -247,6 +262,8 @@ mod tests {
             })
         );
         assert_eq!(parse_request("FAIL 9"), Ok(Request::Fail(9)));
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
+        assert_eq!(parse_request("TRACE 32"), Ok(Request::Trace(32)));
         assert_eq!(parse_request("repair 0"), Ok(Request::Repair(0)));
         assert_eq!(parse_request("schemes"), Ok(Request::Schemes));
         assert_eq!(
@@ -279,6 +296,10 @@ mod tests {
             "PLAN x 2",
             "PLAN 4 2 9",
             "SCHEMES now",
+            "METRICS all",
+            "TRACE",
+            "TRACE x",
+            "TRACE 5 5",
             "FAIL",
             "FAIL 1 2",
             "PING PONG",

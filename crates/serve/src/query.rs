@@ -236,6 +236,8 @@ pub struct ToleranceAnswer {
     pub sets: u64,
     /// Fault sets covered by the monotone prune instead of evaluation.
     pub pruned: u64,
+    /// Search wall time in nanoseconds (from the audit searcher).
+    pub wall_nanos: u64,
 }
 
 /// Measures `TOLERATE d f` at `epoch` through the `ftr-audit` pruned
@@ -286,6 +288,7 @@ pub fn tolerate(
             witness: Vec::new(),
             sets: report.visited,
             pruned: report.pruned_sets,
+            wall_nanos: report.wall_nanos,
         },
         Verdict::Violated { witness, diameter } => ToleranceAnswer {
             holds: false,
@@ -293,6 +296,7 @@ pub fn tolerate(
             witness,
             sets: report.visited,
             pruned: report.pruned_sets,
+            wall_nanos: report.wall_nanos,
         },
         Verdict::Exhausted => unreachable!("no visit cap was set"),
     })
@@ -325,6 +329,8 @@ pub struct AuditAnswer {
     pub pruned: u64,
     /// The whole space `Σ_{k<=f} C(n, k)`.
     pub space: u64,
+    /// Search wall time in nanoseconds (from the audit searcher).
+    pub wall_nanos: u64,
 }
 
 /// Audits `(bound, faults)` against the **pristine** snapshot (current
@@ -372,6 +378,7 @@ pub fn audit_claim(
             visited: report.visited,
             pruned: report.pruned_sets,
             space: report.space,
+            wall_nanos: report.wall_nanos,
         },
         Verdict::Violated { witness, diameter } => AuditAnswer {
             holds: false,
@@ -380,6 +387,7 @@ pub fn audit_claim(
             visited: report.visited,
             pruned: report.pruned_sets,
             space: report.space,
+            wall_nanos: report.wall_nanos,
         },
         Verdict::Exhausted => unreachable!("no visit cap was set"),
     })

@@ -19,13 +19,17 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ftr_core::{Planner, PlannerRequest, SchemeParams, SchemeRegistry};
 use ftr_graph::Node;
 
 use crate::epoch::{Epoch, EpochReader, EpochStore, QueryKey};
 use crate::ingest::{EventQueue, FaultEvent, Ingestor};
+use crate::metrics::{
+    verb_index, LocalObs, ServeObs, FLUSH_EVERY, LAT_AUDIT, LAT_PLAN, LAT_ROUTE, LAT_TOLERATE,
+    VERBS,
+};
 use crate::poll::PollSet;
 use crate::proto::{parse_request, render_diameter, Request};
 use crate::query::{self, QueryError};
@@ -55,6 +59,10 @@ pub struct ServerConfig {
     /// Estimated-route-count cap for one `PLAN` evaluation (candidates
     /// above it are ruled out instead of built).
     pub plan_route_budget: usize,
+    /// Whether the shards record metrics and trace events. Off, the
+    /// hot path skips all recording (including clock reads); `METRICS`
+    /// still answers, with the serve-side series frozen at zero.
+    pub metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +75,7 @@ impl Default for ServerConfig {
             tolerate_budget: 250_000,
             audit_budget: 1_000_000,
             plan_route_budget: 2_000_000,
+            metrics: true,
         }
     }
 }
@@ -108,6 +117,7 @@ impl ServerStats {
 pub struct ServerHandle {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
+    obs: Arc<ServeObs>,
     store: EpochStore,
     queue: Arc<EventQueue>,
     shutdown: Arc<AtomicBool>,
@@ -122,6 +132,12 @@ impl ServerHandle {
     /// The live counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The metric registry and trace journal (for `--metrics-json`
+    /// exporters, tests and diagnostics).
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.obs
     }
 
     /// The epoch store (read-side, e.g. for tests and diagnostics).
@@ -160,9 +176,21 @@ impl Server {
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
         let store = EpochStore::new(&snapshot.engine().epoch_state());
+        let stats = Arc::new(ServerStats::default());
+        let obs = Arc::new(ServeObs::new(
+            config.metrics,
+            config.shards.max(1),
+            Arc::clone(&stats),
+        ));
+        {
+            let mut reader = store.reader();
+            let genesis = Arc::clone(reader.current());
+            obs.seed_epoch(genesis.id(), genesis.faults().len() as u64);
+        }
         let handle = ServerHandle {
             addr,
-            stats: Arc::new(ServerStats::default()),
+            stats,
+            obs,
             store,
             queue: Arc::new(EventQueue::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -209,15 +237,18 @@ impl Server {
         let plans = Mutex::new(HashMap::new());
         let audits = Mutex::new(HashMap::new());
         std::thread::scope(|scope| {
-            let ingestor = Ingestor::new(snapshot.engine(), handle.store.clone());
+            let ingestor = Ingestor::new(snapshot.engine(), handle.store.clone())
+                .with_obs(Arc::clone(&handle.obs));
             let queue = Arc::clone(&handle.queue);
             let (window, max_batch) = (config.batch_window, config.max_batch);
             scope.spawn(move || ingestor.run(&queue, window, max_batch));
-            for inbox in &inboxes {
+            for (index, inbox) in inboxes.iter().enumerate() {
                 let shard = Shard {
+                    index,
                     snapshot: &snapshot,
                     config: &config,
                     stats: &handle.stats,
+                    obs: &handle.obs,
                     queue: &handle.queue,
                     reader: handle.store.reader(),
                     shutdown: &handle.shutdown,
@@ -433,9 +464,12 @@ struct DispatchScratch {
 /// Per-shard state: an epoch reader (lock-free current-epoch access),
 /// the shard's connections, and borrowed shared pieces.
 struct Shard<'a> {
+    /// This shard's index (labels its per-shard metric series).
+    index: usize,
     snapshot: &'a RoutingSnapshot,
     config: &'a ServerConfig,
     stats: &'a ServerStats,
+    obs: &'a ServeObs,
     queue: &'a EventQueue,
     reader: EpochReader,
     shutdown: &'a AtomicBool,
@@ -456,6 +490,7 @@ impl Shard<'_> {
         let mut conns: Vec<Conn> = Vec::new();
         let mut poll = PollSet::new();
         let mut scratch = DispatchScratch::default();
+        let mut local = LocalObs::new();
         let mut chunk = vec![0u8; 64 * 1024];
         while !self.shutdown.load(Ordering::SeqCst) {
             // Adopt freshly accepted connections.
@@ -472,6 +507,10 @@ impl Shard<'_> {
                 poll.push(&conn.stream, conn.wants_write());
             }
             if poll.wait(POLL_TIMEOUT_MS) == 0 {
+                // Idle tick: fold the local accumulators into the shared
+                // registry so scrapes never lag a quiet shard by more
+                // than the poll timeout.
+                local.flush(self.obs, self.index);
                 continue;
             }
             for (i, conn) in conns.iter_mut().enumerate() {
@@ -487,9 +526,11 @@ impl Shard<'_> {
                 }
                 if !conn.rbuf.is_empty() || conn.eof {
                     Self::drain_batches(
+                        self.index,
                         self.snapshot,
                         self.config,
                         self.stats,
+                        self.obs,
                         self.queue,
                         &mut self.reader,
                         self.schemes,
@@ -497,6 +538,7 @@ impl Shard<'_> {
                         self.audits,
                         conn,
                         &mut scratch,
+                        &mut local,
                     );
                 }
                 if !backlogged && (conn.wants_write() || conn.quit || conn.eof) {
@@ -505,6 +547,7 @@ impl Shard<'_> {
             }
             conns.retain(|c| !c.dead);
         }
+        local.flush(self.obs, self.index);
     }
 
     /// Frame-decodes every complete line buffered on `conn` into one
@@ -514,9 +557,11 @@ impl Shard<'_> {
     /// request (a slow sender's last query is answered, not dropped).
     #[allow(clippy::too_many_arguments)]
     fn drain_batches(
+        shard_index: usize,
         snapshot: &RoutingSnapshot,
         config: &ServerConfig,
         stats: &ServerStats,
+        obs: &ServeObs,
         queue: &EventQueue,
         reader: &mut EpochReader,
         schemes: &OnceLock<String>,
@@ -524,6 +569,7 @@ impl Shard<'_> {
         audits: &Mutex<HashMap<(u32, usize), String>>,
         conn: &mut Conn,
         scratch: &mut DispatchScratch,
+        local: &mut LocalObs,
     ) {
         scratch.requests.clear();
         let buf = &conn.rbuf;
@@ -570,11 +616,31 @@ impl Shard<'_> {
         replies.clear();
         jobs.clear();
         pairs.clear();
+        let record = obs.enabled();
+        if record {
+            // Per-verb and batch-size accounting stays in the shard's
+            // plain-integer local; only introspection verbs force an
+            // early flush, so their replies see their own batch.
+            local.batches += 1;
+            local.batch_sizes.record(requests.len() as u64);
+            let mut introspect = false;
+            for parsed in requests.iter().flatten() {
+                local.verbs[verb_index(parsed)] += 1;
+                introspect |= matches!(
+                    parsed,
+                    Request::Stats | Request::Metrics | Request::Trace(_)
+                );
+            }
+            if introspect {
+                local.flush(obs, shard_index);
+            }
+        }
         let mut errors = 0u64;
         let ctx = DispatchCtx {
             snapshot,
             config,
             stats,
+            obs,
             queue,
             schemes,
             plans,
@@ -602,22 +668,54 @@ impl Shard<'_> {
                         }
                     }
                 }
-                Ok(request) => ctx.dispatch_slow(*request, &epoch, &mut errors),
+                Ok(request) => {
+                    // TOLERATE/AUDIT/PLAN are the verbs whose server-side
+                    // latency earns a distribution; the rest are O(1)
+                    // renders not worth two clock reads each.
+                    let slot = match request {
+                        Request::Tolerate { .. } => Some(LAT_TOLERATE),
+                        Request::Audit { .. } => Some(LAT_AUDIT),
+                        Request::Plan { .. } => Some(LAT_PLAN),
+                        _ => None,
+                    };
+                    match slot.filter(|_| record) {
+                        Some(slot) => {
+                            let start = Instant::now();
+                            let reply = ctx.dispatch_slow(*request, &epoch, &mut errors);
+                            local.latency[slot].record(start.elapsed().as_nanos() as u64);
+                            reply
+                        }
+                        None => ctx.dispatch_slow(*request, &epoch, &mut errors),
+                    }
+                }
             };
             replies.push(reply);
         }
         if !pairs.is_empty() {
             let mut hits = 0u64;
+            let start = record.then(Instant::now);
             query::route_batch(snapshot, &epoch, pairs, |j, value, hit| {
                 hits += u64::from(hit);
                 replies[jobs[j].0 as usize] = Reply::Shared(value);
             });
+            if let Some(start) = start {
+                // Batch-attributed ROUTE latency, mirroring the load
+                // generator's accounting: every query in the batch
+                // records the batch's compute time.
+                local.latency[LAT_ROUTE]
+                    .record_n(start.elapsed().as_nanos() as u64, pairs.len() as u64);
+                local.hits += hits;
+                local.misses += pairs.len() as u64 - hits;
+            }
             if hits > 0 {
                 stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
             }
         }
         if errors > 0 {
             stats.protocol_errors.fetch_add(errors, Ordering::Relaxed);
+        }
+        if local.batches >= FLUSH_EVERY {
+            local.flush(obs, shard_index);
         }
         for reply in replies.iter() {
             match reply {
@@ -672,6 +770,7 @@ struct DispatchCtx<'a> {
     snapshot: &'a RoutingSnapshot,
     config: &'a ServerConfig,
     stats: &'a ServerStats,
+    obs: &'a ServeObs,
     queue: &'a EventQueue,
     schemes: &'a OnceLock<String>,
     plans: &'a Mutex<HashMap<(u32, usize), String>>,
@@ -709,16 +808,24 @@ impl DispatchCtx<'_> {
                     // carries the full (d, f) claim; the search itself is
                     // single-threaded and deterministic, so a cached
                     // reply is byte-identical to a fresh one.
+                    let mut searched = None;
                     let (reply, hit) = epoch.cache().get_or_insert_with(
                         QueryKey::Tolerate(diameter, faults),
                         || match query::tolerate(self.snapshot, epoch, diameter, faults, budget) {
-                            Ok(a) => render_tolerate(&a),
+                            Ok(a) => {
+                                searched = Some((a.sets, a.pruned, a.wall_nanos));
+                                render_tolerate(&a)
+                            }
                             // Unreachable (the budget was checked with
                             // the same inputs above); kept as a visible
                             // ERR, never a silent wrong answer.
                             Err(e) => format!("ERR {e}"),
                         },
                     );
+                    if let Some((sets, pruned, wall)) = searched {
+                        self.obs
+                            .search("tolerate_search", epoch.id(), sets, pruned, wall);
+                    }
                     if hit {
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     }
@@ -745,6 +852,13 @@ impl DispatchCtx<'_> {
                             Reply::Owned(format!("ERR {e}"))
                         }
                         Ok(a) => {
+                            self.obs.search(
+                                "audit_search",
+                                epoch.id(),
+                                a.visited,
+                                a.pruned,
+                                a.wall_nanos,
+                            );
                             let reply = render_audit(&a);
                             let mut audits = self.audits.lock().expect("audit cache poisoned");
                             if audits.len() < PLAN_MEMO_CAP {
@@ -771,14 +885,27 @@ impl DispatchCtx<'_> {
             }
             Request::Stats => {
                 let (queries, hits, errors, conns, events, retries) = self.stats.snapshot();
-                Reply::Owned(format!(
+                // Every pre-existing token stays byte-identical, in the
+                // same order; uptime and the per-verb counters (prefixed
+                // `verb_` so names can never collide with the originals)
+                // are appended after them.
+                let mut reply = format!(
                     "OK STATS epoch={} faults={} queries={queries} cache_hits={hits} \
                      errors={errors} connections={conns} events={events} \
-                     accept_retries={retries}",
+                     accept_retries={retries} uptime_s={}",
                     epoch.id(),
-                    epoch.faults().len()
-                ))
+                    epoch.faults().len(),
+                    self.obs.uptime_seconds()
+                );
+                let counts = self.obs.verb_counts();
+                for (verb, count) in VERBS.iter().zip(counts) {
+                    use std::fmt::Write as _;
+                    let _ = write!(reply, " verb_{verb}={count}");
+                }
+                Reply::Owned(reply)
             }
+            Request::Metrics => Reply::Owned(self.obs.metrics_reply()),
+            Request::Trace(n) => Reply::Owned(self.obs.trace_reply(n)),
             // The served graph never changes, so the applicability
             // survey is computed once per server lifetime.
             Request::Schemes => Reply::Owned(

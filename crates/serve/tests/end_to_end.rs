@@ -223,6 +223,177 @@ fn concurrent_clients_and_churn_stay_consistent() {
 }
 
 #[test]
+fn stats_reply_keeps_every_legacy_token_and_appends_observability() {
+    let (server, _snapshot) = start_petersen_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.ping().unwrap());
+    let stats = client.request("STATS").unwrap();
+
+    // Regression: a pre-observability client parses STATS positionally —
+    // the first nine tokens must be exactly the old reply, same keys,
+    // same order, and every value must still be a bare integer.
+    let tokens: Vec<&str> = stats.split(' ').collect();
+    assert_eq!(&tokens[..2], &["OK", "STATS"], "{stats}");
+    const LEGACY_KEYS: [&str; 8] = [
+        "epoch",
+        "faults",
+        "queries",
+        "cache_hits",
+        "errors",
+        "connections",
+        "events",
+        "accept_retries",
+    ];
+    for (token, want) in tokens[2..].iter().zip(LEGACY_KEYS) {
+        let (key, value) = token.split_once('=').expect("key=value");
+        assert_eq!(key, want, "legacy token order changed: {stats}");
+        assert!(value.parse::<u64>().is_ok(), "non-integer {token}: {stats}");
+    }
+    // The new tokens ride strictly after the legacy ones.
+    let uptime_at = tokens.iter().position(|t| t.starts_with("uptime_s="));
+    assert_eq!(uptime_at, Some(2 + LEGACY_KEYS.len()), "{stats}");
+    assert!(stats.contains(" verb_route="), "{stats}");
+    // The introspection flush makes STATS see its own batch: this
+    // connection issued one PING and this very STATS.
+    assert!(stats.contains(" verb_ping=1"), "{stats}");
+    assert!(stats.contains(" verb_stats=1"), "{stats}");
+
+    client.quit().unwrap();
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn metrics_exposition_and_trace_journal_answer_over_the_wire() {
+    let (server, _snapshot) = start_petersen_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Drive some traffic so the series move: routes, a search, churn.
+    for y in 1..6u32 {
+        assert!(client.route(0, y).unwrap().starts_with("OK "));
+    }
+    assert!(client.tolerate(4, 1).unwrap());
+    assert!(client.fail(3).unwrap());
+    wait_for_faults(&mut client, 1);
+
+    let scrape = |text: &str| -> std::collections::HashMap<String, f64> {
+        let mut values = std::collections::HashMap::new();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            values.insert(series.to_string(), value.parse::<f64>().unwrap());
+        }
+        values
+    };
+    let first = client.metrics().unwrap();
+    let families: Vec<&str> = first
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    assert!(
+        families.len() >= 12,
+        "exposition too small ({} families): {families:?}",
+        families.len()
+    );
+    let a = scrape(&first);
+    assert!(a["ftr_requests_total{verb=\"route\"}"] >= 5.0);
+    assert!(a["ftr_request_latency_seconds_count{verb=\"route\"}"] >= 5.0);
+    assert!(a["ftr_search_visited_total"] >= 1.0, "tolerate searched");
+    assert!(a["ftr_epoch_advances_total"] >= 1.0, "churn published");
+    assert_eq!(a["ftr_epoch_id"], 1.0);
+    assert_eq!(a["ftr_epoch_faults"], 1.0);
+    assert!(a["ftr_ingest_events_total"] >= 1.0);
+
+    // Counters are monotonic across scrapes, and the second scrape sees
+    // the first one's METRICS dispatch.
+    for y in 1..4u32 {
+        assert!(client.route(9, y).unwrap().starts_with("OK "));
+    }
+    let second = scrape(&client.metrics().unwrap());
+    for (series, before) in &a {
+        let name = series.split('{').next().unwrap();
+        if name.ends_with("_total") || name.ends_with("_count") || name.ends_with("_sum") {
+            let after = second.get(series).copied().unwrap_or(f64::NAN);
+            assert!(
+                after >= *before,
+                "{series} went backwards: {before} -> {after}"
+            );
+        }
+    }
+    assert!(second["ftr_requests_total{verb=\"metrics\"}"] >= 1.0);
+    assert!(
+        second["ftr_requests_total{verb=\"route\"}"]
+            >= a["ftr_requests_total{verb=\"route\"}"] + 3.0
+    );
+
+    // The trace journal carries the epoch advance, tagged with its epoch
+    // id and a monotonic timestamp.
+    let events = client.trace(64).unwrap();
+    assert!(!events.is_empty());
+    for event in &events {
+        assert!(event.starts_with("ts_ns="), "{event}");
+        assert!(event.contains(" epoch="), "{event}");
+        assert!(event.contains(" kind="), "{event}");
+    }
+    assert!(
+        events.iter().any(|e| e.contains("kind=epoch_publish")),
+        "{events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.contains("kind=tolerate_search")),
+        "{events:?}"
+    );
+    // TRACE n caps the drain.
+    assert_eq!(client.trace(2).unwrap().len(), 2);
+
+    // Pipelining across a multi-line reply stays in order.
+    let mut replies = Vec::new();
+    client
+        .pipeline(&["PING".to_string(), "PING".to_string()], &mut replies)
+        .unwrap();
+    assert_eq!(replies, ["OK PONG", "OK PONG"]);
+
+    client.quit().unwrap();
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn disabled_metrics_keep_the_exposition_answerable() {
+    let g = gen::petersen();
+    let kernel = KernelRouting::build(&g).unwrap();
+    let snapshot = RoutingSnapshot::new(g, kernel.routing().clone()).unwrap();
+    let server = Server::bind(
+        snapshot.into_shared(),
+        ServerConfig {
+            metrics: false,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.route(0, 5).unwrap().starts_with("OK "));
+    let text = client.metrics().unwrap();
+    assert!(text.contains("# TYPE ftr_requests_total counter"));
+    // Hot-path recording is off: the serve-side series stay zero, while
+    // the bridged ServerStats counters still move.
+    let route = text
+        .lines()
+        .find(|l| l.starts_with("ftr_requests_total{verb=\"route\"}"))
+        .unwrap();
+    assert!(route.ends_with(" 0"), "{route}");
+    let queries = text
+        .lines()
+        .find(|l| l.starts_with("ftr_queries_total"))
+        .unwrap();
+    assert!(!queries.ends_with(" 0"), "{queries}");
+    client.quit().unwrap();
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
 fn schemes_and_plan_verbs_answer_over_the_wire() {
     // Serve a planner-built snapshot so scheme provenance flows
     // end-to-end: planner -> BuiltRouting -> snapshot -> daemon.
