@@ -151,6 +151,7 @@ impl LocalCounts {
 
 /// The churn client: rotates scenarios, keeps at most `budget` nodes
 /// down, paces events at `hz`.
+// A one-call-site driver fn; a config struct would only rename the args.
 #[allow(clippy::too_many_arguments)]
 fn run_churn(
     addr: std::net::SocketAddr,

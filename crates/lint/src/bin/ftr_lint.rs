@@ -1,0 +1,144 @@
+//! `ftr-lint` CLI — runs the workspace invariant linter.
+//!
+//! ```text
+//! ftr-lint --check [--root DIR] [--report FILE] [--quiet]
+//! ftr-lint --suggest-ledger [--root DIR]
+//! ```
+//!
+//! `--check` (the default) runs every rule and exits 1 if any
+//! violation fired, 2 on configuration/I-O errors. `--report FILE`
+//! additionally writes the deterministic JSON report.
+//! `--suggest-ledger` prints template ledger lines for every
+//! `Ordering::` site that is missing from the ledger, ready to paste
+//! into `crates/lint/orderings.ledger` and justify.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftr_lint::{render, run_lint_with_sites, LintConfig};
+
+struct Args {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    suggest_ledger: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        report: None,
+        suggest_ledger: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--suggest-ledger" => args.suggest_ledger = true,
+            "--quiet" => args.quiet = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--report needs a file path".to_string())?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ftr-lint [--check] [--suggest-ledger] [--root DIR] \
+                     [--report FILE] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("ftr-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = LintConfig::workspace(&args.root);
+    let (outcome, sites) = match run_lint_with_sites(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ftr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.suggest_ledger {
+        // Template lines for every site missing a ledger entry, deduped
+        // by key and sorted — paste into the ledger and justify.
+        let ledger_text =
+            std::fs::read_to_string(args.root.join(&config.ledger_path)).unwrap_or_default();
+        let ledger = match ftr_lint::Ledger::parse(&ledger_text) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("ftr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut lines: Vec<String> = sites
+            .iter()
+            .filter(|s| {
+                !ledger.entries.contains_key(&(
+                    s.file.clone(),
+                    s.symbol.clone(),
+                    s.ordering.clone(),
+                ))
+            })
+            .map(|s| format!("{} | {} | {} | TODO", s.file, s.symbol, s.ordering))
+            .collect();
+        lines.sort();
+        lines.dedup();
+        for line in &lines {
+            println!("{line}");
+        }
+        if !args.quiet {
+            eprintln!("ftr-lint: {} unledgered key(s)", lines.len());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, render(&outcome)) {
+            eprintln!("ftr-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let violations = outcome.sorted_violations();
+    for v in &violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    if !args.quiet {
+        eprintln!(
+            "ftr-lint: {} file(s), {} Ordering site(s) ({} ledgered, {} stale entries), \
+             {} violation(s)",
+            outcome.files_scanned,
+            outcome.ledger.sites,
+            outcome.ledger.ledgered,
+            outcome.ledger.stale,
+            violations.len()
+        );
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,172 @@
+//! The atomic-ordering ledger: a checked-in registry of every
+//! `Ordering::<strength>` site in the workspace, with a one-line
+//! justification for the chosen strength.
+//!
+//! Format (one entry per line, `#` comments and blank lines ignored):
+//!
+//! ```text
+//! <file> | <symbol> | <ordering> | <justification>
+//! ```
+//!
+//! * `file` — workspace-relative path, forward slashes.
+//! * `symbol` — the enclosing function name, or `use` for a top-level
+//!   import, or `mod` for module-level code. One entry covers *every*
+//!   site with the same `(file, symbol, ordering)` key — a function
+//!   that loads the same counter five times with `Relaxed` needs one
+//!   entry, not five.
+//! * `ordering` — `Relaxed`, `Acquire`, `Release`, `AcqRel` or `SeqCst`.
+//! * `justification` — why this strength is sufficient (and, for
+//!   anything above `Relaxed`, what it synchronizes with).
+//!
+//! The linter enforces the ledger in both directions: a site without an
+//! entry is an error (undocumented ordering), and an entry without a
+//! site is an error (stale ledger — the code moved and the audit trail
+//! no longer matches it).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The five `std::sync::atomic` ordering strengths.
+pub const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One parsed ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// Enclosing symbol (`use` / `mod` / function name).
+    pub symbol: String,
+    /// The ordering strength this entry justifies.
+    pub ordering: String,
+    /// The one-line justification.
+    pub justification: String,
+    /// 1-based line of the entry in the ledger file.
+    pub line: u32,
+}
+
+/// The key a site or an entry is matched under.
+pub type LedgerKey = (String, String, String);
+
+/// A parsed ledger: entries indexed by `(file, symbol, ordering)`.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    /// Entries in key order (deterministic regardless of file order).
+    pub entries: BTreeMap<LedgerKey, LedgerEntry>,
+}
+
+/// Why a ledger failed to parse.
+#[derive(Debug)]
+pub struct LedgerParseError {
+    /// 1-based line of the offending entry.
+    pub line: u32,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for LedgerParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ledger line {}: {}", self.line, self.message)
+    }
+}
+
+impl Ledger {
+    /// Parses the ledger text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerParseError`] for a malformed line, an unknown
+    /// ordering strength, an empty justification, or a duplicate
+    /// `(file, symbol, ordering)` key.
+    pub fn parse(text: &str) -> Result<Ledger, LedgerParseError> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = (i + 1) as u32;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+            let [file, symbol, ordering, justification] = parts.as_slice() else {
+                return Err(LedgerParseError {
+                    line,
+                    message: format!(
+                        "want `file | symbol | ordering | justification`, got {} field(s)",
+                        parts.len()
+                    ),
+                });
+            };
+            if !ORDERINGS.contains(ordering) {
+                return Err(LedgerParseError {
+                    line,
+                    message: format!("unknown ordering {ordering:?} (want one of {ORDERINGS:?})"),
+                });
+            }
+            if file.is_empty() || symbol.is_empty() {
+                return Err(LedgerParseError {
+                    line,
+                    message: "empty file or symbol field".to_string(),
+                });
+            }
+            if justification.is_empty() {
+                return Err(LedgerParseError {
+                    line,
+                    message: "empty justification — the ledger exists to record the why"
+                        .to_string(),
+                });
+            }
+            let key = (file.to_string(), symbol.to_string(), ordering.to_string());
+            let entry = LedgerEntry {
+                file: file.to_string(),
+                symbol: symbol.to_string(),
+                ordering: ordering.to_string(),
+                justification: justification.to_string(),
+                line,
+            };
+            if entries.insert(key.clone(), entry).is_some() {
+                return Err(LedgerParseError {
+                    line,
+                    message: format!("duplicate entry for {} | {} | {}", key.0, key.1, key.2),
+                });
+            }
+        }
+        Ok(Ledger { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_ignores_comments() {
+        let text = "# header\n\n\
+                    crates/a/src/x.rs | publish | Release | pairs with Acquire loads\n\
+                    crates/a/src/x.rs | current_id | Acquire | pairs with the Release store\n";
+        let ledger = Ledger::parse(text).unwrap();
+        assert_eq!(ledger.entries.len(), 2);
+        let key = (
+            "crates/a/src/x.rs".to_string(),
+            "publish".to_string(),
+            "Release".to_string(),
+        );
+        assert_eq!(
+            ledger.entries[&key].justification,
+            "pairs with Acquire loads"
+        );
+        assert_eq!(ledger.entries[&key].line, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "just one field",
+            "a | b | c",                                  // missing justification
+            "a | b | Sideways | why",                     // unknown ordering
+            "a | b | SeqCst |   ",                        // empty justification
+            " | b | SeqCst | why",                        // empty file
+            "a | fn | Relaxed | x\na | fn | Relaxed | y", // duplicate key
+        ] {
+            assert!(Ledger::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The rules in [`crate::rules`] match *token* sequences, never raw
+//! text, so an `unsafe` inside a string literal, a `Mutex` in a doc
+//! comment or an `Ordering::SeqCst` in a nested block comment can never
+//! fire a diagnostic. The lexer therefore has to get exactly four
+//! things right:
+//!
+//! * **comments** — `//` line comments (captured, so `// lint:`
+//!   annotations can be parsed) and `/* … */` block comments with
+//!   arbitrary nesting (discarded);
+//! * **string-likes** — `"…"` with escapes, byte/C strings (`b"…"`,
+//!   `c"…"`), and raw strings `r"…"`, `r#"…"#`, `br##"…"##`, `cr"…"`
+//!   with any number of hashes;
+//! * **char-likes** — `'x'`, `b'x'`, escaped forms (`'\''`, `'\u{2603}'`)
+//!   *distinguished from lifetimes* (`'a`, `'static`), which produce no
+//!   token at all;
+//! * **line numbers** — every token and comment carries its 1-based
+//!   line, including tokens after multi-line strings and comments.
+//!
+//! Everything else is simple: identifiers (and keywords — the lexer
+//! does not distinguish), `::` merged into one path-separator token,
+//! every other punctuation byte emitted as itself. Numeric literals are
+//! consumed and dropped; no rule looks at them.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `Mutex`, `fn`, …).
+    Ident(String),
+    /// The `::` path separator.
+    PathSep,
+    /// Any single punctuation byte (`.`, `!`, `#`, `[`, `(`, `{`, …).
+    Punct(u8),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// A captured `//` line comment (block comments are discarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Text after the leading `//`, untrimmed.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` (one Rust source file) into tokens and line comments.
+/// The lexer never fails: unterminated constructs consume the rest of
+/// the file, which is the useful behavior for a linter (rustc itself
+/// rejects such files long before ftr-lint matters).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b':' if self.peek(1) == Some(b':') => {
+                    self.push(Tok::PathSep);
+                    self.pos += 2;
+                }
+                _ if b.is_ascii_alphabetic() || b == b'_' => self.ident_or_prefixed(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                _ => {
+                    self.push(Tok::Punct(b));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.tokens.push(Token {
+            line: self.line,
+            tok,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.bytes.len() && self.bytes[end] != b'\n' {
+            end += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            text: String::from_utf8_lossy(&self.bytes[start..end]).into_owned(),
+        });
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => return, // unterminated: consume to EOF
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(b'\n'), _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A `"…"` string with `\` escapes; may span lines.
+    fn string(&mut self) {
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` (any hash count), cursor on the
+    /// first `#` or `"` after the prefix ident.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // `r#[ident]` etc. — a raw identifier, not a string
+        }
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            if b == b'"' {
+                let closed = (1..=hashes).all(|i| self.peek(i) == Some(b'#'));
+                if closed {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `'x'` / `'\n'` / `'\u{…}'` char literals versus `'a` lifetimes.
+    /// Lifetimes produce no token; their trailing identifier is consumed
+    /// so it cannot leak into the token stream.
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: skip to the closing quote.
+                self.pos += 2;
+                while let Some(b) = self.peek(0) {
+                    match b {
+                        b'\\' => self.pos += 2,
+                        b'\'' => {
+                            self.pos += 1;
+                            return;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                if self.peek(2) == Some(b'\'') {
+                    self.pos += 3; // 'x'
+                } else {
+                    // Lifetime: consume the quote and the identifier.
+                    self.pos += 1;
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                }
+            }
+            Some(_) => {
+                // `'('`-style char literal of one punctuation byte, or a
+                // stray quote; either way consume up to the next quote on
+                // this line.
+                self.pos += 1;
+                if self.peek(1) == Some(b'\'') {
+                    self.pos += 2;
+                } else {
+                    self.pos += 1;
+                }
+            }
+            None => self.pos += 1,
+        }
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let ident = &self.bytes[start..self.pos];
+        // String/char prefixes: the ident glues to the literal that
+        // follows it (`b"…"`, `r#"…"#`, `br"…"`, `b'x'`).
+        match (ident, self.peek(0)) {
+            (b"r" | b"br" | b"cr", Some(b'"' | b'#')) => {
+                self.raw_string();
+                return;
+            }
+            (b"b" | b"c", Some(b'"')) => {
+                self.string_from_quote();
+                return;
+            }
+            (b"b", Some(b'\'')) => {
+                self.char_or_lifetime();
+                return;
+            }
+            _ => {}
+        }
+        let text = String::from_utf8_lossy(ident).into_owned();
+        self.push(Tok::Ident(text));
+    }
+
+    /// Cursor sits on the opening quote of a (non-raw) string.
+    fn string_from_quote(&mut self) {
+        self.string();
+    }
+
+    /// Numeric literal: consumed and dropped (suffixes, underscores,
+    /// hex/oct/bin, exponents — none of it matters to any rule).
+    fn number(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+        {
+            // `1..n` range syntax: stop before `..` so the dots emit as
+            // punctuation, not as part of the number.
+            if self.peek(0) == Some(b'.') && self.peek(1) == Some(b'.') {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(
+            idents(r#"let x = "unsafe Mutex Ordering::SeqCst";"#),
+            ["let", "x"]
+        );
+        assert_eq!(idents(r#"let y = b"unsafe";"#), ["let", "y"]);
+        assert_eq!(idents("let z = \"multi\nline unsafe\";"), ["let", "z"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        assert_eq!(idents(r###"let x = r"unsafe";"###), ["let", "x"]);
+        assert_eq!(
+            idents(r###"let x = r#"Mutex "quoted" RwLock"#;"###),
+            ["let", "x"]
+        );
+        assert_eq!(
+            idents("let x = r##\"Ordering::SeqCst \"# still inside\"##;"),
+            ["let", "x"]
+        );
+        assert_eq!(idents(r###"let x = br#"unsafe"#;"###), ["let", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments_hide_their_contents() {
+        assert_eq!(
+            idents("/* unsafe /* Mutex nested */ Ordering::SeqCst */ fn f() {}"),
+            ["fn", "f"]
+        );
+        assert_eq!(idents("/* unterminated unsafe"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn line_comments_are_captured_not_tokenized() {
+        let lexed = lex("fn f() {} // unsafe Mutex\n// lint: hot-path\n");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::Ident(_)))
+                .count(),
+            2
+        );
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].text, " unsafe Mutex");
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].text, " lint: hot-path");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // `'a` must not swallow the rest of the file as a string; the
+        // identifiers around it must all surface.
+        assert_eq!(
+            idents("fn f<'a>(x: &'a str) -> &'a str { x }"),
+            ["fn", "f", "x", "str", "str", "x"]
+        );
+        assert_eq!(
+            idents("let c = 'x'; let l: &'static str;"),
+            ["let", "c", "let", "l", "str"]
+        );
+        assert_eq!(
+            idents(r"let c = '\''; let d = '\u{2603}'; unsafe {}"),
+            ["let", "c", "let", "d", "unsafe"]
+        );
+        assert_eq!(idents("let q = b'\\n'; fn g() {}"), ["let", "q", "fn", "g"]);
+    }
+
+    #[test]
+    fn path_sep_is_one_token_and_lines_are_tracked() {
+        let lexed = lex("use std::sync::atomic::Ordering;\n\nfn f() {\n    Ordering::SeqCst\n}\n");
+        let seq: Vec<(u32, &Tok)> = lexed.tokens.iter().map(|t| (t.line, &t.tok)).collect();
+        // The second `Ordering` sits on line 4, followed by :: and SeqCst.
+        let pos = seq
+            .iter()
+            .rposition(|(_, t)| matches!(t, Tok::Ident(s) if s == "Ordering"))
+            .unwrap();
+        assert_eq!(seq[pos].0, 4);
+        assert_eq!(seq[pos + 1].1, &Tok::PathSep);
+        assert!(matches!(seq[pos + 2].1, Tok::Ident(s) if s == "SeqCst"));
+        assert_eq!(seq[pos + 2].0, 4);
+    }
+
+    #[test]
+    fn numbers_and_ranges_do_not_confuse_the_stream() {
+        assert_eq!(
+            idents("for i in 0..10 { a[i] = 1.5e3; }"),
+            ["for", "i", "in", "a", "i"]
+        );
+        assert_eq!(
+            idents("let x = 0xff_u64; let y = 1_000;"),
+            ["let", "x", "let", "y"]
+        );
+    }
+
+    #[test]
+    fn attributes_tokenize_structurally() {
+        let lexed = lex("#[allow(dead_code)] fn f() {}");
+        let kinds: Vec<String> = lexed
+            .tokens
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::Ident(s) => s.clone(),
+                Tok::PathSep => "::".into(),
+                Tok::Punct(b) => (*b as char).to_string(),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                "#",
+                "[",
+                "allow",
+                "(",
+                "dead_code",
+                ")",
+                "]",
+                "fn",
+                "f",
+                "(",
+                ")",
+                "{",
+                "}"
+            ]
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! `ftr-lint` — the workspace invariant linter.
+//!
+//! The serving stack makes promises that `rustc` cannot check for us:
+//! the hot path takes no locks, `unsafe` lives in exactly one FFI
+//! shim, every atomic-ordering choice is justified in writing, and a
+//! malformed request can never panic a shard thread. This crate turns
+//! those promises into machine-checked invariants: a hand-rolled,
+//! string/comment/attribute-aware Rust lexer ([`lexer`]) feeds a rule
+//! engine ([`rules`]) that walks every workspace source file, and CI
+//! fails if any invariant regresses.
+//!
+//! The linter is deliberately **std-only** — it is the gate the rest
+//! of the workspace passes through, so it must build everywhere the
+//! workspace builds, including fully offline.
+//!
+//! # Rules
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | `unsafe-island` | `unsafe` only in `crates/serve/src/poll.rs` |
+//! | `hot-path-lock-free` | no `Mutex`/`RwLock`/`.lock()` in hot-path scopes |
+//! | `atomic-ordering-ledger` | every `Ordering::` site ledgered; no `SeqCst` on the hot path |
+//! | `panic-free-request-path` | no `unwrap`/`expect`/`panic!`-family in request-dispatch modules |
+//! | `justified-allow` | every `#[allow(...)]` carries a reason comment |
+//! | `bin-only-printing` | `print!`-family only under `bin`/`examples`/`benches`/`tests` |
+//! | `annotations` | every `// lint:` directive parses; regions balance |
+//!
+//! Matching is **token-level**, never textual: `"unsafe"` in a string
+//! literal, `Mutex` in a comment, or `Ordering::SeqCst` in a raw
+//! string are invisible to every rule.
+//!
+//! # The `// lint:` annotation grammar
+//!
+//! Annotations are line comments (plain `//`, or doc `///`/`//!`)
+//! whose body starts with `lint:`. Four directives exist:
+//!
+//! ```text
+//! // lint: hot-path
+//! // lint: end-hot-path
+//! // lint: allow-panic(<reason>)
+//! // lint: allow-print(<reason>)
+//! ```
+//!
+//! * `hot-path` / `end-hot-path` bracket a **region**: every line
+//!   between the two markers (inclusive) is a hot-path scope in
+//!   addition to the whole-file scopes named in [`rules::LintConfig`].
+//!   Regions must balance — an unclosed or doubly-opened region is an
+//!   `annotations` violation (an unclosed region still extends to end
+//!   of file for checking, so the mistake cannot *weaken* the rule).
+//! * `allow-panic(<reason>)` exempts panic-candidate sites on the
+//!   annotation's own line **and the next line** — so both a trailing
+//!   comment and a comment-above work:
+//!
+//!   ```text
+//!   let v = table[i]; // lint: allow-panic(index bounded by caller)
+//!
+//!   // lint: allow-panic(startup only, before the serve loop starts)
+//!   let listener = bind(addr).expect("bind");
+//!   ```
+//! * `allow-print(<reason>)` is the same shape for the printing rule.
+//! * The `<reason>` is **required and non-empty** — an annotation that
+//!   silences a rule without saying why is itself a violation.
+//! * Unknown directives (`// lint: anything-else`) are violations:
+//!   a typo like `allow-painc` must fail loudly, not silently
+//!   deactivate.
+//!
+//! # The orderings ledger
+//!
+//! `crates/lint/orderings.ledger` holds one line per
+//! `(file, symbol, ordering)` key:
+//!
+//! ```text
+//! crates/serve/src/epoch.rs | publish | Release | pairs with Acquire loads in current_id
+//! ```
+//!
+//! See [`ledger`] for the format, and run
+//! `ftr-lint --suggest-ledger` to print template entries for any
+//! unledgered sites.
+//!
+//! # Reports
+//!
+//! `ftr-lint --check --report LINT_REPORT.json` writes a
+//! deterministic JSON report (per-rule `sites_checked` / `violations`,
+//! ledger coverage counts) and exits nonzero if anything fired. See
+//! [`report`].
+
+#![forbid(unsafe_code)]
+
+pub mod ledger;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use ledger::{Ledger, LedgerEntry, LedgerParseError};
+pub use report::render;
+pub use rules::{
+    run_lint, run_lint_with_sites, LedgerStats, LintConfig, LintOutcome, OrderingSite, RuleStats,
+    Violation, RULES,
+};

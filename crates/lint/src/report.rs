@@ -1,0 +1,120 @@
+//! Deterministic JSON rendering of a [`LintOutcome`].
+//!
+//! Hand-rolled (std only) on purpose: the report is the CI artifact
+//! the gate validates, so it must be byte-identical across runs on an
+//! unchanged tree. Keys come out in a fixed order, violations are
+//! sorted by `(file, line, rule)`, and nothing time- or
+//! environment-dependent is embedded.
+
+use std::fmt::Write as _;
+
+use crate::rules::LintOutcome;
+
+/// Renders the report as pretty-printed JSON (trailing newline
+/// included, ready to write to `LINT_REPORT.json`).
+#[must_use]
+pub fn render(outcome: &LintOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"tool\": \"ftr-lint\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", outcome.files_scanned);
+    out.push_str("  \"rules\": {\n");
+    let last = outcome.rules.len().saturating_sub(1);
+    for (idx, (rule, stats)) in outcome.rules.iter().enumerate() {
+        let _ = writeln!(out, "    {}: {{", quote(rule));
+        let _ = writeln!(out, "      \"sites_checked\": {},", stats.sites_checked);
+        let mut violations: Vec<_> = stats.violations.iter().collect();
+        violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        if violations.is_empty() {
+            out.push_str("      \"violations\": []\n");
+        } else {
+            out.push_str("      \"violations\": [\n");
+            let vlast = violations.len() - 1;
+            for (vi, v) in violations.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"file\": {}, \"line\": {}, \"message\": {}}}",
+                    quote(&v.file),
+                    v.line,
+                    quote(&v.message)
+                );
+                out.push_str(if vi == vlast { "\n" } else { ",\n" });
+            }
+            out.push_str("      ]\n");
+        }
+        out.push_str(if idx == last { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"ledger\": {\n");
+    let _ = writeln!(out, "    \"entries\": {},", outcome.ledger.entries);
+    let _ = writeln!(out, "    \"sites\": {},", outcome.ledger.sites);
+    let _ = writeln!(out, "    \"ledgered\": {},", outcome.ledger.ledgered);
+    let _ = writeln!(out, "    \"stale\": {}", outcome.ledger.stale);
+    out.push_str("  },\n");
+    let _ = writeln!(
+        out,
+        "  \"violations_total\": {}",
+        outcome.total_violations()
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// JSON string literal with the escapes the report can actually need.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{LintOutcome, RuleStats, Violation, RULES};
+
+    #[test]
+    fn renders_deterministically_and_escapes() {
+        let mut outcome = LintOutcome {
+            files_scanned: 2,
+            ..LintOutcome::default()
+        };
+        outcome.rules = RULES.iter().map(|&r| (r, RuleStats::default())).collect();
+        outcome.rules[0].1.sites_checked = 2;
+        outcome.rules[0].1.violations.push(Violation {
+            rule: RULES[0],
+            file: "b.rs".into(),
+            line: 9,
+            message: "say \"no\"".into(),
+        });
+        outcome.rules[0].1.violations.push(Violation {
+            rule: RULES[0],
+            file: "a.rs".into(),
+            line: 4,
+            message: "first".into(),
+        });
+        let one = render(&outcome);
+        let two = render(&outcome);
+        assert_eq!(one, two);
+        assert!(one.contains("\\\"no\\\""));
+        // Sorted: a.rs before b.rs even though pushed after.
+        let a = one.find("a.rs").unwrap();
+        let b = one.find("b.rs").unwrap();
+        assert!(a < b);
+        assert!(one.contains("\"violations_total\": 2"));
+        assert!(one.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,842 @@
+//! The rule engine: walks every workspace source file, lexes it, and
+//! enforces the declared invariants.
+//!
+//! Rules (report keys in parentheses):
+//!
+//! * **unsafe island** (`unsafe-island`) — the `unsafe` keyword may
+//!   appear only in the configured island files (the `poll(2)` FFI
+//!   shim). Everything else in the workspace is safe Rust, and stays
+//!   that way by machine check rather than convention.
+//! * **lock-free hot path** (`hot-path-lock-free`) — no `Mutex`, no
+//!   `RwLock`, no `.lock()` call inside hot-path scopes: the configured
+//!   whole-file modules plus every `// lint: hot-path` region.
+//! * **atomic-ordering ledger** (`atomic-ordering-ledger`) — every
+//!   `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` site must
+//!   match a [`crate::ledger::Ledger`] entry; stale entries and
+//!   `SeqCst` inside a hot-path scope are errors.
+//! * **panic-free request path** (`panic-free-request-path`) — no
+//!   `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` / `assert*!` in the configured request-dispatch
+//!   modules, outside `// lint: allow-panic(<reason>)` annotations and
+//!   `#[cfg(test)]` code. (`debug_assert*!` is exempt: it compiles out
+//!   of release builds, which is what serves traffic.)
+//! * **justified allow** (`justified-allow`) — every `#[allow(...)]`
+//!   needs a reason comment on the same or the preceding line.
+//! * **bin-only printing** (`bin-only-printing`) — `print!`-family
+//!   macros only under `bin`/`examples`/`benches`/`tests` paths (or an
+//!   explicit `// lint: allow-print(<reason>)`).
+//! * **annotation grammar** (`annotations`) — every `// lint:` comment
+//!   must parse, and `hot-path` regions must be balanced.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::ledger::{Ledger, ORDERINGS};
+use crate::lexer::{lex, Comment, Lexed, Tok, Token};
+
+/// What to lint and which invariants bind where. Paths are
+/// workspace-root-relative with forward slashes.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// The workspace root to walk.
+    pub root: PathBuf,
+    /// Files allowed to contain the `unsafe` keyword.
+    pub unsafe_island: Vec<String>,
+    /// Whole files that are hot-path scopes.
+    pub hot_path_files: Vec<String>,
+    /// Request-dispatch modules bound by the panic-freedom rule.
+    pub panic_free_files: Vec<String>,
+    /// Extra files (beyond `bin`/`examples`/`benches`/`tests` paths)
+    /// allowed to print.
+    pub print_allowed_files: Vec<String>,
+    /// Workspace-relative path of the orderings ledger (absent file =
+    /// empty ledger).
+    pub ledger_path: String,
+}
+
+impl LintConfig {
+    /// The configuration for *this* workspace: the invariants the
+    /// serving stack documents in README's "Static analysis" section.
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        LintConfig {
+            root: root.into(),
+            unsafe_island: vec!["crates/serve/src/poll.rs".into()],
+            hot_path_files: vec![
+                "crates/core/src/engine.rs".into(),
+                "crates/graph/src/bitmatrix.rs".into(),
+                "crates/serve/src/query.rs".into(),
+            ],
+            panic_free_files: vec![
+                "crates/serve/src/server.rs".into(),
+                "crates/serve/src/query.rs".into(),
+                "crates/serve/src/epoch.rs".into(),
+                "crates/serve/src/snapshot.rs".into(),
+                "crates/serve/src/proto.rs".into(),
+                "crates/serve/src/ingest.rs".into(),
+            ],
+            print_allowed_files: vec![
+                // The offline criterion stand-in *is* a bench harness;
+                // printing results is its output interface.
+                "crates/support/criterion/src/lib.rs".into(),
+            ],
+            ledger_path: "crates/lint/orderings.ledger".into(),
+        }
+    }
+}
+
+/// Report keys, in report order.
+pub const RULES: [&str; 7] = [
+    "unsafe-island",
+    "hot-path-lock-free",
+    "atomic-ordering-ledger",
+    "panic-free-request-path",
+    "justified-allow",
+    "bin-only-printing",
+    "annotations",
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule key (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+/// Per-rule accounting.
+#[derive(Debug, Default, Clone)]
+pub struct RuleStats {
+    /// How many sites this rule examined (rule-specific unit; see the
+    /// module docs — always `> 0` on a real workspace).
+    pub sites_checked: u64,
+    /// The diagnostics that fired.
+    pub violations: Vec<Violation>,
+}
+
+/// Ledger coverage accounting (the CI gate checks `ledgered == sites`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LedgerStats {
+    /// Parsed ledger entries.
+    pub entries: u64,
+    /// `Ordering::` sites found in the workspace.
+    pub sites: u64,
+    /// Sites matched by a ledger entry.
+    pub ledgered: u64,
+    /// Entries matching no site.
+    pub stale: u64,
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Files scanned (sorted).
+    pub files_scanned: u64,
+    /// Per-rule stats, in [`RULES`] order.
+    pub rules: Vec<(&'static str, RuleStats)>,
+    /// Ledger coverage.
+    pub ledger: LedgerStats,
+}
+
+impl LintOutcome {
+    /// Total diagnostics across all rules.
+    pub fn total_violations(&self) -> usize {
+        self.rules.iter().map(|(_, s)| s.violations.len()).sum()
+    }
+
+    /// All diagnostics, sorted by (file, line, rule).
+    pub fn sorted_violations(&self) -> Vec<&Violation> {
+        let mut all: Vec<&Violation> = self
+            .rules
+            .iter()
+            .flat_map(|(_, s)| s.violations.iter())
+            .collect();
+        all.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        all
+    }
+}
+
+/// An `Ordering::<strength>` site (public so `--suggest-ledger` can
+/// render templates from it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingSite {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Enclosing symbol (`use` / `mod` / function name).
+    pub symbol: String,
+    /// The strength (`Relaxed` … `SeqCst`).
+    pub ordering: String,
+}
+
+/// Runs every rule over the workspace.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking the tree or a malformed ledger
+/// file (reported as `InvalidData`).
+pub fn run_lint(config: &LintConfig) -> io::Result<LintOutcome> {
+    let (outcome, _) = run_lint_with_sites(config)?;
+    Ok(outcome)
+}
+
+/// [`run_lint`], also returning every `Ordering::` site found (used by
+/// the `--suggest-ledger` mode of the CLI).
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking the tree or a malformed ledger.
+pub fn run_lint_with_sites(config: &LintConfig) -> io::Result<(LintOutcome, Vec<OrderingSite>)> {
+    let files = collect_files(&config.root)?;
+    let ledger = load_ledger(config)?;
+
+    let mut rules: Vec<(&'static str, RuleStats)> =
+        RULES.iter().map(|&r| (r, RuleStats::default())).collect();
+    let mut sites: Vec<OrderingSite> = Vec::new();
+
+    let mut hot_scope_count = 0u64;
+    for rel in &config.hot_path_files {
+        if !files.contains(rel) {
+            push(
+                &mut rules,
+                "hot-path-lock-free",
+                rel.clone(),
+                0,
+                "configured hot-path file is missing from the workspace".into(),
+            );
+        } else {
+            hot_scope_count += 1;
+        }
+    }
+    for rel in &config.unsafe_island {
+        if !files.contains(rel) {
+            push(
+                &mut rules,
+                "unsafe-island",
+                rel.clone(),
+                0,
+                "configured unsafe-island file is missing from the workspace".into(),
+            );
+        }
+    }
+
+    for rel in &files {
+        let text = fs::read(
+            config
+                .root
+                .join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)),
+        )
+        .map(|b| String::from_utf8_lossy(&b).into_owned())?;
+        let lexed = lex(&text);
+        let file = FileView::build(rel, &lexed, config, &mut rules);
+        hot_scope_count += file.hot_regions.len() as u64;
+        scan_file(rel, &lexed, &file, config, &mut rules, &mut sites);
+    }
+
+    // Rule-specific site accounting.
+    stat(&mut rules, "unsafe-island").sites_checked += files.len() as u64;
+    stat(&mut rules, "hot-path-lock-free").sites_checked += hot_scope_count;
+    stat(&mut rules, "panic-free-request-path").sites_checked +=
+        config.panic_free_files.len() as u64;
+
+    // Ledger reconciliation.
+    let mut matched_keys: BTreeSet<(String, String, String)> = BTreeSet::new();
+    let mut ledgered = 0u64;
+    for site in &sites {
+        let key = (
+            site.file.clone(),
+            site.symbol.clone(),
+            site.ordering.clone(),
+        );
+        if ledger.entries.contains_key(&key) {
+            ledgered += 1;
+            matched_keys.insert(key);
+        } else {
+            push(
+                &mut rules,
+                "atomic-ordering-ledger",
+                site.file.clone(),
+                site.line,
+                format!(
+                    "Ordering::{} in `{}` has no ledger entry \
+                     (add `{} | {} | {} | <why>` to {})",
+                    site.ordering,
+                    site.symbol,
+                    site.file,
+                    site.symbol,
+                    site.ordering,
+                    config.ledger_path
+                ),
+            );
+        }
+    }
+    let mut stale = 0u64;
+    for (key, entry) in &ledger.entries {
+        if !matched_keys.contains(key) {
+            stale += 1;
+            push(
+                &mut rules,
+                "atomic-ordering-ledger",
+                config.ledger_path.clone(),
+                entry.line,
+                format!(
+                    "stale ledger entry: no Ordering::{} site in `{}` of {}",
+                    entry.ordering, entry.symbol, entry.file
+                ),
+            );
+        }
+    }
+    stat(&mut rules, "atomic-ordering-ledger").sites_checked += sites.len() as u64;
+
+    let outcome = LintOutcome {
+        files_scanned: files.len() as u64,
+        ledger: LedgerStats {
+            entries: ledger.entries.len() as u64,
+            sites: sites.len() as u64,
+            ledgered,
+            stale,
+        },
+        rules,
+    };
+    Ok((outcome, sites))
+}
+
+fn load_ledger(config: &LintConfig) -> io::Result<Ledger> {
+    let path = config.root.join(&config.ledger_path);
+    match fs::read_to_string(&path) {
+        Ok(text) => Ledger::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Ledger::default()),
+        Err(e) => Err(e),
+    }
+}
+
+fn stat<'a>(rules: &'a mut [(&'static str, RuleStats)], rule: &str) -> &'a mut RuleStats {
+    // RULES is a fixed array the vec was built from, so the key exists.
+    let idx = rules.iter().position(|(r, _)| *r == rule).unwrap_or(0);
+    &mut rules[idx].1
+}
+
+fn push(
+    rules: &mut [(&'static str, RuleStats)],
+    rule: &'static str,
+    file: String,
+    line: u32,
+    message: String,
+) {
+    stat(rules, rule).violations.push(Violation {
+        rule,
+        file,
+        line,
+        message,
+    });
+}
+
+/// Deterministic (sorted) list of workspace-relative `.rs` paths.
+/// Skips `target`, VCS metadata, and any `fixtures` directory (the
+/// lint crate's own test fixtures contain deliberate violations).
+fn collect_files(root: &Path) -> io::Result<BTreeSet<String>> {
+    let mut files = BTreeSet::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(dir) = stack.pop() {
+        let abs = root.join(&dir);
+        let mut entries: Vec<_> = fs::read_dir(&abs)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        entries.sort();
+        for name in entries {
+            if matches!(name.as_str(), "target" | ".git" | "fixtures") {
+                continue;
+            }
+            let rel = if dir.as_os_str().is_empty() {
+                PathBuf::from(&name)
+            } else {
+                dir.join(&name)
+            };
+            let abs = root.join(&rel);
+            if abs.is_dir() {
+                stack.push(rel);
+            } else if name.ends_with(".rs") {
+                files.insert(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(files)
+}
+
+/// A parsed `// lint:` directive.
+#[derive(Debug, PartialEq, Eq)]
+enum Directive {
+    HotPath,
+    EndHotPath,
+    AllowPanic,
+    AllowPrint,
+}
+
+/// Per-file derived state the token scan consults.
+struct FileView {
+    /// Whole file is a hot-path scope.
+    hot_file: bool,
+    /// `(start, end)` line ranges of `// lint: hot-path` regions.
+    hot_regions: Vec<(u32, u32)>,
+    /// Lines covered by `allow-panic` (the annotation line and the
+    /// next, so a trailing comment or a line-above comment both work).
+    allow_panic: BTreeSet<u32>,
+    /// Lines covered by `allow-print`.
+    allow_print: BTreeSet<u32>,
+    /// Per-token flag: inside `#[cfg(test)]` / `#[test]` code.
+    in_test: Vec<bool>,
+    /// File is bound by the panic-freedom rule.
+    panic_scope: bool,
+    /// Printing is allowed here by path or config.
+    print_ok: bool,
+}
+
+impl FileView {
+    fn build(
+        rel: &str,
+        lexed: &Lexed,
+        config: &LintConfig,
+        rules: &mut [(&'static str, RuleStats)],
+    ) -> FileView {
+        let mut view = FileView {
+            hot_file: config.hot_path_files.iter().any(|f| f == rel),
+            hot_regions: Vec::new(),
+            allow_panic: BTreeSet::new(),
+            allow_print: BTreeSet::new(),
+            in_test: mark_test_tokens(&lexed.tokens),
+            panic_scope: config.panic_free_files.iter().any(|f| f == rel),
+            print_ok: path_may_print(rel) || config.print_allowed_files.iter().any(|f| f == rel),
+        };
+        let mut open_region: Option<u32> = None;
+        for comment in &lexed.comments {
+            let Some(raw) = directive_text(comment) else {
+                continue;
+            };
+            stat(rules, "annotations").sites_checked += 1;
+            match parse_directive(raw) {
+                Ok(Directive::HotPath) => {
+                    if open_region.is_some() {
+                        push(
+                            rules,
+                            "annotations",
+                            rel.to_string(),
+                            comment.line,
+                            "`lint: hot-path` region opened inside an open region".into(),
+                        );
+                    } else {
+                        open_region = Some(comment.line);
+                    }
+                }
+                Ok(Directive::EndHotPath) => match open_region.take() {
+                    Some(start) => view.hot_regions.push((start, comment.line)),
+                    None => push(
+                        rules,
+                        "annotations",
+                        rel.to_string(),
+                        comment.line,
+                        "`lint: end-hot-path` without an open region".into(),
+                    ),
+                },
+                Ok(Directive::AllowPanic) => {
+                    view.allow_panic.insert(comment.line);
+                    view.allow_panic.insert(comment.line + 1);
+                }
+                Ok(Directive::AllowPrint) => {
+                    view.allow_print.insert(comment.line);
+                    view.allow_print.insert(comment.line + 1);
+                }
+                Err(msg) => push(rules, "annotations", rel.to_string(), comment.line, msg),
+            }
+        }
+        if let Some(start) = open_region {
+            push(
+                rules,
+                "annotations",
+                rel.to_string(),
+                start,
+                "`lint: hot-path` region never closed (missing `lint: end-hot-path`)".into(),
+            );
+            view.hot_regions.push((start, u32::MAX));
+        }
+        view
+    }
+
+    fn in_hot(&self, line: u32) -> bool {
+        self.hot_file
+            || self
+                .hot_regions
+                .iter()
+                .any(|&(s, e)| line >= s && line <= e)
+    }
+}
+
+/// Extracts the directive body from a comment that opens with `lint:`
+/// (after doc-comment `/` and `!` markers and whitespace).
+fn directive_text(comment: &Comment) -> Option<&str> {
+    let text = comment.text.trim_start_matches(['/', '!']).trim_start();
+    text.strip_prefix("lint:").map(str::trim)
+}
+
+fn parse_directive(body: &str) -> Result<Directive, String> {
+    if body == "hot-path" {
+        return Ok(Directive::HotPath);
+    }
+    if body == "end-hot-path" {
+        return Ok(Directive::EndHotPath);
+    }
+    for (prefix, directive) in [
+        ("allow-panic", Directive::AllowPanic),
+        ("allow-print", Directive::AllowPrint),
+    ] {
+        if let Some(rest) = body.strip_prefix(prefix) {
+            let rest = rest.trim();
+            let reason = rest
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+                .map(str::trim);
+            return match reason {
+                Some(r) if !r.is_empty() => Ok(directive),
+                _ => Err(format!(
+                    "`lint: {prefix}` needs a non-empty parenthesized reason: \
+                     `// lint: {prefix}(<why>)`"
+                )),
+            };
+        }
+    }
+    Err(format!(
+        "unknown `lint:` directive {body:?} (want hot-path, end-hot-path, \
+         allow-panic(<why>) or allow-print(<why>))"
+    ))
+}
+
+/// Paths that may print by construction: binaries, examples, benches
+/// and test trees.
+fn path_may_print(rel: &str) -> bool {
+    rel.split('/')
+        .any(|c| matches!(c, "bin" | "examples" | "benches" | "tests"))
+        || rel == "src/main.rs"
+}
+
+/// Marks tokens covered by `#[cfg(test)]` / `#[test]` items: the
+/// attribute plus the following item (balanced braces, or up to `;`).
+fn mark_test_tokens(tokens: &[Token]) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].tok != Tok::Punct(b'#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).map(|t| &t.tok) == Some(&Tok::Punct(b'!')) {
+            j += 1;
+        }
+        if tokens.get(j).map(|t| &t.tok) != Some(&Tok::Punct(b'[')) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for `test` (covers `#[test]`,
+        // `#[cfg(test)]`, `#[cfg(all(test, …))]`).
+        let mut depth = 0usize;
+        let mut is_test = false;
+        let mut k = j;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Punct(b'[') => depth += 1,
+                Tok::Punct(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) if s == "test" => is_test = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        if !is_test {
+            i = k + 1;
+            continue;
+        }
+        // Mark the attribute and the item that follows: through the
+        // item's balanced `{ … }`, or to the first `;` if none opens.
+        let mut end = k + 1;
+        let mut brace_depth = 0usize;
+        let mut opened = false;
+        while end < tokens.len() {
+            match &tokens[end].tok {
+                Tok::Punct(b'{') => {
+                    brace_depth += 1;
+                    opened = true;
+                }
+                Tok::Punct(b'}') => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if opened && brace_depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(b';') if !opened => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        for slot in marked.iter_mut().take((end + 1).min(tokens.len())).skip(i) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    marked
+}
+
+/// Panic-candidate method names (postfix `.name(` form).
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Panic-candidate macro names (`name!` form).
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Print macro names (`name!` form).
+const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+
+fn scan_file(
+    rel: &str,
+    lexed: &Lexed,
+    view: &FileView,
+    config: &LintConfig,
+    rules: &mut [(&'static str, RuleStats)],
+    sites: &mut Vec<OrderingSite>,
+) {
+    let tokens = &lexed.tokens;
+    let island = config.unsafe_island.iter().any(|f| f == rel);
+    for (i, token) in tokens.iter().enumerate() {
+        let line = token.line;
+        let Tok::Ident(name) = &token.tok else {
+            continue;
+        };
+        match name.as_str() {
+            "unsafe" if !island => {
+                push(
+                    rules,
+                    "unsafe-island",
+                    rel.to_string(),
+                    line,
+                    format!(
+                        "`unsafe` outside the FFI island ({})",
+                        config.unsafe_island.join(", ")
+                    ),
+                );
+            }
+            "Mutex" | "RwLock" if view.in_hot(line) => {
+                push(
+                    rules,
+                    "hot-path-lock-free",
+                    rel.to_string(),
+                    line,
+                    format!("`{name}` named inside a hot-path scope"),
+                );
+            }
+            "Ordering" => {
+                if let Some(site) = ordering_site(tokens, i, rel) {
+                    if site.ordering == "SeqCst" && view.in_hot(line) {
+                        push(
+                            rules,
+                            "atomic-ordering-ledger",
+                            rel.to_string(),
+                            line,
+                            "Ordering::SeqCst inside a hot-path scope (downgrade or \
+                             move the synchronization off the hot path)"
+                                .into(),
+                        );
+                    }
+                    sites.push(site);
+                }
+            }
+            "lock" => {
+                // `.lock(` — a blocking acquisition.
+                let after_dot = i > 0 && tokens[i - 1].tok == Tok::Punct(b'.');
+                let call = tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(b'('));
+                if after_dot && call && view.in_hot(line) {
+                    push(
+                        rules,
+                        "hot-path-lock-free",
+                        rel.to_string(),
+                        line,
+                        "`.lock()` call inside a hot-path scope".into(),
+                    );
+                }
+            }
+            "allow" if is_attribute_head(tokens, i) && !view.in_test[i] => {
+                stat(rules, "justified-allow").sites_checked += 1;
+                if !comment_near(lexed, line) {
+                    push(
+                        rules,
+                        "justified-allow",
+                        rel.to_string(),
+                        line,
+                        "#[allow(...)] without a reason comment on the same or \
+                         previous line"
+                            .into(),
+                    );
+                }
+            }
+            _ if PANIC_MACROS.contains(&name.as_str()) => {
+                let is_macro = tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(b'!'));
+                if is_macro && view.panic_scope && !view.in_test[i] {
+                    stat(rules, "panic-free-request-path").sites_checked += 1;
+                    if !view.allow_panic.contains(&line) {
+                        push(
+                            rules,
+                            "panic-free-request-path",
+                            rel.to_string(),
+                            line,
+                            format!(
+                                "`{name}!` in a request-dispatch module (return a \
+                                     structured error, or annotate \
+                                     `// lint: allow-panic(<why>)`)"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ if PANIC_METHODS.contains(&name.as_str()) => {
+                let after_dot = i > 0 && tokens[i - 1].tok == Tok::Punct(b'.');
+                let call = tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(b'('));
+                if after_dot && call && view.panic_scope && !view.in_test[i] {
+                    stat(rules, "panic-free-request-path").sites_checked += 1;
+                    if !view.allow_panic.contains(&line) {
+                        push(
+                            rules,
+                            "panic-free-request-path",
+                            rel.to_string(),
+                            line,
+                            format!(
+                                "`.{name}()` in a request-dispatch module (return a \
+                                     structured error, or annotate \
+                                     `// lint: allow-panic(<why>)`)"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ if PRINT_MACROS.contains(&name.as_str()) => {
+                let is_macro = tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(b'!'));
+                if is_macro && !view.in_test[i] {
+                    stat(rules, "bin-only-printing").sites_checked += 1;
+                    if !view.print_ok && !view.allow_print.contains(&line) {
+                        push(
+                            rules,
+                            "bin-only-printing",
+                            rel.to_string(),
+                            line,
+                            format!(
+                                "`{name}!` in library code (move output to a bin, or \
+                                     annotate `// lint: allow-print(<why>)`)"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Matches `Ordering :: <strength>` at token `i` and resolves the
+/// enclosing symbol.
+fn ordering_site(tokens: &[Token], i: usize, rel: &str) -> Option<OrderingSite> {
+    if tokens.get(i + 1).map(|t| &t.tok) != Some(&Tok::PathSep) {
+        return None;
+    }
+    let Tok::Ident(strength) = &tokens.get(i + 2)?.tok else {
+        return None;
+    };
+    if !ORDERINGS.contains(&strength.as_str()) {
+        return None;
+    }
+    Some(OrderingSite {
+        file: rel.to_string(),
+        line: tokens[i].line,
+        symbol: enclosing_symbol(tokens, i),
+        ordering: strength.clone(),
+    })
+}
+
+/// The symbol a site is attributed to: the nearest preceding `fn`
+/// name; `use` for an import outside any function; `mod` otherwise.
+/// (An approximation — good enough to key the ledger, and `ftr-lint
+/// --suggest-ledger` computes keys with this same function, so entry
+/// and site can never disagree on the convention.)
+fn enclosing_symbol(tokens: &[Token], i: usize) -> String {
+    let mut in_use = false;
+    for j in (0..i).rev() {
+        match &tokens[j].tok {
+            Tok::Punct(b';') => break,
+            Tok::Ident(s) if s == "use" => {
+                in_use = true;
+                break;
+            }
+            Tok::Ident(s) if s == "fn" => break,
+            _ => {}
+        }
+    }
+    for j in (0..i).rev() {
+        if let Tok::Ident(s) = &tokens[j].tok {
+            if s == "fn" {
+                if let Some(Tok::Ident(name)) = tokens.get(j + 1).map(|t| &t.tok) {
+                    return name.clone();
+                }
+            }
+        }
+    }
+    if in_use {
+        "use".to_string()
+    } else {
+        "mod".to_string()
+    }
+}
+
+/// Is the `allow` at `i` the head of an attribute (`#[allow` or
+/// `#![allow`)?
+fn is_attribute_head(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|j| tokens.get(j)) else {
+        return false;
+    };
+    if prev.tok != Tok::Punct(b'[') {
+        return false;
+    }
+    match i.checked_sub(2).and_then(|j| tokens.get(j)).map(|t| &t.tok) {
+        Some(Tok::Punct(b'#')) => true,
+        Some(Tok::Punct(b'!')) => {
+            i.checked_sub(3).and_then(|j| tokens.get(j)).map(|t| &t.tok) == Some(&Tok::Punct(b'#'))
+        }
+        _ => false,
+    }
+}
+
+/// Is there a plain (non-doc) line comment on `line` or `line - 1`?
+/// Doc comments don't count as allow-justifications: `///` text
+/// documents the item for its callers, not the lint exemption.
+fn comment_near(lexed: &Lexed, line: u32) -> bool {
+    lexed.comments.iter().any(|c| {
+        (c.line == line || c.line + 1 == line)
+            && !c.text.starts_with('/')
+            && !c.text.starts_with('!')
+    })
+}

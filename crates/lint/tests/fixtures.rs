@@ -1,0 +1,203 @@
+//! Fixture self-tests: every rule must fire at the exact file:line the
+//! known-bad fixture plants, and nowhere else. The fixture sources live
+//! under `tests/fixtures/<rule>/` — a directory name the workspace
+//! walker deliberately skips, so the deliberate violations never leak
+//! into the real lint run while remaining lintable as their own roots.
+
+use std::path::PathBuf;
+
+use ftr_lint::{run_lint, LintConfig, LintOutcome};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+/// A config with every scope empty: only the rules a test opts into
+/// (or the scope-free rules) can fire.
+fn bare_config(fixture: &str) -> LintConfig {
+    LintConfig {
+        root: fixture_root(fixture),
+        unsafe_island: Vec::new(),
+        hot_path_files: Vec::new(),
+        panic_free_files: Vec::new(),
+        print_allowed_files: Vec::new(),
+        ledger_path: "test.ledger".into(),
+    }
+}
+
+fn lint(config: &LintConfig) -> LintOutcome {
+    run_lint(config).expect("fixture lint run")
+}
+
+/// `(file, line)` pairs of the violations a rule produced, in report
+/// order.
+fn fired(outcome: &LintOutcome, rule: &str) -> Vec<(String, u32)> {
+    outcome
+        .sorted_violations()
+        .into_iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| (v.file.clone(), v.line))
+        .collect()
+}
+
+fn sites_checked(outcome: &LintOutcome, rule: &str) -> u64 {
+    outcome
+        .rules
+        .iter()
+        .find(|(r, _)| *r == rule)
+        .map(|(_, s)| s.sites_checked)
+        .expect("rule present")
+}
+
+fn pairs(expected: &[(&str, u32)]) -> Vec<(String, u32)> {
+    expected.iter().map(|(f, l)| (f.to_string(), *l)).collect()
+}
+
+#[test]
+fn unsafe_island_fires_outside_the_island() {
+    let outcome = lint(&bare_config("unsafe_island"));
+    assert_eq!(
+        fired(&outcome, "unsafe-island"),
+        pairs(&[("bad.rs", 14)]),
+        "only the real `unsafe` block fires — not the comment, block \
+         comment, string, raw-string or byte-string decoys"
+    );
+    assert_eq!(outcome.total_violations(), 1);
+    let v = &outcome.sorted_violations()[0];
+    assert!(v.message.contains("FFI island"), "message: {}", v.message);
+}
+
+#[test]
+fn hot_path_fires_in_hot_files_and_regions() {
+    let mut config = bare_config("hot_path");
+    config.hot_path_files = vec!["hot.rs".into()];
+    let outcome = lint(&config);
+    assert_eq!(
+        fired(&outcome, "hot-path-lock-free"),
+        pairs(&[
+            ("hot.rs", 3),      // `use std::sync::Mutex`
+            ("hot.rs", 12),     // `Mutex` in a type path
+            ("hot.rs", 13),     // `.lock()` call
+            ("regions.rs", 11), // `Mutex` inside `// lint: hot-path`
+            ("regions.rs", 12), // `.lock()` inside the region
+        ]),
+        "whole hot files and annotated regions fire; regions.rs code \
+         outside its region (RwLock, the cold_again Mutex) stays clean"
+    );
+    assert_eq!(outcome.total_violations(), 5);
+    // Scopes checked: the configured hot file + one annotated region.
+    assert_eq!(sites_checked(&outcome, "hot-path-lock-free"), 2);
+}
+
+#[test]
+fn missing_hot_path_file_is_itself_a_violation() {
+    let mut config = bare_config("hot_path");
+    config.hot_path_files = vec!["no_such_file.rs".into()];
+    let outcome = lint(&config);
+    let hot = fired(&outcome, "hot-path-lock-free");
+    assert!(
+        hot.contains(&("no_such_file.rs".to_string(), 0)),
+        "a configured scope that vanished must fail loudly, got {hot:?}"
+    );
+}
+
+#[test]
+fn ordering_ledger_reconciles_both_directions() {
+    let outcome = lint(&bare_config("ordering"));
+    assert_eq!(
+        fired(&outcome, "atomic-ordering-ledger"),
+        pairs(&[
+            ("bad.rs", 12),     // Acquire with no ledger entry
+            ("bad.rs", 23),     // SeqCst inside a hot-path region
+            ("test.ledger", 4), // stale entry: gone_function
+        ])
+    );
+    assert_eq!(outcome.total_violations(), 3);
+    assert_eq!(outcome.ledger.entries, 3);
+    assert_eq!(outcome.ledger.sites, 3);
+    assert_eq!(outcome.ledger.ledgered, 2, "Relaxed + the hot SeqCst match");
+    assert_eq!(outcome.ledger.stale, 1);
+    let stale = outcome
+        .sorted_violations()
+        .into_iter()
+        .find(|v| v.file == "test.ledger")
+        .expect("stale diagnostic");
+    assert!(
+        stale.message.contains("stale ledger entry"),
+        "{}",
+        stale.message
+    );
+}
+
+#[test]
+fn panic_free_fires_outside_allow_annotations_and_tests() {
+    let mut config = bare_config("panic_free");
+    config.panic_free_files = vec!["bad.rs".into()];
+    let outcome = lint(&config);
+    assert_eq!(
+        fired(&outcome, "panic-free-request-path"),
+        pairs(&[
+            ("bad.rs", 4),  // .unwrap()
+            ("bad.rs", 5),  // .expect()
+            ("bad.rs", 7),  // panic!
+            ("bad.rs", 10), // unreachable!
+        ]),
+        "allow-panic-annotated sites (lines 17–18), debug_assert! and \
+         #[cfg(test)] code stay clean"
+    );
+    assert_eq!(outcome.total_violations(), 4);
+    // Candidates examined: 4 violations + 2 annotated sites, plus the
+    // configured scope file itself.
+    assert_eq!(sites_checked(&outcome, "panic-free-request-path"), 7);
+}
+
+#[test]
+fn justified_allow_requires_a_plain_reason_comment() {
+    let outcome = lint(&bare_config("justified_allow"));
+    assert_eq!(
+        fired(&outcome, "justified-allow"),
+        pairs(&[
+            ("bad.rs", 10), // bare attribute
+            ("bad.rs", 14), // doc comment above is not a justification
+        ]),
+        "trailing and line-above plain comments justify; doc comments \
+         and #[cfg(test)] code do not fire"
+    );
+    assert_eq!(outcome.total_violations(), 2);
+    // Attributes examined: lines 3, 7, 10, 14 (the test-mod one is
+    // exempt and uncounted).
+    assert_eq!(sites_checked(&outcome, "justified-allow"), 4);
+}
+
+#[test]
+fn bin_only_printing_spares_bins_and_annotated_sites() {
+    let outcome = lint(&bare_config("bin_print"));
+    assert_eq!(
+        fired(&outcome, "bin-only-printing"),
+        pairs(&[("lib_code.rs", 4), ("lib_code.rs", 5)]),
+        "bin/main.rs prints freely; the allow-print site and the \
+         string/comment decoys stay clean"
+    );
+    assert_eq!(outcome.total_violations(), 2);
+    // Print sites examined: 3 in lib_code.rs + 1 in bin/main.rs.
+    assert_eq!(sites_checked(&outcome, "bin-only-printing"), 4);
+}
+
+#[test]
+fn annotation_grammar_rejects_malformed_directives() {
+    let outcome = lint(&bare_config("annotations"));
+    assert_eq!(
+        fired(&outcome, "annotations"),
+        pairs(&[
+            ("bad.rs", 4),  // unknown directive (allow-painc typo)
+            ("bad.rs", 7),  // allow-panic with an empty reason
+            ("bad.rs", 10), // end-hot-path without an open region
+            ("bad.rs", 13), // hot-path never closed
+        ])
+    );
+    assert_eq!(outcome.total_violations(), 4);
+    assert_eq!(sites_checked(&outcome, "annotations"), 4);
+}

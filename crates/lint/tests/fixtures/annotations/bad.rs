@@ -1,0 +1,14 @@
+//! Fixture: the `// lint:` directive grammar itself.
+
+// Unknown directive (violation at line 4):
+// lint: allow-painc(typo must fail loudly)
+
+// Empty reason (violation at line 7):
+// lint: allow-panic()
+
+// Close without open (violation at line 10):
+// lint: end-hot-path
+
+// Open never closed (violation at line 13):
+// lint: hot-path
+fn f() {}

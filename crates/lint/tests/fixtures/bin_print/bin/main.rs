@@ -1,0 +1,5 @@
+//! Fixture: a `bin/` path may print freely.
+
+fn main() {
+    println!("bins own stdout");
+}

@@ -1,0 +1,16 @@
+//! Fixture: printing from library code.
+
+fn bad() {
+    println!("to stdout"); // line 4: println! in lib code
+    eprintln!("to stderr"); // line 5: eprintln! in lib code
+}
+
+fn annotated() {
+    // lint: allow-print(fixture: operator-facing progress line)
+    println!("allowed");
+}
+
+fn decoys() {
+    let _ = "println! inside a string";
+    // println! inside a comment
+}

@@ -1,0 +1,14 @@
+//! Fixture: whole-file hot-path scope — lock types and `.lock()` fire.
+
+use std::sync::Mutex; // line 3: Mutex named in a hot file
+
+fn decoys() {
+    let _ = "Mutex in a string does not fire";
+    // Mutex in a comment does not fire.
+    let unlock = |x: u32| x; // `unlock` ident is not `.lock(`
+    let _ = unlock(1);
+}
+
+fn bad(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // line 12: Mutex path + .lock() call
+}

@@ -1,0 +1,19 @@
+//! Fixture: only the `// lint: hot-path` region is a scope here.
+
+use std::sync::RwLock; // outside any region: fine in this file
+
+fn cold(l: &RwLock<u32>) -> u32 {
+    *l.read().unwrap()
+}
+
+// lint: hot-path
+fn hot() {
+    let m = std::sync::Mutex::new(1u32); // line 11: Mutex in region
+    let _ = m.lock(); // line 12: .lock() in region
+}
+// lint: end-hot-path
+
+fn cold_again() {
+    let m = std::sync::Mutex::new(2u32);
+    let _ = m.lock();
+}

@@ -1,0 +1,21 @@
+//! Fixture: `#[allow]` needs a plain reason comment.
+
+#[allow(dead_code)] // kept: exercised by the fixture harness
+fn justified_trailing() {}
+
+// The next item's allow is justified by this line.
+#[allow(dead_code)]
+fn justified_above() {}
+
+#[allow(dead_code)]
+fn bare() {} // line 10: the attribute on line 10 has no reason comment
+
+/// A doc comment is for callers, not lint exemptions.
+#[allow(dead_code)]
+fn doc_comment_does_not_count() {} // line 14: still a violation
+
+#[cfg(test)]
+mod tests {
+    #[allow(dead_code)]
+    fn test_code_is_exempt() {}
+}

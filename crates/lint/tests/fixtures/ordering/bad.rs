@@ -1,0 +1,25 @@
+//! Fixture: ledger reconciliation and SeqCst-in-hot-path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static C: AtomicU64 = AtomicU64::new(0);
+
+fn ledgered() {
+    C.fetch_add(1, Ordering::Relaxed); // covered by test.ledger
+}
+
+fn unledgered() {
+    C.fetch_add(1, Ordering::Acquire); // line 12: no ledger entry
+}
+
+fn decoys() {
+    let _ = "Ordering::SeqCst in a string";
+    // Ordering::SeqCst in a comment.
+    let _ = std::cmp::Ordering::Less; // not an atomic ordering
+}
+
+// lint: hot-path
+fn hot() {
+    C.load(Ordering::SeqCst); // line 23: SeqCst inside a hot region
+}
+// lint: end-hot-path

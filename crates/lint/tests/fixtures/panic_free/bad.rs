@@ -1,0 +1,34 @@
+//! Fixture: panic candidates in a request-dispatch module.
+
+fn bad(v: Option<u32>) -> u32 {
+    let a = v.unwrap(); // line 4: .unwrap()
+    let b = v.expect("present"); // line 5: .expect()
+    if a + b > 100 {
+        panic!("too big"); // line 7: panic!
+    }
+    match a {
+        0 => unreachable!("zero was filtered"), // line 10: unreachable!
+        n => n,
+    }
+}
+
+fn annotated(v: Option<u32>) -> u32 {
+    // lint: allow-panic(fixture: startup-only path)
+    let a = v.unwrap();
+    let b = v.unwrap(); // lint: allow-panic(fixture: trailing form)
+    debug_assert!(a <= b); // debug_assert compiles out of release: exempt
+    a + b
+}
+
+fn safe(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) // unwrap_or is not a panic candidate
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        assert_eq!(super::safe(None), 0);
+        Option::<u32>::Some(3).unwrap();
+    }
+}

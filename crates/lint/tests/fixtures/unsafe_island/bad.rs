@@ -1,0 +1,15 @@
+//! Fixture: `unsafe` outside the island must fire; decoys must not.
+
+// The word unsafe in a comment is invisible.
+/* block comment: unsafe { } */
+
+fn decoys() {
+    let _s = "unsafe in a string";
+    let _r = r#"unsafe in a raw string"#;
+    let _b = b"unsafe bytes";
+}
+
+fn bad() {
+    let p = &7u8 as *const u8;
+    let _v = unsafe { *p }; // line 14: the violation
+}

@@ -1,0 +1,65 @@
+//! Clean-workspace integration: the real repo, under the real config,
+//! must lint clean — and the run must be meaningful (every rule
+//! examined sites) and deterministic (byte-identical report).
+
+use std::path::PathBuf;
+
+use ftr_lint::{render, run_lint, LintConfig, RULES};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let config = LintConfig::workspace(workspace_root());
+    let outcome = run_lint(&config).expect("lint run");
+    let violations = outcome.sorted_violations();
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_examines_sites() {
+    let config = LintConfig::workspace(workspace_root());
+    let outcome = run_lint(&config).expect("lint run");
+    assert_eq!(outcome.rules.len(), RULES.len());
+    for (rule, stats) in &outcome.rules {
+        assert!(
+            stats.sites_checked > 0,
+            "rule {rule} examined no sites — a vacuous pass is a broken gate"
+        );
+    }
+    assert!(outcome.files_scanned > 0);
+}
+
+#[test]
+fn ledger_coverage_is_total() {
+    let config = LintConfig::workspace(workspace_root());
+    let outcome = run_lint(&config).expect("lint run");
+    assert!(outcome.ledger.sites > 0, "no Ordering sites found");
+    assert_eq!(
+        outcome.ledger.ledgered, outcome.ledger.sites,
+        "every Ordering:: site needs an orderings.ledger entry"
+    );
+    assert_eq!(outcome.ledger.stale, 0, "stale ledger entries");
+}
+
+#[test]
+fn report_is_byte_deterministic() {
+    let config = LintConfig::workspace(workspace_root());
+    let a = render(&run_lint(&config).expect("first run"));
+    let b = render(&run_lint(&config).expect("second run"));
+    assert_eq!(a, b, "render must be byte-identical across runs");
+    assert!(a.ends_with('\n'));
+    assert!(a.contains("\"violations_total\": 0"));
+}

@@ -23,10 +23,19 @@
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 use ftr_core::EpochState;
 use ftr_graph::{BitMatrix, Node, NodeSet};
+
+/// Recovers a poisoned lock instead of panicking the acquiring thread.
+/// Sound here because everything guarded in this module is either a
+/// pure function of its epoch (cache entries — recomputing or reusing
+/// one is always correct) or an `Arc` slot only ever replaced whole, so
+/// a holder that panicked cannot have left a half-written value behind.
+fn relock<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Shards in the per-epoch query cache (a power of two; bounds writer
 /// contention between worker threads warming the same epoch).
@@ -192,18 +201,17 @@ impl QueryCache {
         key: QueryKey,
         compute: impl FnOnce() -> String,
     ) -> (Arc<str>, bool) {
-        if let QueryKey::Route(x, y) = key {
-            if let Some(slot) = self.routes.as_ref().and_then(|f| f.slot(x, y)) {
-                let flat = self.routes.as_ref().expect("slot implies flat");
+        if let (QueryKey::Route(x, y), Some(flat)) = (key, self.routes.as_ref()) {
+            if let Some(slot) = flat.slot(x, y) {
                 return flat.get_or_insert(slot, compute);
             }
         }
         let shard = self.shard(&key);
-        if let Some(v) = shard.lock().expect("cache shard poisoned").get(&key) {
+        if let Some(v) = relock(shard.lock()).get(&key) {
             return (v.clone(), true);
         }
         let fresh: Arc<str> = Arc::from(compute());
-        let mut map = shard.lock().expect("cache shard poisoned");
+        let mut map = relock(shard.lock());
         let value = map.entry(key).or_insert_with(|| fresh).clone();
         (value, false)
     }
@@ -250,7 +258,7 @@ impl QueryCache {
         }
         let mut resolved: Vec<Option<(Arc<str>, bool)>> = vec![None; pairs.len()];
         for (s, _) in touched.iter().enumerate().filter(|(_, t)| **t) {
-            let map = self.shards[s].lock().expect("cache shard poisoned");
+            let map = relock(self.shards[s].lock());
             for (i, &(x, y)) in pairs.iter().enumerate() {
                 if shard_of[i] as usize == s {
                     if let Some(v) = map.get(&QueryKey::Route(x, y)) {
@@ -265,19 +273,28 @@ impl QueryCache {
             .map(|(i, &(x, y))| resolved[i].is_none().then(|| Arc::from(compute(x, y))))
             .collect();
         for (s, _) in touched.iter().enumerate().filter(|(_, t)| **t) {
-            let mut map = self.shards[s].lock().expect("cache shard poisoned");
+            let mut map = relock(self.shards[s].lock());
             for (i, &(x, y)) in pairs.iter().enumerate() {
-                if shard_of[i] as usize == s && resolved[i].is_none() {
-                    let value = map
-                        .entry(QueryKey::Route(x, y))
-                        .or_insert_with(|| fresh[i].take().expect("computed above"))
-                        .clone();
-                    resolved[i] = Some((value, false));
+                // `fresh[i]` is populated exactly for the pairs the
+                // probe pass left unresolved, so taking it doubles as
+                // the "still a miss" check.
+                if shard_of[i] as usize == s {
+                    if let Some(computed) = fresh[i].take() {
+                        let value = map
+                            .entry(QueryKey::Route(x, y))
+                            .or_insert_with(|| computed)
+                            .clone();
+                        resolved[i] = Some((value, false));
+                    }
                 }
             }
         }
         for (i, entry) in resolved.into_iter().enumerate() {
-            let (v, hit) = entry.expect("every pair resolved");
+            // Both passes together resolve every index; if that ever
+            // breaks, answer the pair with an ERR instead of panicking
+            // the shard that asked.
+            let (v, hit) =
+                entry.unwrap_or_else(|| (Arc::from("ERR internal: unresolved batch pair"), false));
             sink(i, v, hit);
         }
     }
@@ -291,7 +308,7 @@ impl QueryCache {
         flat + self
             .shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| relock(s.lock()).len())
             .sum::<usize>()
     }
 
@@ -340,7 +357,7 @@ impl EpochStore {
     pub fn publish(&self, state: &EpochState) -> u64 {
         let faults = state.faults().clone();
         let live = state.live().clone();
-        let mut slot = self.shared.current.write().expect("epoch store poisoned");
+        let mut slot = relock(self.shared.current.write());
         let id = slot.id() + 1;
         *slot = Arc::new(Epoch::new(id, faults, live));
         drop(slot);
@@ -356,11 +373,7 @@ impl EpochStore {
     /// Clones the current epoch (takes the read lock; use an
     /// [`EpochReader`] on hot paths).
     pub fn load(&self) -> Arc<Epoch> {
-        self.shared
-            .current
-            .read()
-            .expect("epoch store poisoned")
-            .clone()
+        relock(self.shared.current.read()).clone()
     }
 
     /// A reader handle for one worker thread.
@@ -384,12 +397,7 @@ impl EpochReader {
     /// this reader's last call.
     pub fn current(&mut self) -> &Arc<Epoch> {
         if self.shared.id.load(Ordering::Acquire) != self.cached.id {
-            self.cached = self
-                .shared
-                .current
-                .read()
-                .expect("epoch store poisoned")
-                .clone();
+            self.cached = relock(self.shared.current.read()).clone();
         }
         &self.cached
     }

@@ -8,8 +8,16 @@
 //! through the toggled nodes, never a recompile — and publishes one new
 //! epoch per effective batch.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Recovers a poisoned queue lock instead of panicking: `push` appends
+/// one element atomically and the drain takes whole prefixes, so a
+/// holder that panicked between those operations cannot have left the
+/// event vector half-written.
+fn relock<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 use ftr_core::{CompiledRoutes, EpochState};
 use ftr_graph::Node;
@@ -52,7 +60,7 @@ impl EventQueue {
 
     /// Enqueues one event (no-op after [`EventQueue::close`]).
     pub fn push(&self, event: FaultEvent) {
-        let mut inner = self.inner.lock().expect("event queue poisoned");
+        let mut inner = relock(self.inner.lock());
         if inner.closed {
             return;
         }
@@ -64,7 +72,7 @@ impl EventQueue {
     /// Closes the queue: the consumer drains what remains, then
     /// [`EventQueue::next_batch`] starts returning `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("event queue poisoned").closed = true;
+        relock(self.inner.lock()).closed = true;
         self.signal.notify_all();
     }
 
@@ -73,12 +81,12 @@ impl EventQueue {
     /// coalesce into one batch, capped at `max` events. Returns `None`
     /// once the queue is closed *and* drained.
     pub fn next_batch(&self, window: Duration, max: usize) -> Option<Vec<FaultEvent>> {
-        let mut inner = self.inner.lock().expect("event queue poisoned");
+        let mut inner = relock(self.inner.lock());
         while inner.events.is_empty() {
             if inner.closed {
                 return None;
             }
-            inner = self.signal.wait(inner).expect("event queue poisoned");
+            inner = relock(self.signal.wait(inner));
         }
         // First event seen: hold the batch open for the window.
         let deadline = Instant::now() + window;
@@ -90,10 +98,11 @@ impl EventQueue {
             else {
                 break;
             };
-            let (guard, _) = self
-                .signal
-                .wait_timeout(inner, left)
-                .expect("event queue poisoned");
+            let (guard, _) = relock(
+                self.signal
+                    .wait_timeout(inner, left)
+                    .map_err(|e| PoisonError::new(e.into_inner())),
+            );
             inner = guard;
         }
         let batch_len = inner.events.len().min(max);

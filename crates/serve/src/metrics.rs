@@ -387,6 +387,7 @@ impl ServeObs {
 
     /// Records one drained ingest batch (and, when it published, the
     /// epoch advance) — called from the ingest thread at batch rate.
+    // Mirrors IngestReport's fields; bundling them re-creates that struct.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn ingest_batch(
         &self,

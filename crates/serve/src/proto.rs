@@ -168,7 +168,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "REPAIR" => Request::Repair(parse_node(arg("v")?)?),
         "METRICS" => Request::Metrics,
         "TRACE" => Request::Trace(parse_num(arg("n")?, "event count")?),
-        _ => unreachable!("canonical verbs are matched exhaustively"),
+        // The canon table above covers every verb; a future mismatch
+        // between the two lists degrades to an ERR reply, not a panic.
+        other => return Err(format!("unknown request {other:?}")),
     };
     match tokens.next() {
         Some(extra) => Err(format!("{verb}: unexpected trailing token {extra:?}")),

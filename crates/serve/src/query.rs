@@ -53,6 +53,12 @@ pub enum QueryError {
         /// The configured cap.
         budget: u64,
     },
+    /// A structurally-impossible state was reached (a routed pair with
+    /// no stored path, an uncapped search reporting exhaustion). The
+    /// request path renders it as an `ERR` reply instead of panicking
+    /// the shard thread: one corrupted answer must not take down the
+    /// other connections multiplexed on the same shard.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for QueryError {
@@ -72,6 +78,7 @@ impl std::fmt::Display for QueryError {
                     "AUDIT search-size estimate {needed} exceeds budget {budget}"
                 )
             }
+            QueryError::Internal(what) => write!(f, "internal: {what}"),
         }
     }
 }
@@ -121,11 +128,12 @@ pub fn route(
     if epoch.faults().contains(x) || epoch.faults().contains(y) {
         return Ok(RouteReply::Unreachable);
     }
+    // Live arcs exist only for routed pairs, so these lookups cannot
+    // miss; if the invariant ever breaks, the pair degrades to a
+    // structured ERR instead of panicking the shard.
+    const NO_PATH: QueryError = QueryError::Internal("live arc has no stored route");
     if epoch.arc_survives(x, y) {
-        let view = snapshot
-            .routing()
-            .route(x, y)
-            .expect("live arcs exist only for routed pairs");
+        let view = snapshot.routing().route(x, y).ok_or(NO_PATH)?;
         return Ok(RouteReply::Direct(view.nodes()));
     }
     match relay_chain(epoch, x, y) {
@@ -134,10 +142,7 @@ pub fn route(
             // dropping the duplicated joint between consecutive hops.
             let mut nodes: Vec<Node> = Vec::new();
             for hop in relays.windows(2) {
-                let view = snapshot
-                    .routing()
-                    .route(hop[0], hop[1])
-                    .expect("live arcs exist only for routed pairs");
+                let view = snapshot.routing().route(hop[0], hop[1]).ok_or(NO_PATH)?;
                 let path = view.nodes();
                 let skip = usize::from(!nodes.is_empty());
                 nodes.extend(path.into_iter().skip(skip));
@@ -160,10 +165,10 @@ pub fn route(
 /// are computed by [`route`] and rendered once; the `Arc<str>` handed to
 /// `sink` is the cached allocation, never a copy.
 ///
-/// # Panics
-///
-/// Panics if a pair fails [`validate_route_query`] — the caller must
-/// reject those before building the batch.
+/// Pairs are expected to pass [`validate_route_query`] — the caller
+/// rejects invalid ones before building the batch. A pair that fails
+/// anyway is answered with its rendered `ERR` line (and that line is
+/// what the cache remembers for the pair), never a panic.
 pub fn route_batch(
     snapshot: &RoutingSnapshot,
     epoch: &Epoch,
@@ -172,9 +177,9 @@ pub fn route_batch(
 ) {
     epoch.cache().route_many(
         pairs,
-        |x, y| {
-            let reply = route(snapshot, epoch, x, y).expect("route batch pairs are pre-validated");
-            crate::proto::render_route(&reply)
+        |x, y| match route(snapshot, epoch, x, y) {
+            Ok(reply) => crate::proto::render_route(&reply),
+            Err(e) => format!("ERR {e}"),
         },
         sink,
     );
@@ -281,25 +286,27 @@ pub fn tolerate(
             ..SearchConfig::default()
         },
     );
-    Ok(match report.verdict {
-        Verdict::Holds => ToleranceAnswer {
+    match report.verdict {
+        Verdict::Holds => Ok(ToleranceAnswer {
             holds: true,
             found: None,
             witness: Vec::new(),
             sets: report.visited,
             pruned: report.pruned_sets,
             wall_nanos: report.wall_nanos,
-        },
-        Verdict::Violated { witness, diameter } => ToleranceAnswer {
+        }),
+        Verdict::Violated { witness, diameter } => Ok(ToleranceAnswer {
             holds: false,
             found: Some(diameter),
             witness,
             sets: report.visited,
             pruned: report.pruned_sets,
             wall_nanos: report.wall_nanos,
-        },
-        Verdict::Exhausted => unreachable!("no visit cap was set"),
-    })
+        }),
+        // No visit cap was set, so the searcher cannot report
+        // exhaustion; degrade to an ERR rather than panic the shard.
+        Verdict::Exhausted => Err(QueryError::Internal("uncapped TOLERATE search exhausted")),
+    }
 }
 
 /// The worst-case number of fault sets a [`tolerate`] search with
@@ -370,8 +377,8 @@ pub fn audit_claim(
             ..SearchConfig::default()
         },
     );
-    Ok(match report.verdict {
-        Verdict::Holds => AuditAnswer {
+    match report.verdict {
+        Verdict::Holds => Ok(AuditAnswer {
             holds: true,
             found: None,
             witness: Vec::new(),
@@ -379,8 +386,8 @@ pub fn audit_claim(
             pruned: report.pruned_sets,
             space: report.space,
             wall_nanos: report.wall_nanos,
-        },
-        Verdict::Violated { witness, diameter } => AuditAnswer {
+        }),
+        Verdict::Violated { witness, diameter } => Ok(AuditAnswer {
             holds: false,
             found: Some(diameter),
             witness,
@@ -388,9 +395,11 @@ pub fn audit_claim(
             pruned: report.pruned_sets,
             space: report.space,
             wall_nanos: report.wall_nanos,
-        },
-        Verdict::Exhausted => unreachable!("no visit cap was set"),
-    })
+        }),
+        // No visit cap was set, so the searcher cannot report
+        // exhaustion; degrade to an ERR rather than panic the shard.
+        Verdict::Exhausted => Err(QueryError::Internal("uncapped AUDIT search exhausted")),
+    }
 }
 
 /// `1 + C(n, 1) + … + C(n, k)` with saturation: the number of diameter

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use ftr_core::{Planner, PlannerRequest, SchemeParams, SchemeRegistry};
@@ -78,6 +78,14 @@ impl Default for ServerConfig {
             metrics: true,
         }
     }
+}
+
+/// Recovers a poisoned lock instead of panicking the acquiring thread.
+/// Everything locked in this module tolerates it: inboxes hold whole
+/// `TcpStream`s, and the PLAN/AUDIT memos cache deterministic replies —
+/// a holder that panicked cannot have left a half-written value.
+fn relock<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Monotonic counters shared by the shards, readable over `STATS` and
@@ -148,7 +156,10 @@ impl ServerHandle {
     /// Requests shutdown: closes the ingest queue, flags the loops and
     /// pokes the accept loop awake. Idempotent.
     pub fn shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        // AcqRel: the Release half publishes the flag to shard/accept
+        // loops' Acquire loads; the Acquire half makes the idempotence
+        // check see a racing shutdown's queue-close.
+        if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
         self.queue.close();
@@ -272,18 +283,15 @@ impl Server {
                 match listener.accept() {
                     Ok((conn, _)) => {
                         backoff = Duration::from_millis(1);
-                        if handle.shutdown.load(Ordering::SeqCst) {
+                        if handle.shutdown.load(Ordering::Acquire) {
                             break;
                         }
                         handle.stats.connections.fetch_add(1, Ordering::Relaxed);
-                        inboxes[next_shard % shard_count]
-                            .lock()
-                            .expect("shard inbox poisoned")
-                            .push(conn);
+                        relock(inboxes[next_shard % shard_count].lock()).push(conn);
                         next_shard = next_shard.wrapping_add(1);
                     }
                     Err(_) => {
-                        if handle.shutdown.load(Ordering::SeqCst) {
+                        if handle.shutdown.load(Ordering::Acquire) {
                             break;
                         }
                         handle.stats.accept_retries.fetch_add(1, Ordering::Relaxed);
@@ -327,14 +335,14 @@ impl SpawnedServer {
     ///
     /// # Errors
     ///
-    /// Propagates a listener failure from the server loop.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server thread itself panicked.
+    /// Propagates a listener failure from the server loop; a server
+    /// thread that itself panicked is reported as an error too.
     pub fn shutdown_and_join(self) -> std::io::Result<()> {
         self.handle.shutdown();
-        self.join.join().expect("server thread panicked")
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
     }
 }
 
@@ -492,10 +500,20 @@ impl Shard<'_> {
         let mut scratch = DispatchScratch::default();
         let mut local = LocalObs::new();
         let mut chunk = vec![0u8; 64 * 1024];
-        while !self.shutdown.load(Ordering::SeqCst) {
+        let ctx = DispatchCtx {
+            snapshot: self.snapshot,
+            config: self.config,
+            stats: self.stats,
+            obs: self.obs,
+            queue: self.queue,
+            schemes: self.schemes,
+            plans: self.plans,
+            audits: self.audits,
+        };
+        while !self.shutdown.load(Ordering::Acquire) {
             // Adopt freshly accepted connections.
             {
-                let mut inbox = self.inbox.lock().expect("shard inbox poisoned");
+                let mut inbox = relock(self.inbox.lock());
                 for stream in inbox.drain(..) {
                     if let Ok(conn) = Conn::new(stream) {
                         conns.push(conn);
@@ -527,15 +545,8 @@ impl Shard<'_> {
                 if !conn.rbuf.is_empty() || conn.eof {
                     Self::drain_batches(
                         self.index,
-                        self.snapshot,
-                        self.config,
-                        self.stats,
-                        self.obs,
-                        self.queue,
+                        &ctx,
                         &mut self.reader,
-                        self.schemes,
-                        self.plans,
-                        self.audits,
                         conn,
                         &mut scratch,
                         &mut local,
@@ -550,23 +561,20 @@ impl Shard<'_> {
         local.flush(self.obs, self.index);
     }
 
+    // lint: hot-path
+    // (through `trim_ascii`: the per-batch frame-decode + dispatch path
+    // every request crosses. Lock acquisitions live behind `ctx` in
+    // `dispatch_slow`, outside this region.)
+
     /// Frame-decodes every complete line buffered on `conn` into one
     /// request batch, dispatches it against a single epoch acquisition,
     /// and appends the coalesced replies to the connection's write
     /// buffer. At EOF a trailing partial line is served as a final
     /// request (a slow sender's last query is answered, not dropped).
-    #[allow(clippy::too_many_arguments)]
     fn drain_batches(
         shard_index: usize,
-        snapshot: &RoutingSnapshot,
-        config: &ServerConfig,
-        stats: &ServerStats,
-        obs: &ServeObs,
-        queue: &EventQueue,
+        ctx: &DispatchCtx<'_>,
         reader: &mut EpochReader,
-        schemes: &OnceLock<String>,
-        plans: &Mutex<HashMap<(u32, usize), String>>,
-        audits: &Mutex<HashMap<(u32, usize), String>>,
         conn: &mut Conn,
         scratch: &mut DispatchScratch,
         local: &mut LocalObs,
@@ -604,7 +612,7 @@ impl Shard<'_> {
         // One epoch acquisition for the whole window: every request of
         // the batch answers at the same epoch.
         let epoch = Arc::clone(reader.current());
-        stats
+        ctx.stats
             .queries
             .fetch_add(scratch.requests.len() as u64, Ordering::Relaxed);
         let DispatchScratch {
@@ -616,7 +624,7 @@ impl Shard<'_> {
         replies.clear();
         jobs.clear();
         pairs.clear();
-        let record = obs.enabled();
+        let record = ctx.obs.enabled();
         if record {
             // Per-verb and batch-size accounting stays in the shard's
             // plain-integer local; only introspection verbs force an
@@ -632,20 +640,10 @@ impl Shard<'_> {
                 );
             }
             if introspect {
-                local.flush(obs, shard_index);
+                local.flush(ctx.obs, shard_index);
             }
         }
         let mut errors = 0u64;
-        let ctx = DispatchCtx {
-            snapshot,
-            config,
-            stats,
-            obs,
-            queue,
-            schemes,
-            plans,
-            audits,
-        };
         for (idx, parsed) in requests.iter().enumerate() {
             let reply = match parsed {
                 Err(reason) => {
@@ -656,7 +654,7 @@ impl Shard<'_> {
                 // lookup, so an `ERR` reply is never cached and the
                 // cache's key space stays bounded by valid node pairs.
                 Ok(Request::Route { x, y }) => {
-                    match query::validate_route_query(snapshot, *x, *y) {
+                    match query::validate_route_query(ctx.snapshot, *x, *y) {
                         Ok(()) => {
                             jobs.push((idx as u32, *x, *y));
                             pairs.push((*x, *y));
@@ -694,7 +692,7 @@ impl Shard<'_> {
         if !pairs.is_empty() {
             let mut hits = 0u64;
             let start = record.then(Instant::now);
-            query::route_batch(snapshot, &epoch, pairs, |j, value, hit| {
+            query::route_batch(ctx.snapshot, &epoch, pairs, |j, value, hit| {
                 hits += u64::from(hit);
                 replies[jobs[j].0 as usize] = Reply::Shared(value);
             });
@@ -708,20 +706,26 @@ impl Shard<'_> {
                 local.misses += pairs.len() as u64 - hits;
             }
             if hits > 0 {
-                stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+                ctx.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
             }
         }
         if errors > 0 {
-            stats.protocol_errors.fetch_add(errors, Ordering::Relaxed);
+            ctx.stats
+                .protocol_errors
+                .fetch_add(errors, Ordering::Relaxed);
         }
         if local.batches >= FLUSH_EVERY {
-            local.flush(obs, shard_index);
+            local.flush(ctx.obs, shard_index);
         }
         for reply in replies.iter() {
             match reply {
                 Reply::Shared(s) => conn.wbuf.extend_from_slice(s.as_bytes()),
                 Reply::Owned(s) => conn.wbuf.extend_from_slice(s.as_bytes()),
-                Reply::Pending => unreachable!("route batch fills every pending slot"),
+                // The route batch fills every pending slot; a hole would
+                // be a bug, answered as an ERR line rather than a panic.
+                Reply::Pending => conn
+                    .wbuf
+                    .extend_from_slice(b"ERR internal: unresolved batch reply"),
             }
             conn.wbuf.push(b'\n');
         }
@@ -763,6 +767,7 @@ fn trim_ascii(mut line: &[u8]) -> &[u8] {
     }
     line
 }
+// lint: end-hot-path
 
 /// The shared pieces a batch dispatch needs, split from [`Shard`] so
 /// the epoch reader can be borrowed mutably alongside.
@@ -784,7 +789,12 @@ impl DispatchCtx<'_> {
         match request {
             Request::Ping => Reply::Owned("OK PONG".to_string()),
             Request::Quit => Reply::Owned("OK BYE".to_string()),
-            Request::Route { .. } => unreachable!("ROUTE is batched by the caller"),
+            // ROUTE is batched by the caller; a stray one reaching the
+            // slow path is a dispatch bug, answered as an ERR.
+            Request::Route { .. } => {
+                *errors += 1;
+                Reply::Owned("ERR internal: unbatched ROUTE".to_string())
+            }
             Request::Epoch => Reply::Owned(format!(
                 "OK EPOCH id={} faults={}",
                 epoch.id(),
@@ -835,12 +845,7 @@ impl DispatchCtx<'_> {
             Request::Audit { diameter, faults } => {
                 let budget = self.config.audit_budget;
                 let key = (diameter, faults);
-                let cached = self
-                    .audits
-                    .lock()
-                    .expect("audit cache poisoned")
-                    .get(&key)
-                    .cloned();
+                let cached = relock(self.audits.lock()).get(&key).cloned();
                 match cached {
                     Some(reply) => {
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -860,7 +865,7 @@ impl DispatchCtx<'_> {
                                 a.wall_nanos,
                             );
                             let reply = render_audit(&a);
-                            let mut audits = self.audits.lock().expect("audit cache poisoned");
+                            let mut audits = relock(self.audits.lock());
                             if audits.len() < PLAN_MEMO_CAP {
                                 audits.insert(key, reply.clone());
                             }
@@ -940,12 +945,7 @@ impl DispatchCtx<'_> {
             // plan — deterministic, so they insert the same reply.
             Request::Plan { diameter, faults } => {
                 let key = (diameter, faults);
-                let cached = self
-                    .plans
-                    .lock()
-                    .expect("plan cache poisoned")
-                    .get(&key)
-                    .cloned();
+                let cached = relock(self.plans.lock()).get(&key).cloned();
                 match cached {
                     Some(reply) => Reply::Owned(reply),
                     None => {
@@ -967,7 +967,7 @@ impl DispatchCtx<'_> {
                             }
                             Err(_) => "OK PLAN none".to_string(),
                         };
-                        let mut plans = self.plans.lock().expect("plan cache poisoned");
+                        let mut plans = relock(self.plans.lock());
                         // A malicious target sweep must not grow the memo
                         // without bound; past the cap, plans still answer,
                         // just uncached.

@@ -162,10 +162,12 @@ impl RoutingSnapshot {
                 tag.spec, tag.theorem, tag.diameter, tag.faults
             )?;
         }
-        let (off, arena) = self
-            .routing
-            .arena()
-            .expect("snapshot routings are always frozen");
+        // Snapshot routings are frozen by construction; if that ever
+        // breaks, fail the write as corrupt data instead of panicking
+        // the thread serving the snapshot.
+        let (off, arena) = self.routing.arena().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "snapshot routing is not frozen")
+        })?;
         writeln!(w, "paths {}", off.len() - 1)?;
         write_chunked(w, "off", off)?;
         write_chunked(w, "arena", arena)?;

@@ -394,6 +394,83 @@ fn disabled_metrics_keep_the_exposition_answerable() {
 }
 
 #[test]
+fn malformed_input_never_panics_a_shard() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{Shutdown, TcpStream};
+
+    let (server, _snapshot) = start_petersen_server();
+    let addr = server.addr();
+
+    // A raw connection abuses the wire: invalid UTF-8, unknown verbs,
+    // out-of-range and non-numeric nodes, missing arguments. Every
+    // line must come back as a structured ERR on the same connection.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let abuse: [&[u8]; 8] = [
+        b"ROUTE \xff\xfe 1\n",   // invalid UTF-8 argument
+        b"\xc3\x28\n",           // invalid UTF-8 verb
+        b"FROBNICATE 1 2\n",     // unknown verb
+        b"ROUTE 0 4294967295\n", // node out of range
+        b"ROUTE -1 2\n",         // negative node
+        b"ROUTE 0\n",            // missing argument
+        b"TOLERATE\n",           // missing both arguments
+        b"AUDIT nine lives\n",   // non-numeric arguments
+    ];
+    for line in abuse {
+        raw.write_all(line).unwrap();
+    }
+    raw.flush().unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    for line in abuse {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("ERR "),
+            "{:?} should answer ERR, got {reply:?}",
+            String::from_utf8_lossy(line)
+        );
+    }
+    drop(reader);
+    drop(raw);
+
+    // A request cut off by EOF mid-line is still served before the
+    // connection winds down.
+    let mut half = TcpStream::connect(addr).unwrap();
+    half.write_all(b"EPOCH").unwrap(); // no trailing newline
+    half.shutdown(Shutdown::Write).unwrap();
+    let mut out = String::new();
+    BufReader::new(&mut half).read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("OK EPOCH"), "partial line at EOF: {out:?}");
+
+    // A single line larger than the 1 MiB cap kills only that
+    // connection — no reply, no shard loss.
+    let mut flood = TcpStream::connect(addr).unwrap();
+    let junk = vec![b'A'; (1 << 20) + 64];
+    // The server may hang up mid-write; the write failing is fine.
+    let _ = flood.write_all(&junk);
+    let _ = flood.flush();
+    let mut sink = Vec::new();
+    let _ = flood.read_to_end(&mut sink);
+    assert!(sink.is_empty(), "oversized line must not get a reply");
+    drop(flood);
+
+    // The shards all survived the abuse: a fresh client is served, and
+    // the deliberate errors were counted rather than panicked on.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.ping().unwrap());
+    assert!(client.route(0, 1).unwrap().starts_with("OK "));
+    let stats = client.request("STATS").unwrap();
+    let errors: u64 = stats
+        .split(' ')
+        .find_map(|t| t.strip_prefix("errors="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(errors >= abuse.len() as u64, "unexpected stats: {stats}");
+    client.quit().unwrap();
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
 fn schemes_and_plan_verbs_answer_over_the_wire() {
     // Serve a planner-built snapshot so scheme provenance flows
     // end-to-end: planner -> BuiltRouting -> snapshot -> daemon.
