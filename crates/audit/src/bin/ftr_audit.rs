@@ -28,6 +28,9 @@ use ftr_core::{check_claim, BuiltTable, Compile, SchemeRegistry, SchemeSpec, Tol
 use ftr_graph::{spec::parse_graph_spec, Graph, NodeSet, Path};
 
 fn main() -> ExitCode {
+    // Anchor the shared monotonic clock at process start so any wall
+    // timing recorded below is relative to launch.
+    ftr_obs::monotonic_nanos();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("audit") => run_audit(&args[1..]),

@@ -5,8 +5,8 @@
 //! ```text
 //! loadgen [--clients N] [--seconds S] [--churn-hz R] [--fault-budget F]
 //!         [--pipeline B] [--shards N] [--graph harary:K,N|petersen|cycle:N]
-//!         [--scheme SCHEME|auto] [--assert-qps Q] [--no-metrics]
-//!         [--compare-metrics] [--out FILE]
+//!         [--scheme SCHEME|auto] [--assert-qps Q] [--no-metrics] [--no-spans]
+//!         [--compare-metrics] [--compare-spans] [--out FILE]
 //! ```
 //!
 //! `--scheme` takes the shared `ftr_core::SchemeSpec` grammar (the same
@@ -25,6 +25,14 @@
 //! whole measurement twice, metrics-off then metrics-on, and records
 //! both throughputs plus the overhead percentage in the JSON (the
 //! `--assert-qps` floor applies to the metrics-on run).
+//!
+//! Flight-recorder span tracing rides on metrics and is likewise on by
+//! default; `--no-spans` disables just the tracing, and
+//! `--compare-spans` mirrors `--compare-metrics` with a spans-off
+//! (metrics still on) baseline, recording the span-tracing overhead
+//! pair in the JSON. Burst latency is recorded per verb — every query
+//! in a pipelined burst is attributed the burst's round-trip time
+//! under its own verb's histogram.
 //!
 //! Exits nonzero on any protocol error, unclean shutdown, or a missed
 //! `--assert-qps` floor.
@@ -56,8 +64,18 @@ struct Args {
     assert_qps: Option<f64>,
     metrics: bool,
     compare_metrics: bool,
+    spans: bool,
+    compare_spans: bool,
     out: Option<String>,
 }
+
+/// Verbs with their own burst-latency histogram, in histogram-slot
+/// order (`ROUTE` first — its slot feeds the headline latency line).
+const VERB_NAMES: [&str; 4] = ["route", "diam", "epoch", "tolerate"];
+const VERB_ROUTE: usize = 0;
+const VERB_DIAM: usize = 1;
+const VERB_EPOCH: usize = 2;
+const VERB_TOLERATE: usize = 3;
 
 impl Args {
     fn parse() -> Result<Args, String> {
@@ -76,6 +94,8 @@ impl Args {
             assert_qps: None,
             metrics: true,
             compare_metrics: false,
+            spans: true,
+            compare_spans: false,
             out: None,
         };
         let mut it = std::env::args().skip(1);
@@ -93,6 +113,8 @@ impl Args {
                 "--assert-qps" => args.assert_qps = Some(parse(&value("--assert-qps")?)?),
                 "--no-metrics" => args.metrics = false,
                 "--compare-metrics" => args.compare_metrics = true,
+                "--no-spans" => args.spans = false,
+                "--compare-spans" => args.compare_spans = true,
                 "--out" => args.out = Some(value("--out")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -260,7 +282,7 @@ fn check(result: std::io::Result<bool>, errors: &AtomicU64) {
 /// reused byte buffer and replies land in a reused [`ReplyLines`], so
 /// the steady-state loop allocates nothing; each burst's round-trip
 /// time is attributed to every query in it (the latency a pipelined
-/// caller actually waits).
+/// caller actually waits), recorded under that query's own verb.
 fn run_client(
     addr: std::net::SocketAddr,
     n: usize,
@@ -268,30 +290,31 @@ fn run_client(
     pipeline: usize,
     deadline: Instant,
     totals: &Totals,
-    latency: &Mutex<Histogram>,
+    latency: &Mutex<[Histogram; VERB_NAMES.len()]>,
 ) {
     let mut client = Client::connect(addr).expect("query client connects");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut requests: Vec<u8> = Vec::with_capacity(pipeline * 16);
-    let mut route_flags: Vec<bool> = Vec::with_capacity(pipeline);
+    let mut verb_tags: Vec<usize> = Vec::with_capacity(pipeline);
     let mut replies = ReplyLines::new();
-    let mut local = Histogram::new();
+    let mut local: [Histogram; VERB_NAMES.len()] = Default::default();
     let mut counts = LocalCounts::default();
     let mut burst: u64 = 0;
     while Instant::now() < deadline {
         requests.clear();
-        route_flags.clear();
+        verb_tags.clear();
         burst += 1;
         for i in 0..pipeline {
             // ~1 non-ROUTE probe per burst keeps the mix honest without
             // moving the throughput needle.
             if i == 0 && burst % 4 == 1 {
-                requests.extend_from_slice(match burst % 12 {
-                    1 => b"DIAM\n".as_slice(),
-                    5 => b"EPOCH\n".as_slice(),
-                    _ => b"TOLERATE 8 1\n".as_slice(),
-                });
-                route_flags.push(false);
+                let (line, verb) = match burst % 12 {
+                    1 => (b"DIAM\n".as_slice(), VERB_DIAM),
+                    5 => (b"EPOCH\n".as_slice(), VERB_EPOCH),
+                    _ => (b"TOLERATE 8 1\n".as_slice(), VERB_TOLERATE),
+                };
+                requests.extend_from_slice(line);
+                verb_tags.push(verb);
                 continue;
             }
             let x = rng.gen_range(0..n) as Node;
@@ -300,7 +323,7 @@ fn run_client(
                 y = (y + 1) % n as Node;
             }
             push_route(&mut requests, x as u64, y as u64);
-            route_flags.push(true);
+            verb_tags.push(VERB_ROUTE);
         }
         let sent = Instant::now();
         if client
@@ -311,8 +334,8 @@ fn run_client(
             break;
         }
         let rtt = sent.elapsed().as_nanos() as u64;
-        let mut routes = 0u64;
-        for (&is_route, reply) in route_flags.iter().zip(replies.iter()) {
+        let mut verb_counts = [0u64; VERB_NAMES.len()];
+        for (&verb, reply) in verb_tags.iter().zip(replies.iter()) {
             // Thread-local tallies; one atomic merge per client at the
             // end keeps the reply loop free of shared-cacheline traffic.
             let counter = if reply.starts_with(b"OK DIRECT") {
@@ -335,16 +358,19 @@ fn run_client(
                 &mut counts.errors
             };
             *counter += 1;
-            routes += u64::from(is_route);
+            verb_counts[verb] += 1;
         }
-        local.record_n(rtt, routes);
-        counts.route += routes;
+        for (hist, &count) in local.iter_mut().zip(&verb_counts) {
+            hist.record_n(rtt, count);
+        }
+        counts.route += verb_counts[VERB_ROUTE];
     }
     counts.merge_into(totals);
-    latency
-        .lock()
-        .expect("latency histogram poisoned")
-        .merge(&local);
+    let mut shared = latency.lock().expect("latency histogram poisoned");
+    for (shared, local) in shared.iter_mut().zip(&local) {
+        shared.merge(local);
+    }
+    drop(shared);
     let _ = client.quit();
 }
 
@@ -391,7 +417,7 @@ struct Measurement {
     epochs: u64,
     hit_rate: f64,
     errors: u64,
-    latency: Histogram,
+    latency: [Histogram; VERB_NAMES.len()],
 }
 
 impl Measurement {
@@ -406,19 +432,22 @@ impl Measurement {
 
 /// One complete load-test run against a fresh server on `snapshot`:
 /// spawn, drive churn + query clients until the deadline, shut down,
-/// collect. `metrics` sets the server's hot-path recording flag.
+/// collect. `metrics`/`spans` set the server's hot-path recording and
+/// flight-recorder flags.
 fn measure(
     args: &Args,
     snapshot: &std::sync::Arc<RoutingSnapshot>,
     n: usize,
     core: &[Node],
     metrics: bool,
+    spans: bool,
 ) -> Result<Measurement, String> {
     let server = Server::bind(
         std::sync::Arc::clone(snapshot),
         ServerConfig {
             shards: args.shards,
             metrics,
+            spans,
             ..ServerConfig::default()
         },
     )
@@ -428,7 +457,7 @@ fn measure(
     let spawned = server.spawn();
 
     let totals = Totals::default();
-    let latency = Mutex::new(Histogram::new());
+    let latency: Mutex<[Histogram; VERB_NAMES.len()]> = Mutex::new(Default::default());
     let stop_churn = AtomicBool::new(false);
     let churn_events = AtomicU64::new(0);
     let barrier = Barrier::new(args.clients + 1);
@@ -520,6 +549,9 @@ fn measure(
 }
 
 fn run() -> Result<(), String> {
+    // Anchor the shared monotonic clock at process start so span/trace
+    // timestamps scraped from the in-process server line up with ours.
+    ftr_obs::monotonic_nanos();
     let args = Args::parse()?;
     let (graph, family_label) = parse_graph_spec(&args.graph)?;
     let built = build_scheme(&graph, &args.scheme)?;
@@ -537,7 +569,7 @@ fn run() -> Result<(), String> {
     // duration, fresh server) so the JSON records the observability
     // overhead; the floor-asserted run below is always metrics-on.
     let baseline = if args.compare_metrics {
-        let m = measure(&args, &snapshot, n, &core, false)?;
+        let m = measure(&args, &snapshot, n, &core, false, false)?;
         eprintln!(
             "loadgen: metrics-off baseline: {:.0} route qps ({:.0} total)",
             m.route_qps(),
@@ -547,8 +579,22 @@ fn run() -> Result<(), String> {
     } else {
         None
     };
-    let metrics_on = args.metrics || args.compare_metrics;
-    let m = measure(&args, &snapshot, n, &core, metrics_on)?;
+    // --compare-spans mirrors that with a spans-off (metrics still on)
+    // baseline, isolating what the flight recorder itself costs.
+    let spans_baseline = if args.compare_spans {
+        let m = measure(&args, &snapshot, n, &core, true, false)?;
+        eprintln!(
+            "loadgen: spans-off baseline: {:.0} route qps ({:.0} total)",
+            m.route_qps(),
+            m.total_qps()
+        );
+        Some(m)
+    } else {
+        None
+    };
+    let metrics_on = args.metrics || args.compare_metrics || args.compare_spans;
+    let spans_on = metrics_on && (args.spans || args.compare_spans);
+    let m = measure(&args, &snapshot, n, &core, metrics_on, spans_on)?;
 
     let Measurement {
         elapsed,
@@ -562,12 +608,28 @@ fn run() -> Result<(), String> {
     } = m;
     let route_qps = m.route_qps();
     let total_qps = m.total_qps();
-    let latency = &m.latency;
+    let latency = &m.latency[VERB_ROUTE];
     let (p50, p95, p99) = (
         latency.quantile_us(0.50),
         latency.quantile_us(0.95),
         latency.quantile_us(0.99),
     );
+    // Per-verb burst-latency quantiles (a verb that never ran renders
+    // zeros — the TOLERATE probe only fires on some burst schedules).
+    let verb_latency = VERB_NAMES
+        .iter()
+        .zip(&m.latency)
+        .map(|(name, h)| {
+            format!(
+                "\"{name}\": {{ \"count\": {}, \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1} }}",
+                h.count(),
+                h.quantile_us(0.50),
+                h.quantile_us(0.95),
+                h.quantile_us(0.99)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     // The metrics-on/off pair records what observability costs: the
     // overhead is (off - on) / off as a percentage of the baseline.
     let overhead = baseline.as_ref().map(|b| {
@@ -584,15 +646,32 @@ fn run() -> Result<(), String> {
             b.total_qps()
         )
     });
+    // Same shape for the span-tracing pair.
+    let span_overhead = spans_baseline.as_ref().map(|b| {
+        let (off, on) = (b.route_qps(), route_qps);
+        let pct = if off > 0.0 {
+            (off - on) / off * 100.0
+        } else {
+            0.0
+        };
+        format!(
+            "\n  \"spans_off_route_qps\": {off:.0},\n  \
+             \"spans_off_total_qps\": {:.0},\n  \
+             \"span_overhead_pct\": {pct:.1},",
+            b.total_qps()
+        )
+    });
     let json = format!(
         "{{\n  \"bench\": \"loadgen\",\n  \"graph\": \"{graph_label}\",\n  \
          \"scheme\": \"{scheme_label}\",\n  \"n\": {n},\n  \
          \"clients\": {},\n  \"pipeline_depth\": {},\n  \"seconds\": {elapsed:.2},\n  \
-         \"churn_hz\": {},\n  \"fault_budget\": {},\n  \"metrics\": {metrics_on},{}\n  \
+         \"churn_hz\": {},\n  \"fault_budget\": {},\n  \"metrics\": {metrics_on},\n  \
+         \"spans\": {spans_on},{}{}\n  \
          \"route_queries\": {route},\n  \
          \"route_qps\": {route_qps:.0},\n  \"total_queries\": {total},\n  \
          \"total_qps\": {total_qps:.0},\n  \
          \"route_latency_us\": {{ \"p50\": {p50:.1}, \"p95\": {p95:.1}, \"p99\": {p99:.1} }},\n  \
+         \"verb_latency_us\": {{ {verb_latency} }},\n  \
          \"verbs\": {{ \"direct\": {}, \"detour\": {}, \"unreachable\": {}, \
          \"diam\": {}, \"epoch\": {}, \"tolerate\": {} }},\n  \
          \"direct\": {},\n  \"detour\": {},\n  \
@@ -604,6 +683,7 @@ fn run() -> Result<(), String> {
         args.churn_hz,
         args.fault_budget,
         overhead.unwrap_or_default(),
+        span_overhead.unwrap_or_default(),
         m.direct,
         m.detour,
         m.unreachable,
@@ -637,11 +717,16 @@ fn run() -> Result<(), String> {
     );
     eprintln!("loadgen: wrote {out}");
 
-    let all_errors = errors + baseline.as_ref().map_or(0, |b| b.errors);
+    let all_errors = errors
+        + baseline.as_ref().map_or(0, |b| b.errors)
+        + spans_baseline.as_ref().map_or(0, |b| b.errors);
     if all_errors > 0 {
         return Err(format!("{all_errors} protocol errors observed"));
     }
-    if epochs == 0 || baseline.as_ref().is_some_and(|b| b.epochs == 0) {
+    if epochs == 0
+        || baseline.as_ref().is_some_and(|b| b.epochs == 0)
+        || spans_baseline.as_ref().is_some_and(|b| b.epochs == 0)
+    {
         return Err("no epoch ever advanced — churn never reached the server".into());
     }
     if let Some(floor) = args.assert_qps {

@@ -136,6 +136,42 @@ impl Histogram {
     pub fn quantile_us(&self, q: f64) -> f64 {
         self.quantile(q) as f64 / 1_000.0
     }
+
+    /// The per-bucket difference `self - earlier` (saturating), turning
+    /// two snapshots of a cumulative histogram into a windowed view of
+    /// the observations recorded between them. The watchdog uses this
+    /// to compute burn rates over its sampling interval.
+    pub fn diff_from(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = self.buckets.clone();
+        for (a, b) in buckets.iter_mut().zip(&earlier.buckets) {
+            *a = a.saturating_sub(*b);
+        }
+        let count = buckets.iter().sum();
+        Histogram {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Fraction of observations recorded in buckets strictly above the
+    /// bucket containing `value` (0.0 on an empty histogram). Together
+    /// with an SLO target quantile this yields a burn rate: fraction
+    /// above the threshold divided by the allowed tail fraction.
+    pub fn fraction_above(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cut = Self::index(value);
+        let above: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i > cut)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / self.count as f64
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +215,28 @@ mod tests {
         assert!((p95 as f64 - 950_000.0).abs() / 950_000.0 < 0.07);
         assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07);
         assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn diff_from_windows_a_cumulative_histogram() {
+        let mut early = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            early.record(v);
+        }
+        let mut late = early.clone();
+        for v in [8_000u64, 8_000, 16_000, 1_000_000] {
+            late.record(v);
+        }
+        let window = late.diff_from(&early);
+        assert_eq!(window.count(), 4);
+        assert!(window.quantile(0.01) >= 8_000 * 15 / 16);
+        // Empty window when nothing happened between snapshots.
+        let idle = late.diff_from(&late);
+        assert!(idle.is_empty());
+        assert_eq!(idle.fraction_above(0), 0.0);
+        // Tail fraction: one of four observations sits above 16_000.
+        let frac = window.fraction_above(16_000);
+        assert!((frac - 0.25).abs() < 1e-9, "{frac}");
+        assert_eq!(window.fraction_above(u64::MAX), 0.0);
     }
 }

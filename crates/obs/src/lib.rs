@@ -21,6 +21,17 @@
 //! - [`TraceRing`] — a bounded ring-buffer journal of structured
 //!   [`TraceEvent`]s tagged with epoch ids and monotonic timestamps
 //!   (see [`monotonic_nanos`]), drained by the `TRACE n` protocol verb.
+//! - [`SpanRecorder`] / [`SpanStore`] — the flight recorder: per-shard
+//!   lock-free span buffers capturing each request batch's stage
+//!   breakdown (decode → cache → engine → serialize → write), bulk
+//!   flushed into a shared store with tail-based retention of any batch
+//!   slower than the rolling p99 (the `SPANS`/`SLOW` verbs).
+//! - [`LineageJournal`] — a bounded journal of epoch advances (parent
+//!   id, applied events, occupancy delta, apply/publish timing) behind
+//!   the `LINEAGE` verb.
+//! - [`SloAlert`] — multi-window SLO burn-rate tracking for the stall
+//!   watchdog: short-window burn detects fast, long-window burn
+//!   suppresses blips.
 //!
 //! Nothing in this crate blocks on the metric hot path: counters and
 //! gauges are single relaxed atomic ops, and histogram recording is a
@@ -32,11 +43,17 @@
 #![warn(missing_docs)]
 
 mod hist;
+mod lineage;
 mod metrics;
 mod registry;
+mod slo;
+mod span;
 mod trace;
 
 pub use hist::Histogram;
+pub use lineage::{LineageJournal, LineageRecord};
 pub use metrics::{AtomicHistogram, Counter, Gauge};
 pub use registry::{Registry, Unit};
+pub use slo::{AlertTransition, BurnRate, SloAlert};
+pub use span::{BatchSpans, Span, SpanId, SpanRecorder, SpanStore, SLOW_MIN_SAMPLES};
 pub use trace::{monotonic_nanos, TraceEvent, TraceRing};

@@ -1,0 +1,146 @@
+//! Multi-window SLO burn-rate tracking for the stall watchdog.
+//!
+//! A burn rate is `observed badness / allowed badness` over a window:
+//! 1.0 means the SLO budget is being consumed exactly at the allowed
+//! rate, 2.0 means twice as fast. Following the multi-window pattern,
+//! an alert fires only when both the *short* window (the most recent
+//! sample) and the *long* window (a trailing average) burn at ≥ 1 —
+//! the short window gives fast detection, the long window suppresses
+//! one-sample blips.
+
+use std::collections::VecDeque;
+
+/// Burn rates for one SLO at one sampling instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnRate {
+    /// Burn over the most recent sampling window.
+    pub short: f64,
+    /// Burn averaged over the trailing long window.
+    pub long: f64,
+}
+
+impl BurnRate {
+    /// Whether this reading is past the multi-window alert threshold.
+    pub fn firing(&self) -> bool {
+        self.short >= 1.0 && self.long >= 1.0
+    }
+}
+
+/// Alert state transition reported by [`SloAlert::observe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertTransition {
+    /// The alert just became active.
+    Fired,
+    /// The alert just cleared.
+    Cleared,
+}
+
+/// Tracks one SLO's burn across short and long windows and holds the
+/// alert's active/inactive state.
+#[derive(Debug)]
+pub struct SloAlert {
+    window: VecDeque<f64>,
+    long_windows: usize,
+    active: bool,
+    last: BurnRate,
+}
+
+impl SloAlert {
+    /// A tracker averaging the long window over `long_windows` samples.
+    pub fn new(long_windows: usize) -> Self {
+        SloAlert {
+            window: VecDeque::new(),
+            long_windows: long_windows.max(1),
+            active: false,
+            last: BurnRate {
+                short: 0.0,
+                long: 0.0,
+            },
+        }
+    }
+
+    /// Feeds one sampling window's burn rate; returns the multi-window
+    /// rates and, when the alert flipped state, the transition.
+    pub fn observe(&mut self, burn: f64) -> (BurnRate, Option<AlertTransition>) {
+        let burn = if burn.is_finite() { burn.max(0.0) } else { 0.0 };
+        if self.window.len() >= self.long_windows {
+            self.window.pop_front();
+        }
+        self.window.push_back(burn);
+        let long = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        let rate = BurnRate { short: burn, long };
+        self.last = rate;
+        let transition = match (self.active, rate.firing()) {
+            (false, true) => {
+                self.active = true;
+                Some(AlertTransition::Fired)
+            }
+            (true, false) => {
+                self.active = false;
+                Some(AlertTransition::Cleared)
+            }
+            _ => None,
+        };
+        (rate, transition)
+    }
+
+    /// Whether the alert is currently active.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// The most recent burn rates.
+    pub fn last(&self) -> BurnRate {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_spike_does_not_fire() {
+        let mut alert = SloAlert::new(4);
+        for _ in 0..4 {
+            alert.observe(0.0);
+        }
+        let (rate, transition) = alert.observe(3.0);
+        assert_eq!(rate.short, 3.0);
+        assert!(rate.long < 1.0, "one spike diluted by the long window");
+        assert_eq!(transition, None);
+        assert!(!alert.active());
+    }
+
+    #[test]
+    fn sustained_burn_fires_then_clears() {
+        let mut alert = SloAlert::new(3);
+        let mut fired_at = None;
+        for i in 0..5 {
+            let (_, t) = alert.observe(2.0);
+            if t == Some(AlertTransition::Fired) {
+                fired_at = Some(i);
+            }
+        }
+        assert_eq!(fired_at, Some(0), "constant burn 2.0 fires immediately");
+        assert!(alert.active());
+        assert!(alert.last().firing());
+        // Recovery: short drops below 1 on the first good sample.
+        let (_, t) = alert.observe(0.0);
+        assert_eq!(t, Some(AlertTransition::Cleared));
+        assert!(!alert.active());
+        // No duplicate transitions while state is steady.
+        let (_, t) = alert.observe(0.0);
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn pathological_inputs_are_clamped() {
+        let mut alert = SloAlert::new(2);
+        let (rate, _) = alert.observe(f64::NAN);
+        assert_eq!(rate.short, 0.0);
+        let (rate, _) = alert.observe(-5.0);
+        assert_eq!(rate.short, 0.0);
+        assert_eq!(rate.long, 0.0);
+    }
+}

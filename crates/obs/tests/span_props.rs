@@ -1,0 +1,115 @@
+//! Property test: flight-recorder span trees stay well-nested no
+//! matter how unbalanced the recording sequence was, including under
+//! concurrent multi-shard flushes into one shared [`SpanStore`].
+
+use std::sync::Arc;
+
+use ftr_obs::{SpanRecorder, SpanStore};
+use proptest::prelude::*;
+
+/// Stage names a recorder may open (must be `&'static str`).
+const STAGES: [&str; 5] = ["batch", "decode", "cache", "engine", "write"];
+
+/// Drives one recorder through a seeded pseudo-random op stream under
+/// the server's discipline (a root span opened first and closed only
+/// by `take`) but with adversarial ordering inside it: out-of-order
+/// ends, double ends of already-closed spans, dangling opens and
+/// explicit windows. Returns the sealed batch.
+fn record_chaotic(seed: u64, ops: usize, shard: u32, batch: u64) -> ftr_obs::BatchSpans {
+    let mut recorder = SpanRecorder::new();
+    recorder.start("batch"); // root: closed only by take()
+    let mut open = Vec::new();
+    let mut closed = Vec::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64: deterministic per-seed op stream.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..ops {
+        match next() % 5 {
+            0 | 1 => {
+                let stage = STAGES[1 + (next() % (STAGES.len() as u64 - 1)) as usize];
+                open.push(recorder.start(stage));
+            }
+            2 if !open.is_empty() => {
+                // End a *random* open span, not necessarily the
+                // innermost — the recorder must close intervening
+                // spans itself to stay balanced.
+                let pick = (next() % open.len() as u64) as usize;
+                let span = open.swap_remove(pick);
+                recorder.end(span);
+                closed.push(span);
+            }
+            3 if !closed.is_empty() => {
+                // Ending an already-closed span must be a no-op (it
+                // must NOT unwind the still-open stack above it).
+                let pick = (next() % closed.len() as u64) as usize;
+                recorder.end(closed[pick]);
+            }
+            _ => {
+                let start = ftr_obs::monotonic_nanos();
+                let end = ftr_obs::monotonic_nanos();
+                recorder.record_window("engine", start, end);
+            }
+        }
+    }
+    // Some spans in `open` are deliberately never ended: take() must
+    // force-close them.
+    recorder.take(shard, batch, 1, ops as u32)
+}
+
+proptest! {
+    #[test]
+    fn chaotic_recording_always_seals_well_nested(
+        seed in 1u64..u64::MAX,
+        ops in 1usize..120,
+    ) {
+        let batch = record_chaotic(seed, ops, 0, 1);
+        prop_assert!(
+            batch.is_well_nested(),
+            "seed {} ops {} produced a malformed tree",
+            seed,
+            ops
+        );
+    }
+
+    #[test]
+    fn concurrent_shard_flushes_keep_every_retained_tree_well_nested(
+        seeds in prop::collection::vec(1u64..u64::MAX, 2..5),
+        batches_per_shard in 1u64..12,
+    ) {
+        let store = Arc::new(SpanStore::new(16, 8));
+        std::thread::scope(|scope| {
+            for (shard, &seed) in seeds.iter().enumerate() {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut pending = Vec::new();
+                    for b in 1..=batches_per_shard {
+                        let ops = 1 + ((seed ^ b) % 60) as usize;
+                        pending.push(record_chaotic(seed ^ b, ops, shard as u32, b));
+                        // Flush in irregular chunks to interleave with
+                        // the other shards.
+                        if b % 3 == 0 {
+                            store.ingest(&mut pending);
+                        }
+                    }
+                    store.ingest(&mut pending);
+                });
+            }
+        });
+        let total = seeds.len() as u64 * batches_per_shard;
+        prop_assert_eq!(store.batches_total(), total);
+        for batch in store.recent(usize::MAX).iter().chain(store.slow(usize::MAX).iter()) {
+            prop_assert!(
+                batch.is_well_nested(),
+                "shard {} batch {} malformed after concurrent flushes",
+                batch.shard,
+                batch.batch
+            );
+            prop_assert!(batch.spans.iter().all(|s| s.end_nanos >= s.start_nanos));
+        }
+    }
+}

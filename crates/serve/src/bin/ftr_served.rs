@@ -3,8 +3,9 @@
 //! ```text
 //! ftr-served [--graph SPEC | --snapshot FILE] [--scheme SCHEME|auto]
 //!            [--faults F] [--addr HOST:PORT] [--shards N] [--batch-us N]
-//!            [--no-metrics] [--metrics-json FILE] [--metrics-interval-s N]
-//!            [--write-snapshot FILE]
+//!            [--no-metrics] [--no-spans] [--metrics-json FILE]
+//!            [--metrics-interval-s N] [--slo-route-p99-us N]
+//!            [--slo-epoch-ms N] [--write-snapshot FILE]
 //!
 //! Graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C
 //! Scheme specs: kernel | circular[:k=N] | tricircular[:small] |
@@ -27,6 +28,12 @@
 //! `--metrics-json FILE` additionally writes a flat JSON snapshot of
 //! the registry every `--metrics-interval-s` seconds (default 5),
 //! atomically via a temp-file rename.
+//!
+//! The flight recorder (`SPANS` / `SLOW` span trees) rides on metrics
+//! and is likewise on by default; `--no-spans` disables just the span
+//! tracing. `--slo-route-p99-us` and `--slo-epoch-ms` set the stall
+//! watchdog's burn-rate targets (route p99 latency and epoch-advance
+//! latency respectively).
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -48,6 +55,9 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), String> {
+    // Anchor the monotonic span/trace clock at process start so every
+    // recorded timestamp is relative to daemon launch.
+    ftr_obs::monotonic_nanos();
     let mut graph_spec = String::from("harary:5,24");
     let mut snapshot_file: Option<String> = None;
     let mut scheme_spec = String::from("kernel");
@@ -90,6 +100,17 @@ fn run() -> Result<(), String> {
             }
             "--write-snapshot" => write_snapshot = Some(value("--write-snapshot")?),
             "--no-metrics" => config.metrics = false,
+            "--no-spans" => config.spans = false,
+            "--slo-route-p99-us" => {
+                config.slo.route_p99_us = value("--slo-route-p99-us")?
+                    .parse()
+                    .map_err(|e| format!("--slo-route-p99-us: {e}"))?
+            }
+            "--slo-epoch-ms" => {
+                config.slo.epoch_ms = value("--slo-epoch-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slo-epoch-ms: {e}"))?
+            }
             "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
             "--metrics-interval-s" => {
                 let s: u64 = value("--metrics-interval-s")?
@@ -101,8 +122,9 @@ fn run() -> Result<(), String> {
                 println!(
                     "usage: ftr-served [--graph SPEC | --snapshot FILE] \
                      [--scheme SCHEME|auto] [--faults F] [--addr HOST:PORT] [--shards N] \
-                     [--batch-us N] [--no-metrics] [--metrics-json FILE] \
-                     [--metrics-interval-s N] [--write-snapshot FILE]\n\
+                     [--batch-us N] [--no-metrics] [--no-spans] [--metrics-json FILE] \
+                     [--metrics-interval-s N] [--slo-route-p99-us N] [--slo-epoch-ms N] \
+                     [--write-snapshot FILE]\n\
                      graph specs:  petersen | cycle:N | hypercube:D | harary:K,N | torus:R,C\n\
                      scheme specs: kernel | circular[:k=N] | tricircular[:small] | \
                      bipolar[:uni|bi] | hypercube | augment | auto"

@@ -1,0 +1,228 @@
+//! `ftr-top` — a live terminal dashboard for a running `ftr-served`.
+//!
+//! ```text
+//! ftr-top [--addr HOST:PORT] [--interval-s N] [--once]
+//! ```
+//!
+//! Scrapes the daemon's `STATS`, `METRICS`, `SPANS` and `LINEAGE`
+//! verbs over the wire protocol and renders a refreshing table:
+//! throughput, per-stage latency quantiles from the flight recorder,
+//! cache hit rate, ingest/epoch health and SLO alert status. `--once`
+//! prints a single frame and exits (the CI smoke test runs it that
+//! way); otherwise the screen refreshes every `--interval-s` seconds
+//! (default 2) until interrupted.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ftr_serve::Client;
+
+/// Span stages rendered in pipeline order (matches the server's
+/// flight-recorder stage set).
+const STAGES: [&str; 6] = ["batch", "decode", "cache", "engine", "serialize", "write"];
+
+/// Watchdog SLO labels, in the server's gauge order.
+const SLOS: [&str; 3] = ["route_p99", "epoch_advance", "error_rate"];
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ftr-top: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    ftr_obs::monotonic_nanos(); // anchor the clock at process start
+    let mut addr: SocketAddr = "127.0.0.1:7077".parse().expect("valid default");
+    let mut interval = Duration::from_secs(2);
+    let mut once = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => {
+                addr = value("--addr")?
+                    .parse()
+                    .map_err(|e| format!("--addr: {e}"))?
+            }
+            "--interval-s" => {
+                let s: u64 = value("--interval-s")?
+                    .parse()
+                    .map_err(|e| format!("--interval-s: {e}"))?;
+                interval = Duration::from_secs(s.max(1));
+            }
+            "--once" => once = true,
+            "--help" | "-h" => {
+                println!("usage: ftr-top [--addr HOST:PORT] [--interval-s N] [--once]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut prev: Option<(Instant, u64)> = None;
+    loop {
+        let frame = scrape(&mut client).map_err(|e| format!("scrape: {e}"))?;
+        let now = Instant::now();
+        let qps = match prev {
+            Some((t, queries)) => {
+                let dt = now.duration_since(t).as_secs_f64();
+                if dt > 0.0 {
+                    (frame.queries.saturating_sub(queries)) as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+            // First frame: fall back to the lifetime average.
+            None => frame.queries as f64 / (frame.uptime_s.max(1)) as f64,
+        };
+        prev = Some((now, frame.queries));
+        if !once {
+            // Clear screen, home cursor.
+            print!("\x1b[2J\x1b[H");
+        }
+        render(&frame, addr, qps);
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One scraped dashboard frame.
+struct Frame {
+    epoch: u64,
+    faults: u64,
+    queries: u64,
+    cache_hits: u64,
+    errors: u64,
+    connections: u64,
+    uptime_s: u64,
+    alerts_active: u64,
+    spans_dropped: u64,
+    metrics: HashMap<String, f64>,
+    spans: Vec<String>,
+    lineage: Vec<String>,
+}
+
+fn scrape(client: &mut Client) -> std::io::Result<Frame> {
+    let stats = client.request("STATS")?;
+    let stat = |key: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let metrics = parse_prometheus(&client.metrics()?);
+    let spans = client.spans(8).unwrap_or_default();
+    let lineage = client.lineage(4).unwrap_or_default();
+    Ok(Frame {
+        epoch: stat("epoch="),
+        faults: stat("faults="),
+        queries: stat("queries="),
+        cache_hits: stat("cache_hits="),
+        errors: stat("errors="),
+        connections: stat("connections="),
+        uptime_s: stat("uptime_s="),
+        alerts_active: stat("alerts_active="),
+        spans_dropped: stat("spans_dropped="),
+        metrics,
+        spans,
+        lineage,
+    })
+}
+
+/// Parses the Prometheus text exposition into `series-with-labels →
+/// value` (comment lines skipped, label order preserved verbatim).
+fn parse_prometheus(text: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((series, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert(series.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+fn render(frame: &Frame, addr: SocketAddr, qps: f64) {
+    let get = |key: &str| frame.metrics.get(key).copied().unwrap_or(0.0);
+    let hit_rate = if frame.queries > 0 {
+        100.0 * frame.cache_hits as f64 / frame.queries as f64
+    } else {
+        0.0
+    };
+    println!(
+        "ftr-top — {addr}  up {}s  epoch {}  faults {}  conns {}",
+        frame.uptime_s, frame.epoch, frame.faults, frame.connections
+    );
+    println!(
+        "  {qps:>12.0} qps   cache {hit_rate:>5.1}%   errors {}   backlog {:.0}   epoch advances {:.0}",
+        frame.errors,
+        get("ftr_ingest_backlog"),
+        get("ftr_epoch_advances_total"),
+    );
+    println!();
+    println!("  stage        count        p50        p95        p99");
+    for stage in STAGES {
+        let count = get(&format!("ftr_stage_seconds_count{{stage=\"{stage}\"}}"));
+        let q = |q: &str| {
+            micros(get(&format!(
+                "ftr_stage_seconds{{stage=\"{stage}\",quantile=\"{q}\"}}"
+            )))
+        };
+        println!(
+            "  {stage:<10} {count:>7.0} {:>10} {:>10} {:>10}",
+            q("0.5"),
+            q("0.95"),
+            q("0.99")
+        );
+    }
+    println!();
+    let slow_threshold = get("ftr_span_slow_threshold_nanos") / 1_000.0;
+    println!(
+        "  recorder: {:.0} batches, {:.0} slow retained, {} spans dropped, slow > {slow_threshold:.0}us",
+        get("ftr_span_batches_total"),
+        get("ftr_span_slow_retained_total"),
+        frame.spans_dropped,
+    );
+    println!(
+        "  alerts: {} active   {}",
+        frame.alerts_active,
+        SLOS.map(|slo| {
+            let firing = get(&format!("ftr_alert_active{{slo=\"{slo}\"}}")) > 0.0;
+            let burn = get(&format!("ftr_slo_burn_milli{{slo=\"{slo}\"}}")) / 1000.0;
+            format!(
+                "{slo}={} (burn {burn:.2})",
+                if firing { "FIRING" } else { "ok" }
+            )
+        })
+        .join("  ")
+    );
+    println!();
+    println!("  recent spans ({} lines):", frame.spans.len());
+    for line in frame.spans.iter().rev().take(8).rev() {
+        println!("    {line}");
+    }
+    println!("  lineage ({} records):", frame.lineage.len());
+    for line in &frame.lineage {
+        println!("    {line}");
+    }
+}
+
+/// Renders a fractional-seconds exposition value as microseconds.
+fn micros(seconds: f64) -> String {
+    format!("{:.1}us", seconds * 1e6)
+}

@@ -251,6 +251,42 @@ impl Client {
         Ok(body.lines().map(str::to_string).collect())
     }
 
+    /// `SPANS n`; returns the flight-recorder span lines of the `≤ n`
+    /// most recent request batches, oldest batch first.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an `ERR` or
+    /// unparseable reply.
+    pub fn spans(&mut self, n: usize) -> io::Result<Vec<String>> {
+        let body = self.multi_line(&format!("SPANS {n}"), "OK SPANS lines=")?;
+        Ok(body.lines().map(str::to_string).collect())
+    }
+
+    /// `SLOW n`; returns the span lines of the `≤ n` most recent
+    /// slower-than-p99 batches (the slow-query log), oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an `ERR` or
+    /// unparseable reply.
+    pub fn slow(&mut self, n: usize) -> io::Result<Vec<String>> {
+        let body = self.multi_line(&format!("SLOW {n}"), "OK SLOW lines=")?;
+        Ok(body.lines().map(str::to_string).collect())
+    }
+
+    /// `LINEAGE n`; returns the `≤ n` most recent epoch-lineage journal
+    /// records, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on an `ERR` or
+    /// unparseable reply.
+    pub fn lineage(&mut self, n: usize) -> io::Result<Vec<String>> {
+        let body = self.multi_line(&format!("LINEAGE {n}"), "OK LINEAGE lines=")?;
+        Ok(body.lines().map(str::to_string).collect())
+    }
+
     /// Sends `request` and reads a `lines=<k>`-framed multi-line reply:
     /// the header names how many body lines follow.
     fn multi_line(&mut self, request: &str, header: &str) -> io::Result<String> {

@@ -76,6 +76,17 @@ impl EventQueue {
         self.signal.notify_all();
     }
 
+    /// Events currently queued (the ingest backlog the watchdog
+    /// gauges). Momentary under concurrent producers.
+    pub fn len(&self) -> usize {
+        relock(self.inner.lock()).events.len()
+    }
+
+    /// Whether nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Blocks until at least one event is available (or the queue
     /// closes), then keeps collecting for up to `window` so bursts
     /// coalesce into one batch, capped at `max` events. Returns `None`
@@ -173,6 +184,10 @@ impl<'a> Ingestor<'a> {
     /// that did work).
     pub fn apply_batch(&mut self, events: &[FaultEvent]) -> usize {
         let observing = self.obs.as_deref().is_some_and(ServeObs::enabled);
+        // Lineage provenance: the epoch this batch derives from and its
+        // live fault count, captured before any toggle applies.
+        let parent = self.store.current_id();
+        let faults_before = self.state.faults().len() as u64;
         let start = observing.then(Instant::now);
         let mut applied = 0;
         for &event in events {
@@ -198,6 +213,8 @@ impl<'a> Ingestor<'a> {
                 applied > 0,
                 self.store.current_id(),
                 self.state.faults().len() as u64,
+                parent,
+                faults_before,
             );
         }
         applied

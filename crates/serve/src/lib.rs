@@ -32,7 +32,16 @@
 //!   batch-size series, ingest/epoch timing and a bounded trace
 //!   journal, exposed over the `METRICS` (Prometheus text exposition)
 //!   and `TRACE n` verbs and recorded shard-locally so the hot path
-//!   stays lock-free.
+//!   stays lock-free;
+//! * the **flight recorder** — request-scoped span tracing of every
+//!   batch (decode → cache → engine → serialize → write, recorded in
+//!   the same shard-local accumulators and flushed on the existing
+//!   cadence) with tail-based retention of batches slower than the
+//!   rolling p99, exposed over `SPANS [n]` and `SLOW [n]`; an epoch
+//!   **lineage journal** (parent epoch, applied events, occupancy
+//!   delta, apply/publish timing per advance) behind `LINEAGE [n]`;
+//!   and a stall **watchdog** ([`SloConfig`]) sampling queue depths
+//!   and latency windows into multi-window SLO burn-rate alerts.
 //!
 //! # Example
 //!
@@ -74,11 +83,13 @@ pub mod query;
 mod server;
 mod snapshot;
 pub mod spec;
+mod watchdog;
 
 pub use client::{Client, ReplyLines};
 pub use epoch::{Epoch, EpochReader, EpochStore, QueryCache, QueryKey};
 pub use ingest::{EventQueue, FaultEvent, IngestReport, Ingestor};
 pub use metrics::ServeObs;
-pub use query::{QueryError, RouteReply, ToleranceAnswer};
+pub use query::{EngineWindow, QueryError, RouteReply, ToleranceAnswer};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats, SpawnedServer};
 pub use snapshot::{RoutingSnapshot, SnapshotError};
+pub use watchdog::SloConfig;

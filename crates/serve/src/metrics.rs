@@ -18,17 +18,17 @@
 use std::sync::Arc;
 
 use ftr_obs::{
-    monotonic_nanos, AtomicHistogram, Counter, Gauge, Histogram, Registry, TraceEvent, TraceRing,
-    Unit,
+    monotonic_nanos, AtomicHistogram, BatchSpans, Counter, Gauge, Histogram, LineageJournal,
+    LineageRecord, Registry, SpanRecorder, SpanStore, TraceEvent, TraceRing, Unit,
 };
 
 use crate::proto::Request;
 use crate::server::ServerStats;
 
 /// Verb labels, in dispatch order (`route` first: it dominates).
-pub(crate) const VERBS: [&str; 14] = [
+pub(crate) const VERBS: [&str; 17] = [
     "route", "ping", "epoch", "diam", "tolerate", "audit", "schemes", "plan", "fail", "repair",
-    "stats", "metrics", "trace", "quit",
+    "stats", "metrics", "trace", "quit", "spans", "slow", "lineage",
 ];
 
 /// Index into [`VERBS`] (and the per-verb counter array) for a request.
@@ -48,8 +48,16 @@ pub(crate) fn verb_index(request: &Request) -> usize {
         Request::Metrics => 11,
         Request::Trace(_) => 12,
         Request::Quit => 13,
+        Request::Spans(_) => 14,
+        Request::Slow(_) => 15,
+        Request::Lineage(_) => 16,
     }
 }
+
+/// Stage labels of the flight-recorder span tree, in dispatch order.
+/// `batch` is the root; the rest are its children (`engine` nests under
+/// `cache`). Slow verbs additionally record a span named after the verb.
+pub(crate) const STAGES: [&str; 6] = ["batch", "decode", "cache", "engine", "serialize", "write"];
 
 /// Indices into the per-verb latency histograms (only the verbs whose
 /// server-side latency is worth a distribution).
@@ -57,7 +65,9 @@ pub(crate) const LAT_ROUTE: usize = 0;
 pub(crate) const LAT_TOLERATE: usize = 1;
 pub(crate) const LAT_AUDIT: usize = 2;
 pub(crate) const LAT_PLAN: usize = 3;
-const LAT_VERBS: [&str; 4] = ["route", "tolerate", "audit", "plan"];
+/// Labels of the latency-histogram slots (also the span stage names of
+/// the timed slow verbs — `&'static str`, as [`SpanRecorder`] requires).
+pub(crate) const LAT_VERBS: [&str; 4] = ["route", "tolerate", "audit", "plan"];
 
 /// Flush a shard's [`LocalObs`] into the shared registry every this
 /// many dispatch batches (also flushed on idle and at shard exit).
@@ -66,10 +76,18 @@ pub(crate) const FLUSH_EVERY: u32 = 64;
 /// Default capacity of the trace ring (events, not bytes).
 pub(crate) const TRACE_CAPACITY: usize = 1024;
 
+/// Recent-batch ring capacity of the span store (`SPANS`).
+pub(crate) const SPAN_RECENT_CAP: usize = 64;
+/// Tail-retained slow-batch ring capacity (`SLOW`).
+pub(crate) const SPAN_SLOW_CAP: usize = 32;
+/// Lineage journal capacity (`LINEAGE`).
+pub(crate) const LINEAGE_CAPACITY: usize = 512;
+
 /// The server's metric registry plus every series the layers record
 /// into, shared through [`crate::ServerHandle`].
 pub struct ServeObs {
     enabled: bool,
+    spans_enabled: bool,
     registry: Registry,
     trace: Arc<TraceRing>,
     start_nanos: u64,
@@ -79,6 +97,11 @@ pub struct ServeObs {
     shard_hits: Vec<Arc<Counter>>,
     shard_misses: Vec<Arc<Counter>>,
     shard_batch: Vec<Arc<AtomicHistogram>>,
+    // ---- flight recorder ----
+    stage_seconds: Vec<Arc<AtomicHistogram>>,
+    spans: Arc<SpanStore>,
+    lineage: Arc<LineageJournal>,
+    alerts_active: Arc<Gauge>,
     // ---- ingest / epoch ----
     ingest_events: Arc<Counter>,
     ingest_batches: Arc<Counter>,
@@ -98,7 +121,9 @@ pub struct ServeObs {
 impl ServeObs {
     /// Builds the full catalog for `shards` connection shards, bridging
     /// the pre-existing [`ServerStats`] counters into the exposition.
-    pub(crate) fn new(enabled: bool, shards: usize, stats: Arc<ServerStats>) -> Self {
+    /// `spans` toggles flight-recorder span collection independently of
+    /// the base metrics (and is forced off when `enabled` is).
+    pub(crate) fn new(enabled: bool, spans: bool, shards: usize, stats: Arc<ServerStats>) -> Self {
         use std::sync::atomic::Ordering::Relaxed;
         let start_nanos = monotonic_nanos();
         let registry = Registry::new();
@@ -155,6 +180,68 @@ impl ServeObs {
                 &[("shard", &shard)],
             ));
         }
+        let stage_seconds = STAGES
+            .iter()
+            .map(|stage| {
+                registry.histogram(
+                    "ftr_stage_seconds",
+                    "Flight-recorder stage durations per dispatch batch \
+                     (batch is the root span; engine nests under cache).",
+                    Unit::Seconds,
+                    &[("stage", stage)],
+                )
+            })
+            .collect();
+        let spans_store = Arc::new(SpanStore::new(SPAN_RECENT_CAP, SPAN_SLOW_CAP));
+        let sp = Arc::clone(&spans_store);
+        registry.func_counter(
+            "ftr_span_batches_total",
+            "Batch span trees ingested by the span store.",
+            &[],
+            move || sp.batches_total(),
+        );
+        let sp = Arc::clone(&spans_store);
+        registry.func_counter(
+            "ftr_spans_dropped_total",
+            "Spans evicted from the recent/slow rings (STATS spans_dropped=).",
+            &[],
+            move || sp.spans_dropped(),
+        );
+        let sp = Arc::clone(&spans_store);
+        registry.func_counter(
+            "ftr_span_slow_retained_total",
+            "Batches tail-retained in the slow-query log (total over p99).",
+            &[],
+            move || sp.slow_total(),
+        );
+        let sp = Arc::clone(&spans_store);
+        registry.func_gauge(
+            "ftr_span_slow_threshold_nanos",
+            "Rolling p99 of batch total duration gating slow retention.",
+            &[],
+            move || sp.p99_nanos(),
+        );
+        let lineage = Arc::new(LineageJournal::new(LINEAGE_CAPACITY));
+        let lj = Arc::clone(&lineage);
+        registry.func_counter(
+            "ftr_lineage_records_total",
+            "Epoch-advance records pushed to the lineage journal.",
+            &[],
+            move || lj.total(),
+        );
+        let lj = Arc::clone(&lineage);
+        registry.func_counter(
+            "ftr_lineage_dropped_total",
+            "Lineage records evicted by the journal bound.",
+            &[],
+            move || lj.dropped(),
+        );
+        let alerts_active = registry.gauge(
+            "ftr_alerts_active",
+            "SLO burn alerts currently firing (STATS alerts_active=).",
+            &[],
+        );
+
         // Pre-existing STATS counters, bridged so one scrape carries
         // everything. (The Arc clones keep the closures 'static.)
         let s = Arc::clone(&stats);
@@ -300,6 +387,7 @@ impl ServeObs {
 
         ServeObs {
             enabled,
+            spans_enabled: enabled && spans,
             registry,
             trace,
             start_nanos,
@@ -308,6 +396,10 @@ impl ServeObs {
             shard_hits,
             shard_misses,
             shard_batch,
+            stage_seconds,
+            spans: spans_store,
+            lineage,
+            alerts_active,
             ingest_events,
             ingest_batches,
             ingest_applied,
@@ -326,6 +418,53 @@ impl ServeObs {
     /// Whether shards record (the exposition works either way).
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether shards collect flight-recorder span trees.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_enabled
+    }
+
+    /// The metric registry (the watchdog registers its gauges here).
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The alerts-active gauge (set by the watchdog, read by `STATS`).
+    pub(crate) fn alerts_active_gauge(&self) -> Arc<Gauge> {
+        Arc::clone(&self.alerts_active)
+    }
+
+    /// SLO burn alerts currently firing.
+    pub(crate) fn alerts_active(&self) -> u64 {
+        self.alerts_active.get()
+    }
+
+    /// Spans evicted from the span-store rings since start.
+    pub(crate) fn spans_dropped(&self) -> u64 {
+        self.spans.spans_dropped()
+    }
+
+    /// Point-in-time route-latency histogram (cumulative; diff two
+    /// snapshots for a window) — the watchdog's burn-rate input.
+    pub(crate) fn route_latency_snapshot(&self) -> Histogram {
+        self.latency[LAT_ROUTE].snapshot()
+    }
+
+    /// Point-in-time epoch-publish latency histogram (cumulative).
+    pub(crate) fn epoch_publish_snapshot(&self) -> Histogram {
+        self.epoch_publish_seconds.snapshot()
+    }
+
+    /// Epochs published since start.
+    pub(crate) fn epoch_advances_total(&self) -> u64 {
+        self.epoch_advances.get()
+    }
+
+    /// The last published epoch id (from the gauge; tags trace events
+    /// pushed off the request path).
+    pub(crate) fn epoch_id_value(&self) -> u64 {
+        self.epoch_id.get()
     }
 
     /// Whole seconds since the observatory was created.
@@ -385,8 +524,47 @@ impl ServeObs {
         out
     }
 
+    fn span_reply(verb: &str, batches: &[BatchSpans]) -> String {
+        let total: usize = batches.iter().map(|b| b.spans.len()).sum();
+        let mut out = format!("OK {verb} lines={total}");
+        for batch in batches {
+            for line in batch.lines() {
+                out.push('\n');
+                out.push_str(&line);
+            }
+        }
+        out
+    }
+
+    /// The `OK SPANS lines=<k>` reply: the newest `n` batch span trees,
+    /// batches oldest first, one line per span.
+    pub(crate) fn spans_reply(&self, n: usize) -> String {
+        Self::span_reply("SPANS", &self.spans.recent(n))
+    }
+
+    /// The `OK SLOW lines=<k>` reply from the tail-retained slow log.
+    pub(crate) fn slow_reply(&self, n: usize) -> String {
+        Self::span_reply("SLOW", &self.spans.slow(n))
+    }
+
+    /// The `OK LINEAGE lines=<k>` reply: the newest `n` epoch-advance
+    /// records, oldest first.
+    pub(crate) fn lineage_reply(&self, n: usize) -> String {
+        let records = self.lineage.last(n);
+        let mut out = format!("OK LINEAGE lines={}", records.len());
+        for record in &records {
+            out.push('\n');
+            out.push_str(&record.to_string());
+        }
+        out
+    }
+
     /// Records one drained ingest batch (and, when it published, the
-    /// epoch advance) — called from the ingest thread at batch rate.
+    /// epoch advance — including its lineage-journal record: parent
+    /// epoch, applied events, occupancy delta, apply/publish timing) —
+    /// called from the ingest thread at batch rate. `parent` is the
+    /// epoch id the advance derived from and `faults_before` its live
+    /// fault count, captured before the publish.
     // Mirrors IngestReport's fields; bundling them re-creates that struct.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn ingest_batch(
@@ -398,6 +576,8 @@ impl ServeObs {
         published: bool,
         epoch_id: u64,
         faults: u64,
+        parent: u64,
+        faults_before: u64,
     ) {
         if !self.enabled {
             return;
@@ -412,6 +592,17 @@ impl ServeObs {
             self.epoch_id.set(epoch_id);
             self.epoch_faults.set(faults);
             self.epoch_advances.inc();
+            self.lineage.push(LineageRecord {
+                epoch: epoch_id,
+                parent,
+                events,
+                applied,
+                faults,
+                delta: faults as i64 - faults_before as i64,
+                apply_nanos,
+                publish_nanos,
+                at_nanos: monotonic_nanos(),
+            });
             self.trace.push(
                 epoch_id,
                 "epoch_publish",
@@ -459,7 +650,10 @@ impl ServeObs {
 }
 
 /// A shard's plain-integer metric accumulator: written on the dispatch
-/// hot path without atomics, flushed in bulk into [`ServeObs`].
+/// hot path without atomics, flushed in bulk into [`ServeObs`]. The
+/// flight recorder rides the same discipline: spans accumulate in the
+/// embedded [`SpanRecorder`], sealed batch trees queue in `span_batches`
+/// and per-stage durations in `stage`, all flushed on the same cadence.
 pub(crate) struct LocalObs {
     pub verbs: [u64; VERBS.len()],
     pub hits: u64,
@@ -468,6 +662,18 @@ pub(crate) struct LocalObs {
     pub latency: [Histogram; LAT_VERBS.len()],
     /// Dispatch batches since the last flush.
     pub batches: u32,
+    /// The shard's span buffer for the batch currently dispatching.
+    pub recorder: SpanRecorder,
+    /// Sealed batch span trees awaiting flush into the span store.
+    pub span_batches: Vec<BatchSpans>,
+    /// Per-stage span durations awaiting flush, aligned with [`STAGES`].
+    pub stage: [Histogram; STAGES.len()],
+    /// Per-shard monotone batch sequence number (never reset).
+    pub batch_seq: u64,
+    /// Epoch id of the batch currently open in the recorder.
+    pub pending_epoch: u64,
+    /// Request count of the batch currently open in the recorder.
+    pub pending_requests: u32,
 }
 
 impl LocalObs {
@@ -477,14 +683,33 @@ impl LocalObs {
             hits: 0,
             misses: 0,
             batch_sizes: Histogram::new(),
-            latency: [
-                Histogram::new(),
-                Histogram::new(),
-                Histogram::new(),
-                Histogram::new(),
-            ],
+            latency: std::array::from_fn(|_| Histogram::new()),
             batches: 0,
+            recorder: SpanRecorder::new(),
+            span_batches: Vec::new(),
+            stage: std::array::from_fn(|_| Histogram::new()),
+            batch_seq: 0,
+            pending_epoch: 0,
+            pending_requests: 0,
         }
+    }
+
+    /// Seals the recorder's current span tree as one batch, recording
+    /// its stage durations locally and queueing the tree for flush.
+    pub fn seal_batch(&mut self, shard: usize, epoch: u64, requests: u32) {
+        if self.recorder.is_empty() {
+            return;
+        }
+        self.batch_seq += 1;
+        let batch = self
+            .recorder
+            .take(shard as u32, self.batch_seq, epoch, requests);
+        for span in &batch.spans {
+            if let Some(i) = STAGES.iter().position(|s| *s == span.stage) {
+                self.stage[i].record(span.duration_nanos());
+            }
+        }
+        self.span_batches.push(batch);
     }
 
     /// Whether anything has accumulated since the last flush. (Latency
@@ -496,6 +721,8 @@ impl LocalObs {
             || self.misses > 0
             || !self.batch_sizes.is_empty()
             || self.latency.iter().any(|h| !h.is_empty())
+            || !self.span_batches.is_empty()
+            || self.stage.iter().any(|h| !h.is_empty())
     }
 
     /// Folds everything into the shared registry and resets.
@@ -517,6 +744,11 @@ impl LocalObs {
             shared.merge_from(local);
             local.clear();
         }
+        for (local, shared) in self.stage.iter_mut().zip(&obs.stage_seconds) {
+            shared.merge_from(local);
+            local.clear();
+        }
+        obs.spans.ingest(&mut self.span_batches);
         self.batches = 0;
     }
 }
@@ -527,7 +759,7 @@ mod tests {
 
     #[test]
     fn catalog_renders_at_least_twelve_series() {
-        let obs = ServeObs::new(true, 2, Arc::new(ServerStats::default()));
+        let obs = ServeObs::new(true, true, 2, Arc::new(ServerStats::default()));
         let text = obs.render_prometheus();
         let families: std::collections::BTreeSet<&str> = text
             .lines()
@@ -553,6 +785,14 @@ mod tests {
             "ftr_epoch_publish_seconds",
             "ftr_search_visited_total",
             "ftr_search_wall_seconds",
+            "ftr_stage_seconds",
+            "ftr_span_batches_total",
+            "ftr_spans_dropped_total",
+            "ftr_span_slow_retained_total",
+            "ftr_span_slow_threshold_nanos",
+            "ftr_lineage_records_total",
+            "ftr_lineage_dropped_total",
+            "ftr_alerts_active",
         ] {
             assert!(families.contains(required), "missing {required}");
         }
@@ -560,7 +800,7 @@ mod tests {
 
     #[test]
     fn local_obs_flushes_into_the_shared_catalog() {
-        let obs = ServeObs::new(true, 1, Arc::new(ServerStats::default()));
+        let obs = ServeObs::new(true, true, 1, Arc::new(ServerStats::default()));
         let mut local = LocalObs::new();
         local.verbs[0] += 3; // route
         local.verbs[1] += 1; // ping
@@ -585,10 +825,10 @@ mod tests {
 
     #[test]
     fn ingest_and_search_paths_record_and_trace() {
-        let obs = ServeObs::new(true, 1, Arc::new(ServerStats::default()));
+        let obs = ServeObs::new(true, true, 1, Arc::new(ServerStats::default()));
         obs.seed_epoch(0, 0);
-        obs.ingest_batch(3, 2, 1_000, 500, true, 1, 2);
-        obs.ingest_batch(1, 0, 0, 0, false, 1, 2);
+        obs.ingest_batch(3, 2, 1_000, 500, true, 1, 2, 0, 0);
+        obs.ingest_batch(1, 0, 0, 0, false, 1, 2, 1, 2);
         obs.search("audit_search", 1, 56, 0, 2_000_000);
         let text = obs.render_prometheus();
         assert!(text.contains("ftr_ingest_events_total 4"));
@@ -610,12 +850,59 @@ mod tests {
         let metrics = obs.metrics_reply();
         assert!(metrics.starts_with("OK METRICS lines="));
         // Disabled recording is a no-op but the exposition still works.
-        let off = ServeObs::new(false, 1, Arc::new(ServerStats::default()));
-        off.ingest_batch(3, 2, 1_000, 500, true, 1, 2);
+        let off = ServeObs::new(false, true, 1, Arc::new(ServerStats::default()));
+        assert!(!off.spans_enabled(), "spans force off without metrics");
+        off.ingest_batch(3, 2, 1_000, 500, true, 1, 2, 0, 0);
         off.search("audit_search", 1, 5, 0, 10);
         assert!(off
             .render_prometheus()
             .contains("ftr_ingest_events_total 0"));
         assert!(off.metrics_reply().starts_with("OK METRICS lines="));
+    }
+
+    #[test]
+    fn flight_recorder_flushes_and_replies() {
+        let obs = ServeObs::new(true, true, 1, Arc::new(ServerStats::default()));
+        assert!(obs.spans_enabled());
+        let mut local = LocalObs::new();
+        // An abandoned (empty) batch seals to nothing.
+        local.seal_batch(0, 0, 0);
+        assert!(local.span_batches.is_empty());
+        let root = local.recorder.start("batch");
+        let d = local.recorder.start("decode");
+        local.recorder.end(d);
+        let c = local.recorder.start("cache");
+        local.recorder.end(c);
+        let s = local.recorder.start("serialize");
+        local.recorder.end(s);
+        local.recorder.end(root);
+        local.seal_batch(0, 5, 3);
+        assert_eq!(local.span_batches.len(), 1);
+        assert!(local.dirty());
+        local.flush(&obs, 0);
+        assert!(!local.dirty());
+        let reply = obs.spans_reply(8);
+        assert!(reply.starts_with("OK SPANS lines=4\n"), "{reply}");
+        assert!(reply.contains("batch=1 shard=0 epoch=5 reqs=3 span=1 parent=0 stage=batch"));
+        assert!(reply.contains("stage=serialize"));
+        let text = obs.render_prometheus();
+        assert!(text.contains("ftr_stage_seconds_count{stage=\"decode\"} 1"));
+        assert!(text.contains("ftr_span_batches_total 1"));
+        // Slow log is empty below SLOW_MIN_SAMPLES; the reply is still
+        // well-formed.
+        assert_eq!(obs.slow_reply(8), "OK SLOW lines=0");
+        // Lineage arrives via ingest_batch.
+        obs.ingest_batch(2, 2, 900, 400, true, 1, 2, 0, 0);
+        obs.ingest_batch(1, 1, 800, 300, true, 2, 1, 1, 2);
+        let lineage = obs.lineage_reply(10);
+        assert!(lineage.starts_with("OK LINEAGE lines=2\n"), "{lineage}");
+        assert!(lineage.contains("epoch=1 parent=0 events=2 applied=2 faults=2 delta=2"));
+        assert!(lineage.contains("epoch=2 parent=1 events=1 applied=1 faults=1 delta=-1"));
+        assert_eq!(obs.lineage.total(), 2);
+        // STATS feeds.
+        assert_eq!(obs.alerts_active(), 0);
+        obs.alerts_active_gauge().set(2);
+        assert_eq!(obs.alerts_active(), 2);
+        assert_eq!(obs.spans_dropped(), 0);
     }
 }

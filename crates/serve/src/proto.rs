@@ -19,6 +19,9 @@
 //! | `STATS` | `OK STATS epoch=… queries=… cache_hits=… …` |
 //! | `METRICS` | `OK METRICS lines=<k>` + `k` exposition lines |
 //! | `TRACE n` | `OK TRACE lines=<k>` + `k` journal lines (`k ≤ n`) |
+//! | `SPANS [n]` | `OK SPANS lines=<k>` + one line per span of the newest `n` batch trees |
+//! | `SLOW [n]` | `OK SLOW lines=<k>` + one line per span of the newest `n` tail-retained slow batches |
+//! | `LINEAGE [n]` | `OK LINEAGE lines=<k>` + the newest `k ≤ n` epoch-advance records, oldest first |
 //! | `QUIT` | `OK BYE` (connection closes) |
 //!
 //! `SCHEMES` reports each registry scheme's applicability on the served
@@ -35,18 +38,36 @@
 //! reject over-budget requests with a structured `ERR` naming the
 //! worst-case search size.
 //!
-//! `METRICS` and `TRACE n` are the only multi-line replies: the header
-//! carries `lines=<k>` so clients know exactly how many body lines
-//! follow (the Prometheus text exposition for `METRICS`, the newest
-//! `k ≤ n` trace-journal events, oldest first, for `TRACE`). Pipelining
-//! stays intact — the header plus body count as the one reply for the
-//! request line.
+//! `METRICS`, `TRACE n` and the flight-recorder verbs (`SPANS`, `SLOW`,
+//! `LINEAGE`) are the multi-line replies: the header carries
+//! `lines=<k>` so clients know exactly how many body lines follow (the
+//! Prometheus text exposition for `METRICS`, the newest `k ≤ n`
+//! trace-journal events, oldest first, for `TRACE`). Pipelining stays
+//! intact — the header plus body count as the one reply for the request
+//! line.
+//!
+//! `SPANS [n]` returns the span trees of the newest `n` (default
+//! [`SPANS_DEFAULT`]) dispatch batches, one line per span
+//! (`batch=… shard=… epoch=… reqs=… span=… parent=… stage=…
+//! start_ns=… end_ns=… dur_ns=…`), batches oldest first, spans in
+//! start order. `SLOW [n]` has the same shape but draws from the
+//! tail-retained slow-query log (batches whose total exceeded the
+//! rolling p99). `LINEAGE [n]` returns the newest `n` (default
+//! [`LINEAGE_DEFAULT`]) epoch-advance records
+//! (`epoch=… parent=… events=… applied=… faults=… delta=… apply_ns=…
+//! publish_ns=… ts_ns=…`). All three take their count argument
+//! optionally; a bare verb uses the default.
 //!
 //! Anything else gets `ERR <reason>` and the connection stays open.
 
 use ftr_graph::Node;
 
 use crate::query::RouteReply;
+
+/// Batch count a bare `SPANS` (or `SLOW`) requests.
+pub const SPANS_DEFAULT: usize = 8;
+/// Record count a bare `LINEAGE` requests.
+pub const LINEAGE_DEFAULT: usize = 16;
 
 /// A parsed request line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +121,12 @@ pub enum Request {
     Metrics,
     /// The last `n` trace-journal events, oldest first.
     Trace(usize),
+    /// Span trees of the newest `n` dispatch batches, oldest first.
+    Spans(usize),
+    /// Span trees of the newest `n` tail-retained slow batches.
+    Slow(usize),
+    /// The newest `n` epoch-advance lineage records, oldest first.
+    Lineage(usize),
     /// Close this connection.
     Quit,
 }
@@ -126,7 +153,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let canon = |v: &str| -> &'static str {
         for known in [
             "PING", "EPOCH", "DIAM", "STATS", "QUIT", "ROUTE", "TOLERATE", "AUDIT", "SCHEMES",
-            "PLAN", "FAIL", "REPAIR", "METRICS", "TRACE",
+            "PLAN", "FAIL", "REPAIR", "METRICS", "TRACE", "SPANS", "SLOW", "LINEAGE",
         ] {
             if v.eq_ignore_ascii_case(known) {
                 return known;
@@ -168,6 +195,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "REPAIR" => Request::Repair(parse_node(arg("v")?)?),
         "METRICS" => Request::Metrics,
         "TRACE" => Request::Trace(parse_num(arg("n")?, "event count")?),
+        // The flight-recorder verbs take their count optionally; a
+        // trailing token after a supplied count is still caught below.
+        "SPANS" => Request::Spans(match tokens.next() {
+            Some(token) => parse_num(token, "batch count")?,
+            None => SPANS_DEFAULT,
+        }),
+        "SLOW" => Request::Slow(match tokens.next() {
+            Some(token) => parse_num(token, "batch count")?,
+            None => SPANS_DEFAULT,
+        }),
+        "LINEAGE" => Request::Lineage(match tokens.next() {
+            Some(token) => parse_num(token, "record count")?,
+            None => LINEAGE_DEFAULT,
+        }),
         // The canon table above covers every verb; a future mismatch
         // between the two lists degrades to an ERR reply, not a panic.
         other => return Err(format!("unknown request {other:?}")),
@@ -266,6 +307,15 @@ mod tests {
         assert_eq!(parse_request("FAIL 9"), Ok(Request::Fail(9)));
         assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
         assert_eq!(parse_request("TRACE 32"), Ok(Request::Trace(32)));
+        assert_eq!(parse_request("SPANS"), Ok(Request::Spans(SPANS_DEFAULT)));
+        assert_eq!(parse_request("spans 3"), Ok(Request::Spans(3)));
+        assert_eq!(parse_request("SLOW"), Ok(Request::Slow(SPANS_DEFAULT)));
+        assert_eq!(parse_request("Slow 12"), Ok(Request::Slow(12)));
+        assert_eq!(
+            parse_request("LINEAGE"),
+            Ok(Request::Lineage(LINEAGE_DEFAULT))
+        );
+        assert_eq!(parse_request("lineage 5"), Ok(Request::Lineage(5)));
         assert_eq!(parse_request("repair 0"), Ok(Request::Repair(0)));
         assert_eq!(parse_request("schemes"), Ok(Request::Schemes));
         assert_eq!(
@@ -302,6 +352,12 @@ mod tests {
             "TRACE",
             "TRACE x",
             "TRACE 5 5",
+            "SPANS x",
+            "SPANS 5 5",
+            "SLOW -1",
+            "SLOW 2 2",
+            "LINEAGE x",
+            "LINEAGE 4 4",
             "FAIL",
             "FAIL 1 2",
             "PING PONG",

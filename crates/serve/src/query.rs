@@ -185,6 +185,54 @@ pub fn route_batch(
     );
 }
 
+/// The window of wall time the engine (cache-miss compute) was active
+/// during one [`route_batch_observed`] call: first miss start to last
+/// miss end, in [`ftr_obs::monotonic_nanos`] nanos. Both zero when the
+/// whole batch was served from cache.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineWindow {
+    /// Start of the first cache-miss computation.
+    pub start_nanos: u64,
+    /// End of the last cache-miss computation.
+    pub end_nanos: u64,
+}
+
+impl EngineWindow {
+    /// Whether any miss was computed (the window is meaningful).
+    pub fn active(&self) -> bool {
+        self.end_nanos > 0
+    }
+}
+
+/// [`route_batch`] plus flight-recorder observation: timestamps the
+/// engine's share of the cache pass into `window` (plain writes into a
+/// caller-owned struct — no locks, no atomics, hot-path safe). The
+/// caller turns the window into a synthesized `engine` child span under
+/// its `cache` span.
+pub fn route_batch_observed(
+    snapshot: &RoutingSnapshot,
+    epoch: &Epoch,
+    pairs: &[(Node, Node)],
+    window: &mut EngineWindow,
+    sink: impl FnMut(usize, std::sync::Arc<str>, bool),
+) {
+    epoch.cache().route_many(
+        pairs,
+        |x, y| {
+            if window.start_nanos == 0 {
+                window.start_nanos = ftr_obs::monotonic_nanos();
+            }
+            let rendered = match route(snapshot, epoch, x, y) {
+                Ok(reply) => crate::proto::render_route(&reply),
+                Err(e) => format!("ERR {e}"),
+            };
+            window.end_nanos = ftr_obs::monotonic_nanos();
+            rendered
+        },
+        sink,
+    );
+}
+
 /// BFS over the epoch's surviving route graph (faulty nodes masked out)
 /// from `x` to `y`, returning the relay endpoints `x, r1, …, y` of a
 /// shortest chain of surviving routes.

@@ -28,12 +28,13 @@ use crate::epoch::{Epoch, EpochReader, EpochStore, QueryKey};
 use crate::ingest::{EventQueue, FaultEvent, Ingestor};
 use crate::metrics::{
     verb_index, LocalObs, ServeObs, FLUSH_EVERY, LAT_AUDIT, LAT_PLAN, LAT_ROUTE, LAT_TOLERATE,
-    VERBS,
+    LAT_VERBS, VERBS,
 };
 use crate::poll::PollSet;
 use crate::proto::{parse_request, render_diameter, Request};
 use crate::query::{self, QueryError};
 use crate::snapshot::RoutingSnapshot;
+use crate::watchdog::{SloConfig, Watchdog};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +64,12 @@ pub struct ServerConfig {
     /// hot path skips all recording (including clock reads); `METRICS`
     /// still answers, with the serve-side series frozen at zero.
     pub metrics: bool,
+    /// Whether the shards record flight-recorder span trees (`SPANS` /
+    /// `SLOW`). Forced off when `metrics` is off.
+    pub spans: bool,
+    /// SLO targets and sampling cadence for the stall watchdog (which
+    /// runs only when `metrics` is on).
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +83,8 @@ impl Default for ServerConfig {
             audit_budget: 1_000_000,
             plan_route_budget: 2_000_000,
             metrics: true,
+            spans: true,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -190,6 +199,7 @@ impl Server {
         let stats = Arc::new(ServerStats::default());
         let obs = Arc::new(ServeObs::new(
             config.metrics,
+            config.spans,
             config.shards.max(1),
             Arc::clone(&stats),
         ));
@@ -253,6 +263,17 @@ impl Server {
             let queue = Arc::clone(&handle.queue);
             let (window, max_batch) = (config.batch_window, config.max_batch);
             scope.spawn(move || ingestor.run(&queue, window, max_batch));
+            if config.metrics {
+                let watchdog = Watchdog {
+                    obs: &handle.obs,
+                    stats: &handle.stats,
+                    queue: &handle.queue,
+                    inboxes: &inboxes,
+                    shutdown: &handle.shutdown,
+                    slo: config.slo.clone(),
+                };
+                scope.spawn(move || watchdog.run());
+            }
             for (index, inbox) in inboxes.iter().enumerate() {
                 let shard = Shard {
                     index,
@@ -552,8 +573,22 @@ impl Shard<'_> {
                         &mut local,
                     );
                 }
+                // A non-empty recorder means `drain_batches` left a batch
+                // tree open: time the coalesced socket write as its final
+                // stage, then seal the tree into the flush queue.
+                let recording = !local.recorder.is_empty();
                 if !backlogged && (conn.wants_write() || conn.quit || conn.eof) {
-                    conn.flush();
+                    if recording {
+                        let span = local.recorder.start("write");
+                        conn.flush();
+                        local.recorder.end(span);
+                    } else {
+                        conn.flush();
+                    }
+                }
+                if recording {
+                    let (epoch, requests) = (local.pending_epoch, local.pending_requests);
+                    local.seal_batch(self.index, epoch, requests);
                 }
             }
             conns.retain(|c| !c.dead);
@@ -580,6 +615,18 @@ impl Shard<'_> {
         local: &mut LocalObs,
     ) {
         scratch.requests.clear();
+        // Flight recorder: open the batch's root span and its decode
+        // child before frame-decoding. The recorder is a plain
+        // Vec-backed structure in shard-local state — no shared memory
+        // is touched until `LocalObs::flush`.
+        let spans_on = ctx.obs.spans_enabled();
+        let decode_span = if spans_on {
+            local.recorder.reset();
+            local.recorder.start("batch");
+            Some(local.recorder.start("decode"))
+        } else {
+            None
+        };
         let buf = &conn.rbuf;
         let mut consumed = 0usize;
         let mut cursor = 0usize;
@@ -603,15 +650,24 @@ impl Shard<'_> {
         }
         if consumed == 0 && buf.len() > MAX_LINE_BYTES {
             conn.dead = true;
+            local.recorder.reset();
             return;
         }
         conn.rbuf.drain(..consumed);
+        if let Some(span) = decode_span {
+            local.recorder.end(span);
+        }
         if scratch.requests.is_empty() {
+            local.recorder.reset();
             return;
         }
         // One epoch acquisition for the whole window: every request of
         // the batch answers at the same epoch.
         let epoch = Arc::clone(reader.current());
+        if spans_on {
+            local.pending_epoch = epoch.id();
+            local.pending_requests = scratch.requests.len() as u32;
+        }
         ctx.stats
             .queries
             .fetch_add(scratch.requests.len() as u64, Ordering::Relaxed);
@@ -636,7 +692,12 @@ impl Shard<'_> {
                 local.verbs[verb_index(parsed)] += 1;
                 introspect |= matches!(
                     parsed,
-                    Request::Stats | Request::Metrics | Request::Trace(_)
+                    Request::Stats
+                        | Request::Metrics
+                        | Request::Trace(_)
+                        | Request::Spans(_)
+                        | Request::Slow(_)
+                        | Request::Lineage(_)
                 );
             }
             if introspect {
@@ -678,9 +739,13 @@ impl Shard<'_> {
                     };
                     match slot.filter(|_| record) {
                         Some(slot) => {
+                            let span = spans_on.then(|| local.recorder.start(LAT_VERBS[slot]));
                             let start = Instant::now();
                             let reply = ctx.dispatch_slow(*request, &epoch, &mut errors);
                             local.latency[slot].record(start.elapsed().as_nanos() as u64);
+                            if let Some(span) = span {
+                                local.recorder.end(span);
+                            }
                             reply
                         }
                         None => ctx.dispatch_slow(*request, &epoch, &mut errors),
@@ -692,10 +757,34 @@ impl Shard<'_> {
         if !pairs.is_empty() {
             let mut hits = 0u64;
             let start = record.then(Instant::now);
-            query::route_batch(ctx.snapshot, &epoch, pairs, |j, value, hit| {
-                hits += u64::from(hit);
-                replies[jobs[j].0 as usize] = Reply::Shared(value);
-            });
+            if spans_on {
+                // The cache span covers the whole batched lookup; misses
+                // that fall through to the engine report their first/last
+                // compute window, recorded as a child "engine" span.
+                let cache_span = local.recorder.start("cache");
+                let mut window = query::EngineWindow::default();
+                query::route_batch_observed(
+                    ctx.snapshot,
+                    &epoch,
+                    pairs,
+                    &mut window,
+                    |j, value, hit| {
+                        hits += u64::from(hit);
+                        replies[jobs[j].0 as usize] = Reply::Shared(value);
+                    },
+                );
+                if window.active() {
+                    local
+                        .recorder
+                        .record_window("engine", window.start_nanos, window.end_nanos);
+                }
+                local.recorder.end(cache_span);
+            } else {
+                query::route_batch(ctx.snapshot, &epoch, pairs, |j, value, hit| {
+                    hits += u64::from(hit);
+                    replies[jobs[j].0 as usize] = Reply::Shared(value);
+                });
+            }
             if let Some(start) = start {
                 // Batch-attributed ROUTE latency, mirroring the load
                 // generator's accounting: every query in the batch
@@ -717,6 +806,7 @@ impl Shard<'_> {
         if local.batches >= FLUSH_EVERY {
             local.flush(ctx.obs, shard_index);
         }
+        let serialize_span = spans_on.then(|| local.recorder.start("serialize"));
         for reply in replies.iter() {
             match reply {
                 Reply::Shared(s) => conn.wbuf.extend_from_slice(s.as_bytes()),
@@ -729,6 +819,11 @@ impl Shard<'_> {
             }
             conn.wbuf.push(b'\n');
         }
+        if let Some(span) = serialize_span {
+            local.recorder.end(span);
+        }
+        // The root "batch" span stays open: the caller closes it around
+        // the coalesced socket write via `LocalObs::seal_batch`.
     }
 
     /// Parses one raw line into the batch; returns `true` on QUIT (the
@@ -907,10 +1002,22 @@ impl DispatchCtx<'_> {
                     use std::fmt::Write as _;
                     let _ = write!(reply, " verb_{verb}={count}");
                 }
+                {
+                    use std::fmt::Write as _;
+                    let _ = write!(
+                        reply,
+                        " alerts_active={} spans_dropped={}",
+                        self.obs.alerts_active(),
+                        self.obs.spans_dropped()
+                    );
+                }
                 Reply::Owned(reply)
             }
             Request::Metrics => Reply::Owned(self.obs.metrics_reply()),
             Request::Trace(n) => Reply::Owned(self.obs.trace_reply(n)),
+            Request::Spans(n) => Reply::Owned(self.obs.spans_reply(n)),
+            Request::Slow(n) => Reply::Owned(self.obs.slow_reply(n)),
+            Request::Lineage(n) => Reply::Owned(self.obs.lineage_reply(n)),
             // The served graph never changes, so the applicability
             // survey is computed once per server lifetime.
             Request::Schemes => Reply::Owned(

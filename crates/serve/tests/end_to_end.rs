@@ -257,6 +257,26 @@ fn stats_reply_keeps_every_legacy_token_and_appends_observability() {
     // connection issued one PING and this very STATS.
     assert!(stats.contains(" verb_ping=1"), "{stats}");
     assert!(stats.contains(" verb_stats=1"), "{stats}");
+    // The flight-recorder tokens ride after the verb counters, still
+    // bare integers.
+    let alerts_at = tokens
+        .iter()
+        .position(|t| t.starts_with("alerts_active="))
+        .expect("alerts_active token");
+    let dropped_at = tokens
+        .iter()
+        .position(|t| t.starts_with("spans_dropped="))
+        .expect("spans_dropped token");
+    let last_verb_at = tokens
+        .iter()
+        .rposition(|t| t.starts_with("verb_"))
+        .expect("verb tokens");
+    assert_eq!(alerts_at, last_verb_at + 1, "{stats}");
+    assert_eq!(dropped_at, alerts_at + 1, "{stats}");
+    for at in [alerts_at, dropped_at] {
+        let (_, value) = tokens[at].split_once('=').unwrap();
+        assert!(value.parse::<u64>().is_ok(), "{stats}");
+    }
 
     client.quit().unwrap();
     server.shutdown_and_join().unwrap();
@@ -466,6 +486,137 @@ fn malformed_input_never_panics_a_shard() {
         .parse()
         .unwrap();
     assert!(errors >= abuse.len() as u64, "unexpected stats: {stats}");
+    client.quit().unwrap();
+    server.shutdown_and_join().unwrap();
+}
+
+/// Parses one `key=value`-tokenized reply line into a map.
+fn parse_fields(line: &str) -> std::collections::HashMap<&str, &str> {
+    line.split(' ')
+        .filter_map(|tok| tok.split_once('='))
+        .collect()
+}
+
+#[test]
+fn flight_recorder_captures_slow_queries_spans_and_lineage() {
+    // A budget large enough that the deliberately slow TOLERATE sweep
+    // (every C(10, <=9) fault set) actually runs instead of being
+    // rejected — that one batch dwarfs the warm-up pings.
+    let g = gen::petersen();
+    let kernel = KernelRouting::build(&g).unwrap();
+    let snapshot = RoutingSnapshot::new(g, kernel.routing().clone()).unwrap();
+    let server = Server::bind(
+        snapshot.into_shared(),
+        ServerConfig {
+            batch_window: Duration::from_micros(100),
+            tolerate_budget: 1_000_000,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Warm the rolling p99: slow retention only arms once the duration
+    // histogram holds enough samples (one batch per blocking request).
+    for _ in 0..40 {
+        assert!(client.ping().unwrap());
+    }
+    // A ROUTE batch so the recent ring holds cache/engine stages.
+    assert!(client.route(0, 5).unwrap().starts_with("OK "));
+    // The slow query.
+    let reply = client.request("TOLERATE 4 9").unwrap();
+    assert!(reply.starts_with("OK TOLERATE"), "{reply}");
+
+    // SLOW returns the complete span tree of the slow batch.
+    let slow = client.slow(8).unwrap();
+    assert!(!slow.is_empty(), "slow log empty after a full-budget sweep");
+    let tolerate_line = slow
+        .iter()
+        .find(|l| parse_fields(l).get("stage") == Some(&"tolerate"))
+        .unwrap_or_else(|| panic!("no tolerate span in slow log: {slow:#?}"));
+    let slow_batch = parse_fields(tolerate_line)["batch"].to_string();
+
+    // Collect that batch's full tree and check it end to end.
+    let tree: Vec<std::collections::HashMap<&str, &str>> = slow
+        .iter()
+        .map(|l| parse_fields(l))
+        .filter(|f| f["batch"] == slow_batch)
+        .collect();
+    let stages: Vec<&str> = tree.iter().map(|f| f["stage"]).collect();
+    for want in ["batch", "decode", "tolerate", "serialize", "write"] {
+        assert!(stages.contains(&want), "missing {want} stage: {stages:?}");
+    }
+    // Well-nested: exactly one root, every child inside its parent's
+    // window, every span balanced.
+    let span_of = |id: &str| tree.iter().find(|f| f["span"] == id);
+    let mut roots = 0;
+    for f in &tree {
+        let (start, end): (u64, u64) =
+            (f["start_ns"].parse().unwrap(), f["end_ns"].parse().unwrap());
+        assert!(end >= start, "unbalanced span: {f:?}");
+        assert_eq!(f["dur_ns"].parse::<u64>().unwrap(), end - start);
+        if f["parent"] == "0" {
+            roots += 1;
+            assert_eq!(f["stage"], "batch");
+            continue;
+        }
+        let parent = span_of(f["parent"]).unwrap_or_else(|| panic!("orphan span: {f:?}"));
+        let (ps, pe): (u64, u64) = (
+            parent["start_ns"].parse().unwrap(),
+            parent["end_ns"].parse().unwrap(),
+        );
+        assert!(
+            ps <= start && end <= pe,
+            "span escapes its parent window: {f:?} in {parent:?}"
+        );
+    }
+    assert_eq!(roots, 1, "slow batch must have exactly one root");
+    // The tolerate stage dominates the batch: the root's duration is
+    // mostly the search.
+    let root_dur: u64 = tree
+        .iter()
+        .find(|f| f["parent"] == "0")
+        .map(|f| f["dur_ns"].parse().unwrap())
+        .unwrap();
+    let tolerate_dur: u64 = parse_fields(tolerate_line)["dur_ns"].parse().unwrap();
+    assert!(tolerate_dur <= root_dur, "child longer than root");
+    assert!(
+        tolerate_dur * 2 >= root_dur,
+        "tolerate stage should dominate its batch: {tolerate_dur} of {root_dur}"
+    );
+
+    // SPANS covers the recent ring, including the ROUTE batch's cache
+    // stage (and the engine window under it for the cold miss).
+    let spans = client.spans(64).unwrap();
+    let span_stages: Vec<&str> = spans
+        .iter()
+        .filter_map(|l| parse_fields(l).get("stage").copied())
+        .collect();
+    assert!(span_stages.contains(&"cache"), "{span_stages:?}");
+    assert!(span_stages.contains(&"engine"), "{span_stages:?}");
+
+    // Epoch lineage: two advances chain parent -> child with signed
+    // occupancy deltas and apply/publish timing.
+    assert!(client.fail(3).unwrap());
+    wait_for_faults(&mut client, 1);
+    assert!(client.repair(3).unwrap());
+    wait_for_faults(&mut client, 0);
+    let lineage = client.lineage(8).unwrap();
+    assert_eq!(lineage.len(), 2, "{lineage:#?}");
+    let first = parse_fields(&lineage[0]);
+    let second = parse_fields(&lineage[1]);
+    assert_eq!((first["epoch"], first["parent"]), ("1", "0"));
+    assert_eq!((second["epoch"], second["parent"]), ("2", "1"));
+    assert_eq!((first["delta"], second["delta"]), ("1", "-1"));
+    for record in [&first, &second] {
+        assert_eq!(record["events"], "1");
+        assert_eq!(record["applied"], "1");
+        assert!(record["apply_ns"].parse::<u64>().is_ok());
+        assert!(record["publish_ns"].parse::<u64>().unwrap() > 0);
+        assert!(record["ts_ns"].parse::<u64>().unwrap() > 0);
+    }
+
     client.quit().unwrap();
     server.shutdown_and_join().unwrap();
 }
